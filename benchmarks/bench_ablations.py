@@ -1,0 +1,109 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+* on-node USL contention vs ideal-linear workers (why Fig. 4a saturates),
+* elastic scale-in vs static allocation (Fig. 6's resource efficiency),
+* overlapped monitor-trigger inference vs a stage barrier (Fig. 2/6),
+* rotation-invariant loss vs plain reconstruction (Section II-B).
+"""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    contention_ablation,
+    elastic_ablation,
+    overlap_ablation,
+    render_table,
+    ri_loss_ablation,
+)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_contention(once):
+    result = once(contention_ablation, workers=(1, 8, 32, 64), num_files=128)
+    print()
+    print(render_table(
+        ["workers", "contended tiles/s", "ideal tiles/s", "lost to contention"],
+        [
+            (
+                count,
+                round(result["contended"][count], 1),
+                round(result["ideal"][count], 1),
+                f"{(1 - result['contended'][count] / result['ideal'][count]) * 100:.0f}%",
+            )
+            for count in (1, 8, 32, 64)
+        ],
+        title="Ablation: on-node contention (USL) vs ideal linear scaling",
+    ))
+    assert result["ideal"][64] > 5.0 * result["contended"][64]
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_elastic_scale_in(once):
+    result = once(elastic_ablation, num_granule_sets=40)
+    print()
+    print(render_table(
+        ["policy", "worker-seconds", "energy kWh"],
+        [
+            ("elastic (measured)", round(result["elastic_worker_seconds"], 1),
+             round(result["elastic_kwh"], 4)),
+            ("static hold-open", round(result["static_worker_seconds"], 1),
+             round(result["static_kwh"], 4)),
+        ],
+        title=f"Ablation: elastic scale-in saves "
+              f"{result['saving_fraction'] * 100:.0f}% worker-seconds, "
+              f"{result['energy_saving_fraction'] * 100:.0f}% energy "
+              f"({result['carbon_saving_kg'] * 1000:.1f} gCO2)",
+    ))
+    assert result["saving_fraction"] > 0.0
+    assert result["energy_saving_fraction"] > 0.0
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_overlap(once):
+    result = once(overlap_ablation, num_granule_sets=40)
+    print()
+    print(render_table(
+        ["design", "makespan (s)"],
+        [
+            ("async monitor-trigger (measured)", round(result["overlapped_makespan"], 1)),
+            ("barrier counterfactual", round(result["barrier_makespan"], 1)),
+        ],
+        title=f"Ablation: inference overlap saves "
+              f"{result['overlap_seconds']:.1f}s of makespan",
+    ))
+    assert result["overlapped_makespan"] < result["barrier_makespan"]
+
+
+def _regime_tiles(n_per=16, size=8, channels=2, seed=0):
+    rng = np.random.default_rng(seed)
+    tiles = []
+    for regime in range(3):
+        for _ in range(n_per):
+            if regime == 0:
+                tile = 0.8 + rng.normal(0, 0.03, (size, size, channels))
+            elif regime == 1:
+                ramp = np.linspace(0, 1, size)
+                tile = ramp[None, :, None] * np.ones((size, 1, channels))
+                tile = tile + rng.normal(0, 0.03, (size, size, channels))
+            else:
+                checker = ((np.arange(size)[:, None] + np.arange(size)[None, :]) % 2)
+                tile = checker[:, :, None] * 0.9 + rng.normal(0, 0.03, (size, size, channels))
+            tiles.append(tile)
+    return np.stack(tiles)
+
+
+@pytest.mark.benchmark(group="ablation")
+def test_ablation_rotation_invariant_loss(once):
+    tiles = _regime_tiles()
+    result = once(ri_loss_ablation, tiles, num_classes=3, epochs=15)
+    print()
+    print(render_table(
+        ["model", "label agreement under rotation"],
+        [
+            ("RICC (invariance loss)", round(result.ri_agreement, 3)),
+            ("plain autoencoder", round(result.plain_agreement, 3)),
+        ],
+        title="Ablation: rotation-invariant loss",
+    ))
+    assert result.ri_agreement >= result.plain_agreement

@@ -1,0 +1,58 @@
+"""End-to-end makespan scaling (extension beyond the paper's figures).
+
+How does the whole five-stage pipeline's makespan grow with workload, and
+which stage dominates?  The paper evaluates stages in isolation; this
+bench runs the full simulated pipeline at several granule counts and
+decomposes the makespan — showing that downloads dominate at the paper's
+3-worker allocation (the motivation for per-stage elastic allocation).
+"""
+
+import pytest
+
+from repro.analysis import render_table
+from repro.core import SimulatedEOMLWorkflow, SimWorkflowParams
+
+
+@pytest.mark.benchmark(group="extension")
+def test_endtoend_makespan_scaling(once):
+    def sweep():
+        results = {}
+        for count in (6, 12, 24, 48):
+            run = SimulatedEOMLWorkflow(
+                SimWorkflowParams(num_granule_sets=count, seed=3)
+            ).run()
+            results[count] = run
+        return results
+
+    results = once(sweep)
+    rows = []
+    for count, run in results.items():
+        spans = run.stage_spans
+        rows.append(
+            (
+                count,
+                round(run.makespan, 1),
+                round(spans["download"][1] - spans["download"][0], 1),
+                round(spans["preprocess"][1] - spans["preprocess"][0], 1),
+                round(spans["inference"][1] - spans["inference"][0], 1),
+                round(spans["shipment"][1] - spans["shipment"][0], 2),
+            )
+        )
+    print()
+    print(render_table(
+        ["granules", "makespan s", "download s", "preprocess s", "inference s", "ship s"],
+        rows,
+        title="End-to-end makespan decomposition (3 download / 32 preprocess / "
+              "1 inference workers)",
+    ))
+
+    makespans = {count: run.makespan for count, run in results.items()}
+    # Makespan grows with workload, sub-linearly near the small end
+    # (fixed launch costs amortize) and download-dominated at the top.
+    assert makespans[48] > makespans[12] > makespans[6]
+    big = results[48]
+    download_span = big.stage_spans["download"][1] - big.stage_spans["download"][0]
+    assert download_span > 0.5 * big.makespan  # downloads dominate at 3 workers
+    # Every run finished its full workload.
+    for count, run in results.items():
+        assert run.files_shipped == count

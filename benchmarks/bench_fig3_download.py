@@ -1,0 +1,47 @@
+"""Fig. 3 — download speed vs MODIS product size, 3 vs 6 workers.
+
+Regenerates the figure's series: mean +/- std download speed per batch
+size for the three-product workload, at 3 and 6 Globus Compute workers.
+Shape contract: speed rises with size, ~+3 MB/s from doubling workers,
+and no gain on the single-file batch.
+"""
+
+import pytest
+
+from repro.analysis import FIG3_WORKER_GAIN_MB_S, download_sweep, render_table
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_download_speed(once):
+    points = once(download_sweep, iterations=3)
+    rows = [
+        (
+            f"{p.batch_bytes / 1e9:.1f} GB",
+            p.workers,
+            p.files,
+            round(p.mean_speed_mb_s, 2),
+            round(p.std_speed_mb_s, 2),
+        )
+        for p in points
+    ]
+    print()
+    print(render_table(
+        ["batch/product", "workers", "files", "mean MB/s", "std MB/s"],
+        rows,
+        title="Fig. 3: download speed statistics (paper: +3 MB/s from 3->6 workers, "
+              "except single file)",
+    ))
+
+    by_size = {}
+    for p in points:
+        by_size.setdefault(p.batch_bytes, {})[p.workers] = p.mean_speed_mb_s
+    multi = [cell[6] - cell[3] for size, cell in by_size.items() if size > 150e6]
+    mean_gain = sum(multi) / len(multi)
+    print(f"mean worker gain (multi-file batches): {mean_gain:.2f} MB/s "
+          f"(paper: ~{FIG3_WORKER_GAIN_MB_S})")
+    assert mean_gain == pytest.approx(FIG3_WORKER_GAIN_MB_S, abs=1.5)
+    smallest = min(by_size)
+    assert by_size[smallest][6] == pytest.approx(by_size[smallest][3], rel=0.02)
+    # Speed grows with batch size (overhead amortization).
+    three = {size: cell[3] for size, cell in by_size.items()}
+    assert three[max(three)] > three[min(three)]

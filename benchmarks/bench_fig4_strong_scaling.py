@@ -1,0 +1,70 @@
+"""Fig. 4 — strong scaling of preprocessing.
+
+(a) completion time vs workers (128 files fixed; sub-linear with on-node
+contention; 64->128 workers spans a second node), and
+(b) completion time vs nodes (80 files, 8 workers/node; near-linear).
+"""
+
+import pytest
+
+from repro.analysis import (
+    TABLE1_STRONG_NODES,
+    TABLE1_STRONG_WORKERS,
+    render_comparison,
+    render_table,
+    shape_error,
+    strong_scaling_nodes,
+    strong_scaling_workers,
+)
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4a_strong_scaling_workers(once):
+    curve = once(strong_scaling_workers, repeats=5)
+    print()
+    print(render_table(
+        ["workers", "mean s", "std s", "tiles/s"],
+        [
+            (p.concurrency, round(p.mean_seconds, 2), round(p.std_seconds, 2),
+             round(p.mean_tiles_per_s, 2))
+            for p in curve.points
+        ],
+        title="Fig. 4a: strong scaling over workers (128 files)",
+    ))
+    print(render_comparison(
+        "workers", curve.throughput_map(), TABLE1_STRONG_WORKERS,
+        title="vs Table I (strong, workers)",
+    ))
+    error = shape_error(curve.throughput_map(), TABLE1_STRONG_WORKERS)
+    print(f"max normalized-shape deviation: {error:.3f}")
+    assert error < 0.20
+    times = curve.completion_map()
+    # Sub-linear: 64 workers nowhere near 64x faster than 1.
+    assert times[1] / times[64] < 10.0
+    # Second node relieves contention.
+    assert times[128] < times[64] * 0.7
+
+
+@pytest.mark.benchmark(group="fig4")
+def test_fig4b_strong_scaling_nodes(once):
+    curve = once(strong_scaling_nodes, repeats=5)
+    print()
+    print(render_table(
+        ["nodes", "mean s", "std s", "tiles/s"],
+        [
+            (p.concurrency, round(p.mean_seconds, 2), round(p.std_seconds, 2),
+             round(p.mean_tiles_per_s, 2))
+            for p in curve.points
+        ],
+        title="Fig. 4b: strong scaling over nodes (80 files, 8 workers/node)",
+    ))
+    print(render_comparison(
+        "nodes", curve.throughput_map(), TABLE1_STRONG_NODES,
+        title="vs Table I (strong, nodes)",
+    ))
+    error = shape_error(curve.throughput_map(), TABLE1_STRONG_NODES)
+    print(f"max normalized-shape deviation: {error:.3f} "
+          "(paper's 9-node point is anomalously superlinear)")
+    assert error < 0.35
+    tput = curve.throughput_map()
+    assert 6.0 < tput[10] / tput[1] < 10.0  # near-linear

@@ -1,0 +1,72 @@
+"""Fig. 5 — weak scaling of preprocessing (2 files per worker).
+
+(a) vs workers on a node: contention keeps completion time growing;
+(b) vs nodes at 8 workers/node: completion time roughly flat
+("excellent performance").
+"""
+
+import pytest
+
+from repro.analysis import (
+    TABLE1_WEAK_NODES,
+    TABLE1_WEAK_WORKERS,
+    render_comparison,
+    render_table,
+    weak_scaling_nodes,
+    weak_scaling_workers,
+)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5a_weak_scaling_workers(once):
+    curve = once(weak_scaling_workers, repeats=5)
+    print()
+    print(render_table(
+        ["workers", "files", "mean s", "std s", "tiles/s"],
+        [
+            (p.concurrency, p.num_files, round(p.mean_seconds, 2),
+             round(p.std_seconds, 2), round(p.mean_tiles_per_s, 2))
+            for p in curve.points
+        ],
+        title="Fig. 5a: weak scaling over workers (2 files/worker)",
+    ))
+    print(render_comparison(
+        "workers", curve.throughput_map(), TABLE1_WEAK_WORKERS,
+        title="vs Table I (weak, workers) — the paper's 1-worker weak rate "
+              "(21.3 tiles/s) is ~2x its own strong rate (10.5), which no "
+              "work-conserving model reproduces; compare the curve tail",
+    ))
+    times = curve.completion_map()
+    # Ideal weak scaling would be flat; on-node contention makes 64
+    # workers take much longer than 1 for proportional work.
+    assert times[64] > 2.0 * times[1]
+    # The 128-worker point (2 nodes) holds the line: doubled work and
+    # workers at near-constant completion time (paper: 543 s-equivalent
+    # -> 567, a 1.04x ratio).
+    assert times[128] < times[64] * 1.10
+    # Absolute agreement at the tail where the paper's data is consistent.
+    tput = curve.throughput_map()
+    assert tput[128] == pytest.approx(TABLE1_WEAK_WORKERS[128], rel=0.15)
+
+
+@pytest.mark.benchmark(group="fig5")
+def test_fig5b_weak_scaling_nodes(once):
+    curve = once(weak_scaling_nodes, repeats=5)
+    print()
+    print(render_table(
+        ["nodes", "files", "mean s", "std s", "tiles/s"],
+        [
+            (p.concurrency, p.num_files, round(p.mean_seconds, 2),
+             round(p.std_seconds, 2), round(p.mean_tiles_per_s, 2))
+            for p in curve.points
+        ],
+        title="Fig. 5b: weak scaling over nodes (16 files/node)",
+    ))
+    print(render_comparison(
+        "nodes", curve.throughput_map(), TABLE1_WEAK_NODES,
+        title="vs Table I (weak, nodes)",
+    ))
+    times = curve.completion_map()
+    # "Excellent" weak scaling: time grows < 1.6x from 1 to 10 nodes
+    # (the cross-node USL share), vs 64x more work.
+    assert times[10] / times[1] < 1.6

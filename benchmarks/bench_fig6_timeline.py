@@ -1,0 +1,38 @@
+"""Fig. 6 — the automation timeline (active workers per stage over time).
+
+Regenerates the figure's three series (3 download workers, 32 preprocess
+workers, 1 inference worker) and asserts the properties the paper calls
+out: staged allocation, elastic scale-down, and inference overlapping the
+preprocessing tail.
+"""
+
+import pytest
+
+from repro.analysis import automation_timeline
+from repro.core import SimWorkflowParams
+
+
+@pytest.mark.benchmark(group="fig6")
+def test_fig6_automation_timeline(once):
+    result = once(
+        automation_timeline, SimWorkflowParams(num_granule_sets=40), samples=400
+    )
+    print()
+    print(result.render())
+    print({stage: round(ws, 1) for stage, ws in result.worker_seconds.items()},
+          "worker-seconds per stage")
+    print(f"inference/preprocess overlap: {result.overlap_s:.2f}s")
+
+    # (1) Resource allocation increases after the download phase.
+    assert result.peak("download") == 3
+    assert result.peak("preprocess") == 32
+    assert result.peak("inference") == 1
+    # (2) Elastic scale-down: every series returns to zero.
+    for stage in ("download", "preprocess", "inference"):
+        assert result.series[stage][-1] == 0
+    # (3) Concurrent stages: inference starts before preprocessing ends.
+    assert result.overlap_s > 0
+    # Download and preprocess do NOT overlap (the barrier).
+    download = result.series["download"]
+    preprocess = result.series["preprocess"]
+    assert not ((download > 0) & (preprocess > 0)).any()

@@ -1,0 +1,47 @@
+"""Fig. 7 — the end-to-end workflow latency breakdown.
+
+Regenerates Section IV-D's numbers: download launch 5.63 s (Globus
+Compute worker launch + LAADS connection + file listing), preprocess
+32.80 s (Parsl start + Slurm allocation + tile creation), and the ~50 ms
+Globus Flow action hop, plus the inter-stage communication gaps.
+"""
+
+import pytest
+
+from repro.analysis import FIG7_LATENCIES, latency_breakdown, render_table
+
+
+@pytest.mark.benchmark(group="fig7")
+def test_fig7_latency_breakdown(once):
+    breakdown = once(latency_breakdown)
+    paper = {
+        "download_launch": FIG7_LATENCIES["download_launch"],
+        "preprocess": FIG7_LATENCIES["preprocess"],
+        "flow_action_hop": FIG7_LATENCIES["flow_action_hop"],
+    }
+    print()
+    print(render_table(
+        ["stage", "ours (s)", "paper (s)"],
+        [
+            (name, round(seconds, 3), paper.get(name, "-"))
+            for name, seconds in breakdown.rows()
+        ],
+        title="Fig. 7: EO-ML workflow latency breakdown",
+    ))
+    print(render_table(
+        ["hop", "gap (s)"],
+        [(name, round(gap, 3)) for name, gap in breakdown.gaps.items()],
+        title="inter-stage communication gaps",
+    ))
+    print(f"makespan: {breakdown.makespan_s:.1f}s")
+
+    assert breakdown.download_launch_s == pytest.approx(
+        FIG7_LATENCIES["download_launch"], rel=0.01
+    )
+    assert breakdown.preprocess_s == pytest.approx(FIG7_LATENCIES["preprocess"], rel=0.35)
+    assert breakdown.flow_action_hop_s == pytest.approx(
+        FIG7_LATENCIES["flow_action_hop"], abs=0.02
+    )
+    # The async monitor gap is "inconsequential": tiny relative to stages.
+    for name, gap in breakdown.gaps.items():
+        assert gap < 0.1 * breakdown.makespan_s, name

@@ -1,0 +1,22 @@
+"""The abstract's headline: 12,000 tiles in 44 s on 80 workers / 10 nodes.
+
+"Notably, our workflow processes 12,000 high-resolution satellite images
+in just 44 seconds using 80 workers distributed across 10 nodes."
+"""
+
+import pytest
+
+from repro.analysis import HEADLINE, headline_run
+
+
+@pytest.mark.benchmark(group="headline")
+def test_headline_12000_tiles(once):
+    point = once(headline_run, repeats=5)
+    print()
+    print(
+        f"12,000 tiles on {HEADLINE['workers']} workers / {HEADLINE['nodes']} nodes: "
+        f"{point.mean_seconds:.1f}s +/- {point.std_seconds:.1f} "
+        f"({point.mean_tiles_per_s:.1f} tiles/s) — paper: {HEADLINE['seconds']}s"
+    )
+    assert point.tiles == HEADLINE["tiles"]
+    assert point.mean_seconds == pytest.approx(HEADLINE["seconds"], rel=0.25)

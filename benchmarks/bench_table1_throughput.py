@@ -1,0 +1,79 @@
+"""Table I — tile throughput under all four scaling experiments.
+
+Prints our reproduction of the full table (strong/weak x workers/nodes)
+side by side with the paper's published values.
+"""
+
+import pytest
+
+from repro.analysis import (
+    TABLE1_STRONG_NODES,
+    TABLE1_STRONG_WORKERS,
+    TABLE1_WEAK_NODES,
+    TABLE1_WEAK_WORKERS,
+    render_table,
+    shape_error,
+    strong_scaling_nodes,
+    strong_scaling_workers,
+    weak_scaling_nodes,
+    weak_scaling_workers,
+)
+
+
+def _rows(curve, paper):
+    return [
+        (
+            p.concurrency,
+            round(p.mean_tiles_per_s, 2),
+            paper.get(p.concurrency, float("nan")),
+        )
+        for p in curve.points
+    ]
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_throughput(once):
+    def full_table():
+        return (
+            strong_scaling_workers(repeats=3),
+            strong_scaling_nodes(repeats=3),
+            weak_scaling_workers(repeats=3),
+            weak_scaling_nodes(repeats=3),
+        )
+
+    sw, sn, ww, wn = once(full_table)
+    print()
+    print(render_table(
+        ["# workers", "tiles/s (ours)", "tiles/s (paper)"],
+        _rows(sw, TABLE1_STRONG_WORKERS),
+        title="Table I, strong scaling over workers",
+    ))
+    print(render_table(
+        ["# nodes", "tiles/s (ours)", "tiles/s (paper)"],
+        _rows(sn, TABLE1_STRONG_NODES),
+        title="Table I, strong scaling over nodes",
+    ))
+    print(render_table(
+        ["# workers", "tiles/s (ours)", "tiles/s (paper)"],
+        _rows(ww, TABLE1_WEAK_WORKERS),
+        title="Table I, weak scaling over workers",
+    ))
+    print(render_table(
+        ["# nodes", "tiles/s (ours)", "tiles/s (paper)"],
+        _rows(wn, TABLE1_WEAK_NODES),
+        title="Table I, weak scaling over nodes",
+    ))
+
+    strong_peak = max(sn.throughput_map().values())
+    weak_peak = max(wn.throughput_map().values())
+    print(f"strong peak {strong_peak:.1f} tiles/s (paper 267.4); "
+          f"weak peak {weak_peak:.1f} tiles/s (paper 271.7)")
+    # Peaks land in the paper's ballpark and in the right order of
+    # magnitude; the key Table I claims:
+    assert 200 < strong_peak < 340
+    assert 200 < weak_peak < 340
+    # Worker plateau around 37-42 tiles/s between 16 and 64 workers.
+    sw_tput = sw.throughput_map()
+    for count in (16, 32, 64):
+        assert sw_tput[count] == pytest.approx(38.0, rel=0.2)
+    assert shape_error(sw_tput, TABLE1_STRONG_WORKERS) < 0.20

@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Provenance audit: trace every delivered product back to its sources.
+
+Section V-A's reproducibility goal in action: run the workflow with
+lineage recording on, then answer the questions an auditor (or a
+scientist with a suspicious result) asks — where did this labelled file
+come from, what would be invalidated if a granule were recalled, and
+which activities must re-run to regenerate an artifact.
+
+Run:  python examples/provenance_audit.py
+"""
+
+import tempfile
+
+from repro.core import EOMLWorkflow, load_config
+from repro.modis import MINI_SWATH, LaadsArchive
+from repro.provenance import ancestry, build_graph, impact, regeneration_plan, to_dot
+
+SEED = 9
+
+
+def main() -> None:
+    with tempfile.TemporaryDirectory() as root:
+        config = load_config(
+            {
+                "archive": {"start_date": "2022-01-01", "max_granules_per_day": 2,
+                            "seed": SEED},
+                "paths": {
+                    "staging": f"{root}/raw",
+                    "preprocessed": f"{root}/tiles",
+                    "transfer_out": f"{root}/outbox",
+                    "destination": f"{root}/orion",
+                },
+                "preprocess": {"workers": 2, "tile_size": 16},
+            }
+        )
+        report = EOMLWorkflow(config, archive=LaadsArchive(seed=SEED, swath=MINI_SWATH)).run()
+        store = report.provenance
+        summary = store.summary()
+        print(f"recorded {summary['entities']} entities across "
+              f"{summary['activities']} activities "
+              f"({summary['failed_activities']} failed)")
+
+        graph = build_graph(store)
+        delivered = [e for e in store.entities.values() if e.kind == "delivered_file"]
+        target = delivered[0]
+        print(f"\naudit target: {target.uri}")
+
+        upstream = ancestry(graph, target.entity_id)
+        by_kind = {}
+        for node in upstream:
+            if node in store.entities:
+                by_kind.setdefault(store.entities[node].kind, []).append(
+                    store.entities[node].uri
+                )
+        print("ancestry (what it was derived from):")
+        for kind, uris in sorted(by_kind.items()):
+            print(f"  {kind}: {len(uris)} artifact(s)")
+            for uri in uris[:3]:
+                print(f"    - {uri}")
+
+        plan = regeneration_plan(graph, target.entity_id)
+        print(f"\nregeneration plan ({len(plan)} activities, in order):")
+        for activity_id in plan:
+            activity = store.activities[activity_id]
+            print(f"  {activity_id}: {activity.kind} by {activity.agent} "
+                  f"({activity.duration:.3f}s)")
+
+        # Impact analysis: suppose a source granule were recalled.
+        granule = next(e for e in store.entities.values() if e.kind == "granule")
+        downstream = impact(graph, granule.entity_id)
+        print(f"\nif {granule.uri.split('/')[-1]} were recalled, "
+              f"{len(downstream)} derived artifact(s) would be invalidated")
+
+        dot = to_dot(graph)
+        print(f"\nGraphviz export: {len(dot.splitlines())} lines "
+              f"(render with `dot -Tsvg`); first lines:")
+        for line in dot.splitlines()[:4]:
+            print(f"  {line}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,69 @@
+#!/usr/bin/env python
+"""Scaling study: regenerate Figs. 4-5 and Table I on the facility model.
+
+Sweeps workers (1..128) and nodes (1..10) for strong and weak scaling of
+the preprocessing stage on the simulated Defiant cluster, printing every
+measurement next to the paper's published value, then fits the Universal
+Scalability Law to the measured curves to recover contention parameters.
+
+Run:  python examples/scaling_study.py
+"""
+
+import numpy as np
+
+from repro.analysis import (
+    HEADLINE,
+    TABLE1_STRONG_NODES,
+    TABLE1_STRONG_WORKERS,
+    TABLE1_WEAK_NODES,
+    TABLE1_WEAK_WORKERS,
+    headline_run,
+    render_comparison,
+    shape_error,
+    strong_scaling_nodes,
+    strong_scaling_workers,
+    weak_scaling_nodes,
+    weak_scaling_workers,
+)
+from repro.hpc import fit_usl
+
+
+def main() -> None:
+    print("strong scaling over workers (Fig. 4a / Table I)...")
+    sw = strong_scaling_workers(repeats=5)
+    print(render_comparison("workers", sw.throughput_map(), TABLE1_STRONG_WORKERS))
+    print(f"shape deviation: {shape_error(sw.throughput_map(), TABLE1_STRONG_WORKERS):.3f}\n")
+
+    print("strong scaling over nodes (Fig. 4b / Table I)...")
+    sn = strong_scaling_nodes(repeats=5)
+    print(render_comparison("nodes", sn.throughput_map(), TABLE1_STRONG_NODES))
+    print(f"shape deviation: {shape_error(sn.throughput_map(), TABLE1_STRONG_NODES):.3f}\n")
+
+    print("weak scaling over workers (Fig. 5a / Table I)...")
+    ww = weak_scaling_workers(repeats=5)
+    print(render_comparison("workers", ww.throughput_map(), TABLE1_WEAK_WORKERS))
+
+    print("\nweak scaling over nodes (Fig. 5b / Table I)...")
+    wn = weak_scaling_nodes(repeats=5)
+    print(render_comparison("nodes", wn.throughput_map(), TABLE1_WEAK_NODES))
+    times = wn.completion_map()
+    print(f"weak-node completion spread (ideal = flat): "
+          f"{times[10] / times[1]:.2f}x from 1 to 10 nodes\n")
+
+    # Recover the contention law from our own measurements, as an analyst
+    # would from Table I.
+    counts = [p.concurrency for p in sw.points if p.concurrency <= 64]
+    tputs = [p.mean_tiles_per_s for p in sw.points if p.concurrency <= 64]
+    model, base = fit_usl(counts, tputs)
+    print(f"USL fit to measured worker curve: sigma={model.sigma:.3f} "
+          f"kappa={model.kappa:.5f} base={base:.2f} tiles/s "
+          f"(peak concurrency ~ {model.peak_concurrency():.0f} workers)")
+
+    head = headline_run(repeats=5)
+    print(f"\nheadline: {head.tiles} tiles on 80 workers / 10 nodes in "
+          f"{head.mean_seconds:.1f}s +/- {head.std_seconds:.1f} "
+          f"(paper: {HEADLINE['seconds']}s)")
+
+
+if __name__ == "__main__":
+    main()

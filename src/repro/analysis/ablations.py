@@ -1,0 +1,162 @@
+"""Ablation drivers for the design choices DESIGN.md calls out.
+
+* :func:`contention_ablation` — on-node USL contention on vs off: shows
+  *why* Fig. 4a saturates (the ideal-linear counterfactual);
+* :func:`elastic_ablation` — elastic scale-in vs holding a static
+  allocation open: worker-seconds saved (Fig. 6's point);
+* :func:`overlap_ablation` — asynchronous monitor-trigger vs a barrier
+  between preprocess and inference: makespan saved (Fig. 2/6's design);
+* :func:`ri_loss_ablation` — rotation-invariant loss vs plain
+  reconstruction: label agreement under tile rotation (Section II-B's
+  reason for RICC).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+import numpy as np
+
+from repro.core.simflow import SimulatedEOMLWorkflow, SimWorkflowParams
+from repro.hpc import build_defiant
+from repro.hpc.contention import USLModel
+from repro.pexec import SimHtexExecutor, SimTaskSpec
+from repro.ricc import AICCAModel, transform_batch
+from repro.sim import Simulation
+
+__all__ = [
+    "contention_ablation",
+    "elastic_ablation",
+    "overlap_ablation",
+    "ri_loss_ablation",
+    "RiAblationResult",
+]
+
+
+def contention_ablation(
+    workers: tuple = (1, 8, 32, 64),
+    num_files: int = 128,
+    seed: int = 0,
+) -> Dict[str, Dict[int, float]]:
+    """Throughput with the calibrated USL vs an ideal linear node.
+
+    Returns {"contended": {w: tiles/s}, "ideal": {w: tiles/s}}.
+    """
+    out: Dict[str, Dict[int, float]] = {"contended": {}, "ideal": {}}
+    for label, ideal in (("contended", False), ("ideal", True)):
+        for count in workers:
+            sim = Simulation()
+            facility = build_defiant(sim, allocation_latency=0.0)
+            if ideal:
+                facility.node_usl = USLModel(sigma=0.0, kappa=0.0)
+                facility.cross_node_usl = USLModel(sigma=0.0, kappa=0.0)
+            executor = SimHtexExecutor(
+                sim, facility, workers_per_node=count, seed=seed, noise_sigma=0.0
+            )
+            executor.submit_all(
+                [SimTaskSpec(f"f{i}", base_duration=150 / 10.52, tiles=150) for i in range(num_files)]
+            )
+            executor.scale_out(num_nodes=1, workers_per_node=count)
+            sim.run()
+            out[label][count] = executor.throughput_tiles_per_s()
+    return out
+
+
+def elastic_ablation(num_granule_sets: int = 24, seed: int = 0) -> Dict[str, float]:
+    """Worker-seconds *and energy* with elastic scale-in vs a static pool.
+
+    Elastic: workers exit as the queue drains (what the executor does).
+    Static counterfactual: the peak node count held for the whole stage
+    span.  Energy follows the Section-V carbon-footprint motivation via
+    :mod:`repro.hpc.energy`.
+    """
+    from repro.hpc.energy import PowerModel, energy_from_worker_series
+
+    result = SimulatedEOMLWorkflow(
+        SimWorkflowParams(num_granule_sets=num_granule_sets, seed=seed)
+    ).run()
+    series = result.tracer.series("workers:preprocess")
+    start, end = result.stage_spans["preprocess"]
+    elastic = series.integral(start, end)
+    static = series.max * (end - start)
+    power = PowerModel()
+    static_nodes = int(-(-series.max // power.workers_per_node))
+    elastic_energy = energy_from_worker_series("elastic", series, start, end, power)
+    static_energy = energy_from_worker_series(
+        "static", series, start, end, power, static_nodes=static_nodes
+    )
+    return {
+        "elastic_worker_seconds": elastic,
+        "static_worker_seconds": static,
+        "saving_fraction": 1.0 - elastic / static if static > 0 else 0.0,
+        "elastic_kwh": elastic_energy.energy_kwh,
+        "static_kwh": static_energy.energy_kwh,
+        "energy_saving_fraction": (
+            1.0 - elastic_energy.energy_kwh / static_energy.energy_kwh
+            if static_energy.energy_kwh > 0
+            else 0.0
+        ),
+        "carbon_saving_kg": static_energy.carbon_kg - elastic_energy.carbon_kg,
+    }
+
+
+def overlap_ablation(num_granule_sets: int = 24, seed: int = 0) -> Dict[str, float]:
+    """Makespan with asynchronous inference vs a stage barrier.
+
+    Overlapped: the measured simulated workflow.  Barrier counterfactual:
+    inference-work span appended after preprocessing instead of running
+    concurrently with its tail.
+    """
+    result = SimulatedEOMLWorkflow(
+        SimWorkflowParams(num_granule_sets=num_granule_sets, seed=seed)
+    ).run()
+    inf_start, inf_end = result.stage_spans["inference"]
+    pre_start, pre_end = result.stage_spans["preprocess"]
+    overlap = max(0.0, pre_end - inf_start)
+    barrier_makespan = result.makespan + overlap
+    return {
+        "overlapped_makespan": result.makespan,
+        "barrier_makespan": barrier_makespan,
+        "overlap_seconds": overlap,
+        "saving_fraction": overlap / barrier_makespan if barrier_makespan else 0.0,
+    }
+
+
+@dataclass(frozen=True)
+class RiAblationResult:
+    """Label agreement under rotation, RI-trained vs plain."""
+
+    ri_agreement: float
+    plain_agreement: float
+
+
+def ri_loss_ablation(
+    tiles: np.ndarray,
+    num_classes: int = 4,
+    epochs: int = 20,
+    seed: int = 0,
+) -> RiAblationResult:
+    """Train twins with and without the invariance loss; compare how often
+    a rotated tile keeps its label."""
+    ri_model, _ = AICCAModel.train(
+        tiles, num_classes=num_classes, latent_dim=6, hidden=(48,),
+        epochs=epochs, lambda_inv=2.0, seed=seed,
+    )
+    plain_model, _ = AICCAModel.train(
+        tiles, num_classes=num_classes, latent_dim=6, hidden=(48,),
+        epochs=epochs, lambda_inv=0.0, seed=seed,
+    )
+
+    def agreement(model: AICCAModel) -> float:
+        base = model.assign(tiles)
+        scores = []
+        for index in (1, 2, 3, 4):
+            rotated = model.assign(transform_batch(tiles, index))
+            scores.append(float((rotated == base).mean()))
+        return float(np.mean(scores))
+
+    return RiAblationResult(
+        ri_agreement=agreement(ri_model),
+        plain_agreement=agreement(plain_model),
+    )

@@ -1,0 +1,79 @@
+"""Archive-retrieval campaign estimation (the 850 TB question).
+
+Section II-B: the original AICCA production retrieved "850TB of three
+different MODIS products between 2000-2023".  Given the Fig. 3 network
+model, how long does such a campaign take at a given worker count, and
+where does adding workers stop helping?  This estimator answers with the
+same calibrated parameters the Fig. 3 benchmark uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.util.units import format_bytes, format_duration
+
+__all__ = ["CampaignEstimate", "estimate_campaign", "AICCA_ARCHIVE_BYTES"]
+
+#: The paper's stated AICCA input volume.
+AICCA_ARCHIVE_BYTES = 850_000_000_000_000
+
+#: Mean granule size across the three products (32+8.4+18 GB over 3*288).
+MEAN_GRANULE_BYTES = (32e9 + 8.4e9 + 18e9) / (3 * 288)
+
+
+@dataclass(frozen=True)
+class CampaignEstimate:
+    """Steady-state estimate of one retrieval campaign."""
+
+    total_bytes: int
+    workers: int
+    aggregate_rate: float       # bytes/s, overhead included
+    seconds: float
+    bottleneck: str             # "per-connection" | "wan"
+
+    def __str__(self) -> str:
+        return (
+            f"{format_bytes(self.total_bytes)} with {self.workers} workers: "
+            f"{format_duration(self.seconds)} at {self.aggregate_rate / 1e6:.1f} MB/s "
+            f"({self.bottleneck}-bound)"
+        )
+
+
+def estimate_campaign(
+    total_bytes: int = AICCA_ARCHIVE_BYTES,
+    workers: int = 6,
+    per_connection_bw: float = 8e6,
+    wan_bandwidth: float = 25e6,
+    request_overhead: float = 1.0,
+    mean_granule_bytes: float = MEAN_GRANULE_BYTES,
+) -> CampaignEstimate:
+    """Steady-state campaign model.
+
+    Per worker, each granule costs ``overhead + size / stream_rate`` where
+    the stream rate is the per-connection ceiling until enough workers
+    saturate the WAN share, after which the share divides evenly.
+    """
+    if total_bytes <= 0 or workers < 1:
+        raise ValueError("need positive bytes and at least one worker")
+    uncapped = min(per_connection_bw, wan_bandwidth / workers)
+    bottleneck = "per-connection" if per_connection_bw <= wan_bandwidth / workers else "wan"
+    per_granule_seconds = request_overhead + mean_granule_bytes / uncapped
+    per_worker_rate = mean_granule_bytes / per_granule_seconds
+    aggregate = per_worker_rate * workers
+    return CampaignEstimate(
+        total_bytes=int(total_bytes),
+        workers=workers,
+        aggregate_rate=aggregate,
+        seconds=total_bytes / aggregate,
+        bottleneck=bottleneck,
+    )
+
+
+def sweep_workers(
+    worker_counts: Sequence[int] = (1, 2, 3, 6, 12, 24),
+    **kwargs,
+) -> list:
+    """Campaign estimates across worker counts (shows the WAN knee)."""
+    return [estimate_campaign(workers=count, **kwargs) for count in worker_counts]

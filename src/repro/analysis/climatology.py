@@ -1,0 +1,190 @@
+"""Climatology over AICCA labels: the decadal-monitoring downstream.
+
+The paper's science motivation is "classifying different cloud types over
+the oceans and monitoring their changes over decades" (Section V) with
+class statistics feeding "daily to decadal climate analysis" (Section
+II-B).  This module is that consumer: build per-class frequency series
+from labelled tile files, then test for monotonic change with the
+standard tools of the trade — least-squares slope and the nonparametric
+Mann-Kendall test (implemented here with the normal approximation and
+tie correction).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.netcdf import read as nc_read
+
+__all__ = [
+    "ClassFrequencySeries",
+    "class_frequency_series",
+    "TrendResult",
+    "mann_kendall",
+    "linear_trend",
+    "detect_changing_classes",
+]
+
+
+@dataclass(frozen=True)
+class ClassFrequencySeries:
+    """Per-period class fractions: shape (periods, classes)."""
+
+    periods: Tuple[str, ...]
+    classes: Tuple[int, ...]
+    fractions: np.ndarray           # rows sum to 1 where a period has tiles
+    counts: np.ndarray              # raw tile counts
+
+    def series_for(self, label: int) -> np.ndarray:
+        if label not in self.classes:
+            raise KeyError(f"class {label} not present; have {self.classes}")
+        return self.fractions[:, self.classes.index(label)]
+
+
+def class_frequency_series(
+    files_by_period: Dict[str, Sequence[str]],
+    num_classes: Optional[int] = None,
+) -> ClassFrequencySeries:
+    """Aggregate labelled tile files into a class-frequency time series.
+
+    ``files_by_period`` maps period keys (e.g. ISO dates, months, years)
+    to labelled tile-file paths; periods are sorted by key.
+    """
+    if not files_by_period:
+        raise ValueError("no periods given")
+    periods = tuple(sorted(files_by_period))
+    counts_per_period: List[Dict[int, int]] = []
+    seen_classes = set()
+    for period in periods:
+        counter: Dict[int, int] = {}
+        for path in files_by_period[period]:
+            labels = nc_read(path)["label"].data
+            valid = labels[labels >= 0]
+            for label, count in zip(*np.unique(valid, return_counts=True)):
+                counter[int(label)] = counter.get(int(label), 0) + int(count)
+        counts_per_period.append(counter)
+        seen_classes.update(counter)
+    if num_classes is not None:
+        classes = tuple(range(num_classes))
+    else:
+        classes = tuple(sorted(seen_classes))
+    if not classes:
+        raise ValueError("no labelled tiles found in any period")
+    counts = np.zeros((len(periods), len(classes)), dtype=np.int64)
+    for row, counter in enumerate(counts_per_period):
+        for col, label in enumerate(classes):
+            counts[row, col] = counter.get(label, 0)
+    totals = counts.sum(axis=1, keepdims=True)
+    with np.errstate(invalid="ignore", divide="ignore"):
+        fractions = np.where(totals > 0, counts / totals, 0.0)
+    return ClassFrequencySeries(
+        periods=periods, classes=classes, fractions=fractions, counts=counts
+    )
+
+
+@dataclass(frozen=True)
+class TrendResult:
+    """Outcome of one trend test."""
+
+    statistic: float      # MK: the Z score; OLS: slope / stderr (t-like)
+    p_value: float        # two-sided
+    slope: float          # per-period change (Theil-Sen for MK)
+    direction: str        # "increasing" | "decreasing" | "no trend"
+
+    def significant(self, alpha: float = 0.05) -> bool:
+        return self.p_value < alpha and self.direction != "no trend"
+
+
+def _normal_sf(z: float) -> float:
+    """Survival function of the standard normal via erfc."""
+    return 0.5 * math.erfc(z / math.sqrt(2.0))
+
+
+def mann_kendall(values: Sequence[float]) -> TrendResult:
+    """The Mann-Kendall monotonic trend test with tie correction.
+
+    S = sum_{i<j} sign(x_j - x_i); under H0, S ~ N(0, var) with
+    var = [n(n-1)(2n+5) - sum_t t(t-1)(2t+5)] / 18 over tie groups.
+    The slope estimate is Theil-Sen (median of pairwise slopes).
+    """
+    x = np.asarray(values, dtype=np.float64)
+    n = x.size
+    if n < 3:
+        raise ValueError("Mann-Kendall needs at least 3 points")
+    diff_sign = np.sign(x[None, :] - x[:, None])
+    s = float(np.triu(diff_sign, k=1).sum())
+    _, tie_counts = np.unique(x, return_counts=True)
+    tie_term = float((tie_counts * (tie_counts - 1) * (2 * tie_counts + 5)).sum())
+    var_s = (n * (n - 1) * (2 * n + 5) - tie_term) / 18.0
+    if var_s <= 0:
+        z = 0.0
+    elif s > 0:
+        z = (s - 1.0) / math.sqrt(var_s)
+    elif s < 0:
+        z = (s + 1.0) / math.sqrt(var_s)
+    else:
+        z = 0.0
+    p = 2.0 * _normal_sf(abs(z))
+    rows, cols = np.triu_indices(n, k=1)
+    gaps = (cols - rows).astype(np.float64)
+    slopes = (x[cols] - x[rows]) / gaps
+    slope = float(np.median(slopes))
+    if p < 1.0 and z > 0:
+        direction = "increasing"
+    elif p < 1.0 and z < 0:
+        direction = "decreasing"
+    else:
+        direction = "no trend"
+    if z == 0.0:
+        direction = "no trend"
+    return TrendResult(statistic=z, p_value=p, slope=slope, direction=direction)
+
+
+def linear_trend(values: Sequence[float]) -> TrendResult:
+    """OLS slope with a t-like statistic (normal approximation for p)."""
+    y = np.asarray(values, dtype=np.float64)
+    n = y.size
+    if n < 3:
+        raise ValueError("trend needs at least 3 points")
+    t = np.arange(n, dtype=np.float64)
+    t_centered = t - t.mean()
+    denom = float((t_centered**2).sum())
+    slope = float((t_centered * (y - y.mean())).sum() / denom)
+    residuals = y - (y.mean() + slope * t_centered)
+    dof = n - 2
+    sigma2 = float((residuals**2).sum() / dof) if dof > 0 else 0.0
+    stderr = math.sqrt(sigma2 / denom) if denom > 0 else float("inf")
+    if stderr == 0.0:
+        # A perfect fit: zero slope is exactly "no trend", any other slope
+        # is unambiguous.
+        statistic = 0.0 if slope == 0.0 else math.copysign(math.inf, slope)
+        p = 1.0 if slope == 0.0 else 0.0
+    else:
+        statistic = slope / stderr
+        p = 2.0 * _normal_sf(abs(statistic))
+    direction = "increasing" if slope > 0 else "decreasing" if slope < 0 else "no trend"
+    if statistic == 0.0:
+        direction = "no trend"
+    return TrendResult(statistic=statistic, p_value=p, slope=slope, direction=direction)
+
+
+def detect_changing_classes(
+    series: ClassFrequencySeries,
+    alpha: float = 0.05,
+    method: str = "mann-kendall",
+) -> List[Tuple[int, TrendResult]]:
+    """Classes whose frequency shows a significant monotonic trend."""
+    if method not in ("mann-kendall", "ols"):
+        raise ValueError("method must be 'mann-kendall' or 'ols'")
+    test = mann_kendall if method == "mann-kendall" else linear_trend
+    out = []
+    for label in series.classes:
+        result = test(series.series_for(label))
+        if result.significant(alpha):
+            out.append((label, result))
+    out.sort(key=lambda pair: pair[1].p_value)
+    return out

@@ -1,0 +1,128 @@
+"""The Fig. 3 download experiment: speed vs product size, 3 vs 6 workers.
+
+"We assess performance by average download speed per second across
+various file sizes starting from 100MB (i.e., one file per product) to
+30GB (i.e., about 128 files per product) ... three iterations for cases
+deploying 3 and 6 workers."  Batches of the three MODIS products are
+pulled from the LAADS HTTPS model by a Globus-Compute-style worker pool;
+speed is total bytes over elapsed wall time (per batch).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.compute import SimComputeEndpoint
+from repro.modis import LaadsArchive
+from repro.net import HttpServer
+from repro.sim import Simulation
+from repro.util.stats import summarize
+
+__all__ = ["DownloadPoint", "download_sweep", "SIZE_SWEEP_BYTES", "PRODUCT_TRIO"]
+
+PRODUCT_TRIO = ("MOD02", "MOD03", "MOD06")
+
+# Batch sizes per product: 100 MB (a single file) up to 30 GB.
+SIZE_SWEEP_BYTES = (
+    100_000_000,
+    500_000_000,
+    1_000_000_000,
+    5_000_000_000,
+    10_000_000_000,
+    30_000_000_000,
+)
+
+
+@dataclass(frozen=True)
+class DownloadPoint:
+    """One (batch size, workers) cell of Fig. 3."""
+
+    batch_bytes: int
+    workers: int
+    mean_speed_mb_s: float
+    std_speed_mb_s: float
+    files: int
+
+
+def _one_run(
+    target_bytes: int,
+    workers: int,
+    seed: int,
+    wan_bandwidth: float,
+    per_connection_bw: float,
+    request_overhead: float,
+) -> tuple:
+    """Returns (speed MB/s, number of files) for one iteration."""
+    archive = LaadsArchive(seed=seed)
+    sim = Simulation()
+    server = HttpServer(
+        sim,
+        wan_bandwidth=wan_bandwidth,
+        per_connection_bw=per_connection_bw,
+        request_overhead=request_overhead,
+    )
+    endpoint = SimComputeEndpoint(
+        sim, "download", max_workers=workers, startup_latency=0.0, task_overhead=0.02
+    )
+    day = dt.date(2022, 1, 1) + dt.timedelta(days=seed % 300)
+    if target_bytes <= 150_000_000:
+        # The smallest Fig. 3 point is "one file per product".
+        refs = [archive.query(p, day, max_per_day=1)[0] for p in PRODUCT_TRIO]
+    else:
+        refs = archive.query_batch_by_bytes(list(PRODUCT_TRIO), day, target_bytes)
+
+    def task(ctx, ref):
+        result = yield server.request(ref.nbytes, label=ref.filename)
+        return result
+
+    futures = [endpoint.submit(task, ref) for ref in refs]
+    sim.run()
+    total_bytes = sum(ref.nbytes for ref in refs)
+    elapsed = max(f.value.finished_at for f in futures)
+    return total_bytes / elapsed / 1e6, len(refs)
+
+
+def download_sweep(
+    sizes: Sequence[int] = SIZE_SWEEP_BYTES,
+    worker_counts: Sequence[int] = (3, 6),
+    iterations: int = 3,
+    seed: int = 0,
+    wan_bandwidth: float = 25e6,
+    per_connection_bw: float = 8e6,
+    request_overhead: float = 1.0,
+) -> List[DownloadPoint]:
+    """The full Fig. 3 grid.
+
+    The default network parameters are calibrated so the worker gain
+    reproduces the paper's observation: "+3 MB/sec on average, except
+    when downloading a single file" (one HTTPS stream ~8 MB/s, effective
+    WAN share ~25 MB/s, ~1 s request setup).
+    """
+    points = []
+    for target in sizes:
+        for workers in worker_counts:
+            speeds = []
+            files = 0
+            for iteration in range(iterations):
+                speed, files = _one_run(
+                    target,
+                    workers,
+                    seed=seed + 37 * iteration + 1,
+                    wan_bandwidth=wan_bandwidth,
+                    per_connection_bw=per_connection_bw,
+                    request_overhead=request_overhead,
+                )
+                speeds.append(speed)
+            summary = summarize(speeds)
+            points.append(
+                DownloadPoint(
+                    batch_bytes=target,
+                    workers=workers,
+                    mean_speed_mb_s=summary.mean,
+                    std_speed_mb_s=summary.stdev,
+                    files=files,
+                )
+            )
+    return points

@@ -1,0 +1,62 @@
+"""Fig. 7 driver: the end-to-end latency breakdown.
+
+Runs the simulated workflow and extracts the quantities Section IV-D
+reports: the download launch latency (GC worker launch + LAADS connection
++ file listing), the preprocess latency (Parsl start + Slurm allocation +
+tile creation), the flow action hop (~50 ms), and the inter-stage
+communication gaps (the figure's solid arrows).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.core.simflow import SimulatedEOMLWorkflow, SimWorkflowParams
+
+__all__ = ["LatencyBreakdown", "latency_breakdown"]
+
+
+@dataclass(frozen=True)
+class LatencyBreakdown:
+    """The Fig. 7 numbers from one simulated run."""
+
+    download_launch_s: float
+    download_s: float
+    preprocess_s: float
+    inference_s: float
+    shipment_s: float
+    flow_action_hop_s: float
+    gaps: Dict[str, float]
+    makespan_s: float
+
+    def rows(self):
+        """(name, seconds) rows in the figure's chain order."""
+        return [
+            ("download_launch", self.download_launch_s),
+            ("download", self.download_s),
+            ("preprocess", self.preprocess_s),
+            ("inference", self.inference_s),
+            ("shipment", self.shipment_s),
+            ("flow_action_hop", self.flow_action_hop_s),
+        ]
+
+
+def latency_breakdown(params: SimWorkflowParams | None = None) -> LatencyBreakdown:
+    result = SimulatedEOMLWorkflow(params or SimWorkflowParams()).run()
+    spans = result.stage_spans
+
+    def span_seconds(name: str) -> float:
+        start, end = spans[name]
+        return end - start
+
+    return LatencyBreakdown(
+        download_launch_s=span_seconds("download_launch"),
+        download_s=span_seconds("download"),
+        preprocess_s=span_seconds("preprocess"),
+        inference_s=span_seconds("inference"),
+        shipment_s=span_seconds("shipment"),
+        flow_action_hop_s=result.flow_hop_latency,
+        gaps=dict(result.stage_gaps),
+        makespan_s=result.makespan,
+    )

@@ -1,0 +1,55 @@
+"""The paper's published numbers (ground truth for shape comparisons).
+
+Table I verbatim, the headline claim, and the Fig. 7 latency figures.
+Benchmarks regenerate our measurements and compare *shape* (ratios,
+plateaus, crossovers) against these — not absolute seconds, which belong
+to the authors' testbed.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "TABLE1_STRONG_WORKERS",
+    "TABLE1_STRONG_NODES",
+    "TABLE1_WEAK_WORKERS",
+    "TABLE1_WEAK_NODES",
+    "HEADLINE",
+    "FIG7_LATENCIES",
+    "FIG3_WORKER_GAIN_MB_S",
+]
+
+# Table I: "# workers" -> tiles/s and "# nodes" -> tiles/s (strong scaling).
+TABLE1_STRONG_WORKERS = {
+    1: 10.52, 2: 18.10, 4: 25.01, 8: 36.59,
+    16: 38.74, 32: 37.95, 64: 37.34, 128: 71.01,
+}
+TABLE1_STRONG_NODES = {
+    1: 36.05, 2: 73.25, 3: 98.73, 4: 135.42, 5: 177.69,
+    6: 192.32, 7: 196.70, 8: 216.80, 9: 264.13, 10: 267.44,
+}
+
+# Table I, weak scaling.
+TABLE1_WEAK_WORKERS = {
+    1: 21.32, 2: 25.87, 4: 27.23, 8: 27.48,
+    16: 32.73, 32: 31.09, 64: 35.36, 128: 67.69,
+}
+TABLE1_WEAK_NODES = {
+    1: 32.82, 2: 69.34, 3: 100.36, 4: 126.62, 5: 165.12,
+    6: 175.61, 7: 196.81, 8: 188.88, 9: 197.26, 10: 271.68,
+}
+
+# Abstract: "12,000 high-resolution satellite images in just 44 seconds
+# using 80 workers distributed across 10 nodes".
+HEADLINE = {"tiles": 12_000, "seconds": 44.0, "workers": 80, "nodes": 10}
+
+# Fig. 7 narrative numbers (Section IV-D).
+FIG7_LATENCIES = {
+    "download_launch": 5.63,   # GC worker launch + LAADS connect + listing
+    "preprocess": 32.80,       # Parsl start + Slurm allocation + tiling
+    "flow_action_hop": 0.050,  # "approximately 50 milliseconds"
+}
+
+# Fig. 3 narrative: "Increasing the number of download workers boosts the
+# average download speeds by an average of 3 MB/sec, except when
+# downloading a single file for overheads."
+FIG3_WORKER_GAIN_MB_S = 3.0

@@ -1,0 +1,97 @@
+"""Text rendering of experiment results, paper-vs-measured.
+
+Every benchmark prints through these helpers so the console output reads
+like the paper's tables with an extra "paper" column; EXPERIMENTS.md is
+assembled from the same renderings.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+__all__ = ["render_table", "render_comparison", "shape_error"]
+
+
+def render_table(headers: Sequence[str], rows: Sequence[Sequence], title: str = "") -> str:
+    """A plain monospace table."""
+    text_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [
+        max(len(str(headers[col])), *(len(row[col]) for row in text_rows)) if text_rows
+        else len(str(headers[col]))
+        for col in range(len(headers))
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(str(h).rjust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(cell.rjust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 100:
+            return f"{cell:.1f}"
+        if abs(cell) >= 1:
+            return f"{cell:.2f}"
+        return f"{cell:.4f}"
+    return str(cell)
+
+
+def render_comparison(
+    axis_name: str,
+    measured: Dict[int, float],
+    paper: Dict[int, float],
+    value_name: str = "tiles/s",
+    title: str = "",
+) -> str:
+    """Side-by-side measured vs paper with the normalized-shape ratio.
+
+    The ratio column normalizes both curves by their first point, so it
+    compares *scaling shape* independent of absolute rates.
+    """
+    keys = [k for k in paper if k in measured]
+    if not keys:
+        raise ValueError("no common axis points to compare")
+    base_measured = measured[keys[0]]
+    base_paper = paper[keys[0]]
+    rows = []
+    for key in keys:
+        norm_measured = measured[key] / base_measured
+        norm_paper = paper[key] / base_paper
+        rows.append(
+            (
+                key,
+                measured[key],
+                paper[key],
+                norm_measured / norm_paper if norm_paper else float("nan"),
+            )
+        )
+    return render_table(
+        [axis_name, f"measured {value_name}", f"paper {value_name}", "shape ratio"],
+        rows,
+        title=title,
+    )
+
+
+def shape_error(measured: Dict[int, float], paper: Dict[int, float]) -> float:
+    """Max relative deviation of the first-point-normalized curves.
+
+    0.0 means the scaling shape matches the paper exactly; 0.2 means some
+    point's normalized value is 20% off.
+    """
+    keys = [k for k in paper if k in measured]
+    if not keys:
+        raise ValueError("no common axis points")
+    base_measured = measured[keys[0]]
+    base_paper = paper[keys[0]]
+    worst = 0.0
+    for key in keys:
+        norm_measured = measured[key] / base_measured
+        norm_paper = paper[key] / base_paper
+        worst = max(worst, abs(norm_measured / norm_paper - 1.0))
+    return worst

@@ -1,0 +1,235 @@
+"""Scaling experiment drivers (Figs. 4-5, Table I, and the headline).
+
+Each driver reproduces one of Section IV-B/C's experiments on the
+simulated Defiant facility:
+
+* **strong scaling over workers** — 128 MOD02 files fixed, workers
+  doubling 1..128 (64 -> 128 "requires the use of a second node");
+* **strong scaling over nodes** — 80 files fixed, 8 workers/node,
+  nodes 1..10;
+* **weak scaling** — 2 files per worker, same sweeps;
+* **headline** — 12,000 tiles on 80 workers across 10 nodes.
+
+Every data point is iterated (default five times, as in the paper) with
+distinct noise seeds; results carry mean/stdev completion time and tile
+throughput.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hpc import build_defiant
+from repro.pexec import SimHtexExecutor, SimTaskSpec
+from repro.sim import Simulation
+from repro.util.stats import summarize
+
+__all__ = [
+    "ScalingPoint",
+    "ScalingCurve",
+    "run_preprocess_trial",
+    "strong_scaling_workers",
+    "strong_scaling_nodes",
+    "weak_scaling_workers",
+    "weak_scaling_nodes",
+    "headline_run",
+    "WORKER_SWEEP",
+    "NODE_SWEEP",
+]
+
+WORKER_SWEEP = (1, 2, 4, 8, 16, 32, 64, 128)
+NODE_SWEEP = tuple(range(1, 11))
+
+MAX_WORKERS_PER_NODE = 64       # one worker per EPYC core
+TILES_PER_FILE = 150            # a full 2030x1354 swath in 128^2 tiles
+BASE_TILE_RATE = 10.52          # Table I's single-worker rate, tiles/s
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (concurrency, repeats) measurement."""
+
+    concurrency: int            # workers or nodes, depending on the sweep
+    num_files: int
+    mean_seconds: float
+    std_seconds: float
+    mean_tiles_per_s: float
+
+    @property
+    def tiles(self) -> int:
+        return self.num_files * TILES_PER_FILE
+
+
+@dataclass(frozen=True)
+class ScalingCurve:
+    """A full sweep with its axis meaning."""
+
+    axis: str                   # "workers" | "nodes"
+    mode: str                   # "strong" | "weak"
+    points: List[ScalingPoint]
+
+    def throughput_map(self) -> dict:
+        return {p.concurrency: p.mean_tiles_per_s for p in self.points}
+
+    def completion_map(self) -> dict:
+        return {p.concurrency: p.mean_seconds for p in self.points}
+
+
+def _layout(workers: int, nodes: Optional[int]) -> tuple:
+    """(num_nodes, workers_per_node) for a requested worker count."""
+    if nodes is not None:
+        return nodes, workers
+    num_nodes = (workers + MAX_WORKERS_PER_NODE - 1) // MAX_WORKERS_PER_NODE
+    per_node = (workers + num_nodes - 1) // num_nodes
+    return num_nodes, per_node
+
+
+def run_preprocess_trial(
+    num_files: int,
+    workers_per_node: int,
+    num_nodes: int,
+    seed: int,
+    noise_sigma: float = 0.06,
+    tiles_per_file: int = TILES_PER_FILE,
+    base_tile_rate: float = BASE_TILE_RATE,
+) -> float:
+    """One preprocessing run; returns tile-creation completion seconds.
+
+    Completion time is measured like the paper's: first task start to
+    last task finish (excluding queue wait and scheduler latency, which
+    Fig. 7 accounts separately).
+    """
+    sim = Simulation()
+    facility = build_defiant(sim, allocation_latency=0.0)
+    executor = SimHtexExecutor(
+        sim,
+        facility,
+        workers_per_node=workers_per_node,
+        seed=seed,
+        noise_sigma=noise_sigma,
+    )
+    executor.submit_all(
+        [
+            SimTaskSpec(
+                label=f"file{i}",
+                base_duration=tiles_per_file / base_tile_rate,
+                tiles=tiles_per_file,
+            )
+            for i in range(num_files)
+        ]
+    )
+    executor.scale_out(num_nodes=num_nodes, workers_per_node=workers_per_node)
+    sim.run()
+    return executor.completion_time()
+
+
+def _sweep(
+    axis: str,
+    mode: str,
+    settings: Sequence[tuple],
+    repeats: int,
+    seed: int,
+    noise_sigma: float,
+) -> ScalingCurve:
+    points = []
+    for concurrency, num_files, workers_per_node, num_nodes in settings:
+        times = [
+            run_preprocess_trial(
+                num_files,
+                workers_per_node,
+                num_nodes,
+                seed=seed + 1000 * concurrency + rep,
+                noise_sigma=noise_sigma,
+            )
+            for rep in range(repeats)
+        ]
+        summary = summarize(times)
+        points.append(
+            ScalingPoint(
+                concurrency=concurrency,
+                num_files=num_files,
+                mean_seconds=summary.mean,
+                std_seconds=summary.stdev,
+                mean_tiles_per_s=num_files * TILES_PER_FILE / summary.mean,
+            )
+        )
+    return ScalingCurve(axis=axis, mode=mode, points=points)
+
+
+def strong_scaling_workers(
+    num_files: int = 128,
+    workers: Sequence[int] = WORKER_SWEEP,
+    repeats: int = 5,
+    seed: int = 0,
+    noise_sigma: float = 0.06,
+) -> ScalingCurve:
+    """Fig. 4a / Table I left: fixed 128 files, workers 1..128."""
+    settings = []
+    for count in workers:
+        nodes, per_node = _layout(count, None)
+        settings.append((count, num_files, per_node, nodes))
+    return _sweep("workers", "strong", settings, repeats, seed, noise_sigma)
+
+
+def strong_scaling_nodes(
+    num_files: int = 80,
+    nodes: Sequence[int] = NODE_SWEEP,
+    workers_per_node: int = 8,
+    repeats: int = 5,
+    seed: int = 0,
+    noise_sigma: float = 0.06,
+) -> ScalingCurve:
+    """Fig. 4b / Table I right: fixed 80 files, 8 workers/node, 1..10 nodes."""
+    settings = [(n, num_files, workers_per_node, n) for n in nodes]
+    return _sweep("nodes", "strong", settings, repeats, seed, noise_sigma)
+
+
+def weak_scaling_workers(
+    files_per_worker: int = 2,
+    workers: Sequence[int] = WORKER_SWEEP,
+    repeats: int = 5,
+    seed: int = 100,
+    noise_sigma: float = 0.06,
+) -> ScalingCurve:
+    """Fig. 5a / Table I: 2 files per worker, workers 1..128."""
+    settings = []
+    for count in workers:
+        nodes, per_node = _layout(count, None)
+        settings.append((count, files_per_worker * count, per_node, nodes))
+    return _sweep("workers", "weak", settings, repeats, seed, noise_sigma)
+
+
+def weak_scaling_nodes(
+    files_per_worker: int = 2,
+    nodes: Sequence[int] = NODE_SWEEP,
+    workers_per_node: int = 8,
+    repeats: int = 5,
+    seed: int = 100,
+    noise_sigma: float = 0.06,
+) -> ScalingCurve:
+    """Fig. 5b / Table I: 2 files/worker, 8 workers/node, 1..10 nodes."""
+    settings = [
+        (n, files_per_worker * workers_per_node * n, workers_per_node, n) for n in nodes
+    ]
+    return _sweep("nodes", "weak", settings, repeats, seed, noise_sigma)
+
+
+def headline_run(seed: int = 0, repeats: int = 5) -> ScalingPoint:
+    """The abstract's claim: 12,000 tiles, 80 workers on 10 nodes.
+
+    80 files x 150 tiles = 12,000 tiles; the paper reports 44 s.
+    """
+    num_files = 80
+    times = [
+        run_preprocess_trial(num_files, workers_per_node=8, num_nodes=10, seed=seed + rep)
+        for rep in range(repeats)
+    ]
+    summary = summarize(times)
+    return ScalingPoint(
+        concurrency=80,
+        num_files=num_files,
+        mean_seconds=summary.mean,
+        std_seconds=summary.stdev,
+        mean_tiles_per_s=num_files * TILES_PER_FILE / summary.mean,
+    )

@@ -1,0 +1,194 @@
+"""Command-line interface for the EO-ML workflow system.
+
+The accessibility goal of Section V-A — "democratizes access,
+accommodating users of varying levels of expertise" — starts with a CLI:
+
+    repro run workflow.yaml            # the real five-stage pipeline
+    repro simulate --granules 40       # the simulated ACE twin (Figs. 6-7)
+    repro figures fig4 table1 ...      # regenerate evaluation artifacts
+    repro catalog MOD02 2022-01-01     # query the archive model
+    repro info                         # system inventory
+
+Installed as the ``repro`` console script; also runnable as
+``python -m repro.cli``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.util.units import format_bytes
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Multi-facility EO-ML workflow (SC'24 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the real five-stage workflow from a YAML config")
+    run.add_argument("config", help="workflow YAML file")
+    run.add_argument("--no-provenance", action="store_true", help="skip lineage recording")
+
+    simulate = sub.add_parser("simulate", help="run the simulated multi-facility twin")
+    simulate.add_argument("--granules", type=int, default=24, help="granule sets to process")
+    simulate.add_argument("--seed", type=int, default=0)
+
+    figures = sub.add_parser("figures", help="regenerate paper figures/tables")
+    figures.add_argument(
+        "targets",
+        nargs="+",
+        choices=["fig3", "fig4", "fig5", "fig6", "fig7", "table1", "headline"],
+        help="which artifacts to regenerate",
+    )
+    figures.add_argument("--repeats", type=int, default=3)
+
+    catalog = sub.add_parser("catalog", help="query the LAADS archive model")
+    catalog.add_argument("product", help="e.g. MOD02, MOD03, MOD06")
+    catalog.add_argument("date", help="ISO date, e.g. 2022-01-01")
+    catalog.add_argument("--limit", type=int, default=10)
+
+    sub.add_parser("info", help="print the system inventory")
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.core import EOMLWorkflow, load_config
+
+    with open(args.config) as handle:
+        config = load_config(handle.read())
+    print(f"running workflow {config.name!r} "
+          f"({config.start_date} .. {config.end_date}, products {config.products})")
+    report = EOMLWorkflow(config).run(provenance=not args.no_provenance)
+    print(f"download:   {report.download.files} files "
+          f"({format_bytes(report.download.nbytes)}), "
+          f"{report.download.skipped} skipped, {report.download.retried} retried")
+    print(f"preprocess: {report.total_tiles} tiles "
+          f"({report.preprocess.throughput_tiles_per_s:.1f} tiles/s)")
+    print(f"inference:  {report.labelled_tiles} tiles labelled")
+    if report.shipment:
+        print(f"shipment:   {len(report.shipment.moved)} files delivered")
+    if report.provenance:
+        summary = report.provenance.summary()
+        print(f"provenance: {summary['entities']} entities, "
+              f"{summary['activities']} activities recorded")
+    if report.errors:
+        print(f"errors: {report.errors}", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.analysis import automation_timeline, latency_breakdown, render_table
+    from repro.core import SimWorkflowParams
+
+    params = SimWorkflowParams(num_granule_sets=args.granules, seed=args.seed)
+    timeline = automation_timeline(params)
+    print(timeline.render())
+    breakdown = latency_breakdown(params)
+    print(render_table(
+        ["stage", "seconds"],
+        [(name, round(seconds, 3)) for name, seconds in breakdown.rows()],
+        title="latency breakdown",
+    ))
+    print(f"makespan {breakdown.makespan_s:.1f}s for {args.granules} granule sets")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    from repro import analysis
+
+    repeats = args.repeats
+    for target in args.targets:
+        print(f"=== {target} ===")
+        if target == "fig3":
+            points = analysis.download_sweep(iterations=repeats)
+            rows = [
+                (f"{p.batch_bytes / 1e9:.1f}GB", p.workers, round(p.mean_speed_mb_s, 2),
+                 round(p.std_speed_mb_s, 2))
+                for p in points
+            ]
+            print(analysis.render_table(["batch", "workers", "MB/s", "std"], rows))
+        elif target == "fig4":
+            sw = analysis.strong_scaling_workers(repeats=repeats)
+            print(analysis.render_comparison(
+                "workers", sw.throughput_map(), analysis.TABLE1_STRONG_WORKERS))
+            sn = analysis.strong_scaling_nodes(repeats=repeats)
+            print(analysis.render_comparison(
+                "nodes", sn.throughput_map(), analysis.TABLE1_STRONG_NODES))
+        elif target == "fig5":
+            ww = analysis.weak_scaling_workers(repeats=repeats)
+            print(analysis.render_comparison(
+                "workers", ww.throughput_map(), analysis.TABLE1_WEAK_WORKERS))
+            wn = analysis.weak_scaling_nodes(repeats=repeats)
+            print(analysis.render_comparison(
+                "nodes", wn.throughput_map(), analysis.TABLE1_WEAK_NODES))
+        elif target == "fig6":
+            from repro.core import SimWorkflowParams
+
+            print(analysis.automation_timeline(SimWorkflowParams(num_granule_sets=40)).render())
+        elif target == "fig7":
+            breakdown = analysis.latency_breakdown()
+            print(analysis.render_table(
+                ["stage", "seconds"],
+                [(name, round(seconds, 3)) for name, seconds in breakdown.rows()],
+            ))
+        elif target == "table1":
+            sw = analysis.strong_scaling_workers(repeats=repeats)
+            sn = analysis.strong_scaling_nodes(repeats=repeats)
+            print(analysis.render_comparison(
+                "workers", sw.throughput_map(), analysis.TABLE1_STRONG_WORKERS))
+            print(analysis.render_comparison(
+                "nodes", sn.throughput_map(), analysis.TABLE1_STRONG_NODES))
+        elif target == "headline":
+            point = analysis.headline_run(repeats=repeats)
+            print(f"{point.tiles} tiles in {point.mean_seconds:.1f}s "
+                  f"+/- {point.std_seconds:.1f} (paper: 44s)")
+    return 0
+
+
+def _cmd_catalog(args: argparse.Namespace) -> int:
+    import datetime as dt
+
+    from repro.modis import LaadsArchive
+
+    archive = LaadsArchive()
+    refs = archive.query(args.product, dt.date.fromisoformat(args.date),
+                         max_per_day=args.limit)
+    for ref in refs:
+        print(f"{ref.filename}  {format_bytes(ref.nbytes)}")
+    total = archive.query(args.product, dt.date.fromisoformat(args.date))
+    print(f"-- day total: {len(total)} granules, "
+          f"{format_bytes(archive.total_bytes(total))}")
+    return 0
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    import repro
+
+    print(f"repro {repro.__version__} — "
+          "'Scalable Multi-Facility Workflows for AI Applications in Climate Research' "
+          "(SC 2024) reproduction")
+    print(repro.__doc__)
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "simulate": _cmd_simulate,
+        "figures": _cmd_figures,
+        "catalog": _cmd_catalog,
+        "info": _cmd_info,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

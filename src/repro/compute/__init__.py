@@ -1,0 +1,19 @@
+"""Globus-Compute-like function service: registry + endpoints.
+
+Two endpoint flavours share the submit/future shape: the simulated
+endpoint runs behaviours on the discrete-event kernel (used by the
+benchmarks), the local endpoint runs real callables on threads/processes
+(used by the examples and the real execution path).
+"""
+
+from repro.compute.endpoint import ComputeTask, SimComputeEndpoint
+from repro.compute.local import LocalComputeEndpoint
+from repro.compute.registry import FunctionRegistry, RegisteredFunction
+
+__all__ = [
+    "FunctionRegistry",
+    "RegisteredFunction",
+    "SimComputeEndpoint",
+    "ComputeTask",
+    "LocalComputeEndpoint",
+]

@@ -1,0 +1,140 @@
+"""Simulated Globus-Compute endpoint: elastic worker pool on the DES.
+
+Semantics follow the paper's stage 1: tasks queue at the endpoint; workers
+pull the next task when done ("If a worker completes its download task and
+additional time spans are queued, it automatically begins the next task.
+If no further tasks are available, the worker gracefully terminates.").
+
+Worker counts are traced as a gauge so the Fig. 6 automation timeline can
+plot active workers per stage.  Functions executed here are *simulation
+behaviours*: callables ``fn(ctx, *args)`` returning a generator to run on
+the kernel (e.g. "request these bytes from the archive server").
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Generator, List, Optional
+
+from repro.sim import Event, Simulation, Store, Tracer
+from repro.util.logging import EventLog
+
+__all__ = ["ComputeTask", "SimComputeEndpoint"]
+
+
+class ComputeTask:
+    """One submitted task with its result future."""
+
+    __slots__ = ("task_id", "fn", "args", "kwargs", "done", "submitted_at",
+                 "started_at", "finished_at")
+
+    def __init__(self, task_id: int, fn: Callable, args: tuple, kwargs: dict, done: Event, now: float):
+        self.task_id = task_id
+        self.fn = fn
+        self.args = args
+        self.kwargs = kwargs
+        self.done = done
+        self.submitted_at = now
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+
+class SimComputeEndpoint:
+    """An endpoint with up to ``max_workers`` pull-based workers.
+
+    ``startup_latency`` models the cold-start cost of launching a worker
+    (part of Fig. 7's 5.63 s download launch); ``task_overhead`` the
+    per-task dispatch cost.
+    """
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        max_workers: int,
+        startup_latency: float = 2.0,
+        task_overhead: float = 0.05,
+        tracer: Optional[Tracer] = None,
+        gauge: Optional[str] = None,
+        log: Optional[EventLog] = None,
+    ):
+        if max_workers < 1:
+            raise ValueError("endpoint needs at least one worker slot")
+        self.sim = sim
+        self.name = name
+        self.max_workers = max_workers
+        self.startup_latency = startup_latency
+        self.task_overhead = task_overhead
+        self.tracer = tracer
+        self.gauge = gauge or f"workers:{name}"
+        self.log = log or EventLog()
+        self.queue = Store(sim)
+        self.active_workers = 0
+        self.tasks_completed = 0
+        self._next_task = 1
+        self._next_worker = 1
+
+    def submit(self, fn: Callable[..., Generator], *args: Any, **kwargs: Any) -> Event:
+        """Queue a task; returns a future firing with the task's result."""
+        task = ComputeTask(self._next_task, fn, args, kwargs, self.sim.event(), self.sim.now)
+        self._next_task += 1
+        self.queue.put(task)
+        self.log.emit(self.sim.now, self.name, "submit", task_id=task.task_id)
+        self._maybe_spawn_worker()
+        return task.done
+
+    def map(self, fn: Callable[..., Generator], items: List[Any]) -> List[Event]:
+        """Submit ``fn(ctx, item)`` for every item."""
+        return [self.submit(fn, item) for item in items]
+
+    # -- worker pool ------------------------------------------------------------
+
+    def _maybe_spawn_worker(self) -> None:
+        if self.active_workers >= self.max_workers:
+            return
+        if len(self.queue) == 0:
+            return
+        worker_id = self._next_worker
+        self._next_worker += 1
+        self.active_workers += 1
+        if self.tracer is not None:
+            self.tracer.gauge_add(self.gauge, self.sim.now, +1)
+        self.sim.process(self._worker(worker_id), name=f"{self.name}-worker-{worker_id}")
+
+    def _worker(self, worker_id: int) -> Generator:
+        yield self.sim.timeout(self.startup_latency)
+        self.log.emit(self.sim.now, self.name, "worker_start", worker=worker_id)
+        while len(self.queue) > 0:
+            task: ComputeTask = yield self.queue.get()
+            task.started_at = self.sim.now
+            if self.task_overhead > 0:
+                yield self.sim.timeout(self.task_overhead)
+            try:
+                result = yield self.sim.process(
+                    task.fn(self, *task.args, **task.kwargs),
+                    name=f"{self.name}-task-{task.task_id}",
+                )
+            except Exception as exc:  # noqa: BLE001 - forwarded to the future
+                task.finished_at = self.sim.now
+                task.done.fail(exc)
+                continue
+            task.finished_at = self.sim.now
+            self.tasks_completed += 1
+            task.done.succeed(result)
+        # "If no further tasks are available, the worker gracefully
+        # terminates."
+        self.active_workers -= 1
+        if self.tracer is not None:
+            self.tracer.gauge_add(self.gauge, self.sim.now, -1)
+        self.log.emit(self.sim.now, self.name, "worker_exit", worker=worker_id)
+
+    def drain(self) -> Event:
+        """An event firing once the queue is empty and all workers exited."""
+        done = self.sim.event()
+
+        def poll() -> Generator:
+            while len(self.queue) > 0 or self.active_workers > 0:
+                yield self.sim.timeout(0.05)
+            done.succeed(None)
+
+        self.sim.process(poll(), name=f"{self.name}-drain")
+        return done

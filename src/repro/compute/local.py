@@ -1,0 +1,64 @@
+"""Real local execution endpoint (threads or processes).
+
+The laptop-scale execution path of the workflow runs genuine Python
+callables — granule synthesis, tiling, inference — through the same
+endpoint-shaped API the simulator uses, so `repro.core` stage code is
+execution-backend agnostic.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+from typing import Any, Callable, Iterable, List, Optional
+
+__all__ = ["LocalComputeEndpoint"]
+
+
+class LocalComputeEndpoint:
+    """A worker pool executing real callables.
+
+    ``kind`` selects threads (default; fine for NumPy-heavy work that
+    releases the GIL) or processes (for pure-Python CPU-bound functions).
+    Usable as a context manager.
+    """
+
+    def __init__(self, name: str, max_workers: int, kind: str = "thread"):
+        if max_workers < 1:
+            raise ValueError("endpoint needs at least one worker")
+        if kind not in ("thread", "process"):
+            raise ValueError(f"kind must be 'thread' or 'process', got {kind!r}")
+        self.name = name
+        self.max_workers = max_workers
+        self.kind = kind
+        if kind == "thread":
+            self._pool: cf.Executor = cf.ThreadPoolExecutor(
+                max_workers=max_workers, thread_name_prefix=name
+            )
+        else:
+            self._pool = cf.ProcessPoolExecutor(max_workers=max_workers)
+        self.tasks_submitted = 0
+
+    def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> cf.Future:
+        self.tasks_submitted += 1
+        return self._pool.submit(fn, *args, **kwargs)
+
+    def map(self, fn: Callable, items: Iterable[Any]) -> List[cf.Future]:
+        return [self.submit(fn, item) for item in items]
+
+    def gather(self, futures: Iterable[cf.Future], timeout: Optional[float] = None) -> List[Any]:
+        """Wait for all futures; returns results in submission order.
+
+        Raises the first exception encountered (after all have settled).
+        """
+        futures = list(futures)
+        cf.wait(futures, timeout=timeout)
+        return [future.result(timeout=0) for future in futures]
+
+    def shutdown(self, wait: bool = True) -> None:
+        self._pool.shutdown(wait=wait)
+
+    def __enter__(self) -> "LocalComputeEndpoint":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()

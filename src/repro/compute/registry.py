@@ -1,0 +1,81 @@
+"""Function registry: the Globus-Compute-style function catalog.
+
+Users register a function once and submit it to any endpoint by id; the
+paper's download stage is "a remotely executable Globus Compute function"
+(Section III, stage 1).  Registration also underpins the federated
+pipeline-registry extension (Section V-A), where whole workflow steps are
+"registered as executable and shareable functions".
+"""
+
+from __future__ import annotations
+
+import hashlib
+import inspect
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+__all__ = ["RegisteredFunction", "FunctionRegistry"]
+
+
+@dataclass(frozen=True)
+class RegisteredFunction:
+    """A registered function with a stable content-derived id."""
+
+    function_id: str
+    name: str
+    fn: Callable
+    description: str = ""
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+class FunctionRegistry:
+    """Register and resolve functions by id or name."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[str, RegisteredFunction] = {}
+        self._by_name: Dict[str, str] = {}
+
+    def register(
+        self,
+        fn: Callable,
+        name: Optional[str] = None,
+        description: str = "",
+        **metadata: Any,
+    ) -> str:
+        """Register ``fn``; returns its function id.
+
+        The id is derived from the function's qualified name and source
+        (when available), so re-registering identical code is idempotent.
+        """
+        if not callable(fn):
+            raise TypeError(f"not callable: {fn!r}")
+        name = name or getattr(fn, "__name__", "anonymous")
+        try:
+            source = inspect.getsource(fn)
+        except (OSError, TypeError):
+            source = repr(fn)
+        function_id = hashlib.sha256(f"{name}:{source}".encode()).hexdigest()[:16]
+        if function_id not in self._by_id:
+            self._by_id[function_id] = RegisteredFunction(
+                function_id=function_id,
+                name=name,
+                fn=fn,
+                description=description,
+                metadata=dict(metadata),
+            )
+        self._by_name[name] = function_id
+        return function_id
+
+    def resolve(self, ref: str) -> RegisteredFunction:
+        """Look up by function id, falling back to name."""
+        if ref in self._by_id:
+            return self._by_id[ref]
+        if ref in self._by_name:
+            return self._by_id[self._by_name[ref]]
+        raise KeyError(f"unknown function {ref!r}")
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, ref: str) -> bool:
+        return ref in self._by_id or ref in self._by_name

@@ -1,0 +1,51 @@
+"""The five-stage EO-ML workflow: real execution and simulated twin."""
+
+from repro.core.config import ConfigError, EOMLConfig, StageWorkers, load_config
+from repro.core.download import DownloadReport, DownloadStage, GranuleSet
+from repro.core.inference import InferenceResult, InferenceWorker, infer_tile_file
+from repro.core.monitor import DirectoryCrawler
+from repro.core.preprocess import (
+    PreprocessReport,
+    PreprocessResult,
+    PreprocessStage,
+    preprocess_granule_set,
+)
+from repro.core.shipment import ShipmentReport, ShipmentStage
+from repro.core.simflow import SimulatedEOMLWorkflow, SimWorkflowParams, SimWorkflowResult
+from repro.core.streaming import StreamBatchResult, StreamingClassifier
+from repro.core.tiles import Tile, dataset_to_tiles, extract_tiles, tiles_to_dataset
+from repro.core.timeline import StageBreakdown, WallClockTimeline
+from repro.core.workflow import EOMLWorkflow, WorkflowReport
+
+__all__ = [
+    "load_config",
+    "EOMLConfig",
+    "StageWorkers",
+    "ConfigError",
+    "Tile",
+    "extract_tiles",
+    "tiles_to_dataset",
+    "dataset_to_tiles",
+    "DownloadStage",
+    "DownloadReport",
+    "GranuleSet",
+    "PreprocessStage",
+    "PreprocessReport",
+    "PreprocessResult",
+    "preprocess_granule_set",
+    "DirectoryCrawler",
+    "InferenceWorker",
+    "InferenceResult",
+    "infer_tile_file",
+    "ShipmentStage",
+    "ShipmentReport",
+    "EOMLWorkflow",
+    "WorkflowReport",
+    "WallClockTimeline",
+    "StageBreakdown",
+    "SimulatedEOMLWorkflow",
+    "SimWorkflowParams",
+    "SimWorkflowResult",
+    "StreamingClassifier",
+    "StreamBatchResult",
+]

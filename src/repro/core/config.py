@@ -1,0 +1,216 @@
+"""The EO-ML workflow configuration (the user's YAML surface).
+
+Section III: "users configure their workflow through a locally available
+YAML file for their queries, specifying their compute endpoint, LAADS
+credentials, MODIS product, time span, and local paths".  This module
+defines that file's schema and parses it into a typed config object.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional
+
+from repro.modis.constants import OCEAN_CLOUD_THRESHOLD, resolve_product
+from repro.util.config import (
+    ConfigError,
+    Field,
+    Schema,
+    boolean,
+    integer,
+    number,
+    positive_int,
+    string,
+    string_list,
+)
+from repro.util.yamlish import loads as yaml_loads
+
+__all__ = ["EOMLConfig", "StageWorkers", "load_config", "ConfigError"]
+
+
+def _date(value: Any) -> dt.date:
+    if isinstance(value, dt.date):
+        return value
+    if not isinstance(value, str):
+        raise ValueError(f"expected an ISO date string, got {value!r}")
+    return dt.date.fromisoformat(value)
+
+
+def _products(value: Any) -> List[str]:
+    names = string_list(value)
+    if not names:
+        raise ValueError("at least one MODIS product is required")
+    return [resolve_product(name).short_name for name in names]
+
+
+def _fraction(value: Any) -> float:
+    result = number(value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"expected a fraction in [0, 1], got {result}")
+    return result
+
+
+_ARCHIVE = Schema(
+    "archive",
+    [
+        Field("products", _products, required=False,
+              default=["MOD021KM", "MOD03", "MOD06_L2"]),
+        Field("start_date", _date),
+        Field("end_date", _date, required=False, default=None),
+        Field("max_granules_per_day", positive_int, required=False, default=None),
+        Field("seed", integer, required=False, default=0),
+    ],
+)
+
+_PATHS = Schema(
+    "paths",
+    [
+        Field("staging", string, required=False, default="data/raw"),
+        Field("preprocessed", string, required=False, default="data/tiles"),
+        Field("transfer_out", string, required=False, default="data/outbox"),
+        Field("destination", string, required=False, default="data/orion"),
+    ],
+)
+
+def _non_negative_int(value: Any) -> int:
+    result = integer(value)
+    if result < 0:
+        raise ValueError(f"expected a non-negative integer, got {result}")
+    return result
+
+
+_DOWNLOAD = Schema(
+    "download",
+    [
+        Field("workers", positive_int, required=False, default=3),
+        Field("retries", _non_negative_int, required=False, default=2),
+        Field("skip_existing", boolean, required=False, default=True),
+    ],
+)
+
+_PREPROCESS = Schema(
+    "preprocess",
+    [
+        Field("workers", positive_int, required=False, default=32),
+        Field("tile_size", positive_int, required=False, default=16),
+        Field("cloud_threshold", _fraction, required=False, default=OCEAN_CLOUD_THRESHOLD),
+        Field("max_land_fraction", _fraction, required=False, default=0.0),
+    ],
+)
+
+_INFERENCE = Schema(
+    "inference",
+    [
+        Field("workers", positive_int, required=False, default=1),
+        Field("num_classes", positive_int, required=False, default=42),
+        Field("model_path", string, required=False, default=None),
+        Field("poll_interval", number, required=False, default=0.2),
+    ],
+)
+
+_SHIPMENT = Schema(
+    "shipment",
+    [Field("enabled", boolean, required=False, default=True)],
+)
+
+_TOP = Schema(
+    "workflow",
+    [
+        Field("name", string, required=False, default="eo-ml"),
+        Field("archive", dict, required=True),
+        Field("paths", dict, required=False, default={}),
+        Field("download", dict, required=False, default={}),
+        Field("preprocess", dict, required=False, default={}),
+        Field("inference", dict, required=False, default={}),
+        Field("shipment", dict, required=False, default={}),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class StageWorkers:
+    """Fig. 6's stage-level worker allocation."""
+
+    download: int
+    preprocess: int
+    inference: int
+
+
+@dataclass(frozen=True)
+class EOMLConfig:
+    """Fully resolved workflow configuration."""
+
+    name: str
+    products: List[str]
+    start_date: dt.date
+    end_date: dt.date
+    max_granules_per_day: Optional[int]
+    seed: int
+    staging: str
+    preprocessed: str
+    transfer_out: str
+    destination: str
+    workers: StageWorkers
+    download_retries: int
+    skip_existing: bool
+    tile_size: int
+    cloud_threshold: float
+    max_land_fraction: float
+    num_classes: int
+    model_path: Optional[str]
+    poll_interval: float
+    ship: bool
+    raw: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+
+def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
+    """Parse a YAML string or pre-parsed mapping into an EOMLConfig."""
+    if isinstance(source, str):
+        parsed = yaml_loads(source)
+        if not isinstance(parsed, Mapping):
+            raise ConfigError("workflow", "configuration must be a mapping")
+        raw: Mapping[str, Any] = parsed
+    else:
+        raw = source
+    top = _TOP.validate(raw)
+    archive = _ARCHIVE.validate(top["archive"], "archive")
+    paths = _PATHS.validate(top["paths"] or {}, "paths")
+    download = _DOWNLOAD.validate(top["download"] or {}, "download")
+    preprocess = _PREPROCESS.validate(top["preprocess"] or {}, "preprocess")
+    inference = _INFERENCE.validate(top["inference"] or {}, "inference")
+    shipment = _SHIPMENT.validate(top["shipment"] or {}, "shipment")
+
+    end_date = archive["end_date"] or archive["start_date"]
+    if end_date < archive["start_date"]:
+        raise ConfigError("archive.end_date", "end date before start date")
+    if inference["poll_interval"] <= 0:
+        raise ConfigError("inference.poll_interval", "must be positive")
+
+    return EOMLConfig(
+        name=top["name"],
+        products=archive["products"],
+        start_date=archive["start_date"],
+        end_date=end_date,
+        max_granules_per_day=archive["max_granules_per_day"],
+        seed=archive["seed"],
+        staging=paths["staging"],
+        preprocessed=paths["preprocessed"],
+        transfer_out=paths["transfer_out"],
+        destination=paths["destination"],
+        workers=StageWorkers(
+            download=download["workers"],
+            preprocess=preprocess["workers"],
+            inference=inference["workers"],
+        ),
+        download_retries=download["retries"],
+        skip_existing=download["skip_existing"],
+        tile_size=preprocess["tile_size"],
+        cloud_threshold=preprocess["cloud_threshold"],
+        max_land_fraction=preprocess["max_land_fraction"],
+        num_classes=inference["num_classes"],
+        model_path=inference["model_path"],
+        poll_interval=float(inference["poll_interval"]),
+        ship=shipment["enabled"],
+        raw=dict(raw),
+    )

@@ -1,0 +1,111 @@
+"""Stage 3 — Monitor & Trigger: the filesystem crawler.
+
+Section III stage 3 splits inference into "(i) monitoring the file system
+for the creation of new files, and (ii) triggering the inference".  The
+real-mode crawler polls a directory for freshly completed tile NetCDFs
+(writers use temp-name + rename, so presence implies completeness) and
+invokes a trigger callback for each new file, from a background thread.
+Inference therefore overlaps preprocessing, exactly the asynchrony Fig. 6
+shows.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Set
+
+__all__ = ["CrawlRecord", "DirectoryCrawler"]
+
+
+@dataclass
+class CrawlRecord:
+    """Bookkeeping for one discovered file."""
+
+    path: str
+    discovered_at: float
+
+
+class DirectoryCrawler:
+    """Poll a directory; trigger a callback once per new matching file."""
+
+    def __init__(
+        self,
+        directory: str,
+        trigger: Callable[[str], None],
+        pattern_suffix: str = ".nc",
+        pattern_prefix: str = "tiles_",
+        poll_interval: float = 0.2,
+    ):
+        if poll_interval <= 0:
+            raise ValueError("poll interval must be positive")
+        self.directory = directory
+        self.trigger = trigger
+        self.pattern_suffix = pattern_suffix
+        self.pattern_prefix = pattern_prefix
+        self.poll_interval = poll_interval
+        self.records: List[CrawlRecord] = []
+        self._seen: Set[str] = set()
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._started_at = time.monotonic()
+        self.errors: List[str] = []
+
+    # -- one-shot scan (usable without the thread) -------------------------
+
+    def scan_once(self) -> List[str]:
+        """Discover new files now; triggers for each. Returns new paths."""
+        try:
+            names = sorted(os.listdir(self.directory))
+        except FileNotFoundError:
+            return []
+        fresh = []
+        for name in names:
+            if not (name.startswith(self.pattern_prefix) and name.endswith(self.pattern_suffix)):
+                continue
+            path = os.path.join(self.directory, name)
+            if path in self._seen:
+                continue
+            self._seen.add(path)
+            self.records.append(
+                CrawlRecord(path=path, discovered_at=time.monotonic() - self._started_at)
+            )
+            fresh.append(path)
+            try:
+                self.trigger(path)
+            except Exception as exc:  # noqa: BLE001 - crawler must survive
+                self.errors.append(f"{path}: {exc}")
+        return fresh
+
+    # -- background operation ------------------------------------------------
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("crawler already started")
+        self._stop.clear()
+        self._thread = threading.Thread(target=self._loop, name="crawler", daemon=True)
+        self._thread.start()
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            self.scan_once()
+            self._stop.wait(self.poll_interval)
+        self.scan_once()  # final sweep so nothing published pre-stop is missed
+
+    def stop(self, timeout: float = 10.0) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # pragma: no cover - defensive
+            raise RuntimeError("crawler thread did not stop")
+        self._thread = None
+
+    def __enter__(self) -> "DirectoryCrawler":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()

@@ -1,0 +1,49 @@
+"""Stage 5 — Shipment: move labelled files to the destination filesystem.
+
+Real-execution flavour of Section III stage 5: the labelled NetCDFs in
+the transfer-out directory move to the destination ("Frontier's Orion")
+with integrity verification, via the Globus-Transfer-like local client.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import List
+
+from repro.core.config import EOMLConfig
+from repro.transfer import LocalTransferClient
+
+__all__ = ["ShipmentReport", "ShipmentStage"]
+
+
+@dataclass(frozen=True)
+class ShipmentReport:
+    moved: List[str]
+    nbytes: int
+    seconds: float
+
+
+class ShipmentStage:
+    def __init__(self, config: EOMLConfig, client: LocalTransferClient | None = None):
+        self.config = config
+        self.client = client or LocalTransferClient()
+
+    def run(self) -> ShipmentReport:
+        """Ship everything currently in the transfer-out directory."""
+        started = time.monotonic()
+        src = self.config.transfer_out
+        if not os.path.isdir(src):
+            return ShipmentReport(moved=[], nbytes=0, seconds=0.0)
+        names = sorted(
+            name for name in os.listdir(src)
+            if name.endswith(".nc") and not name.endswith(".part")
+        )
+        before = self.client.bytes_transferred
+        moved = self.client.transfer(src, self.config.destination, names) if names else []
+        return ShipmentReport(
+            moved=moved,
+            nbytes=self.client.bytes_transferred - before,
+            seconds=time.monotonic() - started,
+        )

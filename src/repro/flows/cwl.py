@@ -1,0 +1,167 @@
+"""A CWL-subset front end for the flows engine.
+
+Section V-A: "our goal is to enable users to define, customize, and
+execute EO-ML workflows using high-level languages like the Common
+Workflow Language (CWL) or Globus Flows."  This module accepts the CWL
+``Workflow`` shape (inputs / steps / outputs, with ``step/output``
+source references) and compiles it to a flows-engine definition:
+
+* each step becomes an ``Action`` state whose ``ActionUrl`` is the step's
+  ``run`` target and whose result lands under the step's name;
+* ``in`` entries reference workflow inputs (``day``) or upstream step
+  outputs (``download/files`` -> ``$.download.files``);
+* steps are topologically ordered from their data dependencies (CWL's
+  implicit DAG), and the chain ends in a ``Succeed`` state;
+* workflow ``outputs`` are extracted from the final run document with
+  :func:`extract_outputs`.
+
+Scatter, subworkflows, and expressions are out of scope; using them
+raises :class:`CwlError` with a pointed message.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Tuple
+
+from repro.flows.definition import FlowError, resolve_ref, validate
+
+__all__ = ["CwlError", "cwl_to_flow", "extract_outputs"]
+
+
+class CwlError(ValueError):
+    """Raised for documents outside the supported CWL subset."""
+
+
+def _check_document(doc: Mapping[str, Any]) -> None:
+    if not isinstance(doc, Mapping):
+        raise CwlError("CWL document must be a mapping")
+    if doc.get("class") != "Workflow":
+        raise CwlError(f"only class: Workflow is supported, got {doc.get('class')!r}")
+    for key in ("inputs", "steps"):
+        if key not in doc or not isinstance(doc[key], Mapping):
+            raise CwlError(f"workflow requires a {key!r} mapping")
+    for name, step in doc["steps"].items():
+        if not isinstance(step, Mapping):
+            raise CwlError(f"step {name!r} must be a mapping")
+        if "scatter" in step:
+            raise CwlError(f"step {name!r}: scatter is not supported in this subset")
+        run = step.get("run")
+        if not isinstance(run, str):
+            raise CwlError(f"step {name!r}: 'run' must name an action provider")
+        if not isinstance(step.get("in", {}), Mapping):
+            raise CwlError(f"step {name!r}: 'in' must be a mapping")
+
+
+def _source_to_ref(
+    source: Any,
+    inputs: Mapping[str, Any],
+    steps: Mapping[str, Any],
+    context: str,
+) -> Any:
+    """Translate a CWL source into a flows ``$.`` reference (or literal)."""
+    if isinstance(source, Mapping) and "default" in source:
+        return source["default"]
+    if not isinstance(source, str):
+        return source  # literal value
+    if "/" in source:
+        step_name, _, output = source.partition("/")
+        if step_name not in steps:
+            raise CwlError(f"{context}: references unknown step {step_name!r}")
+        declared = steps[step_name].get("out", [])
+        if output not in declared:
+            raise CwlError(
+                f"{context}: step {step_name!r} does not declare output "
+                f"{output!r} (declares {declared})"
+            )
+        return f"$.{step_name}.{output}"
+    if source in inputs:
+        return f"$.{source}"
+    raise CwlError(f"{context}: source {source!r} is neither an input nor 'step/output'")
+
+
+def _step_dependencies(step: Mapping[str, Any]) -> List[str]:
+    deps = []
+    for source in (step.get("in") or {}).values():
+        if isinstance(source, str) and "/" in source:
+            deps.append(source.partition("/")[0])
+    return deps
+
+
+def _topological_order(steps: Mapping[str, Any]) -> List[str]:
+    order: List[str] = []
+    state: Dict[str, int] = {}
+
+    def visit(name: str) -> None:
+        if state.get(name) == 1:
+            raise CwlError(f"workflow steps form a cycle through {name!r}")
+        if state.get(name) == 2:
+            return
+        state[name] = 1
+        for dep in _step_dependencies(steps[name]):
+            if dep not in steps:
+                raise CwlError(f"step {name!r} depends on unknown step {dep!r}")
+            visit(dep)
+        state[name] = 2
+        order.append(name)
+
+    for name in steps:
+        visit(name)
+    return order
+
+
+def cwl_to_flow(doc: Mapping[str, Any]) -> Tuple[Dict[str, Any], List[str]]:
+    """Compile a CWL Workflow into (flow definition, step order).
+
+    The returned definition passes :func:`repro.flows.definition.validate`;
+    run it with a flows engine whose providers match the steps' ``run``
+    targets, passing the CWL input values as the run's input document.
+    """
+    _check_document(doc)
+    inputs = doc["inputs"]
+    steps = doc["steps"]
+    if not steps:
+        raise CwlError("workflow has no steps")
+    order = _topological_order(steps)
+
+    states: Dict[str, Any] = {}
+    for index, name in enumerate(order):
+        step = steps[name]
+        parameters = {
+            key: _source_to_ref(source, inputs, steps, f"step {name!r} input {key!r}")
+            for key, source in (step.get("in") or {}).items()
+        }
+        states[name] = {
+            "Type": "Action",
+            "ActionUrl": step["run"],
+            "Parameters": parameters,
+            "ResultPath": name,
+            "Next": order[index + 1] if index + 1 < len(order) else "Done",
+        }
+    states["Done"] = {"Type": "Succeed"}
+    definition = {
+        "Comment": doc.get("doc", "compiled from CWL"),
+        "StartAt": order[0],
+        "States": states,
+    }
+    # Output sources must resolve; check eagerly so bad outputs fail at
+    # compile time, not after a full run.
+    for out_name, out_spec in (doc.get("outputs") or {}).items():
+        source = out_spec.get("outputSource") if isinstance(out_spec, Mapping) else out_spec
+        _source_to_ref(source, inputs, steps, f"output {out_name!r}")
+    try:
+        validate(definition)
+    except FlowError as exc:  # pragma: no cover - compiler bug guard
+        raise CwlError(f"compiled flow is invalid: {exc}") from exc
+    return definition, order
+
+
+def extract_outputs(doc: Mapping[str, Any], run_document: Mapping[str, Any]) -> Dict[str, Any]:
+    """Resolve the workflow's declared outputs from a finished run."""
+    outputs = {}
+    inputs = doc.get("inputs", {})
+    steps = doc.get("steps", {})
+    for out_name, out_spec in (doc.get("outputs") or {}).items():
+        source = out_spec.get("outputSource") if isinstance(out_spec, Mapping) else out_spec
+        ref = _source_to_ref(source, inputs, steps, f"output {out_name!r}")
+        outputs[out_name] = resolve_ref(ref, run_document)
+    return outputs

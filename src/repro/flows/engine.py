@@ -1,0 +1,314 @@
+"""The flow execution engine.
+
+Runs validated definitions on the discrete-event kernel.  Each state
+transition costs ``action_latency`` (Fig. 7 measures this hop at ~50 ms:
+"the overhead becomes extremely fast, with latency requiring the action to
+move execution and termination at approximately 50 milliseconds").
+
+Action providers are callables ``provider(engine, params) -> Event | value``
+registered by name (``ActionUrl``).  Returning an Event defers completion
+to the simulation; returning a plain value completes immediately (after
+the action hop latency).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Generator, List, Mapping, Optional
+
+from repro.flows.definition import FlowError, resolve_ref, validate
+from repro.sim import Event, Simulation
+from repro.util.logging import EventLog
+
+__all__ = ["RunStatus", "StateRecord", "FlowRun", "FlowsEngine"]
+
+
+class RunStatus(enum.Enum):
+    ACTIVE = "active"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+
+@dataclass
+class StateRecord:
+    """One executed state: timing for the Fig. 7 latency breakdown."""
+
+    name: str
+    state_type: str
+    entered_at: float
+    exited_at: Optional[float] = None
+    action_url: Optional[str] = None
+
+    @property
+    def duration(self) -> float:
+        if self.exited_at is None:
+            raise ValueError(f"state {self.name!r} has not exited")
+        return self.exited_at - self.entered_at
+
+
+@dataclass
+class FlowRun:
+    """One execution of a flow definition."""
+
+    run_id: int
+    label: str
+    definition: Mapping[str, Any]
+    document: Dict[str, Any]
+    status: RunStatus = RunStatus.ACTIVE
+    history: List[StateRecord] = field(default_factory=list)
+    started_at: float = 0.0
+    finished_at: Optional[float] = None
+    error: Optional[str] = None
+    done: Event = None  # type: ignore[assignment]
+
+    @property
+    def duration(self) -> float:
+        if self.finished_at is None:
+            raise ValueError("run has not finished")
+        return self.finished_at - self.started_at
+
+    def mean_hop_latency(self, engine_latency_only: bool = True) -> float:
+        """Mean per-state overhead excluding action bodies.
+
+        With ``engine_latency_only`` this is the pure engine hop — the
+        ~50 ms Fig. 7 reports.
+        """
+        hops = [
+            record.duration
+            for record in self.history
+            if record.exited_at is not None and record.state_type in ("Pass", "Succeed", "Fail", "Choice")
+        ]
+        if not hops:
+            raise ValueError("no engine-only states in run history")
+        return sum(hops) / len(hops)
+
+
+ActionProvider = Callable[["FlowsEngine", Dict[str, Any]], Any]
+
+
+class FlowsEngine:
+    """Validates, runs, and monitors flows."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        action_providers: Optional[Dict[str, ActionProvider]] = None,
+        action_latency: float = 0.05,
+        log: Optional[EventLog] = None,
+    ):
+        if action_latency < 0:
+            raise ValueError("action latency must be non-negative")
+        self.sim = sim
+        self.providers: Dict[str, ActionProvider] = dict(action_providers or {})
+        self.action_latency = action_latency
+        self.log = log or EventLog()
+        self.runs: List[FlowRun] = []
+        self._next_run = 1
+
+    def register_provider(self, name: str, provider: ActionProvider) -> None:
+        self.providers[name] = provider
+
+    def run(
+        self,
+        definition: Mapping[str, Any],
+        input_document: Optional[Mapping[str, Any]] = None,
+        label: str = "",
+    ) -> FlowRun:
+        """Validate and start a run; returns immediately with the FlowRun.
+
+        The run's ``done`` event fires with the final document, or fails
+        with :class:`FlowError` if the flow reaches a Fail state or a
+        provider raises.
+        """
+        validate(definition)
+        self._check_providers(definition)
+        run = FlowRun(
+            run_id=self._next_run,
+            label=label or f"flow-{self._next_run}",
+            definition=definition,
+            document=dict(input_document or {}),
+            started_at=self.sim.now,
+            done=self.sim.event(),
+        )
+        self._next_run += 1
+        self.runs.append(run)
+        self.log.emit(self.sim.now, "flows", "start", run_id=run.run_id, label=run.label)
+        self.sim.process(self._execute(run), name=f"flow-{run.run_id}")
+        return run
+
+    def _check_providers(self, definition: Mapping[str, Any]) -> None:
+        for name, state in definition["States"].items():
+            if state["Type"] == "Action" and state["ActionUrl"] not in self.providers:
+                raise FlowError(
+                    f"state {name!r} uses unregistered action {state['ActionUrl']!r}; "
+                    f"registered: {sorted(self.providers)}"
+                )
+            if state["Type"] == "Parallel":
+                for branch in state["Branches"]:
+                    self._check_providers(branch)
+            if state["Type"] == "Map":
+                self._check_providers(state["Iterator"])
+
+    # -- execution ------------------------------------------------------------
+
+    def _execute(self, run: FlowRun) -> Generator:
+        states = run.definition["States"]
+        current = run.definition["StartAt"]
+        try:
+            while True:
+                state = states[current]
+                record = StateRecord(
+                    name=current,
+                    state_type=state["Type"],
+                    entered_at=self.sim.now,
+                    action_url=state.get("ActionUrl"),
+                )
+                run.history.append(record)
+                if self.action_latency > 0:
+                    yield self.sim.timeout(self.action_latency)
+                state_type = state["Type"]
+                if state_type == "Succeed":
+                    record.exited_at = self.sim.now
+                    self._finish(run, RunStatus.SUCCEEDED)
+                    return
+                if state_type == "Fail":
+                    record.exited_at = self.sim.now
+                    run.error = state.get("Error", f"flow failed at {current!r}")
+                    self._finish(run, RunStatus.FAILED)
+                    return
+                if state_type == "Pass":
+                    if "Result" in state:
+                        key = state.get("ResultPath", "result")
+                        run.document[key] = resolve_ref(state["Result"], run.document)
+                elif state_type == "Wait":
+                    yield self.sim.timeout(float(state["Seconds"]))
+                elif state_type == "Choice":
+                    record.exited_at = self.sim.now
+                    current = self._choose(state, run.document, current)
+                    continue
+                elif state_type == "Action":
+                    params = resolve_ref(state.get("Parameters", {}), run.document)
+                    provider = self.providers[state["ActionUrl"]]
+                    retry = state.get("Retry") or {}
+                    max_attempts = int(retry.get("MaxAttempts", 1))
+                    interval = float(retry.get("IntervalSeconds", 0.0))
+                    result = None
+                    for attempt in range(1, max_attempts + 1):
+                        try:
+                            result = provider(self, params)
+                            if isinstance(result, Event):
+                                result = yield result
+                            break
+                        except Exception as exc:  # noqa: BLE001 - retried/caught
+                            self.log.emit(
+                                self.sim.now, "flows", "action_failed",
+                                run_id=run.run_id, state=current,
+                                attempt=attempt, error=str(exc),
+                            )
+                            if attempt < max_attempts:
+                                if interval > 0:
+                                    yield self.sim.timeout(interval)
+                                continue
+                            catch = state.get("Catch")
+                            if catch is None:
+                                raise
+                            # Catch: record the error and divert.
+                            run.document[catch.get("ResultPath", "error")] = str(exc)
+                            record.exited_at = self.sim.now
+                            current = catch["Next"]
+                            break
+                    else:  # pragma: no cover - loop always breaks/raises
+                        pass
+                    if record.exited_at is not None:
+                        continue  # caught: already transitioned
+                    key = state.get("ResultPath")
+                    if key:
+                        run.document[key] = result
+                elif state_type == "Parallel":
+                    branch_runs = [
+                        self.run(branch, dict(run.document), label=f"{run.label}/{current}[{index}]")
+                        for index, branch in enumerate(state["Branches"])
+                    ]
+                    results = yield self.sim.all_of([b.done for b in branch_runs])
+                    key = state.get("ResultPath")
+                    if key:
+                        run.document[key] = list(results)
+                elif state_type == "Map":
+                    items = resolve_ref(state["ItemsPath"], run.document)
+                    if not isinstance(items, list):
+                        raise FlowError(
+                            f"Map state {current!r}: ItemsPath resolved to "
+                            f"{type(items).__name__}, expected a list"
+                        )
+                    concurrency = int(state.get("MaxConcurrency", 0)) or len(items)
+                    results: List[Any] = [None] * len(items)
+                    for start in range(0, len(items), max(concurrency, 1)):
+                        window = items[start : start + concurrency]
+                        iteration_runs = []
+                        for offset, item in enumerate(window):
+                            document = dict(run.document)
+                            document["item"] = item
+                            document["index"] = start + offset
+                            iteration_runs.append(
+                                self.run(
+                                    state["Iterator"], document,
+                                    label=f"{run.label}/{current}[{start + offset}]",
+                                )
+                            )
+                        if iteration_runs:
+                            window_results = yield self.sim.all_of(
+                                [r.done for r in iteration_runs]
+                            )
+                            results[start : start + len(window)] = list(window_results)
+                    key = state.get("ResultPath")
+                    if key:
+                        run.document[key] = results
+                record.exited_at = self.sim.now
+                if state.get("End"):
+                    self._finish(run, RunStatus.SUCCEEDED)
+                    return
+                current = state["Next"]
+        except Exception as exc:  # noqa: BLE001 - recorded on the run
+            if run.history and run.history[-1].exited_at is None:
+                run.history[-1].exited_at = self.sim.now
+            run.error = str(exc)
+            self._finish(run, RunStatus.FAILED)
+
+    @staticmethod
+    def _compare(choice: Mapping[str, Any], value: Any) -> bool:
+        if "Equals" in choice:
+            return value == choice["Equals"]
+        if "NotEquals" in choice:
+            return value != choice["NotEquals"]
+        if "GreaterThan" in choice:
+            return value > choice["GreaterThan"]
+        if "GreaterThanOrEqual" in choice:
+            return value >= choice["GreaterThanOrEqual"]
+        if "LessThan" in choice:
+            return value < choice["LessThan"]
+        if "LessThanOrEqual" in choice:
+            return value <= choice["LessThanOrEqual"]
+        raise FlowError(f"choice has no comparator: {dict(choice)!r}")
+
+    def _choose(self, state: Mapping[str, Any], document: Mapping[str, Any], name: str) -> str:
+        for choice in state["Choices"]:
+            value = resolve_ref(choice["Variable"], document)
+            if self._compare(choice, value):
+                return choice["Next"]
+        default = state.get("Default")
+        if default is None:
+            raise FlowError(f"Choice state {name!r}: no choice matched and no Default")
+        return default
+
+    def _finish(self, run: FlowRun, status: RunStatus) -> None:
+        run.status = status
+        run.finished_at = self.sim.now
+        self.log.emit(
+            self.sim.now, "flows", "finish",
+            run_id=run.run_id, status=status.value, error=run.error,
+        )
+        if status is RunStatus.SUCCEEDED:
+            run.done.succeed(run.document)
+        else:
+            run.done.fail(FlowError(run.error or "flow failed"))

@@ -1,0 +1,128 @@
+"""Federated flow registry (the paper's pipeline-as-a-service vision).
+
+Section V-A envisions "a shareable and publicly accessible repository of
+complete workflows or individual workflow steps, which can be customized
+with various components from a community-driven pipeline service".  This
+module implements that registry: validated flow definitions published
+under versioned names, discoverable by tag, composable by substituting
+sub-flows, and serializable through the YAML subset for exchange.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.flows.definition import FlowError, validate
+from repro.util.yamlish import dumps as yaml_dumps, loads as yaml_loads
+
+__all__ = ["PublishedFlow", "FlowRegistry"]
+
+
+@dataclass(frozen=True)
+class PublishedFlow:
+    """One published, validated flow version."""
+
+    name: str
+    version: int
+    definition: Mapping[str, Any]
+    owner: str
+    description: str = ""
+    tags: Tuple[str, ...] = ()
+
+
+class FlowRegistry:
+    """Versioned, taggable catalog of flow definitions."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[str, List[PublishedFlow]] = {}
+
+    def publish(
+        self,
+        name: str,
+        definition: Mapping[str, Any],
+        owner: str,
+        description: str = "",
+        tags: Optional[List[str]] = None,
+    ) -> PublishedFlow:
+        """Validate and publish; returns the new version record."""
+        validate(definition)
+        versions = self._flows.setdefault(name, [])
+        flow = PublishedFlow(
+            name=name,
+            version=len(versions) + 1,
+            definition=dict(definition),
+            owner=owner,
+            description=description,
+            tags=tuple(tags or ()),
+        )
+        versions.append(flow)
+        return flow
+
+    def get(self, name: str, version: Optional[int] = None) -> PublishedFlow:
+        """Latest (or specific) version of a published flow."""
+        if name not in self._flows:
+            raise KeyError(f"no published flow {name!r}")
+        versions = self._flows[name]
+        if version is None:
+            return versions[-1]
+        if not 1 <= version <= len(versions):
+            raise KeyError(f"flow {name!r} has versions 1..{len(versions)}, not {version}")
+        return versions[version - 1]
+
+    def search(self, tag: str) -> List[PublishedFlow]:
+        """Latest versions carrying ``tag``."""
+        return [versions[-1] for versions in self._flows.values() if tag in versions[-1].tags]
+
+    def names(self) -> List[str]:
+        return sorted(self._flows)
+
+    # -- composition & exchange ------------------------------------------------
+
+    def compose(
+        self,
+        name: str,
+        base: str,
+        overrides: Mapping[str, Mapping[str, Any]],
+        owner: str,
+    ) -> PublishedFlow:
+        """Publish a customization of ``base`` with some states replaced.
+
+        ``overrides`` maps state names to replacement state bodies; the
+        composed definition is re-validated, so a broken override fails
+        at publish time.
+        """
+        parent = self.get(base)
+        states = {key: dict(value) for key, value in parent.definition["States"].items()}
+        for state_name, replacement in overrides.items():
+            if state_name not in states:
+                raise FlowError(f"override targets unknown state {state_name!r} of {base!r}")
+            states[state_name] = dict(replacement)
+        composed = dict(parent.definition)
+        composed["States"] = states
+        return self.publish(name, composed, owner=owner, description=f"derived from {base}")
+
+    def export_yaml(self, name: str, version: Optional[int] = None) -> str:
+        flow = self.get(name, version)
+        return yaml_dumps(
+            {
+                "name": flow.name,
+                "version": flow.version,
+                "owner": flow.owner,
+                "description": flow.description,
+                "tags": list(flow.tags),
+                "definition": dict(flow.definition),
+            }
+        )
+
+    def import_yaml(self, text: str) -> PublishedFlow:
+        doc = yaml_loads(text)
+        if not isinstance(doc, dict) or "definition" not in doc:
+            raise FlowError("imported document lacks a 'definition'")
+        return self.publish(
+            doc.get("name", "imported"),
+            doc["definition"],
+            owner=doc.get("owner", "imported"),
+            description=doc.get("description", ""),
+            tags=doc.get("tags") or [],
+        )

@@ -1,0 +1,35 @@
+"""Facility substrate: clusters, Slurm-like scheduling, Lustre-like FS, USL."""
+
+from repro.hpc.contention import (
+    DEFIANT_CROSS_NODE_USL,
+    DEFIANT_NODE_USL,
+    USLModel,
+    fit_usl,
+)
+from repro.hpc.energy import EnergyReport, PowerModel, energy_from_worker_series
+from repro.hpc.facility import Facility, build_defiant, build_frontier
+from repro.hpc.filesystem import FileEntry, SharedFilesystem
+from repro.hpc.machine import DEFIANT, FRONTIER, ClusterSpec, NodeSpec
+from repro.hpc.slurm import Job, JobState, SlurmScheduler
+
+__all__ = [
+    "USLModel",
+    "fit_usl",
+    "DEFIANT_NODE_USL",
+    "DEFIANT_CROSS_NODE_USL",
+    "NodeSpec",
+    "ClusterSpec",
+    "DEFIANT",
+    "FRONTIER",
+    "SlurmScheduler",
+    "Job",
+    "JobState",
+    "SharedFilesystem",
+    "FileEntry",
+    "Facility",
+    "build_defiant",
+    "build_frontier",
+    "PowerModel",
+    "EnergyReport",
+    "energy_from_worker_series",
+]

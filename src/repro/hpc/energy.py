@@ -1,0 +1,112 @@
+"""Node-level energy and carbon accounting.
+
+Section V closes with the goal of "minimizing the carbon footprint of the
+climate research activities on the IRI".  This model turns the worker
+timelines the system already records into energy numbers: nodes draw
+idle power while allocated and busy power while their workers run, so
+
+    energy = P_idle * allocated_node_seconds
+           + (P_busy - P_idle) * busy_node_seconds / workers_per_node_cap
+
+Power figures default to a 64-core EPYC 7662 node with 4 MI100s at idle
+(GPUs parked for this CPU workload).  Carbon intensity defaults to a
+US-grid-like 0.4 kgCO2/kWh.  The elastic-scaling ablation uses this to
+price static vs elastic allocations in kWh, not just worker-seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.trace import StepSeries
+
+__all__ = ["PowerModel", "EnergyReport", "energy_from_worker_series"]
+
+JOULES_PER_KWH = 3.6e6
+
+
+@dataclass(frozen=True)
+class PowerModel:
+    """Per-node power draw (watts)."""
+
+    idle_watts: float = 250.0      # CPU node floor incl. parked GPUs
+    busy_watts: float = 480.0      # all cores streaming
+    workers_per_node: int = 8      # the experiment's worker packing
+    carbon_kg_per_kwh: float = 0.4
+
+    def __post_init__(self) -> None:
+        if self.idle_watts < 0 or self.busy_watts < self.idle_watts:
+            raise ValueError("need 0 <= idle <= busy watts")
+        if self.workers_per_node < 1:
+            raise ValueError("workers per node must be >= 1")
+
+    def node_power(self, busy_workers_on_node: float) -> float:
+        """Interpolated node draw for a partial busy-worker load."""
+        load = min(max(busy_workers_on_node / self.workers_per_node, 0.0), 1.0)
+        return self.idle_watts + (self.busy_watts - self.idle_watts) * load
+
+
+@dataclass(frozen=True)
+class EnergyReport:
+    """Energy/carbon for one allocation policy over a time window."""
+
+    policy: str
+    node_seconds: float
+    worker_seconds: float
+    energy_kwh: float
+    carbon_kg: float
+
+    def __str__(self) -> str:
+        return (
+            f"{self.policy}: {self.energy_kwh:.3f} kWh "
+            f"({self.carbon_kg * 1000:.1f} gCO2), "
+            f"{self.node_seconds:.0f} node-s, {self.worker_seconds:.0f} worker-s"
+        )
+
+
+def energy_from_worker_series(
+    policy: str,
+    workers: StepSeries,
+    start: float,
+    end: float,
+    power: PowerModel | None = None,
+    static_nodes: int | None = None,
+) -> EnergyReport:
+    """Integrate a worker-count series into energy.
+
+    Elastic policy (``static_nodes=None``): allocated nodes at time t are
+    ``ceil(workers(t) / workers_per_node)``.  Static policy: the given
+    node count is held for the whole [start, end] window regardless of
+    instantaneous demand.
+    """
+    if end < start:
+        raise ValueError("window ends before it starts")
+    power = power or PowerModel()
+    # Integrate piecewise over the series' change points within the window.
+    times = [start] + [t for t in workers.times if start < t < end] + [end]
+    energy_j = 0.0
+    node_seconds = 0.0
+    worker_seconds = 0.0
+    for t0, t1 in zip(times, times[1:]):
+        span = t1 - t0
+        if span <= 0:
+            continue
+        count = workers.at(t0)
+        if static_nodes is not None:
+            nodes = static_nodes
+        else:
+            nodes = int(-(-count // power.workers_per_node)) if count > 0 else 0
+        if nodes == 0:
+            continue
+        per_node_busy = count / nodes if nodes else 0.0
+        energy_j += nodes * power.node_power(per_node_busy) * span
+        node_seconds += nodes * span
+        worker_seconds += count * span
+    energy_kwh = energy_j / JOULES_PER_KWH
+    return EnergyReport(
+        policy=policy,
+        node_seconds=node_seconds,
+        worker_seconds=worker_seconds,
+        energy_kwh=energy_kwh,
+        carbon_kg=energy_kwh * power.carbon_kg_per_kwh,
+    )

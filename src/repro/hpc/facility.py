@@ -1,0 +1,98 @@
+"""A facility = cluster + scheduler + shared filesystem + WAN attachment.
+
+The paper's workflow spans two OLCF facilities: ACE *Defiant* (download,
+preprocess, inference) and *Frontier* with the Orion filesystem (shipment
+target, downstream analytics).  :func:`build_defiant` / :func:`build_frontier`
+assemble simulated instances; :class:`Facility` is the object the
+Globus-like services (compute endpoints, transfer endpoints) attach to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.hpc.contention import (
+    DEFIANT_CROSS_NODE_USL,
+    DEFIANT_NODE_USL,
+    USLModel,
+)
+from repro.hpc.filesystem import SharedFilesystem
+from repro.hpc.machine import ClusterSpec, DEFIANT, FRONTIER
+from repro.hpc.slurm import SlurmScheduler
+from repro.sim import Simulation
+from repro.util.logging import EventLog
+
+__all__ = ["Facility", "build_defiant", "build_frontier"]
+
+
+@dataclass
+class Facility:
+    """One computing facility in the multi-facility ecosystem."""
+
+    name: str
+    cluster: ClusterSpec
+    scheduler: SlurmScheduler
+    filesystem: SharedFilesystem
+    node_usl: USLModel
+    cross_node_usl: USLModel
+    wan_bandwidth: float  # facility border bandwidth, bytes/s
+
+    def contention_factor(self, workers_per_node: int, num_nodes: int) -> float:
+        """Per-worker rate multiplier for a (workers/node, nodes) layout.
+
+        Composes the on-node USL efficiency at ``workers_per_node`` with
+        the cross-node efficiency at ``num_nodes`` — the calibrated model
+        behind Figs. 4-5 / Table I (see :mod:`repro.hpc.contention`).
+        """
+        if workers_per_node < 1 or num_nodes < 1:
+            raise ValueError("worker/node counts must be >= 1")
+        on_node = self.node_usl.efficiency(workers_per_node)
+        cross = self.cross_node_usl.efficiency(num_nodes)
+        return float(on_node * cross)
+
+
+def build_defiant(
+    sim: Simulation,
+    log: Optional[EventLog] = None,
+    allocation_latency: float = 1.5,
+) -> Facility:
+    """The ACE Defiant testbed (Section IV)."""
+    log = log or EventLog()
+    return Facility(
+        name="defiant",
+        cluster=DEFIANT,
+        scheduler=SlurmScheduler(sim, DEFIANT, allocation_latency=allocation_latency, log=log),
+        filesystem=SharedFilesystem(
+            sim,
+            "defiant-lustre",
+            aggregate_bw=DEFIANT.fs_aggregate_bw,
+            per_client_bw=DEFIANT.fs_per_client_bw,
+            capacity_bytes=DEFIANT.fs_capacity_bytes,
+            log=log,
+        ),
+        node_usl=DEFIANT_NODE_USL,
+        cross_node_usl=DEFIANT_CROSS_NODE_USL,
+        wan_bandwidth=12.5e9,
+    )
+
+
+def build_frontier(sim: Simulation, log: Optional[EventLog] = None) -> Facility:
+    """Frontier with the Orion Lustre filesystem (shipment target)."""
+    log = log or EventLog()
+    return Facility(
+        name="frontier",
+        cluster=FRONTIER,
+        scheduler=SlurmScheduler(sim, FRONTIER, log=log),
+        filesystem=SharedFilesystem(
+            sim,
+            "orion",
+            aggregate_bw=FRONTIER.fs_aggregate_bw,
+            per_client_bw=FRONTIER.fs_per_client_bw,
+            capacity_bytes=FRONTIER.fs_capacity_bytes,
+            log=log,
+        ),
+        node_usl=DEFIANT_NODE_USL,
+        cross_node_usl=DEFIANT_CROSS_NODE_USL,
+        wan_bandwidth=25e9,
+    )

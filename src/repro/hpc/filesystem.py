@@ -1,0 +1,151 @@
+"""A Lustre-like shared parallel filesystem model.
+
+Two concerns matter to the workflow:
+
+* **namespace** — stages communicate through files (preprocess writes
+  NetCDFs, the monitor crawler discovers them, inference appends labels,
+  shipment reads them), so the model keeps a real path -> entry map with
+  creation times and a "closed" flag (the paper delays processing "until
+  all downloads are complete" to avoid partial-read errors — the flag is
+  what makes that race observable);
+* **bandwidth** — all clients share the aggregate OST bandwidth
+  (max-min fair via :class:`~repro.sim.resources.FluidPipe`) with a
+  per-client ceiling, producing the gentle cross-node contention of
+  Fig. 4b / 5b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.sim import Event, FluidPipe, Simulation
+from repro.util.logging import EventLog
+
+__all__ = ["FileEntry", "SharedFilesystem"]
+
+
+@dataclass
+class FileEntry:
+    """One file in the shared namespace."""
+
+    path: str
+    nbytes: int
+    created_at: float
+    closed: bool = False
+    closed_at: Optional[float] = None
+    metadata: dict = field(default_factory=dict)
+
+
+class SharedFilesystem:
+    """Shared-bandwidth filesystem with a flat path namespace."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        name: str,
+        aggregate_bw: float,
+        per_client_bw: Optional[float] = None,
+        capacity_bytes: Optional[int] = None,
+        log: Optional[EventLog] = None,
+    ):
+        self.sim = sim
+        self.name = name
+        self.pipe = FluidPipe(sim, capacity=aggregate_bw, per_flow_cap=per_client_bw)
+        self.capacity_bytes = capacity_bytes
+        self.log = log or EventLog()
+        self.files: Dict[str, FileEntry] = {}
+        self.bytes_used = 0
+
+    # -- namespace ----------------------------------------------------------
+
+    def exists(self, path: str) -> bool:
+        return path in self.files
+
+    def entry(self, path: str) -> FileEntry:
+        if path not in self.files:
+            raise FileNotFoundError(f"{self.name}:{path}")
+        return self.files[path]
+
+    def listdir(self, prefix: str, only_closed: bool = True) -> List[FileEntry]:
+        """Entries whose path starts with ``prefix`` (sorted by path)."""
+        return sorted(
+            (
+                entry
+                for path, entry in self.files.items()
+                if path.startswith(prefix) and (entry.closed or not only_closed)
+            ),
+            key=lambda e: e.path,
+        )
+
+    def created_since(self, prefix: str, time: float) -> List[FileEntry]:
+        """Closed entries under ``prefix`` whose close time is > ``time``.
+
+        This is the crawler primitive of the Monitor & Trigger stage.
+        """
+        return sorted(
+            (
+                entry
+                for path, entry in self.files.items()
+                if path.startswith(prefix)
+                and entry.closed
+                and entry.closed_at is not None
+                and entry.closed_at > time
+            ),
+            key=lambda e: (e.closed_at, e.path),
+        )
+
+    def unlink(self, path: str) -> None:
+        entry = self.entry(path)
+        self.bytes_used -= entry.nbytes
+        del self.files[path]
+        self.log.emit(self.sim.now, self.name, "unlink", path=path)
+
+    # -- data movement ----------------------------------------------------------
+
+    def write(self, path: str, nbytes: int, metadata: Optional[dict] = None) -> Event:
+        """Start writing a file; the returned event fires when it closes.
+
+        While the write is in flight the entry exists but is not
+        ``closed`` — exactly the partial-file hazard the paper's download
+        barrier avoids.
+        """
+        if nbytes < 0:
+            raise ValueError("file size must be non-negative")
+        if path in self.files:
+            raise FileExistsError(f"{self.name}:{path}")
+        if self.capacity_bytes is not None and self.bytes_used + nbytes > self.capacity_bytes:
+            raise OSError(f"filesystem {self.name} is full")
+        entry = FileEntry(path=path, nbytes=nbytes, created_at=self.sim.now, metadata=metadata or {})
+        self.files[path] = entry
+        self.bytes_used += nbytes
+        done = self.sim.event()
+        flow = self.pipe.transfer(float(nbytes))
+
+        def finish(_event: Event) -> None:
+            entry.closed = True
+            entry.closed_at = self.sim.now
+            self.log.emit(self.sim.now, self.name, "close", path=path, nbytes=nbytes)
+            done.succeed(entry)
+
+        flow._add_callback(finish)
+        return done
+
+    def read(self, path: str) -> Event:
+        """Read a closed file fully; fires with the entry when done."""
+        entry = self.entry(path)
+        if not entry.closed:
+            raise OSError(f"{self.name}:{path} is still being written")
+        done = self.sim.event()
+        flow = self.pipe.transfer(float(entry.nbytes))
+        flow._add_callback(lambda _event: done.succeed(entry))
+        return done
+
+    def write_proc(self, path: str, nbytes: int, metadata: Optional[dict] = None) -> Generator:
+        """Generator helper: ``yield from fs.write_proc(...)`` in a process."""
+        entry = yield self.write(path, nbytes, metadata)
+        return entry
+
+    def read_proc(self, path: str) -> Generator:
+        entry = yield self.read(path)
+        return entry

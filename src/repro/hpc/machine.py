@@ -1,0 +1,78 @@
+"""Machine descriptions: nodes, clusters, and the paper's systems.
+
+Section IV: "we use OLCF's 36-node Defiant cluster.  Each compute node
+contains a 64-core AMD EPYC 7662 CPU each with 256GB DDR4 RAM, and linked
+to four AMD MI100 GPUs.  Nodes are linked via a 12.5 GB/s Slingshot-10
+interconnect, and a 1.6PB Lustre file system."  Frontier/Orion appears as
+the shipment target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.units import parse_bytes, parse_rate
+
+__all__ = ["NodeSpec", "ClusterSpec", "DEFIANT", "FRONTIER"]
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """One compute node's resources."""
+
+    cores: int
+    memory_bytes: int
+    gpus: int = 0
+    memory_bandwidth: float = parse_rate("150 GB/s")  # 8-ch DDR4-3200 class
+
+    def __post_init__(self) -> None:
+        if self.cores < 1:
+            raise ValueError("node needs at least one core")
+        if self.memory_bytes <= 0:
+            raise ValueError("node memory must be positive")
+        if self.gpus < 0:
+            raise ValueError("gpu count must be non-negative")
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A homogeneous cluster with a shared filesystem and interconnect."""
+
+    name: str
+    num_nodes: int
+    node: NodeSpec
+    interconnect_bw: float            # per-node link, bytes/s
+    fs_capacity_bytes: int
+    fs_aggregate_bw: float            # shared filesystem bytes/s
+    fs_per_client_bw: float           # one node's max filesystem rate
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("cluster needs at least one node")
+        if min(self.interconnect_bw, self.fs_aggregate_bw, self.fs_per_client_bw) <= 0:
+            raise ValueError("bandwidths must be positive")
+
+    @property
+    def total_cores(self) -> int:
+        return self.num_nodes * self.node.cores
+
+
+DEFIANT = ClusterSpec(
+    name="defiant",
+    num_nodes=36,
+    node=NodeSpec(cores=64, memory_bytes=parse_bytes("256GB"), gpus=4),
+    interconnect_bw=parse_rate("12.5 GB/s"),
+    fs_capacity_bytes=parse_bytes("1.6PB"),
+    fs_aggregate_bw=parse_rate("60 GB/s"),
+    fs_per_client_bw=parse_rate("10 GB/s"),
+)
+
+FRONTIER = ClusterSpec(
+    name="frontier",
+    num_nodes=9408,
+    node=NodeSpec(cores=64, memory_bytes=parse_bytes("512GB"), gpus=8),
+    interconnect_bw=parse_rate("25 GB/s"),
+    fs_capacity_bytes=parse_bytes("679PB"),  # Orion
+    fs_aggregate_bw=parse_rate("5 TB/s"),
+    fs_per_client_bw=parse_rate("12 GB/s"),
+)

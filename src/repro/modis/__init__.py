@@ -1,0 +1,70 @@
+"""Synthetic MODIS products and a LAADS-DAAC-like archive.
+
+Substitutes for the paper's NASA data dependency: deterministic synthetic
+swaths (cloud scenes + geolocation + derived cloud products) with the real
+products' structure, naming, and byte-size distributions.
+"""
+
+from repro.modis.archive import GranuleRef, LaadsArchive
+from repro.modis.constants import (
+    AICCA_BANDS,
+    AICCA_NUM_CLASSES,
+    GRANULES_PER_DAY,
+    MINI_SWATH,
+    OCEAN_CLOUD_THRESHOLD,
+    PAPER_SWATH,
+    PRODUCTS,
+    SwathSpec,
+    TILE_SIZE,
+    resolve_product,
+)
+from repro.modis.geolocation import granule_geolocation, orbit_track
+from repro.modis.granule import EPOCH, GranuleId, generate_granule
+from repro.modis.solar import (
+    classify_day_night,
+    day_fraction,
+    reflective_attenuation,
+    solar_declination,
+    solar_zenith,
+)
+from repro.modis.synthesis import (
+    CLOUD_REGIMES,
+    REGIME_NAMES,
+    Scene,
+    gaussian_random_field,
+    land_fraction,
+    land_mask,
+    synthesize_scene,
+)
+
+__all__ = [
+    "LaadsArchive",
+    "GranuleRef",
+    "GranuleId",
+    "generate_granule",
+    "EPOCH",
+    "SwathSpec",
+    "PAPER_SWATH",
+    "MINI_SWATH",
+    "TILE_SIZE",
+    "AICCA_BANDS",
+    "AICCA_NUM_CLASSES",
+    "GRANULES_PER_DAY",
+    "OCEAN_CLOUD_THRESHOLD",
+    "PRODUCTS",
+    "resolve_product",
+    "granule_geolocation",
+    "orbit_track",
+    "synthesize_scene",
+    "Scene",
+    "gaussian_random_field",
+    "land_fraction",
+    "land_mask",
+    "CLOUD_REGIMES",
+    "REGIME_NAMES",
+    "solar_zenith",
+    "solar_declination",
+    "classify_day_night",
+    "day_fraction",
+    "reflective_attenuation",
+]

@@ -1,0 +1,132 @@
+"""A LAADS-DAAC-like archive: catalog queries and granule retrieval.
+
+NASA's LAADS DAAC serves MODIS granules over HTTPS with a query interface
+(product, time span).  :class:`LaadsArchive` reproduces the interface the
+workflow needs:
+
+* :meth:`query` — list granule references (name + byte size) for a
+  product over a date range, as the download stage's work units;
+* :meth:`fetch` — materialize a granule's synthetic content (used by the
+  real, laptop-scale execution path);
+* byte sizes follow the paper's per-day product volumes, so the simulated
+  network path (Fig. 3) sees realistic file-size distributions without
+  materializing any data.
+
+An optional :class:`repro.net.http.HttpServer` attachment gives the
+archive a simulated NIC so concurrent downloads contend for bandwidth.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Sequence
+
+from repro.modis.constants import GRANULES_PER_DAY, SwathSpec, MINI_SWATH, resolve_product
+from repro.modis.granule import EPOCH, GranuleId, generate_granule
+from repro.netcdf import Dataset
+
+__all__ = ["GranuleRef", "LaadsArchive"]
+
+
+@dataclass(frozen=True)
+class GranuleRef:
+    """A catalog entry: enough to plan and execute a download."""
+
+    gid: GranuleId
+    nbytes: int
+
+    @property
+    def filename(self) -> str:
+        return self.gid.filename
+
+
+class LaadsArchive:
+    """The archive facade.
+
+    ``seed`` fixes both granule content and the size distribution;
+    ``swath`` sets the raster scale at which :meth:`fetch` materializes
+    content (tests/examples use :data:`MINI_SWATH`; simulations never call
+    :meth:`fetch` and work at paper-scale byte counts).
+    """
+
+    def __init__(self, seed: int = 0, swath: SwathSpec = MINI_SWATH):
+        self.seed = int(seed)
+        self.swath = swath
+
+    # -- catalog ------------------------------------------------------------
+
+    def _size_draw(self, gid: GranuleId) -> float:
+        digest = hashlib.sha256(f"{self.seed}:size:{gid.key}".encode()).digest()
+        return int.from_bytes(digest[:8], "little") / 2**64
+
+    def granule_ref(self, gid: GranuleId) -> GranuleRef:
+        spec = resolve_product(gid.product)
+        return GranuleRef(gid=gid, nbytes=spec.granule_bytes(self._size_draw(gid)))
+
+    def query(
+        self,
+        product: str,
+        start: dt.date,
+        end: Optional[dt.date] = None,
+        max_per_day: Optional[int] = None,
+    ) -> List[GranuleRef]:
+        """Catalog granules of ``product`` with dates in [start, end].
+
+        ``max_per_day`` truncates each day's 288 granules (the benchmarks
+        use this to build batches of a target byte size).
+        """
+        spec = resolve_product(product)
+        end = end or start
+        if end < start:
+            raise ValueError("end date before start date")
+        if start < EPOCH:
+            raise ValueError(f"archive begins at {EPOCH.isoformat()}")
+        per_day = GRANULES_PER_DAY if max_per_day is None else min(max_per_day, GRANULES_PER_DAY)
+        refs: List[GranuleRef] = []
+        day = start
+        while day <= end:
+            for index in range(per_day):
+                gid = GranuleId(product=spec.short_name, date=day, index=index)
+                refs.append(self.granule_ref(gid))
+            day += dt.timedelta(days=1)
+        return refs
+
+    def query_batch_by_bytes(
+        self,
+        products: Sequence[str],
+        start: dt.date,
+        target_bytes_per_product: int,
+    ) -> List[GranuleRef]:
+        """Granules of each product from ``start`` onward until each
+        product batch reaches ``target_bytes_per_product``.
+
+        This is the workload generator for the Fig. 3 download sweep
+        ("file sizes starting from 100MB ... to 30GB" per product).
+        """
+        refs: List[GranuleRef] = []
+        for product in products:
+            total = 0
+            day = start
+            while total < target_bytes_per_product:
+                for index in range(GRANULES_PER_DAY):
+                    gid = GranuleId(product=resolve_product(product).short_name, date=day, index=index)
+                    ref = self.granule_ref(gid)
+                    refs.append(ref)
+                    total += ref.nbytes
+                    if total >= target_bytes_per_product:
+                        break
+                day += dt.timedelta(days=1)
+        return refs
+
+    # -- retrieval ------------------------------------------------------------
+
+    def fetch(self, ref: GranuleRef, bands: Optional[Iterable[int]] = None) -> Dataset:
+        """Materialize a granule's content (the laptop-scale 'download')."""
+        return generate_granule(
+            ref.gid, self.swath, seed=self.seed, bands=tuple(bands) if bands else None
+        )
+
+    def total_bytes(self, refs: Iterable[GranuleRef]) -> int:
+        return sum(ref.nbytes for ref in refs)

@@ -1,0 +1,163 @@
+"""MODIS instrument, product, and AICCA constants.
+
+Values follow Section II of the paper and the underlying AICCA/RICC
+publications: the MODIS instruments image a ~2330 km x 2030 km swath in 36
+spectral bands (0.4-14.4 um), binned into 5-minute granules (up to 288 per
+day); AICCA consumes 128 x 128-pixel, 6-channel ocean-cloud tiles and
+assigns one of 42 cloud classes.
+
+Per-day product volumes (MOD02 ~= 32 GB, MOD03 ~= 8.4 GB, MOD06 ~= 18 GB;
+Section III "Data download") give the per-granule size model used by the
+archive and network simulators.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "SWATH_LINES",
+    "SWATH_PIXELS",
+    "NUM_BANDS",
+    "TILE_SIZE",
+    "AICCA_BANDS",
+    "AICCA_NUM_CLASSES",
+    "GRANULES_PER_DAY",
+    "GRANULE_MINUTES",
+    "OCEAN_CLOUD_THRESHOLD",
+    "BAND_WAVELENGTHS_UM",
+    "ProductSpec",
+    "PRODUCTS",
+    "SwathSpec",
+    "PAPER_SWATH",
+    "MINI_SWATH",
+]
+
+# Full MODIS L1B swath geometry (1 km resolution).
+SWATH_LINES = 2030
+SWATH_PIXELS = 1354
+NUM_BANDS = 36
+
+# AICCA tile geometry: 128 x 128 pixels x 6 channels (Section II-B).
+TILE_SIZE = 128
+# The six MODIS bands used by RICC/AICCA (Kurihana et al. 2022): two
+# shortwave window bands, one mid-IR, two water-vapour, one thermal window.
+AICCA_BANDS: Tuple[int, ...] = (6, 7, 20, 28, 29, 31)
+AICCA_NUM_CLASSES = 42
+
+# Five-minute granules; 24 h * 60 / 5 = 288 per instrument-day.
+GRANULES_PER_DAY = 288
+GRANULE_MINUTES = 5
+
+# "ocean cloud tile selection defined as > 30% cloud pixels over only
+# ocean regions" (Section II-B).
+OCEAN_CLOUD_THRESHOLD = 0.30
+
+# Centre wavelengths (um) for the 36 bands (nominal values).
+BAND_WAVELENGTHS_UM: Dict[int, float] = {
+    1: 0.645, 2: 0.858, 3: 0.469, 4: 0.555, 5: 1.240, 6: 1.640, 7: 2.130,
+    8: 0.412, 9: 0.443, 10: 0.488, 11: 0.531, 12: 0.551, 13: 0.667,
+    14: 0.678, 15: 0.748, 16: 0.869, 17: 0.905, 18: 0.936, 19: 0.940,
+    20: 3.750, 21: 3.959, 22: 3.959, 23: 4.050, 24: 4.465, 25: 4.515,
+    26: 1.375, 27: 6.715, 28: 7.325, 29: 8.550, 30: 9.730, 31: 11.030,
+    32: 12.020, 33: 13.335, 34: 13.635, 35: 13.935, 36: 14.235,
+}
+
+
+@dataclass(frozen=True)
+class ProductSpec:
+    """One MODIS product family as served by LAADS DAAC."""
+
+    short_name: str          # e.g. "MOD021KM" (Terra) / "MYD021KM" (Aqua)
+    description: str
+    mean_granule_bytes: int  # derived from the paper's per-day volumes
+    granule_bytes_cv: float  # coefficient of variation of granule size
+
+    def granule_bytes(self, u: float) -> int:
+        """Deterministic size for a granule given a uniform draw ``u``.
+
+        A simple two-sided triangular spread around the mean keeps sizes
+        positive and reproducible without needing a stateful RNG.
+        """
+        spread = self.mean_granule_bytes * self.granule_bytes_cv
+        return max(1, int(self.mean_granule_bytes + (2.0 * u - 1.0) * spread))
+
+
+def _per_granule(day_bytes: float) -> int:
+    return int(day_bytes / GRANULES_PER_DAY)
+
+
+# Per-day volumes from Section III: MOD02 ~ 32 GB, MOD03 ~ 8.4 GB,
+# MOD06 ~ 18 GB.  MYD* (Aqua) mirror the Terra sizes.
+PRODUCTS: Dict[str, ProductSpec] = {}
+for _terra, _aqua, _day_gb, _desc in (
+    ("MOD021KM", "MYD021KM", 32.0, "Level-1B calibrated radiances, 1 km"),
+    ("MOD03", "MYD03", 8.4, "Geolocation fields, 1 km"),
+    ("MOD06_L2", "MYD06_L2", 18.0, "Atmosphere Level-2 cloud product"),
+):
+    for _name in (_terra, _aqua):
+        PRODUCTS[_name] = ProductSpec(
+            short_name=_name,
+            description=_desc,
+            mean_granule_bytes=_per_granule(_day_gb * 10**9),
+            granule_bytes_cv=0.25,
+        )
+
+#: Canonical short aliases used throughout the paper's text.
+PRODUCT_ALIASES = {
+    "MOD02": "MOD021KM",
+    "MYD02": "MYD021KM",
+    "MOD03": "MOD03",
+    "MYD03": "MYD03",
+    "MOD06": "MOD06_L2",
+    "MYD06": "MYD06_L2",
+}
+
+
+def resolve_product(name: str) -> ProductSpec:
+    """Look up a product by canonical or alias name."""
+    canonical = PRODUCT_ALIASES.get(name, name)
+    if canonical not in PRODUCTS:
+        raise KeyError(
+            f"unknown MODIS product {name!r}; known: {sorted(PRODUCTS)} "
+            f"(aliases: {sorted(PRODUCT_ALIASES)})"
+        )
+    return PRODUCTS[canonical]
+
+
+@dataclass(frozen=True)
+class SwathSpec:
+    """Swath raster geometry, parameterized so tests can run downscaled.
+
+    ``PAPER_SWATH`` is the real instrument geometry; ``MINI_SWATH`` keeps
+    the same aspect and tile divisibility at 1/8 linear scale for fast
+    tests and examples.
+    """
+
+    lines: int
+    pixels: int
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        if self.lines < self.tile_size or self.pixels < self.tile_size:
+            raise ValueError("swath smaller than one tile")
+        if self.tile_size < 2:
+            raise ValueError("tile size must be >= 2")
+
+    @property
+    def tile_rows(self) -> int:
+        """Number of whole tile rows (partial edge tiles are discarded)."""
+        return self.lines // self.tile_size
+
+    @property
+    def tile_cols(self) -> int:
+        return self.pixels // self.tile_size
+
+    @property
+    def max_tiles(self) -> int:
+        return self.tile_rows * self.tile_cols
+
+
+PAPER_SWATH = SwathSpec(lines=SWATH_LINES, pixels=SWATH_PIXELS, tile_size=TILE_SIZE)
+MINI_SWATH = SwathSpec(lines=256, pixels=176, tile_size=16)

@@ -1,0 +1,227 @@
+"""Granule identity, naming, and product file generation.
+
+LAADS DAAC names granules ``<PRODUCT>.A<YYYY><DDD>.<HHMM>.<CCC>.<PROD>.hdf``
+(e.g. ``MOD021KM.A2022001.0000.061.2022002183245.hdf``).  This module
+implements that naming plus the generation of the three product files the
+workflow consumes — MOD02 (radiances), MOD03 (geolocation), MOD06 (cloud
+product) — as :class:`repro.netcdf.Dataset` objects whose *content* is
+synthesized deterministically from (product, date, granule index, seed).
+
+Determinism contract: the latent cloud scene depends on (date, index,
+seed) but **not** on the product, so MOD02 and MOD06 for the same granule
+are physically consistent — exactly the property preprocessing relies on
+when it fuses the three products (Section III, stage 2).
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.modis import solar, synthesis
+from repro.modis.constants import (
+    AICCA_BANDS,
+    GRANULE_MINUTES,
+    GRANULES_PER_DAY,
+    SwathSpec,
+    resolve_product,
+)
+from repro.modis.geolocation import granule_geolocation
+from repro.modis.radiance import scene_radiances
+from repro.netcdf import Dataset
+
+__all__ = ["GranuleId", "generate_granule", "EPOCH"]
+
+EPOCH = dt.date(2000, 2, 24)  # Terra first-light, the archive's first day
+
+_FILENAME_RE = re.compile(
+    r"^(?P<product>[A-Z0-9_]+)\.A(?P<year>\d{4})(?P<doy>\d{3})\.(?P<hhmm>\d{4})"
+    r"\.(?P<collection>\d{3})\.(?P<proc>\d{13})\.hdf$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class GranuleId:
+    """Identity of one 5-minute granule of one product."""
+
+    product: str
+    date: dt.date
+    index: int  # 0..287 within the day
+    collection: str = "061"
+
+    def __post_init__(self) -> None:
+        resolve_product(self.product)  # validates
+        if not 0 <= self.index < GRANULES_PER_DAY:
+            raise ValueError(f"granule index out of range: {self.index}")
+
+    @property
+    def hhmm(self) -> str:
+        minutes = self.index * GRANULE_MINUTES
+        return f"{minutes // 60:02d}{minutes % 60:02d}"
+
+    @property
+    def day_of_year(self) -> int:
+        return self.date.timetuple().tm_yday
+
+    @property
+    def filename(self) -> str:
+        # The processing timestamp is deterministic: two days after
+        # acquisition at a pseudo-random-but-fixed second of day.
+        proc_date = self.date + dt.timedelta(days=2)
+        digest = int(hashlib.sha256(self.key.encode()).hexdigest()[:6], 16)
+        proc_s = digest % 86400
+        proc = (
+            f"{proc_date.year:04d}{proc_date.timetuple().tm_yday:03d}"
+            f"{proc_s // 3600:02d}{(proc_s % 3600) // 60:02d}{proc_s % 60:02d}"
+        )
+        return (
+            f"{self.product}.A{self.date.year:04d}{self.day_of_year:03d}"
+            f".{self.hhmm}.{self.collection}.{proc}.hdf"
+        )
+
+    @property
+    def key(self) -> str:
+        """A stable identity string (product + acquisition time)."""
+        return f"{self.product}.A{self.date.isoformat()}.{self.index:03d}"
+
+    @property
+    def satellite(self) -> str:
+        """'terra' for MOD* products, 'aqua' for MYD*."""
+        return "aqua" if self.product.startswith("MY") else "terra"
+
+    @property
+    def scene_key(self) -> str:
+        """Identity of the underlying observed scene.
+
+        Product-independent (MOD02/MOD03/MOD06 of one acquisition share
+        it) but satellite-*dependent*: Terra and Aqua cross the equator
+        three hours apart, so the same 5-minute slot sees different
+        scenes on the two instruments.
+        """
+        return f"scene.{self.satellite}.{self.date.isoformat()}.{self.index:03d}"
+
+    @classmethod
+    def parse(cls, filename: str) -> "GranuleId":
+        match = _FILENAME_RE.match(filename)
+        if match is None:
+            raise ValueError(f"not a LAADS granule filename: {filename!r}")
+        year = int(match.group("year"))
+        date = dt.date(year, 1, 1) + dt.timedelta(days=int(match.group("doy")) - 1)
+        hhmm = match.group("hhmm")
+        index = (int(hhmm[:2]) * 60 + int(hhmm[2:])) // GRANULE_MINUTES
+        return cls(
+            product=match.group("product"),
+            date=date,
+            index=index,
+            collection=match.group("collection"),
+        )
+
+
+def _scene_rng(gid: GranuleId, seed: int) -> np.random.Generator:
+    digest = hashlib.sha256(f"{seed}:{gid.scene_key}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def _product_rng(gid: GranuleId, seed: int, purpose: str) -> np.random.Generator:
+    digest = hashlib.sha256(f"{seed}:{gid.key}:{purpose}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def generate_granule(
+    gid: GranuleId,
+    spec: SwathSpec,
+    seed: int = 0,
+    bands: Optional[Sequence[int]] = None,
+) -> Dataset:
+    """Materialize one product granule as a NetCDF dataset.
+
+    The family of ``gid.product`` decides the layout:
+
+    * ``*021KM``: float32 ``radiance`` (band, line, pixel) for the AICCA
+      bands (or ``bands`` if given), band list in attribute ``band_list``;
+    * ``*03``: float32 ``latitude`` / ``longitude`` (line, pixel);
+    * ``*06_L2``: int8 ``cloud_mask``, float32 ``cloud_optical_thickness``,
+      ``cloud_top_pressure``, ``cloud_effective_radius``.
+
+    Every dataset carries global attributes recording identity and the
+    ground-truth generating regime (used only by evaluation/tests, the way
+    a labelled validation set would be).
+    """
+    family = gid.product.lstrip("MYOD")  # "021KM", "03", "06_L2"
+    day_offset = (gid.date - EPOCH).days
+    lat, lon = granule_geolocation(gid.index, spec, day_offset=day_offset)
+    scene = synthesis.synthesize_scene((spec.lines, spec.pixels), _scene_rng(gid, seed))
+    land = synthesis.land_mask(lat, lon)
+    utc_hours = (gid.index * GRANULE_MINUTES) / 60.0
+    sza = solar.solar_zenith(lat, lon, gid.date, utc_hours)
+
+    ds = Dataset()
+    ds.create_dimension("line", spec.lines)
+    ds.create_dimension("pixel", spec.pixels)
+    ds.set_attr("granule", gid.filename)
+    ds.set_attr("product", gid.product)
+    ds.set_attr("acquisition_date", gid.date.isoformat())
+    ds.set_attr("granule_index", gid.index)
+    ds.set_attr("true_regime", scene.regime)
+    ds.set_attr("day_night", solar.classify_day_night(sza))
+    ds.set_attr("day_fraction", float(solar.day_fraction(sza)))
+
+    if family == "021KM":
+        use_bands = tuple(bands) if bands is not None else AICCA_BANDS
+        ds.create_dimension("band", len(use_bands))
+        rng = _product_rng(gid, seed, "radiance")
+        images = scene_radiances(
+            scene, land, lat, rng, bands=use_bands,
+            illumination=solar.reflective_attenuation(sza),
+        )
+        stack = np.stack([images[b] for b in use_bands])
+        ds.create_variable(
+            "radiance",
+            "f4",
+            ("band", "line", "pixel"),
+            stack,
+            attributes={"units": "scaled", "long_name": "calibrated scaled radiance"},
+        )
+        ds.set_attr("band_list", np.array(use_bands, dtype=np.int32))
+    elif family == "03":
+        ds.create_variable(
+            "latitude", "f4", ("line", "pixel"), lat, attributes={"units": "degrees_north"}
+        )
+        ds.create_variable(
+            "longitude", "f4", ("line", "pixel"), lon, attributes={"units": "degrees_east"}
+        )
+    elif family == "06_L2":
+        ds.create_variable(
+            "cloud_mask",
+            "i1",
+            ("line", "pixel"),
+            scene.cloud_mask.astype(np.int8),
+            attributes={"flag_meanings": "0=clear 1=cloudy"},
+        )
+        ds.create_variable(
+            "cloud_optical_thickness", "f4", ("line", "pixel"), scene.tau,
+            attributes={"units": "1"},
+        )
+        ds.create_variable(
+            "cloud_top_pressure", "f4", ("line", "pixel"), scene.ctp,
+            attributes={"units": "hPa"},
+        )
+        ds.create_variable(
+            "cloud_effective_radius", "f4", ("line", "pixel"), scene.effective_radius,
+            attributes={"units": "um"},
+        )
+        ds.create_variable(
+            "land_mask",
+            "i1",
+            ("line", "pixel"),
+            land.astype(np.int8),
+            attributes={"flag_meanings": "0=ocean 1=land"},
+        )
+    else:
+        raise ValueError(f"unknown product family for {gid.product!r}")
+    return ds

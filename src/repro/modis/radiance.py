@@ -1,0 +1,117 @@
+"""MOD02-style calibrated radiance synthesis.
+
+Maps a latent cloud :class:`~repro.modis.synthesis.Scene` plus the surface
+(land/ocean, latitude-dependent surface temperature) to per-band imagery:
+
+* **Reflective bands** (1.6 um band 6, 2.1 um band 7): cloud reflectance
+  grows with optical thickness tau as tau / (tau + gamma) over a dark ocean
+  / brighter land background, with band-dependent gamma (band 7 saturates
+  faster, giving tau-dependent band ratios like real liquid clouds);
+* **Emissive bands** (3.75 um band 20, 6.7-8.5 um bands 28/29, 11 um band
+  31): brightness temperature follows cloud-top pressure through a
+  standard-atmosphere lapse, so high cloud is cold and low cloud is warm.
+
+The texture of the output therefore carries the regime signal (coverage,
+slope, tau, CTP) that the RICC clustering downstream must recover.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.modis.constants import AICCA_BANDS, BAND_WAVELENGTHS_UM
+from repro.modis.synthesis import Scene
+
+__all__ = ["band_radiance", "scene_radiances", "brightness_temperature_from_ctp"]
+
+_REFLECTIVE_GAMMA = {6: 8.0, 7: 5.0}
+_OCEAN_ALBEDO = {6: 0.04, 7: 0.03}
+_LAND_ALBEDO = {6: 0.22, 7: 0.18}
+_EMISSIVE_OFFSET = {20: 6.0, 27: -28.0, 28: -22.0, 29: -4.0, 31: 0.0, 32: -1.5}
+
+SCALE_HEIGHT_KM = 8.4
+LAPSE_K_PER_KM = 6.5
+SURFACE_T0 = 288.15
+SURFACE_P0 = 1013.25
+
+
+def brightness_temperature_from_ctp(ctp_hpa: np.ndarray) -> np.ndarray:
+    """Approximate cloud-top temperature (K) from cloud-top pressure (hPa).
+
+    Standard-atmosphere inversion: z = -H ln(p / p0), T = T0 - Gamma z,
+    clipped at the tropopause (~216 K).
+    """
+    ctp = np.clip(np.asarray(ctp_hpa, dtype=np.float64), 50.0, SURFACE_P0)
+    z_km = -SCALE_HEIGHT_KM * np.log(ctp / SURFACE_P0)
+    return np.clip(SURFACE_T0 - LAPSE_K_PER_KM * z_km, 216.0, SURFACE_T0)
+
+
+def _surface_temperature(lat: np.ndarray) -> np.ndarray:
+    """Zonally symmetric surface temperature (K): warm tropics, cold poles."""
+    return 301.0 - 45.0 * np.sin(np.deg2rad(np.abs(lat))) ** 2
+
+
+def band_radiance(
+    band: int,
+    scene: Scene,
+    land: np.ndarray,
+    lat: np.ndarray,
+    rng: np.random.Generator,
+    illumination: np.ndarray | None = None,
+) -> np.ndarray:
+    """Synthesize one band's imagery (float32, arbitrary calibrated units).
+
+    Reflective bands return reflectance-like values in [0, ~1]; emissive
+    bands return brightness temperatures scaled to a comparable range
+    (T/300), keeping all channels O(1) for the autoencoder.
+
+    ``illumination`` (from :func:`repro.modis.solar.reflective_attenuation`)
+    scales the solar bands: zero on the night side, cos(SZA) by day.
+    Emissive bands are unaffected — exactly the day/night band-availability
+    asymmetry the paper's preprocessing contends with.
+    """
+    if band not in BAND_WAVELENGTHS_UM:
+        raise KeyError(f"unknown MODIS band {band}")
+    mask = scene.cloud_mask
+    if band in _REFLECTIVE_GAMMA:
+        gamma = _REFLECTIVE_GAMMA[band]
+        background = np.where(land, _LAND_ALBEDO[band], _OCEAN_ALBEDO[band])
+        cloud_reflectance = scene.tau / (scene.tau + gamma)
+        image = np.where(mask, np.maximum(cloud_reflectance, background), background)
+        if illumination is not None:
+            image = image * illumination
+        noise_scale = 0.01
+    elif band in _EMISSIVE_OFFSET or BAND_WAVELENGTHS_UM[band] > 3.0:
+        offset = _EMISSIVE_OFFSET.get(band, 0.0)
+        surface_t = _surface_temperature(lat) + np.where(land, 4.0, 0.0)
+        cloud_t = brightness_temperature_from_ctp(scene.ctp)
+        # Thin cloud is semi-transparent in the window bands: blend by
+        # emissivity 1 - exp(-tau).
+        emissivity = 1.0 - np.exp(-np.clip(scene.tau, 0.0, 50.0))
+        top = emissivity * cloud_t + (1.0 - emissivity) * surface_t
+        image = (np.where(mask, top, surface_t) + offset) / 300.0
+        noise_scale = 0.003
+    else:
+        # Other solar bands: generic reflectance model.
+        background = np.where(land, 0.2, 0.05)
+        image = np.where(mask, np.maximum(scene.tau / (scene.tau + 10.0), background), background)
+        noise_scale = 0.01
+    image = image + rng.normal(0.0, noise_scale, size=image.shape)
+    return image.astype(np.float32)
+
+
+def scene_radiances(
+    scene: Scene,
+    land: np.ndarray,
+    lat: np.ndarray,
+    rng: np.random.Generator,
+    bands: Sequence[int] = AICCA_BANDS,
+    illumination: np.ndarray | None = None,
+) -> Dict[int, np.ndarray]:
+    """All requested bands for one scene, keyed by band number."""
+    return {
+        band: band_radiance(band, scene, land, lat, rng, illumination=illumination)
+        for band in bands
+    }

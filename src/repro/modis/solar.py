@@ -1,0 +1,81 @@
+"""Solar geometry: zenith angles and the day/night granule split.
+
+MODIS reflective bands (6, 7) carry signal only on the day side; the
+paper notes preprocessing time varies with "the availability of certain
+information bands during nighttime hours" (Section III).  This module
+computes per-pixel solar zenith angles with the standard declination /
+hour-angle formulas, classifies granules as day, night, or terminator,
+and provides the reflective-band attenuation factor used by the radiance
+generator.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+from typing import Tuple
+
+import numpy as np
+
+__all__ = [
+    "solar_declination",
+    "solar_zenith",
+    "day_fraction",
+    "classify_day_night",
+    "reflective_attenuation",
+]
+
+
+def solar_declination(date: dt.date) -> float:
+    """Solar declination (degrees) via the Cooper approximation."""
+    day_of_year = date.timetuple().tm_yday
+    return 23.44 * np.sin(np.deg2rad(360.0 * (284 + day_of_year) / 365.0))
+
+
+def solar_zenith(
+    lat: np.ndarray,
+    lon: np.ndarray,
+    date: dt.date,
+    utc_hours: float,
+) -> np.ndarray:
+    """Solar zenith angle (degrees) for each (lat, lon) at a UTC time.
+
+    cos(SZA) = sin(lat) sin(dec) + cos(lat) cos(dec) cos(hour angle),
+    with the hour angle from local solar time = UTC + lon / 15.
+    """
+    if not 0.0 <= utc_hours < 24.0:
+        raise ValueError(f"utc_hours must be in [0, 24), got {utc_hours}")
+    lat_r = np.deg2rad(np.asarray(lat, dtype=np.float64))
+    dec_r = np.deg2rad(solar_declination(date))
+    local_solar_hours = (utc_hours + np.asarray(lon, dtype=np.float64) / 15.0) % 24.0
+    hour_angle = np.deg2rad(15.0 * (local_solar_hours - 12.0))
+    cos_sza = np.sin(lat_r) * np.sin(dec_r) + np.cos(lat_r) * np.cos(dec_r) * np.cos(hour_angle)
+    return np.rad2deg(np.arccos(np.clip(cos_sza, -1.0, 1.0)))
+
+
+def day_fraction(sza: np.ndarray, terminator_deg: float = 85.0) -> float:
+    """Fraction of pixels on the day side (SZA below the terminator)."""
+    sza = np.asarray(sza)
+    if sza.size == 0:
+        raise ValueError("empty zenith array")
+    return float((sza < terminator_deg).mean())
+
+
+def classify_day_night(sza: np.ndarray, terminator_deg: float = 85.0) -> str:
+    """'day' (>90% lit), 'night' (<10% lit), else 'terminator'."""
+    lit = day_fraction(sza, terminator_deg)
+    if lit > 0.9:
+        return "day"
+    if lit < 0.1:
+        return "night"
+    return "terminator"
+
+
+def reflective_attenuation(sza: np.ndarray, terminator_deg: float = 85.0) -> np.ndarray:
+    """Reflective-band illumination factor in [0, 1].
+
+    cos(SZA) on the day side (the first-order irradiance scaling), zero
+    past the terminator — night pixels carry no solar signal.
+    """
+    sza = np.asarray(sza, dtype=np.float64)
+    factor = np.cos(np.deg2rad(np.clip(sza, 0.0, 90.0)))
+    return np.where(sza < terminator_deg, np.clip(factor, 0.0, 1.0), 0.0)

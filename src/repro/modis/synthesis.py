@@ -1,0 +1,228 @@
+"""Synthetic cloud scenes and a deterministic synthetic planet.
+
+The paper's data substrate is 850 TB of real MODIS imagery, which is not
+available offline.  What the workflow actually *consumes* is the joint
+structure of (radiance texture, cloud mask, land/ocean mask): tiles are
+selected by ocean/cloud fraction and clustered by texture.  This module
+synthesizes that structure:
+
+* :func:`gaussian_random_field` — power-law Gaussian random fields via
+  FFT, the standard stochastic model for cloud texture;
+* :data:`CLOUD_REGIMES` — a set of physically-motivated cloud regimes
+  (closed/open-cell stratocumulus, cirrus, deep convection, ...), each a
+  distinct point in (spectral slope, coverage, optical thickness, cloud
+  top pressure) space, so downstream clustering has real classes to find;
+* :func:`synthesize_scene` — one granule's latent cloud state;
+* :func:`land_fraction` / :func:`land_mask` — a fixed synthetic planet
+  (deterministic continents from a frozen spherical Fourier series), so
+  ocean-only tile selection is stable across the whole system.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+import numpy as np
+
+__all__ = [
+    "gaussian_random_field",
+    "CloudRegime",
+    "CLOUD_REGIMES",
+    "REGIME_NAMES",
+    "synthesize_scene",
+    "Scene",
+    "land_fraction",
+    "land_mask",
+]
+
+
+def gaussian_random_field(
+    shape: Tuple[int, int],
+    spectral_index: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """A standardized 2-D Gaussian random field with power spectrum k^-beta.
+
+    ``spectral_index`` (beta) controls texture: ~1.5 gives choppy,
+    cellular fields; ~3.5 gives smooth, large-scale structure.  Output has
+    zero mean and unit variance.
+    """
+    if spectral_index < 0:
+        raise ValueError("spectral index must be non-negative")
+    ny, nx = shape
+    if ny < 2 or nx < 2:
+        raise ValueError("field must be at least 2x2")
+    ky = np.fft.fftfreq(ny)[:, None]
+    kx = np.fft.rfftfreq(nx)[None, :]
+    k = np.hypot(ky, kx)
+    k[0, 0] = np.inf  # zero the DC mode
+    amplitude = k ** (-spectral_index / 2.0)
+    noise = rng.normal(size=(ny, kx.shape[1])) + 1j * rng.normal(size=(ny, kx.shape[1]))
+    field = np.fft.irfft2(noise * amplitude, s=shape)
+    field -= field.mean()
+    std = field.std()
+    if std < 1e-12:
+        return np.zeros(shape)
+    return field / std
+
+
+@dataclass(frozen=True)
+class CloudRegime:
+    """A canonical cloud regime: one generator mode for scene synthesis.
+
+    The regimes are separated in a four-dimensional parameter space so the
+    42-way AICCA clustering has genuine structure to recover; they loosely
+    follow the marine cloud taxonomy the AICCA paper discusses
+    (stratocumulus variants, cumulus, cirrus, deep convection).
+    """
+
+    name: str
+    spectral_index: float       # texture slope of the latent field
+    coverage: float             # target cloud fraction in [0, 1]
+    tau_scale: float            # optical thickness scale (dimensionless)
+    ctp_hpa: float              # representative cloud-top pressure
+    ctp_spread: float           # CTP modulation amplitude
+
+
+CLOUD_REGIMES: Dict[str, CloudRegime] = {
+    regime.name: regime
+    for regime in (
+        CloudRegime("closed_cell_sc", 3.2, 0.85, 14.0, 850.0, 40.0),
+        CloudRegime("open_cell_sc", 1.8, 0.45, 8.0, 840.0, 60.0),
+        CloudRegime("shallow_cumulus", 1.4, 0.25, 4.0, 800.0, 80.0),
+        CloudRegime("stratus", 3.8, 0.95, 20.0, 900.0, 25.0),
+        CloudRegime("cirrus", 2.6, 0.40, 1.5, 280.0, 50.0),
+        CloudRegime("deep_convection", 2.9, 0.70, 45.0, 250.0, 90.0),
+        CloudRegime("frontal_multilayer", 2.4, 0.65, 18.0, 550.0, 150.0),
+        CloudRegime("broken_trade_cu", 1.6, 0.35, 6.0, 780.0, 70.0),
+    )
+}
+
+REGIME_NAMES = tuple(CLOUD_REGIMES)
+
+
+@dataclass(frozen=True)
+class Scene:
+    """The latent cloud state of one granule (before instrument sampling).
+
+    ``cloud_mask`` is boolean; ``tau`` (optical thickness) and ``ctp``
+    (cloud-top pressure, hPa) are only meaningful where the mask is set.
+    ``regime`` records the dominant generating regime (ground truth that
+    tests and evaluation can check clustering against).
+    """
+
+    cloud_mask: np.ndarray
+    tau: np.ndarray
+    ctp: np.ndarray
+    effective_radius: np.ndarray
+    regime: str
+
+    @property
+    def cloud_fraction(self) -> float:
+        return float(self.cloud_mask.mean())
+
+
+def synthesize_scene(
+    shape: Tuple[int, int],
+    rng: np.random.Generator,
+    regime: str | None = None,
+) -> Scene:
+    """Generate one latent cloud scene of the given raster shape.
+
+    If ``regime`` is None one is drawn uniformly; a secondary regime is
+    blended in ~30 % of scenes to create the ambiguous transitional cases
+    real swaths contain.
+    """
+    if regime is None:
+        regime = REGIME_NAMES[int(rng.integers(len(REGIME_NAMES)))]
+    if regime not in CLOUD_REGIMES:
+        raise KeyError(f"unknown cloud regime {regime!r}; known: {list(REGIME_NAMES)}")
+    primary = CLOUD_REGIMES[regime]
+
+    field = gaussian_random_field(shape, primary.spectral_index, rng)
+    if rng.uniform() < 0.3:
+        other = CLOUD_REGIMES[REGIME_NAMES[int(rng.integers(len(REGIME_NAMES)))]]
+        blend = gaussian_random_field(shape, other.spectral_index, rng)
+        weight = rng.uniform(0.15, 0.4)
+        field = (1 - weight) * field + weight * blend
+        field /= max(field.std(), 1e-12)
+
+    # Threshold the latent field at the quantile that realizes the target
+    # coverage (exactly, up to the pixel count).
+    coverage = float(np.clip(primary.coverage + rng.normal(0.0, 0.05), 0.02, 0.98))
+    threshold = np.quantile(field, 1.0 - coverage)
+    cloud_mask = field > threshold
+
+    # Optical thickness: lognormal modulation of the latent excess.
+    excess = np.clip(field - threshold, 0.0, None)
+    tau = primary.tau_scale * (0.3 + excess) * np.exp(rng.normal(0.0, 0.2))
+    tau = np.where(cloud_mask, tau, 0.0)
+
+    # Cloud-top pressure: regime level modulated by the field (thicker
+    # cloud tends to higher tops = lower pressure).
+    ctp = primary.ctp_hpa - primary.ctp_spread * np.tanh(excess)
+    ctp = np.where(cloud_mask, ctp, 1013.25)
+
+    # Effective radius (um): marine Sc ~ 10-15 um; grows weakly with tau.
+    reff = 8.0 + 4.0 * np.tanh(tau / 10.0) + rng.normal(0.0, 0.5, size=shape)
+    reff = np.where(cloud_mask, np.clip(reff, 4.0, 30.0), 0.0)
+
+    return Scene(
+        cloud_mask=cloud_mask,
+        tau=tau.astype(np.float32),
+        ctp=ctp.astype(np.float32),
+        effective_radius=reff.astype(np.float32),
+        regime=regime,
+    )
+
+
+# ---------------------------------------------------------------------------
+# The synthetic planet: a frozen low-order spherical Fourier surface.
+# ---------------------------------------------------------------------------
+
+_PLANET_SEED = 20240101
+_PLANET_MODES = 10
+
+
+def _planet_coefficients() -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    rng = np.random.default_rng(_PLANET_SEED)
+    orders_lat = rng.integers(1, 5, size=_PLANET_MODES)
+    orders_lon = rng.integers(1, 6, size=_PLANET_MODES)
+    phases = rng.uniform(0.0, 2 * np.pi, size=_PLANET_MODES)
+    phases_lat = rng.uniform(0.0, 2 * np.pi, size=_PLANET_MODES)
+    amplitudes = rng.uniform(0.3, 1.0, size=_PLANET_MODES) / np.sqrt(orders_lat + orders_lon)
+    return orders_lat, orders_lon, phases, phases_lat, amplitudes
+
+
+_COEFS = _planet_coefficients()
+# Threshold chosen so land covers ~29 % of the globe (like Earth).
+_LAND_THRESHOLD = 0.62
+
+
+def land_fraction(lat: np.ndarray, lon: np.ndarray) -> np.ndarray:
+    """A smooth "elevation" in [0, 1]; >= threshold means land.
+
+    Purely a function of position: every component of the system (scene
+    synthesis, preprocessing, evaluation) sees the same planet.
+    """
+    lat = np.asarray(lat, dtype=np.float64)
+    lon = np.asarray(lon, dtype=np.float64)
+    lat_r = np.deg2rad(lat)
+    lon_r = np.deg2rad(lon)
+    orders_lat, orders_lon, phases, phases_lat, amplitudes = _COEFS
+    surface = np.zeros(np.broadcast(lat_r, lon_r).shape)
+    for m_lat, m_lon, phase, phase_lat, amp in zip(
+        orders_lat, orders_lon, phases, phases_lat, amplitudes
+    ):
+        surface = surface + amp * np.sin(m_lon * lon_r + phase) * np.cos(m_lat * lat_r + phase_lat)
+    # Squash to [0, 1]; suppress land near the poles a little (oceanic
+    # high southern latitudes, like Earth's Southern Ocean).
+    squashed = 0.5 * (1.0 + np.tanh(surface))
+    polar = 0.15 * np.cos(lat_r) ** 2
+    return np.clip(squashed + polar - 0.075, 0.0, 1.0)
+
+
+def land_mask(lat: np.ndarray, lon: np.ndarray) -> np.ndarray:
+    """Boolean land mask on the synthetic planet."""
+    return land_fraction(lat, lon) >= _LAND_THRESHOLD

@@ -1,0 +1,6 @@
+"""Network substrate: HTTPS archive server model and WAN links."""
+
+from repro.net.http import DownloadResult, HttpServer
+from repro.net.wan import WanLink
+
+__all__ = ["HttpServer", "DownloadResult", "WanLink"]

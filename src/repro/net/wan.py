@@ -1,0 +1,66 @@
+"""Site-to-site WAN links for the multi-facility transfer path.
+
+Globus Transfer moves labelled NetCDFs from Defiant to Frontier's Orion
+filesystem (Section III, stage 5).  Within OLCF that path rides the
+facility fabric; between facilities it rides ESnet.  :class:`WanLink`
+models one such pipe: shared bandwidth, propagation latency, and a
+per-stream ceiling (GridFTP-style parallel streams raise the per-transfer
+share).
+"""
+
+from __future__ import annotations
+
+from typing import Generator, Optional
+
+from repro.sim import Event, FluidPipe, Simulation
+
+__all__ = ["WanLink"]
+
+
+class WanLink:
+    """A directed wide-area link between two named sites."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        src: str,
+        dst: str,
+        bandwidth: float,
+        latency: float = 0.010,
+        per_stream_bw: Optional[float] = None,
+    ):
+        if latency < 0:
+            raise ValueError("latency must be non-negative")
+        self.sim = sim
+        self.src = src
+        self.dst = dst
+        self.latency = latency
+        self.per_stream_bw = per_stream_bw
+        self.pipe = FluidPipe(sim, capacity=bandwidth, per_flow_cap=per_stream_bw)
+
+    @property
+    def key(self) -> tuple:
+        return (self.src, self.dst)
+
+    def send(self, nbytes: int, streams: int = 1) -> Event:
+        """Move ``nbytes`` using ``streams`` parallel flows.
+
+        Returns an event firing when the last stream completes; its value
+        is the elapsed transfer time.
+        """
+        if streams < 1:
+            raise ValueError("need at least one stream")
+        if nbytes < 0:
+            raise ValueError("size must be non-negative")
+        done = self.sim.event()
+        started = self.sim.now
+        per_stream = float(nbytes) / streams
+
+        def body() -> Generator:
+            yield self.sim.timeout(self.latency)
+            flows = [self.pipe.transfer(per_stream) for _ in range(streams)]
+            yield self.sim.all_of(flows)
+            done.succeed(self.sim.now - started)
+
+        self.sim.process(body(), name=f"wan-{self.src}-{self.dst}")
+        return done

@@ -1,0 +1,80 @@
+"""NetCDF classic (CDF-1/CDF-2) on-disk type system.
+
+The EO-ML workflow's data contract is NetCDF: preprocessing "saves the
+processed files as NetCDFs", inference "append[s] cloud labels to NetCDF
+file[s]".  netCDF4/h5py are unavailable offline, so :mod:`repro.netcdf`
+implements the classic file format from the format specification.  This
+module maps the six external types to NumPy dtypes and default fill
+values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import IntEnum
+from typing import Dict
+
+import numpy as np
+
+__all__ = ["NcType", "TYPE_INFO", "dtype_to_nctype", "NcFormatError"]
+
+
+class NcFormatError(ValueError):
+    """Raised on malformed NetCDF bytes or unrepresentable data."""
+
+
+class NcType(IntEnum):
+    """External type tags from the classic format specification."""
+
+    BYTE = 1
+    CHAR = 2
+    SHORT = 3
+    INT = 4
+    FLOAT = 5
+    DOUBLE = 6
+
+
+@dataclass(frozen=True)
+class _TypeInfo:
+    nc_type: NcType
+    size: int
+    dtype: np.dtype
+    fill: object
+
+
+# All on-disk data is big-endian.
+TYPE_INFO: Dict[NcType, _TypeInfo] = {
+    NcType.BYTE: _TypeInfo(NcType.BYTE, 1, np.dtype(">i1"), np.int8(-127)),
+    NcType.CHAR: _TypeInfo(NcType.CHAR, 1, np.dtype("S1"), b"\x00"),
+    NcType.SHORT: _TypeInfo(NcType.SHORT, 2, np.dtype(">i2"), np.int16(-32767)),
+    NcType.INT: _TypeInfo(NcType.INT, 4, np.dtype(">i4"), np.int32(-2147483647)),
+    NcType.FLOAT: _TypeInfo(NcType.FLOAT, 4, np.dtype(">f4"), np.float32(9.969209968386869e36)),
+    NcType.DOUBLE: _TypeInfo(NcType.DOUBLE, 8, np.dtype(">f8"), np.float64(9.969209968386869e36)),
+}
+
+_KIND_MAP = {
+    ("i", 1): NcType.BYTE,
+    ("u", 1): NcType.BYTE,
+    ("S", 1): NcType.CHAR,
+    ("i", 2): NcType.SHORT,
+    ("i", 4): NcType.INT,
+    ("f", 4): NcType.FLOAT,
+    ("f", 8): NcType.DOUBLE,
+}
+
+
+def dtype_to_nctype(dtype: np.dtype) -> NcType:
+    """The classic external type for a NumPy dtype.
+
+    Widening conversions are *not* implicit: int64 data must be cast by the
+    caller (classic NetCDF has no 64-bit integer), which keeps silent
+    truncation out of the write path.
+    """
+    dtype = np.dtype(dtype)
+    key = (dtype.kind, dtype.itemsize)
+    if key not in _KIND_MAP:
+        raise NcFormatError(
+            f"dtype {dtype} has no NetCDF classic external type; "
+            "cast to one of int8/int16/int32/float32/float64/S1"
+        )
+    return _KIND_MAP[key]

@@ -1,0 +1,215 @@
+"""NetCDF classic (CDF-1 / CDF-2) serializer.
+
+Implements the on-disk layout from the NetCDF classic format specification:
+a header (magic, numrecs, dimension list, global attributes, variable
+list), then fixed-size variable data in definition order, then record
+slabs.  Byte order is big-endian throughout; names, attribute values, and
+variable slots are zero-padded to four-byte boundaries.
+
+The writer picks CDF-1 (32-bit offsets) and transparently upgrades to
+CDF-2 (64-bit offsets) when any data offset would exceed 2**31 - 1.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import BinaryIO, Dict, List, Tuple, Union
+
+import numpy as np
+
+from repro.netcdf.dataset import Dataset, Variable
+from repro.netcdf.types import NcFormatError, NcType, TYPE_INFO
+
+__all__ = ["write", "to_bytes"]
+
+NC_DIMENSION = 0x0A
+NC_VARIABLE = 0x0B
+NC_ATTRIBUTE = 0x0C
+ABSENT = b"\x00\x00\x00\x00\x00\x00\x00\x00"
+
+_MAX_CDF1_OFFSET = 2**31 - 1
+
+
+def _pad4(n: int) -> int:
+    return (n + 3) & ~3
+
+
+def _pack_int(value: int) -> bytes:
+    return struct.pack(">i", value)
+
+
+def _pack_name(name: str) -> bytes:
+    encoded = name.encode("utf-8")
+    return _pack_int(len(encoded)) + encoded + b"\x00" * (_pad4(len(encoded)) - len(encoded))
+
+
+def _pack_attr_value(value: Union[str, np.ndarray]) -> bytes:
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        header = _pack_int(int(NcType.CHAR)) + _pack_int(len(payload))
+        return header + payload + b"\x00" * (_pad4(len(payload)) - len(payload))
+    array = np.asarray(value)
+    from repro.netcdf.types import dtype_to_nctype
+
+    nc_type = dtype_to_nctype(array.dtype)
+    payload = array.astype(TYPE_INFO[nc_type].dtype, copy=False).tobytes()
+    header = _pack_int(int(nc_type)) + _pack_int(array.size)
+    return header + payload + b"\x00" * (_pad4(len(payload)) - len(payload))
+
+
+def _pack_attr_list(attrs: Dict[str, Union[str, np.ndarray]]) -> bytes:
+    if not attrs:
+        return ABSENT
+    chunks = [_pack_int(NC_ATTRIBUTE), _pack_int(len(attrs))]
+    for name, value in attrs.items():
+        chunks.append(_pack_name(name))
+        chunks.append(_pack_attr_value(value))
+    return b"".join(chunks)
+
+
+def _per_record_size(var: Variable) -> int:
+    """Unpadded bytes one record of ``var`` occupies (or full size if fixed)."""
+    size = TYPE_INFO[var.nc_type].size
+    dims = var.dimensions[1:] if var.is_record else var.dimensions
+    for dim in dims:
+        size *= dim.size
+    return size
+
+
+def _vsizes(dataset: Dataset) -> Dict[str, int]:
+    """The vsize header field per variable, honouring the one-record-var rule."""
+    record_vars = [v for v in dataset.variables.values() if v.is_record]
+    sole_record = len(record_vars) == 1
+    out: Dict[str, int] = {}
+    for var in dataset.variables.values():
+        raw = _per_record_size(var)
+        if var.is_record and sole_record:
+            out[var.name] = raw  # special case: no inter-record padding
+        else:
+            out[var.name] = _pad4(raw)
+    return out
+
+
+def _plan_offsets(dataset: Dataset, offset_width: int) -> Tuple[Dict[str, int], int, int]:
+    """Compute (begin offsets, header size, record slab size)."""
+    vsizes = _vsizes(dataset)
+    header = len(_serialize_header(dataset, {v: 0 for v in dataset.variables}, vsizes, offset_width))
+    begins: Dict[str, int] = {}
+    cursor = header
+    for var in dataset.variables.values():
+        if not var.is_record:
+            begins[var.name] = cursor
+            cursor += vsizes[var.name]
+    record_base = cursor
+    rec_cursor = record_base
+    recsize = 0
+    for var in dataset.variables.values():
+        if var.is_record:
+            begins[var.name] = rec_cursor
+            rec_cursor += vsizes[var.name]
+            recsize += vsizes[var.name]
+    return begins, header, recsize
+
+
+def _serialize_header(
+    dataset: Dataset,
+    begins: Dict[str, int],
+    vsizes: Dict[str, int],
+    offset_width: int,
+) -> bytes:
+    chunks: List[bytes] = []
+    chunks.append(b"CDF\x01" if offset_width == 4 else b"CDF\x02")
+    chunks.append(_pack_int(dataset.num_records))
+
+    dims = list(dataset.dimensions.values())
+    if dims:
+        chunks.append(_pack_int(NC_DIMENSION))
+        chunks.append(_pack_int(len(dims)))
+        for dim in dims:
+            chunks.append(_pack_name(dim.name))
+            chunks.append(_pack_int(0 if dim.is_record else dim.size))
+    else:
+        chunks.append(ABSENT)
+
+    chunks.append(_pack_attr_list(dataset.attributes))
+
+    variables = list(dataset.variables.values())
+    if variables:
+        dim_ids = {name: index for index, name in enumerate(dataset.dimensions)}
+        chunks.append(_pack_int(NC_VARIABLE))
+        chunks.append(_pack_int(len(variables)))
+        for var in variables:
+            chunks.append(_pack_name(var.name))
+            chunks.append(_pack_int(len(var.dimensions)))
+            for dim in var.dimensions:
+                chunks.append(_pack_int(dim_ids[dim.name]))
+            chunks.append(_pack_attr_list(var.attributes))
+            chunks.append(_pack_int(int(var.nc_type)))
+            chunks.append(_pack_int(min(vsizes[var.name], _MAX_CDF1_OFFSET)))
+            if offset_width == 4:
+                chunks.append(struct.pack(">i", begins[var.name]))
+            else:
+                chunks.append(struct.pack(">q", begins[var.name]))
+    else:
+        chunks.append(ABSENT)
+    return b"".join(chunks)
+
+
+def to_bytes(dataset: Dataset) -> bytes:
+    """Serialize a dataset to NetCDF classic bytes."""
+    for var in dataset.variables.values():
+        if var.is_record and var.shape[0] != dataset.num_records:
+            raise NcFormatError(f"record variable {var.name!r} has inconsistent record count")
+
+    offset_width = 4
+    begins, header_size, recsize = _plan_offsets(dataset, offset_width)
+    numrecs = dataset.num_records
+    end = max(
+        [header_size]
+        + [
+            begins[v.name] + (_vsizes(dataset)[v.name] if not v.is_record else 0)
+            for v in dataset.variables.values()
+        ]
+        + ([begins[v.name] + numrecs * recsize for v in dataset.variables.values() if v.is_record] or [0])
+    )
+    if end > _MAX_CDF1_OFFSET:
+        offset_width = 8
+        begins, header_size, recsize = _plan_offsets(dataset, offset_width)
+
+    vsizes = _vsizes(dataset)
+    out = bytearray(_serialize_header(dataset, begins, vsizes, offset_width))
+
+    # Fixed-size variable data, in definition order, zero-padded to vsize.
+    for var in dataset.variables.values():
+        if var.is_record:
+            continue
+        if len(out) != begins[var.name]:
+            raise NcFormatError(
+                f"internal offset mismatch for {var.name!r}: "
+                f"at {len(out)}, planned {begins[var.name]}"
+            )
+        payload = np.ascontiguousarray(var.data, dtype=var.data.dtype).tobytes()
+        out += payload
+        out += b"\x00" * (vsizes[var.name] - len(payload))
+
+    # Record slabs: per record, each record variable's slice, padded.  The
+    # explicit dtype matters: indexing a 1-D big-endian array yields a
+    # *native-endian* scalar, which would silently byteswap on disk.
+    record_vars = [v for v in dataset.variables.values() if v.is_record]
+    for index in range(dataset.num_records):
+        for var in record_vars:
+            payload = np.ascontiguousarray(var.data[index], dtype=var.data.dtype).tobytes()
+            out += payload
+            out += b"\x00" * (vsizes[var.name] - len(payload))
+    return bytes(out)
+
+
+def write(dataset: Dataset, target: Union[str, BinaryIO]) -> int:
+    """Write a dataset to a path or binary file object; returns byte count."""
+    payload = to_bytes(dataset)
+    if isinstance(target, str):
+        with open(target, "wb") as handle:
+            handle.write(payload)
+    else:
+        target.write(payload)
+    return len(payload)

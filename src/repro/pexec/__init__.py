@@ -1,0 +1,21 @@
+"""Parsl-like parallel execution: apps + DFK (real) and SimHtex (simulated)."""
+
+from repro.pexec.apps import clear, current_dfk, load, python_app
+from repro.pexec.dfk import AppFuture, DataFlowKernel, DependencyError
+from repro.pexec.simexec import Block, SimHtexExecutor, SimTaskSpec, TaskResult
+from repro.pexec.strategy import ElasticStrategy
+
+__all__ = [
+    "python_app",
+    "load",
+    "clear",
+    "current_dfk",
+    "DataFlowKernel",
+    "AppFuture",
+    "DependencyError",
+    "SimHtexExecutor",
+    "SimTaskSpec",
+    "TaskResult",
+    "Block",
+    "ElasticStrategy",
+]

@@ -1,0 +1,66 @@
+"""The ``@python_app`` decorator (Parsl's programming surface).
+
+>>> dfk = DataFlowKernel({"local": LocalComputeEndpoint("local", 4)})
+>>> load(dfk)
+>>> @python_app
+... def tile(granule):
+...     return preprocess(granule)
+>>> futures = [tile(g) for g in granules]   # runs in parallel
+
+Apps submitted before :func:`load` raise immediately rather than hanging.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import Any, Callable, Optional
+
+from repro.pexec.dfk import AppFuture, DataFlowKernel
+
+__all__ = ["python_app", "load", "clear", "current_dfk"]
+
+_ACTIVE: Optional[DataFlowKernel] = None
+
+
+def load(dfk: DataFlowKernel) -> None:
+    """Install the process-wide default DataFlowKernel."""
+    global _ACTIVE
+    _ACTIVE = dfk
+
+
+def clear() -> None:
+    """Remove the default kernel (used between tests)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def current_dfk() -> DataFlowKernel:
+    if _ACTIVE is None:
+        raise RuntimeError("no DataFlowKernel loaded; call repro.pexec.load(dfk) first")
+    return _ACTIVE
+
+
+def python_app(
+    fn: Optional[Callable] = None,
+    *,
+    dfk: Optional[DataFlowKernel] = None,
+    executor: Optional[str] = None,
+) -> Callable:
+    """Wrap a function so calls return :class:`AppFuture` immediately.
+
+    ``dfk`` pins a specific kernel (otherwise the loaded default is used
+    at call time); ``executor`` selects a named executor.
+    """
+
+    def decorate(func: Callable) -> Callable:
+        @functools.wraps(func)
+        def wrapper(*args: Any, **kwargs: Any) -> AppFuture:
+            kernel = dfk if dfk is not None else current_dfk()
+            return kernel.submit(func, args=args, kwargs=kwargs, executor=executor)
+
+        wrapper.__wrapped__ = func
+        return wrapper
+
+    if fn is not None:
+        return decorate(fn)
+    return decorate

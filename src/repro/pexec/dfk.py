@@ -1,0 +1,170 @@
+"""A Parsl-like DataFlowKernel: dataflow dependency resolution over futures.
+
+The paper's preprocessing stage uses Parsl to fan tile-creation tasks over
+Slurm-provisioned workers (Section III, stage 2).  This kernel provides
+the Parsl programming model for the real, laptop-scale execution path:
+apps return :class:`AppFuture` immediately; passing an AppFuture as an
+argument to another app creates a dependency edge; an app launches once
+all its inputs have resolved.
+
+Executors are anything with ``submit(fn, *args, **kwargs) -> Future`` —
+in practice :class:`repro.compute.LocalComputeEndpoint`.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import Future
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["AppFuture", "DependencyError", "DataFlowKernel"]
+
+
+class AppFuture(Future):
+    """Future for one app invocation, carrying its task id and label."""
+
+    def __init__(self, task_id: int, label: str):
+        super().__init__()
+        self.task_id = task_id
+        self.label = label
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<AppFuture {self.task_id} {self.label!r} {self._state}>"
+
+
+class DependencyError(RuntimeError):
+    """An app could not launch because one of its inputs failed."""
+
+
+def _scan_futures(value: Any, found: List[Future]) -> None:
+    if isinstance(value, Future):
+        found.append(value)
+    elif isinstance(value, (list, tuple)):
+        for item in value:
+            _scan_futures(item, found)
+    elif isinstance(value, dict):
+        for item in value.values():
+            _scan_futures(item, found)
+
+
+def _substitute(value: Any) -> Any:
+    if isinstance(value, Future):
+        return value.result(timeout=0)
+    if isinstance(value, list):
+        return [_substitute(item) for item in value]
+    if isinstance(value, tuple):
+        return tuple(_substitute(item) for item in value)
+    if isinstance(value, dict):
+        return {key: _substitute(item) for key, item in value.items()}
+    return value
+
+
+class DataFlowKernel:
+    """Routes app invocations to executors once their inputs resolve."""
+
+    def __init__(self, executors: Dict[str, Any], default_executor: Optional[str] = None):
+        if not executors:
+            raise ValueError("DataFlowKernel needs at least one executor")
+        self.executors = dict(executors)
+        self.default_executor = default_executor or next(iter(executors))
+        if self.default_executor not in self.executors:
+            raise ValueError(f"default executor {self.default_executor!r} not in executors")
+        self._lock = threading.Lock()
+        self._next_task = 1
+        self.tasks_launched = 0
+        self.tasks_done = 0
+
+    def submit(
+        self,
+        fn: Callable,
+        args: Tuple = (),
+        kwargs: Optional[dict] = None,
+        executor: Optional[str] = None,
+    ) -> AppFuture:
+        kwargs = kwargs or {}
+        target = executor or self.default_executor
+        if target not in self.executors:
+            raise KeyError(f"unknown executor {target!r}; have {sorted(self.executors)}")
+        with self._lock:
+            task_id = self._next_task
+            self._next_task += 1
+        app_future = AppFuture(task_id, getattr(fn, "__name__", "app"))
+
+        deps: List[Future] = []
+        _scan_futures(args, deps)
+        _scan_futures(kwargs, deps)
+
+        pending = {"count": len(deps)}
+        lock = threading.Lock()
+
+        def launch() -> None:
+            failed = [d for d in deps if d.exception(timeout=0) is not None]
+            if failed:
+                app_future.set_exception(
+                    DependencyError(
+                        f"{len(failed)} dependenc{'y' if len(failed) == 1 else 'ies'} "
+                        f"of task {task_id} failed: {failed[0].exception(timeout=0)!r}"
+                    )
+                )
+                return
+            try:
+                real_args = _substitute(args)
+                real_kwargs = _substitute(kwargs)
+            except Exception as exc:  # noqa: BLE001
+                app_future.set_exception(exc)
+                return
+            inner = self.executors[target].submit(fn, *real_args, **real_kwargs)
+            self.tasks_launched += 1
+
+            def relay(done: Future) -> None:
+                self.tasks_done += 1
+                exc = done.exception()
+                if exc is not None:
+                    app_future.set_exception(exc)
+                else:
+                    app_future.set_result(done.result())
+
+            inner.add_done_callback(relay)
+
+        if not deps:
+            launch()
+        else:
+            def on_dep_done(_dep: Future) -> None:
+                with lock:
+                    pending["count"] -= 1
+                    ready = pending["count"] == 0
+                if ready:
+                    launch()
+
+            for dep in deps:
+                dep.add_done_callback(on_dep_done)
+        return app_future
+
+    def wait_all(self, futures: List[Future], timeout: Optional[float] = None) -> List[Any]:
+        """Resolve all futures, raising the first failure."""
+        return [future.result(timeout=timeout) for future in futures]
+
+    @property
+    def tasks_submitted(self) -> int:
+        return self._next_task - 1
+
+    def status(self) -> Dict[str, int]:
+        """A monitoring snapshot (Parsl's "monitors their completion").
+
+        ``waiting_on_dependencies`` counts apps submitted but not yet
+        launched because an input future is still unresolved.
+        """
+        submitted = self.tasks_submitted
+        return {
+            "submitted": submitted,
+            "launched": self.tasks_launched,
+            "done": self.tasks_done,
+            "running": self.tasks_launched - self.tasks_done,
+            "waiting_on_dependencies": submitted - self.tasks_launched,
+        }
+
+    def shutdown(self) -> None:
+        for executor in self.executors.values():
+            shutdown = getattr(executor, "shutdown", None)
+            if shutdown is not None:
+                shutdown()

@@ -1,0 +1,246 @@
+"""Simulated Parsl HighThroughputExecutor over Slurm blocks.
+
+This is the engine behind the scaling benchmarks (Figs. 4-5, Table I,
+Fig. 6): tasks (one per MODIS file) queue at the executor; *blocks* of
+nodes are provisioned through the facility's Slurm scheduler; each node
+runs a configurable number of workers that pull tasks until the queue is
+empty and then exit gracefully (Parsl's scale-in behaviour, visible as
+the ramp-down in Fig. 6's worker timeline).
+
+Task service time composes:
+
+* the task's intrinsic single-worker duration (``base_duration``),
+* the facility's on-node USL efficiency at the node's *current* busy
+  worker count,
+* the cross-node USL efficiency at the current number of active nodes,
+* multiplicative lognormal noise (per-file variability: ocean/land mix
+  and nighttime band availability — Section III notes "processing time
+  can vary").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+import numpy as np
+
+from repro.hpc.facility import Facility
+from repro.hpc.slurm import Job, JobState
+from repro.sim import Event, Simulation, Store, Tracer
+from repro.util.logging import EventLog
+
+__all__ = ["SimTaskSpec", "TaskResult", "Block", "SimHtexExecutor"]
+
+
+@dataclass(frozen=True)
+class SimTaskSpec:
+    """One unit of work (e.g. preprocessing one MOD02 granule)."""
+
+    label: str
+    base_duration: float  # seconds on one uncontended worker
+    tiles: int = 0        # tiles this task produces (throughput accounting)
+    output_bytes: int = 0  # bytes written to the shared FS on completion
+
+    def __post_init__(self) -> None:
+        if self.base_duration < 0:
+            raise ValueError("task duration must be non-negative")
+
+
+@dataclass(frozen=True)
+class TaskResult:
+    """Completion record for one task."""
+
+    label: str
+    tiles: int
+    started_at: float
+    finished_at: float
+    worker_id: int
+    node_key: tuple
+
+    @property
+    def duration(self) -> float:
+        return self.finished_at - self.started_at
+
+
+@dataclass
+class Block:
+    """One Slurm allocation running workers."""
+
+    block_id: int
+    job: Job
+    num_nodes: int
+    workers_per_node: int
+    live_workers: int = 0
+    node_keys: List[tuple] = field(default_factory=list)
+
+
+class SimHtexExecutor:
+    """Pull-based worker pool over Slurm blocks with USL contention."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        facility: Facility,
+        workers_per_node: int,
+        tracer: Optional[Tracer] = None,
+        gauge: str = "workers:preprocess",
+        seed: int = 0,
+        noise_sigma: float = 0.06,
+        block_walltime: float = 24 * 3600.0,
+        log: Optional[EventLog] = None,
+        label: str = "htex",
+        task_failure_rate: float = 0.0,
+        max_task_retries: int = 3,
+    ):
+        if workers_per_node < 1:
+            raise ValueError("need at least one worker per node")
+        if noise_sigma < 0:
+            raise ValueError("noise sigma must be non-negative")
+        if not 0.0 <= task_failure_rate < 1.0:
+            raise ValueError("task failure rate must be in [0, 1)")
+        if max_task_retries < 0:
+            raise ValueError("max task retries must be non-negative")
+        self.sim = sim
+        self.facility = facility
+        self.workers_per_node = workers_per_node
+        self.tracer = tracer
+        self.gauge = gauge
+        self.rng = np.random.default_rng(seed)
+        self.noise_sigma = noise_sigma
+        self.block_walltime = block_walltime
+        self.log = log or EventLog()
+        self.label = label
+        self.task_failure_rate = task_failure_rate
+        self.max_task_retries = max_task_retries
+        self.queue: Store = Store(sim)
+        self.blocks: List[Block] = []
+        self.results: List[TaskResult] = []
+        self.task_retries = 0
+        self._attempts: Dict[str, int] = {}
+        self._busy_per_node: Dict[tuple, int] = {}
+        self._next_block = 1
+        self._next_worker = 1
+
+    # -- submission ------------------------------------------------------------
+
+    def submit(self, spec: SimTaskSpec) -> Event:
+        """Queue a task; returns an event firing with its TaskResult."""
+        done = self.sim.event()
+        self.queue.put((spec, done))
+        return done
+
+    def submit_all(self, specs: List[SimTaskSpec]) -> List[Event]:
+        return [self.submit(spec) for spec in specs]
+
+    # -- block management ------------------------------------------------------
+
+    def scale_out(self, num_nodes: int, workers_per_node: Optional[int] = None) -> Block:
+        """Provision a block of ``num_nodes`` through the Slurm scheduler."""
+        wpn = workers_per_node or self.workers_per_node
+        block = Block(
+            block_id=self._next_block,
+            job=self.facility.scheduler.submit(
+                f"{self.label}-block-{self._next_block}",
+                num_nodes=num_nodes,
+                walltime=self.block_walltime,
+            ),
+            num_nodes=num_nodes,
+            workers_per_node=wpn,
+        )
+        self._next_block += 1
+        self.blocks.append(block)
+        self.sim.process(self._start_block(block), name=f"{self.label}-start-{block.block_id}")
+        return block
+
+    def _start_block(self, block: Block) -> Generator:
+        job = yield block.job.started
+        if job.state.terminal:
+            return  # cancelled before it started
+        block.node_keys = [(block.block_id, node) for node in block.job.nodes]
+        for node_key in block.node_keys:
+            self._busy_per_node.setdefault(node_key, 0)
+            for _ in range(block.workers_per_node):
+                worker_id = self._next_worker
+                self._next_worker += 1
+                block.live_workers += 1
+                if self.tracer is not None:
+                    self.tracer.gauge_add(self.gauge, self.sim.now, +1)
+                self.sim.process(
+                    self._worker(block, node_key, worker_id),
+                    name=f"{self.label}-w{worker_id}",
+                )
+
+    # -- the worker loop ------------------------------------------------------
+
+    def _active_nodes(self) -> int:
+        return max(1, sum(1 for count in self._busy_per_node.values() if count > 0))
+
+    def _worker(self, block: Block, node_key: tuple, worker_id: int) -> Generator:
+        while len(self.queue) > 0:
+            spec, done = yield self.queue.get()
+            self._busy_per_node[node_key] += 1
+            started = self.sim.now
+            factor = self.facility.contention_factor(
+                min(self._busy_per_node[node_key], block.workers_per_node),
+                self._active_nodes(),
+            )
+            noise = (
+                float(np.exp(self.rng.normal(0.0, self.noise_sigma)))
+                if self.noise_sigma > 0
+                else 1.0
+            )
+            duration = spec.base_duration / factor * noise
+            if self.task_failure_rate > 0 and self.rng.uniform() < self.task_failure_rate:
+                # Worker crash mid-task: the time is lost, the task
+                # requeues (Parsl's retry semantics) up to the budget.
+                yield self.sim.timeout(duration * float(self.rng.uniform(0.05, 0.95)))
+                self._busy_per_node[node_key] -= 1
+                attempts = self._attempts.get(spec.label, 0) + 1
+                self._attempts[spec.label] = attempts
+                if attempts > self.max_task_retries:
+                    done.fail(RuntimeError(
+                        f"task {spec.label!r} failed after {attempts} attempts"
+                    ))
+                else:
+                    self.task_retries += 1
+                    self.queue.put((spec, done))
+                continue
+            yield self.sim.timeout(duration)
+            if spec.output_bytes > 0:
+                yield self.facility.filesystem.write(
+                    f"/preproc/{spec.label}.nc", spec.output_bytes, metadata={"tiles": spec.tiles}
+                )
+            self._busy_per_node[node_key] -= 1
+            result = TaskResult(
+                label=spec.label,
+                tiles=spec.tiles,
+                started_at=started,
+                finished_at=self.sim.now,
+                worker_id=worker_id,
+                node_key=node_key,
+            )
+            self.results.append(result)
+            done.succeed(result)
+        # Queue drained: the worker exits gracefully (Parsl scale-in).
+        block.live_workers -= 1
+        if self.tracer is not None:
+            self.tracer.gauge_add(self.gauge, self.sim.now, -1)
+        if block.live_workers == 0 and block.job.state is JobState.RUNNING:
+            self.facility.scheduler.complete(block.job)
+            self.log.emit(self.sim.now, self.label, "block_retired", block_id=block.block_id)
+
+    # -- accounting ------------------------------------------------------------
+
+    def completion_time(self) -> float:
+        """Time from first task start to last task finish."""
+        if not self.results:
+            raise ValueError("no completed tasks")
+        return max(r.finished_at for r in self.results) - min(r.started_at for r in self.results)
+
+    def throughput_tiles_per_s(self) -> float:
+        if not self.results:
+            raise ValueError("no completed tasks")
+        span = self.completion_time()
+        total = sum(r.tiles for r in self.results)
+        return total / span if span > 0 else float("inf")

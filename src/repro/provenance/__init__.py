@@ -1,0 +1,15 @@
+"""Provenance tracking: W3C-PROV-style records + lineage graph queries."""
+
+from repro.provenance.graph import ancestry, build_graph, impact, regeneration_plan, to_dot
+from repro.provenance.record import Activity, Entity, ProvenanceStore
+
+__all__ = [
+    "ProvenanceStore",
+    "Entity",
+    "Activity",
+    "build_graph",
+    "ancestry",
+    "impact",
+    "regeneration_plan",
+    "to_dot",
+]

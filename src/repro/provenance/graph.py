@@ -1,0 +1,81 @@
+"""The provenance lineage graph (networkx view over a ProvenanceStore).
+
+Answers the reproducibility questions Section V-A cares about: *which
+granules and which model produced this labelled file?* (ancestry), *what
+downstream products are invalidated if this granule was bad?* (impact),
+and *can this artifact be regenerated from sources alone?* (completeness).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set
+
+import networkx as nx
+
+from repro.provenance.record import ProvenanceStore
+
+__all__ = ["build_graph", "ancestry", "impact", "regeneration_plan", "to_dot"]
+
+
+def build_graph(store: ProvenanceStore) -> nx.DiGraph:
+    """Directed graph: edges point *forward* in derivation order.
+
+    entity --used-by--> activity --generated--> entity
+    """
+    graph = nx.DiGraph()
+    for entity in store.entities.values():
+        graph.add_node(entity.entity_id, node_type="entity", kind=entity.kind, uri=entity.uri)
+    for activity in store.activities.values():
+        graph.add_node(
+            activity.activity_id,
+            node_type="activity",
+            kind=activity.kind,
+            agent=activity.agent,
+            status=activity.status,
+        )
+        for entity_id in activity.used:
+            graph.add_edge(entity_id, activity.activity_id, relation="used")
+        for entity_id in activity.generated:
+            graph.add_edge(activity.activity_id, entity_id, relation="generated")
+    if not nx.is_directed_acyclic_graph(graph):
+        raise ValueError("provenance graph has a cycle: an entity derives from itself")
+    return graph
+
+
+def ancestry(graph: nx.DiGraph, entity_id: str) -> Set[str]:
+    """All upstream nodes (entities and activities) an artifact depends on."""
+    if entity_id not in graph:
+        raise KeyError(f"unknown node {entity_id!r}")
+    return set(nx.ancestors(graph, entity_id))
+
+
+def impact(graph: nx.DiGraph, entity_id: str) -> Set[str]:
+    """All downstream artifacts derived (directly or not) from an entity."""
+    if entity_id not in graph:
+        raise KeyError(f"unknown node {entity_id!r}")
+    return {
+        node
+        for node in nx.descendants(graph, entity_id)
+        if graph.nodes[node]["node_type"] == "entity"
+    }
+
+
+def regeneration_plan(graph: nx.DiGraph, entity_id: str) -> List[str]:
+    """Activities to re-run (in dependency order) to regenerate an artifact."""
+    upstream = ancestry(graph, entity_id)
+    activities = [n for n in upstream if graph.nodes[n]["node_type"] == "activity"]
+    order = list(nx.topological_sort(graph.subgraph(upstream | {entity_id})))
+    return [n for n in order if n in set(activities)]
+
+
+def to_dot(graph: nx.DiGraph) -> str:
+    """A Graphviz rendering (entities as boxes, activities as ellipses)."""
+    lines = ["digraph provenance {", "  rankdir=LR;"]
+    for node, data in graph.nodes(data=True):
+        shape = "box" if data["node_type"] == "entity" else "ellipse"
+        label = f"{data['kind']}\\n{node}"
+        lines.append(f'  "{node}" [shape={shape}, label="{label}"];')
+    for src, dst, data in graph.edges(data=True):
+        lines.append(f'  "{src}" -> "{dst}" [label="{data["relation"]}"];')
+    lines.append("}")
+    return "\n".join(lines)

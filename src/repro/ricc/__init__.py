@@ -1,0 +1,41 @@
+"""RICC + AICCA: rotationally invariant cloud clustering in pure NumPy."""
+
+from repro.ricc.adaptation import fine_tune, merge_models
+from repro.ricc.aicca import AICCAModel, ClassStatistics
+from repro.ricc.autoencoder import RotationInvariantAutoencoder, TrainRecord
+from repro.ricc.cluster import AgglomerativeClustering, Merge
+from repro.ricc.continual import EWCTrainer
+from repro.ricc.evaluate import (
+    QualityReport,
+    adjusted_rand_index,
+    cluster_stability,
+    quality_report,
+    silhouette_score,
+)
+from repro.ricc.rotinv import (
+    NUM_TRANSFORMS,
+    dihedral_transforms,
+    invariance_gap,
+    transform_batch,
+)
+
+__all__ = [
+    "RotationInvariantAutoencoder",
+    "TrainRecord",
+    "AgglomerativeClustering",
+    "Merge",
+    "AICCAModel",
+    "ClassStatistics",
+    "EWCTrainer",
+    "fine_tune",
+    "merge_models",
+    "silhouette_score",
+    "adjusted_rand_index",
+    "cluster_stability",
+    "quality_report",
+    "QualityReport",
+    "dihedral_transforms",
+    "transform_batch",
+    "invariance_gap",
+    "NUM_TRANSFORMS",
+]

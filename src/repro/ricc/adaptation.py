@@ -1,0 +1,133 @@
+"""Foundation-model adaptation: fine-tuning and model merging.
+
+Section V: "Foundation models, pretrained on a very large volume of data,
+can be further adapted for a host of new tasks and applications via fine
+tuning, requiring relatively less amount of data", and the ML pipeline
+"will evolve to facilitate model merging, data efficient learning".
+Both are implemented here for the RICC autoencoder:
+
+* :func:`fine_tune` — continue training on a small adaptation set with
+  the first encoder layers *frozen* (the transfer-learning recipe: keep
+  generic low-level features, adapt the head);
+* :func:`merge_models` — weighted parameter averaging of models sharing
+  an architecture ("model soup" merging), the simplest robust merge.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.ricc.autoencoder import RotationInvariantAutoencoder, TrainRecord
+
+__all__ = ["fine_tune", "merge_models"]
+
+
+def fine_tune(
+    model: RotationInvariantAutoencoder,
+    tiles: np.ndarray,
+    freeze_encoder_layers: int = 1,
+    epochs: int = 5,
+    batch_size: int = 16,
+    lr: float = 5e-4,
+    seed: int = 0,
+) -> List[TrainRecord]:
+    """Adapt a pretrained model on a small dataset, freezing early layers.
+
+    ``freeze_encoder_layers`` counts *Dense* layers from the input side
+    whose weights stay fixed.  Freezing is implemented through the
+    training loop's ``grad_hook`` extension point: frozen parameters'
+    gradients are zeroed inside the optimizer step, so Adam moments never
+    accumulate for them either.
+    """
+    if freeze_encoder_layers < 0:
+        raise ValueError("freeze count must be non-negative")
+    dense_indices = [
+        index
+        for index, layer in enumerate(model.encoder.layers)
+        if hasattr(layer, "w")
+    ]
+    if freeze_encoder_layers > len(dense_indices):
+        raise ValueError(
+            f"cannot freeze {freeze_encoder_layers} dense layers; encoder has "
+            f"{len(dense_indices)}"
+        )
+    frozen_prefixes = {
+        f"enc.layer{index}." for index in dense_indices[:freeze_encoder_layers]
+    }
+
+    def freeze_hook(params) -> None:
+        for name, _value, grad in params:
+            if any(name.startswith(prefix) for prefix in frozen_prefixes):
+                grad[:] = 0.0
+
+    before = {
+        name: value.copy()
+        for name, value, _ in model._all_params()
+        if any(name.startswith(prefix) for prefix in frozen_prefixes)
+    }
+    history = model.train(
+        tiles, epochs=epochs, batch_size=batch_size, lr=lr, seed=seed,
+        grad_hook=freeze_hook,
+    )
+    # Defensive: frozen weights must be bit-identical after training.
+    for name, value, _ in model._all_params():
+        if name in before and not np.array_equal(value, before[name]):
+            raise AssertionError(f"frozen parameter {name!r} moved during fine-tune")
+    return history
+
+
+def merge_models(
+    models: Sequence[RotationInvariantAutoencoder],
+    weights: Optional[Sequence[float]] = None,
+) -> RotationInvariantAutoencoder:
+    """Weighted parameter average of architecture-identical models.
+
+    Returns a *new* model; inputs are untouched.  Raises on architecture
+    mismatch.  Plain averaging is meaningful for models fine-tuned from a
+    common ancestor (linear mode connectivity), which is exactly the
+    periodic-retraining lineage Section V describes.
+    """
+    if not models:
+        raise ValueError("need at least one model to merge")
+    if weights is None:
+        weights = [1.0 / len(models)] * len(models)
+    if len(weights) != len(models):
+        raise ValueError("one weight per model required")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    weights = [w / total for w in weights]
+
+    reference = models[0]
+    states: List[Dict[str, np.ndarray]] = [m.state_dict() for m in models]
+    for index, state in enumerate(states[1:], start=1):
+        if set(state) != set(states[0]):
+            raise ValueError(f"model {index} has a different parameter set")
+        for key in state:
+            if state[key].shape != states[0][key].shape:
+                raise ValueError(
+                    f"model {index} parameter {key!r} shaped {state[key].shape}, "
+                    f"expected {states[0][key].shape}"
+                )
+
+    hidden = []
+    layer_index = 0
+    while f"enc.layer{layer_index}.w" in states[0]:
+        hidden.append(states[0][f"enc.layer{layer_index}.w"].shape[1])
+        layer_index += 2
+    hidden = hidden[:-1]
+    merged = RotationInvariantAutoencoder(
+        reference.tile_shape,
+        latent_dim=reference.latent_dim,
+        hidden=tuple(hidden),
+        lambda_inv=reference.lambda_inv,
+        lambda_rec=reference.lambda_rec,
+    )
+    merged_state = {
+        key: sum(weight * state[key] for weight, state in zip(weights, states))
+        for key in states[0]
+    }
+    merged.load_state_dict(merged_state)
+    return merged

@@ -1,0 +1,156 @@
+"""Cluster quality evaluation (RICC stage 3: "Cluster evaluation").
+
+The AICCA protocol evaluates resulting clusters before accepting them; we
+implement the standard metrics used there and in tests:
+
+* :func:`silhouette_score` — intra- vs inter-cluster separation;
+* :func:`adjusted_rand_index` — agreement with ground truth (here the
+  synthetic generating regimes) or between two clusterings;
+* :func:`cluster_stability` — mean pairwise ARI over bootstrap refits,
+  the "are these clusters real" check;
+* :func:`quality_report` — the combined gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+import numpy as np
+
+__all__ = [
+    "silhouette_score",
+    "adjusted_rand_index",
+    "cluster_stability",
+    "QualityReport",
+    "quality_report",
+]
+
+
+def silhouette_score(x: np.ndarray, labels: np.ndarray) -> float:
+    """Mean silhouette over all samples; in [-1, 1], higher is better.
+
+    Clusters of size one contribute silhouette 0 (the standard convention).
+    """
+    x = np.asarray(x, dtype=np.float64)
+    labels = np.asarray(labels)
+    if x.ndim != 2 or labels.shape != (x.shape[0],):
+        raise ValueError("expected (N, D) data and (N,) labels")
+    unique = np.unique(labels)
+    if unique.size < 2:
+        raise ValueError("silhouette requires at least two clusters")
+    diff = x[:, None, :] - x[None, :, :]
+    dist = np.sqrt(np.einsum("ijk,ijk->ij", diff, diff))
+    n = x.shape[0]
+    scores = np.zeros(n)
+    for index in range(n):
+        own = labels == labels[index]
+        own_size = own.sum()
+        if own_size <= 1:
+            continue  # singleton: silhouette 0
+        a = dist[index, own].sum() / (own_size - 1)
+        b = np.inf
+        for label in unique:
+            if label == labels[index]:
+                continue
+            other = labels == label
+            b = min(b, dist[index, other].mean())
+        scores[index] = (b - a) / max(a, b) if max(a, b) > 0 else 0.0
+    return float(scores.mean())
+
+
+def adjusted_rand_index(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """Adjusted Rand index between two labelings; 1 = identical partitions."""
+    labels_a = np.asarray(labels_a)
+    labels_b = np.asarray(labels_b)
+    if labels_a.shape != labels_b.shape or labels_a.ndim != 1:
+        raise ValueError("labelings must be 1-D and the same length")
+    n = labels_a.size
+    if n == 0:
+        raise ValueError("empty labelings")
+    _, a_inv = np.unique(labels_a, return_inverse=True)
+    _, b_inv = np.unique(labels_b, return_inverse=True)
+    contingency = np.zeros((a_inv.max() + 1, b_inv.max() + 1), dtype=np.int64)
+    np.add.at(contingency, (a_inv, b_inv), 1)
+
+    def comb2(values: np.ndarray) -> float:
+        return float((values * (values - 1) / 2).sum())
+
+    sum_ij = comb2(contingency)
+    sum_a = comb2(contingency.sum(axis=1))
+    sum_b = comb2(contingency.sum(axis=0))
+    total = n * (n - 1) / 2
+    expected = sum_a * sum_b / total if total > 0 else 0.0
+    max_index = 0.5 * (sum_a + sum_b)
+    if max_index == expected:
+        return 1.0  # both partitions trivial (all-singletons or one cluster)
+    return float((sum_ij - expected) / (max_index - expected))
+
+
+def cluster_stability(
+    x: np.ndarray,
+    fit_predict: Callable[[np.ndarray], np.ndarray],
+    n_boot: int = 5,
+    subsample: float = 0.8,
+    seed: int = 0,
+) -> float:
+    """Mean pairwise ARI of bootstrap refits, evaluated on shared points.
+
+    ``fit_predict(x_subset) -> labels`` is called per bootstrap; pairs of
+    bootstraps are compared on the intersection of their subsamples.
+    Values near 1 mean the clustering is stable under resampling.
+    """
+    if not 0.1 <= subsample <= 1.0:
+        raise ValueError("subsample fraction must be in [0.1, 1.0]")
+    if n_boot < 2:
+        raise ValueError("need at least two bootstraps")
+    rng = np.random.default_rng(seed)
+    n = x.shape[0]
+    size = max(2, int(round(subsample * n)))
+    runs = []
+    for _ in range(n_boot):
+        chosen = np.sort(rng.choice(n, size=size, replace=False))
+        labels = np.asarray(fit_predict(x[chosen]))
+        runs.append((chosen, labels))
+    scores = []
+    for first in range(n_boot):
+        for second in range(first + 1, n_boot):
+            idx_a, lab_a = runs[first]
+            idx_b, lab_b = runs[second]
+            common, pos_a, pos_b = np.intersect1d(idx_a, idx_b, return_indices=True)
+            if common.size < 2:
+                continue
+            scores.append(adjusted_rand_index(lab_a[pos_a], lab_b[pos_b]))
+    if not scores:
+        raise ValueError("bootstraps share too few points; raise subsample")
+    return float(np.mean(scores))
+
+
+@dataclass(frozen=True)
+class QualityReport:
+    """The cluster-evaluation gate's combined result."""
+
+    silhouette: float
+    stability: float
+    n_clusters: int
+    ari_vs_truth: Optional[float] = None
+
+    def acceptable(self, min_silhouette: float = 0.0, min_stability: float = 0.5) -> bool:
+        return self.silhouette >= min_silhouette and self.stability >= min_stability
+
+
+def quality_report(
+    x: np.ndarray,
+    labels: np.ndarray,
+    fit_predict: Callable[[np.ndarray], np.ndarray],
+    truth: Optional[np.ndarray] = None,
+    n_boot: int = 4,
+    seed: int = 0,
+) -> QualityReport:
+    """Run the full evaluation protocol on one clustering."""
+    return QualityReport(
+        silhouette=silhouette_score(x, labels),
+        stability=cluster_stability(x, fit_predict, n_boot=n_boot, seed=seed),
+        n_clusters=int(np.unique(labels).size),
+        ari_vs_truth=None if truth is None else adjusted_rand_index(labels, truth),
+    )

@@ -1,0 +1,160 @@
+"""Minimal neural-network layers with explicit backpropagation.
+
+TensorFlow is unavailable offline, so the RICC autoencoder (Section II-B)
+is implemented directly in NumPy.  The layer set is deliberately small —
+dense affine layers plus elementwise activations — because the model that
+matters here is the *rotationally invariant training objective*, not a
+particular architecture; the original RICC's convolutional encoder is
+approximated by an MLP over flattened tiles, which preserves the
+latent-clustering behaviour at the tile sizes this reproduction uses.
+
+All layers implement ``forward(x)`` and ``backward(grad)`` (returning the
+gradient w.r.t. the input and accumulating parameter gradients), and
+expose ``params()`` as a list of (name, value, grad) triples for the
+optimizer.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["Dense", "Activation", "Sequential", "ACTIVATIONS"]
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, 0.0)
+
+
+def _relu_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return (x > 0).astype(x.dtype)
+
+
+def _tanh(x: np.ndarray) -> np.ndarray:
+    return np.tanh(x)
+
+
+def _tanh_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return 1.0 - y * y
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    out = np.empty_like(x)
+    positive = x >= 0
+    out[positive] = 1.0 / (1.0 + np.exp(-x[positive]))
+    expx = np.exp(x[~positive])
+    out[~positive] = expx / (1.0 + expx)
+    return out
+
+
+def _sigmoid_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return y * (1.0 - y)
+
+
+def _linear(x: np.ndarray) -> np.ndarray:
+    return x
+
+
+def _linear_grad(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+    return np.ones_like(x)
+
+
+ACTIVATIONS = {
+    "relu": (_relu, _relu_grad),
+    "tanh": (_tanh, _tanh_grad),
+    "sigmoid": (_sigmoid, _sigmoid_grad),
+    "linear": (_linear, _linear_grad),
+}
+
+
+class Dense:
+    """Affine layer ``y = x W + b`` with He/Xavier-style init."""
+
+    def __init__(self, in_dim: int, out_dim: int, rng: np.random.Generator, scale: Optional[float] = None):
+        if in_dim < 1 or out_dim < 1:
+            raise ValueError("layer dimensions must be positive")
+        if scale is None:
+            scale = np.sqrt(2.0 / in_dim)
+        self.w = rng.normal(0.0, scale, size=(in_dim, out_dim)).astype(np.float64)
+        self.b = np.zeros(out_dim, dtype=np.float64)
+        self.grad_w = np.zeros_like(self.w)
+        self.grad_b = np.zeros_like(self.b)
+        self._x: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        return x @ self.w + self.b
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None:
+            raise RuntimeError("backward before forward")
+        self.grad_w += self._x.T @ grad
+        self.grad_b += grad.sum(axis=0)
+        return grad @ self.w.T
+
+    def params(self) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+        return [("w", self.w, self.grad_w), ("b", self.b, self.grad_b)]
+
+    def zero_grad(self) -> None:
+        self.grad_w[:] = 0.0
+        self.grad_b[:] = 0.0
+
+
+class Activation:
+    """Elementwise activation layer."""
+
+    def __init__(self, kind: str):
+        if kind not in ACTIVATIONS:
+            raise ValueError(f"unknown activation {kind!r}; known: {sorted(ACTIVATIONS)}")
+        self.kind = kind
+        self._fn, self._grad_fn = ACTIVATIONS[kind]
+        self._x: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._y = self._fn(x)
+        return self._y
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._x is None or self._y is None:
+            raise RuntimeError("backward before forward")
+        return grad * self._grad_fn(self._x, self._y)
+
+    def params(self) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+        return []
+
+    def zero_grad(self) -> None:
+        pass
+
+
+class Sequential:
+    """A stack of layers with forward/backward passes."""
+
+    def __init__(self, layers: List):
+        self.layers = list(layers)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        for layer in reversed(self.layers):
+            grad = layer.backward(grad)
+        return grad
+
+    def params(self) -> List[Tuple[str, np.ndarray, np.ndarray]]:
+        out = []
+        for index, layer in enumerate(self.layers):
+            for name, value, grad in layer.params():
+                out.append((f"layer{index}.{name}", value, grad))
+        return out
+
+    def zero_grad(self) -> None:
+        for layer in self.layers:
+            layer.zero_grad()
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)

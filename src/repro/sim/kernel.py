@@ -1,0 +1,339 @@
+"""Generator-based discrete-event simulation kernel.
+
+This is the substrate on which the facility models run (Slurm scheduler,
+Lustre filesystem, WAN links, Globus-like services).  The design follows
+the classic process-interaction style: simulation processes are Python
+generators that ``yield`` events (timeouts, resource requests, other
+processes) and are resumed when those events fire.
+
+The kernel is deliberately small but complete: events carry values or
+exceptions, processes are themselves events (so they can be joined),
+condition events (:class:`AllOf` / :class:`AnyOf`) compose waits, and
+processes may be interrupted (used by the elastic scaling strategy to
+retire idle workers, mirroring Parsl's block scale-in in Fig. 6).
+
+Determinism: two events scheduled for the same instant fire in schedule
+order (a monotonically increasing tiebreaker), so simulations are exactly
+reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, Iterable, List, Optional
+
+__all__ = [
+    "Simulation",
+    "Event",
+    "Timeout",
+    "Process",
+    "AllOf",
+    "AnyOf",
+    "Interrupt",
+    "SimulationError",
+]
+
+
+class SimulationError(RuntimeError):
+    """Raised for kernel-level protocol violations."""
+
+
+class Interrupt(Exception):
+    """Thrown into a process that another process interrupted.
+
+    ``cause`` carries an arbitrary payload describing why.
+    """
+
+    def __init__(self, cause: Any = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence with an optional value or exception.
+
+    Events move through three states: *pending* (created), *triggered*
+    (scheduled on the event queue with a value), and *processed* (callbacks
+    have run).  Waiting processes register callbacks.
+    """
+
+    __slots__ = ("sim", "callbacks", "_value", "_ok", "_processed")
+
+    def __init__(self, sim: "Simulation"):
+        self.sim = sim
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._processed = False
+
+    @property
+    def triggered(self) -> bool:
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        return self._processed
+
+    @property
+    def ok(self) -> bool:
+        if not self.triggered:
+            raise SimulationError("event has not been triggered")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        if self._value is PENDING:
+            raise SimulationError("event value is not yet available")
+        return self._value
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self._ok = True
+        self._value = value
+        self.sim._schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() requires an exception, got {exception!r}")
+        self._ok = False
+        self._value = exception
+        self.sim._schedule(self)
+        return self
+
+    def _add_callback(self, callback: Callable[["Event"], None]) -> None:
+        if self.callbacks is None:
+            # Already processed: run the callback immediately via the queue
+            # to preserve run-to-completion semantics.
+            immediate = Event(self.sim)
+            immediate.callbacks.append(lambda _ev: callback(self))
+            immediate._ok = self._ok
+            immediate._value = self._value if self._ok else None
+            self.sim._schedule(immediate)
+        else:
+            self.callbacks.append(callback)
+
+
+class Timeout(Event):
+    """An event that fires after a fixed delay."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, sim: "Simulation", delay: float, value: Any = None):
+        if delay < 0:
+            raise SimulationError(f"negative timeout delay: {delay}")
+        super().__init__(sim)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        sim._schedule(self, delay)
+
+
+class Process(Event):
+    """A running simulation process; also an event that fires on return.
+
+    The wrapped generator yields :class:`Event` instances.  When the
+    generator returns, the process event succeeds with the return value;
+    if it raises, the process event fails with the exception.
+    """
+
+    __slots__ = ("_generator", "_waiting_on", "name")
+
+    def __init__(self, sim: "Simulation", generator: Generator, name: str = ""):
+        super().__init__(sim)
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"process body must be a generator, got {type(generator).__name__}")
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        self.name = name or getattr(generator, "__name__", "process")
+        bootstrap = Event(sim)
+        bootstrap._ok = True
+        bootstrap._value = None
+        bootstrap.callbacks.append(self._resume)
+        sim._schedule(bootstrap)
+
+    @property
+    def is_alive(self) -> bool:
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at its current wait."""
+        if self.triggered:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._waiting_on is None:
+            raise SimulationError("cannot interrupt a process that has not started waiting")
+        waited = self._waiting_on
+        # Detach from the waited event so its eventual firing is ignored.
+        if waited.callbacks is not None and self._resume in waited.callbacks:
+            waited.callbacks.remove(self._resume)
+        self._waiting_on = None
+        poke = Event(self.sim)
+        poke._ok = False
+        poke._value = Interrupt(cause)
+        poke.callbacks.append(self._resume)
+        self.sim._schedule(poke)
+
+    def _resume(self, event: Event) -> None:
+        self._waiting_on = None
+        try:
+            if event._ok:
+                target = self._generator.send(event._value)
+            else:
+                target = self._generator.throw(event._value)
+        except StopIteration as stop:
+            if not self.triggered:
+                self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate into the event graph
+            if not self.triggered:
+                self.fail(exc)
+            return
+        if not isinstance(target, Event) or target.sim is not self.sim:
+            problem = SimulationError(
+                f"process {self.name!r} yielded {target!r}; expected an Event of this simulation"
+            )
+            self._generator.close()
+            if not self.triggered:
+                self.fail(problem)
+            return
+        self._waiting_on = target
+        target._add_callback(self._resume)
+
+
+class _Condition(Event):
+    """Base for AllOf/AnyOf composite events."""
+
+    __slots__ = ("events", "_pending")
+
+    def __init__(self, sim: "Simulation", events: Iterable[Event]):
+        super().__init__(sim)
+        self.events = list(events)
+        for event in self.events:
+            if event.sim is not sim:
+                raise SimulationError("condition mixes events from different simulations")
+        self._pending = len(self.events)
+        if not self.events:
+            self.succeed([])
+        else:
+            for event in self.events:
+                event._add_callback(self._check)
+
+    def _check(self, event: Event) -> None:  # pragma: no cover - overridden
+        raise NotImplementedError
+
+
+class AllOf(_Condition):
+    """Fires when all constituent events have fired; value is their values.
+
+    Fails fast with the first failure.
+    """
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self._pending -= 1
+        if self._pending == 0:
+            self.succeed([e._value for e in self.events])
+
+
+class AnyOf(_Condition):
+    """Fires when any constituent event fires; value is ``(index, value)``."""
+
+    __slots__ = ()
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        if not event._ok:
+            self.fail(event._value)
+            return
+        self.succeed((self.events.index(event), event._value))
+
+
+class Simulation:
+    """The event queue and clock."""
+
+    def __init__(self) -> None:
+        self.now: float = 0.0
+        self._queue: List[tuple] = []
+        self._counter = 0
+
+    # -- scheduling -------------------------------------------------------
+
+    def _schedule(self, event: Event, delay: float = 0.0) -> None:
+        heapq.heappush(self._queue, (self.now + delay, self._counter, event))
+        self._counter += 1
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator, name: str = "") -> Process:
+        return Process(self, generator, name=name)
+
+    def all_of(self, events: Iterable[Event]) -> AllOf:
+        return AllOf(self, events)
+
+    def any_of(self, events: Iterable[Event]) -> AnyOf:
+        return AnyOf(self, events)
+
+    # -- execution --------------------------------------------------------
+
+    def step(self) -> None:
+        """Process the next event in the queue."""
+        if not self._queue:
+            raise SimulationError("no events to step")
+        time, _tie, event = heapq.heappop(self._queue)
+        if time < self.now - 1e-12:
+            raise SimulationError("event queue time went backwards")
+        self.now = max(self.now, time)
+        callbacks = event.callbacks
+        event.callbacks = None
+        event._processed = True
+        if callbacks:
+            for callback in callbacks:
+                callback(event)
+        elif not event._ok and not isinstance(event, Process):
+            # A failed event nobody waits on is a lost error: surface it.
+            raise event._value
+
+    def run(self, until: Optional[float] = None, stop: Optional[Event] = None) -> Any:
+        """Run until the queue drains, ``until`` time passes, or ``stop`` fires.
+
+        Returns ``stop``'s value when given and fired.
+        """
+        while self._queue:
+            if stop is not None and stop.processed:
+                break
+            next_time = self._queue[0][0]
+            if until is not None and next_time > until:
+                self.now = until
+                break
+            self.step()
+        else:
+            if until is not None:
+                self.now = max(self.now, until)
+        if stop is not None:
+            if not stop.triggered:
+                raise SimulationError("simulation ran out of events before stop condition")
+            if not stop._ok:
+                raise stop._value
+            return stop._value
+        return None
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")

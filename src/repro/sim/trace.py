@@ -1,0 +1,130 @@
+"""Timeline tracing: per-stage active-worker counts and span records.
+
+Fig. 6 of the paper plots the number of active workers per workflow stage
+over time; Fig. 7 reports per-stage latency spans and inter-stage
+communication gaps.  :class:`Tracer` records both: point samples of gauge
+values (worker counts) and named spans (stage start/stop), and can render
+the step-function time series the figures plot.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["Span", "Tracer", "StepSeries"]
+
+
+@dataclass(frozen=True)
+class Span:
+    """A named interval, e.g. one task execution or one workflow stage."""
+
+    name: str
+    category: str
+    start: float
+    end: float
+    detail: dict = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+class StepSeries:
+    """A right-continuous step function built from (time, value) changes."""
+
+    def __init__(self, changes: Sequence[Tuple[float, float]]):
+        self.times: List[float] = []
+        self.values: List[float] = []
+        # Sort by time only (stable), so same-instant changes keep their
+        # emission order and the last one wins.
+        for time, value in sorted(changes, key=lambda change: change[0]):
+            if self.times and abs(time - self.times[-1]) < 1e-12:
+                self.values[-1] = value
+            else:
+                self.times.append(time)
+                self.values.append(value)
+
+    def at(self, time: float) -> float:
+        """Value at ``time`` (0 before the first change)."""
+        index = bisect.bisect_right(self.times, time) - 1
+        return self.values[index] if index >= 0 else 0.0
+
+    def sample(self, times: Sequence[float]) -> List[float]:
+        return [self.at(t) for t in times]
+
+    @property
+    def max(self) -> float:
+        return max(self.values) if self.values else 0.0
+
+    def integral(self, start: float, end: float) -> float:
+        """Area under the step function over [start, end] (worker-seconds)."""
+        if end < start:
+            raise ValueError("end before start")
+        total = 0.0
+        current = self.at(start)
+        cursor = start
+        index = bisect.bisect_right(self.times, start)
+        while index < len(self.times) and self.times[index] < end:
+            total += current * (self.times[index] - cursor)
+            cursor = self.times[index]
+            current = self.values[index]
+            index += 1
+        total += current * (end - cursor)
+        return total
+
+
+class Tracer:
+    """Collects gauge changes and spans during a run."""
+
+    def __init__(self) -> None:
+        self._gauges: Dict[str, List[Tuple[float, float]]] = {}
+        self._counters: Dict[str, float] = {}
+        self.spans: List[Span] = []
+
+    # -- gauges (e.g. active worker counts per stage) ----------------------
+
+    def gauge_set(self, name: str, time: float, value: float) -> None:
+        self._gauges.setdefault(name, []).append((time, float(value)))
+        self._counters[name] = float(value)
+
+    def gauge_add(self, name: str, time: float, delta: float) -> float:
+        value = self._counters.get(name, 0.0) + delta
+        if value < -1e-9:
+            raise ValueError(f"gauge {name!r} went negative at t={time}")
+        self.gauge_set(name, time, value)
+        return value
+
+    def gauge_value(self, name: str) -> float:
+        return self._counters.get(name, 0.0)
+
+    def series(self, name: str) -> StepSeries:
+        return StepSeries(self._gauges.get(name, []))
+
+    def gauge_names(self) -> List[str]:
+        return sorted(self._gauges)
+
+    # -- spans --------------------------------------------------------------
+
+    def span(self, name: str, category: str, start: float, end: float, **detail) -> Span:
+        if end < start:
+            raise ValueError(f"span {name!r} ends before it starts")
+        record = Span(name=name, category=category, start=start, end=end, detail=detail)
+        self.spans.append(record)
+        return record
+
+    def spans_in(self, category: str) -> List[Span]:
+        return [s for s in self.spans if s.category == category]
+
+    def category_bounds(self, category: str) -> Optional[Tuple[float, float]]:
+        """Earliest start and latest end across a category's spans."""
+        spans = self.spans_in(category)
+        if not spans:
+            return None
+        return min(s.start for s in spans), max(s.end for s in spans)
+
+    def makespan(self) -> float:
+        if not self.spans:
+            return 0.0
+        return max(s.end for s in self.spans) - min(s.start for s in self.spans)

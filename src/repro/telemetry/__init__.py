@@ -1,0 +1,5 @@
+"""Telemetry: counters, gauges, histograms for workflow insight (S V-A)."""
+
+from repro.telemetry.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]

@@ -1,0 +1,13 @@
+"""Globus-Transfer-like data movement between facility filesystems."""
+
+from repro.transfer.client import LocalTransferClient, SimTransferClient, TransferError
+from repro.transfer.task import TransferItem, TransferState, TransferTask
+
+__all__ = [
+    "SimTransferClient",
+    "LocalTransferClient",
+    "TransferError",
+    "TransferTask",
+    "TransferItem",
+    "TransferState",
+]

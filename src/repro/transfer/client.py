@@ -1,0 +1,197 @@
+"""Globus-Transfer-like client: simulated and real-filesystem flavours.
+
+Stage 5 of the workflow ("Shipment") moves labelled NetCDF files to
+Frontier's Orion via Globus Transfer.  :class:`SimTransferClient` executes
+batches over :class:`~repro.net.wan.WanLink` pipes between simulated
+shared filesystems, with per-file integrity verification and bounded
+concurrency (Globus's concurrent-file fan-out).  :class:`LocalTransferClient`
+does the same thing for real on local directories: copy + SHA-256 verify.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import shutil
+from pathlib import Path
+from typing import Dict, Generator, List, Optional, Sequence, Tuple
+
+from repro.hpc.filesystem import SharedFilesystem
+from repro.net.wan import WanLink
+from repro.sim import Simulation, Store
+from repro.transfer.task import TransferItem, TransferState, TransferTask
+from repro.util.logging import EventLog
+
+__all__ = ["SimTransferClient", "LocalTransferClient", "TransferError"]
+
+
+class TransferError(RuntimeError):
+    """A transfer task failed (integrity or endpoint error)."""
+
+
+class SimTransferClient:
+    """Executes transfer tasks between simulated filesystems over WAN links."""
+
+    def __init__(
+        self,
+        sim: Simulation,
+        endpoints: Dict[str, SharedFilesystem],
+        links: Dict[Tuple[str, str], WanLink],
+        concurrent_files: int = 4,
+        verify_overhead: float = 0.01,
+        log: Optional[EventLog] = None,
+    ):
+        if concurrent_files < 1:
+            raise ValueError("need at least one concurrent file slot")
+        self.sim = sim
+        self.endpoints = dict(endpoints)
+        self.links = dict(links)
+        self.concurrent_files = concurrent_files
+        self.verify_overhead = verify_overhead
+        self.log = log or EventLog()
+        self._next_id = 1
+
+    def submit(
+        self,
+        src: str,
+        dst: str,
+        paths: Sequence[Tuple[str, str]],
+        label: str = "",
+        sync: bool = False,
+    ) -> TransferTask:
+        """Move ``paths`` ([(src_path, dst_path), ...]) from ``src`` to ``dst``.
+
+        With ``sync`` (Globus's sync-level semantics) a file whose
+        destination already exists with the same size is skipped without
+        moving bytes.  Returns the task; its ``done`` event fires on
+        completion (and fails with :class:`TransferError` if any file
+        cannot be moved).
+        """
+        if src not in self.endpoints or dst not in self.endpoints:
+            unknown = [e for e in (src, dst) if e not in self.endpoints]
+            raise KeyError(f"unknown endpoint(s) {unknown!r}")
+        if (src, dst) not in self.links:
+            raise KeyError(f"no WAN link {src!r} -> {dst!r}")
+        items = [TransferItem(src_path=a, dst_path=b) for a, b in paths]
+        task = TransferTask(
+            task_id=self._next_id,
+            label=label or f"transfer-{self._next_id}",
+            src_endpoint=src,
+            dst_endpoint=dst,
+            items=items,
+            submitted_at=self.sim.now,
+            done=self.sim.event(),
+        )
+        self._next_id += 1
+        self.log.emit(self.sim.now, "transfer", "submit", task_id=task.task_id, files=len(items))
+        self.sim.process(self._execute(task, sync=sync), name=f"transfer-{task.task_id}")
+        return task
+
+    def _execute(self, task: TransferTask, sync: bool = False) -> Generator:
+        src_fs = self.endpoints[task.src_endpoint]
+        dst_fs = self.endpoints[task.dst_endpoint]
+        link = self.links[(task.src_endpoint, task.dst_endpoint)]
+        queue = Store(self.sim)
+        for item in task.items:
+            queue.put(item)
+        failures: List[str] = []
+
+        def mover() -> Generator:
+            while len(queue) > 0:
+                item: TransferItem = yield queue.get()
+                try:
+                    entry = src_fs.entry(item.src_path)
+                    if not entry.closed:
+                        raise OSError(f"{item.src_path} still open")
+                except (FileNotFoundError, OSError) as exc:
+                    failures.append(str(exc))
+                    task.faults += 1
+                    continue
+                item.nbytes = entry.nbytes
+                if sync and dst_fs.exists(item.dst_path):
+                    existing = dst_fs.entry(item.dst_path)
+                    if existing.closed and existing.nbytes == entry.nbytes:
+                        item.skipped = True
+                        item.done = True
+                        item.verified = True
+                        continue
+                yield src_fs.read(item.src_path)
+                yield link.send(entry.nbytes)
+                if dst_fs.exists(item.dst_path):
+                    dst_fs.unlink(item.dst_path)
+                yield dst_fs.write(item.dst_path, entry.nbytes, metadata=dict(entry.metadata))
+                if self.verify_overhead > 0:
+                    yield self.sim.timeout(self.verify_overhead)
+                item.verified = True
+                item.done = True
+                task.bytes_transferred += entry.nbytes
+
+        movers = [
+            self.sim.process(mover(), name=f"transfer-{task.task_id}-m{index}")
+            for index in range(min(self.concurrent_files, max(1, len(task.items))))
+        ]
+        yield self.sim.all_of(movers)
+        task.finished_at = self.sim.now
+        if failures:
+            task.state = TransferState.FAILED
+            task.error = "; ".join(failures)
+            self.log.emit(self.sim.now, "transfer", "failed", task_id=task.task_id, error=task.error)
+            task.done.fail(TransferError(task.error))
+        else:
+            task.state = TransferState.SUCCEEDED
+            self.log.emit(
+                self.sim.now, "transfer", "succeeded",
+                task_id=task.task_id, nbytes=task.bytes_transferred,
+            )
+            task.done.succeed(task)
+
+
+class LocalTransferClient:
+    """Real file movement between local directories with SHA-256 verify."""
+
+    def __init__(self) -> None:
+        self.tasks_completed = 0
+        self.bytes_transferred = 0
+        self.files_skipped = 0
+
+    @staticmethod
+    def _digest(path: Path) -> str:
+        sha = hashlib.sha256()
+        with open(path, "rb") as handle:
+            for chunk in iter(lambda: handle.read(1 << 20), b""):
+                sha.update(chunk)
+        return sha.hexdigest()
+
+    def transfer(
+        self,
+        src_dir: str,
+        dst_dir: str,
+        names: Sequence[str],
+        sync: bool = False,
+    ) -> List[str]:
+        """Copy ``names`` from src_dir to dst_dir; verify; return dst paths.
+
+        With ``sync`` a destination whose SHA-256 already matches the
+        source is not re-copied (it is still returned as delivered).
+        Raises :class:`TransferError` on any missing source or checksum
+        mismatch (the destination file is removed on mismatch).
+        """
+        src_root, dst_root = Path(src_dir), Path(dst_dir)
+        dst_root.mkdir(parents=True, exist_ok=True)
+        moved: List[str] = []
+        for name in names:
+            src = src_root / name
+            if not src.is_file():
+                raise TransferError(f"source missing: {src}")
+            dst = dst_root / name
+            if sync and dst.is_file() and self._digest(src) == self._digest(dst):
+                self.files_skipped += 1
+                moved.append(str(dst))
+                continue
+            shutil.copyfile(src, dst)
+            if self._digest(src) != self._digest(dst):
+                dst.unlink(missing_ok=True)
+                raise TransferError(f"integrity check failed for {name}")
+            self.bytes_transferred += src.stat().st_size
+            moved.append(str(dst))
+        self.tasks_completed += 1
+        return moved

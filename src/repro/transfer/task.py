@@ -1,0 +1,74 @@
+"""Transfer task model: lifecycle, events, integrity accounting."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.sim import Event
+
+__all__ = ["TransferState", "TransferItem", "TransferTask"]
+
+
+class TransferState(enum.Enum):
+    ACTIVE = "active"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self is not TransferState.ACTIVE
+
+
+@dataclass
+class TransferItem:
+    """One file within a transfer task."""
+
+    src_path: str
+    dst_path: str
+    nbytes: int = 0
+    done: bool = False
+    verified: bool = False
+    skipped: bool = False   # sync mode: destination already current
+
+
+@dataclass
+class TransferTask:
+    """A batch of files moving between two endpoints."""
+
+    task_id: int
+    label: str
+    src_endpoint: str
+    dst_endpoint: str
+    items: List[TransferItem]
+    submitted_at: float
+    state: TransferState = TransferState.ACTIVE
+    finished_at: Optional[float] = None
+    bytes_transferred: int = 0
+    faults: int = 0
+    done: Event = None  # type: ignore[assignment]
+    error: Optional[str] = None
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(item.nbytes for item in self.items)
+
+    @property
+    def files_done(self) -> int:
+        return sum(1 for item in self.items if item.done)
+
+    @property
+    def files_skipped(self) -> int:
+        return sum(1 for item in self.items if item.skipped)
+
+    @property
+    def duration(self) -> float:
+        if self.finished_at is None:
+            raise ValueError("transfer has not finished")
+        return self.finished_at - self.submitted_at
+
+    @property
+    def effective_rate(self) -> float:
+        duration = self.duration
+        return self.bytes_transferred / duration if duration > 0 else float("inf")

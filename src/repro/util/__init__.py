@@ -1,0 +1,26 @@
+"""Shared utilities: units, YAML-subset parsing, config schema, stats, logging."""
+
+from repro.util.units import (
+    format_bytes,
+    format_duration,
+    format_rate,
+    parse_bytes,
+    parse_duration,
+    parse_rate,
+)
+from repro.util.stats import RunningStats, summarize
+from repro.util.yamlish import YamlError, dumps as yaml_dumps, loads as yaml_loads
+
+__all__ = [
+    "parse_bytes",
+    "parse_rate",
+    "parse_duration",
+    "format_bytes",
+    "format_rate",
+    "format_duration",
+    "RunningStats",
+    "summarize",
+    "yaml_loads",
+    "yaml_dumps",
+    "YamlError",
+]

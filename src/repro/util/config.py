@@ -1,0 +1,134 @@
+"""Declarative schema validation for workflow configuration mappings.
+
+The EO-ML workflow is user-configured through a YAML file (Section III,
+stage 1): compute endpoint, LAADS credentials, MODIS products, time span,
+and local paths.  This module provides a tiny schema language used by
+:mod:`repro.core.config` so malformed configurations fail with pointed
+error messages instead of deep stack traces mid-run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["ConfigError", "Field", "Schema", "require_mapping"]
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration mapping fails validation."""
+
+    def __init__(self, path: str, message: str):
+        super().__init__(f"{path}: {message}" if path else message)
+        self.path = path
+
+
+_MISSING = object()
+
+
+@dataclass(frozen=True)
+class Field:
+    """One schema entry.
+
+    ``convert`` receives the raw value and may raise ``ValueError`` to
+    signal a bad value; its message is wrapped with the config path.
+    """
+
+    name: str
+    convert: Callable[[Any], Any]
+    required: bool = True
+    default: Any = None
+    choices: Optional[Sequence[Any]] = None
+
+    def resolve(self, raw: Any, path: str) -> Any:
+        if raw is _MISSING:
+            if self.required:
+                raise ConfigError(path, f"missing required key {self.name!r}")
+            return self.default
+        try:
+            value = self.convert(raw)
+        except ConfigError:
+            raise
+        except (TypeError, ValueError, KeyError) as exc:
+            raise ConfigError(f"{path}.{self.name}" if path else self.name, str(exc)) from exc
+        if self.choices is not None and value not in self.choices:
+            raise ConfigError(
+                f"{path}.{self.name}" if path else self.name,
+                f"must be one of {list(self.choices)!r}, got {value!r}",
+            )
+        return value
+
+
+class Schema:
+    """An ordered collection of fields validating one mapping level."""
+
+    def __init__(self, name: str, fields: Sequence[Field], allow_extra: bool = False):
+        self.name = name
+        self.fields = list(fields)
+        self.allow_extra = allow_extra
+        names = [f.name for f in self.fields]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate field names in schema {name!r}")
+
+    def validate(self, raw: Mapping[str, Any], path: str = "") -> Dict[str, Any]:
+        path = path or self.name
+        require_mapping(raw, path)
+        known = {f.name for f in self.fields}
+        if not self.allow_extra:
+            extra = sorted(set(raw) - known)
+            if extra:
+                raise ConfigError(path, f"unknown keys {extra!r} (known: {sorted(known)!r})")
+        resolved: Dict[str, Any] = {}
+        for field in self.fields:
+            raw_value = raw.get(field.name, _MISSING)
+            resolved[field.name] = field.resolve(raw_value, path)
+        return resolved
+
+
+def require_mapping(value: Any, path: str) -> None:
+    if not isinstance(value, Mapping):
+        raise ConfigError(path, f"expected a mapping, got {type(value).__name__}")
+
+
+def string(value: Any) -> str:
+    if not isinstance(value, str):
+        raise ValueError(f"expected a string, got {type(value).__name__}")
+    return value
+
+
+def integer(value: Any) -> int:
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise ValueError(f"expected an integer, got {value!r}")
+    return value
+
+
+def positive_int(value: Any) -> int:
+    result = integer(value)
+    if result <= 0:
+        raise ValueError(f"expected a positive integer, got {result}")
+    return result
+
+
+def number(value: Any) -> float:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ValueError(f"expected a number, got {value!r}")
+    return float(value)
+
+
+def boolean(value: Any) -> bool:
+    if not isinstance(value, bool):
+        raise ValueError(f"expected a boolean, got {value!r}")
+    return value
+
+
+def string_list(value: Any) -> List[str]:
+    if isinstance(value, str):
+        return [value]
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(f"expected a list of strings, got {type(value).__name__}")
+    out = []
+    for item in value:
+        if not isinstance(item, str):
+            raise ValueError(f"expected a list of strings, found {item!r}")
+        out.append(item)
+    return out

@@ -1,0 +1,134 @@
+"""Small statistics helpers used by experiment drivers and reports.
+
+Benchmarks in the paper report mean and standard deviation over repeated
+iterations (Fig. 3: "Dots represent mean speeds; shading shows standard
+deviation"; scaling figures iterate "each data point five times").
+:class:`RunningStats` implements Welford's online algorithm so simulators
+can accumulate statistics without storing samples.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["RunningStats", "summarize", "Summary"]
+
+
+class RunningStats:
+    """Welford online mean/variance accumulator.
+
+    >>> s = RunningStats()
+    >>> for x in (1.0, 2.0, 3.0):
+    ...     s.add(x)
+    >>> s.mean
+    2.0
+    """
+
+    __slots__ = ("count", "_mean", "_m2", "minimum", "maximum")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self._mean = 0.0
+        self._m2 = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+
+    def add(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        delta = value - self._mean
+        self._mean += delta / self.count
+        self._m2 += delta * (value - self._mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    def extend(self, values: Iterable[float]) -> None:
+        for value in values:
+            self.add(value)
+
+    @property
+    def mean(self) -> float:
+        if self.count == 0:
+            raise ValueError("no samples")
+        return self._mean
+
+    @property
+    def variance(self) -> float:
+        """Sample variance (ddof=1); zero for a single sample."""
+        if self.count == 0:
+            raise ValueError("no samples")
+        if self.count == 1:
+            return 0.0
+        return self._m2 / (self.count - 1)
+
+    @property
+    def stdev(self) -> float:
+        return math.sqrt(self.variance)
+
+    def merge(self, other: "RunningStats") -> "RunningStats":
+        """Combine two accumulators (Chan et al. parallel variance)."""
+        merged = RunningStats()
+        if self.count == 0:
+            merged.count = other.count
+            merged._mean = other._mean
+            merged._m2 = other._m2
+            merged.minimum = other.minimum
+            merged.maximum = other.maximum
+            return merged
+        if other.count == 0:
+            merged.count = self.count
+            merged._mean = self._mean
+            merged._m2 = self._m2
+            merged.minimum = self.minimum
+            merged.maximum = self.maximum
+            return merged
+        total = self.count + other.count
+        delta = other._mean - self._mean
+        merged.count = total
+        merged._mean = self._mean + delta * other.count / total
+        merged._m2 = self._m2 + other._m2 + delta * delta * self.count * other.count / total
+        merged.minimum = min(self.minimum, other.minimum)
+        merged.maximum = max(self.maximum, other.maximum)
+        return merged
+
+
+@dataclass(frozen=True)
+class Summary:
+    """Immutable summary of a sample set."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    median: float
+
+    def __str__(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.4g} sd={self.stdev:.4g} "
+            f"min={self.minimum:.4g} med={self.median:.4g} max={self.maximum:.4g}"
+        )
+
+
+def summarize(values: Sequence[float]) -> Summary:
+    """Summarize a sequence: count, mean, sample stdev, min, max, median."""
+    if not values:
+        raise ValueError("cannot summarize an empty sequence")
+    ordered = sorted(float(v) for v in values)
+    n = len(ordered)
+    stats = RunningStats()
+    stats.extend(ordered)
+    if n % 2 == 1:
+        median = ordered[n // 2]
+    else:
+        median = 0.5 * (ordered[n // 2 - 1] + ordered[n // 2])
+    return Summary(
+        count=n,
+        mean=stats.mean,
+        stdev=stats.stdev,
+        minimum=ordered[0],
+        maximum=ordered[-1],
+        median=median,
+    )

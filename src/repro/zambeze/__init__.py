@@ -1,0 +1,24 @@
+"""Zambeze-like cross-facility orchestration: bus, agents, campaigns."""
+
+from repro.zambeze.agent import AuthError, FacilityAgent
+from repro.zambeze.bus import Message, MessageBus
+from repro.zambeze.campaign import (
+    ActivityKind,
+    ActivityStatus,
+    Campaign,
+    CampaignActivity,
+)
+from repro.zambeze.orchestrator import CampaignReport, Orchestrator
+
+__all__ = [
+    "MessageBus",
+    "Message",
+    "FacilityAgent",
+    "AuthError",
+    "Campaign",
+    "CampaignActivity",
+    "ActivityKind",
+    "ActivityStatus",
+    "Orchestrator",
+    "CampaignReport",
+]

@@ -1,0 +1,98 @@
+"""Facility agents: the per-site adapters Zambeze deploys.
+
+Each agent represents one facility's execution adapter ("developing
+adapters for cross-facility communication", Section V-A): it advertises
+capabilities, authenticates dispatches with a facility credential, runs
+the matching plugin, and reports status messages back over the bus.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional
+
+from repro.zambeze.bus import Message, MessageBus
+
+__all__ = ["FacilityAgent", "AuthError"]
+
+
+class AuthError(RuntimeError):
+    """Dispatch carried a missing or wrong facility credential."""
+
+
+Plugin = Callable[[Dict[str, Any]], Any]
+
+
+@dataclass
+class FacilityAgent:
+    """One facility's activity executor.
+
+    ``plugins`` map capability names to callables receiving the activity
+    parameters; ``credential`` is the shared secret dispatches must carry
+    (the paper's near-term "manual user authentication, credential
+    management").
+    """
+
+    facility: str
+    bus: MessageBus
+    credential: str
+    plugins: Dict[str, Plugin] = field(default_factory=dict)
+    executed: int = 0
+    rejected: int = 0
+
+    def __post_init__(self) -> None:
+        self.bus.subscribe(f"dispatch.{self.facility}", f"agent:{self.facility}", self._on_dispatch)
+
+    def register_plugin(self, capability: str, plugin: Plugin) -> None:
+        self.plugins[capability] = plugin
+
+    @property
+    def capabilities(self) -> set:
+        return set(self.plugins)
+
+    # -- dispatch handling ------------------------------------------------------
+
+    def _on_dispatch(self, message: Message) -> None:
+        payload = message.payload
+        name = payload["activity"]
+        try:
+            self._authenticate(payload)
+            plugin = self._resolve(payload["capability"])
+        except (AuthError, KeyError) as exc:
+            self.rejected += 1
+            self.bus.publish(
+                "status", f"agent:{self.facility}",
+                activity=name, status="failed", error=str(exc),
+            )
+            return
+        self.bus.publish(
+            "status", f"agent:{self.facility}", activity=name, status="running"
+        )
+        try:
+            result = plugin(dict(payload.get("parameters", {})))
+        except Exception as exc:  # noqa: BLE001 - reported, not raised
+            self.bus.publish(
+                "status", f"agent:{self.facility}",
+                activity=name, status="failed", error=str(exc),
+            )
+            return
+        self.executed += 1
+        self.bus.publish(
+            "status", f"agent:{self.facility}",
+            activity=name, status="succeeded", result=result,
+        )
+
+    def _authenticate(self, payload: Dict[str, Any]) -> None:
+        token = payload.get("credential")
+        if token != self.credential:
+            raise AuthError(
+                f"facility {self.facility!r} rejected dispatch: bad credential"
+            )
+
+    def _resolve(self, capability: str) -> Plugin:
+        if capability not in self.plugins:
+            raise KeyError(
+                f"facility {self.facility!r} has no capability {capability!r}; "
+                f"offers {sorted(self.plugins)}"
+            )
+        return self.plugins[capability]

@@ -1,0 +1,76 @@
+"""An in-process message bus (the Zambeze-style communication fabric).
+
+Section V-A: "we plan to use the Zambeze orchestration framework to
+facilitate remote configuration, invocation, and monitoring of workflow
+components" across facilities whose orchestration "is fragmented".
+Zambeze's architecture is agents exchanging messages over a queue
+(NATS/RabbitMQ); this module provides that shape in-process: named
+topics, durable per-subscriber queues, and an explicit ``pump`` step so
+delivery order is deterministic and testable.
+"""
+
+from __future__ import annotations
+
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Tuple
+
+__all__ = ["Message", "MessageBus"]
+
+
+@dataclass(frozen=True)
+class Message:
+    """One bus message."""
+
+    message_id: int
+    topic: str
+    sender: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class MessageBus:
+    """Topic-based pub/sub with explicit, deterministic delivery."""
+
+    def __init__(self) -> None:
+        self._subscribers: Dict[str, List[Tuple[str, Callable[[Message], None]]]] = {}
+        self._pending: Deque[Message] = deque()
+        self._ids = itertools.count(1)
+        self.delivered = 0
+
+    def subscribe(self, topic: str, name: str, handler: Callable[[Message], None]) -> None:
+        """Register ``handler`` for ``topic``; names make logs readable."""
+        self._subscribers.setdefault(topic, []).append((name, handler))
+
+    def publish(self, topic: str, sender: str, **payload: Any) -> Message:
+        """Queue a message; it is delivered on the next :meth:`pump`."""
+        message = Message(
+            message_id=next(self._ids), topic=topic, sender=sender, payload=dict(payload)
+        )
+        self._pending.append(message)
+        return message
+
+    def pump(self, max_messages: int | None = None) -> int:
+        """Deliver queued messages (and any they trigger) in FIFO order.
+
+        Returns the number delivered.  ``max_messages`` bounds a single
+        pump so runaway publish loops surface as a clear failure rather
+        than a hang.
+        """
+        count = 0
+        while self._pending:
+            if max_messages is not None and count >= max_messages:
+                raise RuntimeError(
+                    f"bus pump exceeded {max_messages} messages; "
+                    "likely a publish loop between agents"
+                )
+            message = self._pending.popleft()
+            for _name, handler in self._subscribers.get(message.topic, []):
+                handler(message)
+            self.delivered += 1
+            count += 1
+        return count
+
+    @property
+    def queued(self) -> int:
+        return len(self._pending)

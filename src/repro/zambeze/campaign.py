@@ -1,0 +1,165 @@
+"""Campaigns: DAGs of cross-facility activities.
+
+Zambeze's unit of work is the *activity* (compute something, move data);
+a *campaign* is a set of activities with dependencies.  The EO-ML
+workflow maps naturally: download and preprocess run at OLCF, analysis
+may run at another facility, transfers bridge them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence
+
+__all__ = ["ActivityKind", "ActivityStatus", "CampaignActivity", "Campaign"]
+
+
+class ActivityKind(enum.Enum):
+    COMPUTE = "compute"
+    TRANSFER = "transfer"
+    CONTROL = "control"
+
+
+class ActivityStatus(enum.Enum):
+    PENDING = "pending"
+    DISPATCHED = "dispatched"
+    RUNNING = "running"
+    SUCCEEDED = "succeeded"
+    FAILED = "failed"
+
+    @property
+    def terminal(self) -> bool:
+        return self in (ActivityStatus.SUCCEEDED, ActivityStatus.FAILED)
+
+
+@dataclass
+class CampaignActivity:
+    """One activity: what to do, where it may run, what it needs first."""
+
+    name: str
+    kind: ActivityKind
+    facility: Optional[str] = None        # None = any facility with capability
+    capability: str = ""                  # e.g. "preprocess", "laads-download"
+    parameters: Dict[str, Any] = field(default_factory=dict)
+    depends_on: List[str] = field(default_factory=list)
+    max_retries: int = 0
+    status: ActivityStatus = ActivityStatus.PENDING
+    attempts: int = 0
+    result: Any = None
+    error: Optional[str] = None
+
+
+class Campaign:
+    """A validated DAG of activities."""
+
+    def __init__(self, name: str, activities: Sequence[CampaignActivity]):
+        self.name = name
+        self.activities: Dict[str, CampaignActivity] = {}
+        for activity in activities:
+            if activity.name in self.activities:
+                raise ValueError(f"duplicate activity name {activity.name!r}")
+            self.activities[activity.name] = activity
+        for activity in activities:
+            for dep in activity.depends_on:
+                if dep not in self.activities:
+                    raise ValueError(
+                        f"activity {activity.name!r} depends on unknown {dep!r}"
+                    )
+        self._check_acyclic()
+
+    def _check_acyclic(self) -> None:
+        state: Dict[str, int] = {}
+
+        def visit(name: str) -> None:
+            if state.get(name) == 1:
+                raise ValueError(f"campaign has a dependency cycle through {name!r}")
+            if state.get(name) == 2:
+                return
+            state[name] = 1
+            for dep in self.activities[name].depends_on:
+                visit(dep)
+            state[name] = 2
+
+        for name in self.activities:
+            visit(name)
+
+    def ready(self) -> List[CampaignActivity]:
+        """Pending activities whose dependencies have all succeeded."""
+        out = []
+        for activity in self.activities.values():
+            if activity.status is not ActivityStatus.PENDING:
+                continue
+            deps = [self.activities[d] for d in activity.depends_on]
+            if all(d.status is ActivityStatus.SUCCEEDED for d in deps):
+                out.append(activity)
+        return out
+
+    @property
+    def done(self) -> bool:
+        return all(a.status.terminal for a in self.activities.values())
+
+    @property
+    def succeeded(self) -> bool:
+        return all(a.status is ActivityStatus.SUCCEEDED for a in self.activities.values())
+
+    @classmethod
+    def from_yaml(cls, text: str) -> "Campaign":
+        """Author a campaign in YAML.
+
+        ::
+
+            name: eo-ml
+            activities:
+              - name: download
+                kind: compute
+                facility: olcf
+                capability: laads-download
+                parameters: {files: 6}
+              - name: preprocess
+                kind: compute
+                capability: preprocess
+                depends_on: [download]
+                max_retries: 1
+        """
+        from repro.util.yamlish import loads as yaml_loads
+
+        doc = yaml_loads(text)
+        if not isinstance(doc, dict) or "activities" not in doc:
+            raise ValueError("campaign YAML needs 'name' and 'activities'")
+        activities = []
+        for index, item in enumerate(doc["activities"] or []):
+            if not isinstance(item, dict) or "name" not in item:
+                raise ValueError(f"activity {index} needs a 'name'")
+            kind_text = str(item.get("kind", "compute")).lower()
+            try:
+                kind = ActivityKind(kind_text)
+            except ValueError as exc:
+                raise ValueError(
+                    f"activity {item['name']!r}: unknown kind {kind_text!r}"
+                ) from exc
+            activities.append(
+                CampaignActivity(
+                    name=item["name"],
+                    kind=kind,
+                    facility=item.get("facility"),
+                    capability=item.get("capability", ""),
+                    parameters=dict(item.get("parameters") or {}),
+                    depends_on=list(item.get("depends_on") or []),
+                    max_retries=int(item.get("max_retries", 0)),
+                )
+            )
+        return cls(doc.get("name", "campaign"), activities)
+
+    @property
+    def blocked(self) -> bool:
+        """True when nothing can make progress but the campaign isn't done
+        (a dependency failed permanently)."""
+        if self.done:
+            return False
+        if self.ready():
+            return False
+        return not any(
+            a.status in (ActivityStatus.DISPATCHED, ActivityStatus.RUNNING)
+            for a in self.activities.values()
+        )

@@ -1,0 +1,167 @@
+"""The campaign orchestrator: dependency-driven cross-facility dispatch.
+
+Runs a :class:`~repro.zambeze.campaign.Campaign` over the message bus:
+ready activities are dispatched to a facility agent that offers the
+required capability (pinned facility respected), status messages update
+the campaign, failures retry up to the activity's budget, and the run
+ends when every activity is terminal or the campaign is blocked.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.util.logging import EventLog
+from repro.zambeze.agent import FacilityAgent
+from repro.zambeze.bus import Message, MessageBus
+from repro.zambeze.campaign import ActivityStatus, Campaign, CampaignActivity
+
+__all__ = ["Orchestrator", "CampaignReport"]
+
+
+@dataclass
+class CampaignReport:
+    """Outcome of one campaign run."""
+
+    campaign: str
+    succeeded: bool
+    statuses: Dict[str, str]
+    dispatches: int
+    retries: int
+    errors: Dict[str, str] = field(default_factory=dict)
+    results: Dict[str, object] = field(default_factory=dict)
+
+
+class Orchestrator:
+    """Dispatches campaigns to registered facility agents."""
+
+    def __init__(
+        self,
+        bus: MessageBus,
+        credentials: Optional[Dict[str, str]] = None,
+        log: Optional[EventLog] = None,
+    ):
+        self.bus = bus
+        self.credentials = dict(credentials or {})
+        self.log = log or EventLog()
+        self.agents: Dict[str, FacilityAgent] = {}
+        self._campaign: Optional[Campaign] = None
+        self._dispatches = 0
+        self._retries = 0
+        self._clock = 0.0
+        bus.subscribe("status", "orchestrator", self._on_status)
+
+    def register_agent(self, agent: FacilityAgent) -> None:
+        if agent.facility in self.agents:
+            raise ValueError(f"duplicate agent for facility {agent.facility!r}")
+        self.agents[agent.facility] = agent
+
+    # -- placement ------------------------------------------------------------
+
+    def _place(self, activity: CampaignActivity) -> FacilityAgent:
+        if activity.facility is not None:
+            agent = self.agents.get(activity.facility)
+            if agent is None:
+                raise LookupError(f"no agent registered for facility {activity.facility!r}")
+            if activity.capability not in agent.capabilities:
+                raise LookupError(
+                    f"facility {activity.facility!r} lacks capability "
+                    f"{activity.capability!r}"
+                )
+            return agent
+        candidates = [
+            agent for agent in self.agents.values()
+            if activity.capability in agent.capabilities
+        ]
+        if not candidates:
+            raise LookupError(
+                f"no facility offers capability {activity.capability!r} "
+                f"(agents: {sorted(self.agents)})"
+            )
+        # Least-loaded placement keeps multi-facility work spread out.
+        return min(candidates, key=lambda agent: agent.executed)
+
+    def _dispatch(self, activity: CampaignActivity) -> None:
+        agent = self._place(activity)
+        activity.status = ActivityStatus.DISPATCHED
+        activity.attempts += 1
+        self._dispatches += 1
+        self._clock += 1.0
+        self.log.emit(self._clock, "zambeze", "dispatch",
+                      activity=activity.name, facility=agent.facility,
+                      attempt=activity.attempts)
+        self.bus.publish(
+            f"dispatch.{agent.facility}",
+            "orchestrator",
+            activity=activity.name,
+            capability=activity.capability,
+            parameters=activity.parameters,
+            credential=self.credentials.get(agent.facility, ""),
+        )
+
+    # -- status handling ------------------------------------------------------
+
+    def _on_status(self, message: Message) -> None:
+        if self._campaign is None:
+            return
+        payload = message.payload
+        activity = self._campaign.activities.get(payload["activity"])
+        if activity is None or activity.status.terminal:
+            return
+        status = payload["status"]
+        self._clock += 1.0
+        self.log.emit(self._clock, "zambeze", "status",
+                      activity=activity.name, status=status)
+        if status == "running":
+            activity.status = ActivityStatus.RUNNING
+        elif status == "succeeded":
+            activity.status = ActivityStatus.SUCCEEDED
+            activity.result = payload.get("result")
+        elif status == "failed":
+            activity.error = payload.get("error", "unknown failure")
+            if activity.attempts <= activity.max_retries:
+                self._retries += 1
+                self._dispatch(activity)
+            else:
+                activity.status = ActivityStatus.FAILED
+
+    # -- the run ------------------------------------------------------------
+
+    def run(self, campaign: Campaign, max_rounds: int = 10_000) -> CampaignReport:
+        """Execute a campaign to completion (or to a blocked state)."""
+        self._campaign = campaign
+        self._dispatches = 0
+        self._retries = 0
+        rounds = 0
+        try:
+            while not campaign.done:
+                rounds += 1
+                if rounds > max_rounds:
+                    raise RuntimeError(f"campaign {campaign.name!r} exceeded {max_rounds} rounds")
+                for activity in campaign.ready():
+                    try:
+                        self._dispatch(activity)
+                    except LookupError as exc:
+                        activity.status = ActivityStatus.FAILED
+                        activity.error = str(exc)
+                self.bus.pump(max_messages=100_000)
+                if campaign.blocked:
+                    break
+        finally:
+            self._campaign = None
+        return CampaignReport(
+            campaign=campaign.name,
+            succeeded=campaign.succeeded,
+            statuses={name: a.status.value for name, a in campaign.activities.items()},
+            dispatches=self._dispatches,
+            retries=self._retries,
+            errors={
+                name: a.error for name, a in campaign.activities.items() if a.error
+            },
+            results={
+                name: a.result
+                for name, a in campaign.activities.items()
+                if a.status is ActivityStatus.SUCCEEDED
+            },
+        )

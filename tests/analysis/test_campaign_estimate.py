@@ -1,0 +1,85 @@
+"""Archive-campaign estimator tests."""
+
+import pytest
+
+from repro.analysis.campaign_estimate import (
+    AICCA_ARCHIVE_BYTES,
+    estimate_campaign,
+    sweep_workers,
+)
+
+
+class TestEstimator:
+    def test_more_workers_faster_until_wan(self):
+        estimates = sweep_workers()
+        seconds = [e.seconds for e in estimates]
+        # Monotone non-increasing...
+        assert all(a >= b - 1e-6 for a, b in zip(seconds, seconds[1:]))
+        # ...with diminishing returns once the WAN saturates.
+        assert estimates[0].bottleneck == "per-connection"
+        assert estimates[-1].bottleneck == "wan"
+        gain_early = seconds[0] / seconds[1]
+        gain_late = seconds[-2] / seconds[-1]
+        assert gain_early > gain_late
+
+    def test_850tb_timescale_is_months(self):
+        """At Fig. 3's calibrated network, 850 TB takes months — exactly
+        why the original effort leaned on parallel FuncX downloads."""
+        estimate = estimate_campaign(AICCA_ARCHIVE_BYTES, workers=6)
+        days = estimate.seconds / 86400
+        assert 100 < days < 2000
+
+    def test_aggregate_rate_bounded_by_wan(self):
+        estimate = estimate_campaign(workers=50, wan_bandwidth=25e6)
+        assert estimate.aggregate_rate <= 25e6
+
+    def test_overhead_lowers_effective_rate(self):
+        fast = estimate_campaign(workers=3, request_overhead=0.0)
+        slow = estimate_campaign(workers=3, request_overhead=5.0)
+        assert slow.seconds > fast.seconds
+
+    def test_str(self):
+        text = str(estimate_campaign(workers=3))
+        assert "MB/s" in text and "workers" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            estimate_campaign(total_bytes=0)
+        with pytest.raises(ValueError):
+            estimate_campaign(workers=0)
+
+
+class TestCampaignYaml:
+    def test_campaign_from_yaml(self):
+        from repro.zambeze import ActivityKind, Campaign
+
+        campaign = Campaign.from_yaml(
+            "name: eo-ml\n"
+            "activities:\n"
+            "  - name: download\n"
+            "    kind: compute\n"
+            "    facility: olcf\n"
+            "    capability: laads-download\n"
+            "    parameters: {files: 6}\n"
+            "  - name: preprocess\n"
+            "    capability: preprocess\n"
+            "    depends_on: [download]\n"
+            "    max_retries: 1\n"
+        )
+        assert campaign.name == "eo-ml"
+        assert campaign.activities["download"].kind is ActivityKind.COMPUTE
+        assert campaign.activities["download"].parameters == {"files": 6}
+        assert campaign.activities["preprocess"].depends_on == ["download"]
+        assert campaign.activities["preprocess"].max_retries == 1
+
+    def test_bad_yaml_campaigns(self):
+        from repro.zambeze import Campaign
+
+        with pytest.raises(ValueError, match="activities"):
+            Campaign.from_yaml("name: x\n")
+        with pytest.raises(ValueError, match="unknown kind"):
+            Campaign.from_yaml(
+                "name: x\nactivities:\n  - name: a\n    kind: teleport\n"
+            )
+        with pytest.raises(ValueError, match="needs a 'name'"):
+            Campaign.from_yaml("name: x\nactivities:\n  - kind: compute\n")

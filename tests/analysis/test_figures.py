@@ -1,0 +1,129 @@
+"""Fig. 3 / Fig. 6 / Fig. 7 drivers and report rendering tests."""
+
+import pytest
+
+from repro.analysis import (
+    FIG3_WORKER_GAIN_MB_S,
+    FIG7_LATENCIES,
+    automation_timeline,
+    contention_ablation,
+    download_sweep,
+    elastic_ablation,
+    latency_breakdown,
+    overlap_ablation,
+    render_comparison,
+    render_table,
+    shape_error,
+)
+from repro.core import SimWorkflowParams
+
+
+@pytest.fixture(scope="module")
+def fig3():
+    return download_sweep(iterations=2)
+
+
+class TestFig3:
+    def test_speed_rises_with_batch_size(self, fig3):
+        three = {p.batch_bytes: p.mean_speed_mb_s for p in fig3 if p.workers == 3}
+        sizes = sorted(three)
+        assert three[sizes[-1]] > three[sizes[0]]
+
+    def test_six_workers_gain_about_3mbs(self, fig3):
+        by_size = {}
+        for p in fig3:
+            by_size.setdefault(p.batch_bytes, {})[p.workers] = p.mean_speed_mb_s
+        gains = [cell[6] - cell[3] for size, cell in by_size.items() if size > 150e6]
+        mean_gain = sum(gains) / len(gains)
+        assert mean_gain == pytest.approx(FIG3_WORKER_GAIN_MB_S, abs=1.5)
+
+    def test_single_file_no_worker_benefit(self, fig3):
+        """The paper's exception: one file per product gains nothing."""
+        smallest = min(p.batch_bytes for p in fig3)
+        cell = {p.workers: p.mean_speed_mb_s for p in fig3 if p.batch_bytes == smallest}
+        assert cell[6] == pytest.approx(cell[3], rel=0.02)
+
+    def test_iterations_give_spread(self, fig3):
+        assert any(p.std_speed_mb_s > 0 for p in fig3)
+
+
+class TestFig6:
+    def test_timeline_stage_allocation(self):
+        result = automation_timeline(SimWorkflowParams(num_granule_sets=40), samples=200)
+        assert result.peak("download") == 3
+        assert result.peak("preprocess") == 32
+        assert result.peak("inference") == 1
+
+    def test_inference_overlaps_preprocess(self):
+        result = automation_timeline(SimWorkflowParams(num_granule_sets=24))
+        assert result.overlap_s > 0
+
+    def test_render(self):
+        result = automation_timeline(SimWorkflowParams(num_granule_sets=12))
+        text = result.render()
+        assert "download" in text and "preprocess" in text and "inference" in text
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def breakdown(self):
+        return latency_breakdown()
+
+    def test_download_launch(self, breakdown):
+        assert breakdown.download_launch_s == pytest.approx(
+            FIG7_LATENCIES["download_launch"], rel=0.01
+        )
+
+    def test_preprocess_latency_magnitude(self, breakdown):
+        """Preprocess (Parsl start + Slurm alloc + tiling) lands near the
+        paper's 32.8 s for the demo-day workload."""
+        assert breakdown.preprocess_s == pytest.approx(
+            FIG7_LATENCIES["preprocess"], rel=0.35
+        )
+
+    def test_flow_hop_50ms(self, breakdown):
+        assert breakdown.flow_action_hop_s == pytest.approx(
+            FIG7_LATENCIES["flow_action_hop"], abs=0.02
+        )
+
+    def test_rows_and_gaps(self, breakdown):
+        names = [name for name, _ in breakdown.rows()]
+        assert names[0] == "download_launch"
+        assert all(gap >= 0 for gap in breakdown.gaps.values())
+
+
+class TestAblations:
+    def test_contention_ablation_shows_gap(self):
+        result = contention_ablation(workers=(1, 32), num_files=64)
+        assert result["ideal"][32] > 3.0 * result["contended"][32]
+        assert result["ideal"][1] == pytest.approx(result["contended"][1], rel=0.01)
+
+    def test_elastic_saves_worker_seconds(self):
+        result = elastic_ablation(num_granule_sets=24)
+        assert 0.0 < result["saving_fraction"] < 1.0
+        assert result["elastic_worker_seconds"] < result["static_worker_seconds"]
+
+    def test_overlap_saves_makespan(self):
+        result = overlap_ablation(num_granule_sets=24)
+        assert result["overlapped_makespan"] < result["barrier_makespan"]
+        assert result["overlap_seconds"] > 0
+
+
+class TestReport:
+    def test_render_table(self):
+        text = render_table(["a", "b"], [[1, 2.5], [10, 0.001]], title="T")
+        assert "T" in text and "2.50" in text and "0.0010" in text
+
+    def test_render_comparison_and_shape(self):
+        measured = {1: 10.0, 2: 19.0}
+        paper = {1: 20.0, 2: 38.0}
+        text = render_comparison("n", measured, paper)
+        assert "shape ratio" in text
+        assert shape_error(measured, paper) == pytest.approx(0.0)
+
+    def test_shape_error_detects_divergence(self):
+        assert shape_error({1: 10, 2: 10}, {1: 10, 2: 20}) == pytest.approx(0.5)
+
+    def test_empty_comparison(self):
+        with pytest.raises(ValueError):
+            shape_error({1: 1.0}, {2: 2.0})

@@ -1,0 +1,117 @@
+"""Scaling drivers reproduce the Table I / Fig. 4-5 shapes."""
+
+import pytest
+
+from repro.analysis import (
+    HEADLINE,
+    TABLE1_STRONG_NODES,
+    TABLE1_STRONG_WORKERS,
+    headline_run,
+    run_preprocess_trial,
+    shape_error,
+    strong_scaling_nodes,
+    strong_scaling_workers,
+    weak_scaling_nodes,
+    weak_scaling_workers,
+)
+
+
+@pytest.fixture(scope="module")
+def strong_workers():
+    return strong_scaling_workers(repeats=2)
+
+
+@pytest.fixture(scope="module")
+def strong_nodes():
+    return strong_scaling_nodes(repeats=2)
+
+
+class TestStrongScaling:
+    def test_worker_shape_matches_paper(self, strong_workers):
+        """Normalized throughput curve within 20% of Table I at every point."""
+        assert shape_error(strong_workers.throughput_map(), TABLE1_STRONG_WORKERS) < 0.20
+
+    def test_worker_plateau(self, strong_workers):
+        """The paper's saturation: 16..64 workers sit in a narrow band."""
+        tput = strong_workers.throughput_map()
+        plateau = [tput[16], tput[32], tput[64]]
+        assert max(plateau) / min(plateau) < 1.3
+        # And the plateau is far below linear scaling.
+        assert tput[64] < 0.1 * 64 * tput[1]
+
+    def test_second_node_jump(self, strong_workers):
+        """64 -> 128 workers crosses onto a second node: ~2x throughput."""
+        tput = strong_workers.throughput_map()
+        assert 1.6 < tput[128] / tput[64] < 2.2
+
+    def test_node_scaling_near_linear(self, strong_nodes):
+        tput = strong_nodes.throughput_map()
+        speedup_10 = tput[10] / tput[1]
+        assert 6.0 < speedup_10 < 10.0
+
+    def test_node_shape_vs_paper(self, strong_nodes):
+        # The paper's own 9-node point is anomalously superlinear; allow
+        # a wider band on the node curve.
+        assert shape_error(strong_nodes.throughput_map(), TABLE1_STRONG_NODES) < 0.35
+
+    def test_completion_time_monotone_decreasing_nodes(self, strong_nodes):
+        times = strong_nodes.completion_map()
+        nodes = sorted(times)
+        for a, b in zip(nodes, nodes[1:]):
+            assert times[b] <= times[a] * 1.05  # monotone within noise
+
+
+class TestWeakScaling:
+    def test_weak_nodes_completion_flat(self):
+        """Fig. 5b: completion time roughly flat with nodes (good weak
+        scaling) — within 1.6x from 1 to 10 nodes."""
+        curve = weak_scaling_nodes(repeats=2)
+        times = curve.completion_map()
+        assert times[10] / times[1] < 1.6
+
+    def test_weak_workers_show_contention(self):
+        """Fig. 5a: on-node weak scaling is NOT flat (contention)."""
+        curve = weak_scaling_workers(repeats=2, workers=(1, 8, 32, 64))
+        times = curve.completion_map()
+        assert times[64] > 2.0 * times[1]
+
+    def test_weak_peak_exceeds_strong_peak(self):
+        """Table I: weak scaling's best throughput edges out strong's.
+
+        With 2 files per worker the tail imbalance is relatively smaller
+        than strong scaling's 1 file per worker at 10 nodes.
+        """
+        strong = strong_scaling_nodes(nodes=(10,), repeats=3).throughput_map()[10]
+        weak = weak_scaling_nodes(nodes=(10,), repeats=3).throughput_map()[10]
+        assert weak > strong * 0.95  # at least comparable; usually higher
+
+
+class TestHeadline:
+    def test_12000_tiles_in_about_44s(self):
+        point = headline_run(repeats=3)
+        assert point.tiles == HEADLINE["tiles"]
+        # Within 25% of the paper's 44 s.
+        assert point.mean_seconds == pytest.approx(HEADLINE["seconds"], rel=0.25)
+        assert point.mean_tiles_per_s > 200
+
+
+class TestTrialMechanics:
+    def test_trial_deterministic(self):
+        a = run_preprocess_trial(16, 8, 1, seed=5)
+        b = run_preprocess_trial(16, 8, 1, seed=5)
+        assert a == b
+
+    def test_trial_seed_sensitivity(self):
+        a = run_preprocess_trial(16, 8, 1, seed=5)
+        b = run_preprocess_trial(16, 8, 1, seed=6)
+        assert a != b
+
+    def test_zero_noise_matches_theory(self):
+        """Without noise, w workers' completion equals the USL prediction."""
+        from repro.hpc.contention import DEFIANT_NODE_USL
+
+        seconds = run_preprocess_trial(
+            num_files=8, workers_per_node=8, num_nodes=1, seed=0, noise_sigma=0.0
+        )
+        expected = (150 / 10.52) / DEFIANT_NODE_USL.efficiency(8)
+        assert seconds == pytest.approx(expected)

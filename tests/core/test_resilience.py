@@ -1,0 +1,164 @@
+"""Failure injection and resume/idempotence tests."""
+
+import os
+
+import pytest
+
+from repro.core import DownloadStage, PreprocessStage, load_config, preprocess_granule_set
+from repro.modis import MINI_SWATH, LaadsArchive
+from repro.net import HttpServer
+from repro.net.http import HttpError
+from repro.netcdf import read as nc_read
+from repro.sim import Simulation
+
+
+def make_config(tmp_path, retries=2, skip=True, granules=2):
+    return load_config(
+        {
+            "archive": {"start_date": "2022-01-01", "max_granules_per_day": granules,
+                        "seed": 3},
+            "paths": {
+                "staging": str(tmp_path / "raw"),
+                "preprocessed": str(tmp_path / "tiles"),
+                "transfer_out": str(tmp_path / "outbox"),
+                "destination": str(tmp_path / "orion"),
+            },
+            "download": {"workers": 2, "retries": retries, "skip_existing": skip},
+            "preprocess": {"workers": 2, "tile_size": 16},
+        }
+    )
+
+
+class FlakyArchive(LaadsArchive):
+    """Fails the first ``failures`` fetch calls, then recovers."""
+
+    def __init__(self, failures, **kwargs):
+        super().__init__(**kwargs)
+        self.failures_left = failures
+        self.fetch_calls = 0
+
+    def fetch(self, ref, bands=None):
+        self.fetch_calls += 1
+        if self.failures_left > 0:
+            self.failures_left -= 1
+            raise OSError("503 Service Unavailable")
+        return super().fetch(ref, bands)
+
+
+class TestDownloadRetries:
+    def test_transient_failures_recovered(self, tmp_path):
+        config = make_config(tmp_path, retries=3)
+        archive = FlakyArchive(2, seed=3, swath=MINI_SWATH)
+        report = DownloadStage(config, archive=archive).run()
+        assert report.files == 6
+        assert report.retried >= 1
+        assert archive.fetch_calls == 6 + 2  # every failure retried
+
+    def test_exhausted_retries_raise(self, tmp_path):
+        config = make_config(tmp_path, retries=1)
+        archive = FlakyArchive(100, seed=3, swath=MINI_SWATH)
+        with pytest.raises(RuntimeError, match="failed after"):
+            DownloadStage(config, archive=archive).run()
+
+    def test_no_partial_files_after_failure(self, tmp_path):
+        config = make_config(tmp_path, retries=0)
+        archive = FlakyArchive(1, seed=3, swath=MINI_SWATH)
+        try:
+            DownloadStage(config, archive=archive).run()
+        except RuntimeError:
+            pass
+        leftovers = [n for n in os.listdir(config.staging) if n.endswith(".part")]
+        assert leftovers == []
+
+
+class TestResume:
+    def test_second_download_run_skips_everything(self, tmp_path):
+        config = make_config(tmp_path)
+        archive = LaadsArchive(seed=3, swath=MINI_SWATH)
+        first = DownloadStage(config, archive=archive).run()
+        assert first.skipped == 0
+        second = DownloadStage(config, archive=archive).run()
+        assert second.skipped == second.files == first.files
+        # Same manifests either way.
+        assert [g.key for g in second.granule_sets] == [g.key for g in first.granule_sets]
+
+    def test_skip_existing_disabled_refetches(self, tmp_path):
+        config = make_config(tmp_path, skip=False)
+        archive = LaadsArchive(seed=3, swath=MINI_SWATH)
+        DownloadStage(config, archive=archive).run()
+        second = DownloadStage(config, archive=archive).run()
+        assert second.skipped == 0
+
+    def test_preprocess_resume_is_idempotent(self, tmp_path):
+        config = make_config(tmp_path)
+        archive = LaadsArchive(seed=3, swath=MINI_SWATH)
+        download = DownloadStage(config, archive=archive).run()
+        first = PreprocessStage(config).run(download.granule_sets)
+        mtimes = {
+            r.tile_path: os.path.getmtime(r.tile_path)
+            for r in first.results if r.tile_path
+        }
+        second = PreprocessStage(config).run(download.granule_sets)
+        assert second.total_tiles == first.total_tiles
+        for result in second.results:
+            if result.tile_path:
+                # The file was not rewritten.
+                assert os.path.getmtime(result.tile_path) == mtimes[result.tile_path]
+
+    def test_preprocess_skip_reports_tile_count_from_file(self, tmp_path):
+        config = make_config(tmp_path)
+        archive = LaadsArchive(seed=3, swath=MINI_SWATH)
+        download = DownloadStage(config, archive=archive).run()
+        gs = download.granule_sets[0]
+        first = preprocess_granule_set(gs, config.preprocessed, 16, 0.3, 0.0)
+        again = preprocess_granule_set(gs, config.preprocessed, 16, 0.3, 0.0)
+        assert again.tiles == first.tiles
+        assert again.tile_path == first.tile_path
+
+
+class TestHttpFailureInjection:
+    def test_failure_rate_fails_some_requests(self):
+        sim = Simulation()
+        server = HttpServer(sim, request_overhead=0.0, failure_rate=0.5, seed=1)
+        outcomes = {"ok": 0, "failed": 0}
+
+        def client(i):
+            try:
+                yield server.request(100, label=f"f{i}")
+                outcomes["ok"] += 1
+            except HttpError:
+                outcomes["failed"] += 1
+
+        for i in range(40):
+            sim.process(client(i))
+        sim.run()
+        assert outcomes["ok"] + outcomes["failed"] == 40
+        assert 5 < outcomes["failed"] < 35
+        assert server.requests_failed == outcomes["failed"]
+
+    def test_retry_loop_eventually_succeeds(self):
+        sim = Simulation()
+        server = HttpServer(sim, request_overhead=0.1, failure_rate=0.3, seed=2)
+        done = {}
+
+        def client():
+            attempts = 0
+            while True:
+                attempts += 1
+                try:
+                    result = yield server.request(1000, label="retry-me")
+                    done["attempts"] = attempts
+                    done["finished"] = result.finished_at
+                    return
+                except HttpError:
+                    continue
+
+        sim.process(client())
+        sim.run()
+        assert done["attempts"] >= 1
+        assert done["finished"] > 0
+
+    def test_invalid_failure_rate(self):
+        sim = Simulation()
+        with pytest.raises(ValueError):
+            HttpServer(sim, failure_rate=1.5)

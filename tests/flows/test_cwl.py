@@ -1,0 +1,139 @@
+"""CWL-subset compiler tests."""
+
+import pytest
+
+from repro.flows import FlowsEngine, RunStatus
+from repro.flows.cwl import CwlError, cwl_to_flow, extract_outputs
+from repro.sim import Simulation
+from repro.util.yamlish import loads as yaml_loads
+
+EO_ML_CWL = """
+cwlVersion: v1.2
+class: Workflow
+doc: the EO-ML pipeline as CWL
+inputs:
+  day: string
+  products: string
+outputs:
+  labelled:
+    outputSource: infer/labels
+steps:
+  download:
+    run: laads-download
+    in:
+      day: day
+      products: products
+    out: [files]
+  preprocess:
+    run: tile-preprocess
+    in:
+      files: download/files
+    out: [tiles]
+  infer:
+    run: aicca-infer
+    in:
+      tiles: preprocess/tiles
+    out: [labels]
+"""
+
+
+def providers(calls):
+    def download(engine, params):
+        calls.append(("download", params))
+        return {"files": [f"{params['day']}-{params['products']}-{i}" for i in range(2)]}
+
+    def preprocess(engine, params):
+        calls.append(("preprocess", params))
+        return {"tiles": [f"tiles:{f}" for f in params["files"]]}
+
+    def infer(engine, params):
+        calls.append(("infer", params))
+        return {"labels": [hash(t) % 42 for t in params["tiles"]]}
+
+    return {"laads-download": download, "tile-preprocess": preprocess, "aicca-infer": infer}
+
+
+class TestCompile:
+    def test_compiles_in_dependency_order(self):
+        doc = yaml_loads(EO_ML_CWL)
+        definition, order = cwl_to_flow(doc)
+        assert order == ["download", "preprocess", "infer"]
+        assert definition["StartAt"] == "download"
+        assert definition["States"]["infer"]["Next"] == "Done"
+        assert definition["States"]["preprocess"]["Parameters"]["files"] == "$.download.files"
+        assert definition["States"]["download"]["Parameters"]["day"] == "$.day"
+
+    def test_steps_listed_out_of_order_still_sort(self):
+        doc = yaml_loads(EO_ML_CWL)
+        # Reverse the mapping order; dependencies must still win.
+        doc["steps"] = dict(reversed(list(doc["steps"].items())))
+        _definition, order = cwl_to_flow(doc)
+        assert order == ["download", "preprocess", "infer"]
+
+    def test_runs_end_to_end(self):
+        doc = yaml_loads(EO_ML_CWL)
+        definition, _order = cwl_to_flow(doc)
+        calls = []
+        sim = Simulation()
+        engine = FlowsEngine(sim, providers(calls), action_latency=0.05)
+        run = engine.run(definition, {"day": "2022-01-01", "products": "MOD02"})
+        sim.run()
+        assert run.status is RunStatus.SUCCEEDED
+        assert [c[0] for c in calls] == ["download", "preprocess", "infer"]
+        outputs = extract_outputs(doc, run.document)
+        assert len(outputs["labelled"]) == 2
+
+    def test_literal_and_default_inputs(self):
+        doc = yaml_loads(EO_ML_CWL)
+        doc["steps"]["download"]["in"]["day"] = {"default": "2003-07-14"}
+        doc["steps"]["download"]["in"]["products"] = 42  # literal passthrough
+        definition, _ = cwl_to_flow(doc)
+        params = definition["States"]["download"]["Parameters"]
+        assert params["day"] == "2003-07-14"
+        assert params["products"] == 42
+
+
+class TestRejection:
+    def test_requires_workflow_class(self):
+        with pytest.raises(CwlError, match="class: Workflow"):
+            cwl_to_flow({"class": "CommandLineTool", "inputs": {}, "steps": {}})
+
+    def test_unknown_step_reference(self):
+        doc = yaml_loads(EO_ML_CWL)
+        doc["steps"]["preprocess"]["in"]["files"] = "ghost/files"
+        with pytest.raises(CwlError, match="unknown step"):
+            cwl_to_flow(doc)
+
+    def test_undeclared_output_reference(self):
+        doc = yaml_loads(EO_ML_CWL)
+        doc["steps"]["preprocess"]["in"]["files"] = "download/nope"
+        with pytest.raises(CwlError, match="does not declare output"):
+            cwl_to_flow(doc)
+
+    def test_unknown_input_source(self):
+        doc = yaml_loads(EO_ML_CWL)
+        doc["steps"]["download"]["in"]["day"] = "not_an_input"
+        with pytest.raises(CwlError, match="neither an input"):
+            cwl_to_flow(doc)
+
+    def test_cycle_detected(self):
+        doc = yaml_loads(EO_ML_CWL)
+        doc["steps"]["download"]["in"]["day"] = "infer/labels"
+        with pytest.raises(CwlError, match="cycle"):
+            cwl_to_flow(doc)
+
+    def test_scatter_rejected(self):
+        doc = yaml_loads(EO_ML_CWL)
+        doc["steps"]["preprocess"]["scatter"] = "files"
+        with pytest.raises(CwlError, match="scatter"):
+            cwl_to_flow(doc)
+
+    def test_bad_output_source_fails_at_compile(self):
+        doc = yaml_loads(EO_ML_CWL)
+        doc["outputs"]["labelled"]["outputSource"] = "infer/unknown"
+        with pytest.raises(CwlError, match="does not declare"):
+            cwl_to_flow(doc)
+
+    def test_empty_steps(self):
+        with pytest.raises(CwlError, match="no steps"):
+            cwl_to_flow({"class": "Workflow", "inputs": {}, "steps": {}})

@@ -1,0 +1,108 @@
+"""Flow definition validation tests."""
+
+import pytest
+
+from repro.flows import FlowError, resolve_ref, validate
+
+
+def minimal_flow():
+    return {
+        "StartAt": "Step",
+        "States": {
+            "Step": {"Type": "Pass", "Next": "Done"},
+            "Done": {"Type": "Succeed"},
+        },
+    }
+
+
+class TestValidate:
+    def test_minimal_ok(self):
+        validate(minimal_flow())
+
+    def test_missing_start(self):
+        flow = minimal_flow()
+        flow["StartAt"] = "Ghost"
+        with pytest.raises(FlowError, match="StartAt"):
+            validate(flow)
+
+    def test_unknown_type(self):
+        flow = minimal_flow()
+        flow["States"]["Step"]["Type"] = "Teleport"
+        with pytest.raises(FlowError, match="unknown Type"):
+            validate(flow)
+
+    def test_dangling_next(self):
+        flow = minimal_flow()
+        flow["States"]["Step"]["Next"] = "Nowhere"
+        with pytest.raises(FlowError, match="unknown state"):
+            validate(flow)
+
+    def test_action_requires_url(self):
+        flow = minimal_flow()
+        flow["States"]["Step"] = {"Type": "Action", "Next": "Done"}
+        with pytest.raises(FlowError, match="ActionUrl"):
+            validate(flow)
+
+    def test_choice_requires_comparator(self):
+        flow = {
+            "StartAt": "C",
+            "States": {
+                "C": {
+                    "Type": "Choice",
+                    "Choices": [{"Variable": "$.x", "Next": "Done"}],
+                    "Default": "Done",
+                },
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        with pytest.raises(FlowError, match="comparator"):
+            validate(flow)
+
+    def test_wait_requires_seconds(self):
+        flow = minimal_flow()
+        flow["States"]["Step"] = {"Type": "Wait", "Next": "Done"}
+        with pytest.raises(FlowError, match="Seconds"):
+            validate(flow)
+
+    def test_unreachable_state(self):
+        flow = minimal_flow()
+        flow["States"]["Orphan"] = {"Type": "Succeed"}
+        with pytest.raises(FlowError, match="unreachable"):
+            validate(flow)
+
+    def test_no_terminal(self):
+        flow = {
+            "StartAt": "A",
+            "States": {
+                "A": {"Type": "Pass", "Next": "B"},
+                "B": {"Type": "Pass", "Next": "A"},
+            },
+        }
+        with pytest.raises(FlowError, match="terminal"):
+            validate(flow)
+
+    def test_end_is_terminal(self):
+        flow = {
+            "StartAt": "A",
+            "States": {"A": {"Type": "Pass", "End": True}},
+        }
+        validate(flow)
+
+
+class TestResolveRef:
+    def test_simple_and_nested(self):
+        doc = {"a": 1, "b": {"c": "deep"}}
+        assert resolve_ref("$.a", doc) == 1
+        assert resolve_ref("$.b.c", doc) == "deep"
+
+    def test_passthrough(self):
+        assert resolve_ref("plain", {}) == "plain"
+        assert resolve_ref(42, {}) == 42
+
+    def test_recursive_structures(self):
+        doc = {"x": 5}
+        assert resolve_ref({"k": "$.x", "list": ["$.x", 1]}, doc) == {"k": 5, "list": [5, 1]}
+
+    def test_missing_reference(self):
+        with pytest.raises(FlowError, match="not found"):
+            resolve_ref("$.ghost", {})

@@ -1,0 +1,214 @@
+"""Flow engine execution tests."""
+
+import pytest
+
+from repro.flows import FlowError, FlowsEngine, RunStatus
+from repro.sim import Simulation
+
+
+def engine_with(sim, providers=None, latency=0.05):
+    return FlowsEngine(sim, action_providers=providers or {}, action_latency=latency)
+
+
+class TestExecution:
+    def test_linear_flow(self):
+        sim = Simulation()
+        calls = []
+
+        def record(engine, params):
+            calls.append(params)
+            return {"ok": True}
+
+        engine = engine_with(sim, {"record": record})
+        flow = {
+            "StartAt": "A",
+            "States": {
+                "A": {
+                    "Type": "Action",
+                    "ActionUrl": "record",
+                    "Parameters": {"tag": "first"},
+                    "ResultPath": "a_result",
+                    "Next": "Done",
+                },
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        run = engine.run(flow)
+        sim.run()
+        assert run.status is RunStatus.SUCCEEDED
+        assert calls == [{"tag": "first"}]
+        assert run.document["a_result"] == {"ok": True}
+
+    def test_parameters_resolve_from_document(self):
+        sim = Simulation()
+        seen = {}
+
+        def probe(engine, params):
+            seen.update(params)
+            return None
+
+        engine = engine_with(sim, {"probe": probe})
+        flow = {
+            "StartAt": "P",
+            "States": {
+                "P": {
+                    "Type": "Action",
+                    "ActionUrl": "probe",
+                    "Parameters": {"dir": "$.watch_dir", "static": 3},
+                    "Next": "Done",
+                },
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        engine.run(flow, input_document={"watch_dir": "/out/tiles"})
+        sim.run()
+        assert seen == {"dir": "/out/tiles", "static": 3}
+
+    def test_event_returning_provider(self):
+        sim = Simulation()
+
+        def slow(engine, params):
+            return engine.sim.timeout(10.0, value="finished")
+
+        engine = engine_with(sim, {"slow": slow}, latency=0.0)
+        flow = {
+            "StartAt": "S",
+            "States": {
+                "S": {"Type": "Action", "ActionUrl": "slow", "ResultPath": "r", "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        run = engine.run(flow)
+        sim.run()
+        assert run.document["r"] == "finished"
+        assert run.duration == pytest.approx(10.0)
+
+    def test_choice_branches(self):
+        sim = Simulation()
+        engine = engine_with(sim, latency=0.0)
+        flow = {
+            "StartAt": "AnyNew",
+            "States": {
+                "AnyNew": {
+                    "Type": "Choice",
+                    "Choices": [{"Variable": "$.count", "GreaterThan": 0, "Next": "Work"}],
+                    "Default": "Skip",
+                },
+                "Work": {"Type": "Pass", "Result": "worked", "ResultPath": "out", "Next": "End"},
+                "Skip": {"Type": "Pass", "Result": "skipped", "ResultPath": "out", "Next": "End"},
+                "End": {"Type": "Succeed"},
+            },
+        }
+        hot = engine.run(flow, {"count": 3})
+        cold = engine.run(flow, {"count": 0})
+        sim.run()
+        assert hot.document["out"] == "worked"
+        assert cold.document["out"] == "skipped"
+
+    def test_wait_state(self):
+        sim = Simulation()
+        engine = engine_with(sim, latency=0.0)
+        flow = {
+            "StartAt": "W",
+            "States": {
+                "W": {"Type": "Wait", "Seconds": 7.5, "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        run = engine.run(flow)
+        sim.run()
+        assert run.duration == pytest.approx(7.5)
+
+    def test_fail_state(self):
+        sim = Simulation()
+        engine = engine_with(sim, latency=0.0)
+        flow = {
+            "StartAt": "F",
+            "States": {"F": {"Type": "Fail", "Error": "no input files"}},
+        }
+        run = engine.run(flow)
+        caught = {}
+
+        def watcher():
+            try:
+                yield run.done
+            except FlowError as exc:
+                caught["error"] = str(exc)
+
+        sim.process(watcher())
+        sim.run()
+        assert run.status is RunStatus.FAILED
+        assert caught["error"] == "no input files"
+
+    def test_provider_exception_fails_run(self):
+        sim = Simulation()
+
+        def boom(engine, params):
+            raise RuntimeError("endpoint offline")
+
+        engine = engine_with(sim, {"boom": boom}, latency=0.0)
+        flow = {
+            "StartAt": "B",
+            "States": {
+                "B": {"Type": "Action", "ActionUrl": "boom", "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        run = engine.run(flow)
+
+        def watcher():
+            try:
+                yield run.done
+            except FlowError:
+                pass
+
+        sim.process(watcher())
+        sim.run()
+        assert run.status is RunStatus.FAILED
+        assert "endpoint offline" in run.error
+
+    def test_unregistered_action_rejected_upfront(self):
+        sim = Simulation()
+        engine = engine_with(sim)
+        flow = {
+            "StartAt": "A",
+            "States": {
+                "A": {"Type": "Action", "ActionUrl": "missing", "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        with pytest.raises(FlowError, match="unregistered"):
+            engine.run(flow)
+
+    def test_action_hop_latency_is_50ms(self):
+        """The Fig. 7 contract: per-state engine overhead ~ 50 ms."""
+        sim = Simulation()
+        engine = engine_with(sim, latency=0.05)
+        flow = {
+            "StartAt": "P1",
+            "States": {
+                "P1": {"Type": "Pass", "Next": "P2"},
+                "P2": {"Type": "Pass", "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        run = engine.run(flow)
+        sim.run()
+        assert run.mean_hop_latency() == pytest.approx(0.05)
+        assert run.duration == pytest.approx(0.15)
+
+    def test_history_spans(self):
+        sim = Simulation()
+        engine = engine_with(sim, latency=0.0)
+        run = engine.run(
+            {
+                "StartAt": "W",
+                "States": {
+                    "W": {"Type": "Wait", "Seconds": 2.0, "Next": "Done"},
+                    "Done": {"Type": "Succeed"},
+                },
+            }
+        )
+        sim.run()
+        assert [r.name for r in run.history] == ["W", "Done"]
+        assert run.history[0].duration == pytest.approx(2.0)

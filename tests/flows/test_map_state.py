@@ -1,0 +1,149 @@
+"""Map state tests: per-item iterator flows with bounded concurrency."""
+
+import pytest
+
+from repro.flows import FlowError, FlowsEngine, RunStatus, validate
+from repro.sim import Simulation
+
+
+def infer_iterator():
+    return {
+        "StartAt": "InferOne",
+        "States": {
+            "InferOne": {"Type": "Action", "ActionUrl": "infer-one",
+                          "Parameters": {"path": "$.item", "position": "$.index"},
+                          "ResultPath": "label", "Next": "Done"},
+            "Done": {"Type": "Succeed"},
+        },
+    }
+
+
+def map_flow(max_concurrency=0):
+    state = {
+        "Type": "Map",
+        "ItemsPath": "$.paths",
+        "Iterator": infer_iterator(),
+        "ResultPath": "labelled",
+        "Next": "Done",
+    }
+    if max_concurrency:
+        state["MaxConcurrency"] = max_concurrency
+    return {"StartAt": "Each", "States": {"Each": state, "Done": {"Type": "Succeed"}}}
+
+
+class TestMap:
+    def test_maps_every_item_in_order(self):
+        sim = Simulation()
+        seen = []
+
+        def infer_one(engine, params):
+            seen.append((params["position"], params["path"]))
+            return f"label:{params['path']}"
+
+        engine = FlowsEngine(sim, {"infer-one": infer_one}, action_latency=0.0)
+        run = engine.run(map_flow(), {"paths": ["a.nc", "b.nc", "c.nc"]})
+        sim.run()
+        assert run.status is RunStatus.SUCCEEDED
+        assert sorted(seen) == [(0, "a.nc"), (1, "b.nc"), (2, "c.nc")]
+        labels = [doc["label"] for doc in run.document["labelled"]]
+        assert labels == ["label:a.nc", "label:b.nc", "label:c.nc"]
+
+    def test_unbounded_concurrency_overlaps(self):
+        sim = Simulation()
+
+        def slow(engine, params):
+            return engine.sim.timeout(10.0, value=params["path"])
+
+        engine = FlowsEngine(sim, {"infer-one": slow}, action_latency=0.0)
+        run = engine.run(map_flow(), {"paths": [f"{i}.nc" for i in range(5)]})
+        sim.run()
+        assert run.duration == pytest.approx(10.0)  # all five in parallel
+
+    def test_max_concurrency_windows(self):
+        sim = Simulation()
+
+        def slow(engine, params):
+            return engine.sim.timeout(10.0, value=params["path"])
+
+        engine = FlowsEngine(sim, {"infer-one": slow}, action_latency=0.0)
+        run = engine.run(map_flow(max_concurrency=2), {"paths": [f"{i}" for i in range(5)]})
+        sim.run()
+        # Windows of 2, 2, 1 -> three serialized waves.
+        assert run.duration == pytest.approx(30.0)
+        assert len(run.document["labelled"]) == 5
+
+    def test_empty_items(self):
+        sim = Simulation()
+        engine = FlowsEngine(sim, {"infer-one": lambda e, p: None}, action_latency=0.0)
+        run = engine.run(map_flow(), {"paths": []})
+        sim.run()
+        assert run.status is RunStatus.SUCCEEDED
+        assert run.document["labelled"] == []
+
+    def test_non_list_items_fails_run(self):
+        sim = Simulation()
+        engine = FlowsEngine(sim, {"infer-one": lambda e, p: None}, action_latency=0.0)
+        run = engine.run(map_flow(), {"paths": "not-a-list"})
+
+        def swallow():
+            try:
+                yield run.done
+            except FlowError:
+                pass
+
+        sim.process(swallow())
+        sim.run()
+        assert run.status is RunStatus.FAILED
+        assert "expected a list" in run.error
+
+    def test_failing_iteration_fails_run(self):
+        sim = Simulation()
+
+        def sometimes(engine, params):
+            if params["path"] == "bad":
+                raise RuntimeError("corrupt tile file")
+            return "ok"
+
+        engine = FlowsEngine(sim, {"infer-one": sometimes}, action_latency=0.0)
+        run = engine.run(map_flow(), {"paths": ["good", "bad"]})
+
+        def swallow():
+            try:
+                yield run.done
+            except FlowError:
+                pass
+
+        sim.process(swallow())
+        sim.run()
+        assert run.status is RunStatus.FAILED
+
+    def test_validation(self):
+        with pytest.raises(FlowError, match="ItemsPath"):
+            validate({
+                "StartAt": "M",
+                "States": {"M": {"Type": "Map", "Iterator": infer_iterator(),
+                                  "Next": "D"},
+                            "D": {"Type": "Succeed"}},
+            })
+        with pytest.raises(FlowError, match="iterator"):
+            validate({
+                "StartAt": "M",
+                "States": {"M": {"Type": "Map", "ItemsPath": "$.x",
+                                  "Iterator": {"StartAt": "ghost", "States": {}},
+                                  "Next": "D"},
+                            "D": {"Type": "Succeed"}},
+            })
+        with pytest.raises(FlowError, match="MaxConcurrency"):
+            validate({
+                "StartAt": "M",
+                "States": {"M": {"Type": "Map", "ItemsPath": "$.x",
+                                  "Iterator": infer_iterator(),
+                                  "MaxConcurrency": -1, "Next": "D"},
+                            "D": {"Type": "Succeed"}},
+            })
+
+    def test_unregistered_iterator_action_rejected_upfront(self):
+        sim = Simulation()
+        engine = FlowsEngine(sim, {}, action_latency=0.0)
+        with pytest.raises(FlowError, match="unregistered"):
+            engine.run(map_flow())

@@ -1,0 +1,83 @@
+"""Federated flow registry tests."""
+
+import pytest
+
+from repro.flows import FlowError, FlowRegistry
+
+
+def inference_flow():
+    return {
+        "StartAt": "Crawl",
+        "States": {
+            "Crawl": {"Type": "Pass", "Next": "Infer"},
+            "Infer": {"Type": "Pass", "Next": "Done"},
+            "Done": {"Type": "Succeed"},
+        },
+    }
+
+
+class TestRegistry:
+    def test_publish_and_get(self):
+        registry = FlowRegistry()
+        flow = registry.publish("eo-ml-inference", inference_flow(), owner="olcf",
+                                tags=["climate", "inference"])
+        assert flow.version == 1
+        assert registry.get("eo-ml-inference").definition["StartAt"] == "Crawl"
+
+    def test_versioning(self):
+        registry = FlowRegistry()
+        registry.publish("f", inference_flow(), owner="a")
+        v2 = registry.publish("f", inference_flow(), owner="b")
+        assert v2.version == 2
+        assert registry.get("f").owner == "b"
+        assert registry.get("f", version=1).owner == "a"
+        with pytest.raises(KeyError):
+            registry.get("f", version=3)
+
+    def test_invalid_definition_rejected(self):
+        registry = FlowRegistry()
+        with pytest.raises(FlowError):
+            registry.publish("broken", {"StartAt": "X", "States": {}}, owner="a")
+
+    def test_search_by_tag(self):
+        registry = FlowRegistry()
+        registry.publish("a", inference_flow(), owner="x", tags=["climate"])
+        registry.publish("b", inference_flow(), owner="x", tags=["astro"])
+        names = [f.name for f in registry.search("climate")]
+        assert names == ["a"]
+
+    def test_compose_override(self):
+        registry = FlowRegistry()
+        registry.publish("base", inference_flow(), owner="x")
+        derived = registry.compose(
+            "custom",
+            "base",
+            {"Infer": {"Type": "Wait", "Seconds": 1.0, "Next": "Done"}},
+            owner="y",
+        )
+        assert derived.definition["States"]["Infer"]["Type"] == "Wait"
+        # Base unchanged.
+        assert registry.get("base").definition["States"]["Infer"]["Type"] == "Pass"
+
+    def test_compose_bad_override_rejected(self):
+        registry = FlowRegistry()
+        registry.publish("base", inference_flow(), owner="x")
+        with pytest.raises(FlowError, match="unknown state"):
+            registry.compose("bad", "base", {"Ghost": {"Type": "Succeed"}}, owner="y")
+        with pytest.raises(FlowError):
+            registry.compose(
+                "bad2", "base", {"Infer": {"Type": "Pass", "Next": "Nowhere"}}, owner="y"
+            )
+
+    def test_yaml_roundtrip(self):
+        registry = FlowRegistry()
+        registry.publish("f", inference_flow(), owner="olcf", tags=["eo"])
+        text = registry.export_yaml("f")
+        other = FlowRegistry()
+        imported = other.import_yaml(text)
+        assert imported.name == "f"
+        assert imported.definition["States"]["Crawl"]["Type"] == "Pass"
+
+    def test_unknown_flow(self):
+        with pytest.raises(KeyError):
+            FlowRegistry().get("ghost")

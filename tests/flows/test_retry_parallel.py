@@ -1,0 +1,244 @@
+"""Retry/Catch and Parallel state tests (ASL-standard flow features)."""
+
+import pytest
+
+from repro.flows import FlowError, FlowsEngine, RunStatus, validate
+from repro.sim import Simulation
+
+
+class TestRetry:
+    def _flaky_engine(self, sim, failures, interval=0.0, max_attempts=3, catch=None):
+        state = {"calls": 0}
+
+        def flaky(engine, params):
+            state["calls"] += 1
+            if state["calls"] <= failures:
+                raise RuntimeError(f"transient #{state['calls']}")
+            return "recovered"
+
+        engine = FlowsEngine(sim, {"flaky": flaky}, action_latency=0.0)
+        action = {
+            "Type": "Action",
+            "ActionUrl": "flaky",
+            "Retry": {"MaxAttempts": max_attempts, "IntervalSeconds": interval},
+            "ResultPath": "r",
+            "Next": "Done",
+        }
+        states = {"F": action, "Done": {"Type": "Succeed"}}
+        if catch:
+            action["Catch"] = catch
+            states["Fallback"] = {"Type": "Pass", "Result": "fell back",
+                                   "ResultPath": "fallback", "Next": "Done"}
+        flow = {"StartAt": "F", "States": states}
+        return engine, flow, state
+
+    def test_retry_recovers(self):
+        sim = Simulation()
+        engine, flow, state = self._flaky_engine(sim, failures=2)
+        run = engine.run(flow)
+        sim.run()
+        assert run.status is RunStatus.SUCCEEDED
+        assert run.document["r"] == "recovered"
+        assert state["calls"] == 3
+
+    def test_retry_interval_costs_time(self):
+        sim = Simulation()
+        engine, flow, state = self._flaky_engine(sim, failures=2, interval=5.0)
+        run = engine.run(flow)
+        sim.run()
+        assert run.duration == pytest.approx(10.0)  # two retry waits
+
+    def test_exhausted_without_catch_fails_run(self):
+        sim = Simulation()
+        engine, flow, state = self._flaky_engine(sim, failures=10, max_attempts=2)
+        run = engine.run(flow)
+
+        def swallow():
+            try:
+                yield run.done
+            except FlowError:
+                pass
+
+        sim.process(swallow())
+        sim.run()
+        assert run.status is RunStatus.FAILED
+        assert state["calls"] == 2
+        assert "transient #2" in run.error
+
+    def test_catch_diverts_to_fallback(self):
+        sim = Simulation()
+        engine, flow, state = self._flaky_engine(
+            sim, failures=10, max_attempts=2, catch={"Next": "Fallback"}
+        )
+        run = engine.run(flow)
+        sim.run()
+        assert run.status is RunStatus.SUCCEEDED
+        assert run.document["fallback"] == "fell back"
+        assert "transient #2" in run.document["error"]
+
+    def test_retry_validation(self):
+        flow = {
+            "StartAt": "A",
+            "States": {
+                "A": {"Type": "Action", "ActionUrl": "x",
+                      "Retry": {"MaxAttempts": 0}, "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        with pytest.raises(FlowError, match="MaxAttempts"):
+            validate(flow)
+
+    def test_catch_validation(self):
+        flow = {
+            "StartAt": "A",
+            "States": {
+                "A": {"Type": "Action", "ActionUrl": "x",
+                      "Catch": {"Next": "Ghost"}, "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        with pytest.raises(FlowError, match="Catch.Next"):
+            validate(flow)
+
+
+class TestParallel:
+    def branch(self, action_url, result_key):
+        return {
+            "StartAt": "Work",
+            "States": {
+                "Work": {"Type": "Action", "ActionUrl": action_url,
+                          "ResultPath": result_key, "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+
+    def test_branches_run_concurrently(self):
+        sim = Simulation()
+
+        def slow_a(engine, params):
+            return engine.sim.timeout(10.0, value="a")
+
+        def slow_b(engine, params):
+            return engine.sim.timeout(10.0, value="b")
+
+        engine = FlowsEngine(sim, {"a": slow_a, "b": slow_b}, action_latency=0.0)
+        flow = {
+            "StartAt": "Fan",
+            "States": {
+                "Fan": {
+                    "Type": "Parallel",
+                    "Branches": [self.branch("a", "ra"), self.branch("b", "rb")],
+                    "ResultPath": "branches",
+                    "Next": "Done",
+                },
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        run = engine.run(flow)
+        sim.run()
+        assert run.status is RunStatus.SUCCEEDED
+        # Concurrent, not sequential: 10 s, not 20.
+        assert run.duration == pytest.approx(10.0)
+        assert run.document["branches"][0]["ra"] == "a"
+        assert run.document["branches"][1]["rb"] == "b"
+
+    def test_branches_see_parent_document_copy(self):
+        sim = Simulation()
+        seen = []
+
+        def probe(engine, params):
+            seen.append(params["value"])
+            return None
+
+        engine = FlowsEngine(sim, {"probe": probe}, action_latency=0.0)
+        flow = {
+            "StartAt": "Fan",
+            "States": {
+                "Fan": {
+                    "Type": "Parallel",
+                    "Branches": [
+                        {
+                            "StartAt": "P",
+                            "States": {
+                                "P": {"Type": "Action", "ActionUrl": "probe",
+                                      "Parameters": {"value": "$.shared"},
+                                      "Next": "Done"},
+                                "Done": {"Type": "Succeed"},
+                            },
+                        }
+                    ],
+                    "Next": "Done",
+                },
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        run = engine.run(flow, {"shared": 42})
+        sim.run()
+        assert seen == [42]
+        assert run.status is RunStatus.SUCCEEDED
+
+    def test_failing_branch_fails_parent(self):
+        sim = Simulation()
+
+        def boom(engine, params):
+            raise RuntimeError("branch exploded")
+
+        def fine(engine, params):
+            return "ok"
+
+        engine = FlowsEngine(sim, {"boom": boom, "fine": fine}, action_latency=0.0)
+        flow = {
+            "StartAt": "Fan",
+            "States": {
+                "Fan": {
+                    "Type": "Parallel",
+                    "Branches": [self.branch("fine", "r"), self.branch("boom", "r")],
+                    "Next": "Done",
+                },
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        run = engine.run(flow)
+
+        def swallow():
+            try:
+                yield run.done
+            except FlowError:
+                pass
+
+        sim.process(swallow())
+        sim.run()
+        assert run.status is RunStatus.FAILED
+
+    def test_parallel_validation(self):
+        with pytest.raises(FlowError, match="Branches"):
+            validate({
+                "StartAt": "P",
+                "States": {"P": {"Type": "Parallel", "Branches": [], "Next": "D"},
+                            "D": {"Type": "Succeed"}},
+            })
+        with pytest.raises(FlowError, match="branch 0"):
+            validate({
+                "StartAt": "P",
+                "States": {
+                    "P": {"Type": "Parallel",
+                           "Branches": [{"StartAt": "X", "States": {}}],
+                           "Next": "D"},
+                    "D": {"Type": "Succeed"},
+                },
+            })
+
+    def test_unregistered_action_in_branch_rejected(self):
+        sim = Simulation()
+        engine = FlowsEngine(sim, {}, action_latency=0.0)
+        flow = {
+            "StartAt": "Fan",
+            "States": {
+                "Fan": {"Type": "Parallel",
+                         "Branches": [self.branch("ghost", "r")],
+                         "Next": "Done"},
+                "Done": {"Type": "Succeed"},
+            },
+        }
+        with pytest.raises(FlowError, match="unregistered"):
+            engine.run(flow)

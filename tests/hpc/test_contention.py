@@ -1,0 +1,118 @@
+"""USL contention model tests, including the Table I calibration."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.hpc.contention import (
+    DEFIANT_CROSS_NODE_USL,
+    DEFIANT_NODE_USL,
+    USLModel,
+    fit_usl,
+)
+
+# Table I, strong scaling (paper).
+TABLE1_WORKERS = [1, 2, 4, 8, 16, 32, 64]
+TABLE1_WORKER_TPUT = [10.52, 18.10, 25.01, 36.59, 38.74, 37.95, 37.34]
+TABLE1_NODES = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10]
+TABLE1_NODE_TPUT = [36.05, 73.25, 98.73, 135.42, 177.69, 192.32, 196.70, 216.80, 264.13, 267.44]
+
+
+class TestUSLModel:
+    def test_speedup_one_is_identity(self):
+        model = USLModel(sigma=0.2, kappa=0.01)
+        assert model.speedup(1) == pytest.approx(1.0)
+        assert model.efficiency(1) == pytest.approx(1.0)
+
+    def test_linear_when_ideal(self):
+        model = USLModel(sigma=0.0, kappa=0.0)
+        assert model.speedup(64) == pytest.approx(64.0)
+        assert model.peak_concurrency() == float("inf")
+
+    def test_contention_saturates(self):
+        model = USLModel(sigma=0.2, kappa=0.0)
+        # Amdahl-like: speedup -> 1/sigma as n -> inf.
+        assert model.speedup(10_000) == pytest.approx(1 / 0.2, rel=0.01)
+
+    def test_coherency_retrogrades(self):
+        model = USLModel(sigma=0.1, kappa=0.01)
+        peak = model.peak_concurrency()
+        below, above = int(peak) - 2, int(peak) + 20
+        assert model.speedup(above) < model.speedup(int(peak))
+        assert model.speedup(below) < model.speedup(int(peak)) * 1.01
+
+    def test_vectorized(self):
+        model = DEFIANT_NODE_USL
+        values = model.speedup(np.array([1, 2, 4]))
+        assert values.shape == (3,)
+
+    def test_negative_params_rejected(self):
+        with pytest.raises(ValueError):
+            USLModel(sigma=-0.1, kappa=0.0)
+
+    @settings(max_examples=50, deadline=None)
+    @given(
+        sigma=st.floats(min_value=0.0, max_value=0.9),
+        kappa=st.floats(min_value=0.0, max_value=0.01),
+        n=st.integers(min_value=1, max_value=512),
+    )
+    def test_efficiency_bounds_property(self, sigma, kappa, n):
+        model = USLModel(sigma=sigma, kappa=kappa)
+        eff = model.efficiency(n)
+        assert 0.0 < eff <= 1.0
+        # Efficiency is non-increasing in n.
+        assert model.efficiency(n + 1) <= eff + 1e-12
+
+
+class TestCalibration:
+    def test_node_usl_matches_worker_plateau(self):
+        """The calibrated on-node model reproduces Table I's plateau."""
+        model = DEFIANT_NODE_USL
+        predicted = model.throughput(np.array(TABLE1_WORKERS), base_rate=10.52)
+        # Shape contract: within 20% of every measured point.
+        ratio = predicted / np.array(TABLE1_WORKER_TPUT)
+        assert (np.abs(ratio - 1.0) < 0.20).all()
+        # The plateau: 16..64 workers all within a narrow band.
+        plateau = model.throughput(np.array([16, 32, 64]), base_rate=10.52)
+        assert plateau.max() / plateau.min() < 1.25
+
+    def test_cross_node_near_linear(self):
+        model = DEFIANT_CROSS_NODE_USL
+        predicted = model.throughput(np.array(TABLE1_NODES), base_rate=36.05)
+        ratio = predicted / np.array(TABLE1_NODE_TPUT)
+        assert (np.abs(ratio - 1.0) < 0.20).all()
+        # Efficiency at 10 nodes stays above 70%.
+        assert model.efficiency(10) > 0.70
+
+    def test_128_workers_two_nodes(self):
+        """64->128 workers spans two nodes: throughput roughly doubles.
+
+        Table I: 37.34 -> 71.01 tiles/s.
+        """
+        per_node = DEFIANT_NODE_USL.throughput(64, base_rate=10.52)
+        two_nodes = 2 * per_node * DEFIANT_CROSS_NODE_USL.efficiency(2)
+        assert two_nodes == pytest.approx(71.01, rel=0.10)
+
+
+class TestFit:
+    def test_recovers_known_model(self):
+        truth = USLModel(sigma=0.15, kappa=0.002)
+        n = np.array([1, 2, 4, 8, 16, 32, 64])
+        tput = truth.throughput(n, base_rate=10.0)
+        fitted, base = fit_usl(n, tput)
+        assert base == pytest.approx(10.0)
+        assert fitted.sigma == pytest.approx(0.15, abs=0.01)
+        assert fitted.kappa == pytest.approx(0.002, abs=0.0005)
+
+    def test_fit_table1(self):
+        fitted, base = fit_usl(TABLE1_WORKERS, TABLE1_WORKER_TPUT)
+        assert 0.1 < fitted.sigma < 0.25
+        assert fitted.kappa < 0.01
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(ValueError):
+            fit_usl([1], [10.0])
+        with pytest.raises(ValueError):
+            fit_usl([0, 1], [1.0, 2.0])
+        with pytest.raises(ValueError):
+            fit_usl([1, 2], [1.0, -2.0])

@@ -1,0 +1,77 @@
+"""Energy/carbon accounting tests."""
+
+import pytest
+
+from repro.hpc.energy import EnergyReport, PowerModel, energy_from_worker_series
+from repro.sim.trace import StepSeries
+
+
+class TestPowerModel:
+    def test_interpolation(self):
+        power = PowerModel(idle_watts=200, busy_watts=400, workers_per_node=8)
+        assert power.node_power(0) == 200
+        assert power.node_power(8) == 400
+        assert power.node_power(4) == 300
+        assert power.node_power(100) == 400  # clipped
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PowerModel(idle_watts=500, busy_watts=100)
+        with pytest.raises(ValueError):
+            PowerModel(workers_per_node=0)
+
+
+class TestEnergyIntegration:
+    def test_constant_load(self):
+        # 8 workers on 1 node, fully busy for 3600 s at 480 W -> 0.48 kWh.
+        series = StepSeries([(0.0, 8.0), (3600.0, 0.0)])
+        report = energy_from_worker_series("elastic", series, 0.0, 3600.0)
+        assert report.energy_kwh == pytest.approx(0.48)
+        assert report.carbon_kg == pytest.approx(0.48 * 0.4)
+        assert report.node_seconds == pytest.approx(3600.0)
+        assert report.worker_seconds == pytest.approx(8 * 3600.0)
+
+    def test_elastic_cheaper_than_static(self):
+        """A ramp-down worker profile costs less than holding peak nodes."""
+        series = StepSeries([(0.0, 32.0), (100.0, 16.0), (200.0, 4.0), (300.0, 0.0)])
+        elastic = energy_from_worker_series("elastic", series, 0.0, 300.0)
+        static = energy_from_worker_series("static", series, 0.0, 300.0, static_nodes=4)
+        assert elastic.energy_kwh < static.energy_kwh
+        assert elastic.worker_seconds == static.worker_seconds  # same work
+
+    def test_partial_node_occupancy(self):
+        # 4 workers (half a node's packing) on 1 node for 100 s.
+        series = StepSeries([(0.0, 4.0), (100.0, 0.0)])
+        power = PowerModel(idle_watts=200, busy_watts=400, workers_per_node=8)
+        report = energy_from_worker_series("e", series, 0.0, 100.0, power)
+        assert report.energy_kwh == pytest.approx(300 * 100 / 3.6e6)
+
+    def test_idle_window_costs_nothing_when_elastic(self):
+        series = StepSeries([(50.0, 8.0), (60.0, 0.0)])
+        report = energy_from_worker_series("e", series, 0.0, 100.0)
+        # Only the 10 busy seconds are billed.
+        assert report.node_seconds == pytest.approx(10.0)
+
+    def test_static_bills_idle_window(self):
+        series = StepSeries([(50.0, 8.0), (60.0, 0.0)])
+        report = energy_from_worker_series("s", series, 0.0, 100.0, static_nodes=1)
+        assert report.node_seconds == pytest.approx(100.0)
+
+    def test_str_rendering(self):
+        series = StepSeries([(0.0, 8.0), (10.0, 0.0)])
+        text = str(energy_from_worker_series("elastic", series, 0.0, 10.0))
+        assert "kWh" in text and "elastic" in text
+
+    def test_bad_window(self):
+        with pytest.raises(ValueError):
+            energy_from_worker_series("x", StepSeries([]), 10.0, 0.0)
+
+
+class TestAblationIntegration:
+    def test_elastic_ablation_reports_energy(self):
+        from repro.analysis import elastic_ablation
+
+        result = elastic_ablation(num_granule_sets=24)
+        assert result["elastic_kwh"] < result["static_kwh"]
+        assert 0.0 < result["energy_saving_fraction"] < 1.0
+        assert result["carbon_saving_kg"] > 0.0

@@ -1,0 +1,57 @@
+"""Facility assembly and contention-composition tests."""
+
+import pytest
+
+from repro.hpc import DEFIANT, FRONTIER, build_defiant, build_frontier
+from repro.sim import Simulation
+
+
+class TestMachineSpecs:
+    def test_defiant_matches_paper(self):
+        """Section IV: 36 nodes, 64-core EPYC, 256GB, 4 GPUs, 12.5 GB/s,
+        1.6 PB Lustre."""
+        assert DEFIANT.num_nodes == 36
+        assert DEFIANT.node.cores == 64
+        assert DEFIANT.node.memory_bytes == 256 * 10**9
+        assert DEFIANT.node.gpus == 4
+        assert DEFIANT.interconnect_bw == pytest.approx(12.5e9)
+        assert DEFIANT.fs_capacity_bytes == pytest.approx(1.6e15)
+        assert DEFIANT.total_cores == 36 * 64
+
+    def test_frontier_larger(self):
+        assert FRONTIER.num_nodes > DEFIANT.num_nodes
+        assert FRONTIER.fs_capacity_bytes > DEFIANT.fs_capacity_bytes
+
+
+class TestFacility:
+    def test_build_defiant(self):
+        sim = Simulation()
+        facility = build_defiant(sim)
+        assert facility.name == "defiant"
+        assert facility.scheduler.cluster is DEFIANT
+        assert facility.filesystem.name == "defiant-lustre"
+
+    def test_build_frontier(self):
+        sim = Simulation()
+        facility = build_frontier(sim)
+        assert facility.filesystem.name == "orion"
+
+    def test_contention_factor_composition(self):
+        sim = Simulation()
+        facility = build_defiant(sim)
+        # Single worker, single node: no contention.
+        assert facility.contention_factor(1, 1) == pytest.approx(1.0)
+        # More workers or nodes: factor strictly decreases.
+        assert facility.contention_factor(8, 1) < facility.contention_factor(1, 1)
+        assert facility.contention_factor(8, 10) < facility.contention_factor(8, 1)
+        # Composition = product of per-axis efficiencies.
+        expected = facility.node_usl.efficiency(8) * facility.cross_node_usl.efficiency(4)
+        assert facility.contention_factor(8, 4) == pytest.approx(expected)
+
+    def test_contention_factor_validation(self):
+        sim = Simulation()
+        facility = build_defiant(sim)
+        with pytest.raises(ValueError):
+            facility.contention_factor(0, 1)
+        with pytest.raises(ValueError):
+            facility.contention_factor(1, 0)

@@ -1,0 +1,117 @@
+"""Shared filesystem model tests."""
+
+import pytest
+
+from repro.hpc.filesystem import SharedFilesystem
+from repro.sim import Simulation
+
+
+def make(aggregate=100.0, per_client=None, capacity=None):
+    sim = Simulation()
+    fs = SharedFilesystem(sim, "lustre", aggregate_bw=aggregate, per_client_bw=per_client,
+                          capacity_bytes=capacity)
+    return sim, fs
+
+
+class TestNamespace:
+    def test_write_then_closed(self):
+        sim, fs = make()
+        done = fs.write("/data/a.nc", 500)
+        assert fs.exists("/data/a.nc")
+        assert not fs.entry("/data/a.nc").closed
+        sim.run()
+        entry = fs.entry("/data/a.nc")
+        assert entry.closed
+        assert entry.closed_at == pytest.approx(5.0)
+        assert done.value is entry
+
+    def test_duplicate_write_rejected(self):
+        sim, fs = make()
+        fs.write("/a", 10)
+        with pytest.raises(FileExistsError):
+            fs.write("/a", 10)
+
+    def test_read_open_file_rejected(self):
+        """The partial-read hazard the download barrier guards against."""
+        sim, fs = make()
+        fs.write("/a", 1000)
+        with pytest.raises(OSError, match="still being written"):
+            fs.read("/a")
+
+    def test_read_missing(self):
+        sim, fs = make()
+        with pytest.raises(FileNotFoundError):
+            fs.read("/nope")
+
+    def test_listdir_only_closed(self):
+        sim, fs = make()
+        fs.write("/out/a.nc", 100)
+        fs.write("/out/b.nc", 10**6)  # still open when we look
+        sim.run(until=2.0)
+        names = [e.path for e in fs.listdir("/out")]
+        assert names == ["/out/a.nc"]
+        all_names = [e.path for e in fs.listdir("/out", only_closed=False)]
+        assert all_names == ["/out/a.nc", "/out/b.nc"]
+
+    def test_created_since_crawler_primitive(self):
+        sim, fs = make()
+
+        def writer():
+            yield fs.write("/out/t0.nc", 100)
+            yield sim.timeout(10.0)
+            yield fs.write("/out/t1.nc", 100)
+
+        sim.process(writer())
+        sim.run()
+        fresh = fs.created_since("/out", time=5.0)
+        assert [e.path for e in fresh] == ["/out/t1.nc"]
+
+    def test_unlink(self):
+        sim, fs = make()
+        fs.write("/a", 100)
+        sim.run()
+        assert fs.bytes_used == 100
+        fs.unlink("/a")
+        assert not fs.exists("/a")
+        assert fs.bytes_used == 0
+
+    def test_capacity_enforced(self):
+        sim, fs = make(capacity=150)
+        fs.write("/a", 100)
+        with pytest.raises(OSError, match="full"):
+            fs.write("/b", 100)
+
+
+class TestBandwidth:
+    def test_concurrent_writes_share(self):
+        sim, fs = make(aggregate=100.0)
+        a = fs.write("/a", 500)
+        b = fs.write("/b", 500)
+        sim.run()
+        # 50 B/s each -> both close at t=10.
+        assert fs.entry("/a").closed_at == pytest.approx(10.0)
+        assert fs.entry("/b").closed_at == pytest.approx(10.0)
+
+    def test_per_client_cap(self):
+        sim, fs = make(aggregate=100.0, per_client=10.0)
+        fs.write("/a", 100)
+        sim.run()
+        assert fs.entry("/a").closed_at == pytest.approx(10.0)
+
+    def test_read_contends_with_write(self):
+        sim, fs = make(aggregate=100.0)
+        fs.write("/a", 100)
+        sim.run()
+        times = {}
+
+        def reader(tag):
+            entry = yield fs.read("/a")
+            times[tag] = sim.now
+
+        sim.process(reader("r1"))
+        sim.process(reader("r2"))
+        sim.run()
+        # Reads begin at t=1 (after the write) and share 100 B/s: 50 B/s
+        # each over 100 B -> both finish 2 s later.
+        assert times["r1"] == pytest.approx(3.0)
+        assert times["r2"] == pytest.approx(3.0)

@@ -1,0 +1,207 @@
+"""Slurm-like scheduler tests: allocation, FIFO, backfill, walltime."""
+
+import pytest
+
+from repro.hpc.machine import ClusterSpec, NodeSpec
+from repro.hpc.slurm import JobState, SlurmScheduler
+from repro.sim import Simulation
+
+
+def small_cluster(num_nodes=4):
+    return ClusterSpec(
+        name="test",
+        num_nodes=num_nodes,
+        node=NodeSpec(cores=8, memory_bytes=10**9),
+        interconnect_bw=1e9,
+        fs_capacity_bytes=10**12,
+        fs_aggregate_bw=1e9,
+        fs_per_client_bw=1e9,
+    )
+
+
+def make(num_nodes=4, latency=0.0):
+    sim = Simulation()
+    sched = SlurmScheduler(sim, small_cluster(num_nodes), allocation_latency=latency)
+    return sim, sched
+
+
+def sleep_body(sim, duration):
+    def body(job):
+        yield sim.timeout(duration)
+    return body
+
+
+class TestLifecycle:
+    def test_job_completes(self):
+        sim, sched = make()
+        job = sched.submit("j", num_nodes=2, walltime=100.0, body=sleep_body(sim, 5.0))
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        assert job.started_at == 0.0
+        assert job.finished_at == 5.0
+        assert len(sched.free_nodes) == 4
+
+    def test_allocation_latency(self):
+        sim, sched = make(latency=1.5)
+        job = sched.submit("j", 1, 100.0, body=sleep_body(sim, 5.0))
+        sim.run()
+        assert job.started_at == pytest.approx(1.5)
+        assert job.finished_at == pytest.approx(6.5)
+
+    def test_walltime_timeout(self):
+        sim, sched = make()
+        job = sched.submit("j", 1, walltime=3.0, body=sleep_body(sim, 100.0))
+        sim.run()
+        assert job.state is JobState.TIMEOUT
+        assert job.finished_at == pytest.approx(3.0)
+        assert len(sched.free_nodes) == 4
+
+    def test_failing_body(self):
+        sim, sched = make()
+
+        def body(job):
+            yield sim.timeout(1.0)
+            raise RuntimeError("oom")
+
+        job = sched.submit("j", 1, 100.0, body=body)
+        sim.run()
+        assert job.state is JobState.FAILED
+        assert len(sched.free_nodes) == 4
+
+    def test_bodyless_manual_complete(self):
+        sim, sched = make()
+        job = sched.submit("j", 1, walltime=100.0)
+
+        def driver():
+            yield job.started
+            yield sim.timeout(2.0)
+            sched.complete(job)
+
+        sim.process(driver())
+        sim.run()
+        assert job.state is JobState.COMPLETED
+        assert job.finished_at == pytest.approx(2.0)
+
+    def test_cancel_pending(self):
+        sim, sched = make(num_nodes=1)
+        hog = sched.submit("hog", 1, 100.0, body=sleep_body(sim, 50.0))
+        waiting = sched.submit("waiting", 1, 100.0, body=sleep_body(sim, 1.0))
+
+        def canceller():
+            yield sim.timeout(5.0)
+            sched.cancel(waiting)
+
+        sim.process(canceller())
+        sim.run()
+        assert waiting.state is JobState.CANCELLED
+        assert hog.state is JobState.COMPLETED
+
+    def test_cancel_running_releases_nodes(self):
+        sim, sched = make(num_nodes=2)
+        job = sched.submit("j", 2, 100.0, body=sleep_body(sim, 50.0))
+
+        def canceller():
+            yield sim.timeout(5.0)
+            sched.cancel(job)
+
+        sim.process(canceller())
+        sim.run()
+        assert job.state is JobState.CANCELLED
+        assert len(sched.free_nodes) == 2
+        assert job.finished_at == pytest.approx(5.0)
+
+
+class TestQueueing:
+    def test_fifo_when_full(self):
+        sim, sched = make(num_nodes=2)
+        first = sched.submit("first", 2, 100.0, body=sleep_body(sim, 10.0))
+        second = sched.submit("second", 2, 100.0, body=sleep_body(sim, 10.0))
+        sim.run()
+        assert first.started_at == 0.0
+        assert second.started_at == pytest.approx(10.0)
+
+    def test_parallel_when_fits(self):
+        sim, sched = make(num_nodes=4)
+        a = sched.submit("a", 2, 100.0, body=sleep_body(sim, 10.0))
+        b = sched.submit("b", 2, 100.0, body=sleep_body(sim, 10.0))
+        sim.run()
+        assert a.started_at == 0.0 and b.started_at == 0.0
+
+    def test_backfill_small_short_job(self):
+        """A short small job jumps a blocked big head without delaying it."""
+        sim, sched = make(num_nodes=4)
+        running = sched.submit("running", 3, walltime=10.0, body=sleep_body(sim, 10.0))
+        big = sched.submit("big-head", 4, walltime=10.0, body=sleep_body(sim, 5.0))
+        little = sched.submit("little", 1, walltime=5.0, body=sleep_body(sim, 5.0))
+        sim.run()
+        assert running.started_at == 0.0
+        assert little.started_at == 0.0          # backfilled
+        assert big.started_at == pytest.approx(10.0)  # not delayed
+
+    def test_no_backfill_when_it_would_delay_head(self):
+        sim, sched = make(num_nodes=4)
+        sched.submit("running", 3, walltime=10.0, body=sleep_body(sim, 10.0))
+        big = sched.submit("big-head", 4, walltime=50.0, body=sleep_body(sim, 5.0))
+        long_little = sched.submit("long-little", 1, walltime=50.0, body=sleep_body(sim, 50.0))
+        sim.run()
+        # The long little job must NOT start before the head.
+        assert big.started_at == pytest.approx(10.0)
+        assert long_little.started_at >= big.started_at
+
+    def test_priority_jumps_queue(self):
+        """A high-priority job overtakes earlier normal submissions."""
+        sim, sched = make(num_nodes=1)
+        sched.submit("running", 1, 100.0, body=sleep_body(sim, 10.0))
+        normal = sched.submit("normal", 1, 100.0, body=sleep_body(sim, 1.0))
+        urgent = sched.submit("urgent", 1, 100.0, body=sleep_body(sim, 1.0), priority=10)
+        sim.run()
+        assert urgent.started_at < normal.started_at
+        assert urgent.started_at == pytest.approx(10.0)
+
+    def test_fifo_within_priority_level(self):
+        sim, sched = make(num_nodes=1)
+        sched.submit("running", 1, 100.0, body=sleep_body(sim, 5.0))
+        first = sched.submit("p5-first", 1, 100.0, body=sleep_body(sim, 1.0), priority=5)
+        second = sched.submit("p5-second", 1, 100.0, body=sleep_body(sim, 1.0), priority=5)
+        sim.run()
+        assert first.started_at < second.started_at
+
+    def test_queue_wait_accounting(self):
+        sim, sched = make(num_nodes=1)
+        sched.submit("a", 1, 100.0, body=sleep_body(sim, 7.0))
+        b = sched.submit("b", 1, 100.0, body=sleep_body(sim, 1.0))
+        sim.run()
+        assert b.queue_wait == pytest.approx(7.0)
+
+    def test_oversized_request_rejected(self):
+        sim, sched = make(num_nodes=2)
+        with pytest.raises(ValueError):
+            sched.submit("too-big", 3, 10.0)
+
+    def test_utilization(self):
+        sim, sched = make(num_nodes=4)
+        sched.submit("j", 2, 100.0, body=sleep_body(sim, 10.0))
+        sim.run(until=5.0)
+        assert sched.utilization == pytest.approx(0.5)
+
+
+class TestConservation:
+    def test_nodes_conserved_across_many_jobs(self):
+        """Property: after any mixed workload, all nodes return to the pool."""
+        sim, sched = make(num_nodes=8)
+        jobs = []
+        for index in range(30):
+            duration = 1.0 + (index % 7)
+            jobs.append(
+                sched.submit(
+                    f"j{index}",
+                    num_nodes=1 + index % 4,
+                    walltime=5.0 if index % 5 == 0 else 100.0,
+                    body=sleep_body(sim, duration),
+                )
+            )
+        sim.run()
+        assert len(sched.free_nodes) == 8
+        assert all(job.state.terminal for job in jobs)
+        states = {job.state for job in jobs}
+        assert JobState.COMPLETED in states

@@ -1,0 +1,114 @@
+"""Hypothesis property tests for the Slurm scheduler.
+
+Random workloads (mixed sizes, durations, walltimes, submit times) must
+preserve the scheduler's core invariants regardless of interleaving.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.hpc.machine import ClusterSpec, NodeSpec
+from repro.hpc.slurm import JobState, SlurmScheduler
+from repro.sim import Simulation
+
+
+def cluster(num_nodes):
+    return ClusterSpec(
+        name="prop",
+        num_nodes=num_nodes,
+        node=NodeSpec(cores=8, memory_bytes=10**9),
+        interconnect_bw=1e9,
+        fs_capacity_bytes=10**12,
+        fs_aggregate_bw=1e9,
+        fs_per_client_bw=1e9,
+    )
+
+
+job_strategy = st.tuples(
+    st.integers(min_value=1, max_value=6),                 # nodes
+    st.floats(min_value=0.1, max_value=20.0),              # duration
+    st.floats(min_value=0.1, max_value=25.0),              # walltime
+    st.floats(min_value=0.0, max_value=30.0),              # submit delay
+)
+
+
+@settings(max_examples=30, deadline=None)
+@given(jobs=st.lists(job_strategy, min_size=1, max_size=25))
+def test_scheduler_invariants_random_workloads(jobs):
+    sim = Simulation()
+    scheduler = SlurmScheduler(sim, cluster(6), allocation_latency=0.1)
+    submitted = []
+    allocation_samples = []
+
+    def body_factory(duration):
+        def body(job):
+            allocation_samples.append(
+                scheduler.cluster.num_nodes - len(scheduler.free_nodes)
+            )
+            yield sim.timeout(duration)
+        return body
+
+    def submitter(spec, delay):
+        nodes, duration, walltime, _ = spec
+
+        def proc():
+            yield sim.timeout(delay)
+            job = scheduler.submit(
+                f"j{len(submitted)}", num_nodes=nodes, walltime=walltime,
+                body=body_factory(duration),
+            )
+            submitted.append((job, duration, walltime))
+        return proc
+
+    for spec in jobs:
+        sim.process(submitter(spec, spec[3])())
+    sim.run()
+
+    # Invariant 1: every node returns to the pool.
+    assert len(scheduler.free_nodes) == 6
+    # Invariant 2: every job reached a terminal state.
+    assert all(job.state.terminal for job, *_ in submitted)
+    # Invariant 3: allocation never exceeded the cluster.
+    assert all(0 <= used <= 6 for used in allocation_samples)
+    # Invariant 4: outcome is consistent with duration vs walltime.
+    for job, duration, walltime in submitted:
+        if job.state is JobState.COMPLETED:
+            assert duration <= walltime + 1e-6
+        elif job.state is JobState.TIMEOUT:
+            assert duration > walltime - 1e-6
+    # Invariant 5: started jobs never started before submission.
+    for job, *_ in submitted:
+        if job.started_at is not None:
+            assert job.started_at >= job.submitted_at - 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    sizes=st.lists(st.floats(min_value=1.0, max_value=1000.0), min_size=2, max_size=10),
+    delays=st.lists(st.floats(min_value=0.0, max_value=20.0), min_size=2, max_size=10),
+)
+def test_fluidpipe_conserves_work_with_staggered_arrivals(sizes, delays):
+    """Total delivered bytes equal total demand for any arrival pattern."""
+    from repro.sim import FluidPipe
+
+    n = min(len(sizes), len(delays))
+    sizes, delays = sizes[:n], delays[:n]
+    sim = Simulation()
+    pipe = FluidPipe(sim, capacity=50.0)
+    finished = []
+
+    def client(size, delay):
+        yield sim.timeout(delay)
+        flow = yield pipe.transfer(size)
+        finished.append(flow)
+
+    for size, delay in zip(sizes, delays):
+        sim.process(client(size, delay))
+    sim.run()
+    assert len(finished) == n
+    # Work conservation: the pipe was never faster than capacity.
+    span_start = min(f.started_at for f in finished)
+    span_end = max(f.finished_at for f in finished)
+    assert sum(sizes) <= 50.0 * (span_end - span_start) + 1e-6
+    # Each flow's mean rate never exceeds the full capacity.
+    for flow in finished:
+        assert flow.mean_rate <= 50.0 + 1e-6

@@ -1,0 +1,222 @@
+"""Granule naming, geolocation, and product generation tests."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.modis import (
+    AICCA_BANDS,
+    MINI_SWATH,
+    GranuleId,
+    LaadsArchive,
+    generate_granule,
+    granule_geolocation,
+    orbit_track,
+)
+from repro.modis.constants import GRANULES_PER_DAY, SwathSpec
+
+
+DATE = dt.date(2022, 1, 1)  # the paper's benchmark day
+
+
+class TestGranuleId:
+    def test_filename_shape(self):
+        gid = GranuleId("MOD021KM", DATE, 0)
+        name = gid.filename
+        assert name.startswith("MOD021KM.A2022001.0000.061.")
+        assert name.endswith(".hdf")
+
+    def test_hhmm(self):
+        assert GranuleId("MOD021KM", DATE, 0).hhmm == "0000"
+        assert GranuleId("MOD021KM", DATE, 1).hhmm == "0005"
+        assert GranuleId("MOD021KM", DATE, 287).hhmm == "2355"
+
+    def test_parse_roundtrip(self):
+        gid = GranuleId("MYD06_L2", dt.date(2003, 7, 14), 130)
+        parsed = GranuleId.parse(gid.filename)
+        assert parsed == gid
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            GranuleId.parse("random_file.nc")
+
+    def test_index_bounds(self):
+        with pytest.raises(ValueError):
+            GranuleId("MOD021KM", DATE, GRANULES_PER_DAY)
+
+    def test_unknown_product(self):
+        with pytest.raises(KeyError):
+            GranuleId("MOD99", DATE, 0)
+
+    def test_scene_key_is_product_independent(self):
+        a = GranuleId("MOD021KM", DATE, 5)
+        b = GranuleId("MOD06_L2", DATE, 5)
+        assert a.scene_key == b.scene_key
+        assert a.key != b.key
+
+
+class TestGeolocation:
+    def test_shapes_and_ranges(self):
+        lat, lon = granule_geolocation(0, MINI_SWATH)
+        assert lat.shape == (MINI_SWATH.lines, MINI_SWATH.pixels)
+        assert (np.abs(lat) <= 90).all()
+        assert (np.abs(lon) <= 180).all()
+
+    def test_orbit_reaches_high_latitudes(self):
+        times = np.linspace(0, 98.88 * 60, 1000)
+        lat, _len = orbit_track(times)
+        assert lat.max() > 75
+        assert lat.min() < -75
+
+    def test_granules_differ(self):
+        lat0, _ = granule_geolocation(0, MINI_SWATH)
+        lat100, _ = granule_geolocation(100, MINI_SWATH)
+        assert not np.allclose(lat0, lat100)
+
+    def test_day_offset_shifts_track(self):
+        _, lon0 = granule_geolocation(0, MINI_SWATH, day_offset=0)
+        _, lon1 = granule_geolocation(0, MINI_SWATH, day_offset=1)
+        assert not np.allclose(lon0, lon1)
+
+    def test_cross_track_continuity(self):
+        lat, lon = granule_geolocation(10, MINI_SWATH)
+        # Adjacent pixels are < ~0.5 deg apart (no wild jumps except the
+        # dateline, handled by wrapping check).
+        dlat = np.abs(np.diff(lat, axis=1))
+        assert float(np.median(dlat)) < 0.5
+
+    def test_bad_index(self):
+        with pytest.raises(ValueError):
+            granule_geolocation(288, MINI_SWATH)
+
+
+class TestGenerateGranule:
+    def test_mod02_layout(self):
+        ds = generate_granule(GranuleId("MOD021KM", DATE, 3), MINI_SWATH, seed=1)
+        assert ds["radiance"].shape == (len(AICCA_BANDS), MINI_SWATH.lines, MINI_SWATH.pixels)
+        bands = ds.get_attr("band_list")
+        np.testing.assert_array_equal(np.asarray(bands), np.array(AICCA_BANDS))
+        assert np.isfinite(ds["radiance"].data).all()
+
+    def test_mod03_layout(self):
+        ds = generate_granule(GranuleId("MOD03", DATE, 3), MINI_SWATH, seed=1)
+        assert "latitude" in ds and "longitude" in ds
+        assert (np.abs(ds["latitude"].data) <= 90).all()
+
+    def test_mod06_layout(self):
+        ds = generate_granule(GranuleId("MOD06_L2", DATE, 3), MINI_SWATH, seed=1)
+        for name in (
+            "cloud_mask",
+            "cloud_optical_thickness",
+            "cloud_top_pressure",
+            "cloud_effective_radius",
+            "land_mask",
+        ):
+            assert name in ds
+        mask = ds["cloud_mask"].data.astype(bool)
+        tau = ds["cloud_optical_thickness"].data
+        assert (tau[~mask] == 0).all()
+
+    def test_products_share_scene(self):
+        """MOD02 and MOD06 for the same granule see the same clouds."""
+        gid02 = GranuleId("MOD021KM", DATE, 7)
+        gid06 = GranuleId("MOD06_L2", DATE, 7)
+        ds02 = generate_granule(gid02, MINI_SWATH, seed=2)
+        ds06 = generate_granule(gid06, MINI_SWATH, seed=2)
+        assert ds02.get_attr("true_regime") == ds06.get_attr("true_regime")
+        # Cloudy pixels should be brighter in the 1.6um reflective band.
+        mask = ds06["cloud_mask"].data.astype(bool)
+        band6 = ds02["radiance"].data[0]
+        assert band6[mask].mean() > band6[~mask].mean()
+
+    def test_deterministic(self):
+        gid = GranuleId("MOD021KM", DATE, 11)
+        a = generate_granule(gid, MINI_SWATH, seed=3)
+        b = generate_granule(gid, MINI_SWATH, seed=3)
+        np.testing.assert_array_equal(a["radiance"].data, b["radiance"].data)
+
+    def test_seed_changes_content(self):
+        gid = GranuleId("MOD021KM", DATE, 11)
+        a = generate_granule(gid, MINI_SWATH, seed=3)
+        b = generate_granule(gid, MINI_SWATH, seed=4)
+        assert not np.array_equal(a["radiance"].data, b["radiance"].data)
+
+    def test_emissive_band_cold_clouds(self):
+        """Band 31 (11um) brightness temperature drops over thick cloud."""
+        gid02 = GranuleId("MOD021KM", DATE, 9)
+        gid06 = GranuleId("MOD06_L2", DATE, 9)
+        ds02 = generate_granule(gid02, MINI_SWATH, seed=5)
+        ds06 = generate_granule(gid06, MINI_SWATH, seed=5)
+        tau = ds06["cloud_optical_thickness"].data
+        band31 = ds02["radiance"].data[list(AICCA_BANDS).index(31)]
+        thick = tau > 10.0
+        clear = tau == 0.0
+        if thick.sum() > 10 and clear.sum() > 10:
+            assert band31[thick].mean() < band31[clear].mean()
+
+
+class TestArchive:
+    def test_query_counts(self):
+        archive = LaadsArchive(seed=0)
+        refs = archive.query("MOD02", DATE)
+        assert len(refs) == GRANULES_PER_DAY
+        refs2 = archive.query("MOD02", DATE, DATE + dt.timedelta(days=1))
+        assert len(refs2) == 2 * GRANULES_PER_DAY
+
+    def test_max_per_day(self):
+        archive = LaadsArchive(seed=0)
+        assert len(archive.query("MOD02", DATE, max_per_day=10)) == 10
+
+    def test_daily_volume_matches_paper(self):
+        """Per-day MOD02 bytes land near the paper's ~32 GB figure."""
+        archive = LaadsArchive(seed=0)
+        total = archive.total_bytes(archive.query("MOD02", DATE))
+        assert 0.8 * 32e9 < total < 1.2 * 32e9
+
+    def test_product_size_ordering(self):
+        """MOD02 day > MOD06 day > MOD03 day, as in Section III."""
+        archive = LaadsArchive(seed=0)
+        sizes = {
+            p: archive.total_bytes(archive.query(p, DATE)) for p in ("MOD02", "MOD06", "MOD03")
+        }
+        assert sizes["MOD02"] > sizes["MOD06"] > sizes["MOD03"]
+
+    def test_batch_by_bytes(self):
+        archive = LaadsArchive(seed=0)
+        refs = archive.query_batch_by_bytes(["MOD02", "MOD03", "MOD06"], DATE, 10**9)
+        by_product = {}
+        for ref in refs:
+            by_product.setdefault(ref.gid.product, []).append(ref.nbytes)
+        assert set(by_product) == {"MOD021KM", "MOD03", "MOD06_L2"}
+        for product, sizes in by_product.items():
+            assert sum(sizes) >= 10**9
+            # Not absurdly past the target either: at most one extra granule.
+            assert sum(sizes[:-1]) < 10**9
+
+    def test_fetch_materializes(self):
+        archive = LaadsArchive(seed=0)
+        ref = archive.query("MOD06", DATE, max_per_day=1)[0]
+        ds = archive.fetch(ref)
+        assert "cloud_mask" in ds
+
+    def test_sizes_deterministic(self):
+        a = LaadsArchive(seed=0).query("MOD02", DATE, max_per_day=20)
+        b = LaadsArchive(seed=0).query("MOD02", DATE, max_per_day=20)
+        assert [r.nbytes for r in a] == [r.nbytes for r in b]
+
+    def test_rejects_pre_epoch(self):
+        with pytest.raises(ValueError):
+            LaadsArchive().query("MOD02", dt.date(1999, 1, 1))
+
+
+class TestSwathSpec:
+    def test_tile_counts(self):
+        spec = SwathSpec(lines=2030, pixels=1354, tile_size=128)
+        assert spec.tile_rows == 15
+        assert spec.tile_cols == 10
+        assert spec.max_tiles == 150
+
+    def test_too_small(self):
+        with pytest.raises(ValueError):
+            SwathSpec(lines=10, pixels=10, tile_size=16)

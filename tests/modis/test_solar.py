@@ -1,0 +1,113 @@
+"""Solar geometry and day/night granule tests."""
+
+import datetime as dt
+
+import numpy as np
+import pytest
+
+from repro.modis import MINI_SWATH, GranuleId, generate_granule
+from repro.modis.solar import (
+    classify_day_night,
+    day_fraction,
+    reflective_attenuation,
+    solar_declination,
+    solar_zenith,
+)
+
+
+class TestSolarGeometry:
+    def test_declination_seasons(self):
+        """Northern summer: positive declination near +23.4; winter: negative."""
+        assert solar_declination(dt.date(2022, 6, 21)) == pytest.approx(23.4, abs=0.5)
+        assert solar_declination(dt.date(2022, 12, 21)) == pytest.approx(-23.4, abs=0.5)
+        assert abs(solar_declination(dt.date(2022, 3, 21))) < 2.0
+
+    def test_local_noon_on_equator_at_equinox(self):
+        """At lon=0, 12:00 UTC, near the equinox the sun is ~overhead."""
+        sza = solar_zenith(np.array(0.0), np.array(0.0), dt.date(2022, 3, 21), 12.0)
+        assert float(sza) < 5.0
+
+    def test_local_midnight_is_night(self):
+        sza = solar_zenith(np.array(0.0), np.array(0.0), dt.date(2022, 3, 21), 0.0)
+        assert float(sza) > 120.0
+
+    def test_longitude_shifts_local_time(self):
+        """+90 deg east at 06:00 UTC sees local noon."""
+        date = dt.date(2022, 3, 21)
+        east = solar_zenith(np.array(0.0), np.array(90.0), date, 6.0)
+        greenwich = solar_zenith(np.array(0.0), np.array(0.0), date, 6.0)
+        assert float(east) < float(greenwich)
+
+    def test_zenith_bounds(self):
+        rng = np.random.default_rng(0)
+        lat = rng.uniform(-90, 90, size=100)
+        lon = rng.uniform(-180, 180, size=100)
+        sza = solar_zenith(lat, lon, dt.date(2022, 7, 1), 15.5)
+        assert ((sza >= 0) & (sza <= 180)).all()
+
+    def test_bad_hours(self):
+        with pytest.raises(ValueError):
+            solar_zenith(np.zeros(1), np.zeros(1), dt.date(2022, 1, 1), 25.0)
+
+
+class TestDayNight:
+    def test_classification(self):
+        assert classify_day_night(np.full(10, 20.0)) == "day"
+        assert classify_day_night(np.full(10, 120.0)) == "night"
+        mixed = np.concatenate([np.full(5, 20.0), np.full(5, 120.0)])
+        assert classify_day_night(mixed) == "terminator"
+
+    def test_day_fraction(self):
+        mixed = np.concatenate([np.full(3, 20.0), np.full(7, 120.0)])
+        assert day_fraction(mixed) == pytest.approx(0.3)
+        with pytest.raises(ValueError):
+            day_fraction(np.array([]))
+
+    def test_attenuation_properties(self):
+        sza = np.array([0.0, 60.0, 85.0, 120.0])
+        factor = reflective_attenuation(sza)
+        assert factor[0] == pytest.approx(1.0)
+        assert factor[1] == pytest.approx(0.5)
+        assert factor[2] == 0.0  # at the terminator
+        assert factor[3] == 0.0  # night
+        assert (np.diff(factor) <= 1e-12).all()  # monotone non-increasing
+
+
+class TestGranuleDayNight:
+    def test_attrs_present_and_vary(self):
+        date = dt.date(2022, 1, 1)
+        flags = set()
+        for index in (0, 72, 144, 216):
+            ds = generate_granule(GranuleId("MOD021KM", date, index), MINI_SWATH, seed=1)
+            flag = ds.get_attr("day_night")
+            assert flag in ("day", "night", "terminator")
+            flags.add(flag)
+            fraction = float(np.asarray(ds.get_attr("day_fraction"))[0])
+            assert 0.0 <= fraction <= 1.0
+        # Across a day of granules the orbit crosses the terminator.
+        assert len(flags) >= 2
+
+    def test_night_granule_reflective_bands_dark(self):
+        """On a night granule the 1.6um band (index 0) is ~zero while the
+        11um emissive band (index 5) still carries signal."""
+        date = dt.date(2022, 1, 1)
+        night = None
+        for index in range(0, 288, 24):
+            ds = generate_granule(GranuleId("MOD021KM", date, index), MINI_SWATH, seed=2)
+            if ds.get_attr("day_night") == "night":
+                night = ds
+                break
+        assert night is not None, "no night granule found in the sample"
+        band6 = night["radiance"].data[0]
+        band31 = night["radiance"].data[5]
+        assert np.abs(band6).mean() < 0.05   # solar band dark (noise only)
+        assert band31.mean() > 0.5           # thermal band alive
+
+    def test_day_granule_reflective_bands_lit(self):
+        date = dt.date(2022, 1, 1)
+        for index in range(0, 288, 24):
+            ds = generate_granule(GranuleId("MOD021KM", date, index), MINI_SWATH, seed=2)
+            if ds.get_attr("day_night") == "day":
+                assert ds["radiance"].data[0].max() > 0.1
+                return
+        pytest.fail("no day granule found in the sample")

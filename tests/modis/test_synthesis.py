@@ -1,0 +1,119 @@
+"""Cloud-scene synthesis and synthetic-planet tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.modis.synthesis import (
+    CLOUD_REGIMES,
+    REGIME_NAMES,
+    gaussian_random_field,
+    land_fraction,
+    land_mask,
+    synthesize_scene,
+)
+
+
+class TestGaussianRandomField:
+    def test_standardized(self):
+        rng = np.random.default_rng(0)
+        field = gaussian_random_field((64, 64), 2.5, rng)
+        assert field.shape == (64, 64)
+        assert field.mean() == pytest.approx(0.0, abs=1e-10)
+        assert field.std() == pytest.approx(1.0, rel=1e-9)
+
+    def test_non_square(self):
+        rng = np.random.default_rng(0)
+        field = gaussian_random_field((48, 96), 2.0, rng)
+        assert field.shape == (48, 96)
+
+    def test_spectral_slope_orders_smoothness(self):
+        """Steeper spectra produce smoother fields (smaller gradients)."""
+        rng1, rng2 = np.random.default_rng(1), np.random.default_rng(1)
+        rough = gaussian_random_field((128, 128), 1.0, rng1)
+        smooth = gaussian_random_field((128, 128), 3.5, rng2)
+        grad = lambda f: float(np.mean(np.abs(np.diff(f, axis=0))))
+        assert grad(rough) > 2.0 * grad(smooth)
+
+    def test_deterministic_given_rng(self):
+        a = gaussian_random_field((32, 32), 2.0, np.random.default_rng(5))
+        b = gaussian_random_field((32, 32), 2.0, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_rejects_bad_args(self):
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValueError):
+            gaussian_random_field((1, 10), 2.0, rng)
+        with pytest.raises(ValueError):
+            gaussian_random_field((10, 10), -1.0, rng)
+
+
+class TestScenes:
+    def test_fields_shapes_and_ranges(self):
+        scene = synthesize_scene((64, 64), np.random.default_rng(3))
+        assert scene.cloud_mask.dtype == bool
+        assert scene.tau.shape == (64, 64)
+        assert (scene.tau >= 0).all()
+        assert (scene.tau[~scene.cloud_mask] == 0).all()
+        assert np.allclose(scene.ctp[~scene.cloud_mask], 1013.25)
+        assert (scene.ctp[scene.cloud_mask] <= 1013.25).all()
+        assert scene.regime in CLOUD_REGIMES
+
+    def test_coverage_tracks_regime(self):
+        """Generated cloud fraction is near the regime's target coverage."""
+        for name in ("stratus", "shallow_cumulus"):
+            fractions = [
+                synthesize_scene((64, 64), np.random.default_rng(i), regime=name).cloud_fraction
+                for i in range(10)
+            ]
+            target = CLOUD_REGIMES[name].coverage
+            assert abs(np.mean(fractions) - target) < 0.1
+
+    def test_high_cloud_regime_has_low_ctp(self):
+        cirrus = synthesize_scene((64, 64), np.random.default_rng(0), regime="cirrus")
+        stratus = synthesize_scene((64, 64), np.random.default_rng(0), regime="stratus")
+        assert cirrus.ctp[cirrus.cloud_mask].mean() < stratus.ctp[stratus.cloud_mask].mean()
+
+    def test_unknown_regime(self):
+        with pytest.raises(KeyError):
+            synthesize_scene((32, 32), np.random.default_rng(0), regime="cumulonimbus_maximus")
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**31), regime=st.sampled_from(REGIME_NAMES))
+    def test_invariants_property(self, seed, regime):
+        scene = synthesize_scene((32, 32), np.random.default_rng(seed), regime=regime)
+        assert 0.0 < scene.cloud_fraction < 1.0
+        assert np.isfinite(scene.tau).all()
+        assert np.isfinite(scene.ctp).all()
+        assert (scene.effective_radius[scene.cloud_mask] >= 4.0).all()
+        assert (scene.effective_radius[~scene.cloud_mask] == 0.0).all()
+
+
+class TestPlanet:
+    def test_deterministic(self):
+        lat = np.linspace(-80, 80, 50)
+        lon = np.linspace(-179, 179, 50)
+        a = land_fraction(lat[:, None], lon[None, :])
+        b = land_fraction(lat[:, None], lon[None, :])
+        np.testing.assert_array_equal(a, b)
+
+    def test_global_land_share_earthlike(self):
+        """Area-weighted land cover is in a plausible 20-40% window."""
+        lat = np.linspace(-89, 89, 180)
+        lon = np.linspace(-179.5, 179.5, 360)
+        mask = land_mask(lat[:, None], lon[None, :])
+        weights = np.cos(np.deg2rad(lat))[:, None] * np.ones((1, lon.size))
+        share = float((mask * weights).sum() / weights.sum())
+        assert 0.15 < share < 0.45
+
+    def test_has_both_land_and_ocean_regions(self):
+        lat = np.linspace(-60, 60, 100)
+        lon = np.linspace(-179, 179, 200)
+        mask = land_mask(lat[:, None], lon[None, :])
+        assert mask.any() and (~mask).any()
+
+    def test_smoothness(self):
+        """The elevation field is smooth: adjacent samples differ slightly."""
+        lon = np.linspace(0, 10, 200)
+        values = land_fraction(np.zeros_like(lon), lon)
+        assert np.abs(np.diff(values)).max() < 0.1

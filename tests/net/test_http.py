@@ -1,0 +1,96 @@
+"""HTTP server and WAN link model tests."""
+
+import pytest
+
+from repro.net import HttpServer, WanLink
+from repro.sim import Simulation
+
+
+class TestHttpServer:
+    def test_single_request_timing(self):
+        sim = Simulation()
+        server = HttpServer(sim, wan_bandwidth=100.0, per_connection_bw=10.0, request_overhead=2.0)
+        done = server.request(100)
+        sim.run()
+        result = done.value
+        # 2s overhead + 100 B at the 10 B/s per-connection cap.
+        assert result.duration == pytest.approx(12.0)
+        assert result.mean_rate == pytest.approx(100 / 12.0)
+        assert server.requests_served == 1
+
+    def test_parallel_requests_aggregate_under_cap(self):
+        sim = Simulation()
+        server = HttpServer(sim, wan_bandwidth=100.0, per_connection_bw=10.0, request_overhead=0.0)
+        done = [server.request(100) for _ in range(3)]
+        sim.run()
+        # 3 connections at 10 B/s each (cap binds, not the 100 B/s WAN).
+        for event in done:
+            assert event.value.duration == pytest.approx(10.0)
+
+    def test_wan_saturation(self):
+        """Beyond capacity/per_conn streams, extra workers stop helping."""
+        sim = Simulation()
+        server = HttpServer(sim, wan_bandwidth=30.0, per_connection_bw=10.0, request_overhead=0.0)
+        done = [server.request(100) for _ in range(6)]
+        sim.run()
+        # 6 flows share 30 B/s -> 5 B/s each -> 20 s.
+        for event in done:
+            assert event.value.duration == pytest.approx(20.0)
+
+    def test_overhead_dominates_small_files(self):
+        sim = Simulation()
+        server = HttpServer(sim, wan_bandwidth=1e9, per_connection_bw=1e9, request_overhead=2.0)
+        done = server.request(10)
+        sim.run()
+        assert done.value.duration == pytest.approx(2.0, abs=0.01)
+
+    def test_zero_bytes(self):
+        sim = Simulation()
+        server = HttpServer(sim, request_overhead=1.0)
+        done = server.request(0)
+        sim.run()
+        assert done.value.duration == pytest.approx(1.0)
+
+    def test_rejects_negative(self):
+        sim = Simulation()
+        server = HttpServer(sim)
+        with pytest.raises(ValueError):
+            server.request(-1)
+
+
+class TestWanLink:
+    def test_single_stream(self):
+        sim = Simulation()
+        link = WanLink(sim, "defiant", "frontier", bandwidth=100.0, latency=0.5)
+        done = link.send(1000)
+        sim.run()
+        assert done.value == pytest.approx(10.5)
+
+    def test_parallel_streams_beat_per_stream_cap(self):
+        sim = Simulation()
+        link = WanLink(sim, "a", "b", bandwidth=100.0, latency=0.0, per_stream_bw=10.0)
+        one = link.send(1000)
+        sim.run()
+        sim2 = Simulation()
+        link2 = WanLink(sim2, "a", "b", bandwidth=100.0, latency=0.0, per_stream_bw=10.0)
+        four = link2.send(1000, streams=4)
+        sim2.run()
+        assert one.value == pytest.approx(100.0)
+        assert four.value == pytest.approx(25.0)
+
+    def test_concurrent_transfers_share(self):
+        sim = Simulation()
+        link = WanLink(sim, "a", "b", bandwidth=100.0, latency=0.0)
+        x = link.send(500)
+        y = link.send(500)
+        sim.run()
+        assert x.value == pytest.approx(10.0)
+        assert y.value == pytest.approx(10.0)
+
+    def test_bad_args(self):
+        sim = Simulation()
+        link = WanLink(sim, "a", "b", bandwidth=10.0)
+        with pytest.raises(ValueError):
+            link.send(-1)
+        with pytest.raises(ValueError):
+            link.send(10, streams=0)

@@ -1,0 +1,253 @@
+"""NetCDF writer/reader round-trip tests, including hypothesis properties."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.netcdf import Dataset, NcFormatError, from_bytes, read, to_bytes, write
+
+
+def make_tile_dataset(num_tiles=3, size=8, channels=2, seed=0):
+    """A miniature AICCA-style tile file."""
+    rng = np.random.default_rng(seed)
+    ds = Dataset()
+    ds.create_dimension("tile", None)
+    ds.create_dimension("y", size)
+    ds.create_dimension("x", size)
+    ds.create_dimension("channel", channels)
+    ds.create_variable(
+        "radiance",
+        "f4",
+        ("tile", "y", "x", "channel"),
+        rng.normal(size=(num_tiles, size, size, channels)).astype(np.float32),
+        attributes={"units": "W/m2/um/sr", "valid_min": 0.0},
+    )
+    ds.create_variable(
+        "latitude", "f8", ("tile",), rng.uniform(-60, 60, num_tiles), attributes={"units": "degrees_north"}
+    )
+    ds.create_variable(
+        "label", "i4", ("tile",), rng.integers(0, 42, num_tiles).astype(np.int32)
+    )
+    ds.set_attr("title", "AICCA ocean-cloud tiles")
+    ds.set_attr("cloud_classes", 42)
+    return ds
+
+
+class TestRoundTrip:
+    def test_tile_file(self):
+        ds = make_tile_dataset()
+        clone = from_bytes(to_bytes(ds))
+        assert list(clone.variables) == ["radiance", "latitude", "label"]
+        np.testing.assert_array_equal(clone["radiance"].data, ds["radiance"].data)
+        np.testing.assert_array_equal(clone["label"].data, ds["label"].data)
+        np.testing.assert_allclose(clone["latitude"].data, ds["latitude"].data)
+        assert clone.get_attr("title") == "AICCA ocean-cloud tiles"
+        assert int(clone.get_attr("cloud_classes")[0]) == 42
+        assert clone["radiance"].get_attr("units") == "W/m2/um/sr"
+        assert clone.record_dimension.name == "tile"
+        assert clone.num_records == 3
+
+    def test_fixed_only(self):
+        ds = Dataset()
+        ds.create_dimension("x", 5)
+        ds.create_variable("v", "i2", ("x",), np.arange(5, dtype=np.int16))
+        clone = from_bytes(to_bytes(ds))
+        np.testing.assert_array_equal(clone["v"].data, np.arange(5, dtype=np.int16))
+        assert clone.num_records == 0
+
+    def test_scalar_variable(self):
+        ds = Dataset()
+        ds.create_variable("answer", "f8", (), np.float64(42.0))
+        clone = from_bytes(to_bytes(ds))
+        assert clone["answer"].data == pytest.approx(42.0)
+
+    def test_single_record_variable_unpadded(self):
+        # Special rule: a lone record variable of a small type is unpadded.
+        ds = Dataset()
+        ds.create_dimension("t", None)
+        ds.create_dimension("c", 3)
+        data = np.arange(15, dtype=np.int8).reshape(5, 3)
+        ds.create_variable("v", "i1", ("t", "c"), data)
+        blob = to_bytes(ds)
+        clone = from_bytes(blob)
+        np.testing.assert_array_equal(clone["v"].data, data)
+
+    def test_multiple_record_variables(self):
+        ds = Dataset()
+        ds.create_dimension("t", None)
+        ds.create_dimension("c", 3)
+        a = np.arange(15, dtype=np.int8).reshape(5, 3)
+        b = np.arange(5, dtype=np.float32) * 1.5
+        ds.create_variable("a", "i1", ("t", "c"), a)
+        ds.create_variable("b", "f4", ("t",), b)
+        clone = from_bytes(to_bytes(ds))
+        np.testing.assert_array_equal(clone["a"].data, a)
+        np.testing.assert_allclose(clone["b"].data, b)
+
+    def test_zero_records(self):
+        ds = Dataset()
+        ds.create_dimension("t", None)
+        ds.create_variable("v", "f4", ("t",), np.empty(0, dtype=np.float32))
+        clone = from_bytes(to_bytes(ds))
+        assert clone["v"].data.shape == (0,)
+
+    def test_char_data(self):
+        ds = Dataset()
+        ds.create_dimension("n", 4)
+        ds.create_variable("name", "S1", ("n",), np.frombuffer(b"MODI", dtype="S1"))
+        clone = from_bytes(to_bytes(ds))
+        assert clone["name"].data.tobytes() == b"MODI"
+
+    def test_file_roundtrip(self, tmp_path):
+        ds = make_tile_dataset(seed=7)
+        path = str(tmp_path / "tiles.nc")
+        nbytes = write(ds, path)
+        assert nbytes > 0
+        clone = read(path)
+        np.testing.assert_array_equal(clone["label"].data, ds["label"].data)
+
+    def test_fileobj_roundtrip(self):
+        ds = make_tile_dataset(seed=9)
+        buf = io.BytesIO()
+        write(ds, buf)
+        buf.seek(0)
+        clone = read(buf)
+        np.testing.assert_array_equal(clone["label"].data, ds["label"].data)
+
+    def test_magic_bytes(self):
+        blob = to_bytes(make_tile_dataset())
+        assert blob[:3] == b"CDF"
+        assert blob[3] in (1, 2)
+
+
+class TestValidation:
+    def test_bad_magic(self):
+        with pytest.raises(NcFormatError, match="magic"):
+            from_bytes(b"HDF\x01" + b"\x00" * 100)
+
+    def test_truncated(self):
+        blob = to_bytes(make_tile_dataset())
+        with pytest.raises(NcFormatError):
+            from_bytes(blob[: len(blob) // 2])
+
+    def test_duplicate_dimension(self):
+        ds = Dataset()
+        ds.create_dimension("x", 1)
+        with pytest.raises(NcFormatError):
+            ds.create_dimension("x", 2)
+
+    def test_two_record_dims_rejected(self):
+        ds = Dataset()
+        ds.create_dimension("t", None)
+        with pytest.raises(NcFormatError):
+            ds.create_dimension("u", None)
+
+    def test_shape_mismatch(self):
+        ds = Dataset()
+        ds.create_dimension("x", 5)
+        with pytest.raises(NcFormatError):
+            ds.create_variable("v", "f4", ("x",), np.zeros(4, dtype=np.float32))
+
+    def test_record_dim_must_lead(self):
+        ds = Dataset()
+        ds.create_dimension("t", None)
+        ds.create_dimension("x", 2)
+        with pytest.raises(NcFormatError):
+            ds.create_variable("v", "f4", ("x", "t"), np.zeros((2, 3), dtype=np.float32))
+
+    def test_inconsistent_record_counts(self):
+        ds = Dataset()
+        ds.create_dimension("t", None)
+        ds.create_variable("a", "f4", ("t",), np.zeros(3, dtype=np.float32))
+        with pytest.raises(NcFormatError):
+            ds.create_variable("b", "f4", ("t",), np.zeros(4, dtype=np.float32))
+
+    def test_unknown_dimension(self):
+        ds = Dataset()
+        with pytest.raises(NcFormatError):
+            ds.create_variable("v", "f4", ("ghost",), np.zeros(1, dtype=np.float32))
+
+    def test_int64_data_rejected(self):
+        ds = Dataset()
+        ds.create_dimension("x", 2)
+        with pytest.raises(NcFormatError, match="external type"):
+            ds.create_variable("v", np.int64, ("x",), np.zeros(2, dtype=np.int64))
+
+    def test_bad_names(self):
+        ds = Dataset()
+        with pytest.raises(NcFormatError):
+            ds.create_dimension("1leading-digit", 3)
+        with pytest.raises(NcFormatError):
+            ds.set_attr("spaces in name", 1)
+
+    def test_describe(self):
+        text = make_tile_dataset().describe()
+        assert "UNLIMITED" in text
+        assert "radiance" in text
+
+
+_DTYPES = ["i1", "i2", "i4", "f4", "f8"]
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    dtype=st.sampled_from(_DTYPES),
+    shape=st.lists(st.integers(min_value=1, max_value=6), min_size=0, max_size=3),
+    use_record=st.booleans(),
+    numrecs=st.integers(min_value=0, max_value=4),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_roundtrip_property(dtype, shape, use_record, numrecs, seed):
+    """Arbitrary (dtype, shape, record-ness) round-trips exactly."""
+    rng = np.random.default_rng(seed)
+    ds = Dataset()
+    dims = []
+    for index, extent in enumerate(shape):
+        name = f"d{index}"
+        ds.create_dimension(name, extent)
+        dims.append(name)
+    if use_record:
+        ds.create_dimension("rec", None)
+        dims = ["rec"] + dims
+        full_shape = (numrecs, *shape)
+    else:
+        full_shape = tuple(shape)
+    if np.dtype(dtype).kind == "f":
+        data = rng.normal(size=full_shape).astype(dtype)
+    else:
+        info = np.iinfo(dtype)
+        data = rng.integers(info.min, info.max, size=full_shape, endpoint=True).astype(dtype)
+    ds.create_variable("v", dtype, dims, data)
+    clone = from_bytes(to_bytes(ds))
+    np.testing.assert_array_equal(clone["v"].data, data.astype(clone["v"].data.dtype))
+    assert clone["v"].dim_names == tuple(dims)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    nvars=st.integers(min_value=1, max_value=4),
+    numrecs=st.integers(min_value=0, max_value=5),
+    seed=st.integers(min_value=0, max_value=2**31),
+)
+def test_multi_record_var_roundtrip_property(nvars, numrecs, seed):
+    """Interleaved record slabs reassemble correctly for any variable count."""
+    rng = np.random.default_rng(seed)
+    ds = Dataset()
+    ds.create_dimension("t", None)
+    ds.create_dimension("k", 3)
+    arrays = {}
+    for index in range(nvars):
+        name = f"v{index}"
+        dtype = ["i1", "i2", "f4"][index % 3]
+        if index % 2 == 0:
+            data = rng.integers(-100, 100, size=(numrecs, 3)).astype(dtype)
+            ds.create_variable(name, dtype, ("t", "k"), data)
+        else:
+            data = rng.integers(-100, 100, size=(numrecs,)).astype(dtype)
+            ds.create_variable(name, dtype, ("t",), data)
+        arrays[name] = data
+    clone = from_bytes(to_bytes(ds))
+    for name, data in arrays.items():
+        np.testing.assert_array_equal(clone[name].data, data.astype(clone[name].data.dtype))

@@ -1,0 +1,175 @@
+"""DataFlowKernel and @python_app tests (real execution)."""
+
+import time
+
+import pytest
+
+from repro.compute import LocalComputeEndpoint
+from repro.pexec import (
+    DataFlowKernel,
+    DependencyError,
+    clear,
+    load,
+    python_app,
+)
+
+
+@pytest.fixture
+def dfk():
+    kernel = DataFlowKernel({"local": LocalComputeEndpoint("local", max_workers=4)})
+    load(kernel)
+    yield kernel
+    kernel.shutdown()
+    clear()
+
+
+class TestDFK:
+    def test_simple_app(self, dfk):
+        @python_app
+        def square(x):
+            return x * x
+
+        assert square(7).result(timeout=10) == 49
+
+    def test_parallel_fanout(self, dfk):
+        @python_app
+        def work(x):
+            time.sleep(0.05)
+            return x + 1
+
+        futures = [work(i) for i in range(8)]
+        assert dfk.wait_all(futures, timeout=10) == list(range(1, 9))
+
+    def test_dependency_chaining(self, dfk):
+        @python_app
+        def produce():
+            return [1, 2, 3]
+
+        @python_app
+        def consume(values):
+            return sum(values)
+
+        assert consume(produce()).result(timeout=10) == 6
+        assert dfk.tasks_launched == 2
+
+    def test_dependencies_in_collections(self, dfk):
+        @python_app
+        def make(x):
+            return x
+
+        @python_app
+        def total(values, extra=None):
+            return sum(values) + extra["k"]
+
+        future = total([make(1), make(2)], extra={"k": make(10)})
+        assert future.result(timeout=10) == 13
+
+    def test_failed_dependency_propagates(self, dfk):
+        @python_app
+        def boom():
+            raise ValueError("bad tile")
+
+        @python_app
+        def consume(x):
+            return x
+
+        future = consume(boom())
+        with pytest.raises(DependencyError, match="bad tile"):
+            future.result(timeout=10)
+
+    def test_app_exception(self, dfk):
+        @python_app
+        def boom():
+            raise RuntimeError("hdf read error")
+
+        with pytest.raises(RuntimeError, match="hdf read error"):
+            boom().result(timeout=10)
+
+    def test_diamond_dependency(self, dfk):
+        @python_app
+        def src():
+            return 2
+
+        @python_app
+        def left(x):
+            return x * 10
+
+        @python_app
+        def right(x):
+            return x + 1
+
+        @python_app
+        def join(a, b):
+            return (a, b)
+
+        s = src()
+        assert join(left(s), right(s)).result(timeout=10) == (20, 3)
+
+    def test_unknown_executor(self, dfk):
+        @python_app(executor="gpu")
+        def nope():
+            return 1
+
+        with pytest.raises(KeyError, match="gpu"):
+            nope()
+
+    def test_no_dfk_loaded(self):
+        clear()
+
+        @python_app
+        def orphan():
+            return 1
+
+        with pytest.raises(RuntimeError, match="no DataFlowKernel"):
+            orphan()
+
+    def test_pinned_dfk_overrides_global(self):
+        kernel = DataFlowKernel({"local": LocalComputeEndpoint("pinned", max_workers=1)})
+
+        @python_app(dfk=kernel)
+        def pinned():
+            return "pinned-result"
+
+        clear()  # no global kernel: the pinned one must still work
+        try:
+            assert pinned().result(timeout=10) == "pinned-result"
+        finally:
+            kernel.shutdown()
+
+    def test_requires_executor(self):
+        with pytest.raises(ValueError):
+            DataFlowKernel({})
+
+    def test_status_snapshot(self, dfk):
+        @python_app
+        def work(x):
+            return x
+
+        futures = [work(i) for i in range(5)]
+        dfk.wait_all(futures, timeout=10)
+        status = dfk.status()
+        assert status["submitted"] == 5
+        assert status["done"] == 5
+        assert status["running"] == 0
+        assert status["waiting_on_dependencies"] == 0
+
+    def test_status_counts_blocked_dependents(self, dfk):
+        import threading
+
+        gate = threading.Event()
+
+        @python_app
+        def slow():
+            gate.wait(10)
+            return 1
+
+        @python_app
+        def dependent(x):
+            return x + 1
+
+        future = dependent(slow())
+        # The dependent cannot launch until slow() resolves.
+        status = dfk.status()
+        assert status["waiting_on_dependencies"] >= 1
+        gate.set()
+        assert future.result(timeout=10) == 2

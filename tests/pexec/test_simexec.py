@@ -1,0 +1,187 @@
+"""Simulated HTEX executor + elastic strategy tests."""
+
+import pytest
+
+from repro.hpc import build_defiant
+from repro.pexec import ElasticStrategy, SimHtexExecutor, SimTaskSpec
+from repro.sim import Simulation, Tracer
+
+
+def make(workers_per_node=8, noise=0.0, seed=0, tracer=None, allocation_latency=0.0):
+    sim = Simulation()
+    facility = build_defiant(sim, allocation_latency=allocation_latency)
+    executor = SimHtexExecutor(
+        sim, facility, workers_per_node=workers_per_node,
+        tracer=tracer, noise_sigma=noise, seed=seed,
+    )
+    return sim, facility, executor
+
+
+def specs(n, duration=10.0, tiles=150):
+    return [SimTaskSpec(label=f"file{i}", base_duration=duration, tiles=tiles) for i in range(n)]
+
+
+class TestExecutor:
+    def test_single_worker_timing(self):
+        sim, _f, executor = make(workers_per_node=1)
+        events = executor.submit_all(specs(4, duration=10.0))
+        executor.scale_out(num_nodes=1)
+        sim.run()
+        # 4 tasks, 1 worker, no contention at w=1, n=1 -> 40s of work.
+        assert executor.completion_time() == pytest.approx(40.0)
+        assert all(e.value.tiles == 150 for e in events)
+
+    def test_contention_slows_workers(self):
+        """8 workers on one node do NOT run 8x faster (USL contention)."""
+        sim, facility, executor = make(workers_per_node=8)
+        executor.submit_all(specs(8, duration=10.0))
+        executor.scale_out(num_nodes=1)
+        sim.run()
+        ideal = 10.0  # 8 workers, 8 tasks, one each
+        expected = 10.0 / facility.contention_factor(8, 1)
+        assert executor.completion_time() == pytest.approx(expected)
+        assert executor.completion_time() > 2.0 * ideal  # contention is real
+
+    def test_multi_node_throughput_scales(self):
+        results = {}
+        for nodes in (1, 4):
+            sim, _f, executor = make(workers_per_node=8)
+            executor.submit_all(specs(nodes * 8 * 3, duration=14.0))
+            executor.scale_out(num_nodes=nodes)
+            sim.run()
+            results[nodes] = executor.throughput_tiles_per_s()
+        ratio = results[4] / results[1]
+        assert 3.0 < ratio < 4.0  # near-linear but sub-ideal
+
+    def test_tasks_after_blocks(self):
+        """Tasks submitted after workers started still run (respawn-free)."""
+        sim, _f, executor = make(workers_per_node=2)
+        executor.submit_all(specs(2, duration=5.0))
+        executor.scale_out(num_nodes=1)
+
+        def late():
+            yield sim.timeout(1.0)
+            done = executor.submit_all(specs(2, duration=5.0))
+            yield sim.all_of(done)
+
+        sim.process(late())
+        sim.run()
+        assert len(executor.results) == 4
+
+    def test_block_retires_and_frees_nodes(self):
+        sim, facility, executor = make(workers_per_node=4)
+        executor.submit_all(specs(4, duration=2.0))
+        executor.scale_out(num_nodes=2)
+        sim.run()
+        assert len(facility.scheduler.free_nodes) == facility.cluster.num_nodes
+        assert executor.blocks[0].live_workers == 0
+
+    def test_gauge_tracks_ramp(self):
+        tracer = Tracer()
+        sim, _f, executor = make(workers_per_node=4, tracer=tracer)
+        executor.submit_all(specs(4, duration=10.0))
+        executor.scale_out(num_nodes=1)
+        sim.run()
+        series = tracer.series("workers:preprocess")
+        assert series.max == 4
+        assert series.at(sim.now + 1) == 0
+
+    def test_output_bytes_written_to_fs(self):
+        sim, facility, executor = make(workers_per_node=1)
+        executor.submit(SimTaskSpec(label="g0", base_duration=1.0, tiles=10, output_bytes=10**6))
+        executor.scale_out(num_nodes=1)
+        sim.run()
+        assert facility.filesystem.exists("/preproc/g0.nc")
+        assert facility.filesystem.entry("/preproc/g0.nc").metadata["tiles"] == 10
+
+    def test_noise_reproducible(self):
+        times = []
+        for _ in range(2):
+            sim, _f, executor = make(workers_per_node=4, noise=0.1, seed=42)
+            executor.submit_all(specs(16, duration=5.0))
+            executor.scale_out(num_nodes=1)
+            sim.run()
+            times.append(executor.completion_time())
+        assert times[0] == times[1]
+
+    def test_validation(self):
+        sim, facility, _ = make()
+        with pytest.raises(ValueError):
+            SimHtexExecutor(sim, facility, workers_per_node=0)
+        with pytest.raises(ValueError):
+            SimTaskSpec(label="x", base_duration=-1.0)
+        with pytest.raises(ValueError):
+            SimHtexExecutor(sim, facility, workers_per_node=1, task_failure_rate=1.5)
+
+
+class TestFailureInjection:
+    def _run(self, failure_rate, max_retries, n_tasks=24, seed=5):
+        sim = Simulation()
+        facility = build_defiant(sim, allocation_latency=0.0)
+        executor = SimHtexExecutor(
+            sim, facility, workers_per_node=4, noise_sigma=0.0, seed=seed,
+            task_failure_rate=failure_rate, max_task_retries=max_retries,
+        )
+        events = executor.submit_all(specs(n_tasks, duration=5.0))
+        executor.scale_out(num_nodes=1)
+        outcomes = {"ok": 0, "failed": 0}
+
+        def watch(event):
+            def proc():
+                try:
+                    yield event
+                    outcomes["ok"] += 1
+                except RuntimeError:
+                    outcomes["failed"] += 1
+            return proc
+
+        for event in events:
+            sim.process(watch(event)())
+        sim.run()
+        return executor, outcomes
+
+    def test_retries_recover_all_tasks(self):
+        executor, outcomes = self._run(failure_rate=0.25, max_retries=10)
+        assert outcomes == {"ok": 24, "failed": 0}
+        assert executor.task_retries > 0
+        assert len(executor.results) == 24
+
+    def test_failures_cost_time(self):
+        clean, _ = self._run(failure_rate=0.0, max_retries=0)
+        flaky, _ = self._run(failure_rate=0.25, max_retries=10)
+        assert flaky.completion_time() > clean.completion_time()
+
+    def test_exhausted_retries_fail_future(self):
+        executor, outcomes = self._run(failure_rate=0.6, max_retries=0, n_tasks=30)
+        assert outcomes["failed"] > 0
+        assert outcomes["ok"] + outcomes["failed"] == 30
+        # Workers and blocks still wind down cleanly.
+        assert executor.blocks[0].live_workers == 0
+
+
+class TestElasticStrategy:
+    def test_scales_out_until_demand_met(self):
+        tracer = Tracer()
+        sim, _f, executor = make(workers_per_node=8, tracer=tracer)
+        executor.submit_all(specs(64, duration=10.0))
+        strategy = ElasticStrategy(
+            sim, executor, nodes_per_block=1, max_blocks=3, poll_interval=0.5
+        )
+        strategy.start()
+        sim.run(until=500.0)
+        strategy.stop()
+        sim.run()
+        assert len(executor.results) == 64
+        active_blocks = len(executor.blocks)
+        assert 2 <= active_blocks <= 3
+        # All blocks eventually retired.
+        assert all(block.job.state.terminal for block in executor.blocks)
+
+    def test_no_scale_out_without_demand(self):
+        sim, _f, executor = make()
+        strategy = ElasticStrategy(sim, executor, max_blocks=3, poll_interval=0.5)
+        strategy.start()
+        sim.run(until=5.0)
+        strategy.stop()
+        sim.run()
+        assert executor.blocks == []

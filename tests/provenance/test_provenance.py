@@ -1,0 +1,166 @@
+"""Provenance record and lineage-graph tests."""
+
+import pytest
+
+from repro.provenance import (
+    ProvenanceStore,
+    ancestry,
+    build_graph,
+    impact,
+    regeneration_plan,
+    to_dot,
+)
+
+
+def pipeline_store():
+    """granule -> preprocess -> tile_file -> inference(+model) -> labelled."""
+    store = ProvenanceStore(clock=iter(range(100)).__next__)
+    granule = store.entity("granule", "/raw/MOD02.A2022001.nc")
+    geo = store.entity("granule", "/raw/MOD03.A2022001.nc")
+    pre = store.start_activity("preprocess", "parsl", tile_size=16)
+    store.record_use(pre, granule)
+    store.record_use(pre, geo)
+    tile_file = store.entity("tile_file", "/tiles/tiles_0.nc", tiles=42)
+    store.record_generation(pre, tile_file)
+    store.end_activity(pre)
+
+    model = store.entity("model", "/models/aicca.npz")
+    inf = store.start_activity("inference", "globus-flow")
+    store.record_use(inf, tile_file)
+    store.record_use(inf, model)
+    labelled = store.entity("labelled_file", "/outbox/tiles_0.nc")
+    store.record_generation(inf, labelled)
+    store.end_activity(inf)
+    return store, granule, geo, tile_file, model, labelled
+
+
+class TestStore:
+    def test_entity_idempotent(self):
+        store = ProvenanceStore()
+        a = store.entity("granule", "/raw/x.nc")
+        b = store.entity("granule", "/raw/x.nc")
+        assert a is b
+        assert len(store.entities) == 1
+
+    def test_activity_lifecycle(self):
+        store = ProvenanceStore(clock=iter([1.0, 4.5]).__next__)
+        activity = store.start_activity("download", "globus-compute", workers=3)
+        store.end_activity(activity)
+        assert activity.duration == pytest.approx(3.5)
+        assert activity.status == "succeeded"
+        with pytest.raises(ValueError):
+            store.end_activity(activity)
+
+    def test_generator_of(self):
+        store, granule, _geo, tile_file, _model, labelled = pipeline_store()
+        assert store.generator_of(tile_file.entity_id).kind == "preprocess"
+        assert store.generator_of(granule.entity_id) is None
+
+    def test_summary(self):
+        store, *_ = pipeline_store()
+        summary = store.summary()
+        assert summary["entities"] == 5
+        assert summary["activities"] == 2
+        assert summary["failed_activities"] == 0
+
+
+class TestGraph:
+    def test_ancestry_reaches_sources(self):
+        store, granule, geo, tile_file, model, labelled = pipeline_store()
+        graph = build_graph(store)
+        upstream = ancestry(graph, labelled.entity_id)
+        for node in (granule.entity_id, geo.entity_id, tile_file.entity_id, model.entity_id):
+            assert node in upstream
+
+    def test_impact_of_bad_granule(self):
+        store, granule, _geo, tile_file, _model, labelled = pipeline_store()
+        graph = build_graph(store)
+        downstream = impact(graph, granule.entity_id)
+        assert tile_file.entity_id in downstream
+        assert labelled.entity_id in downstream
+        # The model is NOT derived from the granule.
+        assert all("model" not in node for node in downstream)
+
+    def test_regeneration_plan_ordered(self):
+        store, *_rest, labelled = pipeline_store()
+        graph = build_graph(store)
+        plan = regeneration_plan(graph, labelled.entity_id)
+        assert [p.split("-")[0] for p in plan] == ["preprocess", "inference"]
+
+    def test_unknown_node(self):
+        store, *_ = pipeline_store()
+        graph = build_graph(store)
+        with pytest.raises(KeyError):
+            ancestry(graph, "ghost")
+
+    def test_cycle_detected(self):
+        store = ProvenanceStore()
+        a = store.entity("tile_file", "/x.nc")
+        act = store.start_activity("weird", "agent")
+        store.record_use(act, a)
+        store.record_generation(act, a)  # derives from itself
+        store.end_activity(act)
+        with pytest.raises(ValueError, match="cycle"):
+            build_graph(store)
+
+    def test_to_dot(self):
+        store, *_ = pipeline_store()
+        dot = to_dot(build_graph(store))
+        assert dot.startswith("digraph provenance")
+        assert "preprocess" in dot and "->" in dot
+
+
+class TestWorkflowIntegration:
+    def test_workflow_records_full_lineage(self, tmp_path):
+        from repro.core import EOMLWorkflow, load_config
+        from repro.modis import MINI_SWATH, LaadsArchive
+
+        config = load_config(
+            {
+                "archive": {"start_date": "2022-01-01", "max_granules_per_day": 2, "seed": 3},
+                "paths": {
+                    "staging": str(tmp_path / "raw"),
+                    "preprocessed": str(tmp_path / "tiles"),
+                    "transfer_out": str(tmp_path / "outbox"),
+                    "destination": str(tmp_path / "orion"),
+                },
+                "preprocess": {"workers": 2, "tile_size": 16},
+            }
+        )
+        report = EOMLWorkflow(config, archive=LaadsArchive(seed=3, swath=MINI_SWATH)).run()
+        prov = report.provenance
+        assert prov is not None
+        kinds = {a.kind for a in prov.activities.values()}
+        assert {"download", "preprocess", "inference", "shipment"} <= kinds
+        graph = build_graph(prov)
+        # Every delivered file traces back to at least one raw granule.
+        delivered = [e for e in prov.entities.values() if e.kind == "delivered_file"]
+        assert delivered
+        for entity in delivered:
+            upstream = ancestry(graph, entity.entity_id)
+            granules = [
+                node for node in upstream
+                if node in prov.entities and prov.entities[node].kind == "granule"
+            ]
+            assert granules
+
+    def test_workflow_provenance_optional(self, tmp_path):
+        from repro.core import EOMLWorkflow, load_config
+        from repro.modis import MINI_SWATH, LaadsArchive
+
+        config = load_config(
+            {
+                "archive": {"start_date": "2022-01-01", "max_granules_per_day": 1, "seed": 3},
+                "paths": {
+                    "staging": str(tmp_path / "raw"),
+                    "preprocessed": str(tmp_path / "tiles"),
+                    "transfer_out": str(tmp_path / "outbox"),
+                    "destination": str(tmp_path / "orion"),
+                },
+                "preprocess": {"workers": 2, "tile_size": 16},
+            }
+        )
+        report = EOMLWorkflow(config, archive=LaadsArchive(seed=3, swath=MINI_SWATH)).run(
+            provenance=False
+        )
+        assert report.provenance is None

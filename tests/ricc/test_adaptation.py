@@ -1,0 +1,104 @@
+"""Fine-tuning and model-merging tests (Section V adaptation features)."""
+
+import numpy as np
+import pytest
+
+from repro.ricc import RotationInvariantAutoencoder
+from repro.ricc.adaptation import fine_tune, merge_models
+
+from tests.ricc.test_autoencoder import toy_tiles
+
+
+def pretrained(seed=7, epochs=12):
+    model = RotationInvariantAutoencoder((8, 8, 2), 6, (48,), seed=seed)
+    model.train(toy_tiles(n=32, seed=1), epochs=epochs, batch_size=16, lr=2e-3, seed=seed)
+    return model
+
+
+class TestFineTune:
+    def test_frozen_layers_do_not_move(self):
+        model = pretrained()
+        first_dense = model.encoder.layers[0]
+        frozen_before = first_dense.w.copy()
+        fine_tune(model, toy_tiles(n=16, seed=2), freeze_encoder_layers=1, epochs=3)
+        np.testing.assert_array_equal(first_dense.w, frozen_before)
+
+    def test_unfrozen_layers_do_move(self):
+        model = pretrained()
+        head = model.encoder.layers[-1]
+        head_before = head.w.copy()
+        fine_tune(model, toy_tiles(n=16, seed=2), freeze_encoder_layers=1, epochs=3)
+        assert not np.array_equal(head.w, head_before)
+
+    def test_adaptation_improves_on_new_data(self):
+        """Fine-tuning on the shifted dataset reduces its reconstruction
+        error relative to the unadapted pretrained model."""
+        model = pretrained()
+        shifted = 1.0 - toy_tiles(n=24, seed=9)
+        error_before = model.reconstruction_error(shifted)
+        fine_tune(model, shifted, freeze_encoder_layers=1, epochs=10, lr=1e-3)
+        assert model.reconstruction_error(shifted) < error_before * 0.9
+
+    def test_freeze_count_validation(self):
+        model = pretrained(epochs=1)
+        with pytest.raises(ValueError):
+            fine_tune(model, toy_tiles(n=8), freeze_encoder_layers=99)
+        with pytest.raises(ValueError):
+            fine_tune(model, toy_tiles(n=8), freeze_encoder_layers=-1)
+
+
+class TestMerge:
+    def test_merge_identical_models_is_identity(self):
+        a = pretrained(epochs=4)
+        merged = merge_models([a, a])
+        tiles = toy_tiles(n=8)
+        np.testing.assert_allclose(merged.encode(tiles), a.encode(tiles))
+
+    def test_merged_interpolates_parents(self):
+        """A merged model's error on each parent's data sits near (and can
+        beat) the worse parent — the model-soup property for siblings
+        fine-tuned from the same ancestor."""
+        ancestor = pretrained(epochs=10)
+        data_a = toy_tiles(n=24, seed=3)
+        data_b = toy_tiles(n=24, seed=4)
+
+        import copy
+
+        parent_a = copy.deepcopy(ancestor)
+        parent_a.train(data_a, epochs=4, batch_size=12, lr=5e-4, seed=3)
+        parent_b = copy.deepcopy(ancestor)
+        parent_b.train(data_b, epochs=4, batch_size=12, lr=5e-4, seed=4)
+
+        merged = merge_models([parent_a, parent_b])
+        for data in (data_a, data_b):
+            worst = max(
+                parent_a.reconstruction_error(data), parent_b.reconstruction_error(data)
+            )
+            assert merged.reconstruction_error(data) < worst * 1.5
+
+    def test_weights_normalized(self):
+        a = pretrained(epochs=2)
+        b = pretrained(seed=8, epochs=2)
+        merged_even = merge_models([a, b])
+        merged_scaled = merge_models([a, b], weights=[2.0, 2.0])
+        tiles = toy_tiles(n=4)
+        np.testing.assert_allclose(merged_even.encode(tiles), merged_scaled.encode(tiles))
+
+    def test_all_weight_on_one_parent(self):
+        a = pretrained(epochs=2)
+        b = pretrained(seed=8, epochs=2)
+        merged = merge_models([a, b], weights=[1.0, 0.0])
+        tiles = toy_tiles(n=4)
+        np.testing.assert_allclose(merged.encode(tiles), a.encode(tiles))
+
+    def test_validation(self):
+        a = pretrained(epochs=1)
+        with pytest.raises(ValueError):
+            merge_models([])
+        with pytest.raises(ValueError):
+            merge_models([a], weights=[1.0, 2.0])
+        with pytest.raises(ValueError):
+            merge_models([a, a], weights=[0.0, 0.0])
+        different = RotationInvariantAutoencoder((8, 8, 2), 6, (32,))
+        with pytest.raises(ValueError):
+            merge_models([a, different])

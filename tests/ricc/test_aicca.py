@@ -1,0 +1,145 @@
+"""AICCA atlas and EWC continual-learning tests."""
+
+import numpy as np
+import pytest
+
+from repro.ricc import AICCAModel, EWCTrainer, RotationInvariantAutoencoder
+from repro.ricc.evaluate import adjusted_rand_index
+
+from tests.ricc.test_autoencoder import toy_tiles
+
+
+def regime_tiles(n_per=20, size=8, channels=2, seed=0):
+    """Tiles from three visually distinct synthetic regimes + truth labels."""
+    rng = np.random.default_rng(seed)
+    n = 3 * n_per
+    tiles = np.zeros((n, size, size, channels))
+    truth = np.repeat([0, 1, 2], n_per)
+    for index in range(n):
+        regime = truth[index]
+        if regime == 0:  # bright, smooth
+            tiles[index] = 0.8 + rng.normal(0, 0.03, (size, size, channels))
+        elif regime == 1:  # dark, smooth
+            tiles[index] = 0.1 + rng.normal(0, 0.03, (size, size, channels))
+        else:  # high-frequency checker
+            checker = ((np.arange(size)[:, None] + np.arange(size)[None, :]) % 2).astype(float)
+            tiles[index, :, :, :] = checker[:, :, None] * 0.9 + rng.normal(
+                0, 0.03, (size, size, channels)
+            )
+    order = rng.permutation(n)
+    return tiles[order], truth[order]
+
+
+class TestAICCA:
+    def test_train_and_assign_recovers_regimes(self):
+        tiles, truth = regime_tiles(n_per=16)
+        model, history = AICCAModel.train(
+            tiles, num_classes=3, latent_dim=4, hidden=(32,), epochs=20, lr=2e-3, seed=0
+        )
+        labels = model.assign(tiles)
+        assert adjusted_rand_index(labels, truth) > 0.8
+        assert model.num_classes == 3
+        assert len(history) == 20
+
+    def test_assign_is_rotation_consistent(self):
+        """Rotated tiles receive the same class (mostly) as originals."""
+        tiles, _ = regime_tiles(n_per=16)
+        model, _ = AICCAModel.train(
+            tiles, num_classes=3, latent_dim=4, hidden=(32,), epochs=25, lr=2e-3, seed=1
+        )
+        from repro.ricc import transform_batch
+
+        base = model.assign(tiles)
+        rotated = model.assign(transform_batch(tiles, 1))
+        agreement = float((base == rotated).mean())
+        assert agreement > 0.85
+
+    def test_class_statistics(self):
+        tiles, truth = regime_tiles(n_per=10)
+        model, _ = AICCAModel.train(
+            tiles, num_classes=3, latent_dim=4, hidden=(32,), epochs=10, seed=2
+        )
+        labels = model.assign(tiles)
+        n = labels.shape[0]
+        rng = np.random.default_rng(0)
+        stats = model.class_statistics(
+            labels,
+            {
+                "optical_thickness": rng.uniform(1, 30, n),
+                "cloud_top_pressure": rng.uniform(200, 900, n),
+                "cloud_fraction": rng.uniform(0.3, 1.0, n),
+            },
+        )
+        assert sum(s.count for s in stats) == n
+        assert all(1 <= s.mean_optical_thickness <= 30 for s in stats)
+
+    def test_class_statistics_validation(self):
+        tiles, _ = regime_tiles(n_per=10)
+        model, _ = AICCAModel.train(tiles, num_classes=2, latent_dim=4, hidden=(32,), epochs=3)
+        labels = model.assign(tiles)
+        with pytest.raises(KeyError):
+            model.class_statistics(labels, {})
+        with pytest.raises(ValueError):
+            model.class_statistics(
+                labels,
+                {
+                    "optical_thickness": np.zeros(5),
+                    "cloud_top_pressure": np.zeros(5),
+                    "cloud_fraction": np.zeros(5),
+                },
+            )
+
+    def test_save_load_roundtrip(self, tmp_path):
+        tiles, _ = regime_tiles(n_per=10)
+        model, _ = AICCAModel.train(tiles, num_classes=3, latent_dim=4, hidden=(32,), epochs=5)
+        path = str(tmp_path / "aicca.npz")
+        model.save(path)
+        clone = AICCAModel.load(path)
+        np.testing.assert_array_equal(clone.assign(tiles), model.assign(tiles))
+
+    def test_evaluate_produces_report(self):
+        tiles, truth = regime_tiles(n_per=12)
+        model, _ = AICCAModel.train(
+            tiles, num_classes=3, latent_dim=4, hidden=(32,), epochs=15, seed=4
+        )
+        report = model.evaluate(tiles, truth=truth)
+        assert report.n_clusters <= 3
+        assert -1.0 <= report.silhouette <= 1.0
+        assert report.ari_vs_truth is not None
+
+
+class TestEWC:
+    def test_ewc_retains_old_task_better_than_naive(self):
+        """After training on task B, the EWC model reconstructs task A
+        better than a naively fine-tuned twin."""
+        task_a = toy_tiles(n=24, seed=10)
+        task_b = 1.0 - toy_tiles(n=24, seed=20)  # inverted: a different regime
+
+        def make_model():
+            model = RotationInvariantAutoencoder((8, 8, 2), 6, (48,), seed=7)
+            model.train(task_a, epochs=15, batch_size=12, lr=2e-3, seed=7)
+            return model
+
+        naive = make_model()
+        naive.train(task_b, epochs=15, batch_size=12, lr=2e-3, seed=8)
+
+        protected = make_model()
+        trainer = EWCTrainer(protected, ewc_lambda=20.0)
+        trainer.consolidate(task_a)
+        trainer.train_task(task_b, epochs=15, batch_size=12, lr=2e-3, seed=8)
+
+        assert protected.reconstruction_error(task_a) < naive.reconstruction_error(task_a)
+        assert trainer.tasks_consolidated == 1
+        assert trainer.penalty() >= 0.0
+
+    def test_no_penalty_before_consolidation(self):
+        model = RotationInvariantAutoencoder((8, 8, 2), 4, (32,))
+        trainer = EWCTrainer(model, ewc_lambda=10.0)
+        assert trainer.penalty() == 0.0
+        # train_task without consolidation == plain training (no hook).
+        trainer.train_task(toy_tiles(n=8), epochs=1, batch_size=8)
+
+    def test_validation(self):
+        model = RotationInvariantAutoencoder((8, 8, 2), 4, (32,))
+        with pytest.raises(ValueError):
+            EWCTrainer(model, ewc_lambda=-1.0)

@@ -1,0 +1,104 @@
+"""Agglomerative clustering tests, cross-checked against scipy."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from scipy.cluster.hierarchy import fcluster, linkage as scipy_linkage
+
+from repro.ricc.cluster import AgglomerativeClustering
+from repro.ricc.evaluate import adjusted_rand_index
+
+
+def blobs(n_per=20, centers=((0, 0), (10, 0), (0, 10)), spread=0.5, seed=0):
+    rng = np.random.default_rng(seed)
+    parts, truth = [], []
+    for label, center in enumerate(centers):
+        parts.append(rng.normal(center, spread, size=(n_per, len(center))))
+        truth.extend([label] * n_per)
+    return np.vstack(parts), np.array(truth)
+
+
+class TestClustering:
+    @pytest.mark.parametrize("linkage", ["ward", "average", "complete", "single"])
+    def test_recovers_well_separated_blobs(self, linkage):
+        x, truth = blobs()
+        labels = AgglomerativeClustering(n_clusters=3, linkage=linkage).fit_predict(x)
+        assert adjusted_rand_index(labels, truth) == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("linkage", ["ward", "average", "complete", "single"])
+    def test_matches_scipy_partition(self, linkage):
+        """Our cut at k clusters equals scipy's for generic data."""
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(40, 4))
+        ours = AgglomerativeClustering(n_clusters=5, linkage=linkage).fit_predict(x)
+        theirs = fcluster(scipy_linkage(x, method=linkage), t=5, criterion="maxclust")
+        assert adjusted_rand_index(ours, theirs) == pytest.approx(1.0)
+
+    def test_merge_history_recorded(self):
+        x, _ = blobs(n_per=5)
+        model = AgglomerativeClustering(n_clusters=3).fit(x)
+        assert len(model.merges_) == x.shape[0] - 3
+        # Ward merge distances are non-decreasing for well-behaved data.
+        distances = [m.distance for m in model.merges_]
+        assert all(b >= a - 1e-9 for a, b in zip(distances, distances[1:]))
+
+    def test_centroids_shape_and_position(self):
+        x, truth = blobs()
+        model = AgglomerativeClustering(n_clusters=3).fit(x)
+        assert model.centroids_.shape == (3, 2)
+        # Each centroid lies near one of the true centers.
+        for centroid in model.centroids_:
+            nearest = min(
+                np.linalg.norm(centroid - np.array(c)) for c in ((0, 0), (10, 0), (0, 10))
+            )
+            assert nearest < 1.0
+
+    def test_predict_nearest_centroid(self):
+        x, truth = blobs()
+        model = AgglomerativeClustering(n_clusters=3).fit(x)
+        probe = np.array([[0.2, 0.1], [9.8, -0.1], [0.0, 10.3]])
+        labels = model.predict(probe)
+        assert len(set(labels.tolist())) == 3
+
+    def test_n_clusters_one(self):
+        x, _ = blobs(n_per=4)
+        labels = AgglomerativeClustering(n_clusters=1).fit_predict(x)
+        assert (labels == 0).all()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=0)
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=2, linkage="centroid")
+        with pytest.raises(ValueError):
+            AgglomerativeClustering(n_clusters=10).fit(np.zeros((3, 2)))
+        with pytest.raises(RuntimeError):
+            AgglomerativeClustering(n_clusters=2).predict(np.zeros((1, 2)))
+
+    def test_predict_dimension_mismatch(self):
+        x, _ = blobs(n_per=4)
+        model = AgglomerativeClustering(n_clusters=2).fit(x)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((1, 7)))
+
+    @settings(max_examples=15, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        n=st.integers(min_value=6, max_value=30),
+        k=st.integers(min_value=1, max_value=5),
+    )
+    def test_partition_invariants_property(self, seed, n, k):
+        """Any fit yields exactly k labels covering 0..k-1, sizes sum to n."""
+        k = min(k, n)
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(n, 3))
+        model = AgglomerativeClustering(n_clusters=k).fit(x)
+        labels = model.labels_
+        assert labels.shape == (n,)
+        assert set(labels.tolist()) == set(range(k))
+        assert model.centroids_.shape == (k, 3)
+        # Centroids really are the member means.
+        for label in range(k):
+            np.testing.assert_allclose(
+                model.centroids_[label], x[labels == label].mean(axis=0)
+            )

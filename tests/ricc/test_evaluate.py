@@ -1,0 +1,125 @@
+"""Cluster evaluation metric tests."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ricc.cluster import AgglomerativeClustering
+from repro.ricc.evaluate import (
+    adjusted_rand_index,
+    cluster_stability,
+    quality_report,
+    silhouette_score,
+)
+
+
+def blobs(n_per=15, seed=0):
+    rng = np.random.default_rng(seed)
+    x = np.vstack(
+        [rng.normal(c, 0.4, size=(n_per, 2)) for c in ((0, 0), (8, 0), (0, 8))]
+    )
+    truth = np.repeat([0, 1, 2], n_per)
+    return x, truth
+
+
+class TestSilhouette:
+    def test_separated_blobs_score_high(self):
+        x, truth = blobs()
+        assert silhouette_score(x, truth) > 0.7
+
+    def test_random_labels_score_low(self):
+        x, truth = blobs()
+        rng = np.random.default_rng(1)
+        shuffled = rng.permutation(truth)
+        assert silhouette_score(x, shuffled) < 0.2
+
+    def test_matches_manual_two_cluster_case(self):
+        x = np.array([[0.0, 0.0], [0.0, 1.0], [10.0, 0.0], [10.0, 1.0]])
+        labels = np.array([0, 0, 1, 1])
+        # a = 1 for each point; b = distance to other pair ~ 10.0x
+        score = silhouette_score(x, labels)
+        assert score > 0.85
+
+    def test_requires_two_clusters(self):
+        with pytest.raises(ValueError):
+            silhouette_score(np.zeros((3, 2)), np.zeros(3))
+
+
+class TestARI:
+    def test_identical_partitions(self):
+        labels = np.array([0, 0, 1, 1, 2, 2])
+        assert adjusted_rand_index(labels, labels) == pytest.approx(1.0)
+
+    def test_label_permutation_invariant(self):
+        a = np.array([0, 0, 1, 1, 2, 2])
+        b = np.array([5, 5, 9, 9, 1, 1])
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+    def test_independent_labelings_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, size=2000)
+        b = rng.integers(0, 4, size=2000)
+        assert abs(adjusted_rand_index(a, b)) < 0.05
+
+    def test_against_scipy_contingency_identity(self):
+        """Cross-check on a known example from the literature."""
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 2, 2])
+        # Hand-computed: sum_ij C(n_ij,2)=2, sum_a=6, sum_b=3, total=15.
+        # expected = 6*3/15 = 1.2; max = 4.5; ari = (2-1.2)/(4.5-1.2)
+        assert adjusted_rand_index(a, b) == pytest.approx((2 - 1.2) / (4.5 - 1.2))
+
+    def test_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            adjusted_rand_index(np.zeros(3), np.zeros(4))
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        labels=st.lists(st.integers(min_value=0, max_value=3), min_size=2, max_size=40),
+        offset=st.integers(min_value=1, max_value=7),
+    )
+    def test_relabeling_invariance_property(self, labels, offset):
+        a = np.array(labels)
+        b = (a + offset) % 11  # a consistent relabeling
+        assert adjusted_rand_index(a, b) == pytest.approx(1.0)
+
+
+class TestStabilityAndReport:
+    def test_stable_structure_scores_high(self):
+        x, _ = blobs(n_per=20)
+
+        def fit(subset):
+            return AgglomerativeClustering(n_clusters=3).fit_predict(subset)
+
+        assert cluster_stability(x, fit, n_boot=4, seed=1) > 0.9
+
+    def test_noise_scores_lower(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(60, 2))
+
+        def fit(subset):
+            return AgglomerativeClustering(n_clusters=3).fit_predict(subset)
+
+        structured, _ = blobs(n_per=20)
+        noise_score = cluster_stability(x, fit, n_boot=4, seed=2)
+        blob_score = cluster_stability(structured, fit, n_boot=4, seed=2)
+        assert noise_score < blob_score
+
+    def test_quality_report_fields(self):
+        x, truth = blobs()
+
+        def fit(subset):
+            return AgglomerativeClustering(n_clusters=3).fit_predict(subset)
+
+        labels = fit(x)
+        report = quality_report(x, labels, fit, truth=truth)
+        assert report.n_clusters == 3
+        assert report.ari_vs_truth == pytest.approx(1.0)
+        assert report.acceptable()
+
+    def test_validation(self):
+        x, _ = blobs()
+        with pytest.raises(ValueError):
+            cluster_stability(x, lambda s: np.zeros(s.shape[0]), n_boot=1)
+        with pytest.raises(ValueError):
+            cluster_stability(x, lambda s: np.zeros(s.shape[0]), subsample=0.01)

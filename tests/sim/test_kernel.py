@@ -1,0 +1,239 @@
+"""Simulation kernel tests: events, processes, conditions, interrupts."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Interrupt, Simulation, SimulationError
+
+
+class TestTimeouts:
+    def test_clock_advances(self):
+        sim = Simulation()
+        log = []
+
+        def proc():
+            yield sim.timeout(5.0)
+            log.append(sim.now)
+            yield sim.timeout(2.5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [5.0, 7.5]
+
+    def test_timeout_value(self):
+        sim = Simulation()
+        result = []
+
+        def proc():
+            value = yield sim.timeout(1.0, value="payload")
+            result.append(value)
+
+        sim.process(proc())
+        sim.run()
+        assert result == ["payload"]
+
+    def test_negative_delay_rejected(self):
+        sim = Simulation()
+        with pytest.raises(SimulationError):
+            sim.timeout(-1.0)
+
+    def test_same_time_fifo_order(self):
+        sim = Simulation()
+        order = []
+
+        def make(tag):
+            def proc():
+                yield sim.timeout(1.0)
+                order.append(tag)
+            return proc
+
+        for tag in range(5):
+            sim.process(make(tag)())
+        sim.run()
+        assert order == [0, 1, 2, 3, 4]
+
+
+class TestProcesses:
+    def test_process_is_joinable(self):
+        sim = Simulation()
+        results = []
+
+        def child():
+            yield sim.timeout(3.0)
+            return 42
+
+        def parent():
+            value = yield sim.process(child())
+            results.append((sim.now, value))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [(3.0, 42)]
+
+    def test_process_failure_propagates_to_joiner(self):
+        sim = Simulation()
+        caught = []
+
+        def child():
+            yield sim.timeout(1.0)
+            raise RuntimeError("boom")
+
+        def parent():
+            try:
+                yield sim.process(child())
+            except RuntimeError as exc:
+                caught.append(str(exc))
+
+        sim.process(parent())
+        sim.run()
+        assert caught == ["boom"]
+
+    def test_unwaited_failed_event_raises(self):
+        sim = Simulation()
+        event = sim.event()
+        event.fail(ValueError("lost"))
+        with pytest.raises(ValueError, match="lost"):
+            sim.run()
+
+    def test_yielding_non_event_fails_process(self):
+        sim = Simulation()
+
+        def bad():
+            yield 123
+
+        proc = sim.process(bad())
+        sim.run()
+        assert proc.triggered and not proc.ok
+        assert isinstance(proc.value, SimulationError)
+
+    def test_run_until(self):
+        sim = Simulation()
+
+        def proc():
+            yield sim.timeout(100.0)
+
+        sim.process(proc())
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+    def test_run_with_stop_event(self):
+        sim = Simulation()
+
+        def proc():
+            yield sim.timeout(4.0)
+            return "done"
+
+        result = sim.run(stop=sim.process(proc()))
+        assert result == "done"
+        assert sim.now == 4.0
+
+
+class TestConditions:
+    def test_all_of(self):
+        sim = Simulation()
+        results = []
+
+        def proc():
+            values = yield AllOf(sim, [sim.timeout(1.0, "a"), sim.timeout(3.0, "b")])
+            results.append((sim.now, values))
+
+        sim.process(proc())
+        sim.run()
+        assert results == [(3.0, ["a", "b"])]
+
+    def test_any_of(self):
+        sim = Simulation()
+        results = []
+
+        def proc():
+            index, value = yield AnyOf(sim, [sim.timeout(5.0, "slow"), sim.timeout(1.0, "fast")])
+            results.append((sim.now, index, value))
+
+        sim.process(proc())
+        sim.run()
+        assert results == [(1.0, 1, "fast")]
+
+    def test_all_of_empty_fires_immediately(self):
+        sim = Simulation()
+        results = []
+
+        def proc():
+            values = yield AllOf(sim, [])
+            results.append(values)
+
+        sim.process(proc())
+        sim.run()
+        assert results == [[]]
+
+
+class TestInterrupt:
+    def test_interrupt_wakes_waiter(self):
+        sim = Simulation()
+        log = []
+
+        def worker():
+            try:
+                yield sim.timeout(100.0)
+                log.append("finished")
+            except Interrupt as stop:
+                log.append(("interrupted", sim.now, stop.cause))
+
+        def manager(target):
+            yield sim.timeout(2.0)
+            target.interrupt(cause="scale-in")
+
+        target = sim.process(worker())
+        sim.process(manager(target))
+        sim.run()
+        assert log == [("interrupted", 2.0, "scale-in")]
+
+    def test_interrupted_process_can_continue(self):
+        sim = Simulation()
+        log = []
+
+        def worker():
+            try:
+                yield sim.timeout(100.0)
+            except Interrupt:
+                pass
+            yield sim.timeout(1.0)
+            log.append(sim.now)
+
+        def manager(target):
+            yield sim.timeout(5.0)
+            target.interrupt()
+
+        target = sim.process(worker())
+        sim.process(manager(target))
+        sim.run()
+        assert log == [6.0]
+
+    def test_cannot_interrupt_finished(self):
+        sim = Simulation()
+
+        def quick():
+            yield sim.timeout(1.0)
+
+        proc = sim.process(quick())
+        sim.run()
+        with pytest.raises(SimulationError):
+            proc.interrupt()
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build():
+            sim = Simulation()
+            trace = []
+
+            def pinger(period, tag):
+                while sim.now < 10:
+                    yield sim.timeout(period)
+                    trace.append((sim.now, tag))
+
+            sim.process(pinger(1.0, "a"))
+            sim.process(pinger(1.5, "b"))
+            sim.run(until=10.0)
+            return trace
+
+        assert build() == build()

@@ -1,0 +1,45 @@
+"""Seeded RNG stream tests."""
+
+import numpy as np
+
+from repro.sim import RngStreams
+
+
+class TestRngStreams:
+    def test_streams_reproducible_across_instances(self):
+        a = RngStreams(7).get("network").normal(size=10)
+        b = RngStreams(7).get("network").normal(size=10)
+        np.testing.assert_array_equal(a, b)
+
+    def test_streams_independent_by_name(self):
+        streams = RngStreams(7)
+        a = streams.get("network").normal(size=10)
+        b = streams.get("scheduler").normal(size=10)
+        assert not np.array_equal(a, b)
+
+    def test_adding_stream_does_not_perturb_existing(self):
+        """The substream discipline: a new consumer never changes another's
+        sample sequence."""
+        lonely = RngStreams(3)
+        seq_lonely = lonely.get("download").normal(size=5)
+
+        crowded = RngStreams(3)
+        crowded.get("preprocess").normal(size=100)  # a new, earlier consumer
+        seq_crowded = crowded.get("download").normal(size=5)
+        np.testing.assert_array_equal(seq_lonely, seq_crowded)
+
+    def test_same_stream_is_cached(self):
+        streams = RngStreams(0)
+        assert streams.get("x") is streams.get("x")
+
+    def test_spawn_independent(self):
+        parent = RngStreams(5)
+        child = parent.spawn("worker-1")
+        a = parent.get("t").normal(size=5)
+        b = child.get("t").normal(size=5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngStreams(1).get("x").normal(size=5)
+        b = RngStreams(2).get("x").normal(size=5)
+        assert not np.array_equal(a, b)

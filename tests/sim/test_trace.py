@@ -1,0 +1,63 @@
+"""Tracer / StepSeries tests."""
+
+import pytest
+
+from repro.sim.trace import StepSeries, Tracer
+
+
+class TestStepSeries:
+    def test_at_and_before_first(self):
+        series = StepSeries([(1.0, 3.0), (5.0, 7.0)])
+        assert series.at(0.5) == 0.0
+        assert series.at(1.0) == 3.0
+        assert series.at(4.999) == 3.0
+        assert series.at(5.0) == 7.0
+
+    def test_duplicate_time_keeps_last(self):
+        series = StepSeries([(1.0, 3.0), (1.0, 9.0)])
+        assert series.at(1.0) == 9.0
+
+    def test_integral(self):
+        series = StepSeries([(0.0, 2.0), (10.0, 0.0)])
+        assert series.integral(0.0, 10.0) == pytest.approx(20.0)
+        assert series.integral(5.0, 15.0) == pytest.approx(10.0)
+
+    def test_integral_with_internal_steps(self):
+        series = StepSeries([(0.0, 1.0), (2.0, 3.0), (4.0, 0.0)])
+        # 1*2 + 3*2 + 0*... over [0, 6]
+        assert series.integral(0.0, 6.0) == pytest.approx(8.0)
+
+    def test_max(self):
+        assert StepSeries([(0.0, 1.0), (1.0, 4.0)]).max == 4.0
+        assert StepSeries([]).max == 0.0
+
+
+class TestTracer:
+    def test_gauge_add_and_series(self):
+        tracer = Tracer()
+        tracer.gauge_add("workers", 0.0, +3)
+        tracer.gauge_add("workers", 10.0, -1)
+        tracer.gauge_add("workers", 20.0, -2)
+        series = tracer.series("workers")
+        assert series.at(5.0) == 3
+        assert series.at(15.0) == 2
+        assert series.at(25.0) == 0
+
+    def test_gauge_negative_rejected(self):
+        tracer = Tracer()
+        with pytest.raises(ValueError):
+            tracer.gauge_add("x", 0.0, -1)
+
+    def test_spans_and_bounds(self):
+        tracer = Tracer()
+        tracer.span("task-0", "preprocess", 1.0, 4.0)
+        tracer.span("task-1", "preprocess", 2.0, 6.0)
+        tracer.span("xfer", "shipment", 6.0, 9.0)
+        assert tracer.category_bounds("preprocess") == (1.0, 6.0)
+        assert tracer.category_bounds("missing") is None
+        assert tracer.makespan() == pytest.approx(8.0)
+        assert len(tracer.spans_in("preprocess")) == 2
+
+    def test_invalid_span(self):
+        with pytest.raises(ValueError):
+            Tracer().span("bad", "c", 5.0, 1.0)

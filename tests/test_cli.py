@@ -1,0 +1,100 @@
+"""CLI tests (argument parsing and command execution)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_figures_choices(self):
+        args = build_parser().parse_args(["figures", "fig4", "headline"])
+        assert args.targets == ["fig4", "headline"]
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["figures", "fig99"])
+
+
+class TestCommands:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "Multi-Facility" in out
+
+    def test_catalog(self, capsys):
+        assert main(["catalog", "MOD02", "2022-01-01", "--limit", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "MOD021KM.A2022001" in out
+        assert "day total: 288 granules" in out
+
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--granules", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "download" in out and "makespan" in out
+
+    def test_figures_headline(self, capsys):
+        assert main(["figures", "headline", "--repeats", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "12000 tiles" in out
+
+    def test_figures_all_targets(self, capsys):
+        targets = ["fig3", "fig4", "fig5", "fig6", "fig7", "table1"]
+        assert main(["figures", *targets, "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        for target in targets:
+            assert f"=== {target} ===" in out
+        assert "shape ratio" in out          # comparisons rendered
+        assert "download_launch" in out      # fig7 rows
+        assert "preprocess" in out           # fig6 timeline
+
+    def test_run_from_config_file(self, tmp_path, capsys):
+        config = tmp_path / "wf.yaml"
+        config.write_text(
+            "name: cli-test\n"
+            "archive:\n"
+            "  start_date: 2022-01-01\n"
+            "  max_granules_per_day: 1\n"
+            "  seed: 3\n"
+            "paths:\n"
+            f"  staging: {tmp_path}/raw\n"
+            f"  preprocessed: {tmp_path}/tiles\n"
+            f"  transfer_out: {tmp_path}/outbox\n"
+            f"  destination: {tmp_path}/orion\n"
+            "preprocess:\n"
+            "  workers: 2\n"
+            "  tile_size: 16\n"
+        )
+        assert main(["run", str(config)]) == 0
+        out = capsys.readouterr().out
+        assert "tiles labelled" in out
+        assert "provenance:" in out
+
+    def test_shipped_quickstart_config_parses_and_runs(self, tmp_path, capsys, monkeypatch):
+        """The config shipped in examples/configs/ is valid and runnable."""
+        import pathlib
+        import shutil
+
+        repo_config = pathlib.Path(__file__).parent.parent / "examples/configs/quickstart.yaml"
+        target = tmp_path / "quickstart.yaml"
+        shutil.copyfile(repo_config, target)
+        monkeypatch.chdir(tmp_path)  # relative data/ paths land in tmp
+        assert main(["run", str(target)]) == 0
+        out = capsys.readouterr().out
+        assert "tiles labelled" in out
+        assert (tmp_path / "data" / "orion").is_dir()
+
+    def test_run_without_provenance(self, tmp_path, capsys):
+        config = tmp_path / "wf.yaml"
+        config.write_text(
+            "archive:\n  start_date: 2022-01-01\n  max_granules_per_day: 1\n  seed: 3\n"
+            "paths:\n"
+            f"  staging: {tmp_path}/raw\n"
+            f"  preprocessed: {tmp_path}/tiles\n"
+            f"  transfer_out: {tmp_path}/outbox\n"
+            f"  destination: {tmp_path}/orion\n"
+            "preprocess: {workers: 2, tile_size: 16}\n"
+        )
+        assert main(["run", str(config), "--no-provenance"]) == 0
+        assert "provenance:" not in capsys.readouterr().out

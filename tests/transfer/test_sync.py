@@ -1,0 +1,85 @@
+"""Transfer sync-mode tests (skip already-current destinations)."""
+
+import pytest
+
+from repro.hpc.filesystem import SharedFilesystem
+from repro.net import WanLink
+from repro.sim import Simulation
+from repro.transfer import LocalTransferClient, SimTransferClient, TransferState
+
+
+def make_sites():
+    sim = Simulation()
+    defiant = SharedFilesystem(sim, "defiant", aggregate_bw=1e6)
+    orion = SharedFilesystem(sim, "orion", aggregate_bw=1e6)
+    link = WanLink(sim, "defiant", "orion", bandwidth=100.0, latency=0.0)
+    client = SimTransferClient(
+        sim,
+        endpoints={"defiant": defiant, "orion": orion},
+        links={("defiant", "orion"): link},
+        verify_overhead=0.0,
+    )
+    return sim, defiant, orion, client
+
+
+class TestSimSync:
+    def test_sync_skips_current_destination(self):
+        sim, defiant, orion, client = make_sites()
+        defiant.write("/out/a.nc", 500)
+        sim.run()
+        first = client.submit("defiant", "orion", [("/out/a.nc", "/in/a.nc")])
+        sim.run()
+        assert first.bytes_transferred == 500
+
+        second = client.submit("defiant", "orion", [("/out/a.nc", "/in/a.nc")], sync=True)
+        sim.run()
+        assert second.state is TransferState.SUCCEEDED
+        assert second.files_skipped == 1
+        assert second.bytes_transferred == 0
+
+    def test_sync_moves_changed_files(self):
+        sim, defiant, orion, client = make_sites()
+        defiant.write("/out/a.nc", 500)
+        orion.write("/in/a.nc", 123)  # stale, different size
+        sim.run()
+        task = client.submit("defiant", "orion", [("/out/a.nc", "/in/a.nc")], sync=True)
+        sim.run()
+        assert task.files_skipped == 0
+        assert orion.entry("/in/a.nc").nbytes == 500
+
+    def test_without_sync_always_moves(self):
+        sim, defiant, orion, client = make_sites()
+        defiant.write("/out/a.nc", 500)
+        sim.run()
+        client.submit("defiant", "orion", [("/out/a.nc", "/in/a.nc")])
+        sim.run()
+        again = client.submit("defiant", "orion", [("/out/a.nc", "/in/a.nc")])
+        sim.run()
+        assert again.files_skipped == 0
+        assert again.bytes_transferred == 500
+
+
+class TestLocalSync:
+    def test_sync_skips_identical(self, tmp_path):
+        src = tmp_path / "src"
+        dst = tmp_path / "dst"
+        src.mkdir()
+        (src / "a.nc").write_bytes(b"payload")
+        client = LocalTransferClient()
+        client.transfer(str(src), str(dst), ["a.nc"])
+        before = client.bytes_transferred
+        client.transfer(str(src), str(dst), ["a.nc"], sync=True)
+        assert client.files_skipped == 1
+        assert client.bytes_transferred == before  # nothing re-copied
+
+    def test_sync_recopies_changed(self, tmp_path):
+        src = tmp_path / "src"
+        dst = tmp_path / "dst"
+        src.mkdir()
+        dst.mkdir()
+        (src / "a.nc").write_bytes(b"new content")
+        (dst / "a.nc").write_bytes(b"old")
+        client = LocalTransferClient()
+        client.transfer(str(src), str(dst), ["a.nc"], sync=True)
+        assert client.files_skipped == 0
+        assert (dst / "a.nc").read_bytes() == b"new content"

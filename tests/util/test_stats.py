@@ -1,0 +1,81 @@
+"""RunningStats and summarize tests."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.util.stats import RunningStats, summarize
+
+
+class TestRunningStats:
+    def test_basic(self):
+        s = RunningStats()
+        s.extend([1.0, 2.0, 3.0])
+        assert s.mean == pytest.approx(2.0)
+        assert s.stdev == pytest.approx(1.0)
+        assert s.minimum == 1.0
+        assert s.maximum == 3.0
+        assert s.count == 3
+
+    def test_single_sample_variance_zero(self):
+        s = RunningStats()
+        s.add(5.0)
+        assert s.variance == 0.0
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            RunningStats().mean
+
+    def test_matches_numpy(self):
+        rng = np.random.default_rng(1)
+        data = rng.normal(10.0, 3.0, size=500)
+        s = RunningStats()
+        s.extend(data)
+        assert s.mean == pytest.approx(float(np.mean(data)))
+        assert s.stdev == pytest.approx(float(np.std(data, ddof=1)))
+
+    def test_merge(self):
+        rng = np.random.default_rng(2)
+        a, b = rng.normal(size=100), rng.normal(loc=5, size=57)
+        sa, sb = RunningStats(), RunningStats()
+        sa.extend(a)
+        sb.extend(b)
+        merged = sa.merge(sb)
+        combined = np.concatenate([a, b])
+        assert merged.count == 157
+        assert merged.mean == pytest.approx(float(np.mean(combined)))
+        assert merged.stdev == pytest.approx(float(np.std(combined, ddof=1)))
+
+    def test_merge_with_empty(self):
+        sa = RunningStats()
+        sa.extend([1.0, 2.0])
+        empty = RunningStats()
+        assert sa.merge(empty).mean == pytest.approx(1.5)
+        assert empty.merge(sa).mean == pytest.approx(1.5)
+
+
+class TestSummarize:
+    def test_median_odd_even(self):
+        assert summarize([3.0, 1.0, 2.0]).median == 2.0
+        assert summarize([1.0, 2.0, 3.0, 4.0]).median == 2.5
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_contains_fields(self):
+        text = str(summarize([1.0, 2.0]))
+        assert "mean=" in text and "n=2" in text
+
+
+@given(st.lists(st.floats(min_value=-1e6, max_value=1e6, allow_nan=False), min_size=1, max_size=200))
+def test_running_stats_matches_numpy_property(data):
+    s = RunningStats()
+    s.extend(data)
+    assert math.isclose(s.mean, float(np.mean(data)), rel_tol=1e-9, abs_tol=1e-6)
+    if len(data) > 1:
+        assert math.isclose(s.variance, float(np.var(data, ddof=1)), rel_tol=1e-6, abs_tol=1e-6)
+    assert s.minimum == min(data)
+    assert s.maximum == max(data)

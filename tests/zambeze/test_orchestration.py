@@ -1,0 +1,205 @@
+"""Cross-facility orchestration tests (bus, agents, campaigns)."""
+
+import pytest
+
+from repro.zambeze import (
+    ActivityKind,
+    ActivityStatus,
+    Campaign,
+    CampaignActivity,
+    FacilityAgent,
+    MessageBus,
+    Orchestrator,
+)
+
+
+def build_ecosystem(fail_preprocess_times=0):
+    """Two facilities: OLCF (download+preprocess), NERSC (analyze)."""
+    bus = MessageBus()
+    orchestrator = Orchestrator(bus, credentials={"olcf": "tok-olcf", "nersc": "tok-nersc"})
+    olcf = FacilityAgent("olcf", bus, credential="tok-olcf")
+    nersc = FacilityAgent("nersc", bus, credential="tok-nersc")
+    state = {"downloaded": 0, "preprocessed": 0, "analyzed": 0, "fail_left": fail_preprocess_times}
+
+    def download(params):
+        state["downloaded"] += params.get("files", 1)
+        return f"staged:{state['downloaded']}"
+
+    def preprocess(params):
+        if state["fail_left"] > 0:
+            state["fail_left"] -= 1
+            raise RuntimeError("HDF read error on partially written file")
+        state["preprocessed"] += 1
+        return "tiles.nc"
+
+    def analyze(params):
+        state["analyzed"] += 1
+        return {"classes": 42}
+
+    olcf.register_plugin("laads-download", download)
+    olcf.register_plugin("preprocess", preprocess)
+    nersc.register_plugin("analyze", analyze)
+    orchestrator.register_agent(olcf)
+    orchestrator.register_agent(nersc)
+    return bus, orchestrator, state
+
+
+def eo_ml_campaign(retries=0):
+    return Campaign(
+        "eo-ml",
+        [
+            CampaignActivity("download", ActivityKind.COMPUTE, facility="olcf",
+                             capability="laads-download", parameters={"files": 6}),
+            CampaignActivity("preprocess", ActivityKind.COMPUTE, facility="olcf",
+                             capability="preprocess", depends_on=["download"],
+                             max_retries=retries),
+            CampaignActivity("analyze", ActivityKind.COMPUTE, capability="analyze",
+                             depends_on=["preprocess"]),
+        ],
+    )
+
+
+class TestBus:
+    def test_pump_delivers_in_order(self):
+        bus = MessageBus()
+        seen = []
+        bus.subscribe("t", "sub", lambda m: seen.append(m.payload["i"]))
+        for i in range(5):
+            bus.publish("t", "test", i=i)
+        assert bus.queued == 5
+        assert bus.pump() == 5
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_publish_loop_detected(self):
+        bus = MessageBus()
+        bus.subscribe("ping", "a", lambda m: bus.publish("pong", "a"))
+        bus.subscribe("pong", "b", lambda m: bus.publish("ping", "b"))
+        bus.publish("ping", "seed")
+        with pytest.raises(RuntimeError, match="loop"):
+            bus.pump(max_messages=100)
+
+
+class TestCampaignModel:
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            Campaign("bad", [
+                CampaignActivity("a", ActivityKind.COMPUTE, depends_on=["b"]),
+                CampaignActivity("b", ActivityKind.COMPUTE, depends_on=["a"]),
+            ])
+
+    def test_unknown_dependency(self):
+        with pytest.raises(ValueError, match="unknown"):
+            Campaign("bad", [CampaignActivity("a", ActivityKind.COMPUTE, depends_on=["ghost"])])
+
+    def test_duplicate_names(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            Campaign("bad", [
+                CampaignActivity("a", ActivityKind.COMPUTE),
+                CampaignActivity("a", ActivityKind.COMPUTE),
+            ])
+
+    def test_ready_respects_dependencies(self):
+        campaign = eo_ml_campaign()
+        assert [a.name for a in campaign.ready()] == ["download"]
+        campaign.activities["download"].status = ActivityStatus.SUCCEEDED
+        assert [a.name for a in campaign.ready()] == ["preprocess"]
+
+
+class TestOrchestration:
+    def test_full_campaign_succeeds(self):
+        bus, orchestrator, state = build_ecosystem()
+        report = orchestrator.run(eo_ml_campaign())
+        assert report.succeeded
+        assert state == {"downloaded": 6, "preprocessed": 1, "analyzed": 1, "fail_left": 0}
+        assert report.statuses == {
+            "download": "succeeded", "preprocess": "succeeded", "analyze": "succeeded"
+        }
+        assert report.results["analyze"] == {"classes": 42}
+        assert report.dispatches == 3
+
+    def test_retry_recovers_transient_failure(self):
+        bus, orchestrator, state = build_ecosystem(fail_preprocess_times=1)
+        report = orchestrator.run(eo_ml_campaign(retries=2))
+        assert report.succeeded
+        assert report.retries == 1
+        assert state["preprocessed"] == 1
+
+    def test_exhausted_retries_block_dependents(self):
+        bus, orchestrator, state = build_ecosystem(fail_preprocess_times=10)
+        report = orchestrator.run(eo_ml_campaign(retries=1))
+        assert not report.succeeded
+        assert report.statuses["preprocess"] == "failed"
+        assert report.statuses["analyze"] == "pending"  # never dispatched
+        assert "HDF read error" in report.errors["preprocess"]
+
+    def test_bad_credential_rejected(self):
+        bus = MessageBus()
+        orchestrator = Orchestrator(bus, credentials={"olcf": "WRONG"})
+        agent = FacilityAgent("olcf", bus, credential="tok-olcf")
+        agent.register_plugin("noop", lambda p: None)
+        orchestrator.register_agent(agent)
+        campaign = Campaign("c", [
+            CampaignActivity("x", ActivityKind.COMPUTE, capability="noop")
+        ])
+        report = orchestrator.run(campaign)
+        assert not report.succeeded
+        assert "credential" in report.errors["x"]
+        assert agent.rejected == 1
+
+    def test_capability_routing_unpinned(self):
+        """An unpinned activity lands on a facility that offers it."""
+        bus, orchestrator, state = build_ecosystem()
+        campaign = Campaign("c", [
+            CampaignActivity("a", ActivityKind.COMPUTE, capability="analyze")
+        ])
+        report = orchestrator.run(campaign)
+        assert report.succeeded
+        assert state["analyzed"] == 1
+
+    def test_missing_capability_fails_cleanly(self):
+        bus, orchestrator, _state = build_ecosystem()
+        campaign = Campaign("c", [
+            CampaignActivity("a", ActivityKind.COMPUTE, capability="quantum-annealing")
+        ])
+        report = orchestrator.run(campaign)
+        assert not report.succeeded
+        assert "no facility offers" in report.errors["a"]
+
+    def test_pinned_facility_lacking_capability(self):
+        bus, orchestrator, _state = build_ecosystem()
+        campaign = Campaign("c", [
+            CampaignActivity("a", ActivityKind.COMPUTE, facility="nersc",
+                             capability="preprocess")
+        ])
+        report = orchestrator.run(campaign)
+        assert not report.succeeded
+        assert "lacks capability" in report.errors["a"]
+
+    def test_duplicate_agent_rejected(self):
+        bus = MessageBus()
+        orchestrator = Orchestrator(bus)
+        agent = FacilityAgent("olcf", bus, credential="t")
+        orchestrator.register_agent(agent)
+        with pytest.raises(ValueError):
+            orchestrator.register_agent(FacilityAgent("olcf", bus, credential="t"))
+
+    def test_fan_out_campaign(self):
+        """Diamond: download -> 3 parallel preprocess -> merge analyze."""
+        bus, orchestrator, state = build_ecosystem()
+        activities = [
+            CampaignActivity("download", ActivityKind.COMPUTE, facility="olcf",
+                             capability="laads-download"),
+        ]
+        for i in range(3):
+            activities.append(
+                CampaignActivity(f"pre{i}", ActivityKind.COMPUTE, facility="olcf",
+                                 capability="preprocess", depends_on=["download"])
+            )
+        activities.append(
+            CampaignActivity("analyze", ActivityKind.COMPUTE, capability="analyze",
+                             depends_on=[f"pre{i}" for i in range(3)])
+        )
+        report = orchestrator.run(Campaign("diamond", activities))
+        assert report.succeeded
+        assert state["preprocessed"] == 3
+        assert state["analyzed"] == 1
