@@ -1,0 +1,42 @@
+"""Deterministic fault injection for the five-stage EO-ML workflow.
+
+The paper's multi-facility pipeline lives with operational failure —
+LAADS 503s, slow Slurm nodes, WAN degradation between Defiant and
+Frontier.  This package makes those failures *schedulable*: a seeded
+:class:`FaultPlan` (the ``chaos:`` section of the workflow YAML, or the
+CLI's ``--chaos`` flag) drives a :class:`FaultInjector` whose decisions
+are deterministic functions of (seed, fault, operation key), and thin
+surface wrappers translate fired faults into the real failure modes the
+stages must survive.
+
+Layering: ``plan`` (pure config) -> ``engine`` (decisions + ledger) ->
+``surfaces`` (behaviour).  ``repro.core`` wires injectors through the
+stages; with chaos disabled every hook is ``None`` and the workflow is
+byte-for-byte the production path.
+"""
+
+from repro.chaos.engine import FaultEvent, FaultInjector, build_injector
+from repro.chaos.plan import FAULT_KINDS, STAGES, FaultPlan, FaultSpec, load_plan
+from repro.chaos.surfaces import (
+    ChaosArchive,
+    ChaosTransferClient,
+    chaos_atomic_write,
+    chaos_stall,
+    damage_file,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "STAGES",
+    "FaultPlan",
+    "FaultSpec",
+    "load_plan",
+    "FaultEvent",
+    "FaultInjector",
+    "build_injector",
+    "ChaosArchive",
+    "ChaosTransferClient",
+    "chaos_atomic_write",
+    "chaos_stall",
+    "damage_file",
+]

@@ -1,0 +1,214 @@
+"""Fault plans: the declarative schedule of what chaos to inject where.
+
+A :class:`FaultPlan` is the user-facing contract of the chaos engine:
+a seed plus a list of :class:`FaultSpec` entries, each naming a workflow
+stage, a fault kind, and how often/how many times it fires.  Plans are
+parsed from the workflow YAML's ``chaos:`` section (or a standalone
+chaos file via the CLI's ``--chaos`` flag) with the same schema
+machinery the rest of the configuration uses, so malformed plans fail
+with pointed messages.
+
+The plan is pure data — deciding *whether a given operation is hit* is
+the engine's job (:mod:`repro.chaos.engine`), and *what the fault looks
+like to the consumer* is the surfaces' job (:mod:`repro.chaos.surfaces`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.util.config import ConfigError, Field, Schema, boolean, integer, number, string
+
+__all__ = [
+    "FAULT_KINDS",
+    "STAGES",
+    "FaultSpec",
+    "FaultPlan",
+    "load_plan",
+]
+
+# The workflow stages faults can target (Fig. 2's five boxes).
+STAGES = ("download", "preprocess", "monitor", "inference", "shipment")
+
+# The failure surfaces the paper names as operational reality:
+#   http_transient — LAADS 503 / dropped connection that a retry recovers;
+#   http_permanent — a granule the archive never serves (all attempts fail);
+#   slow_fetch     — a slow archive stream / slow Slurm node (added latency);
+#   torn_write     — a writer dies mid-file, leaving a .part temp file;
+#   corrupt_tile   — a completed file whose bytes are damaged (truncated),
+#                    i.e. a crawler-visible partial or bit-rotted NetCDF;
+#   wan_degrade    — the Defiant->Frontier WAN path fails or crawls;
+#   worker_stall   — a compute worker hangs before making progress.
+FAULT_KINDS = (
+    "http_transient",
+    "http_permanent",
+    "slow_fetch",
+    "torn_write",
+    "corrupt_tile",
+    "wan_degrade",
+    "worker_stall",
+)
+
+# Kinds that keep firing on every retry of the same key (times ignored).
+_UNBOUNDED_KINDS = frozenset({"http_permanent", "corrupt_tile"})
+
+
+def _rate(value: Any) -> float:
+    result = number(value)
+    if not 0.0 <= result <= 1.0:
+        raise ValueError(f"expected a rate in [0, 1], got {result}")
+    return result
+
+
+def _non_negative_number(value: Any) -> float:
+    result = number(value)
+    if result < 0:
+        raise ValueError(f"expected a non-negative number, got {result}")
+    return result
+
+
+def _positive_or_none(value: Any) -> Optional[int]:
+    if value is None:
+        return None
+    result = integer(value)
+    if result <= 0:
+        raise ValueError(f"expected a positive integer or null, got {result}")
+    return result
+
+
+_FAULT = Schema(
+    "chaos.faults[]",
+    [
+        Field("stage", string, choices=STAGES),
+        Field("kind", string, choices=FAULT_KINDS),
+        Field("rate", _rate, required=False, default=1.0),
+        Field("times", _positive_or_none, required=False, default=1),
+        Field("latency", _non_negative_number, required=False, default=0.05),
+    ],
+)
+
+def _fault_list(value: Any) -> List[Any]:
+    if not isinstance(value, (list, tuple)):
+        raise ValueError(f"expected a list of fault mappings, got {type(value).__name__}")
+    return list(value)
+
+
+_CHAOS = Schema(
+    "chaos",
+    [
+        Field("enabled", boolean, required=False, default=True),
+        Field("seed", integer, required=False, default=0),
+        Field("faults", _fault_list, required=False, default=[]),
+    ],
+)
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One scheduled fault.
+
+    ``rate`` selects which operation keys (filenames, granule keys, …)
+    the fault applies to — the selection is a deterministic hash of the
+    plan seed and the key, not a draw per call, so retries of the same
+    key see a consistent world.  ``times`` caps how many times the fault
+    fires per selected key (``None`` = every time; forced for kinds that
+    model permanent damage).  ``latency`` is the injected delay, for the
+    kinds that slow rather than fail.
+    """
+
+    stage: str
+    kind: str
+    rate: float = 1.0
+    times: Optional[int] = 1
+    latency: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.stage not in STAGES:
+            raise ValueError(f"unknown stage {self.stage!r} (stages: {STAGES})")
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(f"unknown fault kind {self.kind!r} (kinds: {FAULT_KINDS})")
+        if not 0.0 <= self.rate <= 1.0:
+            raise ValueError(f"rate must be in [0, 1], got {self.rate}")
+        if self.times is not None and self.times <= 0:
+            raise ValueError("times must be positive or None")
+        if self.latency < 0:
+            raise ValueError("latency must be non-negative")
+        if self.kind in _UNBOUNDED_KINDS and self.times is not None:
+            # Permanent damage does not heal after N observations.
+            object.__setattr__(self, "times", None)
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {
+            "stage": self.stage,
+            "kind": self.kind,
+            "rate": self.rate,
+            "times": self.times,
+            "latency": self.latency,
+        }
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A seeded, declarative chaos schedule."""
+
+    seed: int = 0
+    enabled: bool = True
+    faults: Tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    @property
+    def active(self) -> bool:
+        return self.enabled and bool(self.faults)
+
+    def kinds(self) -> Tuple[str, ...]:
+        return tuple(sorted({spec.kind for spec in self.faults}))
+
+    def stages(self) -> Tuple[str, ...]:
+        return tuple(sorted({spec.stage for spec in self.faults}))
+
+    def for_stage(self, stage: str) -> Tuple[FaultSpec, ...]:
+        return tuple(spec for spec in self.faults if spec.stage == stage)
+
+    def with_seed(self, seed: int) -> "FaultPlan":
+        return replace(self, seed=seed)
+
+    @staticmethod
+    def from_mapping(raw: Mapping[str, Any], path: str = "chaos") -> "FaultPlan":
+        """Parse a ``chaos:`` section mapping into a plan."""
+        top = _CHAOS.validate(raw, path)
+        specs: List[FaultSpec] = []
+        for index, entry in enumerate(top["faults"]):
+            if not isinstance(entry, Mapping):
+                raise ConfigError(
+                    f"{path}.faults[{index}]",
+                    f"expected a mapping, got {type(entry).__name__}",
+                )
+            resolved = _FAULT.validate(entry, f"{path}.faults[{index}]")
+            specs.append(FaultSpec(**resolved))
+        return FaultPlan(seed=top["seed"], enabled=top["enabled"], faults=tuple(specs))
+
+    def to_mapping(self) -> Dict[str, Any]:
+        return {
+            "enabled": self.enabled,
+            "seed": self.seed,
+            "faults": [spec.to_mapping() for spec in self.faults],
+        }
+
+
+def load_plan(source: Mapping[str, Any] | str) -> FaultPlan:
+    """Parse a chaos plan from YAML text or a mapping.
+
+    Accepts either a bare chaos mapping (``enabled`` / ``seed`` /
+    ``faults``) or a document with a top-level ``chaos:`` key, so the
+    CLI flag can point at a standalone file or a full workflow config.
+    """
+    if isinstance(source, str):
+        from repro.util.yamlish import loads as yaml_loads
+
+        parsed = yaml_loads(source)
+        if not isinstance(parsed, Mapping):
+            raise ConfigError("chaos", "chaos plan must be a mapping")
+        source = parsed
+    if "chaos" in source and isinstance(source["chaos"], Mapping):
+        source = source["chaos"]
+    return FaultPlan.from_mapping(source)

@@ -1,0 +1,150 @@
+"""Chaos surfaces: where injected faults meet the real workflow objects.
+
+Each surface wraps one of the workflow's genuine failure points and
+translates fired :class:`~repro.chaos.engine.FaultEvent` records into the
+*same observable behaviour* the paper's operational failures produce:
+
+* :class:`ChaosArchive` — LAADS 503s (transient and permanent) and slow
+  HTTPS streams, at the archive ``fetch`` boundary;
+* :func:`chaos_atomic_write` — torn writes (a dead writer's ``.part``
+  litter) and post-completion corruption (crawler-visible partials /
+  bit-rot) at the NetCDF write boundary;
+* :class:`ChaosTransferClient` — WAN degradation on the shipment path;
+* :func:`chaos_stall` — compute workers that hang before progressing.
+
+Every wrapper takes ``Optional[FaultInjector]`` and degenerates to the
+undecorated behaviour when it is ``None``, so production code paths pay
+nothing when chaos is off.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from repro.chaos.engine import FaultInjector
+from repro.netcdf import Dataset, to_bytes, write as nc_write
+from repro.transfer import LocalTransferClient, TransferError
+
+__all__ = [
+    "ChaosArchive",
+    "ChaosTransferClient",
+    "chaos_atomic_write",
+    "chaos_stall",
+    "damage_file",
+]
+
+
+def chaos_stall(
+    chaos: Optional[FaultInjector],
+    stage: str,
+    key: str,
+    sleeper: Callable[[float], None] = time.sleep,
+) -> float:
+    """Apply any ``worker_stall`` faults; returns the injected seconds."""
+    if chaos is None:
+        return 0.0
+    stalled = 0.0
+    for event in chaos.fire(stage, "worker_stall", key):
+        sleeper(event.latency)
+        stalled += event.latency
+    return stalled
+
+
+def damage_file(path: str, keep_fraction: float = 0.5) -> None:
+    """Truncate a completed file, simulating partial/corrupted content.
+
+    Truncation is the corruption classic NetCDF reliably detects (the
+    header promises more data than the file holds), unlike single-byte
+    flips which may land in data sections and parse cleanly.
+    """
+    if not 0.0 <= keep_fraction < 1.0:
+        raise ValueError("keep_fraction must be in [0, 1)")
+    size = os.path.getsize(path)
+    with open(path, "r+b") as handle:
+        handle.truncate(max(1, int(size * keep_fraction)))
+
+
+def chaos_atomic_write(
+    ds: Dataset,
+    final_path: str,
+    chaos: Optional[FaultInjector] = None,
+    stage: str = "preprocess",
+    key: str = "",
+) -> int:
+    """Atomic (temp + rename) NetCDF write with torn/corrupt injection.
+
+    * ``torn_write`` — the writer "dies" mid-file: a truncated ``.part``
+      temp file is left behind (never renamed) and :class:`OSError` is
+      raised, exactly what a crashed worker leaves on a shared
+      filesystem.  Pattern-matching crawlers must never pick it up.
+    * ``corrupt_tile`` — the rename completes but the file's bytes are
+      damaged (truncated), i.e. a *crawler-visible* partial: downstream
+      readers see a well-named file whose parse fails.
+    """
+    key = key or final_path
+    temp_path = final_path + ".part"
+    if chaos is not None and chaos.fire(stage, "torn_write", key):
+        blob = to_bytes(ds)
+        with open(temp_path, "wb") as handle:
+            handle.write(blob[: max(1, len(blob) // 3)])
+        raise OSError(f"chaos: torn write, partial left at {os.path.basename(temp_path)}")
+    nbytes = nc_write(ds, temp_path)
+    os.replace(temp_path, final_path)
+    if chaos is not None and chaos.fire(stage, "corrupt_tile", key):
+        damage_file(final_path)
+    return nbytes
+
+
+class ChaosArchive:
+    """A LAADS archive whose ``fetch`` exhibits scheduled HTTP failures.
+
+    Wraps any archive object (composition, not subclassing, so it also
+    wraps test doubles); everything but ``fetch`` delegates unchanged.
+    """
+
+    def __init__(
+        self,
+        inner,
+        chaos: FaultInjector,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
+        self._inner = inner
+        self._chaos = chaos
+        self._sleeper = sleeper
+
+    def __getattr__(self, name: str):
+        return getattr(self._inner, name)
+
+    def fetch(self, ref, bands: Optional[Iterable[int]] = None):
+        key = ref.filename
+        for event in self._chaos.fire("download", "slow_fetch", key):
+            self._sleeper(event.latency)
+        if self._chaos.fire("download", "http_permanent", key):
+            raise OSError(f"chaos: HTTP 503 Service Unavailable (permanent) for {key}")
+        if self._chaos.fire("download", "http_transient", key):
+            raise OSError(f"chaos: HTTP 503 Service Unavailable for {key}")
+        return self._inner.fetch(ref, bands)
+
+
+class ChaosTransferClient(LocalTransferClient):
+    """A transfer client whose per-file moves suffer WAN degradation."""
+
+    def __init__(
+        self,
+        chaos: FaultInjector,
+        sleeper: Callable[[float], None] = time.sleep,
+        **kwargs,
+    ):
+        super().__init__(**kwargs)
+        self._chaos = chaos
+        self._sleeper = sleeper
+
+    def _move_one(self, src_root, dst_root, name: str, sync: bool) -> str:
+        events = self._chaos.fire("shipment", "wan_degrade", name)
+        for event in events:
+            self._sleeper(event.latency)
+        if events:
+            raise TransferError(f"chaos: WAN degraded moving {name}")
+        return super()._move_one(src_root, dst_root, name, sync)

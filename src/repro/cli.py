@@ -34,6 +34,18 @@ def build_parser() -> argparse.ArgumentParser:
     run = sub.add_parser("run", help="run the real five-stage workflow from a YAML config")
     run.add_argument("config", help="workflow YAML file")
     run.add_argument("--no-provenance", action="store_true", help="skip lineage recording")
+    run.add_argument(
+        "--chaos",
+        metavar="PLAN",
+        help="YAML file with a fault-injection plan (a chaos: section or bare "
+             "enabled/seed/faults mapping); overrides the config's chaos section",
+    )
+    run.add_argument(
+        "--chaos-seed",
+        type=int,
+        metavar="N",
+        help="re-seed the active chaos plan (requires a plan via config or --chaos)",
+    )
 
     simulate = sub.add_parser("simulate", help="run the simulated multi-facility twin")
     simulate.add_argument("--granules", type=int, default=24, help="granule sets to process")
@@ -58,12 +70,28 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    import dataclasses
+
+    from repro.chaos import load_plan
     from repro.core import EOMLWorkflow, load_config
 
     with open(args.config) as handle:
         config = load_config(handle.read())
+    if args.chaos:
+        with open(args.chaos) as handle:
+            config = dataclasses.replace(config, chaos=load_plan(handle.read()))
+    if args.chaos_seed is not None:
+        if config.chaos is None:
+            print("--chaos-seed needs a chaos plan (config chaos: section or --chaos)",
+                  file=sys.stderr)
+            return 2
+        config = dataclasses.replace(config, chaos=config.chaos.with_seed(args.chaos_seed))
     print(f"running workflow {config.name!r} "
           f"({config.start_date} .. {config.end_date}, products {config.products})")
+    if config.chaos is not None and config.chaos.active:
+        print(f"chaos:      seed {config.chaos.seed}, "
+              f"{len(config.chaos.faults)} fault spec(s) over stages "
+              f"{list(config.chaos.stages())}")
     report = EOMLWorkflow(config).run(provenance=not args.no_provenance)
     print(f"download:   {report.download.files} files "
           f"({format_bytes(report.download.nbytes)}), "
@@ -77,6 +105,9 @@ def _cmd_run(args: argparse.Namespace) -> int:
         summary = report.provenance.summary()
         print(f"provenance: {summary['entities']} entities, "
               f"{summary['activities']} activities recorded")
+    if report.chaos is not None:
+        print(f"chaos:      {report.chaos['faults_injected']} faults injected "
+              f"{report.chaos['by_kind']}, {report.quarantined} item(s) quarantined")
     if report.errors:
         print(f"errors: {report.errors}", file=sys.stderr)
         return 1

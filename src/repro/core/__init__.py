@@ -8,6 +8,7 @@ from repro.core.preprocess import (
     PreprocessReport,
     PreprocessResult,
     PreprocessStage,
+    QuarantineRecord,
     preprocess_granule_set,
 )
 from repro.core.shipment import ShipmentReport, ShipmentStage
@@ -32,6 +33,7 @@ __all__ = [
     "PreprocessStage",
     "PreprocessReport",
     "PreprocessResult",
+    "QuarantineRecord",
     "preprocess_granule_set",
     "DirectoryCrawler",
     "InferenceWorker",

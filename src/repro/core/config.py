@@ -12,7 +12,9 @@ import datetime as dt
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
+from repro.chaos.plan import FaultPlan
 from repro.modis.constants import OCEAN_CLOUD_THRESHOLD, resolve_product
+from repro.net.retry import BackoffPolicy
 from repro.util.config import (
     ConfigError,
     Field,
@@ -70,6 +72,7 @@ _PATHS = Schema(
         Field("preprocessed", string, required=False, default="data/tiles"),
         Field("transfer_out", string, required=False, default="data/outbox"),
         Field("destination", string, required=False, default="data/orion"),
+        Field("quarantine", string, required=False, default="data/quarantine"),
     ],
 )
 
@@ -80,12 +83,26 @@ def _non_negative_int(value: Any) -> int:
     return result
 
 
+def _positive_number(value: Any) -> float:
+    result = number(value)
+    if result <= 0:
+        raise ValueError(f"expected a positive number, got {result}")
+    return result
+
+
 _DOWNLOAD = Schema(
     "download",
     [
         Field("workers", positive_int, required=False, default=3),
         Field("retries", _non_negative_int, required=False, default=2),
         Field("skip_existing", boolean, required=False, default=True),
+        Field("backoff_base", _positive_number, required=False, default=0.05),
+        Field("backoff_cap", _positive_number, required=False, default=2.0),
+        Field("backoff_total", _positive_number, required=False, default=15.0),
+        Field("breaker_threshold", positive_int, required=False, default=8),
+        Field("breaker_reset", _positive_number, required=False, default=5.0),
+        Field("on_exhausted", string, required=False, default="raise",
+              choices=("raise", "skip")),
     ],
 )
 
@@ -111,7 +128,12 @@ _INFERENCE = Schema(
 
 _SHIPMENT = Schema(
     "shipment",
-    [Field("enabled", boolean, required=False, default=True)],
+    [
+        Field("enabled", boolean, required=False, default=True),
+        Field("retries", _non_negative_int, required=False, default=2),
+        Field("timeout", _positive_number, required=False, default=120.0),
+        Field("backoff_base", _positive_number, required=False, default=0.02),
+    ],
 )
 
 _TOP = Schema(
@@ -124,6 +146,7 @@ _TOP = Schema(
         Field("preprocess", dict, required=False, default={}),
         Field("inference", dict, required=False, default={}),
         Field("shipment", dict, required=False, default={}),
+        Field("chaos", dict, required=False, default=None),
     ],
 )
 
@@ -161,6 +184,15 @@ class EOMLConfig:
     model_path: Optional[str]
     poll_interval: float
     ship: bool
+    quarantine: str = "data/quarantine"
+    download_backoff: BackoffPolicy = BackoffPolicy()
+    download_on_exhausted: str = "raise"
+    breaker_threshold: int = 8
+    breaker_reset: float = 5.0
+    shipment_retries: int = 2
+    shipment_timeout: float = 120.0
+    shipment_backoff: BackoffPolicy = BackoffPolicy(base=0.02, max_delay=1.0, max_total=5.0)
+    chaos: Optional[FaultPlan] = None
     raw: Dict[str, Any] = field(default_factory=dict, compare=False)
 
 
@@ -187,6 +219,10 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
     if inference["poll_interval"] <= 0:
         raise ConfigError("inference.poll_interval", "must be positive")
 
+    chaos_plan: Optional[FaultPlan] = None
+    if top["chaos"] is not None:
+        chaos_plan = FaultPlan.from_mapping(top["chaos"], "chaos")
+
     return EOMLConfig(
         name=top["name"],
         products=archive["products"],
@@ -212,5 +248,24 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
         model_path=inference["model_path"],
         poll_interval=float(inference["poll_interval"]),
         ship=shipment["enabled"],
+        quarantine=paths["quarantine"],
+        download_backoff=BackoffPolicy(
+            base=download["backoff_base"],
+            max_delay=download["backoff_cap"],
+            max_total=download["backoff_total"],
+            seed=archive["seed"],
+        ),
+        download_on_exhausted=download["on_exhausted"],
+        breaker_threshold=download["breaker_threshold"],
+        breaker_reset=download["breaker_reset"],
+        shipment_retries=shipment["retries"],
+        shipment_timeout=shipment["timeout"],
+        shipment_backoff=BackoffPolicy(
+            base=shipment["backoff_base"],
+            max_delay=1.0,
+            max_total=10.0,
+            seed=archive["seed"],
+        ),
+        chaos=chaos_plan,
         raw=dict(raw),
     )

@@ -10,6 +10,14 @@ NetCDF — the same bytes a real pull would deliver, produced locally.
 Files are written atomically (temp name + rename) so the downstream
 barrier ("preprocessing is delayed until all downloads are complete")
 guards against partially-written files exactly as the paper describes.
+
+Resilience: transient archive failures (LAADS 503s and their injected
+chaos twins) are retried with capped exponential backoff — never
+immediately, so a flaky archive is not hammered by a retry storm — and
+a per-host circuit breaker shared by all download workers fails fast
+while the archive is persistently down.  With ``download.on_exhausted:
+skip`` a granule whose retry budget is spent is recorded as failed and
+its (now incomplete) scene is dropped, instead of aborting the run.
 """
 
 from __future__ import annotations
@@ -19,12 +27,17 @@ import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.chaos.engine import FaultInjector
+from repro.chaos.surfaces import ChaosArchive, chaos_atomic_write
 from repro.compute import LocalComputeEndpoint
 from repro.core.config import EOMLConfig
 from repro.modis import GranuleRef, LaadsArchive
-from repro.netcdf import write as nc_write
+from repro.net.retry import CircuitBreaker
 
 __all__ = ["GranuleSet", "DownloadReport", "DownloadStage"]
+
+# The single archive host every granule request targets (the breaker key).
+ARCHIVE_HOST = "laads"
 
 
 @dataclass(frozen=True)
@@ -52,15 +65,34 @@ class DownloadReport:
     seconds: float
     per_file_seconds: List[float] = field(default_factory=list)
     skipped: int = 0        # already present (resume)
-    retried: int = 0        # transient fetch failures recovered
+    retried: int = 0        # files that recovered after >= 1 transient failure
+    retry_attempts: int = 0  # total retry attempts across all files
+    failed: List[str] = field(default_factory=list)       # exhausted-retry messages
+    incomplete: List[str] = field(default_factory=list)   # scene keys dropped
+    breaker_trips: int = 0
 
 
 class DownloadStage:
     """Parallel downloads via a local worker pool."""
 
-    def __init__(self, config: EOMLConfig, archive: Optional[LaadsArchive] = None):
+    def __init__(
+        self,
+        config: EOMLConfig,
+        archive: Optional[LaadsArchive] = None,
+        chaos: Optional[FaultInjector] = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
         self.config = config
+        self.chaos = chaos
         self.archive = archive or LaadsArchive(seed=config.seed)
+        if chaos is not None:
+            self.archive = ChaosArchive(self.archive, chaos, sleeper=sleeper)
+        self.backoff = config.download_backoff
+        self.breaker = CircuitBreaker(
+            failure_threshold=config.breaker_threshold,
+            reset_after=config.breaker_reset,
+        )
+        self._sleeper = sleeper
 
     def plan(self) -> List[GranuleRef]:
         """The catalog query: every product over the configured span."""
@@ -76,41 +108,75 @@ class DownloadStage:
             )
         return refs
 
-    def _fetch_one(self, ref: GranuleRef) -> Tuple[GranuleRef, str, int, float, str]:
-        """Download one granule: resumable and retried.
+    def _fetch_one(
+        self, ref: GranuleRef
+    ) -> Tuple[GranuleRef, Optional[str], int, float, str, int, Optional[str]]:
+        """Download one granule: resumable, retried with backoff.
 
-        Returns (ref, path, nbytes, seconds, outcome) with outcome one of
-        "fetched", "skipped" (already present from a prior run), or
-        "retried" (fetched after >= 1 transient failure).
+        Returns (ref, path, nbytes, seconds, outcome, retry_attempts,
+        error) with outcome one of "fetched", "skipped" (already present
+        from a prior run), "retried" (fetched after >= 1 transient
+        failure), or "failed" (budget exhausted, on_exhausted="skip").
         """
         started = time.monotonic()
         final_path = os.path.join(self.config.staging, ref.filename + ".nc")
         if self.config.skip_existing and os.path.exists(final_path):
-            return ref, final_path, os.path.getsize(final_path), 0.0, "skipped"
-        attempts = 0
+            return ref, final_path, os.path.getsize(final_path), 0.0, "skipped", 0, None
+
+        key = ref.filename
+        retries = self.config.download_retries
+        attempts = 0  # failures so far
+        last_error: Optional[str] = None
         while True:
+            if not self.breaker.allow(ARCHIVE_HOST):
+                last_error = f"circuit open for host {ARCHIVE_HOST!r}"
+                attempts += 1
+                if attempts > retries:
+                    break
+                self._sleeper(self.backoff.delay(attempts - 1, key=key))
+                continue
             try:
                 ds = self.archive.fetch(ref)
-                break
+                nbytes = chaos_atomic_write(
+                    ds, final_path, chaos=self.chaos, stage="download", key=key
+                )
+                self.breaker.record_success(ARCHIVE_HOST)
+                outcome = "retried" if attempts else "fetched"
+                return (
+                    ref, final_path, nbytes, time.monotonic() - started,
+                    outcome, attempts, None,
+                )
             except (OSError, RuntimeError) as exc:
+                self.breaker.record_failure(ARCHIVE_HOST)
+                last_error = str(exc)
                 attempts += 1
-                if attempts > self.config.download_retries:
-                    raise RuntimeError(
-                        f"download of {ref.filename} failed after "
-                        f"{attempts} attempts: {exc}"
-                    ) from exc
+                if attempts > retries:
+                    break
+                # Backoff before the next try — never an immediate retry.
+                self._sleeper(self.backoff.delay(attempts - 1, key=key))
+
+        # Retry budget exhausted.  Remove any torn temp file so crashed
+        # writes leave no litter for the barrier to trip on.
         temp_path = final_path + ".part"
-        nbytes = nc_write(ds, temp_path)
-        os.replace(temp_path, final_path)  # atomic close: no partial reads
-        outcome = "retried" if attempts else "fetched"
-        return ref, final_path, nbytes, time.monotonic() - started, outcome
+        if os.path.exists(temp_path):
+            os.remove(temp_path)
+        message = f"download of {ref.filename} failed after {attempts} attempts: {last_error}"
+        if self.config.download_on_exhausted == "raise":
+            raise RuntimeError(message)
+        return ref, None, 0, time.monotonic() - started, "failed", attempts, message
 
     def run(
         self,
         on_file: Optional[Callable[[str], None]] = None,
         workers: Optional[int] = None,
     ) -> DownloadReport:
-        """Execute all downloads; returns the manifest grouped by granule."""
+        """Execute all downloads; returns the manifest grouped by granule.
+
+        Only *complete* scenes (every configured product present) appear
+        in ``granule_sets``; scenes that lost a product to a permanent
+        failure are quarantined into ``incomplete`` so the preprocessing
+        barrier never sees a partial acquisition.
+        """
         os.makedirs(self.config.staging, exist_ok=True)
         refs = self.plan()
         started = time.monotonic()
@@ -122,7 +188,13 @@ class DownloadStage:
         per_file = []
         skipped = 0
         retried = 0
-        for ref, path, nbytes, seconds, outcome in results:
+        retry_attempts = 0
+        failed: List[str] = []
+        for ref, path, nbytes, seconds, outcome, attempts, error in results:
+            retry_attempts += attempts if outcome != "failed" else max(0, attempts - 1)
+            if outcome == "failed":
+                failed.append(error or f"download of {ref.filename} failed")
+                continue
             by_scene.setdefault(ref.gid.scene_key, {})[ref.gid.product] = path
             total_bytes += nbytes
             per_file.append(seconds)
@@ -130,15 +202,28 @@ class DownloadStage:
             retried += outcome == "retried"
             if on_file is not None:
                 on_file(path)
-        granule_sets = [
-            GranuleSet(key=key, paths=paths) for key, paths in sorted(by_scene.items())
-        ]
+        # A scene is complete when every product the catalog planned for
+        # it arrived (Terra and Aqua scenes plan different product sets).
+        planned: Dict[str, set] = {}
+        for ref in refs:
+            planned.setdefault(ref.gid.scene_key, set()).add(ref.gid.product)
+        granule_sets = []
+        incomplete: List[str] = []
+        for scene_key, paths in sorted(by_scene.items()):
+            if set(paths) < planned.get(scene_key, set()):
+                incomplete.append(scene_key)
+            else:
+                granule_sets.append(GranuleSet(key=scene_key, paths=paths))
         return DownloadReport(
             granule_sets=granule_sets,
-            files=len(results),
+            files=len(results) - len(failed),
             nbytes=total_bytes,
             seconds=time.monotonic() - started,
             per_file_seconds=per_file,
             skipped=skipped,
             retried=retried,
+            retry_attempts=retry_attempts,
+            failed=failed,
+            incomplete=incomplete,
+            breaker_trips=self.breaker.opened_total,
         )

@@ -18,7 +18,10 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.chaos.engine import FaultInjector
+from repro.chaos.surfaces import chaos_stall
 from repro.core.config import EOMLConfig
+from repro.core.preprocess import QuarantineRecord
 from repro.netcdf import read as nc_read, write as nc_write
 from repro.ricc import AICCAModel
 
@@ -69,18 +72,42 @@ class InferenceWorker:
 
     The paper allocates a single inference worker in the Fig. 6 run;
     ``workers`` generalizes that.
+
+    A tile file that cannot be labelled (corrupt bytes, contract
+    violation) is moved into the quarantine directory and recorded —
+    the worker keeps consuming, so one crawler-visible partial never
+    stalls the stage.
     """
 
-    def __init__(self, model: AICCAModel, config: EOMLConfig, workers: Optional[int] = None):
+    def __init__(
+        self,
+        model: AICCAModel,
+        config: EOMLConfig,
+        workers: Optional[int] = None,
+        chaos: Optional[FaultInjector] = None,
+    ):
         self.model = model
         self.config = config
+        self.chaos = chaos
         self.workers = workers or config.workers.inference
         self.queue: "queue.Queue" = queue.Queue()
         self.results: List[InferenceResult] = []
         self.errors: List[str] = []
+        self.quarantined: List[QuarantineRecord] = []
         self._threads: List[threading.Thread] = []
         self._lock = threading.Lock()
         self._submitted = 0
+
+    def _quarantine(self, path: str, error: str) -> None:
+        """Set a bad tile file aside so re-runs do not trip on it again."""
+        record = QuarantineRecord(key=path, error=error)
+        try:
+            os.makedirs(self.config.quarantine, exist_ok=True)
+            os.replace(path, os.path.join(self.config.quarantine, os.path.basename(path)))
+        except OSError:
+            pass  # the record is what matters; the move is best-effort
+        with self._lock:
+            self.quarantined.append(record)
 
     # The crawler's trigger callback.
     def submit(self, path: str) -> None:
@@ -102,12 +129,14 @@ class InferenceWorker:
             if item is _STOP:
                 return
             try:
+                chaos_stall(self.chaos, "inference", os.path.basename(item))
                 result = infer_tile_file(self.model, item, self.config.transfer_out)
                 with self._lock:
                     self.results.append(result)
             except Exception as exc:  # noqa: BLE001 - recorded, not fatal
                 with self._lock:
                     self.errors.append(f"{item}: {exc}")
+                self._quarantine(item, str(exc))
 
     def stop(self, timeout: float = 30.0) -> None:
         for _ in self._threads:

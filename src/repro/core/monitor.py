@@ -7,6 +7,16 @@ real-mode crawler polls a directory for freshly completed tile NetCDFs
 invokes a trigger callback for each new file, from a background thread.
 Inference therefore overlaps preprocessing, exactly the asynchrony Fig. 6
 shows.
+
+Hardening:
+
+* scans are serialized under a lock, so a concurrent ``scan_once`` and
+  the background loop can never double-trigger the same file;
+* ``.part`` temp files (a torn writer's litter) are explicitly skipped
+  and counted, never triggered;
+* with ``require_stable_size`` a file must show the same size on two
+  consecutive scans before it triggers — a belt-and-suspenders guard for
+  directories written by non-atomic producers.
 """
 
 from __future__ import annotations
@@ -14,8 +24,8 @@ from __future__ import annotations
 import os
 import threading
 import time
-from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Set
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set
 
 __all__ = ["CrawlRecord", "DirectoryCrawler"]
 
@@ -38,6 +48,7 @@ class DirectoryCrawler:
         pattern_suffix: str = ".nc",
         pattern_prefix: str = "tiles_",
         poll_interval: float = 0.2,
+        require_stable_size: bool = False,
     ):
         if poll_interval <= 0:
             raise ValueError("poll interval must be positive")
@@ -46,14 +57,30 @@ class DirectoryCrawler:
         self.pattern_suffix = pattern_suffix
         self.pattern_prefix = pattern_prefix
         self.poll_interval = poll_interval
+        self.require_stable_size = require_stable_size
         self.records: List[CrawlRecord] = []
+        self._partials: Set[str] = set()
         self._seen: Set[str] = set()
+        self._pending_sizes: Dict[str, int] = {}
+        self._scan_lock = threading.Lock()
         self._stop = threading.Event()
         self._thread: Optional[threading.Thread] = None
         self._started_at = time.monotonic()
         self.errors: List[str] = []
 
     # -- one-shot scan (usable without the thread) -------------------------
+
+    def _is_settled(self, path: str) -> bool:
+        """With size-stability gating, has ``path`` stopped growing?"""
+        if not self.require_stable_size:
+            return True
+        try:
+            size = os.path.getsize(path)
+        except OSError:
+            return False  # vanished between listdir and stat
+        previous = self._pending_sizes.get(path)
+        self._pending_sizes[path] = size
+        return previous is not None and previous == size
 
     def scan_once(self) -> List[str]:
         """Discover new files now; triggers for each. Returns new paths."""
@@ -62,22 +89,41 @@ class DirectoryCrawler:
         except FileNotFoundError:
             return []
         fresh = []
-        for name in names:
-            if not (name.startswith(self.pattern_prefix) and name.endswith(self.pattern_suffix)):
-                continue
-            path = os.path.join(self.directory, name)
-            if path in self._seen:
-                continue
-            self._seen.add(path)
-            self.records.append(
-                CrawlRecord(path=path, discovered_at=time.monotonic() - self._started_at)
-            )
-            fresh.append(path)
+        with self._scan_lock:
+            for name in names:
+                if name.endswith(".part"):
+                    # A writer's temp file (or a torn writer's corpse):
+                    # presence never implies completeness.
+                    if name.startswith(self.pattern_prefix):
+                        self._partials.add(name)
+                    continue
+                if not (
+                    name.startswith(self.pattern_prefix)
+                    and name.endswith(self.pattern_suffix)
+                ):
+                    continue
+                path = os.path.join(self.directory, name)
+                if path in self._seen:
+                    continue
+                if not self._is_settled(path):
+                    continue
+                self._seen.add(path)
+                self._pending_sizes.pop(path, None)
+                self.records.append(
+                    CrawlRecord(path=path, discovered_at=time.monotonic() - self._started_at)
+                )
+                fresh.append(path)
+        for path in fresh:
             try:
                 self.trigger(path)
             except Exception as exc:  # noqa: BLE001 - crawler must survive
                 self.errors.append(f"{path}: {exc}")
         return fresh
+
+    @property
+    def partials_seen(self) -> int:
+        """Distinct temp (.part) files observed and refused."""
+        return len(self._partials)
 
     # -- background operation ------------------------------------------------
 
@@ -93,6 +139,10 @@ class DirectoryCrawler:
             self.scan_once()
             self._stop.wait(self.poll_interval)
         self.scan_once()  # final sweep so nothing published pre-stop is missed
+        if self.require_stable_size:
+            # One more settle pass: files first seen on the final sweep
+            # have a size recorded but not yet confirmed stable.
+            self.scan_once()
 
     def stop(self, timeout: float = 10.0) -> None:
         if self._thread is None:

@@ -8,23 +8,47 @@ granule), matching the paper's one-file-per-task decomposition.
 
 Output files appear atomically (temp + rename), so the Monitor stage can
 treat presence as completeness.
+
+Resilience: a granule set whose inputs are corrupt (torn download, bit
+rot — or their injected chaos twins) fails *its own task only*; the
+stage records a :class:`QuarantineRecord` and continues with the rest,
+instead of letting one bad swath abort the whole preprocessing fan-out.
 """
 
 from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import List, Optional
 
+from repro.chaos.engine import FaultInjector
+from repro.chaos.surfaces import chaos_atomic_write, chaos_stall
 from repro.compute import LocalComputeEndpoint
 from repro.core.config import EOMLConfig
 from repro.core.download import GranuleSet
 from repro.core.tiles import extract_tiles, tiles_to_dataset
-from repro.netcdf import read as nc_read, write as nc_write
+from repro.netcdf import read as nc_read
 from repro.pexec import DataFlowKernel
 
-__all__ = ["PreprocessResult", "PreprocessReport", "PreprocessStage", "preprocess_granule_set"]
+__all__ = [
+    "PreprocessResult",
+    "PreprocessReport",
+    "PreprocessStage",
+    "QuarantineRecord",
+    "preprocess_granule_set",
+]
+
+
+@dataclass(frozen=True)
+class QuarantineRecord:
+    """One work item set aside instead of crashing a stage."""
+
+    key: str      # granule-set key or file path
+    error: str
+
+    def describe(self) -> str:
+        return f"{self.key}: {self.error}"
 
 
 @dataclass(frozen=True)
@@ -41,6 +65,7 @@ class PreprocessResult:
 class PreprocessReport:
     results: List[PreprocessResult]
     seconds: float
+    quarantined: List[QuarantineRecord] = field(default_factory=list)
 
     @property
     def total_tiles(self) -> int:
@@ -58,6 +83,7 @@ def preprocess_granule_set(
     cloud_threshold: float,
     max_land_fraction: float,
     skip_existing: bool = True,
+    chaos: Optional[FaultInjector] = None,
 ) -> PreprocessResult:
     """The per-granule task body (pure function; safe for any executor).
 
@@ -65,6 +91,7 @@ def preprocess_granule_set(
     the work, making re-runs of an interrupted workflow idempotent.
     """
     started = time.monotonic()
+    chaos_stall(chaos, "preprocess", granules.key)
     os.makedirs(out_dir, exist_ok=True)
     final_path = os.path.join(out_dir, f"tiles_{granules.key.replace('.', '_')}.nc")
     if skip_existing and os.path.exists(final_path):
@@ -104,9 +131,7 @@ def preprocess_granule_set(
         )
     ds = tiles_to_dataset(tiles, source=granules.key)
     ds.set_attr("true_regime", str(mod02.get_attr("true_regime", "unknown")))
-    temp_path = final_path + ".part"
-    nc_write(ds, temp_path)
-    os.replace(temp_path, final_path)
+    chaos_atomic_write(ds, final_path, chaos=chaos, stage="preprocess", key=granules.key)
     return PreprocessResult(
         key=granules.key,
         tile_path=final_path,
@@ -118,8 +143,14 @@ def preprocess_granule_set(
 class PreprocessStage:
     """Fan granule sets over a DataFlowKernel (Parsl-style)."""
 
-    def __init__(self, config: EOMLConfig, dfk: Optional[DataFlowKernel] = None):
+    def __init__(
+        self,
+        config: EOMLConfig,
+        dfk: Optional[DataFlowKernel] = None,
+        chaos: Optional[FaultInjector] = None,
+    ):
         self.config = config
+        self.chaos = chaos
         self._dfk = dfk
         self._owns_dfk = dfk is None
 
@@ -133,6 +164,8 @@ class PreprocessStage:
                 )
             }
         )
+        results: List[PreprocessResult] = []
+        quarantined: List[QuarantineRecord] = []
         try:
             futures = [
                 dfk.submit(
@@ -144,11 +177,20 @@ class PreprocessStage:
                         self.config.cloud_threshold,
                         self.config.max_land_fraction,
                     ),
+                    kwargs={"chaos": self.chaos},
                 )
                 for granules in granule_sets
             ]
-            results = dfk.wait_all(futures)
+            # Settle each task independently: one corrupt granule must
+            # not abort its siblings (quarantine-and-continue).
+            for granules, future in zip(granule_sets, futures):
+                try:
+                    results.append(future.result())
+                except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                    quarantined.append(QuarantineRecord(key=granules.key, error=str(exc)))
         finally:
             if self._owns_dfk:
                 dfk.shutdown()
-        return PreprocessReport(results=results, seconds=time.monotonic() - started)
+        return PreprocessReport(
+            results=results, seconds=time.monotonic() - started, quarantined=quarantined
+        )

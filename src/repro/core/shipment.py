@@ -3,6 +3,13 @@
 Real-execution flavour of Section III stage 5: the labelled NetCDFs in
 the transfer-out directory move to the destination ("Frontier's Orion")
 with integrity verification, via the Globus-Transfer-like local client.
+
+Resilience: the client retries individual files with backoff and bounds
+the batch with a wall-clock timeout (``shipment.retries`` /
+``shipment.timeout``), absorbing the WAN degradation the Defiant->
+Frontier path is prone to.  A batch whose budget is spent is recorded in
+``ShipmentReport.error`` rather than crashing the workflow — delivery
+can be re-driven later (transfers are sync-idempotent).
 """
 
 from __future__ import annotations
@@ -10,10 +17,12 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
+from repro.chaos.engine import FaultInjector
+from repro.chaos.surfaces import ChaosTransferClient
 from repro.core.config import EOMLConfig
-from repro.transfer import LocalTransferClient
+from repro.transfer import LocalTransferClient, TransferError
 
 __all__ = ["ShipmentReport", "ShipmentStage"]
 
@@ -23,12 +32,31 @@ class ShipmentReport:
     moved: List[str]
     nbytes: int
     seconds: float
+    retries: int = 0
+    error: Optional[str] = None
 
 
 class ShipmentStage:
-    def __init__(self, config: EOMLConfig, client: LocalTransferClient | None = None):
+    def __init__(
+        self,
+        config: EOMLConfig,
+        client: LocalTransferClient | None = None,
+        chaos: Optional[FaultInjector] = None,
+    ):
         self.config = config
-        self.client = client or LocalTransferClient()
+        if client is not None:
+            self.client = client
+        else:
+            kwargs = dict(
+                retries=config.shipment_retries,
+                backoff=config.shipment_backoff,
+                timeout=config.shipment_timeout,
+            )
+            self.client = (
+                ChaosTransferClient(chaos, **kwargs)
+                if chaos is not None
+                else LocalTransferClient(**kwargs)
+            )
 
     def run(self) -> ShipmentReport:
         """Ship everything currently in the transfer-out directory."""
@@ -41,9 +69,18 @@ class ShipmentStage:
             if name.endswith(".nc") and not name.endswith(".part")
         )
         before = self.client.bytes_transferred
-        moved = self.client.transfer(src, self.config.destination, names) if names else []
+        retries_before = self.client.retries_used
+        error: Optional[str] = None
+        moved: List[str] = []
+        if names:
+            try:
+                moved = self.client.transfer(src, self.config.destination, names)
+            except TransferError as exc:
+                error = str(exc)
         return ShipmentReport(
             moved=moved,
             nbytes=self.client.bytes_transferred - before,
             seconds=time.monotonic() - started,
+            retries=self.client.retries_used - retries_before,
+            error=error,
         )

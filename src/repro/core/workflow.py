@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.chaos import build_injector
 from repro.core.config import EOMLConfig
 from repro.core.download import DownloadReport, DownloadStage
 from repro.core.inference import InferenceResult, InferenceWorker
@@ -53,6 +54,8 @@ class WorkflowReport:
     errors: List[str] = field(default_factory=list)
     provenance: Optional[ProvenanceStore] = None
     metrics: Optional[MetricsRegistry] = None
+    chaos: Optional[Dict[str, object]] = None  # injector summary, if chaos ran
+    inference_quarantined: List = field(default_factory=list)
 
     @property
     def total_tiles(self) -> int:
@@ -61,6 +64,16 @@ class WorkflowReport:
     @property
     def labelled_tiles(self) -> int:
         return sum(r.tiles for r in self.inference)
+
+    @property
+    def quarantined(self) -> int:
+        """Work items set aside across all stages instead of crashing."""
+        return (
+            len(self.download.failed)
+            + len(self.download.incomplete)
+            + len(self.preprocess.quarantined)
+            + len(self.inference_quarantined)
+        )
 
 
 class EOMLWorkflow:
@@ -114,10 +127,13 @@ class EOMLWorkflow:
         config_entity = (
             prov.entity("config", f"config:{config.name}", name=config.name) if prov else None
         )
+        # None when the chaos plan is absent/disabled: every stage hook
+        # below degenerates to the exact production path.
+        chaos = build_injector(config.chaos)
 
         # (1) Download, with per-worker gauge bumps.
         timeline.begin("download")
-        download_stage = DownloadStage(config, archive=self.archive)
+        download_stage = DownloadStage(config, archive=self.archive, chaos=chaos)
         timeline.workers("download", config.workers.download)
         download = download_stage.run()
         timeline.workers("download", -config.workers.download)
@@ -140,18 +156,27 @@ class EOMLWorkflow:
         timeline.workers("preprocess", config.workers.preprocess)
 
         # The model must exist before the first trigger fires.  Bootstrap
-        # from a quick serial preprocess of the first granule set when
-        # training data is needed.
-        preprocess_stage = PreprocessStage(config)
+        # from a quick serial preprocess of the leading granule sets when
+        # training data is needed — advancing past quarantined or tileless
+        # granules until one yields tiles, so a single corrupt scene can
+        # not sink the whole run.
+        preprocess_stage = PreprocessStage(config, chaos=chaos)
         bootstrap_paths: List[str] = []
+        bootstrap_reports: List[PreprocessReport] = []
+        consumed = 0
         if self.model is None and not (
             config.model_path and os.path.exists(config.model_path)
         ):
-            head = preprocess_stage.run(granule_sets[:1])
-            bootstrap_paths = [r.tile_path for r in head.results if r.tile_path]
+            for granule_set in granule_sets:
+                head = preprocess_stage.run([granule_set])
+                bootstrap_reports.append(head)
+                consumed += 1
+                bootstrap_paths = [r.tile_path for r in head.results if r.tile_path]
+                if bootstrap_paths:
+                    break
         model = self._ensure_model(bootstrap_paths)
 
-        inference = InferenceWorker(model, config)
+        inference = InferenceWorker(model, config, chaos=chaos)
         crawler = DirectoryCrawler(
             config.preprocessed,
             trigger=inference.submit,
@@ -159,7 +184,7 @@ class EOMLWorkflow:
         )
         timeline.workers("inference", config.workers.inference)
         with inference, crawler:
-            remaining = granule_sets[1:] if bootstrap_paths else granule_sets
+            remaining = granule_sets[consumed:]
             preprocess = preprocess_stage.run(remaining)
             timeline.workers("preprocess", -config.workers.preprocess)
             timeline.end("preprocess", tiles=preprocess.total_tiles)
@@ -169,9 +194,10 @@ class EOMLWorkflow:
         timeline.workers("inference", -config.workers.inference)
         timeline.end("inference", files=len(inference.results))
 
-        # Fold the bootstrap granule back into the report.
-        if bootstrap_paths:
+        # Fold the bootstrap granules back into the report.
+        for head in reversed(bootstrap_reports):
             preprocess.results = head.results + preprocess.results
+            preprocess.quarantined = head.quarantined + preprocess.quarantined
 
         if prov:
             sets_by_key = {gs.key: gs for gs in granule_sets}
@@ -208,7 +234,7 @@ class EOMLWorkflow:
         shipment: Optional[ShipmentReport] = None
         if config.ship:
             timeline.begin("shipment")
-            shipment = ShipmentStage(config).run()
+            shipment = ShipmentStage(config, chaos=chaos).run()
             timeline.end("shipment", files=len(shipment.moved))
             if prov and shipment.moved:
                 activity = prov.start_activity("shipment", "globus-transfer")
@@ -242,7 +268,28 @@ class EOMLWorkflow:
             metrics.counter("files").inc(len(shipment.moved), stage="shipment")
             metrics.counter("bytes").inc(shipment.nbytes, stage="shipment")
 
+        # Resilience accounting (always present, so dashboards can rely
+        # on the keys; all zeros on a clean run).
+        retries = metrics.counter("retries")
+        retries.inc(download.retry_attempts, stage="download")
+        if shipment is not None:
+            retries.inc(shipment.retries, stage="shipment")
+        metrics.counter("breaker_open").inc(download.breaker_trips)
+        quarantined = metrics.counter("quarantined")
+        quarantined.inc(len(download.failed) + len(download.incomplete), stage="download")
+        quarantined.inc(len(preprocess.quarantined), stage="preprocess")
+        quarantined.inc(len(inference.quarantined), stage="inference")
+        faults = metrics.counter("faults_injected")
+        if chaos is not None:
+            for kind, count in sorted(chaos.counts_by_kind().items()):
+                faults.inc(count, kind=kind)
+
         errors = list(crawler.errors) + list(inference.errors)
+        errors.extend(download.failed)
+        errors.extend(f"incomplete scene dropped: {key}" for key in download.incomplete)
+        errors.extend(f"preprocess quarantined {q.describe()}" for q in preprocess.quarantined)
+        if shipment is not None and shipment.error:
+            errors.append(f"shipment: {shipment.error}")
         return WorkflowReport(
             download=download,
             preprocess=preprocess,
@@ -253,4 +300,6 @@ class EOMLWorkflow:
             errors=errors,
             provenance=prov,
             metrics=metrics,
+            chaos=chaos.summary() if chaos is not None else None,
+            inference_quarantined=list(inference.quarantined),
         )

@@ -12,10 +12,12 @@ from __future__ import annotations
 
 import hashlib
 import shutil
+import time
 from pathlib import Path
-from typing import Dict, Generator, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.hpc.filesystem import SharedFilesystem
+from repro.net.retry import BackoffPolicy
 from repro.net.wan import WanLink
 from repro.sim import Simulation, Store
 from repro.transfer.task import TransferItem, TransferState, TransferTask
@@ -146,12 +148,35 @@ class SimTransferClient:
 
 
 class LocalTransferClient:
-    """Real file movement between local directories with SHA-256 verify."""
+    """Real file movement between local directories with SHA-256 verify.
 
-    def __init__(self) -> None:
+    ``retries`` re-attempts an individual file that fails to move
+    (missing source, integrity mismatch — both transient realities on a
+    shared filesystem mid-workflow), sleeping a :class:`BackoffPolicy`
+    delay between attempts; ``timeout`` bounds one :meth:`transfer`
+    call's wall-clock time.  The defaults (no retries, no timeout)
+    reproduce the original fail-fast behaviour exactly.
+    """
+
+    def __init__(
+        self,
+        retries: int = 0,
+        backoff: Optional[BackoffPolicy] = None,
+        timeout: Optional[float] = None,
+        sleeper: Callable[[float], None] = time.sleep,
+    ) -> None:
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self.retries = retries
+        self.backoff = backoff or BackoffPolicy(base=0.02, max_delay=1.0, max_total=5.0)
+        self.timeout = timeout
+        self._sleeper = sleeper
         self.tasks_completed = 0
         self.bytes_transferred = 0
         self.files_skipped = 0
+        self.retries_used = 0
 
     @staticmethod
     def _digest(path: Path) -> str:
@@ -160,6 +185,22 @@ class LocalTransferClient:
             for chunk in iter(lambda: handle.read(1 << 20), b""):
                 sha.update(chunk)
         return sha.hexdigest()
+
+    def _move_one(self, src_root: Path, dst_root: Path, name: str, sync: bool) -> str:
+        """Move a single file; the per-file failure surface subclasses wrap."""
+        src = src_root / name
+        if not src.is_file():
+            raise TransferError(f"source missing: {src}")
+        dst = dst_root / name
+        if sync and dst.is_file() and self._digest(src) == self._digest(dst):
+            self.files_skipped += 1
+            return str(dst)
+        shutil.copyfile(src, dst)
+        if self._digest(src) != self._digest(dst):
+            dst.unlink(missing_ok=True)
+            raise TransferError(f"integrity check failed for {name}")
+        self.bytes_transferred += src.stat().st_size
+        return str(dst)
 
     def transfer(
         self,
@@ -172,26 +213,28 @@ class LocalTransferClient:
 
         With ``sync`` a destination whose SHA-256 already matches the
         source is not re-copied (it is still returned as delivered).
-        Raises :class:`TransferError` on any missing source or checksum
-        mismatch (the destination file is removed on mismatch).
+        Raises :class:`TransferError` once a file's retry budget is
+        spent, or when the per-call ``timeout`` deadline passes.
         """
         src_root, dst_root = Path(src_dir), Path(dst_dir)
         dst_root.mkdir(parents=True, exist_ok=True)
+        deadline = None if self.timeout is None else time.monotonic() + self.timeout
         moved: List[str] = []
         for name in names:
-            src = src_root / name
-            if not src.is_file():
-                raise TransferError(f"source missing: {src}")
-            dst = dst_root / name
-            if sync and dst.is_file() and self._digest(src) == self._digest(dst):
-                self.files_skipped += 1
-                moved.append(str(dst))
-                continue
-            shutil.copyfile(src, dst)
-            if self._digest(src) != self._digest(dst):
-                dst.unlink(missing_ok=True)
-                raise TransferError(f"integrity check failed for {name}")
-            self.bytes_transferred += src.stat().st_size
-            moved.append(str(dst))
+            attempts = 0
+            while True:
+                if deadline is not None and time.monotonic() > deadline:
+                    raise TransferError(
+                        f"transfer timed out after {self.timeout}s while moving {name}"
+                    )
+                try:
+                    moved.append(self._move_one(src_root, dst_root, name, sync))
+                    break
+                except TransferError:
+                    attempts += 1
+                    if attempts > self.retries:
+                        raise
+                    self.retries_used += 1
+                    self._sleeper(self.backoff.delay(attempts - 1, key=name))
         self.tasks_completed += 1
         return moved
