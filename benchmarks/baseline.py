@@ -1,0 +1,314 @@
+"""Perf-regression harness: measure the hot kernels, emit BENCH_*.json.
+
+Runs the three paper-critical kernels (tile extraction, NetCDF codec,
+encoder inference) plus a small end-to-end preprocess+inference pipeline,
+and writes machine-readable, schema-versioned baselines:
+
+    PYTHONPATH=src python benchmarks/baseline.py              # paper scale
+    PYTHONPATH=src python benchmarks/baseline.py --quick      # CI smoke
+
+Outputs ``BENCH_kernels.json`` and ``BENCH_endtoend.json``.  Every entry
+carries both raw ``seconds`` and a ``normalized`` value — seconds divided
+by the runtime of a fixed calibration matmul measured in the same
+process — so baselines recorded on one machine remain comparable on
+another.  ``benchmarks/check_regression.py`` consumes these files and
+fails on >20 % normalized regression against the committed baseline.
+
+The kernels are timed against *naive reference implementations* (the
+pre-optimization code paths) where one exists, so the JSON also records
+the speedup the optimized paths deliver on this machine.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import statistics
+import sys
+import time
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"))
+
+from repro.core.tiles import Tile, extract_tiles, tiles_to_dataset  # noqa: E402
+from repro.netcdf import from_bytes, to_bytes  # noqa: E402
+from repro.netcdf.writer import canonical_layout, splice_bytes  # noqa: E402
+from repro.ricc import AICCAModel, AgglomerativeClustering, RotationInvariantAutoencoder  # noqa: E402
+
+SCHEMA_VERSION = 1
+
+# Paper-scale MODIS swath (Section II-A): 2030 x 1354 pixels, 6 bands.
+PAPER_SWATH = dict(lines=2030, pixels=1354, bands=6, tile=128)
+QUICK_SWATH = dict(lines=512, pixels=512, bands=6, tile=32)
+
+
+def _time(fn: Callable[[], object], repeats: int, warmup: int = 1) -> Dict[str, float]:
+    for _ in range(warmup):
+        fn()
+    samples: List[float] = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        samples.append(time.perf_counter() - start)
+    return {
+        "seconds": statistics.median(samples),
+        "best": min(samples),
+        "runs": repeats,
+    }
+
+
+def _calibrate(repeats: int) -> float:
+    """A fixed float64 matmul whose runtime anchors cross-machine ratios."""
+    rng = np.random.default_rng(0)
+    a = rng.normal(size=(384, 384))
+    b = rng.normal(size=(384, 384))
+    return _time(lambda: a @ b, repeats=max(repeats, 5), warmup=2)["seconds"]
+
+
+def _swath(lines: int, pixels: int, bands: int, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    radiance = rng.normal(size=(bands, lines, pixels)).astype(np.float32)
+    cloud = rng.uniform(size=(lines, pixels)) < 0.6
+    # A coastline, not per-pixel noise: the left quarter of the swath is
+    # land so ocean tiles exist (selection requires land_fraction == 0).
+    land = np.zeros((lines, pixels), dtype=bool)
+    land[:, : pixels // 4] = True
+    lat = rng.uniform(-60, 60, size=(lines, pixels))
+    lon = rng.uniform(-180, 180, size=(lines, pixels))
+    tau = rng.uniform(0, 30, size=(lines, pixels))
+    ctp = rng.uniform(200, 1000, size=(lines, pixels))
+    return radiance, cloud, land, lat, lon, tau, ctp
+
+
+def _naive_extract_tiles(
+    radiance, cloud_mask, land_mask, latitude, longitude, tile_size,
+    optical_thickness=None, cloud_top_pressure=None,
+    cloud_threshold=0.3, max_land_fraction=0.0, source="",
+) -> List[Tile]:
+    """The pre-optimization extraction: materialize the full-swath tile
+    cube, then loop over selected tiles in Python.  Kept as the speedup
+    yardstick for the selection-first implementation."""
+
+    def view(field_2d, tile):
+        rows = field_2d.shape[0] // tile
+        cols = field_2d.shape[1] // tile
+        return field_2d[: rows * tile, : cols * tile].reshape(
+            rows, tile, cols, tile
+        ).swapaxes(1, 2)
+
+    bands = radiance.shape[0]
+    cloud_tiles = view(cloud_mask.astype(np.float32), tile_size)
+    land_tiles = view(land_mask.astype(np.float32), tile_size)
+    cloud_frac = cloud_tiles.mean(axis=(2, 3))
+    land_frac = land_tiles.mean(axis=(2, 3))
+    selected = (land_frac <= max_land_fraction + 1e-12) & (cloud_frac > cloud_threshold)
+    lat_tiles = view(latitude.astype(np.float64), tile_size)
+    lon_tiles = view(longitude.astype(np.float64), tile_size)
+    band_tiles = np.stack([view(radiance[b], tile_size) for b in range(bands)], axis=-1)
+    tau_tiles = (
+        view(optical_thickness.astype(np.float64), tile_size)
+        if optical_thickness is not None else None
+    )
+    ctp_tiles = (
+        view(cloud_top_pressure.astype(np.float64), tile_size)
+        if cloud_top_pressure is not None else None
+    )
+    out: List[Tile] = []
+    for row, col in zip(*np.nonzero(selected)):
+        cloudy = cloud_tiles[row, col] > 0.5
+        mean_tau = (
+            float(tau_tiles[row, col][cloudy].mean())
+            if tau_tiles is not None and cloudy.any() else float("nan")
+        )
+        mean_ctp = (
+            float(ctp_tiles[row, col][cloudy].mean())
+            if ctp_tiles is not None and cloudy.any() else float("nan")
+        )
+        out.append(Tile(
+            data=np.ascontiguousarray(band_tiles[row, col]).astype(np.float32),
+            row=int(row), col=int(col),
+            latitude=float(lat_tiles[row, col].mean()),
+            longitude=float(lon_tiles[row, col].mean()),
+            cloud_fraction=float(cloud_frac[row, col]),
+            mean_optical_thickness=mean_tau,
+            mean_cloud_top_pressure=mean_ctp,
+            source=source,
+        ))
+    return out
+
+
+def bench_kernels(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    swath = QUICK_SWATH if quick else PAPER_SWATH
+    radiance, cloud, land, lat, lon, tau, ctp = _swath(
+        swath["lines"], swath["pixels"], swath["bands"]
+    )
+    tile = swath["tile"]
+    results: Dict[str, Dict[str, float]] = {}
+
+    # --- tile extraction: selection-first vs naive full-swath copy
+    args = (radiance, cloud, land, lat, lon, tile)
+    kwargs = dict(optical_thickness=tau, cloud_top_pressure=ctp)
+    results["extract_tiles"] = _time(lambda: extract_tiles(*args, **kwargs), repeats)
+    results["extract_tiles_naive"] = _time(
+        lambda: _naive_extract_tiles(*args, **kwargs), max(1, repeats // 2)
+    )
+    results["extract_tiles_naive"]["reference"] = 1.0
+    results["extract_tiles"]["speedup_vs_naive"] = (
+        results["extract_tiles_naive"]["seconds"] / results["extract_tiles"]["seconds"]
+    )
+    tiles = extract_tiles(*args, **kwargs)
+    results["extract_tiles"]["tiles_selected"] = float(len(tiles))
+
+    # --- NetCDF codec round-trip on the resulting tile file
+    ds = tiles_to_dataset(tiles)
+    raw = to_bytes(ds)
+    results["netcdf_to_bytes"] = _time(lambda: to_bytes(ds), repeats)
+    results["netcdf_from_bytes"] = _time(lambda: from_bytes(raw), repeats)
+    results["netcdf_to_bytes"]["payload_mb"] = len(raw) / 1e6
+
+    # --- label append: header-rewrite splice vs full re-serialization
+    parsed = from_bytes(raw)
+    labels = np.zeros(parsed.num_records, dtype=np.int32)
+
+    def label_splice():
+        layout = canonical_layout(parsed, raw)
+        parsed["label"].data[:] = labels
+        return splice_bytes(parsed, raw, layout, ("label",))
+
+    def label_full():
+        parsed["label"].data[:] = labels
+        return to_bytes(parsed)
+
+    results["label_append_splice"] = _time(label_splice, repeats)
+    results["label_append_full"] = _time(label_full, max(1, repeats // 2))
+    results["label_append_full"]["reference"] = 1.0
+    results["label_append_splice"]["speedup_vs_full"] = (
+        results["label_append_full"]["seconds"] / results["label_append_splice"]["seconds"]
+    )
+
+    # --- encoder inference: float32 fast path vs float64 upcast
+    hidden = (128, 32) if quick else (256, 64)
+    batch_n = 256 if quick else 1024
+    tile_hw = 16
+    model = RotationInvariantAutoencoder((tile_hw, tile_hw, 6), latent_dim=16, hidden=hidden)
+    rng = np.random.default_rng(0)
+    batch32 = rng.normal(size=(batch_n, tile_hw, tile_hw, 6)).astype(np.float32)
+    batch64 = batch32.astype(np.float64)
+    results["encoder_inference_float32"] = _time(lambda: model.encode(batch32), repeats)
+    results["encoder_inference_float64"] = _time(lambda: model.encode(batch64), repeats)
+    results["encoder_inference_float32"]["speedup_vs_float64"] = (
+        results["encoder_inference_float64"]["seconds"]
+        / results["encoder_inference_float32"]["seconds"]
+    )
+    return results
+
+
+def bench_endtoend(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Preprocess -> label pipeline throughput on a synthetic swath."""
+    swath = QUICK_SWATH if quick else PAPER_SWATH
+    radiance, cloud, land, lat, lon, tau, ctp = _swath(
+        swath["lines"], swath["pixels"], swath["bands"], seed=1
+    )
+    tile = swath["tile"]
+    tiles = extract_tiles(
+        radiance, cloud, land, lat, lon, tile,
+        optical_thickness=tau, cloud_top_pressure=ctp,
+    )
+    ds = tiles_to_dataset(tiles)
+    raw = to_bytes(ds)
+
+    # A tiny frozen model: random-seeded encoder + fitted centroids.
+    hw = 16
+    train = np.random.default_rng(2).normal(size=(64, hw, hw, swath["bands"])).astype(np.float32)
+    encoder = RotationInvariantAutoencoder((hw, hw, swath["bands"]), latent_dim=8, hidden=(64,))
+    clustering = AgglomerativeClustering(n_clusters=8)
+    clustering.fit(encoder.encode(train.astype(np.float64)))
+    model = AICCAModel(encoder, clustering)
+
+    # Tile cubes are (tile, tile, bands); the encoder sees hw x hw crops
+    # so the pipeline exercises realistic per-file tile counts.
+    cube = from_bytes(raw)["radiance"].data
+    crops = np.asarray(cube[:, :hw, :hw, :], dtype=np.float32)
+
+    def pipeline():
+        extracted = extract_tiles(
+            radiance, cloud, land, lat, lon, tile,
+            optical_thickness=tau, cloud_top_pressure=ctp,
+        )
+        packed = to_bytes(tiles_to_dataset(extracted))
+        parsed = from_bytes(packed)
+        labels = model.assign(crops)
+        layout = canonical_layout(parsed, packed)
+        parsed["label"].data[:] = labels.astype(np.int32)
+        return splice_bytes(parsed, packed, layout, ("label",))
+
+    results: Dict[str, Dict[str, float]] = {}
+    results["preprocess_label_pipeline"] = _time(pipeline, repeats)
+    results["preprocess_label_pipeline"]["tiles_per_second"] = (
+        len(tiles) / results["preprocess_label_pipeline"]["seconds"]
+    )
+    results["preprocess_label_pipeline"]["tiles"] = float(len(tiles))
+    return results
+
+
+def _emit(path: str, quick: bool, calibration: float,
+          benchmarks: Dict[str, Dict[str, float]]) -> None:
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "quick": quick,
+        "calibration_seconds": calibration,
+        "machine": {
+            "platform": platform.platform(),
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+        },
+        "benchmarks": {
+            name: {**entry, "normalized": entry["seconds"] / calibration}
+            for name, entry in benchmarks.items()
+        },
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {path}")
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small sizes for CI smoke runs")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repetitions per kernel (default 5)")
+    parser.add_argument("--output-dir", default=".",
+                        help="directory receiving BENCH_kernels.json / BENCH_endtoend.json")
+    args = parser.parse_args(argv)
+    repeats = args.repeats or 5
+
+    os.makedirs(args.output_dir, exist_ok=True)
+    calibration = _calibrate(repeats)
+    print(f"calibration matmul: {calibration * 1e3:.2f} ms")
+
+    kernels = bench_kernels(args.quick, repeats)
+    for name, entry in sorted(kernels.items()):
+        extra = "".join(
+            f"  {key}={value:.2f}" for key, value in entry.items()
+            if key.startswith("speedup")
+        )
+        print(f"  {name:32s} {entry['seconds'] * 1e3:9.2f} ms{extra}")
+    _emit(os.path.join(args.output_dir, "BENCH_kernels.json"),
+          args.quick, calibration, kernels)
+
+    endtoend = bench_endtoend(args.quick, max(1, repeats // 2))
+    for name, entry in sorted(endtoend.items()):
+        print(f"  {name:32s} {entry['seconds'] * 1e3:9.2f} ms")
+    _emit(os.path.join(args.output_dir, "BENCH_endtoend.json"),
+          args.quick, calibration, endtoend)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -33,6 +33,17 @@ def test_kernel_tile_extraction(benchmark):
 
 
 @pytest.mark.benchmark(group="kernels")
+def test_kernel_tile_extraction_paper_scale(benchmark):
+    # One full MODIS swath (Section II-A): 2030 x 1354 pixels, 6 bands,
+    # the paper's 128-pixel tiles — the production-size extraction load.
+    radiance, cloud, land, lat, lon = _swath(lines=2030, pixels=1354)
+    tiles = benchmark(
+        extract_tiles, radiance, cloud, land, lat, lon, 128,
+    )
+    assert tiles
+
+
+@pytest.mark.benchmark(group="kernels")
 def test_kernel_netcdf_roundtrip(benchmark):
     radiance, cloud, land, lat, lon = _swath(lines=256, pixels=256)
     tiles = extract_tiles(radiance, cloud, land, lat, lon, 32)
@@ -52,6 +63,18 @@ def test_kernel_encoder_inference(benchmark):
     batch = rng.normal(size=(256, 16, 16, 6)).astype(np.float32)
     latents = benchmark(model.encode, batch)
     assert latents.shape == (256, 16)
+
+
+@pytest.mark.benchmark(group="kernels")
+def test_kernel_encoder_inference_float32_batched(benchmark):
+    # The inference micro-batcher's shape: many files fused into one
+    # float32 encode call (the dtype-preserving fast path).
+    rng = np.random.default_rng(0)
+    model = RotationInvariantAutoencoder((16, 16, 6), latent_dim=16, hidden=(128, 32))
+    batch = rng.normal(size=(2048, 16, 16, 6)).astype(np.float32)
+    latents = benchmark(model.encode, batch)
+    assert latents.shape == (2048, 16)
+    assert latents.dtype == np.float32
 
 
 @pytest.mark.benchmark(group="kernels")

@@ -123,6 +123,7 @@ _INFERENCE = Schema(
         Field("num_classes", positive_int, required=False, default=42),
         Field("model_path", string, required=False, default=None),
         Field("poll_interval", number, required=False, default=0.2),
+        Field("batch_files", positive_int, required=False, default=8),
     ],
 )
 
@@ -185,6 +186,9 @@ class EOMLConfig:
     poll_interval: float
     ship: bool
     quarantine: str = "data/quarantine"
+    # Upper bound on queued tile files fused into one encoder/assign
+    # call by the inference micro-batcher (1 disables cross-file fusion).
+    inference_batch_files: int = 8
     download_backoff: BackoffPolicy = BackoffPolicy()
     download_on_exhausted: str = "raise"
     breaker_threshold: int = 8
@@ -249,6 +253,7 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
         poll_interval=float(inference["poll_interval"]),
         ship=shipment["enabled"],
         quarantine=paths["quarantine"],
+        inference_batch_files=inference["batch_files"],
         download_backoff=BackoffPolicy(
             base=download["backoff_base"],
             max_delay=download["backoff_cap"],

@@ -26,6 +26,7 @@ from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import chaos_atomic_write, chaos_stall
 from repro.compute import LocalComputeEndpoint
 from repro.core.config import EOMLConfig
+from repro.core.contracts import GRANULE_MOD02, GRANULE_MOD03, GRANULE_MOD06
 from repro.core.download import GranuleSet
 from repro.core.tiles import extract_tiles, tiles_to_dataset
 from repro.netcdf import read as nc_read
@@ -107,8 +108,6 @@ def preprocess_granule_set(
     mod06 = nc_read(granules.path_for("06_L2"))
     # Interface validation (published contracts, Section V-A): reject
     # malformed inputs at the stage boundary.
-    from repro.core.contracts import GRANULE_MOD02, GRANULE_MOD03, GRANULE_MOD06
-
     GRANULE_MOD02.validate(mod02)
     GRANULE_MOD03.validate(mod03)
     GRANULE_MOD06.validate(mod06)

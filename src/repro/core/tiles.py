@@ -6,8 +6,13 @@ geolocation and MOD06 cloud/land masks, and keep only *ocean-cloud*
 tiles — no land pixels, cloud fraction above the threshold ("> 30% cloud
 pixels over only ocean regions", Section II-B).
 
-The reshape-based extraction is fully vectorized (one pass, no Python
-loop over pixels), following the repository's HPC guide idioms.
+The extraction is *selection-first*: the cloud/land selection masks are
+computed from zero-copy reshape views, and only the tiles that pass
+selection are ever gathered into fresh arrays.  The full-swath
+(rows, cols, tile, tile, bands) cube is never materialized, and the
+per-tile tau/ctp/lat/lon reductions run as masked batched sums rather
+than a Python loop — both matter at paper scale (2030x1354 swaths),
+where selection typically keeps a small fraction of the grid.
 """
 
 from __future__ import annotations
@@ -93,48 +98,67 @@ def extract_tiles(
     land_frac = land_tiles.mean(axis=(2, 3))
     selected = (land_frac <= max_land_fraction + 1e-12) & (cloud_frac > cloud_threshold)
 
-    lat_tiles = _tile_view(latitude.astype(np.float64), tile_size)
-    lon_tiles = _tile_view(longitude.astype(np.float64), tile_size)
-    band_tiles = np.stack(
-        [_tile_view(radiance[b], tile_size) for b in range(bands)], axis=-1
-    )  # (rows, cols, tile, tile, bands)
+    sel_rows, sel_cols = np.nonzero(selected)
+    if sel_rows.size == 0:
+        return []
 
-    tau_tiles = (
-        _tile_view(optical_thickness.astype(np.float64), tile_size)
-        if optical_thickness is not None
-        else None
+    # Gather *only* the selected tiles.  _tile_view is a zero-copy view,
+    # so the fancy index below copies just the survivors, one band at a
+    # time — never the (rows, cols, tile, tile, bands) full-swath cube.
+    sel_data = np.stack(
+        [_tile_view(radiance[b], tile_size)[sel_rows, sel_cols] for b in range(bands)],
+        axis=-1,
+    ).astype(np.float32, copy=False)  # (n_selected, tile, tile, bands)
+
+    lat_mean = _tile_view(latitude.astype(np.float64), tile_size)[sel_rows, sel_cols].mean(
+        axis=(1, 2)
     )
-    ctp_tiles = (
-        _tile_view(cloud_top_pressure.astype(np.float64), tile_size)
-        if cloud_top_pressure is not None
-        else None
+    lon_mean = _tile_view(longitude.astype(np.float64), tile_size)[sel_rows, sel_cols].mean(
+        axis=(1, 2)
     )
 
-    out: List[Tile] = []
-    for row, col in zip(*np.nonzero(selected)):
-        cloudy = cloud_tiles[row, col] > 0.5
-        if tau_tiles is not None and cloudy.any():
-            mean_tau = float(tau_tiles[row, col][cloudy].mean())
-        else:
-            mean_tau = float("nan")
-        if ctp_tiles is not None and cloudy.any():
-            mean_ctp = float(ctp_tiles[row, col][cloudy].mean())
-        else:
-            mean_ctp = float("nan")
-        out.append(
-            Tile(
-                data=np.ascontiguousarray(band_tiles[row, col]).astype(np.float32),
-                row=int(row),
-                col=int(col),
-                latitude=float(lat_tiles[row, col].mean()),
-                longitude=float(lon_tiles[row, col].mean()),
-                cloud_fraction=float(cloud_frac[row, col]),
-                mean_optical_thickness=mean_tau,
-                mean_cloud_top_pressure=mean_ctp,
-                source=source,
+    # MOD06 means over cloudy pixels only, as masked batched sums.  A
+    # selected tile always has cloud_frac > threshold >= 0, so the count
+    # is positive; the guard keeps a clean NaN if that ever changes.
+    cloudy = cloud_tiles[sel_rows, sel_cols] > 0.5  # (n_selected, tile, tile)
+    cloudy_counts = cloudy.sum(axis=(1, 2))
+    safe_counts = np.maximum(cloudy_counts, 1)
+
+    def _cloudy_mean(field_2d: Optional[np.ndarray]) -> np.ndarray:
+        if field_2d is None:
+            return np.full(sel_rows.size, np.nan)
+        gathered = _tile_view(field_2d.astype(np.float64), tile_size)[sel_rows, sel_cols]
+        sums = np.where(cloudy, gathered, 0.0).sum(axis=(1, 2))
+        return np.where(cloudy_counts > 0, sums / safe_counts, np.nan)
+
+    mean_tau = _cloudy_mean(optical_thickness)
+    mean_ctp = _cloudy_mean(cloud_top_pressure)
+    sel_cloud_frac = cloud_frac[sel_rows, sel_cols]
+
+    return [
+        Tile(
+            data=sel_data[index],
+            row=row,
+            col=col,
+            latitude=lat,
+            longitude=lon,
+            cloud_fraction=frac,
+            mean_optical_thickness=tau,
+            mean_cloud_top_pressure=ctp,
+            source=source,
+        )
+        for index, (row, col, lat, lon, frac, tau, ctp) in enumerate(
+            zip(
+                sel_rows.tolist(),
+                sel_cols.tolist(),
+                lat_mean.tolist(),
+                lon_mean.tolist(),
+                sel_cloud_frac.tolist(),
+                mean_tau.tolist(),
+                mean_ctp.tolist(),
             )
         )
-    return out
+    ]
 
 
 def tiles_to_dataset(tiles: List[Tile], source: str = "") -> Dataset:
@@ -155,7 +179,7 @@ def tiles_to_dataset(tiles: List[Tile], source: str = "") -> Dataset:
     ds.create_dimension("y", shape[0])
     ds.create_dimension("x", shape[1])
     ds.create_dimension("band", shape[2])
-    stack = np.stack([tile.data for tile in tiles]).astype(np.float32)
+    stack = np.stack([tile.data for tile in tiles]).astype(np.float32, copy=False)
     ds.create_variable("radiance", "f4", ("tile", "y", "x", "band"), stack,
                        attributes={"long_name": "ocean-cloud tile radiances"})
     ds.create_variable(
@@ -198,26 +222,37 @@ def tiles_to_dataset(tiles: List[Tile], source: str = "") -> Dataset:
 
 
 def dataset_to_tiles(ds: Dataset) -> List[Tile]:
-    """Rebuild Tile objects from a tile-file dataset."""
-    radiance = ds["radiance"].data
+    """Rebuild Tile objects from a tile-file dataset.
+
+    The per-tile variables are decoded once (one byte-order conversion
+    for the whole radiance cube, one ``tolist`` per metadata column)
+    instead of re-indexing each record variable inside the loop.
+    """
+    radiance = np.asarray(ds["radiance"].data, dtype=np.float32)
     n = radiance.shape[0]
     labels = ds["label"].data if "label" in ds else np.full(n, -1, dtype=np.int32)
     source = ds.get_attr("source_granule", "")
-    tiles = []
-    for index in range(n):
-        label = int(labels[index])
-        tiles.append(
-            Tile(
-                data=np.asarray(radiance[index], dtype=np.float32),
-                row=int(ds["tile_row"].data[index]),
-                col=int(ds["tile_col"].data[index]),
-                latitude=float(ds["latitude"].data[index]),
-                longitude=float(ds["longitude"].data[index]),
-                cloud_fraction=float(ds["cloud_fraction"].data[index]),
-                mean_optical_thickness=float(ds["mean_optical_thickness"].data[index]),
-                mean_cloud_top_pressure=float(ds["mean_cloud_top_pressure"].data[index]),
-                source=source if isinstance(source, str) else "",
-                label=None if label < 0 else label,
-            )
+    if not isinstance(source, str):
+        source = ""
+    rows = ds["tile_row"].data.tolist()
+    cols = ds["tile_col"].data.tolist()
+    lats = ds["latitude"].data.tolist()
+    lons = ds["longitude"].data.tolist()
+    fracs = ds["cloud_fraction"].data.tolist()
+    taus = ds["mean_optical_thickness"].data.tolist()
+    ctps = ds["mean_cloud_top_pressure"].data.tolist()
+    return [
+        Tile(
+            data=radiance[index],
+            row=int(rows[index]),
+            col=int(cols[index]),
+            latitude=float(lats[index]),
+            longitude=float(lons[index]),
+            cloud_fraction=float(fracs[index]),
+            mean_optical_thickness=float(taus[index]),
+            mean_cloud_top_pressure=float(ctps[index]),
+            source=source,
+            label=None if label < 0 else label,
         )
-    return tiles
+        for index, label in enumerate(np.asarray(labels).tolist())
+    ]

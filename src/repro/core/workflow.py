@@ -123,6 +123,9 @@ class EOMLWorkflow:
     def run(self, provenance: bool = True) -> WorkflowReport:
         timeline = WallClockTimeline()
         config = self.config
+        # Created up front so hot-path stages (inference micro-batching)
+        # can record live histograms; the rollup below adds the rest.
+        metrics = MetricsRegistry(prefix="eo_ml")
         prov = ProvenanceStore() if provenance else None
         config_entity = (
             prov.entity("config", f"config:{config.name}", name=config.name) if prov else None
@@ -176,7 +179,7 @@ class EOMLWorkflow:
                     break
         model = self._ensure_model(bootstrap_paths)
 
-        inference = InferenceWorker(model, config, chaos=chaos)
+        inference = InferenceWorker(model, config, chaos=chaos, metrics=metrics)
         crawler = DirectoryCrawler(
             config.preprocessed,
             trigger=inference.submit,
@@ -245,7 +248,6 @@ class EOMLWorkflow:
                 prov.end_activity(activity)
 
         # Telemetry rollup (Section V-A's workflow-insight goal).
-        metrics = MetricsRegistry(prefix="eo_ml")
         metrics.counter("files").inc(download.files, stage="download")
         metrics.counter("bytes").inc(download.nbytes, stage="download")
         metrics.counter("files_skipped").inc(download.skipped, stage="download")

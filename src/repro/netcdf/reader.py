@@ -181,17 +181,27 @@ def from_bytes(buf: bytes) -> Dataset:
         if is_record:
             tail_shape = tuple(dims[d][1] for d in dim_ids[1:])
             per_rec = per_record_bytes(header)
-            slices = []
-            for rec in range(numrecs):
-                offset = begin + rec * recsize
-                if offset + per_rec > len(buf):
-                    raise NcFormatError(f"record {rec} of {name!r} extends past end of file")
-                chunk = np.frombuffer(buf, dtype=info.dtype, count=per_rec // info.size, offset=offset)
-                slices.append(chunk.reshape(tail_shape))
-            if slices:
-                data = np.stack(slices)
+            count = per_rec // info.size
+            if numrecs == 0 or count == 0:
+                data = np.empty((numrecs, *tail_shape), dtype=info.dtype)
             else:
-                data = np.empty((0, *tail_shape), dtype=info.dtype)
+                if begin + (numrecs - 1) * recsize + per_rec > len(buf):
+                    raise NcFormatError(
+                        f"records of {name!r} extend past end of file"
+                    )
+                # One strided gather over the whole record region instead
+                # of a per-record frombuffer loop: records of this
+                # variable sit ``recsize`` bytes apart in the slab.
+                strided = np.ndarray(
+                    shape=(numrecs, count),
+                    dtype=info.dtype,
+                    buffer=buf,
+                    offset=begin,
+                    strides=(recsize, info.size),
+                )
+                # .copy() also detaches the view from the immutable
+                # ``buf`` so the variable's data stays writable.
+                data = strided.copy().reshape((numrecs, *tail_shape))
             shape_dims = [dim_names[d] for d in dim_ids]
         else:
             shape = tuple(dims[d][1] for d in dim_ids)
@@ -200,9 +210,9 @@ def from_bytes(buf: bytes) -> Dataset:
                 count_elems *= extent
             if begin + count_elems * info.size > len(buf):
                 raise NcFormatError(f"variable {name!r} extends past end of file")
-            data = np.frombuffer(buf, dtype=info.dtype, count=count_elems, offset=begin).reshape(shape)
+            data = np.frombuffer(buf, dtype=info.dtype, count=count_elems, offset=begin).reshape(shape).copy()
             shape_dims = [dim_names[d] for d in dim_ids]
-        variable = dataset.create_variable(name, nc_type, shape_dims, data.copy())
+        variable = dataset.create_variable(name, nc_type, shape_dims, data)
         for attr_name, attr_value in attrs.items():
             variable.attributes[attr_name] = attr_value
     return dataset

@@ -13,14 +13,15 @@ CDF-2 (64-bit offsets) when any data offset would exceed 2**31 - 1.
 from __future__ import annotations
 
 import struct
-from typing import BinaryIO, Dict, List, Tuple, Union
+from dataclasses import dataclass
+from typing import BinaryIO, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.netcdf.dataset import Dataset, Variable
 from repro.netcdf.types import NcFormatError, NcType, TYPE_INFO
 
-__all__ = ["write", "to_bytes"]
+__all__ = ["write", "to_bytes", "CanonicalLayout", "canonical_layout", "splice_bytes"]
 
 NC_DIMENSION = 0x0A
 NC_VARIABLE = 0x0B
@@ -155,19 +156,17 @@ def _serialize_header(
     return b"".join(chunks)
 
 
-def to_bytes(dataset: Dataset) -> bytes:
-    """Serialize a dataset to NetCDF classic bytes."""
-    for var in dataset.variables.values():
-        if var.is_record and var.shape[0] != dataset.num_records:
-            raise NcFormatError(f"record variable {var.name!r} has inconsistent record count")
-
+def _choose_layout(dataset: Dataset) -> Tuple[int, Dict[str, int], int, int, Dict[str, int]]:
+    """Pick CDF-1/CDF-2 and plan offsets; returns
+    (offset_width, begins, header_size, recsize, vsizes)."""
+    vsizes = _vsizes(dataset)
     offset_width = 4
     begins, header_size, recsize = _plan_offsets(dataset, offset_width)
     numrecs = dataset.num_records
     end = max(
         [header_size]
         + [
-            begins[v.name] + (_vsizes(dataset)[v.name] if not v.is_record else 0)
+            begins[v.name] + (vsizes[v.name] if not v.is_record else 0)
             for v in dataset.variables.values()
         ]
         + ([begins[v.name] + numrecs * recsize for v in dataset.variables.values() if v.is_record] or [0])
@@ -175,8 +174,56 @@ def to_bytes(dataset: Dataset) -> bytes:
     if end > _MAX_CDF1_OFFSET:
         offset_width = 8
         begins, header_size, recsize = _plan_offsets(dataset, offset_width)
+    return offset_width, begins, header_size, recsize, vsizes
 
-    vsizes = _vsizes(dataset)
+
+def _write_record_slabs(
+    out: bytearray,
+    record_vars: Sequence[Variable],
+    begins: Dict[str, int],
+    recsize: int,
+    numrecs: int,
+) -> None:
+    """Fill the record region with one strided scatter per variable.
+
+    The region is pre-zeroed (so inter-record padding needs no explicit
+    writes); each record variable's slices land ``recsize`` bytes apart.
+    Assigning through a big-endian view keeps on-disk byte order without
+    the per-record ``ascontiguousarray(...).tobytes()`` loop.
+    """
+    base = len(out)
+    if base != min(begins[v.name] for v in record_vars):
+        raise NcFormatError(
+            f"internal offset mismatch for record slabs: at {base}, "
+            f"planned {min(begins[v.name] for v in record_vars)}"
+        )
+    out += b"\x00" * (numrecs * recsize)
+    if numrecs == 0:
+        return
+    view_buffer = memoryview(out)
+    for var in record_vars:
+        info = TYPE_INFO[var.nc_type]
+        per_rec = _per_record_size(var)
+        count = per_rec // info.size
+        if count == 0:
+            continue
+        target = np.ndarray(
+            shape=(numrecs, count),
+            dtype=info.dtype,
+            buffer=view_buffer,
+            offset=begins[var.name],
+            strides=(recsize, info.size),
+        )
+        target[:] = np.ascontiguousarray(var.data).reshape(numrecs, count)
+
+
+def to_bytes(dataset: Dataset) -> bytes:
+    """Serialize a dataset to NetCDF classic bytes."""
+    for var in dataset.variables.values():
+        if var.is_record and var.shape[0] != dataset.num_records:
+            raise NcFormatError(f"record variable {var.name!r} has inconsistent record count")
+
+    offset_width, begins, _header_size, recsize, vsizes = _choose_layout(dataset)
     out = bytearray(_serialize_header(dataset, begins, vsizes, offset_width))
 
     # Fixed-size variable data, in definition order, zero-padded to vsize.
@@ -192,15 +239,115 @@ def to_bytes(dataset: Dataset) -> bytes:
         out += payload
         out += b"\x00" * (vsizes[var.name] - len(payload))
 
-    # Record slabs: per record, each record variable's slice, padded.  The
-    # explicit dtype matters: indexing a 1-D big-endian array yields a
-    # *native-endian* scalar, which would silently byteswap on disk.
     record_vars = [v for v in dataset.variables.values() if v.is_record]
-    for index in range(dataset.num_records):
-        for var in record_vars:
-            payload = np.ascontiguousarray(var.data[index], dtype=var.data.dtype).tobytes()
-            out += payload
-            out += b"\x00" * (vsizes[var.name] - len(payload))
+    if record_vars:
+        _write_record_slabs(out, record_vars, begins, recsize, dataset.num_records)
+    return bytes(out)
+
+
+@dataclass(frozen=True)
+class CanonicalLayout:
+    """Byte layout of a serialization this writer produced (see
+    :func:`canonical_layout`)."""
+
+    offset_width: int
+    header_size: int
+    begins: Dict[str, int]
+    vsizes: Dict[str, int]
+    recsize: int
+    numrecs: int
+
+
+def _serialized_length(
+    dataset: Dataset, header_size: int, recsize: int, vsizes: Dict[str, int]
+) -> int:
+    fixed = sum(vsizes[v.name] for v in dataset.variables.values() if not v.is_record)
+    return header_size + fixed + dataset.num_records * recsize
+
+
+def canonical_layout(dataset: Dataset, raw: bytes) -> Optional[CanonicalLayout]:
+    """Layout of ``raw`` if it is exactly what :func:`to_bytes` would emit
+    for ``dataset`` — or None for files from non-canonical producers.
+
+    This is the precondition for :func:`splice_bytes`: when it holds, the
+    data region of ``raw`` can be reused verbatim after a metadata-only
+    change instead of re-serializing every unchanged variable.
+    """
+    offset_width, begins, header_size, recsize, vsizes = _choose_layout(dataset)
+    if len(raw) != _serialized_length(dataset, header_size, recsize, vsizes):
+        return None
+    if bytes(raw[:header_size]) != _serialize_header(dataset, begins, vsizes, offset_width):
+        return None
+    return CanonicalLayout(
+        offset_width=offset_width,
+        header_size=header_size,
+        begins=dict(begins),
+        vsizes=dict(vsizes),
+        recsize=recsize,
+        numrecs=dataset.num_records,
+    )
+
+
+def splice_bytes(
+    dataset: Dataset,
+    raw: bytes,
+    layout: CanonicalLayout,
+    changed: Sequence[str],
+) -> bytes:
+    """Re-serialize ``dataset`` by rewriting only the header and the
+    ``changed`` variables, splicing the rest of the data region from
+    ``raw``.
+
+    ``layout`` must come from :func:`canonical_layout` called *before*
+    the dataset was mutated; since then only attributes and the values of
+    the ``changed`` variables may have been touched (shapes and dtypes
+    fixed).  This is the inference stage's label-append fast path: the
+    radiance cube — the bulk of a tile file — is copied once as raw
+    bytes instead of being re-encoded record by record.
+    """
+    offset_width, begins, header_size, recsize, vsizes = _choose_layout(dataset)
+    if (
+        offset_width != layout.offset_width
+        or recsize != layout.recsize
+        or vsizes != layout.vsizes
+        or dataset.num_records != layout.numrecs
+        or {n: b - header_size for n, b in begins.items()}
+        != {n: b - layout.header_size for n, b in layout.begins.items()}
+    ):
+        # The relative layout moved (e.g. a variable was added): fall
+        # back to the full serializer.
+        return to_bytes(dataset)
+
+    header = _serialize_header(dataset, begins, vsizes, offset_width)
+    if header_size == layout.header_size:
+        # Same header length: one whole-file copy, header overwritten in
+        # place — cheaper than slicing the data region out separately.
+        out = bytearray(raw)
+        out[:header_size] = header
+    else:
+        out = bytearray(header_size + (len(raw) - layout.header_size))
+        out[:header_size] = header
+        out[header_size:] = memoryview(raw)[layout.header_size:]
+    view_buffer = memoryview(out)
+    for name in changed:
+        var = dataset.variables[name]
+        info = TYPE_INFO[var.nc_type]
+        if var.is_record:
+            per_rec = _per_record_size(var)
+            count = per_rec // info.size
+            if dataset.num_records == 0 or count == 0:
+                continue
+            target = np.ndarray(
+                shape=(dataset.num_records, count),
+                dtype=info.dtype,
+                buffer=view_buffer,
+                offset=begins[name],
+                strides=(recsize, info.size),
+            )
+            target[:] = np.ascontiguousarray(var.data).reshape(dataset.num_records, count)
+        else:
+            payload = np.ascontiguousarray(var.data, dtype=info.dtype).tobytes()
+            out[begins[name]: begins[name] + len(payload)] = payload
     return bytes(out)
 
 

@@ -87,7 +87,10 @@ class AICCAModel:
         history = autoencoder.train(
             tiles, epochs=epochs, batch_size=batch_size, lr=lr, seed=seed, verbose=verbose
         )
-        latents = autoencoder.encode(tiles)
+        # Training numerics are pinned to float64 (the float32 encode
+        # path is reserved for inference throughput): centroids must not
+        # depend on the storage dtype of the training tiles.
+        latents = autoencoder.encode(np.asarray(tiles, dtype=np.float64))
         clustering = AgglomerativeClustering(n_clusters=num_classes, linkage=linkage)
         clustering.fit(latents)
         return cls(autoencoder, clustering), history
@@ -95,7 +98,11 @@ class AICCAModel:
     # -- inference ------------------------------------------------------------
 
     def assign(self, tiles: np.ndarray) -> np.ndarray:
-        """Stage-4 label assignment: tiles -> AICCA class labels."""
+        """Stage-4 label assignment: tiles -> AICCA class labels.
+
+        Float32 tiles are encoded in float32 (the inference fast path);
+        the nearest-centroid argmin itself always runs in float64.
+        """
         return self.clustering.predict(self.autoencoder.encode(tiles))
 
     def evaluate(

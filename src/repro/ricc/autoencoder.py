@@ -79,17 +79,22 @@ class RotationInvariantAutoencoder:
 
     # -- inference ------------------------------------------------------------
 
-    def _flatten(self, tiles: np.ndarray) -> np.ndarray:
+    def _flatten(self, tiles: np.ndarray, dtype: Optional[np.dtype] = None) -> np.ndarray:
+        if dtype is None:
+            # Dtype-preserving: float32 batches stay float32 end to end
+            # (the inference fast path); everything else upcasts to the
+            # float64 the training loop requires.
+            dtype = tiles.dtype if tiles.dtype in (np.float32, np.float64) else np.float64
         if tiles.ndim == 4:
             if tiles.shape[1:] != self.tile_shape:
                 raise ValueError(f"tiles shaped {tiles.shape[1:]}, model expects {self.tile_shape}")
-            return tiles.reshape(tiles.shape[0], -1).astype(np.float64)
+            return tiles.reshape(tiles.shape[0], -1).astype(dtype, copy=False)
         if tiles.ndim == 2 and tiles.shape[1] == self.input_dim:
-            return tiles.astype(np.float64)
+            return tiles.astype(dtype, copy=False)
         raise ValueError(f"cannot interpret tile array of shape {tiles.shape}")
 
     def encode(self, tiles: np.ndarray) -> np.ndarray:
-        """Latent codes (N, latent_dim)."""
+        """Latent codes (N, latent_dim); preserves a float32 input dtype."""
         return self.encoder.forward(self._flatten(tiles))
 
     def reconstruct(self, tiles: np.ndarray) -> np.ndarray:
@@ -97,7 +102,9 @@ class RotationInvariantAutoencoder:
         return self.decoder.forward(self.encoder.forward(flat))
 
     def reconstruction_error(self, tiles: np.ndarray) -> float:
-        flat = self._flatten(tiles)
+        # An evaluation metric, not a throughput path: pin to float64 so
+        # reported errors do not depend on the caller's storage dtype.
+        flat = self._flatten(tiles, dtype=np.float64)
         recon = self.decoder.forward(self.encoder.forward(flat))
         return float(np.mean((recon - flat) ** 2))
 

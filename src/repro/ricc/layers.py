@@ -84,6 +84,13 @@ class Dense:
 
     def forward(self, x: np.ndarray) -> np.ndarray:
         self._x = x
+        if x.dtype == np.float32:
+            # Dtype-preserving inference path: casting the (small) weight
+            # matrix down keeps the (large) batch matmul in float32 —
+            # half the memory traffic and twice the SIMD width — instead
+            # of NumPy silently upcasting the whole batch to float64.
+            # Training always feeds float64, so gradients are unaffected.
+            return x @ self.w.astype(np.float32) + self.b.astype(np.float32)
         return x @ self.w + self.b
 
     def backward(self, grad: np.ndarray) -> np.ndarray:
