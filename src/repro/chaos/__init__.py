@@ -18,9 +18,11 @@ byte-for-byte the production path.
 from repro.chaos.engine import FaultEvent, FaultInjector, build_injector
 from repro.chaos.plan import FAULT_KINDS, STAGES, FaultPlan, FaultSpec, load_plan
 from repro.chaos.surfaces import (
+    CRASH_EXIT_CODE,
     ChaosArchive,
     ChaosTransferClient,
     chaos_atomic_write,
+    chaos_crash,
     chaos_stall,
     damage_file,
 )
@@ -34,9 +36,11 @@ __all__ = [
     "FaultEvent",
     "FaultInjector",
     "build_injector",
+    "CRASH_EXIT_CODE",
     "ChaosArchive",
     "ChaosTransferClient",
     "chaos_atomic_write",
+    "chaos_crash",
     "chaos_stall",
     "damage_file",
 ]

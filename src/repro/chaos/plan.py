@@ -39,7 +39,10 @@ STAGES = ("download", "preprocess", "monitor", "inference", "shipment")
 #   corrupt_tile   — a completed file whose bytes are damaged (truncated),
 #                    i.e. a crawler-visible partial or bit-rotted NetCDF;
 #   wan_degrade    — the Defiant->Frontier WAN path fails or crawls;
-#   worker_stall   — a compute worker hangs before making progress.
+#   worker_stall   — a compute worker hangs before making progress;
+#   crash          — the orchestrator process dies outright (Slurm
+#                    preemption, node crash): os._exit at the surface,
+#                    no cleanup, no handlers — resume must cope.
 FAULT_KINDS = (
     "http_transient",
     "http_permanent",
@@ -48,6 +51,7 @@ FAULT_KINDS = (
     "corrupt_tile",
     "wan_degrade",
     "worker_stall",
+    "crash",
 )
 
 # Kinds that keep firing on every retry of the same key (times ignored).

@@ -24,16 +24,38 @@ import time
 from typing import Callable, Iterable, List, Optional, Sequence
 
 from repro.chaos.engine import FaultInjector
-from repro.netcdf import Dataset, to_bytes, write as nc_write
+from repro.netcdf import Dataset, to_bytes
 from repro.transfer import LocalTransferClient, TransferError
+from repro.util.atomic import fsync_dir
 
 __all__ = [
+    "CRASH_EXIT_CODE",
     "ChaosArchive",
     "ChaosTransferClient",
     "chaos_atomic_write",
+    "chaos_crash",
     "chaos_stall",
     "damage_file",
 ]
+
+# Distinctive exit status for an injected crash, so harnesses can tell a
+# scheduled kill from an ordinary failure.
+CRASH_EXIT_CODE = 86
+
+# Indirection over os._exit so tests can observe crashes without dying.
+_abort = os._exit
+
+
+def chaos_crash(chaos: Optional[FaultInjector], stage: str, key: str = "") -> None:
+    """Die like a preempted job: immediate process abort, no cleanup.
+
+    ``os._exit`` skips atexit handlers, finally blocks, and buffered
+    flushes — the honest model of SIGKILL-class death.  Fired at a
+    surface *between* an artifact's publication and its journal record,
+    it exercises exactly the window crash-consistent resume must close.
+    """
+    if chaos is not None and chaos.fire(stage, "crash", key):
+        _abort(CRASH_EXIT_CODE)
 
 
 def chaos_stall(
@@ -82,19 +104,30 @@ def chaos_atomic_write(
     * ``corrupt_tile`` — the rename completes but the file's bytes are
       damaged (truncated), i.e. a *crawler-visible* partial: downstream
       readers see a well-named file whose parse fails.
+    * ``crash`` — the process aborts after the temp file is fully
+      written but *before* the rename: the exact torn window resume
+      logic must treat as "never happened".
+
+    The production path (no chaos) is the full crash-consistency
+    triple: temp write, file fsync, atomic rename, directory fsync.
     """
     key = key or final_path
     temp_path = final_path + ".part"
+    blob = to_bytes(ds)
     if chaos is not None and chaos.fire(stage, "torn_write", key):
-        blob = to_bytes(ds)
         with open(temp_path, "wb") as handle:
             handle.write(blob[: max(1, len(blob) // 3)])
         raise OSError(f"chaos: torn write, partial left at {os.path.basename(temp_path)}")
-    nbytes = nc_write(ds, temp_path)
+    with open(temp_path, "wb") as handle:
+        handle.write(blob)
+        handle.flush()
+        os.fsync(handle.fileno())
+    chaos_crash(chaos, stage, key)
     os.replace(temp_path, final_path)
+    fsync_dir(os.path.dirname(final_path))
     if chaos is not None and chaos.fire(stage, "corrupt_tile", key):
         damage_file(final_path)
-    return nbytes
+    return len(blob)
 
 
 class ChaosArchive:
@@ -119,6 +152,7 @@ class ChaosArchive:
 
     def fetch(self, ref, bands: Optional[Iterable[int]] = None):
         key = ref.filename
+        chaos_crash(self._chaos, "download", key)
         for event in self._chaos.fire("download", "slow_fetch", key):
             self._sleeper(event.latency)
         if self._chaos.fire("download", "http_permanent", key):
@@ -141,7 +175,8 @@ class ChaosTransferClient(LocalTransferClient):
         self._chaos = chaos
         self._sleeper = sleeper
 
-    def _move_one(self, src_root, dst_root, name: str, sync: bool) -> str:
+    def _move_one(self, src_root, dst_root, name: str, sync: bool):
+        chaos_crash(self._chaos, "shipment", name)
         events = self._chaos.fire("shipment", "wan_degrade", name)
         for event in events:
             self._sleeper(event.latency)

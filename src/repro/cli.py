@@ -35,6 +35,12 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("config", help="workflow YAML file")
     run.add_argument("--no-provenance", action="store_true", help="skip lineage recording")
     run.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay the run journal and skip work whose artifacts still verify "
+             "(crash-consistent restart of an interrupted run)",
+    )
+    run.add_argument(
         "--chaos",
         metavar="PLAN",
         help="YAML file with a fault-injection plan (a chaos: section or bare "
@@ -92,10 +98,15 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"chaos:      seed {config.chaos.seed}, "
               f"{len(config.chaos.faults)} fault spec(s) over stages "
               f"{list(config.chaos.stages())}")
-    report = EOMLWorkflow(config).run(provenance=not args.no_provenance)
+    if args.resume:
+        print(f"resume:     replaying journal at {config.journal_dir}")
+    report = EOMLWorkflow(config).run(
+        provenance=not args.no_provenance, resume=args.resume
+    )
     print(f"download:   {report.download.files} files "
           f"({format_bytes(report.download.nbytes)}), "
-          f"{report.download.skipped} skipped, {report.download.retried} retried")
+          f"{report.download.skipped} skipped, {report.download.resumed} resumed, "
+          f"{report.download.retried} retried")
     print(f"preprocess: {report.total_tiles} tiles "
           f"({report.preprocess.throughput_tiles_per_s:.1f} tiles/s)")
     print(f"inference:  {report.labelled_tiles} tiles labelled")
@@ -108,6 +119,10 @@ def _cmd_run(args: argparse.Namespace) -> int:
     if report.chaos is not None:
         print(f"chaos:      {report.chaos['faults_injected']} faults injected "
               f"{report.chaos['by_kind']}, {report.quarantined} item(s) quarantined")
+    if report.journal is not None:
+        print(f"journal:    {report.resumed_items} resumed, "
+              f"{report.replayed_items} replayed, "
+              f"{report.manifest_mismatches} manifest mismatch(es)")
     if report.errors:
         print(f"errors: {report.errors}", file=sys.stderr)
         return 1

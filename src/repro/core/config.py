@@ -9,6 +9,7 @@ defines that file's schema and parses it into a typed config object.
 from __future__ import annotations
 
 import datetime as dt
+import os
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Mapping, Optional
 
@@ -124,6 +125,16 @@ _INFERENCE = Schema(
         Field("model_path", string, required=False, default=None),
         Field("poll_interval", number, required=False, default=0.2),
         Field("batch_files", positive_int, required=False, default=8),
+        Field("drain_timeout", _positive_number, required=False, default=300.0),
+    ],
+)
+
+_JOURNAL = Schema(
+    "journal",
+    [
+        Field("enabled", boolean, required=False, default=True),
+        Field("dir", string, required=False, default=None),
+        Field("durable", boolean, required=False, default=True),
     ],
 )
 
@@ -147,6 +158,7 @@ _TOP = Schema(
         Field("preprocess", dict, required=False, default={}),
         Field("inference", dict, required=False, default={}),
         Field("shipment", dict, required=False, default={}),
+        Field("journal", dict, required=False, default={}),
         Field("chaos", dict, required=False, default=None),
     ],
 )
@@ -196,6 +208,12 @@ class EOMLConfig:
     shipment_retries: int = 2
     shipment_timeout: float = 120.0
     shipment_backoff: BackoffPolicy = BackoffPolicy(base=0.02, max_delay=1.0, max_total=5.0)
+    # How long the workflow waits for queued inference work at shutdown.
+    inference_drain_timeout: float = 300.0
+    # Crash-consistent run journaling (repro.journal): WAL + manifests.
+    journal_enabled: bool = True
+    journal_dir: str = "data/journal"
+    journal_durable: bool = True
     chaos: Optional[FaultPlan] = None
     raw: Dict[str, Any] = field(default_factory=dict, compare=False)
 
@@ -216,6 +234,7 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
     preprocess = _PREPROCESS.validate(top["preprocess"] or {}, "preprocess")
     inference = _INFERENCE.validate(top["inference"] or {}, "inference")
     shipment = _SHIPMENT.validate(top["shipment"] or {}, "shipment")
+    journal = _JOURNAL.validate(top["journal"] or {}, "journal")
 
     end_date = archive["end_date"] or archive["start_date"]
     if end_date < archive["start_date"]:
@@ -226,6 +245,12 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
     chaos_plan: Optional[FaultPlan] = None
     if top["chaos"] is not None:
         chaos_plan = FaultPlan.from_mapping(top["chaos"], "chaos")
+
+    # The journal lives beside the other data directories by default so
+    # every run's state lands under the same root as its artifacts.
+    journal_dir = journal["dir"] or os.path.join(
+        os.path.dirname(paths["staging"].rstrip("/")) or ".", "journal",
+    )
 
     return EOMLConfig(
         name=top["name"],
@@ -265,6 +290,10 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
         breaker_reset=download["breaker_reset"],
         shipment_retries=shipment["retries"],
         shipment_timeout=shipment["timeout"],
+        inference_drain_timeout=float(inference["drain_timeout"]),
+        journal_enabled=journal["enabled"],
+        journal_dir=journal_dir,
+        journal_durable=journal["durable"],
         shipment_backoff=BackoffPolicy(
             base=shipment["backoff_base"],
             max_delay=1.0,

@@ -31,6 +31,7 @@ from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import ChaosArchive, chaos_atomic_write
 from repro.compute import LocalComputeEndpoint
 from repro.core.config import EOMLConfig
+from repro.journal import WorkflowJournal
 from repro.modis import GranuleRef, LaadsArchive
 from repro.net.retry import CircuitBreaker
 
@@ -64,7 +65,8 @@ class DownloadReport:
     nbytes: int
     seconds: float
     per_file_seconds: List[float] = field(default_factory=list)
-    skipped: int = 0        # already present (resume)
+    skipped: int = 0        # already present (skip_existing shortcut)
+    resumed: int = 0        # journaled completion verified; zero work redone
     retried: int = 0        # files that recovered after >= 1 transient failure
     retry_attempts: int = 0  # total retry attempts across all files
     failed: List[str] = field(default_factory=list)       # exhausted-retry messages
@@ -81,9 +83,11 @@ class DownloadStage:
         archive: Optional[LaadsArchive] = None,
         chaos: Optional[FaultInjector] = None,
         sleeper: Callable[[float], None] = time.sleep,
+        journal: Optional[WorkflowJournal] = None,
     ):
         self.config = config
         self.chaos = chaos
+        self.journal = journal
         self.archive = archive or LaadsArchive(seed=config.seed)
         if chaos is not None:
             self.archive = ChaosArchive(self.archive, chaos, sleeper=sleeper)
@@ -114,16 +118,31 @@ class DownloadStage:
         """Download one granule: resumable, retried with backoff.
 
         Returns (ref, path, nbytes, seconds, outcome, retry_attempts,
-        error) with outcome one of "fetched", "skipped" (already present
-        from a prior run), "retried" (fetched after >= 1 transient
-        failure), or "failed" (budget exhausted, on_exhausted="skip").
+        error) with outcome one of "fetched", "resumed" (journaled
+        completion whose manifest entry verifies — zero work), "skipped"
+        (already present from a prior run), "retried" (fetched after
+        >= 1 transient failure), or "failed" (budget exhausted,
+        on_exhausted="skip").
         """
         started = time.monotonic()
+        key = ref.filename
         final_path = os.path.join(self.config.staging, ref.filename + ".nc")
-        if self.config.skip_existing and os.path.exists(final_path):
+        redo = False
+        if self.journal is not None:
+            decision = self.journal.resume("download", key)
+            if decision.skip:
+                nbytes = int(decision.payload.get("nbytes", 0)) or os.path.getsize(final_path)
+                return ref, final_path, nbytes, 0.0, "resumed", 0, None
+            # A replay decision means the file on disk (if any) cannot be
+            # trusted: bypass the skip_existing shortcut and re-fetch.
+            redo = decision.redo
+        if not redo and self.config.skip_existing and os.path.exists(final_path):
+            if self.journal is not None:
+                self.journal.complete("download", key, artifact=final_path)
             return ref, final_path, os.path.getsize(final_path), 0.0, "skipped", 0, None
 
-        key = ref.filename
+        if self.journal is not None:
+            self.journal.intent("download", key)
         retries = self.config.download_retries
         attempts = 0  # failures so far
         last_error: Optional[str] = None
@@ -140,6 +159,9 @@ class DownloadStage:
                 nbytes = chaos_atomic_write(
                     ds, final_path, chaos=self.chaos, stage="download", key=key
                 )
+                if self.journal is not None:
+                    # Artifact rename already durable (write ordering).
+                    self.journal.complete("download", key, artifact=final_path)
                 self.breaker.record_success(ARCHIVE_HOST)
                 outcome = "retried" if attempts else "fetched"
                 return (
@@ -187,6 +209,7 @@ class DownloadStage:
         total_bytes = 0
         per_file = []
         skipped = 0
+        resumed = 0
         retried = 0
         retry_attempts = 0
         failed: List[str] = []
@@ -199,6 +222,7 @@ class DownloadStage:
             total_bytes += nbytes
             per_file.append(seconds)
             skipped += outcome == "skipped"
+            resumed += outcome == "resumed"
             retried += outcome == "retried"
             if on_file is not None:
                 on_file(path)
@@ -221,6 +245,7 @@ class DownloadStage:
             seconds=time.monotonic() - started,
             per_file_seconds=per_file,
             skipped=skipped,
+            resumed=resumed,
             retried=retried,
             retry_attempts=retry_attempts,
             failed=failed,

@@ -28,14 +28,16 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.chaos.engine import FaultInjector
-from repro.chaos.surfaces import chaos_stall
+from repro.chaos.surfaces import chaos_crash, chaos_stall
 from repro.core.config import EOMLConfig
 from repro.core.contracts import TILE_FILE
 from repro.core.preprocess import QuarantineRecord
+from repro.journal import WorkflowJournal
 from repro.netcdf import Dataset, from_bytes as nc_from_bytes, to_bytes as nc_to_bytes
 from repro.netcdf.writer import canonical_layout, splice_bytes
 from repro.ricc import AICCAModel
 from repro.telemetry.metrics import MetricsRegistry
+from repro.util.atomic import atomic_write_bytes
 
 __all__ = ["InferenceResult", "infer_tile_file", "InferenceWorker"]
 
@@ -71,14 +73,16 @@ def _labelled_payload(
     return nc_to_bytes(ds)
 
 
-def _publish(payload: bytes, src_path: str, out_dir: str) -> str:
-    """Atomically place the labelled bytes in the transfer-out directory."""
+def _publish(payload: bytes, src_path: str, out_dir: str,
+             durable: bool = True) -> str:
+    """Atomically place the labelled bytes in the transfer-out directory.
+
+    Full crash-consistency triple (temp + fsync + rename + dir fsync):
+    the shipper and resume logic treat presence as completeness.
+    """
     os.makedirs(out_dir, exist_ok=True)
     out_path = os.path.join(out_dir, os.path.basename(src_path))
-    temp_path = out_path + ".part"
-    with open(temp_path, "wb") as handle:
-        handle.write(payload)
-    os.replace(temp_path, out_path)
+    atomic_write_bytes(out_path, payload, durable=durable)
     return out_path
 
 
@@ -135,10 +139,13 @@ class InferenceWorker:
         chaos: Optional[FaultInjector] = None,
         batch_files: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
+        journal: Optional[WorkflowJournal] = None,
     ):
         self.model = model
         self.config = config
         self.chaos = chaos
+        self.journal = journal
+        self._durable = bool(getattr(config, "journal_durable", True))
         self.workers = workers or config.workers.inference
         self.batch_files = max(1, batch_files or getattr(config, "inference_batch_files", 1))
         self.metrics = metrics
@@ -215,6 +222,23 @@ class InferenceWorker:
         started = time.monotonic()
         parsed: List[_ParsedFile] = []
         for path in paths:
+            if self.journal is not None:
+                decision = self.journal.resume("inference", os.path.basename(path))
+                if decision.skip:
+                    # A prior run labelled this file and the published
+                    # output still verifies: surface the journaled result.
+                    payload = decision.payload
+                    self._record_result(
+                        InferenceResult(
+                            src_path=path,
+                            out_path=str(payload.get("artifact", "")),
+                            tiles=int(payload.get("tiles", 0)),
+                            classes_seen=int(payload.get("classes_seen", 0)),
+                            seconds=0.0,
+                        )
+                    )
+                    continue
+                self.journal.intent("inference", os.path.basename(path))
             try:
                 chaos_stall(self.chaos, "inference", os.path.basename(path))
                 with open(path, "rb") as handle:
@@ -273,13 +297,23 @@ class InferenceWorker:
                 payload = _labelled_payload(
                     entry.ds, entry.raw, file_labels, self.model.num_classes
                 )
-                out_path = _publish(payload, entry.path, self.config.transfer_out)
+                # Injected death in the window between labelling and
+                # publication — resume must redo this file from its tile.
+                chaos_crash(self.chaos, "inference", os.path.basename(entry.path))
+                out_path = _publish(payload, entry.path, self.config.transfer_out,
+                                    durable=self._durable)
+                classes_seen = int(np.unique(file_labels).size)
+                if self.journal is not None:
+                    self.journal.complete(
+                        "inference", os.path.basename(entry.path),
+                        artifact=out_path, tiles=count, classes_seen=classes_seen,
+                    )
                 self._record_result(
                     InferenceResult(
                         src_path=entry.path,
                         out_path=out_path,
                         tiles=count,
-                        classes_seen=int(np.unique(file_labels).size),
+                        classes_seen=classes_seen,
                         seconds=time.monotonic() - started,
                     )
                 )

@@ -16,7 +16,11 @@ Hardening:
   and counted, never triggered;
 * with ``require_stable_size`` a file must show the same size on two
   consecutive scans before it triggers — a belt-and-suspenders guard for
-  directories written by non-atomic producers.
+  directories written by non-atomic producers;
+* an optional integrity ``gate`` (the run journal's manifest check) must
+  approve each file before it triggers — a rejected file is *not* marked
+  seen, so a producer that repairs it (a resumed re-preprocess) gets it
+  triggered on a later scan.
 """
 
 from __future__ import annotations
@@ -49,6 +53,7 @@ class DirectoryCrawler:
         pattern_prefix: str = "tiles_",
         poll_interval: float = 0.2,
         require_stable_size: bool = False,
+        gate: Optional[Callable[[str], bool]] = None,
     ):
         if poll_interval <= 0:
             raise ValueError("poll interval must be positive")
@@ -58,8 +63,10 @@ class DirectoryCrawler:
         self.pattern_prefix = pattern_prefix
         self.poll_interval = poll_interval
         self.require_stable_size = require_stable_size
+        self.gate = gate
         self.records: List[CrawlRecord] = []
         self._partials: Set[str] = set()
+        self._rejected: Set[str] = set()
         self._seen: Set[str] = set()
         self._pending_sizes: Dict[str, int] = {}
         self._scan_lock = threading.Lock()
@@ -107,6 +114,12 @@ class DirectoryCrawler:
                     continue
                 if not self._is_settled(path):
                     continue
+                if self.gate is not None and not self.gate(path):
+                    # Integrity rejection: do not mark seen — a repaired
+                    # file (resume rewrote it) triggers on a later scan.
+                    self._rejected.add(path)
+                    continue
+                self._rejected.discard(path)
                 self._seen.add(path)
                 self._pending_sizes.pop(path, None)
                 self.records.append(
@@ -124,6 +137,11 @@ class DirectoryCrawler:
     def partials_seen(self) -> int:
         """Distinct temp (.part) files observed and refused."""
         return len(self._partials)
+
+    @property
+    def rejected(self) -> List[str]:
+        """Files the integrity gate currently refuses to trigger."""
+        return sorted(self._rejected)
 
     # -- background operation ------------------------------------------------
 

@@ -29,6 +29,7 @@ from repro.core.config import EOMLConfig
 from repro.core.contracts import GRANULE_MOD02, GRANULE_MOD03, GRANULE_MOD06
 from repro.core.download import GranuleSet
 from repro.core.tiles import extract_tiles, tiles_to_dataset
+from repro.journal import WorkflowJournal
 from repro.netcdf import read as nc_read
 from repro.pexec import DataFlowKernel
 
@@ -85,24 +86,47 @@ def preprocess_granule_set(
     max_land_fraction: float,
     skip_existing: bool = True,
     chaos: Optional[FaultInjector] = None,
+    journal: Optional[WorkflowJournal] = None,
 ) -> PreprocessResult:
     """The per-granule task body (pure function; safe for any executor).
 
     With ``skip_existing`` a previously produced tile file short-circuits
     the work, making re-runs of an interrupted workflow idempotent.
+    With a journal, resume decisions take precedence: a journaled
+    completion whose manifest entry verifies is returned without any
+    file I/O, and a mid-flight or mismatched item is redone even if a
+    same-named file exists (it cannot be trusted).
     """
     started = time.monotonic()
     chaos_stall(chaos, "preprocess", granules.key)
     os.makedirs(out_dir, exist_ok=True)
     final_path = os.path.join(out_dir, f"tiles_{granules.key.replace('.', '_')}.nc")
-    if skip_existing and os.path.exists(final_path):
+    redo = False
+    if journal is not None:
+        decision = journal.resume("preprocess", granules.key)
+        if decision.skip:
+            payload = decision.payload
+            return PreprocessResult(
+                key=granules.key,
+                tile_path=payload.get("artifact") or None,
+                tiles=int(payload.get("tiles", 0)),
+                seconds=time.monotonic() - started,
+            )
+        redo = decision.redo
+    if not redo and skip_existing and os.path.exists(final_path):
         existing = nc_read(final_path)
+        tiles = int(existing.get_attr("num_tiles")[0])
+        if journal is not None:
+            journal.complete("preprocess", granules.key,
+                             artifact=final_path, tiles=tiles)
         return PreprocessResult(
             key=granules.key,
             tile_path=final_path,
-            tiles=int(existing.get_attr("num_tiles")[0]),
+            tiles=tiles,
             seconds=time.monotonic() - started,
         )
+    if journal is not None:
+        journal.intent("preprocess", granules.key)
     mod02 = nc_read(granules.path_for("021KM"))
     mod03 = nc_read(granules.path_for("03"))
     mod06 = nc_read(granules.path_for("06_L2"))
@@ -125,12 +149,18 @@ def preprocess_granule_set(
         source=granules.key,
     )
     if not tiles:
+        if journal is not None:
+            # A tileless granule is a real completion (nothing to redo).
+            journal.complete("preprocess", granules.key, tiles=0)
         return PreprocessResult(
             key=granules.key, tile_path=None, tiles=0, seconds=time.monotonic() - started
         )
     ds = tiles_to_dataset(tiles, source=granules.key)
     ds.set_attr("true_regime", str(mod02.get_attr("true_regime", "unknown")))
     chaos_atomic_write(ds, final_path, chaos=chaos, stage="preprocess", key=granules.key)
+    if journal is not None:
+        journal.complete("preprocess", granules.key,
+                         artifact=final_path, tiles=len(tiles))
     return PreprocessResult(
         key=granules.key,
         tile_path=final_path,
@@ -147,9 +177,11 @@ class PreprocessStage:
         config: EOMLConfig,
         dfk: Optional[DataFlowKernel] = None,
         chaos: Optional[FaultInjector] = None,
+        journal: Optional[WorkflowJournal] = None,
     ):
         self.config = config
         self.chaos = chaos
+        self.journal = journal
         self._dfk = dfk
         self._owns_dfk = dfk is None
 
@@ -176,7 +208,7 @@ class PreprocessStage:
                         self.config.cloud_threshold,
                         self.config.max_land_fraction,
                     ),
-                    kwargs={"chaos": self.chaos},
+                    kwargs={"chaos": self.chaos, "journal": self.journal},
                 )
                 for granules in granule_sets
             ]

@@ -16,12 +16,13 @@ from __future__ import annotations
 
 import os
 import time
-from dataclasses import dataclass
-from typing import List, Optional
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
 
 from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import ChaosTransferClient
 from repro.core.config import EOMLConfig
+from repro.journal import WorkflowJournal, sha256_file
 from repro.transfer import LocalTransferClient, TransferError
 
 __all__ = ["ShipmentReport", "ShipmentStage"]
@@ -34,6 +35,11 @@ class ShipmentReport:
     seconds: float
     retries: int = 0
     error: Optional[str] = None
+    resumed: int = 0                  # journaled deliveries still intact
+    verified: int = 0                 # destination digests confirmed this run
+    mismatches: List[str] = field(default_factory=list)
+    # file name -> SHA-256 of the delivered bytes (end-to-end identity)
+    checksums: Dict[str, str] = field(default_factory=dict)
 
 
 class ShipmentStage:
@@ -42,8 +48,10 @@ class ShipmentStage:
         config: EOMLConfig,
         client: LocalTransferClient | None = None,
         chaos: Optional[FaultInjector] = None,
+        journal: Optional[WorkflowJournal] = None,
     ):
         self.config = config
+        self.journal = journal
         if client is not None:
             self.client = client
         else:
@@ -59,7 +67,14 @@ class ShipmentStage:
             )
 
     def run(self) -> ShipmentReport:
-        """Ship everything currently in the transfer-out directory."""
+        """Ship everything currently in the transfer-out directory.
+
+        With a journal, delivery is idempotent: a file whose journaled
+        shipment still verifies at the destination is skipped outright,
+        and every newly moved file's digest is re-read *from the
+        destination* and compared against the labelled artifact's
+        journaled digest — the end-to-end integrity check.
+        """
         started = time.monotonic()
         src = self.config.transfer_out
         if not os.path.isdir(src):
@@ -68,19 +83,75 @@ class ShipmentStage:
             name for name in os.listdir(src)
             if name.endswith(".nc") and not name.endswith(".part")
         )
+        checksums: Dict[str, str] = {}
+        moved: List[str] = []
+        pending: List[str] = []
+        resumed = 0
+        if self.journal is not None:
+            for name in names:
+                decision = self.journal.resume("shipment", name)
+                if decision.skip:
+                    payload = decision.payload
+                    moved.append(
+                        payload.get("artifact")
+                        or os.path.join(self.config.destination, name)
+                    )
+                    if payload.get("sha256"):
+                        checksums[name] = payload["sha256"]
+                    resumed += 1
+                else:
+                    pending.append(name)
+        else:
+            pending = list(names)
         before = self.client.bytes_transferred
         retries_before = self.client.retries_used
         error: Optional[str] = None
-        moved: List[str] = []
-        if names:
+        moved_now: List[str] = []
+        if pending:
+            if self.journal is not None:
+                for name in pending:
+                    self.journal.intent("shipment", name)
             try:
-                moved = self.client.transfer(src, self.config.destination, names)
+                moved_now = self.client.transfer(src, self.config.destination, pending)
             except TransferError as exc:
                 error = str(exc)
+        # Destination-side verification: trust nothing the copy loop
+        # reported; re-digest the delivered bytes where they landed.
+        verified = 0
+        mismatches: List[str] = []
+        for name, dst_path in zip(pending, moved_now):
+            try:
+                delivered = sha256_file(dst_path)
+            except OSError:
+                mismatches.append(name)
+                continue
+            src_path = os.path.join(src, name)
+            expected: Optional[str] = None
+            if self.journal is not None:
+                expected = self.journal.expected_sha(src_path)
+            if expected is None:
+                try:
+                    expected = sha256_file(src_path)
+                except OSError:
+                    expected = None
+            checksums[name] = delivered
+            if expected is not None and delivered != expected:
+                mismatches.append(name)
+                continue
+            verified += 1
+            if self.journal is not None:
+                self.journal.complete(
+                    "shipment", name, artifact=dst_path, sha256=delivered,
+                )
+        moved.extend(moved_now)
         return ShipmentReport(
             moved=moved,
             nbytes=self.client.bytes_transferred - before,
             seconds=time.monotonic() - started,
             retries=self.client.retries_used - retries_before,
             error=error,
+            resumed=resumed,
+            verified=verified,
+            mismatches=mismatches,
+            checksums=checksums,
         )

@@ -26,6 +26,7 @@ import numpy as np
 
 from repro.chaos import build_injector
 from repro.core.config import EOMLConfig
+from repro.journal import WorkflowJournal
 from repro.core.download import DownloadReport, DownloadStage
 from repro.core.inference import InferenceResult, InferenceWorker
 from repro.core.monitor import DirectoryCrawler
@@ -56,6 +57,12 @@ class WorkflowReport:
     metrics: Optional[MetricsRegistry] = None
     chaos: Optional[Dict[str, object]] = None  # injector summary, if chaos ran
     inference_quarantined: List = field(default_factory=list)
+    # Resilience counters from the run journal (zeros when journaling
+    # is off or the run started fresh with nothing to reuse).
+    resumed_items: int = 0
+    replayed_items: int = 0
+    manifest_mismatches: int = 0
+    journal: Optional[Dict[str, object]] = None  # WorkflowJournal.summary()
 
     @property
     def total_tiles(self) -> int:
@@ -91,11 +98,31 @@ class EOMLWorkflow:
 
     # -- model bootstrap ------------------------------------------------------
 
-    def _ensure_model(self, tile_paths: List[str]) -> AICCAModel:
+    def _effective_model_path(self, journal: Optional[WorkflowJournal]) -> Optional[str]:
+        """Where the bootstrapped model persists.
+
+        Without an explicit ``inference.model_path`` the journal directory
+        hosts it, so a resumed run reloads instead of retraining.
+        """
+        if self.config.model_path:
+            return self.config.model_path
+        if journal is not None:
+            return os.path.join(journal.directory, "model.npz")
+        return None
+
+    def _ensure_model(
+        self,
+        tile_paths: List[str],
+        model_path: Optional[str] = None,
+        journal: Optional[WorkflowJournal] = None,
+    ) -> AICCAModel:
         if self.model is not None:
             return self.model
-        if self.config.model_path and os.path.exists(self.config.model_path):
-            self.model = AICCAModel.load(self.config.model_path)
+        model_path = model_path or self.config.model_path
+        if model_path and os.path.exists(model_path):
+            self.model = AICCAModel.load(model_path)
+            if journal is not None:
+                journal.complete("model", "aicca-model", artifact=model_path)
             return self.model
         stacks = []
         for path in tile_paths:
@@ -105,6 +132,8 @@ class EOMLWorkflow:
             raise RuntimeError("no tiles available to bootstrap an AICCA model")
         tiles = np.concatenate(stacks)
         num_classes = min(self.config.num_classes, max(2, tiles.shape[0] // 4))
+        if journal is not None:
+            journal.intent("model", "aicca-model")
         self.model, _history = AICCAModel.train(
             tiles,
             num_classes=num_classes,
@@ -113,14 +142,16 @@ class EOMLWorkflow:
             epochs=8,
             seed=self.config.seed,
         )
-        if self.config.model_path:
-            os.makedirs(os.path.dirname(self.config.model_path) or ".", exist_ok=True)
-            self.model.save(self.config.model_path)
+        if model_path:
+            os.makedirs(os.path.dirname(model_path) or ".", exist_ok=True)
+            self.model.save(model_path)
+            if journal is not None:
+                journal.complete("model", "aicca-model", artifact=model_path)
         return self.model
 
     # -- the run ------------------------------------------------------------
 
-    def run(self, provenance: bool = True) -> WorkflowReport:
+    def run(self, provenance: bool = True, resume: bool = False) -> WorkflowReport:
         timeline = WallClockTimeline()
         config = self.config
         # Created up front so hot-path stages (inference micro-batching)
@@ -134,13 +165,25 @@ class EOMLWorkflow:
         # below degenerates to the exact production path.
         chaos = build_injector(config.chaos)
 
+        # The run journal: write-ahead intents/completions plus the
+        # integrity manifest.  ``resume`` replays a dead run's journal
+        # and turns every stage below into an idempotent consumer.
+        journal: Optional[WorkflowJournal] = None
+        if config.journal_enabled:
+            journal = WorkflowJournal(config.journal_dir, durable=config.journal_durable)
+            journal.start(resume=resume)
+
         # (1) Download, with per-worker gauge bumps.
         timeline.begin("download")
-        download_stage = DownloadStage(config, archive=self.archive, chaos=chaos)
+        download_stage = DownloadStage(
+            config, archive=self.archive, chaos=chaos, journal=journal
+        )
         timeline.workers("download", config.workers.download)
         download = download_stage.run()
         timeline.workers("download", -config.workers.download)
         timeline.end("download", files=download.files)
+        if journal is not None:
+            journal.checkpoint()
         if prov:
             activity = prov.start_activity(
                 "download", "globus-compute", workers=config.workers.download
@@ -163,12 +206,26 @@ class EOMLWorkflow:
         # training data is needed — advancing past quarantined or tileless
         # granules until one yields tiles, so a single corrupt scene can
         # not sink the whole run.
-        preprocess_stage = PreprocessStage(config, chaos=chaos)
+        preprocess_stage = PreprocessStage(config, chaos=chaos, journal=journal)
+        model_path = self._effective_model_path(journal)
+        if journal is not None and self.model is None:
+            model_decision = journal.resume("model", "aicca-model")
+            if (
+                model_decision.redo
+                and model_path
+                and not config.model_path
+                and os.path.exists(model_path)
+            ):
+                # A mid-train crash (or digest mismatch) makes the
+                # journal-owned bootstrap model untrustworthy; retrain.
+                # An explicitly configured model file is the user's —
+                # never deleted here.
+                os.remove(model_path)
         bootstrap_paths: List[str] = []
         bootstrap_reports: List[PreprocessReport] = []
         consumed = 0
         if self.model is None and not (
-            config.model_path and os.path.exists(config.model_path)
+            model_path and os.path.exists(model_path)
         ):
             for granule_set in granule_sets:
                 head = preprocess_stage.run([granule_set])
@@ -177,13 +234,16 @@ class EOMLWorkflow:
                 bootstrap_paths = [r.tile_path for r in head.results if r.tile_path]
                 if bootstrap_paths:
                     break
-        model = self._ensure_model(bootstrap_paths)
+        model = self._ensure_model(bootstrap_paths, model_path=model_path, journal=journal)
 
-        inference = InferenceWorker(model, config, chaos=chaos, metrics=metrics)
+        inference = InferenceWorker(
+            model, config, chaos=chaos, metrics=metrics, journal=journal
+        )
         crawler = DirectoryCrawler(
             config.preprocessed,
             trigger=inference.submit,
             poll_interval=config.poll_interval,
+            gate=journal.artifact_ok if journal is not None else None,
         )
         timeline.workers("inference", config.workers.inference)
         with inference, crawler:
@@ -193,9 +253,11 @@ class EOMLWorkflow:
             timeline.end("preprocess", tiles=preprocess.total_tiles)
             timeline.begin("inference")
             crawler.scan_once()
-            inference.drain(timeout=300.0)
+            inference.drain(timeout=config.inference_drain_timeout)
         timeline.workers("inference", -config.workers.inference)
         timeline.end("inference", files=len(inference.results))
+        if journal is not None:
+            journal.checkpoint()
 
         # Fold the bootstrap granules back into the report.
         for head in reversed(bootstrap_reports):
@@ -237,14 +299,22 @@ class EOMLWorkflow:
         shipment: Optional[ShipmentReport] = None
         if config.ship:
             timeline.begin("shipment")
-            shipment = ShipmentStage(config, chaos=chaos).run()
+            shipment = ShipmentStage(config, chaos=chaos, journal=journal).run()
             timeline.end("shipment", files=len(shipment.moved))
+            if journal is not None:
+                journal.checkpoint()
             if prov and shipment.moved:
                 activity = prov.start_activity("shipment", "globus-transfer")
                 for inf in inference.results:
                     prov.record_use(activity, prov.entity("labelled_file", inf.out_path))
                 for path in shipment.moved:
-                    prov.record_generation(activity, prov.entity("delivered_file", path))
+                    prov.record_generation(
+                        activity,
+                        prov.entity(
+                            "delivered_file", path,
+                            checksum=shipment.checksums.get(os.path.basename(path)),
+                        ),
+                    )
                 prov.end_activity(activity)
 
         # Telemetry rollup (Section V-A's workflow-insight goal).
@@ -286,12 +356,29 @@ class EOMLWorkflow:
             for kind, count in sorted(chaos.counts_by_kind().items()):
                 faults.inc(count, kind=kind)
 
+        # Checkpoint/resume accounting (always present, zeros on fresh
+        # clean runs, so dashboards can rely on the keys).
+        journal_counters = (
+            journal.counters() if journal is not None
+            else {"resumed_items": 0, "replayed_items": 0, "manifest_mismatches": 0}
+        )
+        metrics.counter("resumed_items").inc(journal_counters["resumed_items"])
+        metrics.counter("replayed_items").inc(journal_counters["replayed_items"])
+        metrics.counter("manifest_mismatches").inc(journal_counters["manifest_mismatches"])
+
         errors = list(crawler.errors) + list(inference.errors)
         errors.extend(download.failed)
         errors.extend(f"incomplete scene dropped: {key}" for key in download.incomplete)
         errors.extend(f"preprocess quarantined {q.describe()}" for q in preprocess.quarantined)
         if shipment is not None and shipment.error:
             errors.append(f"shipment: {shipment.error}")
+        if shipment is not None:
+            errors.extend(
+                f"shipment integrity mismatch at destination: {name}"
+                for name in shipment.mismatches
+            )
+        if journal is not None:
+            journal.close()
         return WorkflowReport(
             download=download,
             preprocess=preprocess,
@@ -304,4 +391,8 @@ class EOMLWorkflow:
             metrics=metrics,
             chaos=chaos.summary() if chaos is not None else None,
             inference_quarantined=list(inference.quarantined),
+            resumed_items=journal_counters["resumed_items"],
+            replayed_items=journal_counters["replayed_items"],
+            manifest_mismatches=journal_counters["manifest_mismatches"],
+            journal=journal.summary() if journal is not None else None,
         )

@@ -1,0 +1,27 @@
+"""Crash-consistent run journaling: WAL + integrity manifests + resume."""
+
+from repro.journal.journal import (
+    COMPLETE,
+    INTENT,
+    JournalRecord,
+    JournalState,
+    RunJournal,
+)
+from repro.journal.manifest import IntegrityManifest, sha256_file
+from repro.journal.checkpoint import (
+    FRESH,
+    JOURNAL_NAME,
+    MANIFEST_NAME,
+    REPLAY,
+    RESUMED,
+    ResumeDecision,
+    WorkflowJournal,
+    verify_file,
+)
+
+__all__ = [
+    "INTENT", "COMPLETE", "JournalRecord", "RunJournal", "JournalState",
+    "IntegrityManifest", "sha256_file",
+    "FRESH", "RESUMED", "REPLAY", "ResumeDecision", "WorkflowJournal",
+    "JOURNAL_NAME", "MANIFEST_NAME", "verify_file",
+]

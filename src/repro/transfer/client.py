@@ -11,7 +11,7 @@ does the same thing for real on local directories: copy + SHA-256 verify.
 from __future__ import annotations
 
 import hashlib
-import shutil
+import os
 import time
 from pathlib import Path
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
@@ -177,6 +177,9 @@ class LocalTransferClient:
         self.bytes_transferred = 0
         self.files_skipped = 0
         self.retries_used = 0
+        # Per-file accounting for the most recent transfer() call, with
+        # the delivered checksum populated (end-to-end integrity).
+        self.last_records: List[TransferItem] = []
 
     @staticmethod
     def _digest(path: Path) -> str:
@@ -186,21 +189,37 @@ class LocalTransferClient:
                 sha.update(chunk)
         return sha.hexdigest()
 
-    def _move_one(self, src_root: Path, dst_root: Path, name: str, sync: bool) -> str:
-        """Move a single file; the per-file failure surface subclasses wrap."""
+    def _move_one(
+        self, src_root: Path, dst_root: Path, name: str, sync: bool
+    ) -> Tuple[str, str, bool]:
+        """Move a single file; the per-file failure surface subclasses wrap.
+
+        Returns ``(dst_path, delivered_sha256, skipped)``.  The copy is
+        atomic at the destination (temp name + fsync + ``os.replace``):
+        a consumer or a resumed run never observes a half-copied file
+        under the final name, even if this process dies mid-move.
+        """
         src = src_root / name
         if not src.is_file():
             raise TransferError(f"source missing: {src}")
         dst = dst_root / name
-        if sync and dst.is_file() and self._digest(src) == self._digest(dst):
+        src_digest = self._digest(src)
+        if sync and dst.is_file() and src_digest == self._digest(dst):
             self.files_skipped += 1
-            return str(dst)
-        shutil.copyfile(src, dst)
-        if self._digest(src) != self._digest(dst):
+            return str(dst), src_digest, True
+        temp = dst_root / (name + ".part")
+        with open(src, "rb") as reader, open(temp, "wb") as writer:
+            for chunk in iter(lambda: reader.read(1 << 20), b""):
+                writer.write(chunk)
+            writer.flush()
+            os.fsync(writer.fileno())
+        os.replace(temp, dst)
+        delivered = self._digest(dst)
+        if src_digest != delivered:
             dst.unlink(missing_ok=True)
             raise TransferError(f"integrity check failed for {name}")
         self.bytes_transferred += src.stat().st_size
-        return str(dst)
+        return str(dst), delivered, False
 
     def transfer(
         self,
@@ -220,6 +239,7 @@ class LocalTransferClient:
         dst_root.mkdir(parents=True, exist_ok=True)
         deadline = None if self.timeout is None else time.monotonic() + self.timeout
         moved: List[str] = []
+        self.last_records = []
         for name in names:
             attempts = 0
             while True:
@@ -228,7 +248,21 @@ class LocalTransferClient:
                         f"transfer timed out after {self.timeout}s while moving {name}"
                     )
                 try:
-                    moved.append(self._move_one(src_root, dst_root, name, sync))
+                    dst_path, checksum, skipped = self._move_one(
+                        src_root, dst_root, name, sync
+                    )
+                    moved.append(dst_path)
+                    self.last_records.append(
+                        TransferItem(
+                            src_path=str(src_root / name),
+                            dst_path=dst_path,
+                            nbytes=os.path.getsize(dst_path),
+                            done=True,
+                            verified=True,
+                            skipped=skipped,
+                            checksum=checksum,
+                        )
+                    )
                     break
                 except TransferError:
                     attempts += 1

@@ -31,6 +31,7 @@ class TransferItem:
     done: bool = False
     verified: bool = False
     skipped: bool = False   # sync mode: destination already current
+    checksum: Optional[str] = None  # SHA-256 of the delivered bytes
 
 
 @dataclass

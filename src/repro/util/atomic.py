@@ -1,0 +1,55 @@
+"""Durable, atomic file publication: temp name + fsync + ``os.replace``.
+
+Every artifact the workflow publishes (granule NetCDFs, tile files,
+labelled files, shipped copies, journal manifests) must be either absent
+or complete — even across a process crash — because consumers (the
+crawler, resume logic, downstream facilities) treat presence as
+completeness.  The pattern is the classic crash-consistency triple:
+write to a temp name in the same directory, fsync the file so the bytes
+are on disk before the rename, ``os.replace`` (atomic on POSIX), then
+fsync the directory so the rename itself survives power loss.
+"""
+
+from __future__ import annotations
+
+import os
+
+__all__ = ["TEMP_SUFFIX", "atomic_write_bytes", "fsync_dir"]
+
+# The shared temp-name convention: writers publish ``<final>.part`` and
+# rename; crawlers and shippers skip the suffix unconditionally.
+TEMP_SUFFIX = ".part"
+
+
+def fsync_dir(directory: str) -> None:
+    """Best-effort directory fsync (makes a completed rename durable)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # platform or filesystem without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: str, payload: bytes, durable: bool = True) -> int:
+    """Publish ``payload`` at ``path`` atomically; returns the byte count.
+
+    With ``durable`` (the default) the temp file is fsynced before the
+    rename and the directory after it, so a crash at any instant leaves
+    either the previous content or the complete new content — never a
+    torn file under the final name.
+    """
+    temp_path = path + TEMP_SUFFIX
+    with open(temp_path, "wb") as handle:
+        handle.write(payload)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+    if durable:
+        fsync_dir(os.path.dirname(path))
+    return len(payload)

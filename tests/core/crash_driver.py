@@ -1,0 +1,75 @@
+"""Subprocess driver for the kill-and-resume harness.
+
+Runs the real five-stage workflow in its own process so an injected
+``crash`` fault (``os._exit``) kills a *whole process*, exactly like a
+Slurm preemption — then the harness launches this driver again with
+``--resume`` and checks the delivered corpus.
+
+Usage:
+    python crash_driver.py ROOT [--crash-stage STAGE] [--resume]
+
+Prints ``key=value`` lines the harness parses.
+"""
+
+import argparse
+import os
+import sys
+
+
+def build_raw_config(root: str, granules: int) -> dict:
+    return {
+        "archive": {
+            "start_date": "2022-01-01",
+            "max_granules_per_day": granules,
+            "seed": 3,
+        },
+        "paths": {
+            "staging": os.path.join(root, "data", "raw"),
+            "preprocessed": os.path.join(root, "data", "tiles"),
+            "transfer_out": os.path.join(root, "data", "outbox"),
+            "destination": os.path.join(root, "data", "orion"),
+            "quarantine": os.path.join(root, "data", "quarantine"),
+        },
+        "download": {"workers": 2},
+        "preprocess": {"workers": 2},
+        "inference": {"workers": 1, "poll_interval": 0.05},
+        "journal": {"dir": os.path.join(root, "data", "journal")},
+    }
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser()
+    parser.add_argument("root", help="run directory (all paths live under it)")
+    parser.add_argument("--crash-stage", default=None,
+                        help="inject a seeded crash fault at this stage")
+    parser.add_argument("--resume", action="store_true")
+    parser.add_argument("--granules", type=int, default=2)
+    args = parser.parse_args()
+
+    from repro.core import EOMLWorkflow, load_config
+    from repro.modis import MINI_SWATH, LaadsArchive
+
+    raw = build_raw_config(args.root, args.granules)
+    if args.crash_stage:
+        raw["chaos"] = {
+            "seed": 0,
+            "faults": [{"stage": args.crash_stage, "kind": "crash"}],
+        }
+    config = load_config(raw)
+    workflow = EOMLWorkflow(config, archive=LaadsArchive(seed=3, swath=MINI_SWATH))
+    report = workflow.run(provenance=False, resume=args.resume)
+
+    shipped = len(report.shipment.moved) if report.shipment else 0
+    fetched = report.download.files - report.download.skipped - report.download.resumed
+    print(f"fetched={fetched}")
+    print(f"resumed_downloads={report.download.resumed}")
+    print(f"resumed_items={report.resumed_items}")
+    print(f"replayed_items={report.replayed_items}")
+    print(f"manifest_mismatches={report.manifest_mismatches}")
+    print(f"shipped={shipped}")
+    print(f"errors={len(report.errors)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -377,7 +377,7 @@ class TestCliChaosFlags:
             def __init__(self, config):
                 captured["chaos"] = config.chaos
 
-            def run(self, provenance=True):
+            def run(self, provenance=True, resume=False):
                 raise SystemExit(0)  # the plumbing, not the pipeline, is under test
 
         monkeypatch.setattr("repro.core.EOMLWorkflow", FakeWorkflow)

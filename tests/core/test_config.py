@@ -88,3 +88,64 @@ class TestLoadConfig:
     def test_non_mapping(self):
         with pytest.raises(ConfigError):
             load_config("- just\n- a\n- list\n")
+
+
+class TestJournalConfig:
+    def test_defaults_derive_journal_dir_from_staging(self):
+        config = load_config(
+            "archive:\n  start_date: 2022-01-01\n"
+            "paths:\n  staging: /scratch/run7/raw\n"
+        )
+        assert config.journal_enabled is True
+        assert config.journal_durable is True
+        # The journal lives beside (not inside) the watched staging tree.
+        assert config.journal_dir == "/scratch/run7/journal"
+
+    def test_explicit_journal_section(self):
+        config = load_config(
+            {
+                "archive": {"start_date": "2022-01-01"},
+                "journal": {
+                    "enabled": False,
+                    "dir": "/state/journal",
+                    "durable": False,
+                },
+            }
+        )
+        assert config.journal_enabled is False
+        assert config.journal_dir == "/state/journal"
+        assert config.journal_durable is False
+
+    def test_enabled_must_be_boolean(self):
+        with pytest.raises(ConfigError, match="boolean"):
+            load_config(
+                "archive:\n  start_date: 2022-01-01\n"
+                "journal:\n  enabled: maybe\n"
+            )
+
+    def test_unknown_journal_key_rejected(self):
+        with pytest.raises(ConfigError, match="unknown keys"):
+            load_config(
+                "archive:\n  start_date: 2022-01-01\n"
+                "journal:\n  path: /state\n"
+            )
+
+
+class TestDrainTimeoutConfig:
+    def test_default(self):
+        config = load_config("archive:\n  start_date: 2022-01-01\n")
+        assert config.inference_drain_timeout == 300.0
+
+    def test_override(self):
+        config = load_config(
+            "archive:\n  start_date: 2022-01-01\n"
+            "inference:\n  drain_timeout: 42.5\n"
+        )
+        assert config.inference_drain_timeout == 42.5
+
+    def test_must_be_positive(self):
+        with pytest.raises(ConfigError, match="positive"):
+            load_config(
+                "archive:\n  start_date: 2022-01-01\n"
+                "inference:\n  drain_timeout: 0\n"
+            )
