@@ -11,13 +11,12 @@ Files are written atomically (temp name + rename) so the downstream
 barrier ("preprocessing is delayed until all downloads are complete")
 guards against partially-written files exactly as the paper describes.
 
-Resilience: transient archive failures (LAADS 503s and their injected
-chaos twins) are retried with capped exponential backoff — never
-immediately, so a flaky archive is not hammered by a retry storm — and
-a per-host circuit breaker shared by all download workers fails fast
-while the archive is persistently down.  With ``download.on_exhausted:
-skip`` a granule whose retry budget is spent is recorded as failed and
-its (now incomplete) scene is dropped, instead of aborting the run.
+Each granule is one :class:`~repro.runtime.unit.WorkUnit` executed
+through the shared stage runtime: the middleware stack supplies journal
+resume/complete, retry with capped backoff, the per-host circuit
+breaker, and quarantine policy (``download.on_exhausted``), so this
+module only states *what* a download is — fetch + atomic write — and
+its policies.
 """
 
 from __future__ import annotations
@@ -34,6 +33,17 @@ from repro.core.config import EOMLConfig
 from repro.journal import WorkflowJournal
 from repro.modis import GranuleRef, LaadsArchive
 from repro.net.retry import CircuitBreaker
+from repro.runtime import (
+    FAILED,
+    RESUMED,
+    RETRIED,
+    SKIPPED,
+    FailurePolicy,
+    RetrySpec,
+    UnitResult,
+    WorkUnit,
+    build_executor,
+)
 
 __all__ = ["GranuleSet", "DownloadReport", "DownloadStage"]
 
@@ -97,6 +107,9 @@ class DownloadStage:
             reset_after=config.breaker_reset,
         )
         self._sleeper = sleeper
+        self._executor = build_executor(
+            journal=journal, chaos=chaos, sleeper=sleeper
+        )
 
     def plan(self) -> List[GranuleRef]:
         """The catalog query: every product over the configured span."""
@@ -112,10 +125,65 @@ class DownloadStage:
             )
         return refs
 
+    def _unit_for(self, ref: GranuleRef) -> WorkUnit:
+        """One granule download as a work unit."""
+        key = ref.filename
+        final_path = os.path.join(self.config.staging, ref.filename + ".nc")
+
+        def precheck(ctx) -> Optional[UnitResult]:
+            # A replay decision means the file on disk (if any) cannot be
+            # trusted: bypass the skip_existing shortcut and re-fetch.
+            if not ctx.redo and self.config.skip_existing and os.path.exists(final_path):
+                return UnitResult(
+                    outcome=SKIPPED,
+                    artifact=final_path,
+                    value=os.path.getsize(final_path),
+                )
+            return None
+
+        def body(ctx) -> UnitResult:
+            ctx.begin()
+            ds = self.archive.fetch(ref)
+            nbytes = chaos_atomic_write(
+                ds, final_path, chaos=self.chaos, stage="download", key=key
+            )
+            return UnitResult(outcome="done", artifact=final_path, value=nbytes)
+
+        def cleanup() -> None:
+            # Retry budget exhausted: remove any torn temp file so crashed
+            # writes leave no litter for the barrier to trip on.
+            temp_path = final_path + ".part"
+            if os.path.exists(temp_path):
+                os.remove(temp_path)
+
+        return WorkUnit(
+            stage="download",
+            key=key,
+            body=body,
+            precheck=precheck,
+            retry=RetrySpec(
+                retries=self.config.download_retries,
+                backoff=self.backoff,
+                breaker=self.breaker,
+                host=ARCHIVE_HOST,
+                retry_on=(OSError, RuntimeError),
+                sleeper=self._sleeper,
+            ),
+            failure=FailurePolicy(
+                on_exhausted=(
+                    "record" if self.config.download_on_exhausted == "skip" else "raise"
+                ),
+                describe=lambda attempts, error: (
+                    f"download of {ref.filename} failed after {attempts} attempts: {error}"
+                ),
+                cleanup=cleanup,
+            ),
+        )
+
     def _fetch_one(
         self, ref: GranuleRef
     ) -> Tuple[GranuleRef, Optional[str], int, float, str, int, Optional[str]]:
-        """Download one granule: resumable, retried with backoff.
+        """Download one granule through the stage runtime.
 
         Returns (ref, path, nbytes, seconds, outcome, retry_attempts,
         error) with outcome one of "fetched", "resumed" (journaled
@@ -125,67 +193,18 @@ class DownloadStage:
         on_exhausted="skip").
         """
         started = time.monotonic()
-        key = ref.filename
         final_path = os.path.join(self.config.staging, ref.filename + ".nc")
-        redo = False
-        if self.journal is not None:
-            decision = self.journal.resume("download", key)
-            if decision.skip:
-                nbytes = int(decision.payload.get("nbytes", 0)) or os.path.getsize(final_path)
-                return ref, final_path, nbytes, 0.0, "resumed", 0, None
-            # A replay decision means the file on disk (if any) cannot be
-            # trusted: bypass the skip_existing shortcut and re-fetch.
-            redo = decision.redo
-        if not redo and self.config.skip_existing and os.path.exists(final_path):
-            if self.journal is not None:
-                self.journal.complete("download", key, artifact=final_path)
-            return ref, final_path, os.path.getsize(final_path), 0.0, "skipped", 0, None
-
-        if self.journal is not None:
-            self.journal.intent("download", key)
-        retries = self.config.download_retries
-        attempts = 0  # failures so far
-        last_error: Optional[str] = None
-        while True:
-            if not self.breaker.allow(ARCHIVE_HOST):
-                last_error = f"circuit open for host {ARCHIVE_HOST!r}"
-                attempts += 1
-                if attempts > retries:
-                    break
-                self._sleeper(self.backoff.delay(attempts - 1, key=key))
-                continue
-            try:
-                ds = self.archive.fetch(ref)
-                nbytes = chaos_atomic_write(
-                    ds, final_path, chaos=self.chaos, stage="download", key=key
-                )
-                if self.journal is not None:
-                    # Artifact rename already durable (write ordering).
-                    self.journal.complete("download", key, artifact=final_path)
-                self.breaker.record_success(ARCHIVE_HOST)
-                outcome = "retried" if attempts else "fetched"
-                return (
-                    ref, final_path, nbytes, time.monotonic() - started,
-                    outcome, attempts, None,
-                )
-            except (OSError, RuntimeError) as exc:
-                self.breaker.record_failure(ARCHIVE_HOST)
-                last_error = str(exc)
-                attempts += 1
-                if attempts > retries:
-                    break
-                # Backoff before the next try — never an immediate retry.
-                self._sleeper(self.backoff.delay(attempts - 1, key=key))
-
-        # Retry budget exhausted.  Remove any torn temp file so crashed
-        # writes leave no litter for the barrier to trip on.
-        temp_path = final_path + ".part"
-        if os.path.exists(temp_path):
-            os.remove(temp_path)
-        message = f"download of {ref.filename} failed after {attempts} attempts: {last_error}"
-        if self.config.download_on_exhausted == "raise":
-            raise RuntimeError(message)
-        return ref, None, 0, time.monotonic() - started, "failed", attempts, message
+        result = self._executor.execute(self._unit_for(ref))
+        if result.outcome == RESUMED:
+            nbytes = int(result.payload.get("nbytes", 0)) or os.path.getsize(final_path)
+            return ref, final_path, nbytes, 0.0, "resumed", 0, None
+        if result.outcome == SKIPPED:
+            return ref, final_path, int(result.value), 0.0, "skipped", 0, None
+        seconds = time.monotonic() - started
+        if result.outcome == FAILED:
+            return ref, None, 0, seconds, "failed", result.attempts, result.error
+        outcome = "retried" if result.outcome == RETRIED else "fetched"
+        return ref, final_path, int(result.value), seconds, outcome, result.attempts, None
 
     def run(
         self,

@@ -22,13 +22,14 @@ import os
 import queue
 import threading
 import time
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.chaos.engine import FaultInjector
-from repro.chaos.surfaces import chaos_crash, chaos_stall
+from repro.chaos.surfaces import chaos_crash
 from repro.core.config import EOMLConfig
 from repro.core.contracts import TILE_FILE
 from repro.core.preprocess import QuarantineRecord
@@ -36,6 +37,14 @@ from repro.journal import WorkflowJournal
 from repro.netcdf import Dataset, from_bytes as nc_from_bytes, to_bytes as nc_to_bytes
 from repro.netcdf.writer import canonical_layout, splice_bytes
 from repro.ricc import AICCAModel
+from repro.runtime import (
+    QUARANTINED,
+    RESUMED,
+    FailurePolicy,
+    UnitResult,
+    WorkUnit,
+    build_executor,
+)
 from repro.telemetry.metrics import MetricsRegistry
 from repro.util.atomic import atomic_write_bytes
 
@@ -159,6 +168,7 @@ class InferenceWorker:
         # so drain() blocks on progress instead of busy-polling.
         self._done = threading.Condition(self._lock)
         self._submitted = 0
+        self._executor = build_executor(journal=journal, chaos=chaos, metrics=metrics)
 
     def _quarantine(self, path: str, error: str) -> None:
         """Set a bad tile file aside so re-runs do not trip on it again."""
@@ -218,38 +228,98 @@ class InferenceWorker:
             if saw_stop:
                 return
 
+    def _quarantine_policy(self, path: str) -> FailurePolicy:
+        """Record-and-quarantine instead of raising: one bad file must
+        never sink its batch or stall the consumer loop."""
+
+        def on_caught(message: str) -> None:
+            self._record_error(path, message)
+            self._quarantine(path, message)
+
+        return FailurePolicy(catch=(Exception,), on_caught=on_caught)
+
+    def _parse_unit(self, path: str) -> WorkUnit:
+        """Read + validate one tile file ("open" phase: resume decisions
+        and the write-ahead intent happen here; completion happens in the
+        publish unit once the labelled file lands)."""
+
+        def body(ctx) -> _ParsedFile:
+            ctx.begin()
+            with open(path, "rb") as handle:
+                raw = handle.read()
+            ds = nc_from_bytes(raw)
+            TILE_FILE.validate(ds)
+            radiance = np.asarray(ds["radiance"].data, dtype=np.float32)
+            return _ParsedFile(path=path, raw=raw, ds=ds, radiance=radiance)
+
+        return WorkUnit(
+            stage="inference",
+            key=os.path.basename(path),
+            body=body,
+            journal_phase="open",
+            failure=self._quarantine_policy(path),
+        )
+
+    def _publish_unit(
+        self, entry: _ParsedFile, labels: Optional[np.ndarray]
+    ) -> WorkUnit:
+        """Label + publish one parsed file ("close" phase: the journal
+        completion records the artifact once publication succeeds)."""
+
+        def body(ctx) -> UnitResult:
+            file_labels = (
+                labels if labels is not None else self.model.assign(entry.radiance)
+            )
+            payload = _labelled_payload(
+                entry.ds, entry.raw, file_labels, self.model.num_classes
+            )
+            # Injected death in the window between labelling and
+            # publication — resume must redo this file from its tile.
+            chaos_crash(self.chaos, "inference", os.path.basename(entry.path))
+            out_path = _publish(payload, entry.path, self.config.transfer_out,
+                                durable=self._durable)
+            classes_seen = int(np.unique(file_labels).size)
+            return UnitResult(
+                outcome="done",
+                value=(out_path, classes_seen),
+                artifact=out_path,
+                payload={
+                    "tiles": int(entry.radiance.shape[0]),
+                    "classes_seen": classes_seen,
+                },
+            )
+
+        return WorkUnit(
+            stage="inference",
+            key=os.path.basename(entry.path),
+            body=body,
+            journal_phase="close",
+            stall=False,
+            failure=self._quarantine_policy(entry.path),
+        )
+
     def _process_batch(self, paths: Sequence[str]) -> None:
         started = time.monotonic()
         parsed: List[_ParsedFile] = []
         for path in paths:
-            if self.journal is not None:
-                decision = self.journal.resume("inference", os.path.basename(path))
-                if decision.skip:
-                    # A prior run labelled this file and the published
-                    # output still verifies: surface the journaled result.
-                    payload = decision.payload
-                    self._record_result(
-                        InferenceResult(
-                            src_path=path,
-                            out_path=str(payload.get("artifact", "")),
-                            tiles=int(payload.get("tiles", 0)),
-                            classes_seen=int(payload.get("classes_seen", 0)),
-                            seconds=0.0,
-                        )
+            result = self._executor.execute(self._parse_unit(path))
+            if result.outcome == RESUMED:
+                # A prior run labelled this file and the published
+                # output still verifies: surface the journaled result.
+                payload = result.payload
+                self._record_result(
+                    InferenceResult(
+                        src_path=path,
+                        out_path=str(payload.get("artifact", "")),
+                        tiles=int(payload.get("tiles", 0)),
+                        classes_seen=int(payload.get("classes_seen", 0)),
+                        seconds=0.0,
                     )
-                    continue
-                self.journal.intent("inference", os.path.basename(path))
-            try:
-                chaos_stall(self.chaos, "inference", os.path.basename(path))
-                with open(path, "rb") as handle:
-                    raw = handle.read()
-                ds = nc_from_bytes(raw)
-                TILE_FILE.validate(ds)
-                radiance = np.asarray(ds["radiance"].data, dtype=np.float32)
-                parsed.append(_ParsedFile(path=path, raw=raw, ds=ds, radiance=radiance))
-            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
-                self._record_error(path, str(exc))
-                self._quarantine(path, str(exc))
+                )
+                continue
+            if result.outcome == QUARANTINED:
+                continue  # recorded by the failure policy
+            parsed.append(result.value)
         if not parsed:
             return
         if self.metrics is not None:
@@ -289,39 +359,21 @@ class InferenceWorker:
         offset = 0
         for entry in entries:
             count = entry.radiance.shape[0]
-            try:
-                if labels is None:
-                    file_labels = self.model.assign(entry.radiance)
-                else:
-                    file_labels = labels[offset: offset + count]
-                payload = _labelled_payload(
-                    entry.ds, entry.raw, file_labels, self.model.num_classes
+            file_labels = None if labels is None else labels[offset: offset + count]
+            offset += count
+            result = self._executor.execute(self._publish_unit(entry, file_labels))
+            if not result.ok:
+                continue  # recorded and quarantined by the failure policy
+            out_path, classes_seen = result.value
+            self._record_result(
+                InferenceResult(
+                    src_path=entry.path,
+                    out_path=out_path,
+                    tiles=count,
+                    classes_seen=classes_seen,
+                    seconds=time.monotonic() - started,
                 )
-                # Injected death in the window between labelling and
-                # publication — resume must redo this file from its tile.
-                chaos_crash(self.chaos, "inference", os.path.basename(entry.path))
-                out_path = _publish(payload, entry.path, self.config.transfer_out,
-                                    durable=self._durable)
-                classes_seen = int(np.unique(file_labels).size)
-                if self.journal is not None:
-                    self.journal.complete(
-                        "inference", os.path.basename(entry.path),
-                        artifact=out_path, tiles=count, classes_seen=classes_seen,
-                    )
-                self._record_result(
-                    InferenceResult(
-                        src_path=entry.path,
-                        out_path=out_path,
-                        tiles=count,
-                        classes_seen=classes_seen,
-                        seconds=time.monotonic() - started,
-                    )
-                )
-            except Exception as exc:  # noqa: BLE001 - recorded, not fatal
-                self._record_error(entry.path, str(exc))
-                self._quarantine(entry.path, str(exc))
-            finally:
-                offset += count
+            )
 
     def stop(self, timeout: float = 30.0) -> None:
         for _ in self._threads:
@@ -330,15 +382,22 @@ class InferenceWorker:
             thread.join(timeout=timeout)
         self._threads = []
 
-    def drain(self, timeout: float = 60.0, poll: float = 0.02) -> None:
+    def drain(self, timeout: float = 60.0, poll: Optional[float] = None) -> None:
         """Block until every submitted file has been processed.
 
         Progress is signalled through a condition variable, so waiting
-        costs no CPU; ``poll`` is kept for API compatibility and bounds
-        the wait slices.  The settled/submitted counters are re-checked
-        once after the deadline, so a queue that drains exactly at the
-        deadline does not raise.
+        costs no CPU.  ``poll`` (the old busy-poll interval) is accepted
+        and ignored for API compatibility.  The settled/submitted
+        counters are re-checked once after the deadline, so a queue that
+        drains exactly at the deadline does not raise.
         """
+        if poll is not None:
+            warnings.warn(
+                "InferenceWorker.drain(poll=...) is deprecated and ignored; "
+                "drain() blocks on a condition variable",
+                DeprecationWarning,
+                stacklevel=2,
+            )
         deadline = time.monotonic() + timeout
 
         def settled() -> bool:

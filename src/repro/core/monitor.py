@@ -31,6 +31,8 @@ import time
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Set
 
+from repro.runtime import FailurePolicy, StageExecutor, WorkUnit
+
 __all__ = ["CrawlRecord", "DirectoryCrawler"]
 
 
@@ -54,6 +56,7 @@ class DirectoryCrawler:
         poll_interval: float = 0.2,
         require_stable_size: bool = False,
         gate: Optional[Callable[[str], bool]] = None,
+        executor: Optional[StageExecutor] = None,
     ):
         if poll_interval <= 0:
             raise ValueError("poll interval must be positive")
@@ -64,6 +67,7 @@ class DirectoryCrawler:
         self.poll_interval = poll_interval
         self.require_stable_size = require_stable_size
         self.gate = gate
+        self.executor = executor
         self.records: List[CrawlRecord] = []
         self._partials: Set[str] = set()
         self._rejected: Set[str] = set()
@@ -127,11 +131,38 @@ class DirectoryCrawler:
                 )
                 fresh.append(path)
         for path in fresh:
+            self._dispatch(path)
+        return fresh
+
+    def _dispatch(self, path: str) -> None:
+        """Fire the trigger; the crawler must survive a failing callback.
+
+        With a stage executor the dispatch is a "monitor" work unit and
+        the quarantine middleware records the failure; without one, a
+        plain try/except does the same (standalone crawler usage).
+        """
+        if self.executor is None:
             try:
                 self.trigger(path)
             except Exception as exc:  # noqa: BLE001 - crawler must survive
                 self.errors.append(f"{path}: {exc}")
-        return fresh
+            return
+
+        def body(ctx) -> None:
+            self.trigger(path)
+
+        self.executor.execute(
+            WorkUnit(
+                stage="monitor",
+                key=os.path.basename(path),
+                body=body,
+                journal_phase="off",
+                failure=FailurePolicy(
+                    catch=(Exception,),
+                    on_caught=lambda message: self.errors.append(f"{path}: {message}"),
+                ),
+            )
+        )
 
     @property
     def partials_seen(self) -> int:

@@ -9,10 +9,12 @@ granule), matching the paper's one-file-per-task decomposition.
 Output files appear atomically (temp + rename), so the Monitor stage can
 treat presence as completeness.
 
-Resilience: a granule set whose inputs are corrupt (torn download, bit
-rot — or their injected chaos twins) fails *its own task only*; the
-stage records a :class:`QuarantineRecord` and continues with the rest,
-instead of letting one bad swath abort the whole preprocessing fan-out.
+Each granule set is one :class:`~repro.runtime.unit.WorkUnit`: the stage
+runtime's middleware supplies the journal resume/skip/complete protocol,
+the worker-stall chaos surface, and the skip_existing short-circuit; the
+body below is only the science — read, validate, extract, write.  A
+granule whose inputs are corrupt still fails *its own task only*; the
+stage records a :class:`QuarantineRecord` at the fan-in and continues.
 """
 
 from __future__ import annotations
@@ -23,7 +25,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional
 
 from repro.chaos.engine import FaultInjector
-from repro.chaos.surfaces import chaos_atomic_write, chaos_stall
+from repro.chaos.surfaces import chaos_atomic_write
 from repro.compute import LocalComputeEndpoint
 from repro.core.config import EOMLConfig
 from repro.core.contracts import GRANULE_MOD02, GRANULE_MOD03, GRANULE_MOD06
@@ -32,6 +34,14 @@ from repro.core.tiles import extract_tiles, tiles_to_dataset
 from repro.journal import WorkflowJournal
 from repro.netcdf import read as nc_read
 from repro.pexec import DataFlowKernel
+from repro.runtime import (
+    RESUMED,
+    SKIPPED,
+    StageExecutor,
+    UnitResult,
+    WorkUnit,
+    build_executor,
+)
 
 __all__ = [
     "PreprocessResult",
@@ -78,6 +88,69 @@ class PreprocessReport:
         return self.total_tiles / self.seconds if self.seconds > 0 else float("inf")
 
 
+def _preprocess_unit(
+    granules: GranuleSet,
+    out_dir: str,
+    tile_size: int,
+    cloud_threshold: float,
+    max_land_fraction: float,
+    skip_existing: bool,
+) -> WorkUnit:
+    """One granule set's tiling as a work unit."""
+    final_path = os.path.join(out_dir, f"tiles_{granules.key.replace('.', '_')}.nc")
+
+    def precheck(ctx) -> Optional[UnitResult]:
+        # A journal redo decision means the same-named file cannot be
+        # trusted; otherwise a previously produced tile file
+        # short-circuits the work, making re-runs idempotent.
+        if not ctx.redo and skip_existing and os.path.exists(final_path):
+            existing = nc_read(final_path)
+            tiles = int(existing.get_attr("num_tiles")[0])
+            return UnitResult(
+                outcome=SKIPPED, artifact=final_path, payload={"tiles": tiles}
+            )
+        return None
+
+    def body(ctx) -> UnitResult:
+        ctx.begin()
+        mod02 = nc_read(granules.path_for("021KM"))
+        mod03 = nc_read(granules.path_for("03"))
+        mod06 = nc_read(granules.path_for("06_L2"))
+        # Interface validation (published contracts, Section V-A): reject
+        # malformed inputs at the stage boundary.
+        GRANULE_MOD02.validate(mod02)
+        GRANULE_MOD03.validate(mod03)
+        GRANULE_MOD06.validate(mod06)
+        tiles = extract_tiles(
+            radiance=mod02["radiance"].data,
+            cloud_mask=mod06["cloud_mask"].data.astype(bool),
+            land_mask=mod06["land_mask"].data.astype(bool),
+            latitude=mod03["latitude"].data,
+            longitude=mod03["longitude"].data,
+            tile_size=tile_size,
+            optical_thickness=mod06["cloud_optical_thickness"].data,
+            cloud_top_pressure=mod06["cloud_top_pressure"].data,
+            cloud_threshold=cloud_threshold,
+            max_land_fraction=max_land_fraction,
+            source=granules.key,
+        )
+        if not tiles:
+            # A tileless granule is a real completion (nothing to redo).
+            return UnitResult(outcome="done", artifact=None, payload={"tiles": 0})
+        ds = tiles_to_dataset(tiles, source=granules.key)
+        ds.set_attr("true_regime", str(mod02.get_attr("true_regime", "unknown")))
+        chaos_atomic_write(
+            ds, final_path, chaos=ctx.chaos, stage="preprocess", key=granules.key
+        )
+        return UnitResult(
+            outcome="done", artifact=final_path, payload={"tiles": len(tiles)}
+        )
+
+    return WorkUnit(
+        stage="preprocess", key=granules.key, body=body, precheck=precheck
+    )
+
+
 def preprocess_granule_set(
     granules: GranuleSet,
     out_dir: str,
@@ -87,6 +160,7 @@ def preprocess_granule_set(
     skip_existing: bool = True,
     chaos: Optional[FaultInjector] = None,
     journal: Optional[WorkflowJournal] = None,
+    executor: Optional[StageExecutor] = None,
 ) -> PreprocessResult:
     """The per-granule task body (pure function; safe for any executor).
 
@@ -95,76 +169,28 @@ def preprocess_granule_set(
     With a journal, resume decisions take precedence: a journaled
     completion whose manifest entry verifies is returned without any
     file I/O, and a mid-flight or mismatched item is redone even if a
-    same-named file exists (it cannot be trusted).
+    same-named file exists (it cannot be trusted).  Errors propagate to
+    the caller — the fan-out stage quarantines at its fan-in.
     """
     started = time.monotonic()
-    chaos_stall(chaos, "preprocess", granules.key)
     os.makedirs(out_dir, exist_ok=True)
-    final_path = os.path.join(out_dir, f"tiles_{granules.key.replace('.', '_')}.nc")
-    redo = False
-    if journal is not None:
-        decision = journal.resume("preprocess", granules.key)
-        if decision.skip:
-            payload = decision.payload
-            return PreprocessResult(
-                key=granules.key,
-                tile_path=payload.get("artifact") or None,
-                tiles=int(payload.get("tiles", 0)),
-                seconds=time.monotonic() - started,
-            )
-        redo = decision.redo
-    if not redo and skip_existing and os.path.exists(final_path):
-        existing = nc_read(final_path)
-        tiles = int(existing.get_attr("num_tiles")[0])
-        if journal is not None:
-            journal.complete("preprocess", granules.key,
-                             artifact=final_path, tiles=tiles)
+    if executor is None:
+        executor = build_executor(journal=journal, chaos=chaos)
+    unit = _preprocess_unit(
+        granules, out_dir, tile_size, cloud_threshold, max_land_fraction, skip_existing
+    )
+    result = executor.execute(unit)
+    if result.outcome == RESUMED:
         return PreprocessResult(
             key=granules.key,
-            tile_path=final_path,
-            tiles=tiles,
+            tile_path=result.payload.get("artifact") or None,
+            tiles=int(result.payload.get("tiles", 0)),
             seconds=time.monotonic() - started,
         )
-    if journal is not None:
-        journal.intent("preprocess", granules.key)
-    mod02 = nc_read(granules.path_for("021KM"))
-    mod03 = nc_read(granules.path_for("03"))
-    mod06 = nc_read(granules.path_for("06_L2"))
-    # Interface validation (published contracts, Section V-A): reject
-    # malformed inputs at the stage boundary.
-    GRANULE_MOD02.validate(mod02)
-    GRANULE_MOD03.validate(mod03)
-    GRANULE_MOD06.validate(mod06)
-    tiles = extract_tiles(
-        radiance=mod02["radiance"].data,
-        cloud_mask=mod06["cloud_mask"].data.astype(bool),
-        land_mask=mod06["land_mask"].data.astype(bool),
-        latitude=mod03["latitude"].data,
-        longitude=mod03["longitude"].data,
-        tile_size=tile_size,
-        optical_thickness=mod06["cloud_optical_thickness"].data,
-        cloud_top_pressure=mod06["cloud_top_pressure"].data,
-        cloud_threshold=cloud_threshold,
-        max_land_fraction=max_land_fraction,
-        source=granules.key,
-    )
-    if not tiles:
-        if journal is not None:
-            # A tileless granule is a real completion (nothing to redo).
-            journal.complete("preprocess", granules.key, tiles=0)
-        return PreprocessResult(
-            key=granules.key, tile_path=None, tiles=0, seconds=time.monotonic() - started
-        )
-    ds = tiles_to_dataset(tiles, source=granules.key)
-    ds.set_attr("true_regime", str(mod02.get_attr("true_regime", "unknown")))
-    chaos_atomic_write(ds, final_path, chaos=chaos, stage="preprocess", key=granules.key)
-    if journal is not None:
-        journal.complete("preprocess", granules.key,
-                         artifact=final_path, tiles=len(tiles))
     return PreprocessResult(
         key=granules.key,
-        tile_path=final_path,
-        tiles=len(tiles),
+        tile_path=result.artifact,
+        tiles=int(result.payload.get("tiles", 0)),
         seconds=time.monotonic() - started,
     )
 
@@ -184,6 +210,7 @@ class PreprocessStage:
         self.journal = journal
         self._dfk = dfk
         self._owns_dfk = dfk is None
+        self._executor = build_executor(journal=journal, chaos=chaos)
 
     def run(self, granule_sets: List[GranuleSet]) -> PreprocessReport:
         os.makedirs(self.config.preprocessed, exist_ok=True)
@@ -208,7 +235,7 @@ class PreprocessStage:
                         self.config.cloud_threshold,
                         self.config.max_land_fraction,
                     ),
-                    kwargs={"chaos": self.chaos, "journal": self.journal},
+                    kwargs={"executor": self._executor},
                 )
                 for granules in granule_sets
             ]

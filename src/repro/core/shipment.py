@@ -4,12 +4,15 @@ Real-execution flavour of Section III stage 5: the labelled NetCDFs in
 the transfer-out directory move to the destination ("Frontier's Orion")
 with integrity verification, via the Globus-Transfer-like local client.
 
-Resilience: the client retries individual files with backoff and bounds
-the batch with a wall-clock timeout (``shipment.retries`` /
-``shipment.timeout``), absorbing the WAN degradation the Defiant->
-Frontier path is prone to.  A batch whose budget is spent is recorded in
-``ShipmentReport.error`` rather than crashing the workflow — delivery
-can be re-driven later (transfers are sync-idempotent).
+Each file is one :class:`~repro.runtime.unit.WorkUnit`: the stage
+runtime's retry middleware re-attempts an individual move with the
+shared :class:`~repro.net.retry.BackoffPolicy` (``shipment.retries``),
+a batch-wide deadline (``shipment.timeout``) aborts before any further
+attempt, and the quarantine middleware converts a spent budget into
+``ShipmentReport.error`` rather than a crash — delivery can be
+re-driven later (transfers are sync-idempotent).  The journal middleware
+makes delivery idempotent: a file whose journaled shipment still
+verifies at the destination is skipped outright.
 """
 
 from __future__ import annotations
@@ -23,6 +26,16 @@ from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import ChaosTransferClient
 from repro.core.config import EOMLConfig
 from repro.journal import WorkflowJournal, sha256_file
+from repro.runtime import (
+    FAILED,
+    QUARANTINED,
+    RESUMED,
+    FailurePolicy,
+    RetrySpec,
+    UnitResult,
+    WorkUnit,
+    build_executor,
+)
 from repro.transfer import LocalTransferClient, TransferError
 
 __all__ = ["ShipmentReport", "ShipmentStage"]
@@ -65,6 +78,70 @@ class ShipmentStage:
                 if chaos is not None
                 else LocalTransferClient(**kwargs)
             )
+        self._executor = build_executor(journal=journal, chaos=chaos)
+
+    def _unit_for(self, name: str, deadline: Optional[float]) -> WorkUnit:
+        """One file's move + destination verification as a work unit."""
+        src_path = os.path.join(self.config.transfer_out, name)
+
+        def check_deadline() -> None:
+            # Raised *outside* the retry loop's catch, so a spent batch
+            # budget aborts immediately instead of burning attempts.
+            if deadline is not None and time.monotonic() > deadline:
+                raise TransferError(
+                    f"transfer timed out after {self.config.shipment_timeout}s "
+                    f"while moving {name}"
+                )
+
+        def body(ctx) -> UnitResult:
+            ctx.begin()
+            dst_path, _, _ = self.client.move_one(
+                self.config.transfer_out, self.config.destination, name
+            )
+            # Destination-side verification: trust nothing the copy loop
+            # reported; re-digest the delivered bytes where they landed.
+            try:
+                delivered = sha256_file(dst_path)
+            except OSError:
+                return UnitResult(
+                    outcome="done", artifact=dst_path, value="mismatch", journal=False
+                )
+            expected: Optional[str] = None
+            if ctx.journal is not None:
+                expected = ctx.journal.expected_sha(src_path)
+            if expected is None:
+                try:
+                    expected = sha256_file(src_path)
+                except OSError:
+                    expected = None
+            if expected is not None and delivered != expected:
+                return UnitResult(
+                    outcome="done",
+                    artifact=dst_path,
+                    value="mismatch",
+                    payload={"sha256": delivered},
+                    journal=False,
+                )
+            return UnitResult(
+                outcome="done", artifact=dst_path, payload={"sha256": delivered}
+            )
+
+        return WorkUnit(
+            stage="shipment",
+            key=name,
+            body=body,
+            retry=RetrySpec(
+                retries=self.config.shipment_retries,
+                backoff=self.config.shipment_backoff,
+                retry_on=(TransferError,),
+                before_attempt=check_deadline,
+            ),
+            failure=FailurePolicy(
+                on_exhausted="record",
+                describe=lambda attempts, error: error,
+                catch=(TransferError,),
+            ),
+        )
 
     def run(self) -> ShipmentReport:
         """Ship everything currently in the transfer-out directory.
@@ -83,72 +160,51 @@ class ShipmentStage:
             name for name in os.listdir(src)
             if name.endswith(".nc") and not name.endswith(".part")
         )
+        deadline = (
+            None
+            if self.config.shipment_timeout is None
+            else time.monotonic() + self.config.shipment_timeout
+        )
+        before = self.client.bytes_transferred
         checksums: Dict[str, str] = {}
         moved: List[str] = []
-        pending: List[str] = []
-        resumed = 0
-        if self.journal is not None:
-            for name in names:
-                decision = self.journal.resume("shipment", name)
-                if decision.skip:
-                    payload = decision.payload
-                    moved.append(
-                        payload.get("artifact")
-                        or os.path.join(self.config.destination, name)
-                    )
-                    if payload.get("sha256"):
-                        checksums[name] = payload["sha256"]
-                    resumed += 1
-                else:
-                    pending.append(name)
-        else:
-            pending = list(names)
-        before = self.client.bytes_transferred
-        retries_before = self.client.retries_used
-        error: Optional[str] = None
-        moved_now: List[str] = []
-        if pending:
-            if self.journal is not None:
-                for name in pending:
-                    self.journal.intent("shipment", name)
-            try:
-                moved_now = self.client.transfer(src, self.config.destination, pending)
-            except TransferError as exc:
-                error = str(exc)
-        # Destination-side verification: trust nothing the copy loop
-        # reported; re-digest the delivered bytes where they landed.
-        verified = 0
         mismatches: List[str] = []
-        for name, dst_path in zip(pending, moved_now):
-            try:
-                delivered = sha256_file(dst_path)
-            except OSError:
-                mismatches.append(name)
-                continue
-            src_path = os.path.join(src, name)
-            expected: Optional[str] = None
-            if self.journal is not None:
-                expected = self.journal.expected_sha(src_path)
-            if expected is None:
-                try:
-                    expected = sha256_file(src_path)
-                except OSError:
-                    expected = None
-            checksums[name] = delivered
-            if expected is not None and delivered != expected:
-                mismatches.append(name)
-                continue
-            verified += 1
-            if self.journal is not None:
-                self.journal.complete(
-                    "shipment", name, artifact=dst_path, sha256=delivered,
+        resumed = 0
+        verified = 0
+        retries_total = 0
+        error: Optional[str] = None
+        for name in names:
+            result = self._executor.execute(self._unit_for(name, deadline))
+            if result.outcome == RESUMED:
+                moved.append(
+                    result.payload.get("artifact")
+                    or os.path.join(self.config.destination, name)
                 )
-        moved.extend(moved_now)
+                if result.payload.get("sha256"):
+                    checksums[name] = result.payload["sha256"]
+                resumed += 1
+                continue
+            if result.outcome in (FAILED, QUARANTINED):
+                # Budget spent (retries or deadline): record and stop —
+                # the remaining files wait for a later re-drive.
+                if result.outcome == FAILED:
+                    retries_total += max(0, result.attempts - 1)
+                error = result.error
+                break
+            retries_total += result.attempts
+            moved.append(result.artifact)
+            if result.value == "mismatch":
+                mismatches.append(name)
+                if result.payload.get("sha256"):
+                    checksums[name] = result.payload["sha256"]
+            else:
+                checksums[name] = result.payload["sha256"]
+                verified += 1
         return ShipmentReport(
             moved=moved,
             nbytes=self.client.bytes_transferred - before,
             seconds=time.monotonic() - started,
-            retries=self.client.retries_used - retries_before,
+            retries=retries_total,
             error=error,
             resumed=resumed,
             verified=verified,

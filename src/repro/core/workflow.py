@@ -10,6 +10,14 @@ paper's structural properties:
   finishes (Fig. 6's overlap);
 * **per-stage worker accounting** on a wall-clock timeline (Figs. 6-7).
 
+Those properties are stated declaratively: :meth:`EOMLWorkflow.build_plan`
+returns a :class:`~repro.runtime.plan.PipelinePlan` whose ``after`` edges
+are the barriers and whose ``overlaps`` edge opens the monitor/inference
+concurrency window, and :meth:`run` merely drives it with the local
+:class:`~repro.runtime.plan.PlanRunner`.  The flows engine and the
+zambeze orchestrator can execute the *same* plan through the adapters in
+``repro.flows.pipeline`` and ``repro.zambeze.pipeline``.
+
 The inference model may be supplied (a trained :class:`AICCAModel`) or
 bootstrapped: with ``model=None`` the workflow trains a small atlas on
 the first preprocessed tiles before labelling (handy for examples; a
@@ -19,8 +27,9 @@ production run would load a model trained on the 1 M-tile corpus).
 from __future__ import annotations
 
 import os
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Any, Dict, List, Optional
 
 import numpy as np
 
@@ -37,6 +46,7 @@ from repro.modis import LaadsArchive
 from repro.netcdf import read as nc_read
 from repro.provenance import ProvenanceStore
 from repro.ricc import AICCAModel
+from repro.runtime import PipelinePlan, PlanRunner, StageNode, build_executor
 from repro.telemetry import MetricsRegistry
 
 __all__ = ["WorkflowReport", "EOMLWorkflow"]
@@ -149,6 +159,176 @@ class EOMLWorkflow:
                 journal.complete("model", "aicca-model", artifact=model_path)
         return self.model
 
+    # -- the declarative plan -------------------------------------------------
+
+    def build_plan(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        prov: Optional[ProvenanceStore] = None,
+        chaos: Any = None,
+        journal: Optional[WorkflowJournal] = None,
+        handles: Optional[Dict[str, Any]] = None,
+    ) -> PipelinePlan:
+        """The pipeline as data: nodes are stages, edges are policies.
+
+        * ``preprocess.after = (download, model)`` is the download
+          barrier;
+        * ``inference.overlaps = (preprocess,)`` opens the crawler +
+          worker concurrency window while preprocessing runs, and
+          ``inference``'s own body is the drain;
+        * ``shipment.when = config.ship`` gates delivery.
+
+        ``handles`` (shared with the caller) receives the live
+        ``worker``/``crawler`` objects plus the model-bootstrap
+        bookkeeping, since those outlive their nodes.  Any driver that
+        honours the edges — the local :class:`PlanRunner`, the flows
+        engine, the zambeze orchestrator — can execute this plan.
+        """
+        config = self.config
+        handles = handles if handles is not None else {}
+        handles.setdefault("bootstrap_reports", [])
+        handles.setdefault("consumed", 0)
+        config_entity = (
+            prov.entity("config", f"config:{config.name}", name=config.name)
+            if prov
+            else None
+        )
+        preprocess_stage = PreprocessStage(config, chaos=chaos, journal=journal)
+
+        def run_download(state: Dict[str, Any]) -> DownloadReport:
+            stage = DownloadStage(
+                config, archive=self.archive, chaos=chaos, journal=journal
+            )
+            download = stage.run()
+            if prov:
+                activity = prov.start_activity(
+                    "download", "globus-compute", workers=config.workers.download
+                )
+                prov.record_use(activity, config_entity)
+                for granule_set in download.granule_sets:
+                    for product, path in granule_set.paths.items():
+                        prov.record_generation(
+                            activity, prov.entity("granule", path, product=product)
+                        )
+                prov.end_activity(activity)
+            return download
+
+        def run_model(state: Dict[str, Any]) -> AICCAModel:
+            # The model must exist before the first trigger fires.
+            # Bootstrap from a quick serial preprocess of the leading
+            # granule sets when training data is needed — advancing past
+            # quarantined or tileless granules until one yields tiles, so
+            # a single corrupt scene can not sink the whole run.
+            model_path = self._effective_model_path(journal)
+            if journal is not None and self.model is None:
+                model_decision = journal.resume("model", "aicca-model")
+                if (
+                    model_decision.redo
+                    and model_path
+                    and not config.model_path
+                    and os.path.exists(model_path)
+                ):
+                    # A mid-train crash (or digest mismatch) makes the
+                    # journal-owned bootstrap model untrustworthy; retrain.
+                    # An explicitly configured model file is the user's —
+                    # never deleted here.
+                    os.remove(model_path)
+            bootstrap_paths: List[str] = []
+            if self.model is None and not (
+                model_path and os.path.exists(model_path)
+            ):
+                for granule_set in state["download"].granule_sets:
+                    head = preprocess_stage.run([granule_set])
+                    handles["bootstrap_reports"].append(head)
+                    handles["consumed"] += 1
+                    bootstrap_paths = [
+                        r.tile_path for r in head.results if r.tile_path
+                    ]
+                    if bootstrap_paths:
+                        break
+            return self._ensure_model(
+                bootstrap_paths, model_path=model_path, journal=journal
+            )
+
+        def run_preprocess(state: Dict[str, Any]) -> PreprocessReport:
+            remaining = state["download"].granule_sets[handles["consumed"]:]
+            return preprocess_stage.run(remaining)
+
+        @contextmanager
+        def inference_scope(state: Dict[str, Any]):
+            worker = InferenceWorker(
+                state["model"], config, chaos=chaos, metrics=metrics, journal=journal
+            )
+            crawler = DirectoryCrawler(
+                config.preprocessed,
+                trigger=worker.submit,
+                poll_interval=config.poll_interval,
+                gate=journal.artifact_ok if journal is not None else None,
+                executor=build_executor(chaos=chaos, metrics=metrics),
+            )
+            handles["worker"] = worker
+            handles["crawler"] = crawler
+            with worker, crawler:
+                yield
+
+        def run_inference(state: Dict[str, Any]) -> InferenceWorker:
+            handles["crawler"].scan_once()
+            worker = handles["worker"]
+            worker.drain(timeout=config.inference_drain_timeout)
+            return worker
+
+        def run_shipment(state: Dict[str, Any]) -> ShipmentReport:
+            shipment = ShipmentStage(config, chaos=chaos, journal=journal).run()
+            if prov and shipment.moved:
+                activity = prov.start_activity("shipment", "globus-transfer")
+                for inf in handles["worker"].results:
+                    prov.record_use(activity, prov.entity("labelled_file", inf.out_path))
+                for path in shipment.moved:
+                    prov.record_generation(
+                        activity,
+                        prov.entity(
+                            "delivered_file", path,
+                            checksum=shipment.checksums.get(os.path.basename(path)),
+                        ),
+                    )
+                prov.end_activity(activity)
+            return shipment
+
+        return PipelinePlan(
+            [
+                StageNode(
+                    "download",
+                    run_download,
+                    workers=config.workers.download,
+                    counts=lambda r: {"files": r.files},
+                ),
+                StageNode("model", run_model, after=("download",)),
+                StageNode(
+                    "preprocess",
+                    run_preprocess,
+                    workers=config.workers.preprocess,
+                    after=("download", "model"),
+                    counts=lambda r: {"tiles": r.total_tiles},
+                ),
+                StageNode(
+                    "inference",
+                    run_inference,
+                    workers=config.workers.inference,
+                    after=("preprocess", "model"),
+                    overlaps=("preprocess",),
+                    scope=inference_scope,
+                    counts=lambda worker: {"files": len(worker.results)},
+                ),
+                StageNode(
+                    "shipment",
+                    run_shipment,
+                    after=("inference",),
+                    when=lambda state: bool(config.ship),
+                    counts=lambda r: {"files": len(r.moved)},
+                ),
+            ]
+        )
+
     # -- the run ------------------------------------------------------------
 
     def run(self, provenance: bool = True, resume: bool = False) -> WorkflowReport:
@@ -158,9 +338,6 @@ class EOMLWorkflow:
         # can record live histograms; the rollup below adds the rest.
         metrics = MetricsRegistry(prefix="eo_ml")
         prov = ProvenanceStore() if provenance else None
-        config_entity = (
-            prov.entity("config", f"config:{config.name}", name=config.name) if prov else None
-        )
         # None when the chaos plan is absent/disabled: every stage hook
         # below degenerates to the exact production path.
         chaos = build_injector(config.chaos)
@@ -173,99 +350,35 @@ class EOMLWorkflow:
             journal = WorkflowJournal(config.journal_dir, durable=config.journal_durable)
             journal.start(resume=resume)
 
-        # (1) Download, with per-worker gauge bumps.
-        timeline.begin("download")
-        download_stage = DownloadStage(
-            config, archive=self.archive, chaos=chaos, journal=journal
-        )
-        timeline.workers("download", config.workers.download)
-        download = download_stage.run()
-        timeline.workers("download", -config.workers.download)
-        timeline.end("download", files=download.files)
-        if journal is not None:
-            journal.checkpoint()
-        if prov:
-            activity = prov.start_activity(
-                "download", "globus-compute", workers=config.workers.download
-            )
-            prov.record_use(activity, config_entity)
-            for granule_set in download.granule_sets:
-                for product, path in granule_set.paths.items():
-                    prov.record_generation(
-                        activity, prov.entity("granule", path, product=product)
-                    )
-            prov.end_activity(activity)
+        def on_end(name: str, **counts: Any) -> None:
+            timeline.end(name, **counts)
+            # A consistent on-disk view after each checkpointable stage.
+            if journal is not None and name in ("download", "inference", "shipment"):
+                journal.checkpoint()
 
-        # (2+3+4) Preprocess with the crawler + inference overlapping.
-        granule_sets = download.granule_sets
-        timeline.begin("preprocess")
-        timeline.workers("preprocess", config.workers.preprocess)
-
-        # The model must exist before the first trigger fires.  Bootstrap
-        # from a quick serial preprocess of the leading granule sets when
-        # training data is needed — advancing past quarantined or tileless
-        # granules until one yields tiles, so a single corrupt scene can
-        # not sink the whole run.
-        preprocess_stage = PreprocessStage(config, chaos=chaos, journal=journal)
-        model_path = self._effective_model_path(journal)
-        if journal is not None and self.model is None:
-            model_decision = journal.resume("model", "aicca-model")
-            if (
-                model_decision.redo
-                and model_path
-                and not config.model_path
-                and os.path.exists(model_path)
-            ):
-                # A mid-train crash (or digest mismatch) makes the
-                # journal-owned bootstrap model untrustworthy; retrain.
-                # An explicitly configured model file is the user's —
-                # never deleted here.
-                os.remove(model_path)
-        bootstrap_paths: List[str] = []
-        bootstrap_reports: List[PreprocessReport] = []
-        consumed = 0
-        if self.model is None and not (
-            model_path and os.path.exists(model_path)
-        ):
-            for granule_set in granule_sets:
-                head = preprocess_stage.run([granule_set])
-                bootstrap_reports.append(head)
-                consumed += 1
-                bootstrap_paths = [r.tile_path for r in head.results if r.tile_path]
-                if bootstrap_paths:
-                    break
-        model = self._ensure_model(bootstrap_paths, model_path=model_path, journal=journal)
-
-        inference = InferenceWorker(
-            model, config, chaos=chaos, metrics=metrics, journal=journal
+        handles: Dict[str, Any] = {}
+        plan = self.build_plan(
+            metrics=metrics, prov=prov, chaos=chaos, journal=journal, handles=handles
         )
-        crawler = DirectoryCrawler(
-            config.preprocessed,
-            trigger=inference.submit,
-            poll_interval=config.poll_interval,
-            gate=journal.artifact_ok if journal is not None else None,
+        runner = PlanRunner(
+            on_begin=timeline.begin, on_end=on_end, on_workers=timeline.workers
         )
-        timeline.workers("inference", config.workers.inference)
-        with inference, crawler:
-            remaining = granule_sets[consumed:]
-            preprocess = preprocess_stage.run(remaining)
-            timeline.workers("preprocess", -config.workers.preprocess)
-            timeline.end("preprocess", tiles=preprocess.total_tiles)
-            timeline.begin("inference")
-            crawler.scan_once()
-            inference.drain(timeout=config.inference_drain_timeout)
-        timeline.workers("inference", -config.workers.inference)
-        timeline.end("inference", files=len(inference.results))
-        if journal is not None:
-            journal.checkpoint()
+        state = runner.run(plan)
+
+        download: DownloadReport = state["download"]
+        preprocess: PreprocessReport = state["preprocess"]
+        shipment: Optional[ShipmentReport] = state["shipment"]
+        model: AICCAModel = state["model"]
+        inference: InferenceWorker = handles["worker"]
+        crawler: DirectoryCrawler = handles["crawler"]
 
         # Fold the bootstrap granules back into the report.
-        for head in reversed(bootstrap_reports):
+        for head in reversed(handles["bootstrap_reports"]):
             preprocess.results = head.results + preprocess.results
             preprocess.quarantined = head.quarantined + preprocess.quarantined
 
         if prov:
-            sets_by_key = {gs.key: gs for gs in granule_sets}
+            sets_by_key = {gs.key: gs for gs in download.granule_sets}
             model_entity = prov.entity(
                 "model", config.model_path or "model:bootstrapped",
                 num_classes=model.num_classes,
@@ -293,28 +406,6 @@ class EOMLWorkflow:
                     activity,
                     prov.entity("labelled_file", inf.out_path, classes=inf.classes_seen),
                 )
-                prov.end_activity(activity)
-
-        # (5) Shipment.
-        shipment: Optional[ShipmentReport] = None
-        if config.ship:
-            timeline.begin("shipment")
-            shipment = ShipmentStage(config, chaos=chaos, journal=journal).run()
-            timeline.end("shipment", files=len(shipment.moved))
-            if journal is not None:
-                journal.checkpoint()
-            if prov and shipment.moved:
-                activity = prov.start_activity("shipment", "globus-transfer")
-                for inf in inference.results:
-                    prov.record_use(activity, prov.entity("labelled_file", inf.out_path))
-                for path in shipment.moved:
-                    prov.record_generation(
-                        activity,
-                        prov.entity(
-                            "delivered_file", path,
-                            checksum=shipment.checksums.get(os.path.basename(path)),
-                        ),
-                    )
                 prov.end_activity(activity)
 
         # Telemetry rollup (Section V-A's workflow-insight goal).

@@ -29,7 +29,13 @@ from typing import Dict, Iterator, Callable, List
 
 import time
 
-__all__ = ["BackoffPolicy", "CircuitBreaker", "BreakerOpen"]
+__all__ = [
+    "BackoffPolicy",
+    "CircuitBreaker",
+    "BreakerOpen",
+    "RetryExhausted",
+    "retry_call",
+]
 
 
 def _unit_interval(seed: int, key: str, attempt: int) -> float:
@@ -99,6 +105,82 @@ class BackoffPolicy:
 
 class BreakerOpen(RuntimeError):
     """An operation was refused because the host's circuit is open."""
+
+
+class RetryExhausted(RuntimeError):
+    """A retry budget was spent without a success.
+
+    ``attempts`` counts the failures (``retries + 1`` on exhaustion),
+    ``last_error`` the final failure message, and ``last_exception`` the
+    final raised exception — ``None`` when the last failure was a
+    circuit-breaker refusal rather than an attempt.
+    """
+
+    def __init__(self, attempts: int, last_error: str,
+                 last_exception: Exception | None = None):
+        super().__init__(f"failed after {attempts} attempts: {last_error}")
+        self.attempts = attempts
+        self.last_error = last_error
+        self.last_exception = last_exception
+
+
+def retry_call(
+    fn: Callable[[], "object"],
+    retries: int = 0,
+    backoff: "BackoffPolicy | None" = None,
+    key: str = "",
+    sleeper: Callable[[float], None] = time.sleep,
+    retry_on: tuple = (Exception,),
+    before_attempt: Callable[[], None] | None = None,
+    breaker: "CircuitBreaker | None" = None,
+    host: str = "",
+):
+    """Run ``fn`` under the canonical retry discipline; ``(result, failures)``.
+
+    Every retry consumer in the codebase (download fetches, shipment
+    moves, the runtime's RetryMiddleware) shares this one loop, so the
+    semantics stay uniform:
+
+    * ``before_attempt`` runs ahead of *every* try (deadline checks);
+      whatever it raises aborts the loop immediately, never retried;
+    * with a ``breaker``, a refused host counts as a failed attempt with
+      message ``circuit open for host '<host>'`` — no request is made and
+      no breaker failure is recorded;
+    * an exception matching ``retry_on`` counts as a failure (recorded on
+      the breaker); anything else propagates untouched;
+    * between attempts the caller sleeps exactly
+      ``backoff.delay(failures - 1, key=key)`` — never an immediate retry;
+    * once failures exceed ``retries``, :class:`RetryExhausted` carries
+      the attempt count and the final error.
+    """
+    if retries < 0:
+        raise ValueError("retries must be non-negative")
+    failures = 0
+    while True:
+        if before_attempt is not None:
+            before_attempt()
+        if breaker is not None and not breaker.allow(host):
+            last_error = f"circuit open for host {host!r}"
+            failures += 1
+            if failures > retries:
+                raise RetryExhausted(failures, last_error)
+            if backoff is not None:
+                sleeper(backoff.delay(failures - 1, key=key))
+            continue
+        try:
+            result = fn()
+        except retry_on as exc:
+            if breaker is not None:
+                breaker.record_failure(host)
+            failures += 1
+            if failures > retries:
+                raise RetryExhausted(failures, str(exc), exc) from exc
+            if backoff is not None:
+                sleeper(backoff.delay(failures - 1, key=key))
+            continue
+        if breaker is not None:
+            breaker.record_success(host)
+        return result, failures
 
 
 class CircuitBreaker:

@@ -1,0 +1,78 @@
+"""repro.runtime — the unified stage runtime.
+
+One :class:`StageExecutor` with an ordered middleware stack (metrics,
+quarantine, journal, chaos, precheck, retry) runs the
+:class:`WorkUnit`\\ s every stage produces, and one declarative
+:class:`PipelinePlan` states the workflow's structure (download barrier,
+monitor/inference overlap) as explicit edges that the local
+:class:`PlanRunner`, the flows engine, and the zambeze orchestrator can
+all drive.
+
+Layering contract: this package must not import ``repro.core`` (checked
+by ``tools/check_layering.py`` and CI).
+"""
+
+from repro.runtime.executor import StageExecutor, build_executor
+from repro.runtime.middleware import (
+    ChaosMiddleware,
+    JournalMiddleware,
+    MetricsMiddleware,
+    Middleware,
+    PrecheckMiddleware,
+    QuarantineMiddleware,
+    RetryMiddleware,
+)
+from repro.runtime.plan import (
+    PipelinePlan,
+    PlanError,
+    PlanExecution,
+    PlanRunner,
+    StageNode,
+)
+from repro.runtime.unit import (
+    DONE,
+    FAILED,
+    OUTCOMES,
+    QUARANTINED,
+    RESUMED,
+    RETRIED,
+    SKIPPED,
+    SUCCESS_OUTCOMES,
+    FailurePolicy,
+    RetrySpec,
+    UnitContext,
+    UnitFailed,
+    UnitResult,
+    WorkUnit,
+)
+
+__all__ = [
+    "DONE",
+    "RESUMED",
+    "SKIPPED",
+    "RETRIED",
+    "FAILED",
+    "QUARANTINED",
+    "OUTCOMES",
+    "SUCCESS_OUTCOMES",
+    "UnitFailed",
+    "UnitResult",
+    "RetrySpec",
+    "FailurePolicy",
+    "WorkUnit",
+    "UnitContext",
+    "Middleware",
+    "MetricsMiddleware",
+    "QuarantineMiddleware",
+    "JournalMiddleware",
+    "ChaosMiddleware",
+    "PrecheckMiddleware",
+    "RetryMiddleware",
+    "StageExecutor",
+    "build_executor",
+    "PlanError",
+    "StageNode",
+    "PipelinePlan",
+    "PlanExecution",
+    "PlanRunner",
+]

@@ -1,0 +1,216 @@
+"""The middleware stack: every cross-cutting stage behaviour, once.
+
+Each middleware is a callable ``(ctx, call_next) -> UnitResult`` wrapping
+the next layer (onion composition).  The canonical order, outermost
+first — see :func:`repro.runtime.executor.build_executor`:
+
+1. :class:`MetricsMiddleware` — times and counts every unit;
+2. :class:`QuarantineMiddleware` — converts exhaustion/body errors into
+   recorded FAILED/QUARANTINED results per the unit's policy;
+3. :class:`JournalMiddleware` — resume decision before the work,
+   completion record after it;
+4. :class:`ChaosMiddleware` — injected worker stalls (the other fault
+   surfaces live inside unit bodies, at the exact I/O boundary they
+   model);
+5. :class:`PrecheckMiddleware` — skip_existing-style short circuits,
+   after the journal (a redo decision bypasses them) but before any
+   retry machinery (a skip must not consult the circuit breaker);
+6. :class:`RetryMiddleware` — bounded retries with backoff and breaker,
+   delegating to :func:`repro.net.retry.retry_call`.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Optional
+
+from repro.chaos.surfaces import chaos_stall
+from repro.net.retry import RetryExhausted, retry_call
+from repro.runtime.unit import (
+    DONE,
+    FAILED,
+    QUARANTINED,
+    RESUMED,
+    RETRIED,
+    SUCCESS_OUTCOMES,
+    UnitContext,
+    UnitFailed,
+    UnitResult,
+)
+
+__all__ = [
+    "Middleware",
+    "MetricsMiddleware",
+    "QuarantineMiddleware",
+    "JournalMiddleware",
+    "ChaosMiddleware",
+    "PrecheckMiddleware",
+    "RetryMiddleware",
+]
+
+# A middleware is any callable with this shape.
+Middleware = Callable[[UnitContext, Callable[[], UnitResult]], UnitResult]
+
+
+class MetricsMiddleware:
+    """Per-unit wall-clock timing and outcome counting.
+
+    Emits ``runtime.unit_seconds`` (histogram) and ``runtime.units``
+    (counter labelled by stage and outcome) into the registry the
+    workflow already snapshots.  A ``None`` registry costs nothing.
+    """
+
+    def __init__(self, metrics: Any = None):
+        self.metrics = metrics
+
+    def __call__(self, ctx: UnitContext, call_next: Callable[[], UnitResult]) -> UnitResult:
+        if self.metrics is None:
+            return call_next()
+        started = time.monotonic()
+        try:
+            result = call_next()
+        except Exception:
+            self.metrics.counter("runtime.units").inc(
+                stage=ctx.unit.stage, outcome="raised"
+            )
+            raise
+        self.metrics.histogram(
+            "runtime.unit_seconds", "wall-clock seconds per executed work unit",
+            buckets=(0.001, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0),
+        ).observe(time.monotonic() - started)
+        self.metrics.counter("runtime.units").inc(
+            stage=ctx.unit.stage, outcome=result.outcome
+        )
+        return result
+
+
+class QuarantineMiddleware:
+    """Set-aside-and-continue: failures become results, per unit policy."""
+
+    def __call__(self, ctx: UnitContext, call_next: Callable[[], UnitResult]) -> UnitResult:
+        policy = ctx.unit.failure
+        try:
+            return call_next()
+        except RetryExhausted as exc:
+            if policy.cleanup is not None:
+                policy.cleanup()
+            message = (
+                policy.describe(exc.attempts, exc.last_error)
+                if policy.describe is not None
+                else str(exc)
+            )
+            if policy.on_exhausted == "raise":
+                raise UnitFailed(message) from exc
+            return UnitResult(outcome=FAILED, error=message, attempts=exc.attempts)
+        except policy.catch as exc:
+            message = str(exc)
+            if policy.on_caught is not None:
+                policy.on_caught(message)
+            return UnitResult(outcome=QUARANTINED, error=message)
+
+
+class JournalMiddleware:
+    """Crash-consistent bookkeeping around the unit.
+
+    Before the work: take the journal's resume decision; a verified
+    completion short-circuits as a RESUMED result carrying the journaled
+    payload.  After the work: record the completion for every success
+    outcome (unless the result opted out).  The write-ahead *intent* is
+    the body's to place, via :meth:`UnitContext.begin`, so skip-existing
+    paths never write one — exactly the protocol resume relies on.
+    """
+
+    def __init__(self, journal: Any = None):
+        self.journal = journal
+
+    def __call__(self, ctx: UnitContext, call_next: Callable[[], UnitResult]) -> UnitResult:
+        unit = ctx.unit
+        if self.journal is None or unit.journal_phase == "off":
+            return call_next()
+        ctx.journal = self.journal
+        if unit.journal_phase in ("unit", "open"):
+            decision = self.journal.resume(unit.stage, unit.key)
+            ctx.decision = decision
+            if decision.skip:
+                payload = dict(decision.payload)
+                return UnitResult(
+                    outcome=RESUMED,
+                    artifact=payload.get("artifact"),
+                    payload=payload,
+                )
+        result = call_next()
+        if (
+            unit.journal_phase in ("unit", "close")
+            and result.journal
+            and result.outcome in SUCCESS_OUTCOMES
+        ):
+            self.journal.complete(
+                unit.stage, unit.key, artifact=result.artifact, **result.payload
+            )
+        return result
+
+
+class ChaosMiddleware:
+    """The worker_stall fault surface, uniformly under every stage.
+
+    Other fault kinds keep firing inside unit bodies (torn/corrupt
+    writes at the NetCDF boundary, HTTP faults at the archive fetch,
+    WAN degradation at the transfer move, crashes in their journaled
+    windows) — a stall is the only fault that belongs to "a worker
+    picked this unit up", which is precisely what this layer models.
+    """
+
+    def __init__(self, chaos: Any = None, sleeper: Callable[[float], None] = time.sleep):
+        self.chaos = chaos
+        self.sleeper = sleeper
+
+    def __call__(self, ctx: UnitContext, call_next: Callable[[], UnitResult]) -> UnitResult:
+        if ctx.chaos is None:
+            ctx.chaos = self.chaos
+        if self.chaos is not None and ctx.unit.stall:
+            chaos_stall(self.chaos, ctx.unit.stage, ctx.unit.key, sleeper=self.sleeper)
+        return call_next()
+
+
+class PrecheckMiddleware:
+    """Run the unit's short-circuit probe (skip_existing and friends)."""
+
+    def __call__(self, ctx: UnitContext, call_next: Callable[[], UnitResult]) -> UnitResult:
+        probe = ctx.unit.precheck
+        if probe is not None:
+            result = probe(ctx)
+            if result is not None:
+                return result
+        return call_next()
+
+
+class RetryMiddleware:
+    """Bounded retries with backoff and circuit breaker, via retry_call."""
+
+    def __init__(self, sleeper: Callable[[float], None] = time.sleep):
+        self.sleeper = sleeper
+
+    def __call__(self, ctx: UnitContext, call_next: Callable[[], UnitResult]) -> UnitResult:
+        spec = ctx.unit.retry
+        if spec is None:
+            return call_next()
+
+        def attempt() -> UnitResult:
+            ctx.attempt += 1
+            return call_next()
+
+        result, failures = retry_call(
+            attempt,
+            retries=spec.retries,
+            backoff=spec.backoff,
+            key=ctx.unit.key,
+            sleeper=spec.sleeper or self.sleeper,
+            retry_on=spec.retry_on,
+            before_attempt=spec.before_attempt,
+            breaker=spec.breaker,
+            host=spec.host,
+        )
+        result.attempts = failures
+        if failures and result.outcome == DONE:
+            result.outcome = RETRIED
+        return result

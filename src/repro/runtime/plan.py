@@ -1,0 +1,220 @@
+"""Declarative pipeline plans: stages as nodes, policies as edges.
+
+A :class:`PipelinePlan` states the workflow's structure — the download
+barrier, the monitor/inference overlap — as data instead of interleaved
+control flow:
+
+* an ``after`` edge is a **barrier**: the node's body runs only once
+  every named predecessor has completed (the paper's "preprocessing is
+  delayed until all downloads are complete");
+* an ``overlaps`` edge is a **concurrency window**: the node's ``scope``
+  (a context manager holding its live resources — worker threads, the
+  crawler) is entered *before* the overlapped node runs and its body
+  (the drain/finalize step) runs after, which is exactly Fig. 6's
+  asynchronous monitor-trigger.
+
+:class:`PlanExecution` carries the mechanics of honouring those edges
+for *any* driver: the local :class:`PlanRunner` walks nodes in listed
+order, while the flows engine (state-machine states) and the zambeze
+orchestrator (campaign activities) call :meth:`PlanExecution.run_node`
+from their own schedulers — same plan, three engines.  This module must
+not import ``repro.core``; nodes close over their stage objects.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+__all__ = ["PlanError", "StageNode", "PipelinePlan", "PlanExecution", "PlanRunner"]
+
+
+class PlanError(ValueError):
+    """A plan is malformed or was driven out of contract."""
+
+
+@dataclass(frozen=True)
+class StageNode:
+    """One pipeline stage: a body plus its structural edges.
+
+    ``run`` receives the shared mutable state mapping and returns the
+    node's value (stored under ``state[name]``).  ``counts`` maps that
+    value to the keyword counts reported when the node ends (timeline
+    annotations).  ``when`` gates the node (a skipped node stores
+    ``None`` and still satisfies its dependents' barriers).
+    """
+
+    name: str
+    run: Callable[[Dict[str, Any]], Any]
+    workers: int = 0
+    after: Tuple[str, ...] = ()
+    overlaps: Tuple[str, ...] = ()
+    scope: Optional[Callable[[Dict[str, Any]], Any]] = None
+    when: Optional[Callable[[Dict[str, Any]], bool]] = None
+    counts: Optional[Callable[[Any], Dict[str, Any]]] = None
+
+
+class PipelinePlan:
+    """A validated sequence of stage nodes with explicit edges."""
+
+    def __init__(self, nodes: List[StageNode]):
+        self.nodes = list(nodes)
+        self._by_name: Dict[str, StageNode] = {}
+        for node in self.nodes:
+            if node.name in self._by_name:
+                raise PlanError(f"duplicate node name {node.name!r}")
+            self._by_name[node.name] = node
+        seen: set = set()
+        for node in self.nodes:
+            for dep in (*node.after, *node.overlaps):
+                if dep == node.name:
+                    raise PlanError(f"node {node.name!r} references itself")
+                if dep not in self._by_name:
+                    raise PlanError(
+                        f"node {node.name!r} references unknown node {dep!r}"
+                    )
+                if dep not in seen:
+                    raise PlanError(
+                        f"node {node.name!r} must come after {dep!r} in the plan"
+                    )
+            seen.add(node.name)
+
+    @property
+    def names(self) -> List[str]:
+        return [node.name for node in self.nodes]
+
+    def node(self, name: str) -> StageNode:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise PlanError(f"plan has no node {name!r}") from None
+
+    def edges(self) -> List[Tuple[str, str, str]]:
+        """All (src, dst, kind) edges, kind in {"after", "overlaps"}."""
+        out: List[Tuple[str, str, str]] = []
+        for node in self.nodes:
+            out.extend((dep, node.name, "after") for dep in node.after)
+            out.extend((dep, node.name, "overlaps") for dep in node.overlaps)
+        return out
+
+    def owners_of(self, name: str) -> List[StageNode]:
+        """Nodes whose concurrency window opens when ``name`` runs."""
+        return [node for node in self.nodes if name in node.overlaps]
+
+
+class PlanExecution:
+    """One run of a plan: barrier checks, scope windows, worker hooks.
+
+    Drivers call :meth:`run_node` in any order that satisfies the
+    ``after`` edges; violations raise :class:`PlanError` instead of
+    silently reordering the pipeline.  Hooks mirror the wall-clock
+    timeline's vocabulary: ``on_begin(name)``, ``on_end(name, **counts)``
+    and ``on_workers(name, delta)``.
+    """
+
+    def __init__(
+        self,
+        plan: PipelinePlan,
+        state: Optional[Dict[str, Any]] = None,
+        on_begin: Optional[Callable[[str], None]] = None,
+        on_end: Optional[Callable[..., None]] = None,
+        on_workers: Optional[Callable[[str, int], None]] = None,
+    ):
+        self.plan = plan
+        self.state: Dict[str, Any] = state if state is not None else {}
+        self.done: set = set()
+        self.skipped: set = set()
+        self._entered: Dict[str, Any] = {}
+        self._on_begin = on_begin
+        self._on_end = on_end
+        self._on_workers = on_workers
+
+    def _enter(self, node: StageNode) -> None:
+        if node.name in self._entered or node.name in self.done:
+            return
+        scope = node.scope(self.state) if node.scope is not None else nullcontext()
+        scope.__enter__()
+        self._entered[node.name] = scope
+        if self._on_workers is not None and node.workers:
+            self._on_workers(node.name, node.workers)
+
+    def run_node(self, name: str) -> Any:
+        node = self.plan.node(name)
+        if name in self.done:
+            raise PlanError(f"node {name!r} already ran")
+        missing = [dep for dep in node.after if dep not in self.done]
+        if missing:
+            raise PlanError(
+                f"node {name!r} ran before its barrier: waiting on {missing}"
+            )
+        if node.when is not None and not node.when(self.state):
+            self.state[name] = None
+            self.done.add(name)
+            self.skipped.add(name)
+            return None
+        # Open the concurrency windows of overlap owners whose gate
+        # passes — their resources must be live while this node works.
+        for owner in self.plan.owners_of(name):
+            if owner.when is None or owner.when(self.state):
+                self._enter(owner)
+        # An overlap owner whose partners were all skipped still needs
+        # its own scope before its body runs.
+        if node.overlaps and name not in self._entered:
+            self._enter(node)
+        entered_as_owner = name in self._entered
+        if self._on_begin is not None:
+            self._on_begin(name)
+        if not entered_as_owner and self._on_workers is not None and node.workers:
+            self._on_workers(name, node.workers)
+        try:
+            value = node.run(self.state)
+        finally:
+            if entered_as_owner:
+                scope = self._entered.pop(name)
+                scope.__exit__(None, None, None)
+            if self._on_workers is not None and node.workers:
+                self._on_workers(name, -node.workers)
+        self.state[name] = value
+        self.done.add(name)
+        if self._on_end is not None:
+            counts = node.counts(value) if node.counts is not None else {}
+            self._on_end(name, **counts)
+        return value
+
+    def close(self) -> None:
+        """Tear down any concurrency window still open (aborted runs)."""
+        for name in reversed(list(self._entered)):
+            scope = self._entered.pop(name)
+            scope.__exit__(None, None, None)
+
+
+class PlanRunner:
+    """The local driver: nodes in listed order, edges enforced."""
+
+    def __init__(
+        self,
+        on_begin: Optional[Callable[[str], None]] = None,
+        on_end: Optional[Callable[..., None]] = None,
+        on_workers: Optional[Callable[[str, int], None]] = None,
+    ):
+        self._on_begin = on_begin
+        self._on_end = on_end
+        self._on_workers = on_workers
+
+    def run(
+        self, plan: PipelinePlan, state: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        execution = PlanExecution(
+            plan,
+            state=state,
+            on_begin=self._on_begin,
+            on_end=self._on_end,
+            on_workers=self._on_workers,
+        )
+        try:
+            for node in plan.nodes:
+                execution.run_node(node.name)
+        finally:
+            execution.close()
+        return execution.state

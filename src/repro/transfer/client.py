@@ -17,7 +17,7 @@ from pathlib import Path
 from typing import Callable, Dict, Generator, List, Optional, Sequence, Tuple
 
 from repro.hpc.filesystem import SharedFilesystem
-from repro.net.retry import BackoffPolicy
+from repro.net.retry import BackoffPolicy, RetryExhausted, retry_call
 from repro.net.wan import WanLink
 from repro.sim import Simulation, Store
 from repro.transfer.task import TransferItem, TransferState, TransferTask
@@ -221,6 +221,18 @@ class LocalTransferClient:
         self.bytes_transferred += src.stat().st_size
         return str(dst), delivered, False
 
+    def move_one(
+        self, src_dir: str, dst_dir: str, name: str, sync: bool = False
+    ) -> Tuple[str, str, bool]:
+        """Move a single file, no retry: ``(dst_path, sha256, skipped)``.
+
+        The single-attempt primitive for callers that own their own
+        retry policy (the shipment stage's work units).
+        """
+        dst_root = Path(dst_dir)
+        dst_root.mkdir(parents=True, exist_ok=True)
+        return self._move_one(Path(src_dir), dst_root, name, sync)
+
     def transfer(
         self,
         src_dir: str,
@@ -241,34 +253,40 @@ class LocalTransferClient:
         moved: List[str] = []
         self.last_records = []
         for name in names:
-            attempts = 0
-            while True:
+
+            def check_deadline(name: str = name) -> None:
+                # Raised outside retry_call's catch: a spent batch budget
+                # aborts the whole call rather than burning attempts.
                 if deadline is not None and time.monotonic() > deadline:
                     raise TransferError(
                         f"transfer timed out after {self.timeout}s while moving {name}"
                     )
-                try:
-                    dst_path, checksum, skipped = self._move_one(
-                        src_root, dst_root, name, sync
-                    )
-                    moved.append(dst_path)
-                    self.last_records.append(
-                        TransferItem(
-                            src_path=str(src_root / name),
-                            dst_path=dst_path,
-                            nbytes=os.path.getsize(dst_path),
-                            done=True,
-                            verified=True,
-                            skipped=skipped,
-                            checksum=checksum,
-                        )
-                    )
-                    break
-                except TransferError:
-                    attempts += 1
-                    if attempts > self.retries:
-                        raise
-                    self.retries_used += 1
-                    self._sleeper(self.backoff.delay(attempts - 1, key=name))
+
+            try:
+                (dst_path, checksum, skipped), failures = retry_call(
+                    lambda name=name: self._move_one(src_root, dst_root, name, sync),
+                    retries=self.retries,
+                    backoff=self.backoff,
+                    key=name,
+                    sleeper=self._sleeper,
+                    retry_on=(TransferError,),
+                    before_attempt=check_deadline,
+                )
+            except RetryExhausted as exc:
+                self.retries_used += exc.attempts - 1
+                raise exc.last_exception
+            self.retries_used += failures
+            moved.append(dst_path)
+            self.last_records.append(
+                TransferItem(
+                    src_path=str(src_root / name),
+                    dst_path=dst_path,
+                    nbytes=os.path.getsize(dst_path),
+                    done=True,
+                    verified=True,
+                    skipped=skipped,
+                    checksum=checksum,
+                )
+            )
         self.tasks_completed += 1
         return moved

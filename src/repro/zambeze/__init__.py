@@ -9,8 +9,16 @@ from repro.zambeze.campaign import (
     CampaignActivity,
 )
 from repro.zambeze.orchestrator import CampaignReport, Orchestrator
+from repro.zambeze.pipeline import (
+    campaign_from_plan,
+    register_plan_plugins,
+    run_plan_with_zambeze,
+)
 
 __all__ = [
+    "campaign_from_plan",
+    "register_plan_plugins",
+    "run_plan_with_zambeze",
     "MessageBus",
     "Message",
     "FacilityAgent",

@@ -1,0 +1,84 @@
+"""Run a runtime :class:`PipelinePlan` as a zambeze campaign.
+
+The plan's ``after`` edges become campaign ``depends_on`` edges, so the
+orchestrator's own scheduler decides dispatch order under the same
+barriers the local :class:`PlanRunner` honours.  ``overlaps`` edges are
+deliberately *not* dependencies — an overlap is a concurrency window,
+not an ordering constraint — the window opens inside
+:meth:`PlanExecution.run_node` whichever engine drives it.  Facility
+agents execute nodes through ``runtime:<name>`` capability plugins that
+delegate to the shared execution — same plan, third engine.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.runtime import PipelinePlan, PlanExecution
+from repro.zambeze.agent import FacilityAgent
+from repro.zambeze.bus import MessageBus
+from repro.zambeze.campaign import ActivityKind, Campaign, CampaignActivity
+from repro.zambeze.orchestrator import CampaignReport, Orchestrator
+
+__all__ = [
+    "CAPABILITY_PREFIX",
+    "campaign_from_plan",
+    "register_plan_plugins",
+    "run_plan_with_zambeze",
+]
+
+CAPABILITY_PREFIX = "runtime:"
+
+
+def campaign_from_plan(
+    plan: PipelinePlan, name: str = "pipeline", facility: Optional[str] = None
+) -> Campaign:
+    """One COMPUTE activity per node; ``after`` edges become ``depends_on``."""
+    return Campaign(
+        name,
+        [
+            CampaignActivity(
+                name=node.name,
+                kind=ActivityKind.COMPUTE,
+                facility=facility,
+                capability=CAPABILITY_PREFIX + node.name,
+                depends_on=list(node.after),
+            )
+            for node in plan.nodes
+        ],
+    )
+
+
+def register_plan_plugins(agent: FacilityAgent, execution: PlanExecution) -> None:
+    """Give ``agent`` a ``runtime:<name>`` plugin per plan node."""
+    for node in execution.plan.nodes:
+        def plugin(params: Dict[str, Any], name: str = node.name) -> Any:
+            return execution.run_node(name)
+
+        agent.register_plugin(CAPABILITY_PREFIX + node.name, plugin)
+
+
+def run_plan_with_zambeze(
+    plan: PipelinePlan,
+    state: Optional[Dict[str, Any]] = None,
+    facility: str = "olcf",
+    campaign_name: str = "pipeline",
+) -> Tuple[CampaignReport, PlanExecution]:
+    """Execute a plan end-to-end through a one-facility campaign.
+
+    Builds the bus + credentialed agent + orchestrator, registers a
+    plugin per node, and runs the generated campaign; returns (report,
+    execution) with node values in ``execution.state``.
+    """
+    bus = MessageBus()
+    credential = f"token-{facility}"
+    agent = FacilityAgent(facility=facility, bus=bus, credential=credential)
+    orchestrator = Orchestrator(bus, credentials={facility: credential})
+    orchestrator.register_agent(agent)
+    execution = PlanExecution(plan, state=state)
+    register_plan_plugins(agent, execution)
+    try:
+        report = orchestrator.run(campaign_from_plan(plan, name=campaign_name))
+    finally:
+        execution.close()
+    return report, execution

@@ -180,6 +180,22 @@ class TestDrain:
         worker = InferenceWorker(model, make_config(tmp_path / "out"))
         worker.drain(timeout=0.0)
 
+    def test_drain_poll_param_deprecated_and_ignored(self, tmp_path, model):
+        # The busy-poll era is over: drain() blocks on a condition
+        # variable, so legacy callers passing poll= get a warning and
+        # identical behaviour.
+        worker = InferenceWorker(model, make_config(tmp_path / "out"))
+        with pytest.warns(DeprecationWarning, match="poll"):
+            worker.drain(timeout=0.0, poll=0.01)
+
+    def test_drain_without_poll_warns_nothing(self, tmp_path, model):
+        import warnings
+
+        worker = InferenceWorker(model, make_config(tmp_path / "out"))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            worker.drain(timeout=0.0)
+
     def test_drain_raises_when_work_outstanding(self, tmp_path, model):
         worker = InferenceWorker(model, make_config(tmp_path / "out"))
         # Never started: the submission can never settle.

@@ -1,0 +1,167 @@
+"""Same plan, three engines.
+
+The tentpole claim of the unified runtime: a :class:`PipelinePlan` is
+engine-neutral.  These tests drive toy plans (and the *real* five-stage
+workflow plan) through the Globus-Flows-like state machine and the
+zambeze-like campaign orchestrator, and check both engines honour the
+same barriers the local :class:`PlanRunner` enforces.
+"""
+
+import os
+
+import pytest
+
+from repro.core import EOMLWorkflow, load_config
+from repro.flows import (
+    FlowError,
+    FlowsEngine,
+    RunStatus,
+    plan_providers,
+    run_plan_with_flows,
+    to_flow_definition,
+)
+from repro.modis import MINI_SWATH, LaadsArchive
+from repro.runtime import PipelinePlan, PlanExecution, StageNode
+from repro.sim import Simulation
+from repro.zambeze import (
+    campaign_from_plan,
+    run_plan_with_zambeze,
+)
+
+
+def toy_plan(events=None):
+    events = events if events is not None else []
+
+    def body(name, value):
+        def run(state):
+            events.append(name)
+            return value
+        return run
+
+    return PipelinePlan([
+        StageNode("fetch", body("fetch", 3)),
+        StageNode("tile", body("tile", 12), after=("fetch",)),
+        StageNode("label", body("label", "labelled"), after=("fetch", "tile")),
+    ])
+
+
+class TestFlowDefinition:
+    def test_one_action_state_per_node_chained_in_plan_order(self):
+        definition = to_flow_definition(toy_plan())
+        assert definition["StartAt"] == "fetch"
+        states = definition["States"]
+        assert states["fetch"] == {
+            "Type": "Action", "ActionUrl": "runtime:fetch",
+            "ResultPath": "fetch", "Next": "tile",
+        }
+        assert states["tile"]["Next"] == "label"
+        assert states["label"]["End"] is True
+        assert "Next" not in states["label"]
+
+    def test_empty_plan_rejected(self):
+        with pytest.raises(ValueError, match="empty plan"):
+            to_flow_definition(PipelinePlan([]))
+
+    def test_providers_cover_every_node(self):
+        execution = PlanExecution(toy_plan())
+        providers = plan_providers(execution)
+        assert set(providers) == {"runtime:fetch", "runtime:tile", "runtime:label"}
+
+
+class TestFlowsDrivesPlan:
+    def test_toy_plan_succeeds_with_values_in_state_and_document(self):
+        events = []
+        run, execution = run_plan_with_flows(toy_plan(events))
+        assert run.status == RunStatus.SUCCEEDED
+        assert events == ["fetch", "tile", "label"]
+        assert execution.state == {"fetch": 3, "tile": 12, "label": "labelled"}
+        assert run.document["tile"] == 12
+
+    def test_misordered_definition_hits_the_barrier(self):
+        # A definition that visits label before tile violates the plan's
+        # after edge; the execution raises instead of silently reordering.
+        execution = PlanExecution(toy_plan())
+        sim = Simulation()
+        engine = FlowsEngine(sim)
+        for url, provider in plan_providers(execution).items():
+            engine.register_provider(url, provider)
+        definition = to_flow_definition(execution.plan)
+        definition["States"]["fetch"]["Next"] = "label"
+        definition["States"]["label"] = dict(
+            definition["States"]["label"], Next="tile")
+        definition["States"]["label"].pop("End", None)
+        definition["States"]["tile"] = dict(
+            definition["States"]["tile"], End=True)
+        definition["States"]["tile"].pop("Next", None)
+        run = engine.run(definition, label="misordered")
+        with pytest.raises(FlowError, match="before its barrier"):
+            sim.run()
+        assert run.status == RunStatus.FAILED
+        assert "before its barrier" in run.error
+
+
+class TestZambezeDrivesPlan:
+    def test_campaign_mirrors_the_after_edges_only(self):
+        plan = PipelinePlan([
+            StageNode("preprocess", lambda s: None),
+            StageNode("inference", lambda s: None,
+                      after=("preprocess",), overlaps=("preprocess",)),
+        ])
+        campaign = campaign_from_plan(plan, name="eo-ml")
+        assert campaign.name == "eo-ml"
+        by_name = dict(campaign.activities)
+        assert by_name["inference"].depends_on == ["preprocess"]
+        assert by_name["inference"].capability == "runtime:inference"
+        # An overlap is a concurrency window, not an ordering edge.
+        assert by_name["preprocess"].depends_on == []
+
+    def test_toy_plan_succeeds_with_values_in_state(self):
+        events = []
+        report, execution = run_plan_with_zambeze(toy_plan(events))
+        assert report.succeeded
+        assert events == ["fetch", "tile", "label"]
+        assert execution.state == {"fetch": 3, "tile": 12, "label": "labelled"}
+
+
+@pytest.fixture
+def workflow(tmp_path):
+    config = load_config({
+        "archive": {"start_date": "2022-01-01", "max_granules_per_day": 1,
+                    "seed": 3},
+        "paths": {
+            "staging": str(tmp_path / "raw"),
+            "preprocessed": str(tmp_path / "tiles"),
+            "transfer_out": str(tmp_path / "outbox"),
+            "destination": str(tmp_path / "orion"),
+            "quarantine": str(tmp_path / "quarantine"),
+        },
+        "download": {"workers": 2},
+        "preprocess": {"workers": 2, "tile_size": 16},
+        "inference": {"workers": 1, "poll_interval": 0.05},
+    })
+    return EOMLWorkflow(config, archive=LaadsArchive(seed=3, swath=MINI_SWATH))
+
+
+class TestRealPlanOnAlternateEngines:
+    """The five-stage workflow plan, executed by the other two engines."""
+
+    def assert_delivered(self, workflow, execution):
+        shipment = execution.state["shipment"]
+        assert shipment is not None and shipment.error is None
+        assert shipment.moved
+        for path in shipment.moved:
+            assert os.path.exists(path)
+        assert execution.state["inference"].results
+
+    def test_flows_engine_runs_the_five_stage_plan(self, workflow):
+        plan = workflow.build_plan()
+        run, execution = run_plan_with_flows(plan, label="eo-ml")
+        assert run.status == RunStatus.SUCCEEDED
+        self.assert_delivered(workflow, execution)
+
+    def test_zambeze_orchestrator_runs_the_five_stage_plan(self, workflow):
+        plan = workflow.build_plan()
+        report, execution = run_plan_with_zambeze(plan, facility="olcf")
+        assert report.succeeded
+        assert not report.errors
+        self.assert_delivered(workflow, execution)

@@ -1,0 +1,212 @@
+"""Pipeline plans: validation, barriers, gates, and overlap windows.
+
+The plan is the workflow's structure as data — these tests pin that the
+``after`` edges really are barriers (violations raise instead of
+silently reordering), that ``when`` gates skip without running, and that
+an ``overlaps`` edge opens the owner's scope *before* the overlapped
+node works and closes it after the owner's own body — the Fig. 6
+monitor/inference window.
+"""
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.runtime import (
+    PipelinePlan,
+    PlanError,
+    PlanExecution,
+    PlanRunner,
+    StageNode,
+)
+
+
+def node(name, value=None, **kwargs):
+    return StageNode(name=name, run=lambda state: value or name, **kwargs)
+
+
+class TestPlanValidation:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(PlanError, match="duplicate"):
+            PipelinePlan([node("a"), node("a")])
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(PlanError, match="unknown node"):
+            PipelinePlan([node("a", after=("ghost",))])
+
+    def test_self_reference_rejected(self):
+        with pytest.raises(PlanError, match="references itself"):
+            PipelinePlan([node("a", overlaps=("a",))])
+
+    def test_forward_reference_rejected(self):
+        # Listed order must already satisfy every edge.
+        with pytest.raises(PlanError, match="must come after"):
+            PipelinePlan([node("a", after=("b",)), node("b")])
+
+    def test_names_nodes_and_edges(self):
+        plan = PipelinePlan([
+            node("a"),
+            node("b", after=("a",)),
+            node("c", after=("a", "b"), overlaps=("b",)),
+        ])
+        assert plan.names == ["a", "b", "c"]
+        assert plan.node("b").after == ("a",)
+        with pytest.raises(PlanError, match="no node"):
+            plan.node("ghost")
+        assert set(plan.edges()) == {
+            ("a", "b", "after"),
+            ("a", "c", "after"),
+            ("b", "c", "after"),
+            ("b", "c", "overlaps"),
+        }
+        assert [owner.name for owner in plan.owners_of("b")] == ["c"]
+
+
+class TestPlanExecution:
+    def test_barrier_violation_raises(self):
+        plan = PipelinePlan([node("a"), node("b", after=("a",))])
+        execution = PlanExecution(plan)
+        with pytest.raises(PlanError, match="before its barrier"):
+            execution.run_node("b")
+
+    def test_node_cannot_run_twice(self):
+        plan = PipelinePlan([node("a")])
+        execution = PlanExecution(plan)
+        execution.run_node("a")
+        with pytest.raises(PlanError, match="already ran"):
+            execution.run_node("a")
+
+    def test_values_land_in_state(self):
+        state = {"seeded": True}
+        plan = PipelinePlan([node("a", value=41), node("b", value=42)])
+        execution = PlanExecution(plan, state=state)
+        execution.run_node("a")
+        execution.run_node("b")
+        assert state == {"seeded": True, "a": 41, "b": 42}
+
+    def test_when_gate_skips_but_satisfies_barriers(self):
+        ran = []
+        plan = PipelinePlan([
+            StageNode("a", run=lambda s: ran.append("a")),
+            StageNode("b", run=lambda s: ran.append("b"),
+                      after=("a",), when=lambda s: False),
+            StageNode("c", run=lambda s: ran.append("c") or "done",
+                      after=("b",)),
+        ])
+        begun = []
+        execution = PlanExecution(plan, on_begin=begun.append)
+        for name in plan.names:
+            execution.run_node(name)
+        assert ran == ["a", "c"]
+        assert execution.state["b"] is None
+        assert execution.skipped == {"b"}
+        assert begun == ["a", "c"]           # a skipped node never begins
+
+    def test_driver_order_free_when_barriers_allow(self):
+        # The zambeze/flows schedulers may pick any legal order.
+        plan = PipelinePlan([node("a"), node("b"), node("c", after=("a", "b"))])
+        execution = PlanExecution(plan)
+        execution.run_node("b")
+        execution.run_node("a")
+        assert execution.run_node("c") == "c"
+
+
+class TestOverlapWindows:
+    def make_plan(self, events, inference_when=None):
+        @contextmanager
+        def scope(state):
+            events.append("scope+")
+            yield
+            events.append("scope-")
+
+        return PipelinePlan([
+            StageNode("preprocess", run=lambda s: events.append("preprocess")),
+            StageNode("inference", run=lambda s: events.append("drain"),
+                      after=("preprocess",), overlaps=("preprocess",),
+                      scope=scope, when=inference_when),
+        ])
+
+    def test_owner_scope_brackets_the_overlapped_node(self):
+        events = []
+        PlanRunner().run(self.make_plan(events))
+        # The worker/crawler window opens before preprocess produces its
+        # first tile file and closes only after the drain.
+        assert events == ["scope+", "preprocess", "drain", "scope-"]
+
+    def test_gated_owner_never_opens_its_scope(self):
+        events = []
+        PlanRunner().run(self.make_plan(events, inference_when=lambda s: False))
+        assert events == ["preprocess"]
+
+    def test_owner_with_skipped_partner_still_gets_scope(self):
+        events = []
+
+        @contextmanager
+        def scope(state):
+            events.append("scope+")
+            yield
+            events.append("scope-")
+
+        plan = PipelinePlan([
+            StageNode("preprocess", run=lambda s: events.append("preprocess"),
+                      when=lambda s: False),
+            StageNode("inference", run=lambda s: events.append("drain"),
+                      overlaps=("preprocess",), scope=scope),
+        ])
+        PlanRunner().run(plan)
+        assert events == ["scope+", "drain", "scope-"]
+
+    def test_close_tears_down_open_windows(self):
+        events = []
+        plan = self.make_plan(events)
+        execution = PlanExecution(plan)
+        execution.run_node("preprocess")      # opens inference's window
+        assert events == ["scope+", "preprocess"]
+        execution.close()                     # aborted run: window torn down
+        assert events == ["scope+", "preprocess", "scope-"]
+        execution.close()                     # idempotent
+        assert events == ["scope+", "preprocess", "scope-"]
+
+
+class TestPlanRunner:
+    def test_hooks_mirror_the_timeline_vocabulary(self):
+        calls = []
+        plan = PipelinePlan([
+            StageNode("download", run=lambda s: 3, workers=2,
+                      counts=lambda v: {"files": v}),
+            StageNode("shipment", run=lambda s: "r", after=("download",)),
+        ])
+        runner = PlanRunner(
+            on_begin=lambda name: calls.append(("begin", name)),
+            on_end=lambda name, **counts: calls.append(("end", name, counts)),
+            on_workers=lambda name, delta: calls.append(("workers", name, delta)),
+        )
+        state = runner.run(plan)
+        assert state["download"] == 3
+        assert calls == [
+            ("begin", "download"),
+            ("workers", "download", 2),
+            ("workers", "download", -2),
+            ("end", "download", {"files": 3}),
+            ("begin", "shipment"),
+            ("end", "shipment", {}),
+        ]
+
+    def test_failing_node_still_closes_windows(self):
+        events = []
+
+        @contextmanager
+        def scope(state):
+            events.append("scope+")
+            yield
+            events.append("scope-")
+
+        plan = PipelinePlan([
+            StageNode("a", run=lambda s: (_ for _ in ()).throw(
+                RuntimeError("stage blew up"))),
+            StageNode("b", run=lambda s: "unreached", overlaps=("a",),
+                      scope=scope),
+        ])
+        with pytest.raises(RuntimeError, match="stage blew up"):
+            PlanRunner().run(plan)
+        assert events == ["scope+", "scope-"]

@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Layering check: ``repro.runtime`` must never import ``repro.core``.
+
+The unified stage runtime is the layer *under* the stages — the flows
+engine and the zambeze orchestrator execute runtime plans without the
+local stage implementations, so an import edge from ``repro.runtime``
+into ``repro.core`` would invert the architecture (and reintroduce the
+cycle the refactor removed).  This script walks the runtime package's
+ASTs and fails loudly on any ``import``/``from`` that resolves into a
+forbidden layer.  Run from the repo root:
+
+    python tools/check_layering.py
+
+Exit status 0 = clean, 1 = violation(s) printed to stderr.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import sys
+
+# (package under scrutiny, layers it must not import)
+RULES = [
+    ("src/repro/runtime", ("repro.core",)),
+]
+
+
+def imported_modules(tree: ast.AST):
+    """Yield (module_name, line) for every import statement in the tree."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                yield alias.name, node.lineno
+        elif isinstance(node, ast.ImportFrom):
+            # Relative imports (level > 0) stay inside the package and
+            # cannot cross into another top-level layer.
+            if node.level == 0 and node.module:
+                yield node.module, node.lineno
+
+
+def violations(package_dir: str, forbidden: tuple) -> list:
+    found = []
+    for dirpath, _dirnames, filenames in os.walk(package_dir):
+        for filename in sorted(filenames):
+            if not filename.endswith(".py"):
+                continue
+            path = os.path.join(dirpath, filename)
+            with open(path, encoding="utf-8") as handle:
+                tree = ast.parse(handle.read(), filename=path)
+            for module, line in imported_modules(tree):
+                for layer in forbidden:
+                    if module == layer or module.startswith(layer + "."):
+                        found.append(f"{path}:{line}: imports {module} "
+                                     f"(forbidden layer {layer})")
+    return found
+
+
+def main(root: str = ".") -> int:
+    failures = []
+    for package, forbidden in RULES:
+        package_dir = os.path.join(root, package)
+        if not os.path.isdir(package_dir):
+            failures.append(f"{package_dir}: package not found")
+            continue
+        failures.extend(violations(package_dir, tuple(forbidden)))
+    if failures:
+        for failure in failures:
+            print(failure, file=sys.stderr)
+        return 1
+    print("layering ok: repro.runtime imports nothing from repro.core")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
