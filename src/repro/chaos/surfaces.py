@@ -19,11 +19,13 @@ nothing when chaos is off.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import time
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.chaos.engine import FaultInjector
+from repro.journal.manifest import sha256_file
 from repro.netcdf import Dataset, to_bytes
 from repro.transfer import LocalTransferClient, TransferError
 from repro.util.atomic import fsync_dir
@@ -94,8 +96,14 @@ def chaos_atomic_write(
     chaos: Optional[FaultInjector] = None,
     stage: str = "preprocess",
     key: str = "",
-) -> int:
+) -> Tuple[int, str]:
     """Atomic (temp + rename) NetCDF write with torn/corrupt injection.
+
+    Returns ``(nbytes, sha256_hex)`` of the *published* file: the digest
+    is computed while the bytes stream to the temp file (no second read),
+    except under ``corrupt_tile`` where the damaged on-disk content is
+    re-digested — the manifest must describe what the filesystem actually
+    holds, so the integrity gate and resume logic see the corruption.
 
     * ``torn_write`` — the writer "dies" mid-file: a truncated ``.part``
       temp file is left behind (never renamed) and :class:`OSError` is
@@ -118,8 +126,10 @@ def chaos_atomic_write(
         with open(temp_path, "wb") as handle:
             handle.write(blob[: max(1, len(blob) // 3)])
         raise OSError(f"chaos: torn write, partial left at {os.path.basename(temp_path)}")
+    digest = hashlib.sha256()
     with open(temp_path, "wb") as handle:
         handle.write(blob)
+        digest.update(blob)
         handle.flush()
         os.fsync(handle.fileno())
     chaos_crash(chaos, stage, key)
@@ -127,7 +137,8 @@ def chaos_atomic_write(
     fsync_dir(os.path.dirname(final_path))
     if chaos is not None and chaos.fire(stage, "corrupt_tile", key):
         damage_file(final_path)
-    return len(blob)
+        return os.path.getsize(final_path), sha256_file(final_path)
+    return len(blob), digest.hexdigest()
 
 
 class ChaosArchive:

@@ -9,7 +9,7 @@ execution-backend agnostic.
 from __future__ import annotations
 
 import concurrent.futures as cf
-from typing import Any, Callable, Iterable, List, Optional
+from typing import Any, Callable, Iterable, Iterator, List, Optional, Union
 
 __all__ = ["LocalComputeEndpoint"]
 
@@ -45,14 +45,32 @@ class LocalComputeEndpoint:
     def map(self, fn: Callable, items: Iterable[Any]) -> List[cf.Future]:
         return [self.submit(fn, item) for item in items]
 
-    def gather(self, futures: Iterable[cf.Future], timeout: Optional[float] = None) -> List[Any]:
-        """Wait for all futures; returns results in submission order.
+    def gather(
+        self,
+        futures: Iterable[cf.Future],
+        timeout: Optional[float] = None,
+        ordered: bool = False,
+    ) -> Union[Iterator[Any], List[Any]]:
+        """Yield results as futures complete (completion order).
 
-        Raises the first exception encountered (after all have settled).
+        The default is a generator in completion order — the shape a
+        streaming consumer needs: a slow first submission no longer
+        head-of-line-blocks every finished result behind it.  Pass
+        ``ordered=True`` for the old behaviour (wait for all, then a
+        list in submission order).  Either way the first exception
+        encountered is raised; with ``timeout``, :class:`TimeoutError`
+        is raised if the futures have not all settled in time.
         """
         futures = list(futures)
-        cf.wait(futures, timeout=timeout)
-        return [future.result(timeout=0) for future in futures]
+        if ordered:
+            cf.wait(futures, timeout=timeout)
+            return [future.result(timeout=0) for future in futures]
+
+        def results() -> Iterator[Any]:
+            for future in cf.as_completed(futures, timeout=timeout):
+                yield future.result()
+
+        return results()
 
     def shutdown(self, wait: bool = True) -> None:
         self._pool.shutdown(wait=wait)

@@ -16,6 +16,7 @@ from typing import Any, Dict, List, Mapping, Optional
 from repro.chaos.plan import FaultPlan
 from repro.modis.constants import OCEAN_CLOUD_THRESHOLD, resolve_product
 from repro.net.retry import BackoffPolicy
+from repro.runtime.channel import DEFAULT_CAPACITY, StreamConfig
 from repro.util.config import (
     ConfigError,
     Field,
@@ -148,6 +149,22 @@ _SHIPMENT = Schema(
     ],
 )
 
+_RUNTIME = Schema(
+    "runtime",
+    [
+        Field("stream", dict, required=False, default={}),
+    ],
+)
+
+_STREAM = Schema(
+    "runtime.stream",
+    [
+        Field("enabled", boolean, required=False, default=False),
+        Field("capacity", positive_int, required=False, default=DEFAULT_CAPACITY),
+        Field("edges", dict, required=False, default={}),
+    ],
+)
+
 _TOP = Schema(
     "workflow",
     [
@@ -159,6 +176,7 @@ _TOP = Schema(
         Field("inference", dict, required=False, default={}),
         Field("shipment", dict, required=False, default={}),
         Field("journal", dict, required=False, default={}),
+        Field("runtime", dict, required=False, default={}),
         Field("chaos", dict, required=False, default=None),
     ],
 )
@@ -214,6 +232,9 @@ class EOMLConfig:
     journal_enabled: bool = True
     journal_dir: str = "data/journal"
     journal_durable: bool = True
+    # Streaming dataflow between plan stages (runtime.stream): off by
+    # default, so the plan degrades to the classic barrier pipeline.
+    stream: StreamConfig = StreamConfig()
     chaos: Optional[FaultPlan] = None
     raw: Dict[str, Any] = field(default_factory=dict, compare=False)
 
@@ -235,6 +256,12 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
     inference = _INFERENCE.validate(top["inference"] or {}, "inference")
     shipment = _SHIPMENT.validate(top["shipment"] or {}, "shipment")
     journal = _JOURNAL.validate(top["journal"] or {}, "journal")
+    runtime = _RUNTIME.validate(top["runtime"] or {}, "runtime")
+    stream_raw = _STREAM.validate(runtime["stream"] or {}, "runtime.stream")
+    try:
+        stream = StreamConfig.from_mapping(stream_raw)
+    except ValueError as exc:
+        raise ConfigError("runtime.stream", str(exc)) from exc
 
     end_date = archive["end_date"] or archive["start_date"]
     if end_date < archive["start_date"]:
@@ -294,6 +321,7 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
         journal_enabled=journal["enabled"],
         journal_dir=journal_dir,
         journal_durable=journal["durable"],
+        stream=stream,
         shipment_backoff=BackoffPolicy(
             base=shipment["backoff_base"],
             max_delay=1.0,

@@ -112,7 +112,14 @@ class DownloadStage:
         )
 
     def plan(self) -> List[GranuleRef]:
-        """The catalog query: every product over the configured span."""
+        """The catalog query: every product over the configured span.
+
+        Refs come back scene-major (all products of one acquisition
+        before the next acquisition starts), so whole scenes complete as
+        early as possible — a product-major order would finish every
+        scene at roughly the same instant, which starves the streaming
+        ``download -> preprocess`` hand-off of anything to overlap.
+        """
         refs: List[GranuleRef] = []
         for product in self.config.products:
             refs.extend(
@@ -123,6 +130,7 @@ class DownloadStage:
                     max_per_day=self.config.max_granules_per_day,
                 )
             )
+        refs.sort(key=lambda ref: (ref.gid.scene_key, ref.gid.product))
         return refs
 
     def _unit_for(self, ref: GranuleRef) -> WorkUnit:
@@ -144,10 +152,15 @@ class DownloadStage:
         def body(ctx) -> UnitResult:
             ctx.begin()
             ds = self.archive.fetch(ref)
-            nbytes = chaos_atomic_write(
+            nbytes, digest = chaos_atomic_write(
                 ds, final_path, chaos=self.chaos, stage="download", key=key
             )
-            return UnitResult(outcome="done", artifact=final_path, value=nbytes)
+            return UnitResult(
+                outcome="done",
+                artifact=final_path,
+                value=nbytes,
+                payload={"sha256": digest, "nbytes": nbytes},
+            )
 
         def cleanup() -> None:
             # Retry budget exhausted: remove any torn temp file so crashed
@@ -210,6 +223,8 @@ class DownloadStage:
         self,
         on_file: Optional[Callable[[str], None]] = None,
         workers: Optional[int] = None,
+        on_planned: Optional[Callable[[List[str]], None]] = None,
+        on_scene: Optional[Callable[[str, Optional[GranuleSet]], None]] = None,
     ) -> DownloadReport:
         """Execute all downloads; returns the manifest grouped by granule.
 
@@ -217,49 +232,80 @@ class DownloadStage:
         in ``granule_sets``; scenes that lost a product to a permanent
         failure are quarantined into ``incomplete`` so the preprocessing
         barrier never sees a partial acquisition.
+
+        Streaming hooks: ``on_planned`` receives the sorted scene keys of
+        the catalog query before any fetch completes; ``on_scene`` fires
+        the moment a scene's last planned product settles — with the
+        complete :class:`GranuleSet`, or ``None`` if the scene lost a
+        product.  Scenes are announced in *completion* order (that is the
+        point of streaming); ``granule_sets`` in the returned report stays
+        sorted by scene key, same as barrier mode.
         """
         os.makedirs(self.config.staging, exist_ok=True)
         refs = self.plan()
+        # A scene is complete when every product the catalog planned for
+        # it arrived (Terra and Aqua scenes plan different product sets).
+        planned: Dict[str, set] = {}
+        for ref in refs:
+            planned.setdefault(ref.gid.scene_key, set()).add(ref.gid.product)
+        if on_planned is not None:
+            on_planned(sorted(planned))
         started = time.monotonic()
-        with LocalComputeEndpoint("download", workers or self.config.workers.download) as pool:
-            futures = pool.map(self._fetch_one, refs)
-            results = pool.gather(futures)
         by_scene: Dict[str, Dict[str, str]] = {}
+        settled_products: Dict[str, int] = {}
         total_bytes = 0
+        files = 0
         per_file = []
         skipped = 0
         resumed = 0
         retried = 0
         retry_attempts = 0
         failed: List[str] = []
-        for ref, path, nbytes, seconds, outcome, attempts, error in results:
+        incomplete: List[str] = []
+        granule_sets: List[GranuleSet] = []
+
+        def settle(ref, path, nbytes, seconds, outcome, attempts, error) -> None:
+            nonlocal total_bytes, files, skipped, resumed, retried, retry_attempts
+            scene_key = ref.gid.scene_key
             retry_attempts += attempts if outcome != "failed" else max(0, attempts - 1)
             if outcome == "failed":
                 failed.append(error or f"download of {ref.filename} failed")
-                continue
-            by_scene.setdefault(ref.gid.scene_key, {})[ref.gid.product] = path
-            total_bytes += nbytes
-            per_file.append(seconds)
-            skipped += outcome == "skipped"
-            resumed += outcome == "resumed"
-            retried += outcome == "retried"
-            if on_file is not None:
-                on_file(path)
-        # A scene is complete when every product the catalog planned for
-        # it arrived (Terra and Aqua scenes plan different product sets).
-        planned: Dict[str, set] = {}
-        for ref in refs:
-            planned.setdefault(ref.gid.scene_key, set()).add(ref.gid.product)
-        granule_sets = []
-        incomplete: List[str] = []
-        for scene_key, paths in sorted(by_scene.items()):
-            if set(paths) < planned.get(scene_key, set()):
-                incomplete.append(scene_key)
             else:
+                by_scene.setdefault(scene_key, {})[ref.gid.product] = path
+                files += 1
+                total_bytes += nbytes
+                per_file.append(seconds)
+                skipped += outcome == "skipped"
+                resumed += outcome == "resumed"
+                retried += outcome == "retried"
+                if on_file is not None:
+                    on_file(path)
+            settled_products[scene_key] = settled_products.get(scene_key, 0) + 1
+            if settled_products[scene_key] < len(planned[scene_key]):
+                return
+            # The scene's last planned product just settled: hand it off.
+            paths = by_scene.get(scene_key, {})
+            if set(paths) < planned[scene_key]:
+                incomplete.append(scene_key)
+                if on_scene is not None:
+                    on_scene(scene_key, None)
+            else:
+                granule_set = GranuleSet(key=scene_key, paths=paths)
+                if on_scene is not None:
+                    on_scene(scene_key, granule_set)
+
+        with LocalComputeEndpoint("download", workers or self.config.workers.download) as pool:
+            futures = pool.map(self._fetch_one, refs)
+            for result in pool.gather(futures):
+                settle(*result)
+        for scene_key in sorted(by_scene):
+            paths = by_scene[scene_key]
+            if not (set(paths) < planned.get(scene_key, set())):
                 granule_sets.append(GranuleSet(key=scene_key, paths=paths))
+        incomplete.sort()
         return DownloadReport(
             granule_sets=granule_sets,
-            files=len(results) - len(failed),
+            files=files,
             nbytes=total_bytes,
             seconds=time.monotonic() - started,
             per_file_seconds=per_file,

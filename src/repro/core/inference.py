@@ -24,7 +24,7 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -46,7 +46,7 @@ from repro.runtime import (
     build_executor,
 )
 from repro.telemetry.metrics import MetricsRegistry
-from repro.util.atomic import atomic_write_bytes
+from repro.util.atomic import atomic_publish_bytes
 
 __all__ = ["InferenceResult", "infer_tile_file", "InferenceWorker"]
 
@@ -83,16 +83,18 @@ def _labelled_payload(
 
 
 def _publish(payload: bytes, src_path: str, out_dir: str,
-             durable: bool = True) -> str:
+             durable: bool = True) -> Tuple[str, str]:
     """Atomically place the labelled bytes in the transfer-out directory.
 
     Full crash-consistency triple (temp + fsync + rename + dir fsync):
     the shipper and resume logic treat presence as completeness.
+    Returns ``(out_path, sha256)``; the digest comes from the write
+    itself, so the manifest never re-reads the published file.
     """
     os.makedirs(out_dir, exist_ok=True)
     out_path = os.path.join(out_dir, os.path.basename(src_path))
-    atomic_write_bytes(out_path, payload, durable=durable)
-    return out_path
+    _, digest = atomic_publish_bytes(out_path, payload, durable=durable)
+    return out_path, digest
 
 
 def infer_tile_file(model: AICCAModel, src_path: str, out_dir: str) -> InferenceResult:
@@ -105,7 +107,7 @@ def infer_tile_file(model: AICCAModel, src_path: str, out_dir: str) -> Inference
     radiance = np.asarray(ds["radiance"].data, dtype=np.float32)
     labels = model.assign(radiance)
     payload = _labelled_payload(ds, raw, labels, model.num_classes)
-    out_path = _publish(payload, src_path, out_dir)
+    out_path, _ = _publish(payload, src_path, out_dir)
     return InferenceResult(
         src_path=src_path,
         out_path=out_path,
@@ -149,8 +151,10 @@ class InferenceWorker:
         batch_files: Optional[int] = None,
         metrics: Optional[MetricsRegistry] = None,
         journal: Optional[WorkflowJournal] = None,
+        on_result: Optional[Callable[[InferenceResult], None]] = None,
     ):
         self.model = model
+        self._on_result = on_result
         self.config = config
         self.chaos = chaos
         self.journal = journal
@@ -182,6 +186,11 @@ class InferenceWorker:
             self.quarantined.append(record)
 
     def _record_result(self, result: InferenceResult) -> None:
+        # The streaming hand-off happens *before* the result is counted:
+        # a backpressured put must finish before drain() can observe the
+        # queue as settled, so every labelled file reaches its consumer.
+        if self._on_result is not None and result.out_path:
+            self._on_result(result)
         with self._done:
             self.results.append(result)
             self._done.notify_all()
@@ -276,8 +285,8 @@ class InferenceWorker:
             # Injected death in the window between labelling and
             # publication — resume must redo this file from its tile.
             chaos_crash(self.chaos, "inference", os.path.basename(entry.path))
-            out_path = _publish(payload, entry.path, self.config.transfer_out,
-                                durable=self._durable)
+            out_path, digest = _publish(payload, entry.path, self.config.transfer_out,
+                                        durable=self._durable)
             classes_seen = int(np.unique(file_labels).size)
             return UnitResult(
                 outcome="done",
@@ -286,6 +295,8 @@ class InferenceWorker:
                 payload={
                     "tiles": int(entry.radiance.shape[0]),
                     "classes_seen": classes_seen,
+                    "sha256": digest,
+                    "nbytes": len(payload),
                 },
             )
 
@@ -382,16 +393,23 @@ class InferenceWorker:
             thread.join(timeout=timeout)
         self._threads = []
 
-    def drain(self, timeout: float = 60.0, poll: Optional[float] = None) -> None:
+    def drain(self, timeout: float = 60.0, **deprecated) -> None:
         """Block until every submitted file has been processed.
 
         Progress is signalled through a condition variable, so waiting
-        costs no CPU.  ``poll`` (the old busy-poll interval) is accepted
-        and ignored for API compatibility.  The settled/submitted
-        counters are re-checked once after the deadline, so a queue that
-        drains exactly at the deadline does not raise.
+        costs no CPU.  ``poll`` (the old busy-poll interval) is gone from
+        the signature; passing it still warns rather than breaking
+        callers, any other keyword is a :class:`TypeError`.  The
+        settled/submitted counters are re-checked once after the
+        deadline, so a queue that drains exactly at the deadline does
+        not raise.
         """
-        if poll is not None:
+        if deprecated:
+            unknown = set(deprecated) - {"poll"}
+            if unknown:
+                raise TypeError(
+                    f"drain() got unexpected keyword arguments {sorted(unknown)}"
+                )
             warnings.warn(
                 "InferenceWorker.drain(poll=...) is deprecated and ignored; "
                 "drain() blocks on a condition variable",

@@ -21,8 +21,9 @@ from __future__ import annotations
 
 import os
 import time
+from collections import deque
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Deque, Iterable, List, Optional
 
 from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import chaos_atomic_write
@@ -139,11 +140,13 @@ def _preprocess_unit(
             return UnitResult(outcome="done", artifact=None, payload={"tiles": 0})
         ds = tiles_to_dataset(tiles, source=granules.key)
         ds.set_attr("true_regime", str(mod02.get_attr("true_regime", "unknown")))
-        chaos_atomic_write(
+        nbytes, digest = chaos_atomic_write(
             ds, final_path, chaos=ctx.chaos, stage="preprocess", key=granules.key
         )
         return UnitResult(
-            outcome="done", artifact=final_path, payload={"tiles": len(tiles)}
+            outcome="done",
+            artifact=final_path,
+            payload={"tiles": len(tiles), "sha256": digest, "nbytes": nbytes},
         )
 
     return WorkUnit(
@@ -213,6 +216,18 @@ class PreprocessStage:
         self._executor = build_executor(journal=journal, chaos=chaos)
 
     def run(self, granule_sets: List[GranuleSet]) -> PreprocessReport:
+        return self.run_stream(granule_sets)
+
+    def run_stream(self, granule_sets: Iterable[GranuleSet]) -> PreprocessReport:
+        """Fan out over an iterable that may still be producing.
+
+        Each granule set is submitted the moment it arrives (for a plain
+        list this is identical to barrier mode), so tiling overlaps the
+        upstream downloads when the input is a stream channel.  Finished
+        tasks are settled eagerly in submission order — quarantine-and-
+        continue per task, exactly as in barrier mode — and the call
+        returns only when every submitted task has settled.
+        """
         os.makedirs(self.config.preprocessed, exist_ok=True)
         started = time.monotonic()
         dfk = self._dfk or DataFlowKernel(
@@ -224,28 +239,38 @@ class PreprocessStage:
         )
         results: List[PreprocessResult] = []
         quarantined: List[QuarantineRecord] = []
-        try:
-            futures = [
-                dfk.submit(
-                    preprocess_granule_set,
-                    args=(
-                        granules,
-                        self.config.preprocessed,
-                        self.config.tile_size,
-                        self.config.cloud_threshold,
-                        self.config.max_land_fraction,
-                    ),
-                    kwargs={"executor": self._executor},
-                )
-                for granules in granule_sets
-            ]
-            # Settle each task independently: one corrupt granule must
-            # not abort its siblings (quarantine-and-continue).
-            for granules, future in zip(granule_sets, futures):
+        pending: Deque = deque()
+
+        # Settle each task independently: one corrupt granule must
+        # not abort its siblings (quarantine-and-continue).
+        def settle(block: bool) -> None:
+            while pending and (block or pending[0][1].done()):
+                granules, future = pending.popleft()
                 try:
                     results.append(future.result())
                 except Exception as exc:  # noqa: BLE001 - recorded, not fatal
                     quarantined.append(QuarantineRecord(key=granules.key, error=str(exc)))
+
+        try:
+            for granules in granule_sets:
+                pending.append(
+                    (
+                        granules,
+                        dfk.submit(
+                            preprocess_granule_set,
+                            args=(
+                                granules,
+                                self.config.preprocessed,
+                                self.config.tile_size,
+                                self.config.cloud_threshold,
+                                self.config.max_land_fraction,
+                            ),
+                            kwargs={"executor": self._executor},
+                        ),
+                    )
+                )
+                settle(block=False)
+            settle(block=True)
         finally:
             if self._owns_dfk:
                 dfk.shutdown()

@@ -20,7 +20,7 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
 from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import ChaosTransferClient
@@ -143,6 +143,16 @@ class ShipmentStage:
             ),
         )
 
+    def _pending_names(self) -> List[str]:
+        """Shippable files currently in the transfer-out directory."""
+        src = self.config.transfer_out
+        if not os.path.isdir(src):
+            return []
+        return sorted(
+            name for name in os.listdir(src)
+            if name.endswith(".nc") and not name.endswith(".part")
+        )
+
     def run(self) -> ShipmentReport:
         """Ship everything currently in the transfer-out directory.
 
@@ -152,20 +162,28 @@ class ShipmentStage:
         destination* and compared against the labelled artifact's
         journaled digest — the end-to-end integrity check.
         """
-        started = time.monotonic()
-        src = self.config.transfer_out
-        if not os.path.isdir(src):
+        if not os.path.isdir(self.config.transfer_out):
             return ShipmentReport(moved=[], nbytes=0, seconds=0.0)
-        names = sorted(
-            name for name in os.listdir(src)
-            if name.endswith(".nc") and not name.endswith(".part")
-        )
-        deadline = (
-            None
-            if self.config.shipment_timeout is None
-            else time.monotonic() + self.config.shipment_timeout
-        )
+        return self._drive(self._pending_names(), sweep=False)
+
+    def run_stream(self, names: Iterable[str]) -> ShipmentReport:
+        """Ship file names as an upstream producer announces them.
+
+        Each arriving name (a labelled file's basename) moves
+        immediately, so delivery overlaps the inference drain.  Names
+        are deduplicated, the batch deadline starts at the *first* move
+        (not while idly waiting on the stream), and once the stream
+        ends the transfer-out directory is swept for anything not
+        announced — files published by a prior crashed run must still
+        ship.  Accounting and failure semantics match :meth:`run`.
+        """
+        return self._drive(names, sweep=True)
+
+    def _drive(self, names: Iterable[str], sweep: bool) -> ShipmentReport:
+        started = time.monotonic()
         before = self.client.bytes_transferred
+        deadline: Optional[float] = None
+        seen: set = set()
         checksums: Dict[str, str] = {}
         moved: List[str] = []
         mismatches: List[str] = []
@@ -173,7 +191,15 @@ class ShipmentStage:
         verified = 0
         retries_total = 0
         error: Optional[str] = None
-        for name in names:
+        stopped = False
+
+        def ship(name: str) -> None:
+            nonlocal deadline, error, retries_total, resumed, verified, stopped
+            if name in seen or stopped:
+                return
+            seen.add(name)
+            if deadline is None and self.config.shipment_timeout is not None:
+                deadline = time.monotonic() + self.config.shipment_timeout
             result = self._executor.execute(self._unit_for(name, deadline))
             if result.outcome == RESUMED:
                 moved.append(
@@ -183,14 +209,15 @@ class ShipmentStage:
                 if result.payload.get("sha256"):
                     checksums[name] = result.payload["sha256"]
                 resumed += 1
-                continue
+                return
             if result.outcome in (FAILED, QUARANTINED):
                 # Budget spent (retries or deadline): record and stop —
                 # the remaining files wait for a later re-drive.
                 if result.outcome == FAILED:
                     retries_total += max(0, result.attempts - 1)
                 error = result.error
-                break
+                stopped = True
+                return
             retries_total += result.attempts
             moved.append(result.artifact)
             if result.value == "mismatch":
@@ -200,6 +227,16 @@ class ShipmentStage:
             else:
                 checksums[name] = result.payload["sha256"]
                 verified += 1
+
+        for name in names:
+            ship(name)
+            if stopped:
+                break
+        if sweep and not stopped:
+            for name in self._pending_names():
+                ship(name)
+                if stopped:
+                    break
         return ShipmentReport(
             moved=moved,
             nbytes=self.client.bytes_transferred - before,

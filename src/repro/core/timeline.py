@@ -70,6 +70,22 @@ class WallClockTimeline:
             for span in sorted(self.tracer.spans, key=lambda s: s.start)
         ]
 
+    def overlaps(self) -> Dict[str, float]:
+        """Pairwise span overlap seconds, keyed ``"a+b"`` in start order.
+
+        In barrier mode every entry is ~0; under streaming the overlap
+        between adjacent stages is exactly the hidden latency the paper's
+        Fig. 6 pipelining claims — so it is reported, not inferred.
+        """
+        spans = self.breakdown()
+        out: Dict[str, float] = {}
+        for i, a in enumerate(spans):
+            for b in spans[i + 1:]:
+                shared = min(a.end, b.end) - max(a.start, b.start)
+                if shared > 0:
+                    out[f"{a.stage}+{b.stage}"] = shared
+        return out
+
     def gaps(self) -> List[Tuple[str, str, float]]:
         """Inter-stage communication gaps (Fig. 7's solid arrows)."""
         spans = self.breakdown()

@@ -27,6 +27,7 @@ production run would load a model trained on the 1 M-tile corpus).
 from __future__ import annotations
 
 import os
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
@@ -36,7 +37,7 @@ import numpy as np
 from repro.chaos import build_injector
 from repro.core.config import EOMLConfig
 from repro.journal import WorkflowJournal
-from repro.core.download import DownloadReport, DownloadStage
+from repro.core.download import DownloadReport, DownloadStage, GranuleSet
 from repro.core.inference import InferenceResult, InferenceWorker
 from repro.core.monitor import DirectoryCrawler
 from repro.core.preprocess import PreprocessReport, PreprocessStage
@@ -46,7 +47,14 @@ from repro.modis import LaadsArchive
 from repro.netcdf import read as nc_read
 from repro.provenance import ProvenanceStore
 from repro.ricc import AICCAModel
-from repro.runtime import PipelinePlan, PlanRunner, StageNode, build_executor
+from repro.runtime import (
+    STREAMS_KEY,
+    PipelinePlan,
+    PlanRunner,
+    StageNode,
+    StreamingPlanRunner,
+    build_executor,
+)
 from repro.telemetry import MetricsRegistry
 
 __all__ = ["WorkflowReport", "EOMLWorkflow"]
@@ -73,6 +81,12 @@ class WorkflowReport:
     replayed_items: int = 0
     manifest_mismatches: int = 0
     journal: Optional[Dict[str, object]] = None  # WorkflowJournal.summary()
+    # Streaming dataflow accounting: per-edge channel stats (queue depth,
+    # producer stall, consumer wait) when the plan carried stream edges,
+    # else None.  Overlap seconds measure how much adjacent stage spans
+    # actually ran concurrently (the latency pipelining hides).
+    stream: Optional[Dict[str, object]] = None
+    stage_overlap_seconds: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_tiles(self) -> int:
@@ -161,6 +175,29 @@ class EOMLWorkflow:
 
     # -- the declarative plan -------------------------------------------------
 
+    @staticmethod
+    def _await_model(state: Dict[str, Any], handles: Dict[str, Any]) -> AICCAModel:
+        """The model the inference window labels with.
+
+        Barrier mode reads it straight from the state (the ``after``
+        edge guarantees it).  Streaming mode may open the window while
+        the model node is still relaying scenes, so the model thread
+        publishes the trained/loaded model through ``handles`` and sets
+        the ``model_ready`` event — on both its success and error paths,
+        so this wait can never hang.
+        """
+        model = state.get("model") or handles.get("model")
+        if model is not None:
+            return model
+        event = handles.get("model_ready")
+        if event is None:
+            raise RuntimeError("inference window opened before the model node ran")
+        event.wait()
+        error = handles.get("model_error")
+        if error is not None:
+            raise RuntimeError(f"model bootstrap failed: {error}")
+        return handles["model"]
+
     def build_plan(
         self,
         metrics: Optional[MetricsRegistry] = None,
@@ -168,8 +205,11 @@ class EOMLWorkflow:
         chaos: Any = None,
         journal: Optional[WorkflowJournal] = None,
         handles: Optional[Dict[str, Any]] = None,
+        streaming: bool = False,
     ) -> PipelinePlan:
         """The pipeline as data: nodes are stages, edges are policies.
+
+        Barrier topology (``streaming=False``, the paper's Fig. 2):
 
         * ``preprocess.after = (download, model)`` is the download
           barrier;
@@ -178,16 +218,30 @@ class EOMLWorkflow:
           ``inference``'s own body is the drain;
         * ``shipment.when = config.ship`` gates delivery.
 
+        Streaming topology (``streaming=True``, Fig. 6's pipelining
+        carried through every stage): the download barrier becomes the
+        ``download -> model -> preprocess`` stream chain — each completed
+        granule scene flows to preprocessing the moment its last product
+        lands (the model node bootstraps from the sorted-first tile-
+        yielding scene, exactly the scene barrier mode trains on, then
+        relays) — and labelled files flow over ``inference -> shipment``
+        so delivery overlaps the drain.  Work bodies, middleware, journal
+        phases, and the shipped bytes are identical in both topologies;
+        only the edges change.
+
         ``handles`` (shared with the caller) receives the live
         ``worker``/``crawler`` objects plus the model-bootstrap
         bookkeeping, since those outlive their nodes.  Any driver that
-        honours the edges — the local :class:`PlanRunner`, the flows
-        engine, the zambeze orchestrator — can execute this plan.
+        honours the edges — the local :class:`PlanRunner` or
+        :class:`StreamingPlanRunner`, the flows engine, the zambeze
+        orchestrator — can execute either plan.
         """
         config = self.config
         handles = handles if handles is not None else {}
         handles.setdefault("bootstrap_reports", [])
         handles.setdefault("consumed", 0)
+        if streaming:
+            handles.setdefault("model_ready", threading.Event())
         config_entity = (
             prov.entity("config", f"config:{config.name}", name=config.name)
             if prov
@@ -195,22 +249,26 @@ class EOMLWorkflow:
         )
         preprocess_stage = PreprocessStage(config, chaos=chaos, journal=journal)
 
+        def record_download_prov(download: DownloadReport) -> None:
+            if not prov:
+                return
+            activity = prov.start_activity(
+                "download", "globus-compute", workers=config.workers.download
+            )
+            prov.record_use(activity, config_entity)
+            for granule_set in download.granule_sets:
+                for product, path in granule_set.paths.items():
+                    prov.record_generation(
+                        activity, prov.entity("granule", path, product=product)
+                    )
+            prov.end_activity(activity)
+
         def run_download(state: Dict[str, Any]) -> DownloadReport:
             stage = DownloadStage(
                 config, archive=self.archive, chaos=chaos, journal=journal
             )
             download = stage.run()
-            if prov:
-                activity = prov.start_activity(
-                    "download", "globus-compute", workers=config.workers.download
-                )
-                prov.record_use(activity, config_entity)
-                for granule_set in download.granule_sets:
-                    for product, path in granule_set.paths.items():
-                        prov.record_generation(
-                            activity, prov.entity("granule", path, product=product)
-                        )
-                prov.end_activity(activity)
+            record_download_prov(download)
             return download
 
         def run_model(state: Dict[str, Any]) -> AICCAModel:
@@ -256,8 +314,20 @@ class EOMLWorkflow:
 
         @contextmanager
         def inference_scope(state: Dict[str, Any]):
+            model = self._await_model(state, handles)
+            on_result = None
+            hub = state.get(STREAMS_KEY)
+            if hub is not None:
+                ship_writer = hub.writer("inference")
+                if len(ship_writer):
+                    # Labelled files stream to shipment by basename the
+                    # moment they publish — eager delivery while the
+                    # inference queue is still draining.
+                    def on_result(result: InferenceResult) -> None:
+                        ship_writer.put(os.path.basename(result.out_path))
             worker = InferenceWorker(
-                state["model"], config, chaos=chaos, metrics=metrics, journal=journal
+                model, config, chaos=chaos, metrics=metrics, journal=journal,
+                on_result=on_result,
             )
             crawler = DirectoryCrawler(
                 config.preprocessed,
@@ -277,23 +347,181 @@ class EOMLWorkflow:
             worker.drain(timeout=config.inference_drain_timeout)
             return worker
 
+        def record_shipment_prov(shipment: ShipmentReport) -> None:
+            if not (prov and shipment.moved):
+                return
+            activity = prov.start_activity("shipment", "globus-transfer")
+            for inf in handles["worker"].results:
+                prov.record_use(activity, prov.entity("labelled_file", inf.out_path))
+            for path in shipment.moved:
+                prov.record_generation(
+                    activity,
+                    prov.entity(
+                        "delivered_file", path,
+                        checksum=shipment.checksums.get(os.path.basename(path)),
+                    ),
+                )
+            prov.end_activity(activity)
+
         def run_shipment(state: Dict[str, Any]) -> ShipmentReport:
             shipment = ShipmentStage(config, chaos=chaos, journal=journal).run()
-            if prov and shipment.moved:
-                activity = prov.start_activity("shipment", "globus-transfer")
-                for inf in handles["worker"].results:
-                    prov.record_use(activity, prov.entity("labelled_file", inf.out_path))
-                for path in shipment.moved:
-                    prov.record_generation(
-                        activity,
-                        prov.entity(
-                            "delivered_file", path,
-                            checksum=shipment.checksums.get(os.path.basename(path)),
-                        ),
-                    )
-                prov.end_activity(activity)
+            record_shipment_prov(shipment)
             return shipment
 
+        # -- streaming bodies: same work, per-item hand-offs ------------------
+
+        def run_download_stream(state: Dict[str, Any]) -> DownloadReport:
+            writer = state[STREAMS_KEY].writer("download")
+            stage = DownloadStage(
+                config, archive=self.archive, chaos=chaos, journal=journal
+            )
+            download = stage.run(
+                on_planned=lambda keys: writer.put(("planned", list(keys))),
+                on_scene=lambda key, gs: writer.put(("scene", key, gs)),
+            )
+            record_download_prov(download)
+            return download
+
+        def run_model_stream(state: Dict[str, Any]) -> AICCAModel:
+            """Bootstrap deterministically, then relay scenes.
+
+            Scenes arrive in completion order, but the bootstrap must
+            train on exactly the scene barrier mode trains on (the
+            sorted-first complete scene that yields tiles) or the model
+            — and every label downstream — would drift with thread
+            timing.  So arrivals are buffered and the planned keys are
+            walked in sorted order; once the model exists it is
+            published through ``handles`` (the inference window may
+            already be waiting on it) and everything else is forwarded
+            to preprocess as it arrives.
+            """
+            reader = state[STREAMS_KEY].reader("model", src="download")
+            forward = state[STREAMS_KEY].writer("model")
+            try:
+                model_path = self._effective_model_path(journal)
+                if journal is not None and self.model is None:
+                    model_decision = journal.resume("model", "aicca-model")
+                    if (
+                        model_decision.redo
+                        and model_path
+                        and not config.model_path
+                        and os.path.exists(model_path)
+                    ):
+                        # Same rule as barrier mode: a journal-owned
+                        # bootstrap model that crashed mid-train is
+                        # untrustworthy; a user-configured file is never
+                        # deleted here.
+                        os.remove(model_path)
+
+                planned_keys: Optional[List[str]] = None
+                arrived: Dict[str, Optional[GranuleSet]] = {}
+                order: List[str] = []
+
+                def pump() -> bool:
+                    nonlocal planned_keys
+                    ok, token = reader.get()
+                    if not ok:
+                        return False
+                    if token[0] == "planned":
+                        planned_keys = list(token[1])
+                    else:
+                        _, key, granule_set = token
+                        arrived[key] = granule_set
+                        if granule_set is not None:
+                            order.append(key)
+                    return True
+
+                consumed: set = set()
+                bootstrap_paths: List[str] = []
+                if self.model is None and not (
+                    model_path and os.path.exists(model_path)
+                ):
+                    while planned_keys is None and pump():
+                        pass
+                    for key in planned_keys or []:
+                        while key not in arrived and pump():
+                            pass
+                        if key not in arrived:
+                            break  # stream ended before the scene settled
+                        granule_set = arrived[key]
+                        if granule_set is None:
+                            continue  # incomplete scene; never preprocessed
+                        head = preprocess_stage.run([granule_set])
+                        handles["bootstrap_reports"].append(head)
+                        handles["consumed"] += 1
+                        consumed.add(key)
+                        bootstrap_paths = [
+                            r.tile_path for r in head.results if r.tile_path
+                        ]
+                        if bootstrap_paths:
+                            break
+                model = self._ensure_model(
+                    bootstrap_paths, model_path=model_path, journal=journal
+                )
+                handles["model"] = model
+                handles["model_ready"].set()
+                for key in order:
+                    if key not in consumed:
+                        forward.put(arrived[key])
+                while True:
+                    ok, token = reader.get()
+                    if not ok:
+                        break
+                    if token[0] == "scene" and token[2] is not None:
+                        forward.put(token[2])
+                return model
+            except BaseException as exc:
+                handles["model_error"] = exc
+                handles["model_ready"].set()
+                raise
+
+        def run_preprocess_stream(state: Dict[str, Any]) -> PreprocessReport:
+            reader = state[STREAMS_KEY].reader("preprocess", src="model")
+            return preprocess_stage.run_stream(iter(reader))
+
+        def run_shipment_stream(state: Dict[str, Any]) -> ShipmentReport:
+            reader = state[STREAMS_KEY].reader("shipment", src="inference")
+            shipment = ShipmentStage(config, chaos=chaos, journal=journal).run_stream(
+                iter(reader)
+            )
+            record_shipment_prov(shipment)
+            return shipment
+
+        if streaming:
+            return PipelinePlan(
+                [
+                    StageNode(
+                        "download",
+                        run_download_stream,
+                        workers=config.workers.download,
+                        counts=lambda r: {"files": r.files},
+                    ),
+                    StageNode("model", run_model_stream, stream=("download",)),
+                    StageNode(
+                        "preprocess",
+                        run_preprocess_stream,
+                        workers=config.workers.preprocess,
+                        stream=("model",),
+                        counts=lambda r: {"tiles": r.total_tiles},
+                    ),
+                    StageNode(
+                        "inference",
+                        run_inference,
+                        workers=config.workers.inference,
+                        after=("preprocess", "model"),
+                        overlaps=("preprocess",),
+                        scope=inference_scope,
+                        counts=lambda worker: {"files": len(worker.results)},
+                    ),
+                    StageNode(
+                        "shipment",
+                        run_shipment_stream,
+                        stream=("inference",),
+                        when=lambda state: bool(config.ship),
+                        counts=lambda r: {"files": len(r.moved)},
+                    ),
+                ]
+            )
         return PipelinePlan(
             [
                 StageNode(
@@ -331,9 +559,18 @@ class EOMLWorkflow:
 
     # -- the run ------------------------------------------------------------
 
-    def run(self, provenance: bool = True, resume: bool = False) -> WorkflowReport:
+    def run(
+        self,
+        provenance: bool = True,
+        resume: bool = False,
+        streaming: Optional[bool] = None,
+    ) -> WorkflowReport:
         timeline = WallClockTimeline()
         config = self.config
+        # ``streaming=None`` defers to ``runtime.stream.enabled`` in the
+        # config; an explicit bool overrides it (the benchmark harness
+        # runs both topologies off one config).
+        use_stream = config.stream.enabled if streaming is None else bool(streaming)
         # Created up front so hot-path stages (inference micro-batching)
         # can record live histograms; the rollup below adds the rest.
         metrics = MetricsRegistry(prefix="eo_ml")
@@ -358,11 +595,18 @@ class EOMLWorkflow:
 
         handles: Dict[str, Any] = {}
         plan = self.build_plan(
-            metrics=metrics, prov=prov, chaos=chaos, journal=journal, handles=handles
+            metrics=metrics, prov=prov, chaos=chaos, journal=journal,
+            handles=handles, streaming=use_stream,
         )
-        runner = PlanRunner(
-            on_begin=timeline.begin, on_end=on_end, on_workers=timeline.workers
-        )
+        if use_stream:
+            runner: PlanRunner = StreamingPlanRunner(
+                on_begin=timeline.begin, on_end=on_end,
+                on_workers=timeline.workers, stream=config.stream,
+            )
+        else:
+            runner = PlanRunner(
+                on_begin=timeline.begin, on_end=on_end, on_workers=timeline.workers
+            )
         state = runner.run(plan)
 
         download: DownloadReport = state["download"]
@@ -457,6 +701,28 @@ class EOMLWorkflow:
         metrics.counter("replayed_items").inc(journal_counters["replayed_items"])
         metrics.counter("manifest_mismatches").inc(journal_counters["manifest_mismatches"])
 
+        # Streaming dataflow accounting: per-edge queue depth / stall /
+        # wait rollups plus the measured stage-overlap seconds that the
+        # pipelining bought (empty/zero under barrier mode).
+        hub = state.get(STREAMS_KEY)
+        stream_summary: Optional[Dict[str, object]] = None
+        if hub is not None:
+            edge_stats = {s.edge: s.as_dict() for s in hub.stats()}
+            stream_summary = {"enabled": use_stream, "edges": edge_stats}
+            items = metrics.counter("stream.items")
+            stalls = metrics.counter("stream.producer_stall_seconds")
+            waits = metrics.counter("stream.consumer_wait_seconds")
+            depth = metrics.gauge("stream.max_queue_depth")
+            for stat in hub.stats():
+                items.inc(stat.items, edge=stat.edge)
+                stalls.inc(stat.producer_stall_seconds, edge=stat.edge)
+                waits.inc(stat.consumer_wait_seconds, edge=stat.edge)
+                depth.set(stat.max_depth, edge=stat.edge)
+        overlap = timeline.overlaps()
+        overlap_gauge = metrics.gauge("stage_overlap_seconds")
+        for stages, seconds in overlap.items():
+            overlap_gauge.set(seconds, stages=stages)
+
         errors = list(crawler.errors) + list(inference.errors)
         errors.extend(download.failed)
         errors.extend(f"incomplete scene dropped: {key}" for key in download.incomplete)
@@ -486,4 +752,6 @@ class EOMLWorkflow:
             replayed_items=journal_counters["replayed_items"],
             manifest_mismatches=journal_counters["manifest_mismatches"],
             journal=journal.summary() if journal is not None else None,
+            stream=stream_summary,
+            stage_overlap_seconds=overlap,
         )

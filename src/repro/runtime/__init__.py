@@ -12,6 +12,16 @@ Layering contract: this package must not import ``repro.core`` (checked
 by ``tools/check_layering.py`` and CI).
 """
 
+from repro.runtime.channel import (
+    DEFAULT_CAPACITY,
+    ChannelStats,
+    StreamChannel,
+    StreamClosed,
+    StreamConfig,
+    StreamHub,
+    StreamWriter,
+    edge_name,
+)
 from repro.runtime.executor import StageExecutor, build_executor
 from repro.runtime.middleware import (
     ChaosMiddleware,
@@ -23,11 +33,13 @@ from repro.runtime.middleware import (
     RetryMiddleware,
 )
 from repro.runtime.plan import (
+    STREAMS_KEY,
     PipelinePlan,
     PlanError,
     PlanExecution,
     PlanRunner,
     StageNode,
+    StreamingPlanRunner,
 )
 from repro.runtime.unit import (
     DONE,
@@ -75,4 +87,14 @@ __all__ = [
     "PipelinePlan",
     "PlanExecution",
     "PlanRunner",
+    "StreamingPlanRunner",
+    "STREAMS_KEY",
+    "DEFAULT_CAPACITY",
+    "ChannelStats",
+    "StreamChannel",
+    "StreamClosed",
+    "StreamConfig",
+    "StreamHub",
+    "StreamWriter",
+    "edge_name",
 ]

@@ -11,27 +11,51 @@ control flow:
   (a context manager holding its live resources — worker threads, the
   crawler) is entered *before* the overlapped node runs and its body
   (the drain/finalize step) runs after, which is exactly Fig. 6's
-  asynchronous monitor-trigger.
+  asynchronous monitor-trigger;
+* a ``stream`` edge is a **per-item dataflow**: the producer hands
+  tokens (completed scenes, labelled file names) to the consumer through
+  a bounded :class:`~repro.runtime.channel.StreamChannel` while both
+  bodies run, so makespan approaches max(stage) instead of sum(stages).
 
 :class:`PlanExecution` carries the mechanics of honouring those edges
 for *any* driver: the local :class:`PlanRunner` walks nodes in listed
-order, while the flows engine (state-machine states) and the zambeze
-orchestrator (campaign activities) call :meth:`PlanExecution.run_node`
-from their own schedulers — same plan, three engines.  This module must
-not import ``repro.core``; nodes close over their stage objects.
+order (stream channels relaxed, so the buffered hand-off still flows),
+:class:`StreamingPlanRunner` runs stream-connected nodes concurrently
+under backpressure, and the flows engine (state-machine states) and the
+zambeze orchestrator (campaign activities) call
+:meth:`PlanExecution.run_node` from their own schedulers — same plan,
+three engines.  This module must not import ``repro.core``; nodes close
+over their stage objects.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-__all__ = ["PlanError", "StageNode", "PipelinePlan", "PlanExecution", "PlanRunner"]
+from repro.runtime.channel import StreamChannel, StreamConfig, StreamHub
+
+__all__ = [
+    "PlanError",
+    "StageNode",
+    "PipelinePlan",
+    "PlanExecution",
+    "PlanRunner",
+    "StreamingPlanRunner",
+    "STREAMS_KEY",
+]
 
 
 class PlanError(ValueError):
     """A plan is malformed or was driven out of contract."""
+
+
+# Reserved state key under which a plan execution publishes its
+# StreamHub, so node bodies can look up their channels without the
+# runtime ever importing stage code.
+STREAMS_KEY = "@streams"
 
 
 @dataclass(frozen=True)
@@ -42,7 +66,10 @@ class StageNode:
     node's value (stored under ``state[name]``).  ``counts`` maps that
     value to the keyword counts reported when the node ends (timeline
     annotations).  ``when`` gates the node (a skipped node stores
-    ``None`` and still satisfies its dependents' barriers).
+    ``None`` and still satisfies its dependents' barriers).  ``stream``
+    names producer nodes this node consumes tokens from; unlike
+    ``after`` it is not a barrier — a concurrent runner starts both ends
+    together and the channel carries the ordering.
     """
 
     name: str
@@ -50,6 +77,7 @@ class StageNode:
     workers: int = 0
     after: Tuple[str, ...] = ()
     overlaps: Tuple[str, ...] = ()
+    stream: Tuple[str, ...] = ()
     scope: Optional[Callable[[Dict[str, Any]], Any]] = None
     when: Optional[Callable[[Dict[str, Any]], bool]] = None
     counts: Optional[Callable[[Any], Dict[str, Any]]] = None
@@ -62,12 +90,14 @@ class PipelinePlan:
         self.nodes = list(nodes)
         self._by_name: Dict[str, StageNode] = {}
         for node in self.nodes:
+            if node.name == STREAMS_KEY:
+                raise PlanError(f"node name {STREAMS_KEY!r} is reserved")
             if node.name in self._by_name:
                 raise PlanError(f"duplicate node name {node.name!r}")
             self._by_name[node.name] = node
         seen: set = set()
         for node in self.nodes:
-            for dep in (*node.after, *node.overlaps):
+            for dep in (*node.after, *node.overlaps, *node.stream):
                 if dep == node.name:
                     raise PlanError(f"node {node.name!r} references itself")
                 if dep not in self._by_name:
@@ -91,12 +121,19 @@ class PipelinePlan:
             raise PlanError(f"plan has no node {name!r}") from None
 
     def edges(self) -> List[Tuple[str, str, str]]:
-        """All (src, dst, kind) edges, kind in {"after", "overlaps"}."""
+        """All (src, dst, kind) edges, kind in {"after", "overlaps", "stream"}."""
         out: List[Tuple[str, str, str]] = []
         for node in self.nodes:
             out.extend((dep, node.name, "after") for dep in node.after)
             out.extend((dep, node.name, "overlaps") for dep in node.overlaps)
+            out.extend((dep, node.name, "stream") for dep in node.stream)
         return out
+
+    def stream_edges(self) -> List[Tuple[str, str]]:
+        """All (producer, consumer) stream edges in plan order."""
+        return [
+            (dep, node.name) for node in self.nodes for dep in node.stream
+        ]
 
     def owners_of(self, name: str) -> List[StageNode]:
         """Nodes whose concurrency window opens when ``name`` runs."""
@@ -104,13 +141,24 @@ class PipelinePlan:
 
 
 class PlanExecution:
-    """One run of a plan: barrier checks, scope windows, worker hooks.
+    """One run of a plan: barrier checks, scope windows, stream channels.
 
     Drivers call :meth:`run_node` in any order that satisfies the
     ``after`` edges; violations raise :class:`PlanError` instead of
     silently reordering the pipeline.  Hooks mirror the wall-clock
     timeline's vocabulary: ``on_begin(name)``, ``on_end(name, **counts)``
     and ``on_workers(name, delta)``.
+
+    Stream channels are created for every ``stream`` edge and published
+    in ``state[STREAMS_KEY]`` as a :class:`~repro.runtime.channel.
+    StreamHub`.  They are **bounded only when** ``concurrent=True`` (a
+    runner that genuinely overlaps producer and consumer); sequential
+    drivers — the listed-order :class:`PlanRunner`, the flows engine,
+    the zambeze orchestrator — get relaxed (unbounded) channels, so the
+    producer's full output buffers and the consumer drains it afterwards
+    with identical bodies and no deadlock.  A node's outgoing channels
+    are closed when its body returns (or raises, or the node skips), and
+    its incoming channels are relaxed once it can no longer consume.
     """
 
     def __init__(
@@ -120,6 +168,8 @@ class PlanExecution:
         on_begin: Optional[Callable[[str], None]] = None,
         on_end: Optional[Callable[..., None]] = None,
         on_workers: Optional[Callable[[str, int], None]] = None,
+        stream: Optional[StreamConfig] = None,
+        concurrent: bool = False,
     ):
         self.plan = plan
         self.state: Dict[str, Any] = state if state is not None else {}
@@ -129,29 +179,57 @@ class PlanExecution:
         self._on_begin = on_begin
         self._on_end = on_end
         self._on_workers = on_workers
+        self._lock = threading.RLock()
+        self.stream_config = stream or StreamConfig()
+        self.hub = StreamHub()
+        for src, dst in plan.stream_edges():
+            bounded = concurrent and self.stream_config.edge_enabled(src, dst)
+            self.hub.connect(
+                src,
+                dst,
+                StreamChannel(
+                    f"{src}->{dst}",
+                    capacity=self.stream_config.edge_capacity(src, dst),
+                    bounded=bounded,
+                ),
+            )
+        if len(self.hub):
+            self.state[STREAMS_KEY] = self.hub
 
     def _enter(self, node: StageNode) -> None:
-        if node.name in self._entered or node.name in self.done:
-            return
-        scope = node.scope(self.state) if node.scope is not None else nullcontext()
-        scope.__enter__()
-        self._entered[node.name] = scope
-        if self._on_workers is not None and node.workers:
-            self._on_workers(node.name, node.workers)
+        with self._lock:
+            if node.name in self._entered or node.name in self.done:
+                return
+            scope = (
+                node.scope(self.state) if node.scope is not None else nullcontext()
+            )
+            scope.__enter__()
+            self._entered[node.name] = scope
+            if self._on_workers is not None and node.workers:
+                self._on_workers(node.name, node.workers)
+
+    def _settle_streams(self, node: StageNode) -> None:
+        """A finished (or skipped, or dead) node's channel obligations:
+        its outputs end, and its inputs will never be consumed again."""
+        self.hub.close_outputs(node.name)
+        self.hub.relax_inputs(node.name)
 
     def run_node(self, name: str) -> Any:
         node = self.plan.node(name)
-        if name in self.done:
-            raise PlanError(f"node {name!r} already ran")
-        missing = [dep for dep in node.after if dep not in self.done]
+        with self._lock:
+            if name in self.done:
+                raise PlanError(f"node {name!r} already ran")
+            missing = [dep for dep in node.after if dep not in self.done]
         if missing:
             raise PlanError(
                 f"node {name!r} ran before its barrier: waiting on {missing}"
             )
         if node.when is not None and not node.when(self.state):
-            self.state[name] = None
-            self.done.add(name)
-            self.skipped.add(name)
+            with self._lock:
+                self.state[name] = None
+                self.done.add(name)
+                self.skipped.add(name)
+            self._settle_streams(node)
             return None
         # Open the concurrency windows of overlap owners whose gate
         # passes — their resources must be live while this node works.
@@ -160,9 +238,10 @@ class PlanExecution:
                 self._enter(owner)
         # An overlap owner whose partners were all skipped still needs
         # its own scope before its body runs.
-        if node.overlaps and name not in self._entered:
-            self._enter(node)
-        entered_as_owner = name in self._entered
+        with self._lock:
+            if node.overlaps and name not in self._entered:
+                self._enter(node)
+            entered_as_owner = name in self._entered
         if self._on_begin is not None:
             self._on_begin(name)
         if not entered_as_owner and self._on_workers is not None and node.workers:
@@ -171,26 +250,36 @@ class PlanExecution:
             value = node.run(self.state)
         finally:
             if entered_as_owner:
-                scope = self._entered.pop(name)
+                with self._lock:
+                    scope = self._entered.pop(name)
+                # Scope teardown (worker joins) precedes channel close,
+                # so scope-owned producers finish their last puts first.
                 scope.__exit__(None, None, None)
             if self._on_workers is not None and node.workers:
                 self._on_workers(name, -node.workers)
-        self.state[name] = value
-        self.done.add(name)
+            self._settle_streams(node)
+        with self._lock:
+            self.state[name] = value
+            self.done.add(name)
         if self._on_end is not None:
             counts = node.counts(value) if node.counts is not None else {}
             self._on_end(name, **counts)
         return value
 
     def close(self) -> None:
-        """Tear down any concurrency window still open (aborted runs)."""
-        for name in reversed(list(self._entered)):
-            scope = self._entered.pop(name)
-            scope.__exit__(None, None, None)
+        """Tear down open windows and end every channel (aborted runs)."""
+        with self._lock:
+            names = list(reversed(list(self._entered)))
+        for name in names:
+            with self._lock:
+                scope = self._entered.pop(name, None)
+            if scope is not None:
+                scope.__exit__(None, None, None)
+        self.hub.close_all()
 
 
 class PlanRunner:
-    """The local driver: nodes in listed order, edges enforced."""
+    """The local sequential driver: nodes in listed order, edges enforced."""
 
     def __init__(
         self,
@@ -202,19 +291,149 @@ class PlanRunner:
         self._on_end = on_end
         self._on_workers = on_workers
 
-    def run(
-        self, plan: PipelinePlan, state: Optional[Dict[str, Any]] = None
-    ) -> Dict[str, Any]:
-        execution = PlanExecution(
+    def _execution(
+        self, plan: PipelinePlan, state: Optional[Dict[str, Any]]
+    ) -> PlanExecution:
+        return PlanExecution(
             plan,
             state=state,
             on_begin=self._on_begin,
             on_end=self._on_end,
             on_workers=self._on_workers,
         )
+
+    def run(
+        self, plan: PipelinePlan, state: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        execution = self._execution(plan, state)
         try:
             for node in plan.nodes:
                 execution.run_node(node.name)
         finally:
             execution.close()
+        return execution.state
+
+
+class StreamingPlanRunner(PlanRunner):
+    """The concurrent driver: one thread per node, channels bounded.
+
+    ``after`` edges are still honoured (a dependent waits for its
+    predecessors to finish), but stream-connected nodes start together
+    and exchange tokens through backpressured channels.  A stream edge
+    disabled in the :class:`~repro.runtime.channel.StreamConfig` falls
+    back to barrier semantics: its channel stays unbounded and the
+    consumer additionally waits for the producer to finish.
+
+    Failure containment: a node that raises closes its outputs (its
+    consumers see end-of-stream and finish with what arrived) and
+    relaxes its inputs (its producers never block on a dead consumer);
+    nodes whose ``after`` dependencies failed are marked aborted without
+    running.  The first error is re-raised once every thread has
+    settled, so no channel is left holding a blocked producer.
+    """
+
+    def __init__(
+        self,
+        on_begin: Optional[Callable[[str], None]] = None,
+        on_end: Optional[Callable[..., None]] = None,
+        on_workers: Optional[Callable[[str, int], None]] = None,
+        stream: Optional[StreamConfig] = None,
+    ):
+        # Hooks (timeline, journal checkpoints) are not thread-safe;
+        # serialize them across node threads.
+        hook_lock = threading.Lock()
+
+        def locked(hook):
+            if hook is None:
+                return None
+
+            def call(*args, **kwargs):
+                with hook_lock:
+                    return hook(*args, **kwargs)
+
+            return call
+
+        super().__init__(
+            on_begin=locked(on_begin),
+            on_end=locked(on_end),
+            on_workers=locked(on_workers),
+        )
+        self.stream_config = stream or StreamConfig()
+
+    def _execution(
+        self, plan: PipelinePlan, state: Optional[Dict[str, Any]]
+    ) -> PlanExecution:
+        return PlanExecution(
+            plan,
+            state=state,
+            on_begin=self._on_begin,
+            on_end=self._on_end,
+            on_workers=self._on_workers,
+            stream=self.stream_config,
+            concurrent=True,
+        )
+
+    def _wait_deps(self, node: StageNode) -> List[str]:
+        """Events this node's thread awaits before running its body:
+        every ``after`` edge, plus stream producers whose edge is
+        disabled (per-edge barrier fallback)."""
+        deps = list(node.after)
+        for src in node.stream:
+            if (
+                not self.stream_config.edge_enabled(src, node.name)
+                and src not in deps
+            ):
+                deps.append(src)
+        return deps
+
+    def run(
+        self, plan: PipelinePlan, state: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        execution = self._execution(plan, state)
+        finished = {node.name: threading.Event() for node in plan.nodes}
+        aborted: set = set()
+        errors: List[BaseException] = []
+        guard = threading.Lock()
+
+        def drive(node: StageNode) -> None:
+            ok = True
+            try:
+                deps = self._wait_deps(node)
+                for dep in deps:
+                    finished[dep].wait()
+                with guard:
+                    dead = any(dep in aborted for dep in deps)
+                if dead:
+                    ok = False
+                else:
+                    execution.run_node(node.name)
+            except BaseException as exc:  # noqa: BLE001 - re-raised after join
+                ok = False
+                with guard:
+                    errors.append(exc)
+            finally:
+                if not ok:
+                    with guard:
+                        aborted.add(node.name)
+                    # run_node settles channels itself on every path it
+                    # reaches; an aborted node must settle its own.
+                    execution.hub.close_outputs(node.name)
+                    execution.hub.relax_inputs(node.name)
+                finished[node.name].set()
+
+        threads = [
+            threading.Thread(
+                target=drive, args=(node,), name=f"plan-{node.name}"
+            )
+            for node in plan.nodes
+        ]
+        try:
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+        finally:
+            execution.close()
+        if errors:
+            raise errors[0]
         return execution.state

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 import bisect
 import math
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -26,25 +27,34 @@ def _labels(labels: Optional[Dict[str, str]]) -> LabelPair:
 
 
 class Counter:
-    """A monotonically increasing count, optionally per label set."""
+    """A monotonically increasing count, optionally per label set.
+
+    Increments are lock-guarded: concurrent stage threads (the streaming
+    plan runner) share one registry, and a racy read-modify-write would
+    silently lose counts.
+    """
 
     def __init__(self, name: str, description: str = ""):
         self.name = name
         self.description = description
+        self._lock = threading.Lock()
         self._values: Dict[LabelPair, float] = {}
 
     def inc(self, amount: float = 1.0, **labels: str) -> None:
         if amount < 0:
             raise ValueError("counters only increase")
         key = _labels(labels)
-        self._values[key] = self._values.get(key, 0.0) + amount
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + amount
 
     def value(self, **labels: str) -> float:
-        return self._values.get(_labels(labels), 0.0)
+        with self._lock:
+            return self._values.get(_labels(labels), 0.0)
 
     @property
     def total(self) -> float:
-        return sum(self._values.values())
+        with self._lock:
+            return sum(self._values.values())
 
 
 class Gauge:
@@ -53,18 +63,22 @@ class Gauge:
     def __init__(self, name: str, description: str = ""):
         self.name = name
         self.description = description
+        self._lock = threading.Lock()
         self._values: Dict[LabelPair, float] = {}
 
     def set(self, value: float, **labels: str) -> None:
-        self._values[_labels(labels)] = float(value)
+        with self._lock:
+            self._values[_labels(labels)] = float(value)
 
     def add(self, delta: float, **labels: str) -> float:
         key = _labels(labels)
-        self._values[key] = self._values.get(key, 0.0) + delta
-        return self._values[key]
+        with self._lock:
+            self._values[key] = self._values.get(key, 0.0) + delta
+            return self._values[key]
 
     def value(self, **labels: str) -> float:
-        return self._values.get(_labels(labels), 0.0)
+        with self._lock:
+            return self._values.get(_labels(labels), 0.0)
 
 
 class Histogram:

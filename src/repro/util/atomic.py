@@ -12,13 +12,25 @@ fsync the directory so the rename itself survives power loss.
 
 from __future__ import annotations
 
+import hashlib
 import os
+from typing import Tuple
 
-__all__ = ["TEMP_SUFFIX", "atomic_write_bytes", "fsync_dir"]
+__all__ = [
+    "TEMP_SUFFIX",
+    "HASH_SLICE",
+    "atomic_write_bytes",
+    "atomic_publish_bytes",
+    "fsync_dir",
+]
 
 # The shared temp-name convention: writers publish ``<final>.part`` and
 # rename; crawlers and shippers skip the suffix unconditionally.
 TEMP_SUFFIX = ".part"
+
+# Digest-while-writing slice: large enough to amortize hashlib call
+# overhead, small enough to stay cache-friendly.
+HASH_SLICE = 4 * 1024 * 1024
 
 
 def fsync_dir(directory: str) -> None:
@@ -43,13 +55,31 @@ def atomic_write_bytes(path: str, payload: bytes, durable: bool = True) -> int:
     either the previous content or the complete new content — never a
     torn file under the final name.
     """
+    nbytes, _ = atomic_publish_bytes(path, payload, durable=durable)
+    return nbytes
+
+
+def atomic_publish_bytes(
+    path: str, payload: bytes, durable: bool = True
+) -> Tuple[int, str]:
+    """Atomic write that also digests; returns ``(nbytes, sha256_hex)``.
+
+    The payload is hashed in slices *while it streams to the temp file*,
+    so publication and integrity recording cost one pass over the bytes
+    instead of a write followed by a full re-read.
+    """
+    digest = hashlib.sha256()
+    view = memoryview(payload)
     temp_path = path + TEMP_SUFFIX
     with open(temp_path, "wb") as handle:
-        handle.write(payload)
+        for start in range(0, len(view), HASH_SLICE):
+            chunk = view[start : start + HASH_SLICE]
+            handle.write(chunk)
+            digest.update(chunk)
         if durable:
             handle.flush()
             os.fsync(handle.fileno())
     os.replace(temp_path, path)
     if durable:
         fsync_dir(os.path.dirname(path))
-    return len(payload)
+    return len(payload), digest.hexdigest()

@@ -2,9 +2,13 @@
 
 The plan's ``after`` edges become campaign ``depends_on`` edges, so the
 orchestrator's own scheduler decides dispatch order under the same
-barriers the local :class:`PlanRunner` honours.  ``overlaps`` edges are
-deliberately *not* dependencies — an overlap is a concurrency window,
-not an ordering constraint — the window opens inside
+barriers the local :class:`PlanRunner` honours.  ``stream`` edges also
+become dependencies here: the campaign scheduler runs one activity at a
+time, so a consumer dispatched before its producer would read an empty
+channel — sequencing producer before consumer makes the (relaxed,
+unbounded) channel a buffered hand-off with identical node bodies.
+``overlaps`` edges are deliberately *not* dependencies — an overlap is a
+concurrency window, not an ordering constraint — the window opens inside
 :meth:`PlanExecution.run_node` whichever engine drives it.  Facility
 agents execute nodes through ``runtime:<name>`` capability plugins that
 delegate to the shared execution — same plan, third engine.
@@ -33,7 +37,9 @@ CAPABILITY_PREFIX = "runtime:"
 def campaign_from_plan(
     plan: PipelinePlan, name: str = "pipeline", facility: Optional[str] = None
 ) -> Campaign:
-    """One COMPUTE activity per node; ``after`` edges become ``depends_on``."""
+    """One COMPUTE activity per node; ``after`` + ``stream`` edges become
+    ``depends_on`` (stream producers must run first under a sequential
+    scheduler; the relaxed channel buffers the hand-off)."""
     return Campaign(
         name,
         [
@@ -42,7 +48,8 @@ def campaign_from_plan(
                 kind=ActivityKind.COMPUTE,
                 facility=facility,
                 capability=CAPABILITY_PREFIX + node.name,
-                depends_on=list(node.after),
+                depends_on=list(node.after)
+                + [dep for dep in node.stream if dep not in node.after],
             )
             for node in plan.nodes
         ],

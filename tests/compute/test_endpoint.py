@@ -139,7 +139,31 @@ class TestLocalEndpoint:
     def test_real_execution(self):
         with LocalComputeEndpoint("local", max_workers=4) as endpoint:
             futures = endpoint.map(lambda x: x * x, [1, 2, 3, 4])
-            assert endpoint.gather(futures) == [1, 4, 9, 16]
+            assert endpoint.gather(futures, ordered=True) == [1, 4, 9, 16]
+
+    def test_gather_yields_in_completion_order(self):
+        import threading
+        import time
+
+        release = threading.Event()
+
+        def slow_then(value):
+            release.wait(5.0)
+            return value
+
+        with LocalComputeEndpoint("local", max_workers=2) as endpoint:
+            slow = endpoint.submit(slow_then, "slow")
+            fast = endpoint.submit(lambda: "fast")
+            results = endpoint.gather([slow, fast])
+            first = next(results)
+            assert first == "fast"  # finished work streams out immediately
+            release.set()
+            assert list(results) == ["slow"]
+        # ordered=True still reflects submission order regardless of timing.
+        with LocalComputeEndpoint("local", max_workers=2) as endpoint:
+            futures = endpoint.map(lambda x: x + 1, [1, 2, 3])
+            time.sleep(0.05)
+            assert endpoint.gather(futures, ordered=True) == [2, 3, 4]
 
     def test_exception_propagates(self):
         def boom():

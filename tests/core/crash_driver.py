@@ -44,12 +44,16 @@ def main() -> int:
                         help="inject a seeded crash fault at this stage")
     parser.add_argument("--resume", action="store_true")
     parser.add_argument("--granules", type=int, default=2)
+    parser.add_argument("--streaming", action="store_true",
+                        help="run the streaming dataflow topology")
     args = parser.parse_args()
 
     from repro.core import EOMLWorkflow, load_config
     from repro.modis import MINI_SWATH, LaadsArchive
 
     raw = build_raw_config(args.root, args.granules)
+    if args.streaming:
+        raw["runtime"] = {"stream": {"enabled": True}}
     if args.crash_stage:
         raw["chaos"] = {
             "seed": 0,

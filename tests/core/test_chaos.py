@@ -235,9 +235,13 @@ class TestChaosSurfaces:
             damage_file(str(path), keep_fraction=1.0)
 
     def test_atomic_write_without_chaos(self, tmp_path):
+        import hashlib
+
         final = tmp_path / "out.nc"
-        nbytes = chaos_atomic_write(small_dataset(), str(final))
+        nbytes, digest = chaos_atomic_write(small_dataset(), str(final))
         assert final.stat().st_size == nbytes
+        # The digest computed during the write matches the final bytes.
+        assert digest == hashlib.sha256(final.read_bytes()).hexdigest()
         assert not os.path.exists(str(final) + ".part")
         nc_read(str(final))  # parses cleanly
 

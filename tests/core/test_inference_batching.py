@@ -188,6 +188,29 @@ class TestDrain:
         with pytest.warns(DeprecationWarning, match="poll"):
             worker.drain(timeout=0.0, poll=0.01)
 
+    def test_on_result_fires_before_drain_observes_settled(self, tmp_path, model):
+        # The streaming hand-off contract: every published file has been
+        # delivered to the callback by the time drain() returns, so a
+        # downstream consumer reading the stream misses nothing.
+        src = make_tile_file(str(tmp_path / "tiles_s.nc"), seed=23)
+        handed_off = []
+        config = make_config(tmp_path / "out")
+        worker = InferenceWorker(
+            model, config, on_result=lambda r: handed_off.append(r.out_path)
+        )
+        with worker:
+            worker.submit(src)
+            worker.drain(timeout=30.0)
+            assert handed_off == [r.out_path for r in worker.results]
+            assert len(handed_off) == 1
+
+    def test_drain_unknown_kwarg_is_a_type_error(self, tmp_path, model):
+        # Only the deprecated poll= gets the compatibility shim; any
+        # other stray keyword is a genuine caller bug.
+        worker = InferenceWorker(model, make_config(tmp_path / "out"))
+        with pytest.raises(TypeError, match="unexpected keyword"):
+            worker.drain(timeout=0.0, pool=0.01)
+
     def test_drain_without_poll_warns_nothing(self, tmp_path, model):
         import warnings
 

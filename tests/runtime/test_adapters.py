@@ -122,6 +122,21 @@ class TestZambezeDrivesPlan:
         assert events == ["fetch", "tile", "label"]
         assert execution.state == {"fetch": 3, "tile": 12, "label": "labelled"}
 
+    def test_stream_edges_become_dependencies(self):
+        # zambeze's campaign scheduler is sequential: a consumer
+        # dispatched before its producer would read an empty channel, so
+        # stream edges sequence producer-before-consumer there.
+        plan = PipelinePlan([
+            StageNode("download", lambda s: None),
+            StageNode("model", lambda s: None, stream=("download",)),
+            StageNode("preprocess", lambda s: None,
+                      after=("model",), stream=("download", "model")),
+        ])
+        by_name = dict(campaign_from_plan(plan).activities)
+        assert by_name["model"].depends_on == ["download"]
+        # stream edges deduplicate against identical after edges
+        assert by_name["preprocess"].depends_on == ["model", "download"]
+
 
 @pytest.fixture
 def workflow(tmp_path):
@@ -161,6 +176,22 @@ class TestRealPlanOnAlternateEngines:
 
     def test_zambeze_orchestrator_runs_the_five_stage_plan(self, workflow):
         plan = workflow.build_plan()
+        report, execution = run_plan_with_zambeze(plan, facility="olcf")
+        assert report.succeeded
+        assert not report.errors
+        self.assert_delivered(workflow, execution)
+
+    def test_flows_engine_runs_the_streaming_plan(self, workflow):
+        # Same streaming topology, sequential engine: each node runs to
+        # completion in chain order and the relaxed channels buffer the
+        # per-scene / per-file hand-offs between them.
+        plan = workflow.build_plan(streaming=True)
+        run, execution = run_plan_with_flows(plan, label="eo-ml-stream")
+        assert run.status == RunStatus.SUCCEEDED
+        self.assert_delivered(workflow, execution)
+
+    def test_zambeze_orchestrator_runs_the_streaming_plan(self, workflow):
+        plan = workflow.build_plan(streaming=True)
         report, execution = run_plan_with_zambeze(plan, facility="olcf")
         assert report.succeeded
         assert not report.errors

@@ -1,23 +1,30 @@
-"""Pipeline plans: validation, barriers, gates, and overlap windows.
+"""Pipeline plans: validation, barriers, gates, overlaps, and streams.
 
 The plan is the workflow's structure as data — these tests pin that the
 ``after`` edges really are barriers (violations raise instead of
-silently reordering), that ``when`` gates skip without running, and that
-an ``overlaps`` edge opens the owner's scope *before* the overlapped
-node works and closes it after the owner's own body — the Fig. 6
-monitor/inference window.
+silently reordering), that ``when`` gates skip without running, that an
+``overlaps`` edge opens the owner's scope *before* the overlapped node
+works and closes it after the owner's own body — the Fig. 6
+monitor/inference window — and that ``stream`` edges carry per-item
+tokens between concurrently running nodes under backpressure (the
+:class:`StreamingPlanRunner`) while degrading to a buffered hand-off
+under every sequential driver.
 """
 
+import threading
 from contextlib import contextmanager
 
 import pytest
 
 from repro.runtime import (
+    STREAMS_KEY,
     PipelinePlan,
     PlanError,
     PlanExecution,
     PlanRunner,
     StageNode,
+    StreamConfig,
+    StreamingPlanRunner,
 )
 
 
@@ -60,6 +67,21 @@ class TestPlanValidation:
             ("b", "c", "overlaps"),
         }
         assert [owner.name for owner in plan.owners_of("b")] == ["c"]
+
+    def test_stream_edges_validated_like_after(self):
+        with pytest.raises(PlanError, match="unknown node"):
+            PipelinePlan([node("a", stream=("ghost",))])
+        with pytest.raises(PlanError, match="references itself"):
+            PipelinePlan([node("a", stream=("a",))])
+        with pytest.raises(PlanError, match="must come after"):
+            PipelinePlan([node("a", stream=("b",)), node("b")])
+        plan = PipelinePlan([node("a"), node("b", stream=("a",))])
+        assert ("a", "b", "stream") in plan.edges()
+        assert plan.stream_edges() == [("a", "b")]
+
+    def test_reserved_state_key_rejected_as_node_name(self):
+        with pytest.raises(PlanError, match="reserved"):
+            PipelinePlan([node(STREAMS_KEY)])
 
 
 class TestPlanExecution:
@@ -210,3 +232,208 @@ class TestPlanRunner:
         with pytest.raises(RuntimeError, match="stage blew up"):
             PlanRunner().run(plan)
         assert events == ["scope+", "scope-"]
+
+
+def stream_plan(produced, consumed, count=5):
+    """producer -> consumer over one stream edge."""
+
+    def produce(state):
+        writer = state[STREAMS_KEY].writer("producer")
+        for item in range(count):
+            writer.put(item)
+            produced.append(item)
+        return count
+
+    def consume(state):
+        for item in state[STREAMS_KEY].reader("consumer"):
+            consumed.append(item)
+        return len(consumed)
+
+    return PipelinePlan([
+        StageNode("producer", run=produce),
+        StageNode("consumer", run=consume, stream=("producer",)),
+    ])
+
+
+class TestSequentialStreamExecution:
+    def test_plan_runner_buffers_the_whole_stream(self):
+        # The listed-order driver runs the producer to completion first;
+        # the relaxed channel buffers everything, the consumer drains it
+        # afterwards — same bodies, no deadlock, no capacity limit.
+        produced, consumed = [], []
+        state = PlanRunner().run(stream_plan(produced, consumed, count=50))
+        assert consumed == list(range(50))
+        assert state["producer"] == 50 and state["consumer"] == 50
+        assert STREAMS_KEY in state
+
+    def test_streamless_plan_keeps_state_clean(self):
+        # Engines assert exact state contents; no hub key appears unless
+        # the plan actually carries stream edges.
+        state = PlanRunner().run(PipelinePlan([node("a")]))
+        assert STREAMS_KEY not in state
+
+    def test_out_of_order_driver_still_flows(self):
+        # flows/zambeze schedulers call run_node themselves; the stream
+        # edge adds a dependency in those adapters, but the execution
+        # itself only requires the tokens to be buffered.
+        produced, consumed = [], []
+        execution = PlanExecution(stream_plan(produced, consumed))
+        execution.run_node("producer")
+        execution.run_node("consumer")
+        assert consumed == list(range(5))
+
+
+class TestStreamingPlanRunner:
+    def test_tokens_flow_concurrently_in_order(self):
+        produced, consumed = [], []
+        state = StreamingPlanRunner().run(stream_plan(produced, consumed))
+        assert consumed == list(range(5))
+        assert state["consumer"] == 5
+
+    def test_backpressure_bounds_the_producer_lead(self):
+        lead = []
+        gate = threading.Event()
+
+        def produce(state):
+            writer = state[STREAMS_KEY].writer("producer")
+            for item in range(10):
+                writer.put(item)
+            return 10
+
+        def consume(state):
+            reader = state[STREAMS_KEY].reader("consumer")
+            gate.wait(5.0)
+            total = 0
+            for _ in reader:
+                lead.append(len(reader))
+                total += 1
+            return total
+
+        plan = PipelinePlan([
+            StageNode("producer", run=produce),
+            StageNode("consumer", run=consume, stream=("producer",)),
+        ])
+        runner = StreamingPlanRunner(stream=StreamConfig(capacity=2))
+        # Let the producer hit the bound before the consumer starts.
+        timer = threading.Timer(0.3, gate.set)
+        timer.start()
+        try:
+            state = runner.run(plan)
+        finally:
+            timer.cancel()
+            gate.set()
+        assert state["consumer"] == 10
+        stats = state[STREAMS_KEY].channel("producer", "consumer").stats()
+        assert stats.max_depth <= 2            # never more than capacity queued
+        assert stats.producer_stall_seconds > 0.0
+
+    def test_after_edges_are_still_barriers(self):
+        order = []
+        plan = PipelinePlan([
+            StageNode("a", run=lambda s: order.append("a")),
+            StageNode("b", run=lambda s: order.append("b"), after=("a",)),
+            StageNode("c", run=lambda s: order.append("c"), after=("b",)),
+        ])
+        StreamingPlanRunner().run(plan)
+        assert order == ["a", "b", "c"]
+
+    def test_skipped_consumer_relaxes_the_producer(self):
+        def produce(state):
+            writer = state[STREAMS_KEY].writer("producer")
+            for item in range(20):  # far beyond capacity 1
+                writer.put(item)
+            return 20
+
+        plan = PipelinePlan([
+            StageNode("producer", run=produce),
+            StageNode("consumer", run=lambda s: "unreached",
+                      stream=("producer",), when=lambda s: False),
+        ])
+        runner = StreamingPlanRunner(stream=StreamConfig(capacity=1))
+        state = runner.run(plan)  # must not deadlock
+        assert state["producer"] == 20
+        assert state["consumer"] is None
+
+    def test_dead_consumer_does_not_deadlock_the_producer(self):
+        def produce(state):
+            writer = state[STREAMS_KEY].writer("producer")
+            for item in range(20):
+                writer.put(item)
+            return 20
+
+        def consume(state):
+            raise RuntimeError("consumer died")
+
+        plan = PipelinePlan([
+            StageNode("producer", run=produce),
+            StageNode("consumer", run=consume, stream=("producer",)),
+        ])
+        runner = StreamingPlanRunner(stream=StreamConfig(capacity=1))
+        with pytest.raises(RuntimeError, match="consumer died"):
+            runner.run(plan)
+
+    def test_failed_dependency_aborts_dependents_and_closes_channels(self):
+        ran = []
+
+        def consume(state):
+            ran.append("consumer")
+            return list(state[STREAMS_KEY].reader("consumer"))
+
+        plan = PipelinePlan([
+            StageNode("bad", run=lambda s: (_ for _ in ()).throw(
+                RuntimeError("boom"))),
+            StageNode("producer", run=lambda s: s[STREAMS_KEY]
+                      .writer("producer").close() or 1, after=("bad",)),
+            StageNode("consumer", run=consume, stream=("producer",)),
+        ])
+        with pytest.raises(RuntimeError, match="boom"):
+            StreamingPlanRunner().run(plan)
+        # The consumer saw end-of-stream from the aborted producer and
+        # finished with what arrived (nothing) instead of hanging.
+        assert ran == ["consumer"]
+
+    def test_disabled_edge_falls_back_to_a_barrier(self):
+        order = []
+
+        def produce(state):
+            writer = state[STREAMS_KEY].writer("producer")
+            for item in range(30):  # far beyond any bounded capacity
+                writer.put(item)
+            order.append("producer-done")
+            return 30
+
+        def consume(state):
+            order.append("consumer-start")
+            return len(list(state[STREAMS_KEY].reader("consumer")))
+
+        plan = PipelinePlan([
+            StageNode("producer", run=produce),
+            StageNode("consumer", run=consume, stream=("producer",)),
+        ])
+        config = StreamConfig(
+            capacity=1,
+            edges={"producer->consumer": {"enabled": False}},
+        )
+        state = StreamingPlanRunner(stream=config).run(plan)
+        # Barrier semantics: the consumer waited for the producer, and
+        # the channel stayed unbounded so the producer never stalled.
+        assert order == ["producer-done", "consumer-start"]
+        assert state["consumer"] == 30
+
+    def test_hooks_are_serialized_across_node_threads(self):
+        active = []
+        peak = []
+        lock = threading.Lock()
+
+        def on_begin(name):
+            with lock:
+                active.append(name)
+                peak.append(len(active))
+            # hold the hook open long enough for a race to show
+            threading.Event().wait(0.01)
+            with lock:
+                active.remove(name)
+
+        plan = PipelinePlan([node("a"), node("b"), node("c")])
+        StreamingPlanRunner(on_begin=on_begin).run(plan)
+        assert max(peak) == 1  # the shared hook lock admits one at a time

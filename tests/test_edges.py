@@ -17,7 +17,10 @@ class TestLocalEndpointEdges:
         with LocalComputeEndpoint("slowpool", max_workers=1) as endpoint:
             future = endpoint.submit(time.sleep, 5.0)
             with pytest.raises(TimeoutError):
-                endpoint.gather([future], timeout=0.05)
+                # gather() is lazy; the timeout surfaces on consumption.
+                list(endpoint.gather([future], timeout=0.05))
+            with pytest.raises(TimeoutError):
+                endpoint.gather([future], timeout=0.05, ordered=True)
             future.cancel()
 
     def test_context_manager_shuts_down(self):

@@ -18,7 +18,13 @@ import repro.chaos.surfaces as surfaces
 from repro.chaos import FaultInjector, FaultPlan, FaultSpec
 from repro.chaos.surfaces import CRASH_EXIT_CODE, chaos_atomic_write
 from repro.netcdf import Dataset, read
-from repro.util.atomic import TEMP_SUFFIX, atomic_write_bytes, fsync_dir
+from repro.util.atomic import (
+    HASH_SLICE,
+    TEMP_SUFFIX,
+    atomic_publish_bytes,
+    atomic_write_bytes,
+    fsync_dir,
+)
 
 
 class FakeCrash(SystemExit):
@@ -67,6 +73,38 @@ class TestAtomicWriteBytes:
         atomic_write_bytes(path, b"new")
         with open(path, "rb") as handle:
             assert handle.read() == b"new"
+
+    def test_publish_digest_matches_hashlib(self, tmp_path):
+        import hashlib
+
+        path = str(tmp_path / "artifact.nc")
+        payload = bytes(range(256)) * 100
+        nbytes, digest = atomic_publish_bytes(path, payload)
+        assert nbytes == len(payload)
+        assert digest == hashlib.sha256(payload).hexdigest()
+        with open(path, "rb") as handle:
+            assert hashlib.sha256(handle.read()).hexdigest() == digest
+
+    def test_publish_digest_spans_multiple_hash_slices(self, tmp_path):
+        # The digest is folded in HASH_SLICE chunks while the temp file
+        # is written; a payload crossing slice boundaries must hash the
+        # same as one pass over the whole buffer.
+        import hashlib
+
+        path = str(tmp_path / "big.bin")
+        payload = os.urandom(HASH_SLICE + 4096)
+        nbytes, digest = atomic_publish_bytes(path, payload, durable=False)
+        assert nbytes == len(payload)
+        assert digest == hashlib.sha256(payload).hexdigest()
+
+    def test_publish_empty_payload(self, tmp_path):
+        import hashlib
+
+        path = str(tmp_path / "empty.bin")
+        nbytes, digest = atomic_publish_bytes(path, b"")
+        assert nbytes == 0
+        assert digest == hashlib.sha256(b"").hexdigest()
+        assert os.path.getsize(path) == 0
 
     def test_file_fsync_failure_propagates(self, tmp_path, monkeypatch):
         # If the payload's own fsync fails, durability cannot be
