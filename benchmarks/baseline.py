@@ -368,6 +368,146 @@ def bench_makespan(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def bench_control_plane(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Control-plane service under a 200-concurrent-client burst.
+
+    Spins up the real in-process :class:`ControlPlaneServer` (SQLite
+    store, stdlib threaded HTTP) and hammers it the way the load test
+    does (``tests/server/test_load.py``): 200 clients, each submitting a
+    run and driving one lease-protocol round, then a small drainer pool
+    finishing every unit.  No stage work executes — this times the
+    *protocol* (submit validation + unit-graph derivation, leasing,
+    heartbeats, completion) which is what a multi-facility deployment
+    pays per work-unit.
+
+    Client-side per-request latencies give exact p95 (the server's own
+    histogram is bucketed too coarsely to gate on).  The entry's
+    ``normalized`` value is the contention ratio: per-request seconds
+    under the concurrent burst divided by per-request seconds measured
+    serially in the same process — machine-stable, and it degrades
+    exactly when concurrency handling regresses (lock contention, an
+    accidentally quadratic lease sweep), which is what the gate is for.
+    """
+    import shutil
+    import tempfile
+    import threading
+    from concurrent.futures import ThreadPoolExecutor
+
+    from repro.server import ControlPlaneClient, ControlPlaneServer
+
+    clients = 200  # the load-test floor, both modes
+    units_per_run = 5  # the five-stage plan
+    serial_runs = max(2, repeats // 2)
+
+    root = tempfile.mkdtemp(prefix="bench_control_plane_")
+    raw = {
+        "archive": {"start_date": "2022-01-01",
+                    "max_granules_per_day": 1, "seed": 3},
+        "paths": {
+            "staging": os.path.join(root, "data", "raw"),
+            "preprocessed": os.path.join(root, "data", "tiles"),
+            "transfer_out": os.path.join(root, "data", "outbox"),
+            "destination": os.path.join(root, "data", "orion"),
+            "quarantine": os.path.join(root, "data", "quarantine"),
+        },
+        "journal": {"dir": os.path.join(root, "data", "journal")},
+    }
+
+    samples: List[float] = []
+    lock = threading.Lock()
+
+    def timed(fn, *args, **kwargs):
+        start = time.perf_counter()
+        out = fn(*args, **kwargs)
+        elapsed = time.perf_counter() - start
+        with lock:
+            samples.append(elapsed)
+        return out
+
+    def drain(client: ControlPlaneClient, name: str) -> None:
+        while True:
+            lease = timed(client.lease, name)
+            if lease is None:
+                return
+            timed(client.complete, lease.lease_id, result={"by": name})
+
+    results: Dict[str, Dict[str, float]] = {}
+    try:
+        with ControlPlaneServer() as server:
+            url = server.url
+
+            # --- serial yardstick: one client, same request mix, no rivals.
+            serial_client = ControlPlaneClient(url, timeout=60.0)
+            serial_start = time.perf_counter()
+            for index in range(serial_runs):
+                run = timed(serial_client.submit, raw, name=f"serial-{index}")
+                timed(serial_client.run, run.run_id)
+                drain(serial_client, "serial-agent")
+            serial_seconds = time.perf_counter() - serial_start
+            serial_requests = len(samples)
+            serial_per_request = serial_seconds / serial_requests
+            samples.clear()
+
+            # --- the burst: every client submits, polls, and runs one
+            # lease round, all at once.
+            def one_client(index: int) -> None:
+                client = ControlPlaneClient(url, timeout=60.0, retries=5)
+                run = timed(client.submit, raw, name=f"bench-{index}")
+                timed(client.run, run.run_id)
+                lease = timed(client.lease, f"agent-{index}")
+                if lease is not None:
+                    timed(client.heartbeat, lease.lease_id)
+                    timed(client.complete, lease.lease_id, result={"by": index})
+
+            burst_start = time.perf_counter()
+            with ThreadPoolExecutor(max_workers=clients) as pool:
+                list(pool.map(one_client, range(clients)))
+            burst_seconds = time.perf_counter() - burst_start
+            with lock:
+                burst_samples = list(samples)
+
+            # --- drain the backlog the burst left behind.
+            with ThreadPoolExecutor(max_workers=8) as pool:
+                list(pool.map(
+                    lambda name: drain(ControlPlaneClient(url, timeout=60.0), name),
+                    [f"drainer-{i}" for i in range(8)],
+                ))
+            total_seconds = time.perf_counter() - burst_start
+
+            stats = server.store.stats()
+            completed = stats["units"].get("completed", 0)
+            expected = units_per_run * (clients + serial_runs)
+            if completed != expected:
+                raise RuntimeError(
+                    f"control-plane bench lost work: {completed} units "
+                    f"completed, expected {expected}"
+                )
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+
+    ordered = sorted(burst_samples)
+    p95 = ordered[min(len(ordered) - 1, int(0.95 * len(ordered)))]
+    mean_latency = sum(ordered) / len(ordered)
+    # Throughput view of the burst: wall seconds per answered request.
+    # Relative to the serial yardstick this is the contention ratio the
+    # regression gate watches (lower = concurrency helps).
+    per_request = burst_seconds / len(ordered)
+    entry: Dict[str, float] = {
+        "seconds": total_seconds,
+        "best": total_seconds,
+        "runs": 1,
+        "clients": float(clients),
+        "requests": float(len(samples)),
+        "submissions_per_second": clients / burst_seconds,
+        "p95_latency_seconds": p95,
+        "mean_latency_seconds": mean_latency,
+        "serial_seconds_per_request": serial_per_request,
+        "normalized": per_request / serial_per_request,
+    }
+    results["control_plane"] = entry
+    return results
+
+
 def _emit(path: str, quick: bool, calibration: float,
           benchmarks: Dict[str, Dict[str, float]]) -> None:
     payload = {
@@ -420,6 +560,7 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     endtoend = bench_endtoend(args.quick, max(1, repeats // 2))
     endtoend.update(bench_makespan(args.quick, repeats))
+    endtoend.update(bench_control_plane(args.quick, repeats))
     for name, entry in sorted(endtoend.items()):
         extra = "".join(
             f"  {key}={value:.2f}" for key, value in entry.items()

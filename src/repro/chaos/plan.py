@@ -28,8 +28,9 @@ __all__ = [
     "load_plan",
 ]
 
-# The workflow stages faults can target (Fig. 2's five boxes).
-STAGES = ("download", "preprocess", "monitor", "inference", "shipment")
+# The workflow stages faults can target: Fig. 2's five boxes, plus the
+# control-plane site agent (killed-mid-lease faults, repro.server.agent).
+STAGES = ("download", "preprocess", "monitor", "inference", "shipment", "agent")
 
 # The failure surfaces the paper names as operational reality:
 #   http_transient — LAADS 503 / dropped connection that a retry recovers;

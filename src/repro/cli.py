@@ -9,6 +9,16 @@ accommodating users of varying levels of expertise" — starts with a CLI:
     repro catalog MOD02 2022-01-01     # query the archive model
     repro info                         # system inventory
 
+Multi-facility mode (the control plane of :mod:`repro.server`):
+
+    repro serve --db runs.db           # central run service
+    repro submit workflow.yaml --server URL   # register a run
+    repro status [RUN] --server URL    # watch runs / one run's units
+    repro agent --server URL --site S  # facility worker loop
+
+Exit codes: 0 success, 1 failure reported by the work itself (including
+a server that answered with an error), 2 usage/connectivity problems.
+
 Installed as the ``repro`` console script; also runnable as
 ``python -m repro.cli``.
 """
@@ -72,6 +82,36 @@ def build_parser() -> argparse.ArgumentParser:
     catalog.add_argument("--limit", type=int, default=10)
 
     sub.add_parser("info", help="print the system inventory")
+
+    serve = sub.add_parser("serve", help="run the multi-facility control plane")
+    serve.add_argument("--db", default="control_plane.db",
+                       help="SQLite file for the run store (default: %(default)s)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642)
+
+    submit = sub.add_parser("submit", help="submit a workflow to the control plane")
+    submit.add_argument("config", help="workflow YAML file")
+    submit.add_argument("--server", required=True, metavar="URL",
+                        help="control-plane base URL, e.g. http://host:8642")
+    submit.add_argument("--name", default="", help="run name (default: config name)")
+
+    status = sub.add_parser("status", help="show control-plane runs")
+    status.add_argument("run", nargs="?", help="run id for per-unit detail")
+    status.add_argument("--server", required=True, metavar="URL")
+    status.add_argument("--events", action="store_true",
+                        help="also print the run's event log (needs a run id)")
+
+    agent = sub.add_parser("agent", help="run a site agent against the control plane")
+    agent.add_argument("--server", required=True, metavar="URL")
+    agent.add_argument("--name", default="", help="agent name (default: host-pid)")
+    agent.add_argument("--site", default="", help="facility label, e.g. alcf, nersc")
+    agent.add_argument("--ttl", type=float, default=15.0, help="lease TTL seconds")
+    agent.add_argument("--poll-interval", type=float, default=1.0,
+                       help="seconds between empty polls")
+    agent.add_argument("--max-units", type=int, default=None,
+                       help="exit after executing N units")
+    agent.add_argument("--drain", action="store_true",
+                       help="exit once several consecutive polls find no work")
     return parser
 
 
@@ -224,6 +264,101 @@ def _cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import serve
+
+    serve(args.db, host=args.host, port=args.port,
+          announce=lambda url: print(f"control plane listening on {url} (db {args.db})"))
+    return 0
+
+
+def _client(args: argparse.Namespace):
+    from repro.server import ControlPlaneClient
+
+    return ControlPlaneClient(args.server)
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    from repro.server import RequestFailed, ServerUnavailable
+    from repro.util.yamlish import loads
+
+    with open(args.config) as handle:
+        raw = loads(handle.read())
+    if not isinstance(raw, dict):
+        print(f"{args.config}: expected a YAML mapping", file=sys.stderr)
+        return 2
+    try:
+        run = _client(args).submit(raw, name=args.name)
+    except ServerUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RequestFailed as exc:
+        print(f"submission rejected: {exc.message}", file=sys.stderr)
+        return 1
+    print(f"submitted {run.run_id} ({run.name}): "
+          f"{len(run.units)} unit(s) {[u.name for u in run.units]}")
+    return 0
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from repro.server import RequestFailed, ServerUnavailable
+
+    client = _client(args)
+    try:
+        if args.run is None:
+            runs = client.runs()
+            if not runs:
+                print("no runs")
+                return 0
+            for run in runs:
+                suffix = f"  error: {run.error}" if run.error else ""
+                print(f"{run.run_id}  {run.status:<10} {run.name}{suffix}")
+            return 0
+        run = client.run(args.run)
+        print(f"{run.run_id}  {run.status}  {run.name}")
+        for unit in run.units:
+            owner = f"  @{unit.agent}" if unit.agent else ""
+            note = f"  error: {unit.error}" if unit.error else ""
+            print(f"  {unit.name:<12} {unit.status:<10} "
+                  f"attempts={unit.attempts} requeues={unit.requeues}{owner}{note}")
+        if args.events:
+            for event in client.events(args.run):
+                print(f"  [{event['seq']}] {event['kind']}: {event['detail']}")
+        return 0 if run is None or run.status != "failed" else 1
+    except ServerUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except RequestFailed as exc:
+        print(f"error: {exc.message}", file=sys.stderr)
+        return 1
+
+
+def _cmd_agent(args: argparse.Namespace) -> int:
+    import os
+    import socket
+
+    from repro.server import ControlPlaneClient, ServerUnavailable, SiteAgent
+
+    name = args.name or f"{socket.gethostname()}-{os.getpid()}"
+    client = ControlPlaneClient(args.server)
+    agent = SiteAgent(client, name=name, site=args.site, ttl=args.ttl,
+                      poll_interval=args.poll_interval)
+    print(f"agent {name} (site {args.site or '-'}) polling {args.server}")
+    try:
+        stats = agent.run(
+            max_units=args.max_units,
+            idle_exit_after=5 if args.drain else None,
+        )
+    except ServerUnavailable as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:
+        stats = agent.stats
+    print(f"agent {name}: {stats.completed} completed, {stats.failed} failed, "
+          f"{stats.lost_leases} lost lease(s), {stats.idle_polls} idle poll(s)")
+    return 0 if stats.failed == 0 else 1
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -232,6 +367,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         "figures": _cmd_figures,
         "catalog": _cmd_catalog,
         "info": _cmd_info,
+        "serve": _cmd_serve,
+        "submit": _cmd_submit,
+        "status": _cmd_status,
+        "agent": _cmd_agent,
     }[args.command]
     return handler(args)
 

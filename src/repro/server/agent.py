@@ -1,0 +1,188 @@
+"""The site agent: a facility's worker loop against the control plane.
+
+An agent is the paper's "site" made executable: a process at one
+facility that polls the central service for ready work-units, executes
+each through the existing stage runtime
+(:func:`~repro.server.execution.execute_unit`), heartbeats while the
+work runs, and reports the outcome.  Several agents at several sites
+drain one run cooperatively — the server's lease protocol decides who
+does what, the shared filesystem and run journal carry the state.
+
+Failure is the design center, not the exception path:
+
+* If the agent dies mid-unit (modelled by the ``agent`` chaos crash
+  surface), its heartbeats stop, the lease expires, and the server
+  requeues the unit for the next poller — whose journal replay makes
+  the re-execution idempotent.
+* If the *server* is the one that disappears mid-heartbeat, the agent
+  keeps computing; a 404/409 on a later heartbeat means the lease was
+  lost to a new owner, so the result POST is skipped (the new owner is
+  authoritative).
+* If the unit's body raises, the failure is reported honestly and the
+  server decides (operator ``retry``) whether it runs again.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Mapping, Optional
+
+from repro.chaos.surfaces import chaos_crash
+from repro.server.client import (
+    ControlPlaneClient,
+    Lease,
+    RequestFailed,
+    ServerUnavailable,
+)
+from repro.server.execution import execute_unit
+
+__all__ = ["AgentStats", "SiteAgent"]
+
+
+@dataclass
+class AgentStats:
+    """What one agent did with its life."""
+
+    polls: int = 0
+    idle_polls: int = 0
+    leases: int = 0
+    completed: int = 0
+    failed: int = 0
+    lost_leases: int = 0
+    heartbeats: int = 0
+    errors: Dict[str, str] = field(default_factory=dict)
+
+
+class SiteAgent:
+    """Polls, leases, executes, heartbeats, reports — until told to stop."""
+
+    def __init__(
+        self,
+        client: ControlPlaneClient,
+        name: str,
+        site: str = "",
+        ttl: float = 15.0,
+        poll_interval: float = 0.05,
+        heartbeat_interval: Optional[float] = None,
+        chaos: Any = None,
+        executor: Callable[..., Mapping[str, Any]] = execute_unit,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
+        self.client = client
+        self.name = name
+        self.site = site
+        self.ttl = ttl
+        self.poll_interval = poll_interval
+        # A third of the TTL keeps two missed beats survivable.
+        self.heartbeat_interval = (
+            heartbeat_interval if heartbeat_interval is not None else ttl / 3.0
+        )
+        self.chaos = chaos
+        self.executor = executor
+        self.stats = AgentStats()
+        self._sleep = sleeper
+
+    def run(
+        self,
+        stop: Optional[threading.Event] = None,
+        max_units: Optional[int] = None,
+        idle_exit_after: Optional[int] = None,
+    ) -> AgentStats:
+        """The agent main loop.
+
+        Stops when ``stop`` is set, after ``max_units`` executed units,
+        or after ``idle_exit_after`` *consecutive* empty polls (the
+        drain-and-exit mode the e2e tests and one-shot CLI use).
+        Returns the accumulated :class:`AgentStats`.
+        """
+        idle_streak = 0
+        executed = 0
+        while True:
+            if stop is not None and stop.is_set():
+                break
+            if max_units is not None and executed >= max_units:
+                break
+            self.stats.polls += 1
+            lease = self.client.lease(self.name, site=self.site, ttl=self.ttl)
+            if lease is None:
+                self.stats.idle_polls += 1
+                idle_streak += 1
+                if idle_exit_after is not None and idle_streak >= idle_exit_after:
+                    break
+                self._sleep(self.poll_interval)
+                continue
+            idle_streak = 0
+            executed += 1
+            self.stats.leases += 1
+            self._execute(lease)
+        return self.stats
+
+    # -- one unit -------------------------------------------------------------
+
+    def _execute(self, lease: Lease) -> None:
+        # The killed-mid-lease fault surface: the agent holds the lease,
+        # the unit is not done, and the process dies without cleanup.
+        chaos_crash(self.chaos, "agent", f"{lease.run_id}/{lease.unit}")
+
+        lost = threading.Event()
+        done = threading.Event()
+        beater = threading.Thread(
+            target=self._heartbeat_loop,
+            args=(lease, done, lost),
+            name=f"heartbeat-{lease.lease_id}",
+            daemon=True,
+        )
+        beater.start()
+        try:
+            try:
+                result = self.executor(lease.config, lease.unit, chaos=self.chaos)
+                status, error = "completed", None
+            except Exception as exc:
+                result = None
+                status = "failed"
+                error = f"{type(exc).__name__}: {exc}"
+                self.stats.errors[f"{lease.run_id}/{lease.unit}"] = (
+                    traceback.format_exc()
+                )
+        finally:
+            done.set()
+            beater.join(timeout=5)
+
+        if lost.is_set():
+            # The server moved on while we worked: a successor holds (or
+            # held) the lease, and its result is the authoritative one.
+            self.stats.lost_leases += 1
+            return
+        try:
+            self.client.complete(
+                lease.lease_id, status=status, result=result, error=error
+            )
+        except RequestFailed as exc:
+            if exc.status in (404, 409):
+                self.stats.lost_leases += 1
+                return
+            raise
+        if status == "completed":
+            self.stats.completed += 1
+        else:
+            self.stats.failed += 1
+
+    def _heartbeat_loop(
+        self, lease: Lease, done: threading.Event, lost: threading.Event
+    ) -> None:
+        while not done.wait(self.heartbeat_interval):
+            try:
+                self.client.heartbeat(lease.lease_id, ttl=self.ttl)
+                self.stats.heartbeats += 1
+            except RequestFailed as exc:
+                if exc.status in (404, 409):
+                    lost.set()
+                    return
+            except ServerUnavailable:
+                # Keep computing: if the server restarts within the TTL
+                # the lease survives; if not, `lost` is discovered at the
+                # completion POST.
+                continue

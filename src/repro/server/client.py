@@ -1,0 +1,273 @@
+"""Typed HTTP client for the control plane — urllib only, no new deps.
+
+Everything the CLI and the site agent say to the server goes through
+:class:`ControlPlaneClient`.  Failures split into two shapes callers
+handle differently:
+
+* :class:`ServerUnavailable` — the service cannot be reached at all
+  (connection refused, DNS, timeout).  Transient connection errors are
+  retried with a short backoff first, because an agent polling across a
+  WAN will see them routinely.
+* :class:`RequestFailed` — the server answered with an error status.
+  Carries ``.status`` so the agent can distinguish a lost lease (404 /
+  409) from a bad request (400).
+
+Successful responses are decoded into small typed records
+(:class:`RunSummary`, :class:`UnitSummary`, :class:`Lease`) so callers
+never index raw JSON.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional
+
+__all__ = [
+    "ControlPlaneError",
+    "ServerUnavailable",
+    "RequestFailed",
+    "RunSummary",
+    "UnitSummary",
+    "Lease",
+    "ControlPlaneClient",
+]
+
+
+class ControlPlaneError(Exception):
+    """Base of everything this client raises."""
+
+
+class ServerUnavailable(ControlPlaneError):
+    """The control plane could not be reached (after retries)."""
+
+
+class RequestFailed(ControlPlaneError):
+    """The control plane answered with an error status."""
+
+    def __init__(self, status: int, message: str):
+        super().__init__(f"[{status}] {message}")
+        self.status = status
+        self.message = message
+
+
+@dataclass(frozen=True)
+class UnitSummary:
+    """One work-unit's control-plane view."""
+
+    name: str
+    status: str
+    deps: List[str] = field(default_factory=list)
+    attempts: int = 0
+    requeues: int = 0
+    agent: Optional[str] = None
+    error: Optional[str] = None
+    result: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_wire(cls, raw: Mapping[str, Any]) -> "UnitSummary":
+        return cls(
+            name=raw["name"],
+            status=raw["status"],
+            deps=list(raw.get("deps", [])),
+            attempts=int(raw.get("attempts", 0)),
+            requeues=int(raw.get("requeues", 0)),
+            agent=raw.get("agent"),
+            error=raw.get("error"),
+            result=raw.get("result"),
+        )
+
+
+@dataclass(frozen=True)
+class RunSummary:
+    """One run's control-plane view (units present on detail fetches)."""
+
+    run_id: str
+    name: str
+    status: str
+    error: Optional[str] = None
+    units: List[UnitSummary] = field(default_factory=list)
+    config: Optional[Dict[str, Any]] = None
+
+    @classmethod
+    def from_wire(cls, raw: Mapping[str, Any]) -> "RunSummary":
+        # Run listings carry `units` as status counts; detail fetches carry
+        # the full per-unit records.  Only the latter decode to summaries.
+        units_raw = raw.get("units")
+        units = (
+            [UnitSummary.from_wire(u) for u in units_raw]
+            if isinstance(units_raw, list) else []
+        )
+        return cls(
+            run_id=raw["id"],
+            name=raw.get("name", ""),
+            status=raw["status"],
+            error=raw.get("error"),
+            units=units,
+            config=raw.get("config"),
+        )
+
+    @property
+    def done(self) -> bool:
+        return self.status in ("completed", "failed")
+
+
+@dataclass(frozen=True)
+class Lease:
+    """A granted work-unit lease."""
+
+    lease_id: str
+    run_id: str
+    unit: str
+    attempt: int
+    ttl: float
+    expires_at: float
+    config: Dict[str, Any]
+
+    @classmethod
+    def from_wire(cls, raw: Mapping[str, Any]) -> "Lease":
+        return cls(
+            lease_id=raw["lease_id"],
+            run_id=raw["run_id"],
+            unit=raw["unit"],
+            attempt=int(raw.get("attempt", 1)),
+            ttl=float(raw["ttl"]),
+            expires_at=float(raw["expires_at"]),
+            config=dict(raw["config"]),
+        )
+
+
+class ControlPlaneClient:
+    """Thin, retrying JSON-over-HTTP client."""
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 10.0,
+        retries: int = 3,
+        backoff: float = 0.1,
+        sleeper: Callable[[float], None] = time.sleep,
+        opener: Optional[Callable[..., Any]] = None,
+    ):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+        self.retries = retries
+        self.backoff = backoff
+        self._sleep = sleeper
+        self._open = opener or urllib.request.urlopen
+
+    # -- transport ------------------------------------------------------------
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Mapping[str, Any]] = None,
+    ) -> Optional[Dict[str, Any]]:
+        """One API call; returns the decoded payload (``None`` on 204)."""
+        data = None if body is None else json.dumps(dict(body)).encode("utf-8")
+        last: Optional[Exception] = None
+        for attempt in range(self.retries + 1):
+            req = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"},
+            )
+            try:
+                with self._open(req, timeout=self.timeout) as response:
+                    blob = response.read()
+                    if response.status == 204 or not blob:
+                        return None
+                    return json.loads(blob.decode("utf-8"))
+            except urllib.error.HTTPError as exc:
+                # The server answered: not a connectivity problem, no retry.
+                detail = exc.read()
+                try:
+                    message = json.loads(detail.decode("utf-8")).get("error", "")
+                except (ValueError, UnicodeDecodeError):
+                    message = detail.decode("utf-8", "replace") or exc.reason
+                raise RequestFailed(exc.code, message) from None
+            except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+                last = exc
+                if attempt < self.retries:
+                    self._sleep(self.backoff * (2 ** attempt))
+        raise ServerUnavailable(
+            f"control plane at {self.base_url} is unreachable: {last}"
+        ) from last
+
+    # -- operator calls -------------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/health") or {}
+
+    def metrics(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/metrics") or {}
+
+    def submit(self, config: Mapping[str, Any], name: str = "") -> RunSummary:
+        body: Dict[str, Any] = {"config": dict(config)}
+        if name:
+            body["name"] = name
+        payload = self.request("POST", "/v1/runs", body)
+        return RunSummary.from_wire(payload["run"])
+
+    def runs(self) -> List[RunSummary]:
+        payload = self.request("GET", "/v1/runs") or {"runs": []}
+        return [RunSummary.from_wire(raw) for raw in payload["runs"]]
+
+    def run(self, run_id: str) -> RunSummary:
+        payload = self.request("GET", f"/v1/runs/{run_id}")
+        return RunSummary.from_wire(payload["run"])
+
+    def events(self, run_id: str) -> List[Dict[str, Any]]:
+        payload = self.request("GET", f"/v1/runs/{run_id}/events") or {}
+        return list(payload.get("events", []))
+
+    def pause(self, run_id: str) -> RunSummary:
+        payload = self.request("POST", f"/v1/runs/{run_id}/pause")
+        return RunSummary.from_wire(payload["run"])
+
+    def resume(self, run_id: str) -> RunSummary:
+        payload = self.request("POST", f"/v1/runs/{run_id}/resume")
+        return RunSummary.from_wire(payload["run"])
+
+    def retry(self, run_id: str, unit: str) -> UnitSummary:
+        payload = self.request("POST", f"/v1/runs/{run_id}/units/{unit}/retry")
+        raw = payload["unit"]
+        return UnitSummary(name=raw["unit"], status=raw["status"])
+
+    # -- agent calls ----------------------------------------------------------
+
+    def lease(
+        self, agent: str, site: str = "", ttl: Optional[float] = None
+    ) -> Optional[Lease]:
+        body: Dict[str, Any] = {"agent": agent}
+        if site:
+            body["site"] = site
+        if ttl is not None:
+            body["ttl"] = ttl
+        payload = self.request("POST", "/v1/lease", body)
+        if payload is None:
+            return None
+        return Lease.from_wire(payload["lease"])
+
+    def heartbeat(self, lease_id: str, ttl: Optional[float] = None) -> Dict[str, Any]:
+        body = {"ttl": ttl} if ttl is not None else {}
+        return self.request("POST", f"/v1/lease/{lease_id}/heartbeat", body) or {}
+
+    def complete(
+        self,
+        lease_id: str,
+        status: str = "completed",
+        result: Optional[Mapping[str, Any]] = None,
+        error: Optional[str] = None,
+    ) -> Dict[str, Any]:
+        body: Dict[str, Any] = {"status": status}
+        if result is not None:
+            body["result"] = dict(result)
+        if error is not None:
+            body["error"] = error
+        return self.request("POST", f"/v1/lease/{lease_id}/complete", body) or {}

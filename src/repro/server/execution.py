@@ -1,0 +1,189 @@
+"""Standalone execution of one plan node — the agent side of a lease.
+
+The server hands an agent ``(run config, unit name)``; this module turns
+that into real stage work by rebuilding the run's barrier
+:class:`~repro.runtime.plan.PipelinePlan` and driving exactly one node
+of it.  The barrier edges themselves are enforced by the *server* (a
+unit only becomes leasable once its dependencies completed), so the
+local driver's job is the node's immediate needs:
+
+* dependency state is rehydrated from the wire files the predecessor
+  units published (:mod:`repro.server.wire`) — the cross-process
+  equivalent of the in-process plan ``state`` dict;
+* the node's ``scope`` (the inference crawler/worker window) is entered
+  around its body, and ``when`` gates are honoured;
+* the run journal is opened with ``resume=True`` every time, so a
+  requeued or retried unit replays its history and every stage behaves
+  as the idempotent journal consumer it already is — re-execution can
+  never double-ship or corrupt artifacts.
+
+Stage bodies still run through the :class:`~repro.runtime.executor.
+StageExecutor` middleware stack (journal, chaos, retry, quarantine,
+metrics); nothing about *how* work executes changes when it is driven
+remotely.
+"""
+
+from __future__ import annotations
+
+from contextlib import nullcontext
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+from repro.core import EOMLWorkflow, load_config
+from repro.core.config import EOMLConfig
+from repro.journal import WorkflowJournal
+from repro.server import wire
+
+__all__ = ["unit_graph", "validate_remote_config", "execute_unit"]
+
+
+def unit_graph(config: EOMLConfig) -> List[Tuple[str, List[str]]]:
+    """The run's work-units: the barrier plan's nodes and ``after`` edges.
+
+    Derived from the real :meth:`EOMLWorkflow.build_plan` so the control
+    plane can never drift from the workflow's actual topology.  Nodes
+    whose ``when`` gate is statically off (shipment with
+    ``shipment.enabled: false``) are dropped, and edges into dropped
+    nodes are dropped with them.
+    """
+    plan = EOMLWorkflow(config).build_plan(streaming=False)
+    kept: List[Tuple[str, List[str]]] = []
+    names: set = set()
+    for node in plan.nodes:
+        if node.when is not None and not node.when({}):
+            continue
+        names.add(node.name)
+        kept.append((node.name, [dep for dep in node.after if dep in names]))
+    return kept
+
+
+def validate_remote_config(raw: Mapping[str, Any]) -> EOMLConfig:
+    """Parse and vet a submitted config for remote execution.
+
+    Remote runs need the journal: it is both the crash-consistency story
+    (requeued units replay it) and the cross-unit hand-off point (the
+    bootstrapped model and wire state live in the journal directory).
+    """
+    config = load_config(dict(raw))
+    if not config.journal_enabled:
+        raise ValueError(
+            "remote runs require journaling (journal.enabled: true): the "
+            "journal directory carries cross-unit state and makes requeued "
+            "work-units idempotent"
+        )
+    return config
+
+
+def _rehydrate(
+    workflow: EOMLWorkflow,
+    journal: Optional[WorkflowJournal],
+    unit: str,
+    config: EOMLConfig,
+    handles: Dict[str, Any],
+    state: Dict[str, Any],
+) -> None:
+    """Load the dependency state this node's body actually reads."""
+    if unit in ("model", "preprocess"):
+        state["download"] = wire.download_report_from_wire(
+            wire.load_state(config.journal_dir, "download")
+        )
+    if unit == "preprocess":
+        handles["consumed"] = int(
+            wire.load_state(config.journal_dir, "model").get("consumed", 0)
+        )
+    if unit == "inference":
+        from repro.ricc import AICCAModel
+
+        model_path = workflow._effective_model_path(journal)
+        if model_path is None:
+            raise RuntimeError(
+                "no model path: remote inference needs the journal directory "
+                "(or inference.model_path) to carry the bootstrapped model"
+            )
+        state["model"] = AICCAModel.load(model_path)
+
+
+def _result_payload(unit: str, value: Any, handles: Dict[str, Any]) -> Dict[str, Any]:
+    """The completion record POSTed back to the control plane."""
+    if unit == "download":
+        return {
+            "files": value.files, "nbytes": value.nbytes,
+            "skipped": value.skipped, "resumed": value.resumed,
+            "scenes": len(value.granule_sets),
+            "failed": len(value.failed), "incomplete": len(value.incomplete),
+        }
+    if unit == "model":
+        return {
+            "num_classes": value.num_classes,
+            "consumed": handles.get("consumed", 0),
+        }
+    if unit == "preprocess":
+        return {
+            "tiles": value.total_tiles,
+            "files": sum(1 for r in value.results if r.tile_path),
+            "quarantined": len(value.quarantined),
+        }
+    if unit == "inference":
+        worker = handles["worker"]
+        return {
+            "files": len(worker.results),
+            "tiles": sum(r.tiles for r in worker.results),
+            "quarantined": len(worker.quarantined),
+            "errors": list(worker.errors) + list(handles["crawler"].errors),
+        }
+    if unit == "shipment":
+        return {
+            "files": len(value.moved), "nbytes": value.nbytes,
+            "retries": value.retries, "mismatches": len(value.mismatches),
+        }
+    return {}
+
+
+def execute_unit(
+    raw_config: Mapping[str, Any],
+    unit: str,
+    chaos: Any = None,
+) -> Dict[str, Any]:
+    """Run one work-unit of a submitted run to completion.
+
+    Returns the result payload for the completion POST.  Raises on
+    failure — the agent reports the exception as a failed unit.  The
+    paths inside ``raw_config`` are taken literally: agents of one run
+    must share the filesystem those paths live on (or be the only
+    facility executing the stages that touch them).
+    """
+    config = validate_remote_config(raw_config)
+    if chaos is None:
+        # Same wiring as the local path: a chaos: section in the
+        # submitted config drives the stage fault surfaces remotely too.
+        from repro.chaos import build_injector
+
+        chaos = build_injector(config.chaos)
+    journal = WorkflowJournal(config.journal_dir, durable=config.journal_durable)
+    # Always resume: a fresh run directory replays an empty journal, a
+    # requeued unit replays its own half-finished history.
+    journal.start(resume=True)
+    try:
+        workflow = EOMLWorkflow(config)
+        handles: Dict[str, Any] = {}
+        state: Dict[str, Any] = {}
+        _rehydrate(workflow, journal, unit, config, handles, state)
+        plan = workflow.build_plan(
+            chaos=chaos, journal=journal, handles=handles, streaming=False
+        )
+        node = plan.node(unit)
+        if node.when is not None and not node.when(state):
+            return {"skipped": True}
+        scope = node.scope(state) if node.scope is not None else nullcontext()
+        with scope:
+            value = node.run(state)
+        if unit == "download":
+            wire.save_state(
+                config.journal_dir, "download", wire.download_report_to_wire(value)
+            )
+        result = _result_payload(unit, value, handles)
+        if unit == "model":
+            wire.save_state(config.journal_dir, "model", dict(result))
+        journal.checkpoint()
+        return result
+    finally:
+        journal.close()

@@ -139,7 +139,8 @@ class TestFaultPlanParsing:
         assert FaultPlan.from_mapping(plan.to_mapping()) == plan
 
     def test_stage_and_kind_vocabulary(self):
-        assert STAGES == ("download", "preprocess", "monitor", "inference", "shipment")
+        assert STAGES == ("download", "preprocess", "monitor", "inference",
+                          "shipment", "agent")
         assert set(FAULT_KINDS) >= {"http_transient", "torn_write", "corrupt_tile",
                                     "wan_degrade", "worker_stall"}
 

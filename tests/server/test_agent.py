@@ -1,0 +1,200 @@
+"""Site-agent behaviour: drain loops, crash faults, lost leases.
+
+The agent here runs against a real HTTP control plane but with a *stub*
+executor, so these tests pin the protocol behaviour (what the agent
+says to the server and when) without paying for real stage work.  The
+fault-model tests use the ``agent`` chaos crash surface — the same
+``os._exit`` machinery the stage crash tests use — with the abort
+indirection patched so a "dead" agent is observable in-process.
+"""
+
+import threading
+
+import pytest
+
+from tests.server.harness import FakeClock, control_plane, fresh_store
+
+import repro.chaos.surfaces as surfaces
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec
+from repro.server import SiteAgent
+
+
+class StubExecutor:
+    """Records executed units; scriptable failures."""
+
+    def __init__(self, fail_units=()):
+        self.calls = []
+        self.fail_units = set(fail_units)
+        self.lock = threading.Lock()
+
+    def __call__(self, config, unit, chaos=None):
+        with self.lock:
+            self.calls.append(unit)
+        if unit in self.fail_units:
+            raise RuntimeError(f"synthetic failure in {unit}")
+        return {"unit": unit, "ok": True}
+
+
+class FakeDeath(BaseException):
+    """Stands in for os._exit: unwinds the agent like SIGKILL would."""
+
+
+@pytest.fixture()
+def aborts_are_catchable(monkeypatch):
+    def fake_abort(code):
+        raise FakeDeath(code)
+
+    monkeypatch.setattr(surfaces, "_abort", fake_abort)
+
+
+def crash_injector(rate=1.0, times=1):
+    plan = FaultPlan(
+        seed=0, faults=(FaultSpec(stage="agent", kind="crash", rate=rate, times=times),)
+    )
+    return FaultInjector(plan)
+
+
+def test_agent_drains_a_chain_in_dependency_order():
+    store = fresh_store()
+    store.submit_run({"n": 1}, [("a", []), ("b", ["a"]), ("c", ["b"])], name="chain")
+    with control_plane(store=store) as (_server, client):
+        executor = StubExecutor()
+        agent = SiteAgent(client, name="solo", executor=executor,
+                          poll_interval=0.01, ttl=30.0)
+        stats = agent.run(idle_exit_after=2)
+    assert executor.calls == ["a", "b", "c"]
+    assert stats.completed == 3 and stats.failed == 0
+    run = store.list_runs()[0]
+    assert run["status"] == "completed"
+
+
+def test_two_agents_split_the_work_without_overlap():
+    store = fresh_store()
+    units = [(f"u{i}", []) for i in range(8)]
+    store.submit_run({"n": 1}, units, name="fanout")
+    with control_plane(store=store) as (_server, client):
+        executors = [StubExecutor(), StubExecutor()]
+        agents = [
+            SiteAgent(client, name=f"agent-{i}", executor=executors[i],
+                      poll_interval=0.01, ttl=30.0)
+            for i in range(2)
+        ]
+        threads = [
+            threading.Thread(target=agent.run, kwargs={"idle_exit_after": 3})
+            for agent in agents
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=30)
+    done = executors[0].calls + executors[1].calls
+    # Every unit executed exactly once — the lease protocol never
+    # hands one unit to both agents.
+    assert sorted(done) == sorted(name for name, _ in units)
+    assert store.list_runs()[0]["status"] == "completed"
+
+
+def test_failed_unit_is_reported_not_retried_silently():
+    store = fresh_store()
+    run = store.submit_run({"n": 1}, [("a", []), ("b", ["a"])], name="sad")
+    with control_plane(store=store) as (_server, client):
+        executor = StubExecutor(fail_units={"a"})
+        agent = SiteAgent(client, name="honest", executor=executor,
+                          poll_interval=0.01, ttl=30.0)
+        stats = agent.run(idle_exit_after=2)
+    assert stats.failed == 1 and stats.completed == 0
+    detail = store.get_run(run["id"])
+    assert detail["status"] == "failed"
+    assert "synthetic failure" in detail["units"][0]["error"]
+    # The dependent never ran.
+    assert executor.calls == ["a"]
+
+
+def test_crashed_agent_loses_lease_and_successor_requeues_exactly_once(
+    aborts_are_catchable,
+):
+    clock = FakeClock()
+    store = fresh_store(clock=clock, default_ttl=10.0)
+    run = store.submit_run({"n": 1}, [("solo", [])], name="doomed")
+    with control_plane(store=store) as (_server, client):
+        executor = StubExecutor()
+        victim = SiteAgent(client, name="victim", executor=executor,
+                           poll_interval=0.01, ttl=10.0, chaos=crash_injector())
+        with pytest.raises(FakeDeath):
+            victim.run(max_units=1)
+        # The "dead" agent executed nothing; its lease is still active.
+        assert executor.calls == []
+        assert store.stats()["leases"] == {"active": 1}
+
+        # TTL passes; any API touch sweeps and requeues — exactly once.
+        clock.advance(11.0)
+        client.runs()
+        unit = store.get_run(run["id"])["units"][0]
+        assert unit["status"] == "pending" and unit["requeues"] == 1
+
+        rescuer = SiteAgent(client, name="rescuer", executor=executor,
+                            poll_interval=0.01, ttl=10.0)
+        stats = rescuer.run(idle_exit_after=2)
+    assert stats.completed == 1
+    assert executor.calls == ["solo"]
+    assert store.get_run(run["id"])["status"] == "completed"
+
+
+def test_agent_skips_completion_when_lease_was_lost():
+    clock = FakeClock()
+    store = fresh_store(clock=clock, default_ttl=10.0)
+    run = store.submit_run({"n": 1}, [("solo", [])], name="slow")
+    with control_plane(store=store) as (_server, client):
+        release = {}
+
+        def slow_executor(config, unit, chaos=None):
+            # While this agent "computes", its lease expires and a rival
+            # completes the unit.
+            clock.advance(11.0)
+            rival = store.lease("rival", ttl=10.0)
+            store.complete(rival["lease_id"], result={"winner": "rival"})
+            release["done"] = True
+            return {"winner": "slow"}
+
+        agent = SiteAgent(client, name="slowpoke", executor=slow_executor,
+                          poll_interval=0.01, ttl=10.0,
+                          heartbeat_interval=1000.0)
+        stats = agent.run(max_units=1)
+    assert release["done"]
+    # Duplicate-complete acknowledgement: the rival's result stands.
+    assert store.get_run(run["id"])["units"][0]["result"] == {"winner": "rival"}
+    assert stats.completed + stats.failed + stats.lost_leases == 1
+
+
+def test_heartbeat_keeps_long_work_alive():
+    clock = FakeClock()
+    store = fresh_store(clock=clock, default_ttl=10.0)
+    run = store.submit_run({"n": 1}, [("long", [])], name="long")
+    with control_plane(store=store) as (_server, client):
+        beats = threading.Event()
+
+        def long_executor(config, unit, chaos=None):
+            # Simulate work outliving the original TTL, saved by beats.
+            for _ in range(4):
+                clock.advance(4.0)
+                beats.wait(0.05)
+            return {"ok": True}
+
+        agent = SiteAgent(client, name="steady", executor=long_executor,
+                          poll_interval=0.01, ttl=10.0, heartbeat_interval=0.02)
+        stats = agent.run(max_units=1)
+    assert stats.completed == 1
+    assert stats.heartbeats >= 1
+    assert store.get_run(run["id"])["units"][0]["status"] == "completed"
+
+
+def test_crash_rate_zero_is_a_no_op_surface(aborts_are_catchable):
+    store = fresh_store()
+    store.submit_run({"n": 1}, [("solo", [])], name="safe")
+    with control_plane(store=store) as (_server, client):
+        executor = StubExecutor()
+        agent = SiteAgent(client, name="lucky", executor=executor,
+                          poll_interval=0.01, ttl=30.0,
+                          chaos=crash_injector(rate=0.0))
+        stats = agent.run(idle_exit_after=2)
+    assert stats.completed == 1

@@ -1,0 +1,131 @@
+"""Fault-model e2e: agents die mid-lease with *real* work in flight.
+
+``test_agent.py`` pins the lease protocol with stub executors; here the
+victim dies inside genuine stage execution — mid-download, or inside
+the preprocess torn-write window — leaving real partial artifacts on
+disk.  The lease expires, the unit requeues exactly once, a rescuer
+re-executes it, and the run journal's replay makes the redo idempotent:
+the delivered corpus is still byte-identical to ``golden_corpus.json``.
+
+This is the distributed version of ``tests/core/test_crash_resume.py``:
+same fault surfaces, same oracle, but the recovery mechanism under test
+is lease expiry + requeue instead of a manual ``--resume``.
+"""
+
+import threading
+import time
+
+import pytest
+
+from tests.server.harness import build_raw_config, control_plane
+from tests.server.test_service_endtoend import delivered_corpus, load_golden
+
+import repro.chaos.surfaces as surfaces
+from repro.chaos import FaultInjector, FaultPlan, FaultSpec
+from repro.server import SiteAgent
+
+
+class FakeDeath(BaseException):
+    """Stands in for os._exit: unwinds the agent like SIGKILL would."""
+
+
+@pytest.fixture()
+def aborts_are_catchable(monkeypatch):
+    monkeypatch.setattr(
+        surfaces, "_abort", lambda code: (_ for _ in ()).throw(FakeDeath(code))
+    )
+
+
+def stage_crash_injector(stage):
+    plan = FaultPlan(seed=0, faults=(FaultSpec(stage=stage, kind="crash"),))
+    return FaultInjector(plan)
+
+
+# (fault stage, unit the victim dies in).  A "preprocess" crash fires in
+# the *model* unit: model bootstrap preprocesses the leading scene, so
+# the first tile write — and its crash window — happens there.  The
+# shipment crash fires mid-delivery, after real tiles already moved.
+CASES = [("download", "download"), ("preprocess", "model"), ("shipment", "shipment")]
+
+
+@pytest.mark.parametrize("stage,crashed_unit", CASES)
+def test_agent_killed_mid_stage_requeues_once_and_corpus_is_golden(
+    stage, crashed_unit, tmp_path, aborts_are_catchable
+):
+    golden = load_golden()
+    raw = build_raw_config(str(tmp_path), golden["granules"])
+
+    with control_plane() as (server, client):
+        run = client.submit(raw, name=f"crash-{stage}")
+
+        # The victim carries a crash fault at the target stage: it dies
+        # mid-execution, holding the lease, with partial artifacts (a
+        # half-fetched granule, a torn .part tile) already on disk.
+        victim = SiteAgent(client, name="victim", site="doomed",
+                           poll_interval=0.05, ttl=1.0,
+                           chaos=stage_crash_injector(stage))
+        died = threading.Event()
+
+        def victim_loop():
+            try:
+                victim.run(idle_exit_after=200)
+            except FakeDeath:
+                died.set()
+
+        victim_thread = threading.Thread(target=victim_loop)
+        victim_thread.start()
+        victim_thread.join(timeout=120)
+        assert died.is_set(), "crash fault never fired"
+
+        # Give the 1s TTL time to lapse, then let the rescuer finish the
+        # run; its lease polls sweep the expired lease and requeue.
+        time.sleep(1.2)
+        rescuer = SiteAgent(client, name="rescuer", site="alcf",
+                            poll_interval=0.05, ttl=60.0)
+        stats = rescuer.run(idle_exit_after=10)
+        detail = client.run(run.run_id)
+
+    assert detail.status == "completed", {
+        u.name: (u.status, u.error) for u in detail.units
+    }
+    by_name = {u.name: u for u in detail.units}
+    # Exactly one requeue of the crashed unit, executed by the rescuer.
+    assert by_name[crashed_unit].requeues == 1
+    assert by_name[crashed_unit].attempts == 2
+    assert by_name[crashed_unit].agent == "rescuer"
+    assert stats.failed == 0
+
+    # The oracle: identical bytes to an uninterrupted local run.
+    assert delivered_corpus(str(tmp_path)) == golden["files"]
+
+
+def test_duplicate_result_post_over_http_is_idempotent(tmp_path):
+    """A timed-out-then-retried completion POST must not double-apply.
+
+    The realistic trigger: the server's 200 is lost in the network, the
+    agent re-sends the same completion.  The second POST must be a pure
+    acknowledgement — same unit status, recorded result unchanged.
+    """
+    golden = load_golden()
+    raw = build_raw_config(str(tmp_path), golden["granules"])
+
+    with control_plane() as (server, client):
+        run = client.submit(raw, name="dup-post")
+        agent = SiteAgent(client, name="site-a", poll_interval=0.05, ttl=60.0)
+        agent.run(max_units=1)  # download: executed, completed, reported
+
+        first = client.run(run.run_id)
+        recorded = {u.name: u.result for u in first.units}["download"]
+        assert recorded is not None
+
+        lease_id = server.store.leases(run.run_id)[0]["id"]
+        # The retry even carries a (bogus) different payload — the store
+        # must keep the first, authoritative record.
+        ack = client.complete(lease_id, result={"files": -999})
+        assert ack["duplicate"] is True
+        assert ack["status"] == "completed"
+
+        second = client.run(run.run_id)
+        assert {u.name: u.result for u in second.units}["download"] == recorded
+        # And the unit was not re-opened: still exactly one attempt.
+        assert {u.name: u.attempts for u in second.units}["download"] == 1

@@ -1,0 +1,267 @@
+"""RunStore semantics: leases, expiry, requeues, restarts, idempotency.
+
+The store is the control plane's source of truth, so these tests pin
+its invariants directly (no HTTP):
+
+* dependency order is enforced — a unit leases only after its deps land;
+* an expired lease requeues its unit **exactly once** per expiry, and a
+  killed agent's work is never lost;
+* duplicate completion POSTs are acknowledged idempotently;
+* a server restart (new RunStore over the same SQLite file) reloads
+  every run, unit, and lease unchanged.
+"""
+
+import pytest
+
+from tests.server.harness import CHAIN_UNITS, FakeClock, fresh_store, submit_minimal
+
+from repro.server.store import Conflict, NotFound, RunStore
+
+
+# -- submission ---------------------------------------------------------------
+
+def test_submit_registers_units_in_order():
+    store = fresh_store()
+    run = submit_minimal(store)
+    assert run["status"] == "queued"
+    assert [u["name"] for u in run["units"]] == [name for name, _ in CHAIN_UNITS]
+    assert all(u["status"] == "pending" for u in run["units"])
+
+
+def test_submit_rejects_empty_and_malformed_graphs():
+    store = fresh_store()
+    with pytest.raises(Conflict):
+        store.submit_run({}, [])
+    with pytest.raises(Conflict):
+        store.submit_run({}, [("a", []), ("a", [])])
+    with pytest.raises(Conflict):
+        store.submit_run({}, [("a", ["ghost"])])
+
+
+def test_unknown_run_raises_not_found():
+    store = fresh_store()
+    with pytest.raises(NotFound):
+        store.get_run("run-nope")
+
+
+# -- lease ordering -----------------------------------------------------------
+
+def test_leases_respect_dependency_order():
+    store = fresh_store()
+    run = submit_minimal(store)
+    first = store.lease("a1")
+    assert first["unit"] == "download"
+    # Nothing else is ready while download is in flight.
+    assert store.lease("a2") is None
+    store.complete(first["lease_id"])
+    assert store.lease("a2")["unit"] == "model"
+    assert store.get_run(run["id"])["status"] == "running"
+
+
+def test_fifo_between_runs():
+    store = fresh_store()
+    clock = store.clock
+    early = submit_minimal(store, name="early", units=[("solo", [])])
+    clock.advance(1.0)
+    submit_minimal(store, name="late", units=[("solo", [])])
+    lease = store.lease("a1")
+    assert lease["run_id"] == early["id"]
+
+
+def test_lease_carries_the_submitted_config():
+    store = fresh_store()
+    submit_minimal(store, config={"name": "cfg", "archive": {"seed": 9}})
+    lease = store.lease("a1")
+    assert lease["config"]["archive"]["seed"] == 9
+
+
+# -- expiry and requeue -------------------------------------------------------
+
+def test_expired_lease_requeues_exactly_once():
+    clock = FakeClock()
+    store = fresh_store(clock=clock)
+    run = submit_minimal(store, units=[("solo", [])])
+    lease = store.lease("doomed", ttl=10.0)
+    assert lease is not None
+
+    clock.advance(11.0)
+    expired = store.expire_leases()
+    assert expired == [(run["id"], "solo")]
+    # Repeated sweeps must not requeue (or count) again.
+    assert store.expire_leases() == []
+
+    unit = store.get_run(run["id"])["units"][0]
+    assert unit["status"] == "pending"
+    assert unit["requeues"] == 1
+
+    # The next agent picks the unit up with a fresh lease.
+    release = store.lease("successor", ttl=10.0)
+    assert release["unit"] == "solo"
+    assert release["lease_id"] != lease["lease_id"]
+    assert release["attempt"] == 2
+
+
+def test_heartbeat_extends_and_lost_lease_conflicts():
+    clock = FakeClock()
+    store = fresh_store(clock=clock)
+    submit_minimal(store, units=[("solo", [])])
+    lease = store.lease("a1", ttl=10.0)
+
+    clock.advance(8.0)
+    beat = store.heartbeat(lease["lease_id"], ttl=10.0)
+    assert beat["expires_at"] == pytest.approx(clock.now + 10.0)
+
+    # The extension carried it past the original deadline.
+    clock.advance(8.0)
+    assert store.expire_leases() == []
+
+    clock.advance(11.0)
+    store.expire_leases()
+    with pytest.raises(Conflict):
+        store.heartbeat(lease["lease_id"])
+    with pytest.raises(NotFound):
+        store.heartbeat("lease-ghost")
+
+
+def test_requeue_budget_exhaustion_fails_the_unit():
+    clock = FakeClock()
+    store = fresh_store(clock=clock, max_requeues=2)
+    run = submit_minimal(store, units=[("solo", [])])
+    for _ in range(3):
+        assert store.lease("crashy", ttl=5.0) is not None
+        clock.advance(6.0)
+        store.expire_leases()
+    unit = store.get_run(run["id"])["units"][0]
+    assert unit["status"] == "failed"
+    assert "expired" in unit["error"]
+    assert store.get_run(run["id"])["status"] == "failed"
+    assert store.lease("next") is None
+
+
+def test_completion_after_expiry_defers_to_new_owner():
+    clock = FakeClock()
+    store = fresh_store(clock=clock)
+    run = submit_minimal(store, units=[("solo", [])])
+    stale = store.lease("slow", ttl=5.0)
+    clock.advance(6.0)
+    fresh = store.lease("fast", ttl=5.0)
+    assert fresh["unit"] == "solo"
+
+    # The presumed-dead agent wakes up and reports: too late, the unit
+    # was requeued and the new owner is authoritative.
+    with pytest.raises(Conflict):
+        store.complete(stale["lease_id"], result={"files": 1})
+
+    store.complete(fresh["lease_id"], result={"files": 2})
+    unit = store.get_run(run["id"])["units"][0]
+    assert unit["result"] == {"files": 2}
+
+
+def test_late_completion_after_new_owner_finished_is_duplicate():
+    clock = FakeClock()
+    store = fresh_store(clock=clock)
+    run = submit_minimal(store, units=[("solo", [])])
+    stale = store.lease("slow", ttl=5.0)
+    clock.advance(6.0)
+    fresh = store.lease("fast", ttl=5.0)
+    store.complete(fresh["lease_id"], result={"files": 2})
+
+    ack = store.complete(stale["lease_id"], result={"files": 1})
+    assert ack["duplicate"] is True
+    # The authoritative result is untouched.
+    assert store.get_run(run["id"])["units"][0]["result"] == {"files": 2}
+
+
+def test_duplicate_completion_same_lease_is_idempotent():
+    store = fresh_store()
+    run = submit_minimal(store, units=[("solo", [])])
+    lease = store.lease("a1")
+    first = store.complete(lease["lease_id"], result={"files": 1})
+    second = store.complete(lease["lease_id"], result={"files": 999})
+    assert first["duplicate"] is False
+    assert second["duplicate"] is True
+    assert store.get_run(run["id"])["units"][0]["result"] == {"files": 1}
+
+
+# -- operator actions ---------------------------------------------------------
+
+def test_pause_blocks_leasing_resume_restores():
+    store = fresh_store()
+    run = submit_minimal(store, units=[("solo", [])])
+    store.pause_run(run["id"])
+    assert store.get_run(run["id"])["status"] == "paused"
+    assert store.lease("a1") is None
+    store.resume_run(run["id"])
+    assert store.lease("a1")["unit"] == "solo"
+
+
+def test_failed_unit_blocks_dependents_until_retry():
+    store = fresh_store()
+    run = submit_minimal(store, units=[("a", []), ("b", ["a"])])
+    lease = store.lease("a1")
+    store.complete(lease["lease_id"], status="failed", error="boom")
+    assert store.get_run(run["id"])["status"] == "failed"
+    assert store.lease("a1") is None
+
+    with pytest.raises(NotFound):
+        store.retry_unit(run["id"], "ghost")
+    store.retry_unit(run["id"], "a")
+    assert store.get_run(run["id"])["status"] == "queued"
+    redo = store.lease("a1")
+    assert redo["unit"] == "a"
+    store.complete(redo["lease_id"])
+    assert store.lease("a1")["unit"] == "b"
+
+
+def test_retry_requires_terminal_unit():
+    store = fresh_store()
+    run = submit_minimal(store, units=[("solo", [])])
+    with pytest.raises(Conflict):
+        store.retry_unit(run["id"], "solo")  # still pending
+    store.lease("a1")
+    with pytest.raises(Conflict):
+        store.retry_unit(run["id"], "solo")  # leased
+
+
+# -- durability ---------------------------------------------------------------
+
+def test_restart_reloads_everything(tmp_path):
+    db = str(tmp_path / "cp.db")
+    clock = FakeClock()
+    store = RunStore(db, clock=clock)
+    run = submit_minimal(store, units=[("a", []), ("b", ["a"])])
+    lease = store.lease("a1", ttl=30.0)
+    store.complete(lease["lease_id"], result={"files": 7})
+    mid = store.lease("a1", ttl=30.0)
+    assert mid["unit"] == "b"
+    store.close()
+
+    # The server process dies and comes back over the same file: every
+    # run, unit, lease, and event is still there.
+    reborn = RunStore(db, clock=clock)
+    detail = reborn.get_run(run["id"])
+    assert detail["status"] == "running"
+    assert detail["units"][0] == {
+        **detail["units"][0], "status": "completed", "result": {"files": 7},
+    }
+    assert detail["units"][1]["status"] == "leased"
+    # The in-flight lease survived and still completes.
+    ack = reborn.complete(mid["lease_id"], result={"files": 3})
+    assert ack["duplicate"] is False
+    assert reborn.get_run(run["id"])["status"] == "completed"
+    kinds = [e["kind"] for e in reborn.events(run["id"])]
+    assert kinds[0] == "submitted"
+    assert "unit_completed" in kinds
+    reborn.close()
+
+
+def test_stats_counts_by_status():
+    store = fresh_store()
+    submit_minimal(store, units=[("a", []), ("b", ["a"])])
+    lease = store.lease("a1")
+    stats = store.stats()
+    assert stats["runs"] == {"running": 1}
+    assert stats["units"] == {"leased": 1, "pending": 1}
+    assert stats["leases"] == {"active": 1}
+    store.complete(lease["lease_id"])
+    assert store.stats()["units"] == {"completed": 1, "pending": 1}

@@ -1,0 +1,110 @@
+"""Property-based store invariants under arbitrary protocol interleavings.
+
+Hypothesis drives the lease protocol as an adversarial scheduler:
+random sequences of lease / heartbeat / complete / clock-advance /
+sweep, from multiple simulated agents, against a small random unit
+graph.  Whatever the interleaving:
+
+* a unit is never assigned to two live leases at once (the
+  double-assignment that would make two facilities ship the same file);
+* attempts/requeues only grow, and requeues never exceed the budget;
+* once every unit is driven to a terminal state the run converges to
+  ``completed`` or ``failed`` and no further work is leasable.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from tests.server.harness import FakeClock, fresh_store
+
+
+# A step is (op, payload) drawn independently of store state; the
+# executor below interprets it against whatever is currently live.
+STEPS = st.lists(
+    st.one_of(
+        st.tuples(st.just("lease"), st.sampled_from(["a1", "a2", "a3"])),
+        st.tuples(st.just("heartbeat"), st.integers(min_value=0, max_value=5)),
+        st.tuples(st.just("complete"), st.integers(min_value=0, max_value=5)),
+        st.tuples(st.just("fail"), st.integers(min_value=0, max_value=5)),
+        st.tuples(st.just("advance"), st.floats(min_value=0.5, max_value=12.0)),
+        st.tuples(st.just("sweep"), st.just(None)),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+# Chains of 1-4 units: unit i depends on unit i-1 (the real plan's shape).
+GRAPHS = st.integers(min_value=1, max_value=4).map(
+    lambda n: [(f"u{i}", [f"u{i-1}"] if i else []) for i in range(n)]
+)
+
+
+@settings(max_examples=60, deadline=None)
+@given(units=GRAPHS, steps=STEPS)
+def test_interleavings_never_double_assign_and_converge(units, steps):
+    clock = FakeClock()
+    store = fresh_store(clock=clock, default_ttl=10.0, max_requeues=3)
+    run = store.submit_run({"name": "prop"}, units, name="prop")
+    run_id = run["id"]
+    granted = []  # every lease ever granted, in grant order
+
+    def check_invariants():
+        detail = store.get_run(run_id)
+        by_unit = {}
+        for lease in store.leases(run_id):
+            if lease["status"] == "active":
+                by_unit.setdefault(lease["unit"], []).append(lease["id"])
+        # Never two live leases on one unit.
+        assert all(len(ids) == 1 for ids in by_unit.values()), by_unit
+        for unit in detail["units"]:
+            assert unit["requeues"] <= 3 + 1
+            assert unit["attempts"] >= unit["requeues"]
+            if unit["status"] == "leased":
+                assert unit["agent"] is not None
+
+    for op, payload in steps:
+        if op == "lease":
+            lease = store.lease(payload, ttl=10.0)
+            if lease is not None:
+                granted.append(lease)
+        elif op == "advance":
+            clock.advance(payload)
+        elif op == "sweep":
+            store.expire_leases()
+        elif granted:
+            lease = granted[payload % len(granted)]
+            try:
+                if op == "heartbeat":
+                    store.heartbeat(lease["lease_id"], ttl=10.0)
+                elif op == "complete":
+                    store.complete(lease["lease_id"], result={"ok": 1})
+                else:
+                    store.complete(lease["lease_id"], status="failed", error="x")
+            except Exception:
+                # Lost/expired/finished leases conflict by design; the
+                # invariant is that the store stays consistent, not that
+                # every call succeeds.
+                pass
+        check_invariants()
+
+    # Drive whatever is left to the end: one diligent agent, no crashes.
+    for _ in range(8 * len(units) + 8):
+        detail = store.get_run(run_id)
+        if detail["status"] in ("completed", "failed"):
+            break
+        lease = store.lease("finisher", ttl=10.0)
+        if lease is None:
+            # Work in flight from the random phase: expire it and retry.
+            clock.advance(11.0)
+            store.expire_leases()
+            continue
+        store.complete(lease["lease_id"], result={"ok": 1})
+        check_invariants()
+
+    final = store.get_run(run_id)
+    assert final["status"] in ("completed", "failed")
+    # Terminal runs lease nothing.
+    assert store.lease("afterparty") is None
+    if final["status"] == "completed":
+        assert all(u["status"] == "completed" for u in final["units"])
+    else:
+        assert any(u["status"] == "failed" for u in final["units"])

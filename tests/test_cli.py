@@ -98,3 +98,109 @@ class TestCommands:
         )
         assert main(["run", str(config), "--no-provenance"]) == 0
         assert "provenance:" not in capsys.readouterr().out
+
+
+def write_remote_config(tmp_path):
+    """A minimal journaled config file for submit/agent commands."""
+    from tests.core.crash_driver import build_raw_config
+
+    from repro.util.yamlish import dumps
+
+    config = tmp_path / "remote.yaml"
+    config.write_text(dumps(build_raw_config(str(tmp_path), 1)))
+    return config
+
+
+# A routable address nothing listens on: connection refused, fast.
+DEAD_SERVER = "http://127.0.0.1:9"
+
+
+@pytest.fixture()
+def plane(tmp_path):
+    """A live control plane; yields (server, base URL, config path)."""
+    from tests.server.harness import control_plane
+
+    with control_plane() as (server, _client):
+        yield server, server.url, write_remote_config(tmp_path)
+
+
+class TestControlPlaneCommands:
+    def test_submit_and_status_round_trip(self, plane, capsys):
+        _server, url, config = plane
+        assert main(["submit", str(config), "--server", url]) == 0
+        out = capsys.readouterr().out
+        assert "submitted run-" in out
+        assert "'download'" in out and "'shipment'" in out
+        run_id = out.split()[1]
+
+        assert main(["status", "--server", url]) == 0
+        assert run_id in capsys.readouterr().out
+
+        assert main(["status", run_id, "--server", url, "--events"]) == 0
+        detail = capsys.readouterr().out
+        assert "download" in detail and "pending" in detail
+        assert "submitted" in detail  # the event log
+
+    def test_submit_server_down_exits_2_with_message(self, tmp_path, capsys):
+        config = write_remote_config(tmp_path)
+        assert main(["submit", str(config), "--server", DEAD_SERVER]) == 2
+        err = capsys.readouterr().err
+        assert "unreachable" in err
+
+    def test_submit_rejected_config_exits_1(self, plane, tmp_path, capsys):
+        from tests.core.crash_driver import build_raw_config
+
+        from repro.util.yamlish import dumps
+
+        _server, url, _config = plane
+        raw = build_raw_config(str(tmp_path), 1)
+        raw["journal"] = {"enabled": False}  # remote runs require the journal
+        bad = tmp_path / "bad.yaml"
+        bad.write_text(dumps(raw))
+        assert main(["submit", str(bad), "--server", url]) == 1
+        assert "journal" in capsys.readouterr().err
+
+    def test_submit_non_mapping_yaml_exits_2(self, plane, tmp_path, capsys):
+        _server, url, _config = plane
+        bad = tmp_path / "list.yaml"
+        bad.write_text("- just\n- a\n- list\n")
+        assert main(["submit", str(bad), "--server", url]) == 2
+        assert "mapping" in capsys.readouterr().err
+
+    def test_status_unknown_run_exits_1(self, plane, capsys):
+        _server, url, _config = plane
+        assert main(["status", "run-ghost", "--server", url]) == 1
+        assert "run-ghost" in capsys.readouterr().err
+
+    def test_status_server_down_exits_2(self, capsys):
+        assert main(["status", "--server", DEAD_SERVER]) == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_agent_drains_submitted_run(self, plane, capsys):
+        _server, url, config = plane
+        assert main(["submit", str(config), "--server", url]) == 0
+        capsys.readouterr()
+        assert main([
+            "agent", "--server", url, "--name", "cli-agent", "--site", "alcf",
+            "--poll-interval", "0.01", "--drain",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "cli-agent" in out and "5 completed" in out
+
+        assert main(["status", "--server", url]) == 0
+        assert "completed" in capsys.readouterr().out
+
+    def test_agent_server_down_exits_2(self, capsys):
+        assert main([
+            "agent", "--server", DEAD_SERVER, "--poll-interval", "0.01", "--drain",
+        ]) == 2
+        assert "unreachable" in capsys.readouterr().err
+
+    def test_failed_run_status_exits_1(self, plane, capsys):
+        server, url, config = plane
+        assert main(["submit", str(config), "--server", url]) == 0
+        run_id = capsys.readouterr().out.split()[1]
+        lease = server.store.lease("saboteur")
+        server.store.complete(lease["lease_id"], status="failed", error="boom")
+        assert main(["status", run_id, "--server", url]) == 1
+        assert "boom" in capsys.readouterr().out

@@ -68,6 +68,47 @@ class TestDesignConsistency:
             assert (ROOT / "benchmarks" / match.group(1)).is_file(), match.group(0)
 
 
+class TestControlPlaneDocs:
+    """The control-plane docs track the real service contract."""
+
+    def architecture(self):
+        return (ROOT / "docs" / "architecture.md").read_text()
+
+    def test_architecture_has_the_section(self):
+        text = self.architecture()
+        assert "## Control-plane service" in text
+        # The operational pieces the section promises.
+        for needle in ("lease", "heartbeat", "requeue", "repro serve",
+                       "repro submit", "repro agent", "golden_corpus.json"):
+            assert needle in text, f"control-plane docs missing {needle!r}"
+
+    def test_every_api_route_is_documented(self):
+        from repro.server.api import ROUTES
+
+        text = self.architecture()
+        for _method, pattern, _handler in ROUTES:
+            route = (
+                pattern.strip("^$")
+                .replace("(?P<run>[^/]+)", "{run}")
+                .replace("(?P<unit>[^/]+)", "{unit}")
+                .replace("(?P<lease>[^/]+)", "{lease}")
+            )
+            assert route in text, f"route {route} missing from architecture.md"
+
+    def test_readme_points_at_the_server_package(self):
+        readme = (ROOT / "README.md").read_text()
+        assert "`repro.server`" in readme
+        assert "Control-plane service" in readme
+
+    def test_cli_subcommands_exist(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        text = parser.format_help()
+        for command in ("serve", "submit", "status", "agent"):
+            assert command in text
+
+
 class TestExamples:
     def test_every_example_has_docstring_and_main(self):
         for path in sorted((ROOT / "examples").glob("*.py")):

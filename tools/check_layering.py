@@ -23,6 +23,10 @@ import sys
 # (package under scrutiny, layers it must not import)
 RULES = [
     ("src/repro/runtime", ("repro.core",)),
+    # The local workflow must run with zero control-plane dependency:
+    # repro.server drives core remotely, never the other way around.
+    ("src/repro/core", ("repro.server",)),
+    ("src/repro/runtime", ("repro.server",)),
 ]
 
 
@@ -68,7 +72,7 @@ def main(root: str = ".") -> int:
         for failure in failures:
             print(failure, file=sys.stderr)
         return 1
-    print("layering ok: repro.runtime imports nothing from repro.core")
+    print("layering ok: runtime/core import nothing from core/server respectively")
     return 0
 
 
