@@ -57,6 +57,13 @@ def build_parser() -> argparse.ArgumentParser:
              "enabled/seed/faults mapping); overrides the config's chaos section",
     )
     run.add_argument(
+        "--workers",
+        type=int,
+        metavar="N",
+        help="run download/preprocess/inference across N worker processes "
+             "(overrides runtime.workers; 1 = single-process)",
+    )
+    run.add_argument(
         "--chaos-seed",
         type=int,
         metavar="N",
@@ -132,6 +139,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                   file=sys.stderr)
             return 2
         config = dataclasses.replace(config, chaos=config.chaos.with_seed(args.chaos_seed))
+    if args.workers is not None:
+        if args.workers < 1:
+            print("--workers must be at least 1", file=sys.stderr)
+            return 2
+        config = dataclasses.replace(config, runtime_workers=args.workers)
     print(f"running workflow {config.name!r} "
           f"({config.start_date} .. {config.end_date}, products {config.products})")
     if config.chaos is not None and config.chaos.active:
@@ -140,6 +152,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{list(config.chaos.stages())}")
     if args.resume:
         print(f"resume:     replaying journal at {config.journal_dir}")
+    if config.runtime_workers > 1 or config.elastic.enabled:
+        policy = config.elastic
+        span = (f"{policy.min_workers}..{policy.max_workers} (elastic)"
+                if policy.enabled else str(config.runtime_workers))
+        print(f"scale-out:  {span} worker process(es)")
     report = EOMLWorkflow(config).run(
         provenance=not args.no_provenance, resume=args.resume
     )
@@ -163,6 +180,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         print(f"journal:    {report.resumed_items} resumed, "
               f"{report.replayed_items} replayed, "
               f"{report.manifest_mismatches} manifest mismatch(es)")
+    if report.scaleout.get("enabled"):
+        print(f"scale-out:  {report.scaleout['units_executed']} units over "
+              f"{report.scaleout['workers_launched']} worker(s), "
+              f"{report.scaleout['requeues']} requeue(s), "
+              f"+{report.scaleout['scale_out_events']}/"
+              f"-{report.scaleout['scale_in_events']} scale events")
     if report.errors:
         print(f"errors: {report.errors}", file=sys.stderr)
         return 1

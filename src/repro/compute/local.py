@@ -23,8 +23,10 @@ class LocalComputeEndpoint:
     """
 
     def __init__(self, name: str, max_workers: int, kind: str = "thread"):
-        if max_workers < 1:
-            raise ValueError("endpoint needs at least one worker")
+        if not isinstance(max_workers, int) or max_workers < 1:
+            raise ValueError(
+                f"endpoint {name!r} needs max_workers >= 1, got {max_workers!r}"
+            )
         if kind not in ("thread", "process"):
             raise ValueError(f"kind must be 'thread' or 'process', got {kind!r}")
         self.name = name
@@ -37,6 +39,7 @@ class LocalComputeEndpoint:
         else:
             self._pool = cf.ProcessPoolExecutor(max_workers=max_workers)
         self.tasks_submitted = 0
+        self._closed = False
 
     def submit(self, fn: Callable, *args: Any, **kwargs: Any) -> cf.Future:
         self.tasks_submitted += 1
@@ -73,6 +76,11 @@ class LocalComputeEndpoint:
         return results()
 
     def shutdown(self, wait: bool = True) -> None:
+        """Idempotent: safe to call again (e.g. explicit shutdown inside
+        a ``with`` block, or both an error path and a finally)."""
+        if self._closed:
+            return
+        self._closed = True
         self._pool.shutdown(wait=wait)
 
     def __enter__(self) -> "LocalComputeEndpoint":

@@ -17,6 +17,7 @@ from repro.chaos.plan import FaultPlan
 from repro.modis.constants import OCEAN_CLOUD_THRESHOLD, resolve_product
 from repro.net.retry import BackoffPolicy
 from repro.runtime.channel import DEFAULT_CAPACITY, StreamConfig
+from repro.runtime.elastic import ElasticPolicy
 from repro.util.config import (
     ConfigError,
     Field,
@@ -153,6 +154,8 @@ _RUNTIME = Schema(
     "runtime",
     [
         Field("stream", dict, required=False, default={}),
+        Field("workers", positive_int, required=False, default=1),
+        Field("elastic", dict, required=False, default={}),
     ],
 )
 
@@ -162,6 +165,17 @@ _STREAM = Schema(
         Field("enabled", boolean, required=False, default=False),
         Field("capacity", positive_int, required=False, default=DEFAULT_CAPACITY),
         Field("edges", dict, required=False, default={}),
+    ],
+)
+
+_ELASTIC = Schema(
+    "runtime.elastic",
+    [
+        Field("enabled", boolean, required=False, default=False),
+        Field("min_workers", positive_int, required=False, default=1),
+        Field("max_workers", positive_int, required=False, default=4),
+        Field("tasks_per_worker_target", _positive_number, required=False, default=2.0),
+        Field("idle_retire_seconds", _positive_number, required=False, default=0.5),
     ],
 )
 
@@ -235,6 +249,12 @@ class EOMLConfig:
     # Streaming dataflow between plan stages (runtime.stream): off by
     # default, so the plan degrades to the classic barrier pipeline.
     stream: StreamConfig = StreamConfig()
+    # Horizontal scale-out (runtime.workers / runtime.elastic): number of
+    # worker processes sharing the stage work; 1 keeps everything in the
+    # parent process.  An enabled elastic policy overrides the fixed
+    # count with queue-depth-driven scale-out/in.
+    runtime_workers: int = 1
+    elastic: ElasticPolicy = ElasticPolicy()
     chaos: Optional[FaultPlan] = None
     raw: Dict[str, Any] = field(default_factory=dict, compare=False)
 
@@ -262,6 +282,11 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
         stream = StreamConfig.from_mapping(stream_raw)
     except ValueError as exc:
         raise ConfigError("runtime.stream", str(exc)) from exc
+    elastic_raw = _ELASTIC.validate(runtime["elastic"] or {}, "runtime.elastic")
+    try:
+        elastic = ElasticPolicy.from_mapping(elastic_raw)
+    except ValueError as exc:
+        raise ConfigError("runtime.elastic", str(exc)) from exc
 
     end_date = archive["end_date"] or archive["start_date"]
     if end_date < archive["start_date"]:
@@ -322,6 +347,8 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
         journal_dir=journal_dir,
         journal_durable=journal["durable"],
         stream=stream,
+        runtime_workers=runtime["workers"],
+        elastic=elastic,
         shipment_backoff=BackoffPolicy(
             base=shipment["backoff_base"],
             max_delay=1.0,

@@ -44,6 +44,7 @@ from repro.runtime import (
     WorkUnit,
     build_executor,
 )
+from repro.runtime.proc import ProcWorkerPool, WorkEnvelope
 
 __all__ = ["GranuleSet", "DownloadReport", "DownloadStage"]
 
@@ -225,6 +226,7 @@ class DownloadStage:
         workers: Optional[int] = None,
         on_planned: Optional[Callable[[List[str]], None]] = None,
         on_scene: Optional[Callable[[str, Optional[GranuleSet]], None]] = None,
+        pool: Optional["ProcWorkerPool"] = None,
     ) -> DownloadReport:
         """Execute all downloads; returns the manifest grouped by granule.
 
@@ -294,10 +296,23 @@ class DownloadStage:
                 if on_scene is not None:
                     on_scene(scene_key, granule_set)
 
-        with LocalComputeEndpoint("download", workers or self.config.workers.download) as pool:
-            futures = pool.map(self._fetch_one, refs)
+        if pool is not None:
+            # Scale-out path: each granule is one envelope, sharded by
+            # filename across the process pool.  settle() is
+            # order-independent, so completion order does not matter.
+            futures = [
+                pool.submit(WorkEnvelope("download", ref.filename, ref))
+                for ref in refs
+            ]
             for result in pool.gather(futures):
                 settle(*result)
+        else:
+            with LocalComputeEndpoint(
+                "download", workers or self.config.workers.download
+            ) as endpoint:
+                futures = endpoint.map(self._fetch_one, refs)
+                for result in endpoint.gather(futures):
+                    settle(*result)
         for scene_key in sorted(by_scene):
             paths = by_scene[scene_key]
             if not (set(paths) < planned.get(scene_key, set())):

@@ -24,7 +24,7 @@ import threading
 import time
 import warnings
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -37,6 +37,7 @@ from repro.journal import WorkflowJournal
 from repro.netcdf import Dataset, from_bytes as nc_from_bytes, to_bytes as nc_to_bytes
 from repro.netcdf.writer import canonical_layout, splice_bytes
 from repro.ricc import AICCAModel
+from repro.runtime.proc import ProcWorkerPool, WorkEnvelope, WorkerCrashed
 from repro.runtime import (
     QUARANTINED,
     RESUMED,
@@ -152,12 +153,20 @@ class InferenceWorker:
         metrics: Optional[MetricsRegistry] = None,
         journal: Optional[WorkflowJournal] = None,
         on_result: Optional[Callable[[InferenceResult], None]] = None,
+        pool: Optional[ProcWorkerPool] = None,
+        model_ref: Optional[Tuple[str, Any]] = None,
     ):
         self.model = model
         self._on_result = on_result
         self.config = config
         self.chaos = chaos
         self.journal = journal
+        # Scale-out path: when a pool is given, submit() ships each tile
+        # file as an envelope instead of enqueueing for the local
+        # threads; model_ref tells workers how to obtain the model.
+        self.pool = pool
+        self.model_ref = model_ref if model_ref is not None else ("object", model)
+        self._fatal: List[str] = []
         self._durable = bool(getattr(config, "journal_durable", True))
         self.workers = workers or config.workers.inference
         self.batch_files = max(1, batch_files or getattr(config, "inference_batch_files", 1))
@@ -204,9 +213,46 @@ class InferenceWorker:
     def submit(self, path: str) -> None:
         with self._done:
             self._submitted += 1
+        if self.pool is not None:
+            future = self.pool.submit(
+                WorkEnvelope("inference", os.path.basename(path), (path, self.model_ref))
+            )
+            future.add_done_callback(
+                lambda f, path=path: self._settle_remote(path, f)
+            )
+            return
         self.queue.put(path)
 
+    def _settle_remote(self, path: str, future) -> None:
+        """Fold one pool future back into the local result/error books.
+
+        Worker outcomes arrive as tagged tuples (the quarantine move
+        already happened worker-side).  A :class:`WorkerCrashed` is an
+        infrastructure failure, not a bad file: it is recorded so
+        drain() settles, and drain() then raises.
+        """
+        try:
+            tag, value = future.result()
+        except WorkerCrashed as exc:
+            with self._done:
+                self._fatal.append(f"{path}: {exc}")
+            self._record_error(path, str(exc))
+            return
+        except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+            self._record_error(path, str(exc))
+            return
+        if tag == "result":
+            self._record_result(value)
+        elif tag == "quarantined":
+            self._record_error(path, value)
+            with self._done:
+                self.quarantined.append(QuarantineRecord(key=path, error=value))
+        else:
+            self._record_error(path, value)
+
     def start(self) -> None:
+        if self.pool is not None:
+            return  # pool mode: no local threads to start
         if self._threads:
             raise RuntimeError("inference workers already started")
         for index in range(self.workers):
@@ -428,6 +474,10 @@ class InferenceWorker:
                     break
                 self._done.wait(remaining)
             if settled():
+                if self._fatal:
+                    raise RuntimeError(
+                        "inference worker process lost: " + "; ".join(self._fatal)
+                    )
                 return
         raise TimeoutError("inference queue did not drain in time")
 

@@ -23,7 +23,7 @@ import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Iterable, List, Optional
+from typing import Deque, Iterable, List, Optional, Tuple
 
 from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import chaos_atomic_write
@@ -43,6 +43,7 @@ from repro.runtime import (
     WorkUnit,
     build_executor,
 )
+from repro.runtime.proc import ProcWorkerPool, WorkEnvelope, WorkerCrashed
 
 __all__ = [
     "PreprocessResult",
@@ -207,10 +208,12 @@ class PreprocessStage:
         dfk: Optional[DataFlowKernel] = None,
         chaos: Optional[FaultInjector] = None,
         journal: Optional[WorkflowJournal] = None,
+        pool: Optional[ProcWorkerPool] = None,
     ):
         self.config = config
         self.chaos = chaos
         self.journal = journal
+        self.pool = pool
         self._dfk = dfk
         self._owns_dfk = dfk is None
         self._executor = build_executor(journal=journal, chaos=chaos)
@@ -230,6 +233,17 @@ class PreprocessStage:
         """
         os.makedirs(self.config.preprocessed, exist_ok=True)
         started = time.monotonic()
+        if self.pool is not None:
+            results, quarantined = self._run_pooled(granule_sets)
+        else:
+            results, quarantined = self._run_dfk(granule_sets)
+        return PreprocessReport(
+            results=results, seconds=time.monotonic() - started, quarantined=quarantined
+        )
+
+    def _run_dfk(
+        self, granule_sets: Iterable[GranuleSet]
+    ) -> Tuple[List[PreprocessResult], List[QuarantineRecord]]:
         dfk = self._dfk or DataFlowKernel(
             {
                 "preprocess": LocalComputeEndpoint(
@@ -274,6 +288,43 @@ class PreprocessStage:
         finally:
             if self._owns_dfk:
                 dfk.shutdown()
-        return PreprocessReport(
-            results=results, seconds=time.monotonic() - started, quarantined=quarantined
-        )
+        return results, quarantined
+
+    def _run_pooled(
+        self, granule_sets: Iterable[GranuleSet]
+    ) -> Tuple[List[PreprocessResult], List[QuarantineRecord]]:
+        """Scale-out path: one envelope per scene, sharded by scene key.
+
+        Quarantine-and-continue holds across the process boundary — a
+        task failure comes back as :class:`WorkerTaskError` carrying the
+        worker-side message, so the quarantine record matches the
+        in-process path byte for byte.  A :class:`WorkerCrashed` (the
+        worker died and requeues are exhausted) is *not* a bad granule
+        and propagates, like any infrastructure failure.
+        """
+        results: List[PreprocessResult] = []
+        quarantined: List[QuarantineRecord] = []
+        pending: Deque = deque()
+
+        def settle(block: bool) -> None:
+            while pending and (block or pending[0][1].done()):
+                granules, future = pending.popleft()
+                try:
+                    results.append(future.result())
+                except WorkerCrashed:
+                    raise
+                except Exception as exc:  # noqa: BLE001 - recorded, not fatal
+                    quarantined.append(QuarantineRecord(key=granules.key, error=str(exc)))
+
+        for granules in granule_sets:
+            pending.append(
+                (
+                    granules,
+                    self.pool.submit(
+                        WorkEnvelope("preprocess", granules.key, granules)
+                    ),
+                )
+            )
+            settle(block=False)
+        settle(block=True)
+        return results, quarantined

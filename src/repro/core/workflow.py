@@ -55,6 +55,7 @@ from repro.runtime import (
     StreamingPlanRunner,
     build_executor,
 )
+from repro.runtime.proc import PoolStats, ProcWorkerPool
 from repro.telemetry import MetricsRegistry
 
 __all__ = ["WorkflowReport", "EOMLWorkflow"]
@@ -87,6 +88,11 @@ class WorkflowReport:
     # actually ran concurrently (the latency pipelining hides).
     stream: Optional[Dict[str, object]] = None
     stage_overlap_seconds: Dict[str, float] = field(default_factory=dict)
+    # Horizontal scale-out accounting: pool-level counters plus one
+    # entry per worker process.  The keys are always present — all
+    # zeros with an empty per_worker list in single-process mode — so
+    # dashboards and regression gates can rely on them.
+    scaleout: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_tiles(self) -> int:
@@ -206,6 +212,7 @@ class EOMLWorkflow:
         journal: Optional[WorkflowJournal] = None,
         handles: Optional[Dict[str, Any]] = None,
         streaming: bool = False,
+        pool: Optional[ProcWorkerPool] = None,
     ) -> PipelinePlan:
         """The pipeline as data: nodes are stages, edges are policies.
 
@@ -247,7 +254,7 @@ class EOMLWorkflow:
             if prov
             else None
         )
-        preprocess_stage = PreprocessStage(config, chaos=chaos, journal=journal)
+        preprocess_stage = PreprocessStage(config, chaos=chaos, journal=journal, pool=pool)
 
         def record_download_prov(download: DownloadReport) -> None:
             if not prov:
@@ -267,7 +274,7 @@ class EOMLWorkflow:
             stage = DownloadStage(
                 config, archive=self.archive, chaos=chaos, journal=journal
             )
-            download = stage.run()
+            download = stage.run(pool=pool)
             record_download_prov(download)
             return download
 
@@ -325,9 +332,19 @@ class EOMLWorkflow:
                     # inference queue is still draining.
                     def on_result(result: InferenceResult) -> None:
                         ship_writer.put(os.path.basename(result.out_path))
+            model_ref = None
+            if pool is not None:
+                # Workers load the persisted model file when one exists
+                # (one load per worker, cached); otherwise the model
+                # object itself rides the first envelope.
+                model_path = self._effective_model_path(journal)
+                if model_path and os.path.exists(model_path):
+                    model_ref = ("path", model_path)
+                else:
+                    model_ref = ("object", model)
             worker = InferenceWorker(
                 model, config, chaos=chaos, metrics=metrics, journal=journal,
-                on_result=on_result,
+                on_result=on_result, pool=pool, model_ref=model_ref,
             )
             crawler = DirectoryCrawler(
                 config.preprocessed,
@@ -378,6 +395,7 @@ class EOMLWorkflow:
             download = stage.run(
                 on_planned=lambda keys: writer.put(("planned", list(keys))),
                 on_scene=lambda key, gs: writer.put(("scene", key, gs)),
+                pool=pool,
             )
             record_download_prov(download)
             return download
@@ -593,10 +611,23 @@ class EOMLWorkflow:
             if journal is not None and name in ("download", "inference", "shipment"):
                 journal.checkpoint()
 
+        # Horizontal scale-out: a process pool shared by the download,
+        # preprocess, and inference nodes.  Created after the journal is
+        # open (workers append to the same journal file; O_APPEND keeps
+        # concurrent single-line appends safe) and only when configured —
+        # the default is the exact single-process path.
+        pool: Optional[ProcWorkerPool] = None
+        pool_stats: Optional[PoolStats] = None
+        if config.runtime_workers > 1 or config.elastic.enabled:
+            from repro.core.scaleout import build_pool
+
+            pool = build_pool(config, archive=self.archive)
+            pool.start()
+
         handles: Dict[str, Any] = {}
         plan = self.build_plan(
             metrics=metrics, prov=prov, chaos=chaos, journal=journal,
-            handles=handles, streaming=use_stream,
+            handles=handles, streaming=use_stream, pool=pool,
         )
         if use_stream:
             runner: PlanRunner = StreamingPlanRunner(
@@ -607,7 +638,15 @@ class EOMLWorkflow:
             runner = PlanRunner(
                 on_begin=timeline.begin, on_end=on_end, on_workers=timeline.workers
             )
-        state = runner.run(plan)
+        try:
+            state = runner.run(plan)
+        except BaseException:
+            if pool is not None:
+                pool.terminate()
+            raise
+        if pool is not None:
+            pool.close()
+            pool_stats = pool.stats()
 
         download: DownloadReport = state["download"]
         preprocess: PreprocessReport = state["preprocess"]
@@ -694,12 +733,62 @@ class EOMLWorkflow:
         # Checkpoint/resume accounting (always present, zeros on fresh
         # clean runs, so dashboards can rely on the keys).
         journal_counters = (
-            journal.counters() if journal is not None
+            dict(journal.counters()) if journal is not None
             else {"resumed_items": 0, "replayed_items": 0, "manifest_mismatches": 0}
         )
+        if pool_stats is not None:
+            # Worker processes journal their own units; their counter
+            # deltas arrive with each envelope result and fold into the
+            # same rollup the single-process path reports.
+            for key in ("resumed_items", "replayed_items", "manifest_mismatches"):
+                journal_counters[key] += int(pool_stats.counters.get(key, 0))
+            metrics.counter("breaker_open").inc(
+                int(pool_stats.counters.get("breaker_trips", 0))
+            )
         metrics.counter("resumed_items").inc(journal_counters["resumed_items"])
         metrics.counter("replayed_items").inc(journal_counters["replayed_items"])
         metrics.counter("manifest_mismatches").inc(journal_counters["manifest_mismatches"])
+
+        # Scale-out accounting (satellite of the pool above): pool-level
+        # counters plus a per-worker breakdown, zeros when the run never
+        # left the parent process.
+        scaleout: Dict[str, object] = {
+            "enabled": pool_stats is not None,
+            "units_executed": 0,
+            "busy_seconds": 0.0,
+            "requeues": 0,
+            "respawns": 0,
+            "scale_out_events": 0,
+            "scale_in_events": 0,
+            "workers_launched": 0,
+            "per_worker": [],
+        }
+        if pool_stats is not None:
+            scaleout.update(
+                units_executed=pool_stats.units_executed,
+                busy_seconds=pool_stats.busy_seconds,
+                requeues=pool_stats.requeues,
+                respawns=pool_stats.respawns,
+                scale_out_events=pool_stats.scale_out_events,
+                scale_in_events=pool_stats.scale_in_events,
+                workers_launched=pool_stats.workers_launched,
+                per_worker=[
+                    {
+                        "worker_id": ws.worker_id,
+                        "pid": ws.pid,
+                        "units": ws.units,
+                        "busy_seconds": ws.busy_seconds,
+                    }
+                    for ws in pool_stats.workers
+                ],
+            )
+        metrics.counter("pool.units_executed").inc(int(scaleout["units_executed"]))
+        metrics.counter("pool.busy_seconds").inc(float(scaleout["busy_seconds"]))
+        metrics.counter("pool.requeues").inc(int(scaleout["requeues"]))
+        metrics.counter("pool.respawns").inc(int(scaleout["respawns"]))
+        metrics.counter("pool.scale_out_events").inc(int(scaleout["scale_out_events"]))
+        metrics.counter("pool.scale_in_events").inc(int(scaleout["scale_in_events"]))
+        metrics.counter("pool.workers_launched").inc(int(scaleout["workers_launched"]))
 
         # Streaming dataflow accounting: per-edge queue depth / stall /
         # wait rollups plus the measured stage-overlap seconds that the
@@ -754,4 +843,5 @@ class EOMLWorkflow:
             journal=journal.summary() if journal is not None else None,
             stream=stream_summary,
             stage_overlap_seconds=overlap,
+            scaleout=scaleout,
         )

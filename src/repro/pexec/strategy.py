@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Generator, Optional
 
 from repro.pexec.simexec import SimHtexExecutor
+from repro.runtime.elastic import ElasticPolicy
 from repro.sim import Event, Simulation
 
 __all__ = ["ElasticStrategy"]
@@ -26,6 +27,9 @@ class ElasticStrategy:
 
     ``tasks_per_worker_target`` controls aggressiveness: another block is
     requested while queued tasks exceed target * provisioned workers.
+    The demand rule is the shared :class:`ElasticPolicy` — the same
+    policy that drives the live process pool's scale-out — so the
+    simulator and the real runtime cannot drift apart.
     """
 
     sim: Simulation
@@ -41,6 +45,14 @@ class ElasticStrategy:
         if self.poll_interval <= 0:
             raise ValueError("poll interval must be positive")
         self._stop: Optional[Event] = None
+        # min_workers=0: the executor handles its own scale-in; this
+        # strategy only ever asks the policy the scale-out question.
+        self._policy = ElasticPolicy(
+            enabled=True,
+            min_workers=0,
+            max_workers=max(1, self.max_blocks),
+            tasks_per_worker_target=self.tasks_per_worker_target,
+        )
 
     def start(self) -> None:
         self._stop = self.sim.event()
@@ -64,7 +76,8 @@ class ElasticStrategy:
         while self._stop is not None and not self._stop.triggered:
             queued = len(self.executor.queue)
             workers = self._provisioned_workers()
-            if queued > 0 and self._active_blocks() < self.max_blocks:
-                if workers == 0 or queued > self.tasks_per_worker_target * workers:
-                    self.executor.scale_out(self.nodes_per_block)
+            if self._active_blocks() < self.max_blocks and self._policy.wants_scale_out(
+                queued, workers
+            ):
+                self.executor.scale_out(self.nodes_per_block)
             yield self.sim.timeout(self.poll_interval)

@@ -22,6 +22,7 @@ from repro.runtime.channel import (
     StreamWriter,
     edge_name,
 )
+from repro.runtime.elastic import ElasticPolicy
 from repro.runtime.executor import StageExecutor, build_executor
 from repro.runtime.middleware import (
     ChaosMiddleware,
@@ -31,6 +32,18 @@ from repro.runtime.middleware import (
     PrecheckMiddleware,
     QuarantineMiddleware,
     RetryMiddleware,
+)
+from repro.runtime.proc import (
+    EnvelopeResult,
+    PoolFuture,
+    PoolStats,
+    ProcChannel,
+    ProcWorkerPool,
+    WorkEnvelope,
+    WorkerCrashed,
+    WorkerSpec,
+    WorkerStats,
+    WorkerTaskError,
 )
 from repro.runtime.plan import (
     STREAMS_KEY,
@@ -97,4 +110,15 @@ __all__ = [
     "StreamHub",
     "StreamWriter",
     "edge_name",
+    "ElasticPolicy",
+    "WorkEnvelope",
+    "EnvelopeResult",
+    "WorkerSpec",
+    "WorkerStats",
+    "PoolStats",
+    "PoolFuture",
+    "ProcChannel",
+    "ProcWorkerPool",
+    "WorkerCrashed",
+    "WorkerTaskError",
 ]

@@ -1,0 +1,981 @@
+"""Multi-process execution tier: picklable envelopes, a process-spanning
+channel, and an elastic worker-process pool.
+
+PR 5's :class:`~repro.runtime.channel.StreamChannel` pipelines stages
+inside one process; this module is its cross-process counterpart, the
+horizontal scale-out the paper's Fig. 6 runs across facility cores:
+
+* :class:`ProcChannel` — a bounded, backpressured FIFO with the same
+  ``put``/``get``/``close``/``relax``/``stats`` contract as
+  ``StreamChannel``, built on :mod:`multiprocessing` primitives so the
+  two ends may live in different processes.  Items are serialized
+  (pickled) at the boundary, so only picklable tokens may cross.
+* :class:`WorkEnvelope` / :class:`EnvelopeResult` — the picklable
+  work-unit envelope.  A :class:`~repro.runtime.unit.WorkUnit` itself
+  closes over live stage objects (archives, journals, models) and never
+  crosses a process boundary; the envelope carries the *description* of
+  the work (kind + sharding key + payload), and each worker process
+  rebuilds its stage context once and drives the real
+  :class:`~repro.runtime.executor.StageExecutor` middleware locally —
+  the same shape as a control-plane site agent.
+* :class:`ProcWorkerPool` — N worker processes fed through per-worker
+  bounded channels, with crash detection (a dead worker's in-flight
+  envelopes are requeued up to ``max_requeues`` times, then their
+  futures fail with :class:`WorkerCrashed`), elastic scale-out/in
+  driven by backlog depth through an
+  :class:`~repro.runtime.elastic.ElasticPolicy`, and per-worker
+  accounting (units executed, busy seconds, scale events).
+
+Worker code is addressed by a ``"module:callable"`` target string (a
+factory that receives the spec payload and returns the envelope
+handler), so the spec stays picklable under any start method.
+
+This module (like the whole ``repro.runtime`` package) must not import
+``repro.core``.
+"""
+
+from __future__ import annotations
+
+import importlib
+import multiprocessing
+import os
+from multiprocessing import connection as mp_connection
+import queue as queue_mod
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.runtime.channel import DEFAULT_CAPACITY, ChannelStats, StreamClosed
+from repro.runtime.elastic import ElasticPolicy
+
+__all__ = [
+    "WorkEnvelope",
+    "EnvelopeResult",
+    "WorkerSpec",
+    "WorkerCrashed",
+    "WorkerTaskError",
+    "PoolFuture",
+    "WorkerStats",
+    "PoolStats",
+    "ProcChannel",
+    "ProcWorkerPool",
+]
+
+# How long a blocked producer sleeps between bound re-checks, and the
+# granularity at which close()/relax() from another process is observed.
+_WAIT_SLICE = 0.05
+
+# Envelope kind reserved for the pool's own retire hand-shake.
+_RETIRE_KIND = "__retire__"
+
+
+def _preferred_context() -> multiprocessing.context.BaseContext:
+    """Fork where available (cheap, inherits loaded modules); the
+    platform default elsewhere.  Specs and envelopes stay picklable, so
+    spawn works too — fork is a fast path, not a correctness need."""
+    methods = multiprocessing.get_all_start_methods()
+    return multiprocessing.get_context("fork" if "fork" in methods else None)
+
+
+# ---------------------------------------------------------------------------
+# The picklable work-unit envelope
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class WorkEnvelope:
+    """One unit of work, serialized at the process boundary.
+
+    ``kind`` routes inside the worker (one worker serves every stage),
+    ``key`` is the sharding/journal key (a granule filename, a scene
+    key, a tile-file basename), ``payload`` is the stage-specific
+    picklable input.  ``ticket`` is pool bookkeeping, assigned at
+    submit time.
+    """
+
+    kind: str
+    key: str
+    payload: Any = None
+    ticket: int = -1
+
+
+@dataclass(frozen=True)
+class EnvelopeResult:
+    """What a worker sends back for one envelope.
+
+    ``counters`` carries monotonic-counter deltas the handler accrued
+    while executing this envelope (journal resume/replay counts,
+    breaker trips), so the parent can fold per-worker accounting into
+    the run report without shared memory.
+    """
+
+    ticket: int
+    kind: str
+    key: str
+    ok: bool
+    value: Any = None
+    error: Optional[str] = None
+    seconds: float = 0.0
+    worker_id: int = -1
+    pid: int = 0
+    counters: Dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """How a worker process builds its handler.
+
+    ``target`` is a ``"module:callable"`` factory; the worker imports it
+    and calls ``factory(payload)`` once at startup.  The returned
+    handler is called with each :class:`WorkEnvelope` and its return
+    value becomes ``EnvelopeResult.value``.  A handler exposing a
+    ``counters()`` method (returning a flat name -> number mapping) gets
+    per-envelope deltas shipped back automatically.
+    """
+
+    target: str
+    payload: Any = None
+
+
+class WorkerCrashed(RuntimeError):
+    """A worker process died executing an envelope and the requeue
+    budget is exhausted (or the pool was terminated mid-flight)."""
+
+
+class WorkerTaskError(RuntimeError):
+    """The handler raised inside the worker; the message is the original
+    exception's text, so parent-side quarantine records match the
+    single-process path byte for byte."""
+
+
+def _resolve_target(target: str) -> Callable[[Any], Callable[[WorkEnvelope], Any]]:
+    module_name, sep, attr = target.partition(":")
+    if not sep or not module_name or not attr:
+        raise ValueError(
+            f"worker target must be 'module:callable', got {target!r}"
+        )
+    obj: Any = importlib.import_module(module_name)
+    for part in attr.split("."):
+        obj = getattr(obj, part)
+    return obj
+
+
+# ---------------------------------------------------------------------------
+# ProcChannel — StreamChannel across a process boundary
+# ---------------------------------------------------------------------------
+
+
+class ProcChannel:
+    """A closable bounded FIFO whose ends may live in different processes.
+
+    Mirrors :class:`~repro.runtime.channel.StreamChannel`: ``put``
+    blocks while a bounded channel is full and raises
+    :class:`StreamClosed` on a closed one; ``get`` returns
+    ``(True, item)`` or ``(False, None)`` once closed-and-drained (or on
+    timeout); ``relax()`` drops the bound; ``stats()`` reports the same
+    :class:`~repro.runtime.channel.ChannelStats`.  The queue itself is
+    unbounded — the bound is enforced by shared put/get counters — so
+    ``relax()`` can lift it without rebuilding the pipe.
+
+    Must be handed to child processes at spawn time (as a ``Process``
+    argument or by fork inheritance); a channel cannot be shipped
+    through another channel.
+    """
+
+    def __init__(
+        self,
+        edge: str,
+        capacity: int = DEFAULT_CAPACITY,
+        bounded: bool = True,
+        ctx: Optional[multiprocessing.context.BaseContext] = None,
+    ):
+        if capacity < 1:
+            raise ValueError(f"channel capacity must be >= 1, got {capacity}")
+        self.edge = edge
+        self.capacity = capacity
+        self._bounded_at_birth = bounded
+        ctx = ctx or _preferred_context()
+        self._queue = ctx.Queue()
+        self._closed_ev = ctx.Event()
+        self._relaxed = ctx.Event()
+        if not bounded:
+            self._relaxed.set()
+        # One lock guards every shared counter (raw Values carry none).
+        self._lock = ctx.Lock()
+        self._puts = ctx.Value("q", 0, lock=False)
+        self._gets = ctx.Value("q", 0, lock=False)
+        self._max_depth = ctx.Value("q", 0, lock=False)
+        self._stall = ctx.Value("d", 0.0, lock=False)
+        self._wait = ctx.Value("d", 0.0, lock=False)
+
+    # -- producer side --------------------------------------------------------
+
+    def put(self, item: Any) -> None:
+        """Enqueue one token; blocks while the bounded channel is full.
+
+        Raises :class:`StreamClosed` if the channel was closed — same
+        contract as the in-process channel: a late put is a programming
+        error, never a silent drop.
+        """
+        stall_started: Optional[float] = None
+        while True:
+            with self._lock:
+                closed = self._closed_ev.is_set()
+                depth = self._puts.value - self._gets.value
+                if closed or self._relaxed.is_set() or depth < self.capacity:
+                    if stall_started is not None:
+                        self._stall.value += time.monotonic() - stall_started
+                    if closed:
+                        raise StreamClosed(f"channel {self.edge} is closed")
+                    self._puts.value += 1
+                    depth += 1
+                    if depth > self._max_depth.value:
+                        self._max_depth.value = depth
+                    break
+            if stall_started is None:
+                stall_started = time.monotonic()
+            time.sleep(_WAIT_SLICE)
+        self._queue.put(item)
+
+    def close(self) -> None:
+        """End the stream (idempotent); consumers drain what remains."""
+        self._closed_ev.set()
+
+    def relax(self) -> None:
+        """Drop the capacity bound so a blocked producer can finish."""
+        self._relaxed.set()
+
+    # -- consumer side --------------------------------------------------------
+
+    def get(self, timeout: Optional[float] = None) -> Tuple[bool, Any]:
+        """Dequeue one token: ``(True, item)``, or ``(False, None)`` when
+        the channel is closed and drained (or ``timeout`` elapsed)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        wait_started: Optional[float] = None
+
+        def accrue() -> None:
+            if wait_started is not None:
+                with self._lock:
+                    self._wait.value += time.monotonic() - wait_started
+
+        while True:
+            slice_ = _WAIT_SLICE
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    try:
+                        item = self._queue.get_nowait()
+                    except queue_mod.Empty:
+                        accrue()
+                        return False, None
+                    with self._lock:
+                        self._gets.value += 1
+                    accrue()
+                    return True, item
+                slice_ = min(slice_, remaining)
+            try:
+                item = self._queue.get(timeout=slice_)
+            except queue_mod.Empty:
+                if self._closed_ev.is_set() and len(self) == 0:
+                    accrue()
+                    return False, None
+                if wait_started is None:
+                    wait_started = time.monotonic()
+                continue
+            with self._lock:
+                self._gets.value += 1
+            accrue()
+            return True, item
+
+    def __iter__(self) -> Iterator[Any]:
+        while True:
+            ok, item = self.get()
+            if not ok:
+                return
+            yield item
+
+    # -- introspection --------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        return self._closed_ev.is_set()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return self._puts.value - self._gets.value
+
+    def stats(self) -> ChannelStats:
+        with self._lock:
+            return ChannelStats(
+                edge=self.edge,
+                capacity=self.capacity,
+                bounded=self._bounded_at_birth,
+                items=self._puts.value,
+                max_depth=self._max_depth.value,
+                producer_stall_seconds=self._stall.value,
+                consumer_wait_seconds=self._wait.value,
+                closed=self._closed_ev.is_set(),
+            )
+
+
+# ---------------------------------------------------------------------------
+# The worker process main loop
+# ---------------------------------------------------------------------------
+
+
+def _counter_snapshot(handler: Any) -> Dict[str, float]:
+    counters = getattr(handler, "counters", None)
+    if not callable(counters):
+        return {}
+    try:
+        return {str(k): float(v) for k, v in dict(counters()).items()}
+    except Exception:  # noqa: BLE001 - accounting must never kill a worker
+        return {}
+
+
+def _worker_main(
+    spec: WorkerSpec, worker_id: int, tasks: ProcChannel, results: Any
+) -> None:
+    """One worker process: build the handler, then serve envelopes.
+
+    Failures inside the handler are *results* (``ok=False``), so one bad
+    unit never kills the process; a genuine crash (an injected
+    ``os._exit``, a SIGKILL, an OOM) simply stops the loop mid-envelope
+    and the parent's liveness sweep requeues the work.
+
+    ``results`` is this worker's **private** write-end of a pipe — never
+    a queue shared with other workers.  A shared ``mp.Queue`` guards its
+    pipe with one cross-process write-lock, and a worker killed inside
+    the window between writing its bytes and releasing that lock (the
+    chaos ``crash`` fault does exactly this on a busy single-core box)
+    would poison the lock for every worker spawned after it.  With one
+    single-writer pipe per worker there is no lock to abandon, and a
+    death mid-write surfaces to the parent as EOF on the read end.
+    """
+
+    def send(message: Any) -> bool:
+        try:
+            results.send(message)
+            return True
+        except (BrokenPipeError, EOFError, OSError):
+            return False  # parent is gone; nothing left to report to
+
+    try:
+        factory = _resolve_target(spec.target)
+        handler = factory(spec.payload)
+    except BaseException as exc:  # noqa: BLE001 - reported, then exit
+        send(("spawn_failed", worker_id, f"{type(exc).__name__}: {exc}"))
+        return
+    send(("ready", worker_id, os.getpid()))
+    while True:
+        ok, envelope = tasks.get()
+        if not ok or envelope.kind == _RETIRE_KIND:
+            break
+        before = _counter_snapshot(handler)
+        started = time.monotonic()
+        try:
+            value = handler(envelope)
+            error = None
+            succeeded = True
+        except Exception as exc:  # noqa: BLE001 - shipped to the parent
+            value = None
+            error = str(exc) or type(exc).__name__
+            succeeded = False
+        seconds = time.monotonic() - started
+        after = _counter_snapshot(handler)
+        deltas = {
+            key: after[key] - before.get(key, 0.0)
+            for key in after
+            if after[key] != before.get(key, 0.0)
+        }
+        delivered = send(
+            (
+                "result",
+                EnvelopeResult(
+                    ticket=envelope.ticket,
+                    kind=envelope.kind,
+                    key=envelope.key,
+                    ok=succeeded,
+                    value=value,
+                    error=error,
+                    seconds=seconds,
+                    worker_id=worker_id,
+                    pid=os.getpid(),
+                    counters=deltas,
+                ),
+            )
+        )
+        if not delivered:
+            return
+    send(("retired", worker_id))
+    results.close()
+
+
+# ---------------------------------------------------------------------------
+# Futures and accounting
+# ---------------------------------------------------------------------------
+
+
+class PoolFuture:
+    """A minimal future for pool submissions (``concurrent.futures``
+    surface: ``done``/``result``/``add_done_callback``).  Callbacks run
+    on the pool's dispatch thread — keep them short."""
+
+    def __init__(self) -> None:
+        self._event = threading.Event()
+        self._lock = threading.Lock()
+        self._value: Any = None
+        self._error: Optional[BaseException] = None
+        self._callbacks: List[Callable[["PoolFuture"], None]] = []
+
+    def done(self) -> bool:
+        return self._event.is_set()
+
+    def result(self, timeout: Optional[float] = None) -> Any:
+        if not self._event.wait(timeout):
+            raise TimeoutError("pool future not settled in time")
+        if self._error is not None:
+            raise self._error
+        return self._value
+
+    def exception(self, timeout: Optional[float] = None) -> Optional[BaseException]:
+        if not self._event.wait(timeout):
+            raise TimeoutError("pool future not settled in time")
+        return self._error
+
+    def add_done_callback(self, fn: Callable[["PoolFuture"], None]) -> None:
+        with self._lock:
+            if not self._event.is_set():
+                self._callbacks.append(fn)
+                return
+        fn(self)
+
+    def _settle(self, value: Any = None, error: Optional[BaseException] = None) -> None:
+        with self._lock:
+            if self._event.is_set():
+                return
+            self._value = value
+            self._error = error
+            callbacks, self._callbacks = self._callbacks, []
+            self._event.set()
+        for fn in callbacks:
+            fn(self)
+
+
+@dataclass
+class WorkerStats:
+    """One worker process's lifetime accounting."""
+
+    worker_id: int
+    pid: int = 0
+    units: int = 0
+    busy_seconds: float = 0.0
+    alive: bool = False
+
+
+@dataclass
+class PoolStats:
+    """The pool's rollup (always-present zeros when nothing ran)."""
+
+    submitted: int = 0
+    completed: int = 0
+    failed: int = 0
+    requeues: int = 0
+    respawns: int = 0
+    scale_out_events: int = 0
+    scale_in_events: int = 0
+    workers_launched: int = 0
+    workers: List[WorkerStats] = field(default_factory=list)
+    counters: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def units_executed(self) -> int:
+        return sum(w.units for w in self.workers)
+
+    @property
+    def busy_seconds(self) -> float:
+        return sum(w.busy_seconds for w in self.workers)
+
+
+@dataclass
+class _Ticket:
+    envelope: WorkEnvelope
+    future: PoolFuture
+    requeues: int = 0
+    owner: Optional[int] = None  # worker_id once dispatched
+
+
+class _WorkerHandle:
+    def __init__(self, worker_id: int, process: Any, channel: ProcChannel, conn: Any):
+        self.worker_id = worker_id
+        self.process = process
+        self.channel = channel
+        self.conn = conn  # read end of this worker's private result pipe
+        self.pid = 0
+        self.inflight: set = set()  # dispatched, unresolved tickets
+        self.retiring = False
+        self.broken = False  # read end hit EOF / went bad
+        self.last_active = time.monotonic()
+        self.stats = WorkerStats(worker_id=worker_id)
+
+
+# ---------------------------------------------------------------------------
+# ProcWorkerPool
+# ---------------------------------------------------------------------------
+
+
+class ProcWorkerPool:
+    """An elastic pool of worker processes fed through ProcChannels.
+
+    Each worker gets its own bounded task channel (so ownership of every
+    dispatched envelope is exact, and a dead worker's work is requeued
+    precisely) and its own single-writer result pipe (so a worker killed
+    mid-report can never wedge the others — see :func:`_worker_main`).
+    A dispatch thread in the parent multiplexes the result pipes with
+    ``multiprocessing.connection.wait``, sweeps liveness, applies the
+    :class:`ElasticPolicy` against the undispatched backlog, and feeds
+    idle workers — ``dispatch_depth`` envelopes per worker keep the next
+    unit queued locally while the current one executes.
+    """
+
+    def __init__(
+        self,
+        spec: WorkerSpec,
+        policy: Optional[ElasticPolicy] = None,
+        *,
+        name: str = "pool",
+        max_requeues: int = 1,
+        dispatch_depth: int = 2,
+        poll_interval: float = 0.02,
+        start_method: Optional[str] = None,
+    ):
+        if max_requeues < 0:
+            raise ValueError("max_requeues must be >= 0")
+        if dispatch_depth < 1:
+            raise ValueError("dispatch_depth must be >= 1")
+        self.spec = spec
+        self.policy = policy or ElasticPolicy.fixed(1)
+        self.name = name
+        self.max_requeues = max_requeues
+        self.dispatch_depth = dispatch_depth
+        self.poll_interval = poll_interval
+        self._ctx = (
+            multiprocessing.get_context(start_method)
+            if start_method
+            else _preferred_context()
+        )
+        self._lock = threading.Lock()
+        self._pending: deque = deque()  # tickets awaiting dispatch
+        self._tickets: Dict[int, _Ticket] = {}
+        self._next_ticket = 0
+        self._next_worker = 0
+        self._workers: Dict[int, _WorkerHandle] = {}
+        self._stats = PoolStats()
+        self._spawn_error: Optional[str] = None
+        self._closing = False
+        self._terminated = False
+        self._thread: Optional[threading.Thread] = None
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "ProcWorkerPool":
+        if self._started:
+            raise RuntimeError("pool already started")
+        self._started = True
+        for _ in range(max(1, self.policy.min_workers)):
+            self._spawn()
+        self._thread = threading.Thread(
+            target=self._dispatch_loop, name=f"{self.name}-dispatch", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def submit(self, envelope: WorkEnvelope) -> PoolFuture:
+        """Enqueue one envelope; returns a future for its result."""
+        if not self._started or self._thread is None:
+            raise RuntimeError("pool is not started")
+        future = PoolFuture()
+        with self._lock:
+            if self._closing:
+                raise RuntimeError("pool is closing; no new work accepted")
+            ticket_id = self._next_ticket
+            self._next_ticket += 1
+            ticket = _Ticket(envelope=replace(envelope, ticket=ticket_id), future=future)
+            self._tickets[ticket_id] = ticket
+            self._pending.append(ticket_id)
+            self._stats.submitted += 1
+        return future
+
+    def gather(self, futures: Iterable[PoolFuture]) -> Iterator[Any]:
+        """Yield results in completion order; raises on the first
+        failed future (same shape as ``LocalComputeEndpoint.gather``)."""
+        futures = list(futures)
+        settled: "queue_mod.Queue[PoolFuture]" = queue_mod.Queue()
+        for future in futures:
+            future.add_done_callback(settled.put)
+        for _ in futures:
+            yield settled.get().result()
+
+    def backlog(self) -> int:
+        """Undispatched envelopes — the queue depth elasticity watches."""
+        with self._lock:
+            return len(self._pending)
+
+    def stats(self) -> PoolStats:
+        with self._lock:
+            workers = [
+                WorkerStats(
+                    worker_id=h.stats.worker_id,
+                    pid=h.stats.pid,
+                    units=h.stats.units,
+                    busy_seconds=h.stats.busy_seconds,
+                    alive=h.process.is_alive(),
+                )
+                for h in self._workers.values()
+            ] + [w for w in self._stats.workers]
+            workers.sort(key=lambda w: w.worker_id)
+            return PoolStats(
+                submitted=self._stats.submitted,
+                completed=self._stats.completed,
+                failed=self._stats.failed,
+                requeues=self._stats.requeues,
+                respawns=self._stats.respawns,
+                scale_out_events=self._stats.scale_out_events,
+                scale_in_events=self._stats.scale_in_events,
+                workers_launched=self._stats.workers_launched,
+                workers=workers,
+                counters=dict(self._stats.counters),
+            )
+
+    def close(self, timeout: float = 60.0) -> None:
+        """Drain outstanding work, retire every worker, join (idempotent)."""
+        if not self._started or self._thread is None:
+            return
+        with self._lock:
+            self._closing = True
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():  # wedged: fall back to terminate
+            self.terminate()
+            return
+        self._thread = None
+
+    def terminate(self) -> None:
+        """Kill every worker now; outstanding futures fail (idempotent)."""
+        with self._lock:
+            self._closing = True
+            self._terminated = True
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        for handle in list(self._workers.values()):
+            if handle.process.is_alive():
+                handle.process.terminate()
+            handle.process.join(timeout=5.0)
+            try:
+                handle.conn.close()
+            except OSError:
+                pass
+        with self._lock:
+            self._workers.clear()
+            outstanding = list(self._tickets.values())
+            self._tickets.clear()
+            self._pending.clear()
+        for ticket in outstanding:
+            ticket.future._settle(error=WorkerCrashed("pool terminated"))
+
+    def __enter__(self) -> "ProcWorkerPool":
+        if not self._started:
+            self.start()
+        return self
+
+    def __exit__(self, exc_type: Any, *exc_info: Any) -> None:
+        if exc_type is not None:
+            self.terminate()
+        else:
+            self.close()
+
+    # -- dispatch-thread internals -------------------------------------------
+
+    def _spawn(self) -> _WorkerHandle:
+        worker_id = self._next_worker
+        self._next_worker += 1
+        channel = ProcChannel(
+            f"{self.name}:w{worker_id}",
+            capacity=max(self.dispatch_depth, 1) + 1,
+            ctx=self._ctx,
+        )
+        reader, writer = self._ctx.Pipe(duplex=False)
+        process = self._ctx.Process(
+            target=_worker_main,
+            args=(self.spec, worker_id, channel, writer),
+            name=f"{self.name}-{worker_id}",
+            daemon=True,
+        )
+        process.start()
+        # Drop the parent's copy of the write end right away: the worker
+        # now holds the only one, so its death surfaces as EOF — and no
+        # later-forked sibling can inherit a stray copy that would keep
+        # the pipe open past the owner's death.
+        writer.close()
+        handle = _WorkerHandle(worker_id, process, channel, reader)
+        with self._lock:
+            self._workers[worker_id] = handle
+            self._stats.workers_launched += 1
+        return handle
+
+    def _live_workers(self) -> List[_WorkerHandle]:
+        return [h for h in self._workers.values() if not h.retiring]
+
+    def _handle_message(self, message: Tuple[Any, ...]) -> None:
+        kind = message[0]
+        if kind == "ready":
+            _, worker_id, pid = message
+            handle = self._workers.get(worker_id)
+            if handle is not None:
+                handle.pid = pid
+                handle.stats.pid = pid
+            return
+        if kind == "spawn_failed":
+            _, worker_id, error = message
+            self._spawn_error = error
+            return
+        if kind == "retired":
+            _, worker_id = message
+            handle = self._workers.get(worker_id)
+            if handle is not None:
+                handle.process.join(timeout=5.0)
+                self._forget(handle)
+            return
+        if kind != "result":
+            return
+        result: EnvelopeResult = message[1]
+        with self._lock:
+            ticket = self._tickets.pop(result.ticket, None)
+            handle = self._workers.get(result.worker_id)
+            if handle is not None:
+                handle.inflight.discard(result.ticket)
+                handle.last_active = time.monotonic()
+                handle.stats.units += 1
+                handle.stats.busy_seconds += result.seconds
+            for key, delta in result.counters.items():
+                self._stats.counters[key] = self._stats.counters.get(key, 0.0) + delta
+            if ticket is None:
+                return  # duplicate after a requeue raced a slow worker
+            if result.ok:
+                self._stats.completed += 1
+            else:
+                self._stats.failed += 1
+        if result.ok:
+            ticket.future._settle(value=result.value)
+        else:
+            ticket.future._settle(error=WorkerTaskError(result.error or "worker task failed"))
+
+    def _drain_conn(self, handle: _WorkerHandle) -> None:
+        """Pull every complete message still sitting in a worker's pipe."""
+        while not handle.broken:
+            try:
+                if not handle.conn.poll():
+                    return
+                message = handle.conn.recv()
+            except (EOFError, OSError):
+                handle.broken = True
+                return
+            self._handle_message(message)
+
+    def _reap_dead(self) -> bool:
+        """Requeue (or fail) the work a dead worker held."""
+        progressed = False
+        for handle in list(self._workers.values()):
+            if handle.process.is_alive():
+                continue
+            progressed = True
+            # A fully-written result may still sit in the pipe; settle it
+            # before deciding what died in flight.
+            self._drain_conn(handle)
+            orphans: List[_Ticket] = []
+            with self._lock:
+                for ticket_id in sorted(handle.inflight):
+                    ticket = self._tickets.get(ticket_id)
+                    if ticket is not None:
+                        orphans.append(ticket)
+                handle.inflight.clear()
+            was_retiring = handle.retiring
+            self._forget(handle)
+            exhausted: List[_Ticket] = []
+            with self._lock:
+                for ticket in orphans:
+                    if ticket.requeues < self.max_requeues:
+                        ticket.requeues += 1
+                        ticket.owner = None
+                        self._stats.requeues += 1
+                        self._pending.appendleft(ticket.envelope.ticket)
+                    else:
+                        self._tickets.pop(ticket.envelope.ticket, None)
+                        self._stats.failed += 1
+                        exhausted.append(ticket)
+            for ticket in exhausted:
+                envelope = ticket.envelope
+                ticket.future._settle(
+                    error=WorkerCrashed(
+                        f"worker {handle.worker_id} (pid {handle.pid}) died "
+                        f"executing {envelope.kind}:{envelope.key} "
+                        f"(attempt {ticket.requeues + 1})"
+                    )
+                )
+        return progressed
+
+    def _forget(self, handle: _WorkerHandle) -> None:
+        handle.process.join(timeout=0.1)
+        try:
+            handle.conn.close()
+        except OSError:
+            pass
+        with self._lock:
+            self._workers.pop(handle.worker_id, None)
+            final = WorkerStats(
+                worker_id=handle.stats.worker_id,
+                pid=handle.stats.pid,
+                units=handle.stats.units,
+                busy_seconds=handle.stats.busy_seconds,
+                alive=False,
+            )
+            self._stats.workers.append(final)
+
+    def _apply_policy(self) -> None:
+        with self._lock:
+            backlog = len(self._pending)
+            closing = self._closing and not self._tickets and not self._pending
+        if closing:
+            return
+        live = self._live_workers()
+        decision = self.policy.decide(backlog, len(live))
+        if decision > 0 and self._spawn_error is not None:
+            return  # the factory is broken; respawning would loop forever
+        if decision > 0:
+            below_floor = len(live) < max(1, self.policy.min_workers)
+            self._spawn()
+            with self._lock:
+                if below_floor and self._stats.workers_launched > max(
+                    1, self.policy.min_workers
+                ):
+                    self._stats.respawns += 1
+                elif not below_floor:
+                    self._stats.scale_out_events += 1
+        elif decision < 0:
+            now = time.monotonic()
+            for handle in live:
+                if handle.inflight or now - handle.last_active < self.policy.idle_retire_seconds:
+                    continue
+                handle.retiring = True
+                handle.channel.put(WorkEnvelope(kind=_RETIRE_KIND, key=""))
+                with self._lock:
+                    self._stats.scale_in_events += 1
+                break
+
+    def _dispatch(self) -> bool:
+        progressed = False
+        while True:
+            candidates = [
+                h
+                for h in self._live_workers()
+                if h.pid and h.process.is_alive() and len(h.inflight) < self.dispatch_depth
+            ]
+            if not candidates:
+                return progressed
+            with self._lock:
+                if not self._pending:
+                    return progressed
+                ticket_id = self._pending.popleft()
+                ticket = self._tickets.get(ticket_id)
+            if ticket is None:
+                continue
+            target = min(candidates, key=lambda h: (len(h.inflight), h.worker_id))
+            with self._lock:
+                ticket.owner = target.worker_id
+                target.inflight.add(ticket_id)
+            target.channel.put(ticket.envelope)
+            progressed = True
+
+    def _retire_all(self, timeout: float = 30.0) -> None:
+        deadline = time.monotonic() + timeout
+        for handle in self._live_workers():
+            handle.retiring = True
+            try:
+                handle.channel.put(WorkEnvelope(kind=_RETIRE_KIND, key=""))
+            except StreamClosed:
+                pass
+        while self._workers and time.monotonic() < deadline:
+            self._pump(self.poll_interval)
+            self._reap_dead()
+        for handle in list(self._workers.values()):
+            if handle.process.is_alive():
+                handle.process.terminate()
+            self._forget(handle)
+
+    def _fail_pending_on_spawn_error(self) -> None:
+        with self._lock:
+            error = self._spawn_error
+            if error is None or self._workers or self._closing:
+                return
+            outstanding = [
+                self._tickets.pop(tid) for tid in list(self._pending)
+                if tid in self._tickets
+            ]
+            self._pending.clear()
+        for ticket in outstanding:
+            ticket.future._settle(
+                error=WorkerCrashed(f"worker startup failed: {error}")
+            )
+
+    def _pump(self, timeout: float) -> bool:
+        """Multiplex every live worker's result pipe; returns True if any
+        message arrived.  A readable pipe is drained completely — EOF
+        (the worker died or retired) just stops reads; the liveness
+        sweep owns the consequences."""
+        with self._lock:
+            conns = {h.conn: h for h in self._workers.values() if not h.broken}
+        if not conns:
+            if timeout > 0:
+                time.sleep(timeout)
+            return False
+        try:
+            ready = mp_connection.wait(list(conns), timeout=timeout)
+        except OSError:
+            return False
+        progressed = False
+        for conn in ready:
+            handle = conns[conn]
+            while True:
+                try:
+                    message = conn.recv()
+                except (EOFError, OSError):
+                    handle.broken = True
+                    break
+                progressed = True
+                self._handle_message(message)
+                try:
+                    if not conn.poll():
+                        break
+                except (EOFError, OSError):
+                    handle.broken = True
+                    break
+        return progressed
+
+    def _dispatch_loop(self) -> None:
+        while True:
+            self._pump(self.poll_interval)
+            self._reap_dead()
+            with self._lock:
+                terminated = self._terminated
+                drained = self._closing and not self._tickets and not self._pending
+            if terminated:
+                return
+            if drained:
+                self._retire_all()
+                return
+            self._apply_policy()
+            self._dispatch()
+            self._fail_pending_on_spawn_error()

@@ -177,3 +177,25 @@ class TestLocalEndpoint:
     def test_bad_kind(self):
         with pytest.raises(ValueError):
             LocalComputeEndpoint("x", 1, kind="quantum")
+
+    def test_worker_count_validated_with_context(self):
+        # The error names the endpoint and the offending value.
+        with pytest.raises(ValueError, match=r"'download'.*max_workers >= 1.*0"):
+            LocalComputeEndpoint("download", max_workers=0)
+        with pytest.raises(ValueError, match=r"-3"):
+            LocalComputeEndpoint("x", max_workers=-3)
+        with pytest.raises(ValueError, match=r"'2'"):
+            LocalComputeEndpoint("x", max_workers="2")  # type: ignore[arg-type]
+
+    def test_shutdown_idempotent(self):
+        endpoint = LocalComputeEndpoint("pool", max_workers=1)
+        assert endpoint.submit(lambda: 7).result() == 7
+        endpoint.shutdown()
+        endpoint.shutdown()  # second call is a no-op, not an error
+        with endpoint:  # __exit__ triggers a third shutdown
+            pass
+
+    def test_shutdown_inside_context_manager(self):
+        with LocalComputeEndpoint("pool", max_workers=1) as endpoint:
+            assert endpoint.submit(lambda: 1).result() == 1
+            endpoint.shutdown()  # explicit early close; __exit__ must not raise

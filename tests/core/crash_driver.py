@@ -46,14 +46,21 @@ def main() -> int:
     parser.add_argument("--granules", type=int, default=2)
     parser.add_argument("--streaming", action="store_true",
                         help="run the streaming dataflow topology")
+    parser.add_argument("--workers", type=int, default=None, metavar="N",
+                        help="run stages across N worker processes")
     args = parser.parse_args()
 
     from repro.core import EOMLWorkflow, load_config
     from repro.modis import MINI_SWATH, LaadsArchive
 
     raw = build_raw_config(args.root, args.granules)
+    runtime = {}
     if args.streaming:
-        raw["runtime"] = {"stream": {"enabled": True}}
+        runtime["stream"] = {"enabled": True}
+    if args.workers is not None:
+        runtime["workers"] = args.workers
+    if runtime:
+        raw["runtime"] = runtime
     if args.crash_stage:
         raw["chaos"] = {
             "seed": 0,
@@ -72,6 +79,9 @@ def main() -> int:
     print(f"manifest_mismatches={report.manifest_mismatches}")
     print(f"shipped={shipped}")
     print(f"errors={len(report.errors)}")
+    print(f"pool_units={report.scaleout['units_executed']}")
+    print(f"pool_requeues={report.scaleout['requeues']}")
+    print(f"pool_workers={report.scaleout['workers_launched']}")
     return 0
 
 

@@ -1,0 +1,70 @@
+"""Worker factories for the ProcWorkerPool tests.
+
+These live in a real importable module (not the test file's closures)
+because :class:`repro.runtime.proc.WorkerSpec` addresses worker code by
+``"module:callable"`` — exactly what production specs must do.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from typing import Any
+
+from repro.runtime.proc import WorkEnvelope
+
+
+def build_echo(payload: Any):
+    """Return (kind, key, payload, pid) so tests can see routing."""
+
+    def handler(envelope: WorkEnvelope) -> Any:
+        return (envelope.kind, envelope.key, envelope.payload, os.getpid())
+
+    return handler
+
+
+def build_sleeper(payload: Any):
+    """Sleep ``payload`` seconds per envelope, return the pid."""
+    delay = float(payload)
+
+    def handler(envelope: WorkEnvelope) -> int:
+        time.sleep(delay)
+        return os.getpid()
+
+    return handler
+
+
+def build_flaky(payload: Any):
+    """Raise on keys starting with 'bad', crash the process on 'die'."""
+
+    def handler(envelope: WorkEnvelope) -> str:
+        if envelope.key.startswith("die"):
+            os._exit(86)
+        if envelope.key.startswith("bad"):
+            raise ValueError(f"cannot process {envelope.key}")
+        return envelope.key.upper()
+
+    return handler
+
+
+class _CountingHandler:
+    """Handler with a ``counters()`` method, to test delta shipping."""
+
+    def __init__(self) -> None:
+        self.executed = 0
+
+    def counters(self):
+        return {"executed": self.executed, "constant": 7}
+
+    def __call__(self, envelope: WorkEnvelope) -> int:
+        self.executed += 1
+        return self.executed
+
+
+def build_counting(payload: Any):
+    return _CountingHandler()
+
+
+def build_broken(payload: Any):
+    """A factory that itself fails — exercises spawn-failure reporting."""
+    raise RuntimeError("factory exploded")

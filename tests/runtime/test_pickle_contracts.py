@@ -1,0 +1,148 @@
+"""Pickle round-trip contracts for everything that crosses a process.
+
+The scale-out tier ships work between processes by pickling: the
+:class:`WorkEnvelope` / :class:`EnvelopeResult` wire types, the
+:class:`WorkerSpec` payload a worker rebuilds its world from, and each
+stage's own payload types (granule refs, granule sets, preprocess and
+inference results, quarantine records).  Anything here that stops
+round-tripping — a closure-captured field, an open file handle, a lock —
+breaks multi-process execution at runtime, so the contract is pinned as
+a test: ``pickle.loads(pickle.dumps(x))`` must reproduce the value.
+
+:class:`WorkUnit` itself is deliberately *not* on the wire: its ``body``
+is a closure over live stage state.  The envelope carries the work
+*description* and the worker rebuilds the unit locally — that boundary
+is the design, and the test documents it.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import pickle
+
+import pytest
+
+from repro.chaos import FaultPlan, FaultSpec
+from repro.core.config import load_config
+from repro.core.download import GranuleSet
+from repro.core.inference import InferenceResult
+from repro.core.preprocess import PreprocessResult, QuarantineRecord
+from repro.core.scaleout import worker_payload
+from repro.modis import LaadsArchive, MINI_SWATH
+from repro.runtime import UnitResult
+from repro.runtime.proc import EnvelopeResult, WorkEnvelope, WorkerSpec
+
+
+def roundtrip(value):
+    return pickle.loads(pickle.dumps(value))
+
+
+RAW_CONFIG = {
+    "archive": {"start_date": "2022-01-01", "max_granules_per_day": 2, "seed": 3},
+    "paths": {
+        "staging": "/tmp/x/raw",
+        "preprocessed": "/tmp/x/tiles",
+        "transfer_out": "/tmp/x/outbox",
+        "destination": "/tmp/x/orion",
+        "quarantine": "/tmp/x/quarantine",
+    },
+}
+
+
+class TestWireTypes:
+    def test_work_envelope(self):
+        env = WorkEnvelope("download", "MOD02.A2022001.0000.hdf", {"n": 1}, ticket=7)
+        assert roundtrip(env) == env
+
+    def test_envelope_result(self):
+        res = EnvelopeResult(
+            ticket=3, kind="preprocess", key="scene", ok=False, value=None,
+            error="boom", seconds=0.25, worker_id=1, pid=4242,
+            counters={"resumed_items": 2.0},
+        )
+        assert roundtrip(res) == res
+
+    def test_worker_spec_with_stage_payload(self):
+        config = load_config(RAW_CONFIG)
+        spec = WorkerSpec(
+            target="repro.core.scaleout:build_stage_worker",
+            payload=worker_payload(config, LaadsArchive(seed=3, swath=MINI_SWATH)),
+        )
+        clone = roundtrip(spec)
+        assert clone.target == spec.target
+        assert clone.payload["raw"] == spec.payload["raw"]
+        # The rebuilt config must resolve identically on the far side.
+        assert load_config(clone.payload["raw"]) == config
+
+    def test_chaos_plan_rides_the_payload(self):
+        plan = FaultPlan(
+            seed=0, faults=(FaultSpec(stage="download", kind="crash"),)
+        )
+        assert roundtrip(plan) == plan
+
+
+class TestUnitResult:
+    def test_roundtrip(self):
+        res = UnitResult(
+            outcome="done", value=("a", 3), artifact="/tmp/t.nc",
+            payload={"tiles": 3, "sha256": "ab" * 32}, attempts=2, seconds=1.5,
+        )
+        clone = roundtrip(res)
+        assert clone == res
+        assert clone.ok
+
+
+class TestStagePayloads:
+    def test_granule_ref(self):
+        archive = LaadsArchive(seed=3, swath=MINI_SWATH)
+        ref = archive.query("MOD02", dt.date(2022, 1, 1), max_per_day=1)[0]
+        clone = roundtrip(ref)
+        assert clone == ref
+        assert clone.filename == ref.filename
+
+    def test_granule_set(self):
+        gs = GranuleSet(
+            key="scene_terra_2022-01-01_000",
+            paths={"MOD02": "/tmp/a.nc", "MOD03": "/tmp/b.nc"},
+        )
+        assert roundtrip(gs) == gs
+
+    def test_preprocess_result(self):
+        res = PreprocessResult(key="scene", tile_path="/tmp/t.nc", tiles=9, seconds=0.5)
+        assert roundtrip(res) == res
+
+    def test_quarantine_record(self):
+        rec = QuarantineRecord(key="scene", error="corrupt granule")
+        assert roundtrip(rec) == rec
+
+    def test_inference_result(self):
+        res = InferenceResult(
+            src_path="/tmp/t.nc", out_path="/tmp/out.nc", tiles=9,
+            classes_seen=4, seconds=0.1,
+        )
+        assert roundtrip(res) == res
+
+    def test_download_result_tuple(self):
+        # _fetch_one's settle tuple: (ref, path, nbytes, seconds,
+        # outcome, attempts, error) — all picklable leaves.
+        archive = LaadsArchive(seed=3, swath=MINI_SWATH)
+        ref = archive.query("MOD02", dt.date(2022, 1, 1), max_per_day=1)[0]
+        result = (ref, "/tmp/f.nc", 123, 0.5, "done", 1, None)
+        assert roundtrip(result) == result
+
+
+class TestWorkUnitBoundary:
+    def test_work_unit_closures_stay_off_the_wire(self):
+        """WorkUnit bodies are closures — the envelope, not the unit,
+        crosses the process boundary.  Pin that a closure-bodied unit
+        does not pickle, so nobody accidentally ships one."""
+        from repro.runtime import WorkUnit
+
+        state = {"hits": 0}
+
+        def body(ctx):
+            state["hits"] += 1
+
+        unit = WorkUnit(stage="download", key="k", body=body)
+        with pytest.raises(Exception):
+            pickle.dumps(unit)

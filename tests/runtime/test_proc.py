@@ -1,0 +1,358 @@
+"""Contract tests for the multi-process tier (repro.runtime.proc).
+
+ProcChannel must honour the StreamChannel contract across a process
+boundary; ProcWorkerPool must execute envelopes, survive worker
+crashes by requeueing exactly the lost work, and scale elastically.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pickle
+import signal
+import time
+
+import pytest
+
+from repro.runtime.channel import StreamClosed
+from repro.runtime.elastic import ElasticPolicy
+from repro.runtime.proc import (
+    EnvelopeResult,
+    ProcChannel,
+    ProcWorkerPool,
+    WorkEnvelope,
+    WorkerCrashed,
+    WorkerSpec,
+    WorkerTaskError,
+)
+
+
+def wait_until(predicate, timeout=10.0, interval=0.01):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+# ---------------------------------------------------------------------------
+# ElasticPolicy decision rule
+# ---------------------------------------------------------------------------
+
+
+class TestElasticPolicy:
+    def test_fixed_pins_bounds(self):
+        policy = ElasticPolicy.fixed(3)
+        assert policy.min_workers == 3
+        assert policy.max_workers == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ElasticPolicy(min_workers=-1)
+        with pytest.raises(ValueError):
+            ElasticPolicy(max_workers=0)
+        with pytest.raises(ValueError):
+            ElasticPolicy(min_workers=3, max_workers=2)
+        with pytest.raises(ValueError):
+            ElasticPolicy(tasks_per_worker_target=0)
+
+    def test_scale_out_when_backlog_exceeds_target(self):
+        policy = ElasticPolicy(min_workers=1, max_workers=4, tasks_per_worker_target=2.0)
+        assert policy.decide(queued=10, workers=1) == 1
+        assert policy.decide(queued=2, workers=1) == 0  # 2 <= 2.0 * 1
+        assert policy.decide(queued=10, workers=4) == 0  # at cap
+
+    def test_scale_in_only_when_idle_and_above_floor(self):
+        policy = ElasticPolicy(min_workers=1, max_workers=4)
+        assert policy.decide(queued=0, workers=3) == -1
+        assert policy.decide(queued=0, workers=1) == 0
+        assert policy.decide(queued=1, workers=3) == 0
+
+    def test_below_floor_always_grows(self):
+        policy = ElasticPolicy(min_workers=2, max_workers=4)
+        assert policy.decide(queued=0, workers=0) == 1
+        assert policy.decide(queued=0, workers=1) == 1
+
+    def test_from_mapping_defaults(self):
+        policy = ElasticPolicy.from_mapping({"enabled": True})
+        assert policy.enabled
+        assert policy.max_workers == 4
+
+
+# ---------------------------------------------------------------------------
+# ProcChannel: StreamChannel semantics across processes
+# ---------------------------------------------------------------------------
+
+
+def _producer_main(channel, count):
+    for i in range(count):
+        channel.put(("item", i))
+    channel.close()
+
+
+def _consumer_main(channel, results):
+    for item in channel:
+        results.put(item)
+    results.close()
+
+
+class TestProcChannel:
+    def test_fifo_roundtrip_same_process(self):
+        ch = ProcChannel("t", capacity=4)
+        for i in range(3):
+            ch.put(i)
+        ch.close()
+        assert list(ch) == [0, 1, 2]
+
+    def test_get_timeout_returns_false(self):
+        ch = ProcChannel("t")
+        ok, item = ch.get(timeout=0.05)
+        assert not ok and item is None
+
+    def test_put_after_close_raises(self):
+        ch = ProcChannel("t")
+        ch.close()
+        with pytest.raises(StreamClosed):
+            ch.put(1)
+
+    def test_close_idempotent(self):
+        ch = ProcChannel("t")
+        ch.close()
+        ch.close()
+        assert ch.closed
+
+    def test_bounded_put_blocks_until_consumed(self):
+        ch = ProcChannel("t", capacity=1)
+        ch.put("a")
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_producer_main, args=(ch, 1))
+        proc.start()
+        time.sleep(0.15)
+        # producer is stalled on the full channel
+        assert proc.is_alive()
+        ok, item = ch.get(timeout=2.0)
+        assert ok and item == "a"
+        proc.join(timeout=5.0)
+        assert proc.exitcode == 0
+        ok, item = ch.get(timeout=2.0)
+        assert ok and item == ("item", 0)
+        stats = ch.stats()
+        assert stats.items == 2
+        assert stats.producer_stall_seconds > 0.0
+
+    def test_relax_unblocks_producer(self):
+        ch = ProcChannel("t", capacity=1)
+        ch.put("a")
+        ctx = multiprocessing.get_context("fork")
+        proc = ctx.Process(target=_producer_main, args=(ch, 3))
+        proc.start()
+        time.sleep(0.1)
+        assert proc.is_alive()
+        ch.relax()
+        proc.join(timeout=5.0)
+        assert proc.exitcode == 0
+        assert len(ch) == 4
+
+    def test_cross_process_pipeline(self):
+        ctx = multiprocessing.get_context("fork")
+        upstream = ProcChannel("up", capacity=2, ctx=ctx)
+        downstream = ProcChannel("down", bounded=False, ctx=ctx)
+        consumer = ctx.Process(target=_consumer_main, args=(upstream, downstream))
+        consumer.start()
+        _producer_main(upstream, 20)
+        consumer.join(timeout=10.0)
+        assert consumer.exitcode == 0
+        assert list(downstream) == [("item", i) for i in range(20)]
+        stats = upstream.stats()
+        assert stats.items == 20
+        assert stats.capacity == 2
+        assert stats.bounded
+        assert stats.closed
+
+    def test_stats_shape_matches_stream_channel(self):
+        ch = ProcChannel("edge:x", capacity=5)
+        stats = ch.stats()
+        assert stats.edge == "edge:x"
+        assert stats.items == 0
+        assert stats.max_depth == 0
+        assert not stats.closed
+
+
+# ---------------------------------------------------------------------------
+# Envelope pickling
+# ---------------------------------------------------------------------------
+
+
+class TestEnvelopePickling:
+    def test_envelope_roundtrip(self):
+        env = WorkEnvelope("download", "g1.hdf", payload={"a": [1, 2]}, ticket=7)
+        assert pickle.loads(pickle.dumps(env)) == env
+
+    def test_result_roundtrip(self):
+        res = EnvelopeResult(
+            ticket=3, kind="inference", key="f.nc", ok=False,
+            error="boom", seconds=0.5, worker_id=1, pid=123,
+            counters={"resumed_items": 2.0},
+        )
+        assert pickle.loads(pickle.dumps(res)) == res
+
+    def test_spec_roundtrip(self):
+        spec = WorkerSpec(target="tests.runtime.proc_targets:build_echo", payload={"x": 1})
+        assert pickle.loads(pickle.dumps(spec)) == spec
+
+
+# ---------------------------------------------------------------------------
+# ProcWorkerPool
+# ---------------------------------------------------------------------------
+
+
+ECHO = WorkerSpec(target="tests.runtime.proc_targets:build_echo")
+FLAKY = WorkerSpec(target="tests.runtime.proc_targets:build_flaky")
+COUNTING = WorkerSpec(target="tests.runtime.proc_targets:build_counting")
+
+
+class TestProcWorkerPool:
+    def test_executes_and_returns_values(self):
+        with ProcWorkerPool(ECHO, ElasticPolicy.fixed(2), name="t") as pool:
+            futures = [
+                pool.submit(WorkEnvelope("stage", f"k{i}", payload=i)) for i in range(8)
+            ]
+            values = [f.result(timeout=30.0) for f in futures]
+        for i, (kind, key, payload, pid) in enumerate(values):
+            assert kind == "stage"
+            assert key == f"k{i}"
+            assert payload == i
+            assert pid != os.getpid()
+
+    def test_work_spreads_across_workers(self):
+        spec = WorkerSpec(target="tests.runtime.proc_targets:build_sleeper", payload=0.05)
+        with ProcWorkerPool(spec, ElasticPolicy.fixed(3), name="t") as pool:
+            futures = [pool.submit(WorkEnvelope("s", str(i))) for i in range(12)]
+            pids = {f.result(timeout=30.0) for f in futures}
+        assert len(pids) == 3
+
+    def test_gather_yields_all_results(self):
+        with ProcWorkerPool(ECHO, ElasticPolicy.fixed(2), name="t") as pool:
+            futures = [pool.submit(WorkEnvelope("s", str(i), payload=i)) for i in range(6)]
+            payloads = sorted(r[2] for r in pool.gather(futures))
+        assert payloads == list(range(6))
+
+    def test_handler_error_becomes_task_error_not_crash(self):
+        with ProcWorkerPool(FLAKY, ElasticPolicy.fixed(1), name="t") as pool:
+            bad = pool.submit(WorkEnvelope("s", "bad-one"))
+            good = pool.submit(WorkEnvelope("s", "fine"))
+            with pytest.raises(WorkerTaskError, match="cannot process bad-one"):
+                bad.result(timeout=30.0)
+            assert good.result(timeout=30.0) == "FINE"
+            stats = pool.stats()
+        assert stats.failed == 1
+        assert stats.completed == 1
+        assert stats.requeues == 0
+
+    def test_worker_crash_requeues_then_fails_when_exhausted(self):
+        with ProcWorkerPool(FLAKY, ElasticPolicy.fixed(1), name="t", max_requeues=1) as pool:
+            doomed = pool.submit(WorkEnvelope("s", "die-hard"))
+            with pytest.raises(WorkerCrashed, match="die-hard"):
+                doomed.result(timeout=60.0)
+            stats = pool.stats()
+        assert stats.requeues == 1
+        assert stats.failed == 1
+        assert stats.respawns >= 1
+
+    def test_sigkill_mid_stage_requeues_onto_fresh_worker(self):
+        spec = WorkerSpec(target="tests.runtime.proc_targets:build_sleeper", payload=0.3)
+        pool = ProcWorkerPool(spec, ElasticPolicy.fixed(1), name="t", max_requeues=1).start()
+        try:
+            future = pool.submit(WorkEnvelope("s", "victim"))
+            assert wait_until(lambda: any(w.pid for w in pool.stats().workers))
+            victim_pid = next(w.pid for w in pool.stats().workers if w.pid)
+            # let the worker pick the envelope up, then kill it mid-unit
+            time.sleep(0.1)
+            os.kill(victim_pid, signal.SIGKILL)
+            survivor_pid = future.result(timeout=60.0)
+            assert survivor_pid != victim_pid
+            stats = pool.stats()
+            assert stats.requeues == 1
+            assert stats.completed == 1
+            assert stats.respawns >= 1
+        finally:
+            pool.close()
+
+    def test_counter_deltas_fold_into_pool_stats(self):
+        with ProcWorkerPool(COUNTING, ElasticPolicy.fixed(2), name="t") as pool:
+            futures = [pool.submit(WorkEnvelope("s", str(i))) for i in range(6)]
+            for f in futures:
+                f.result(timeout=30.0)
+            stats = pool.stats()
+        # "executed" grows by 1 per envelope; "constant" never changes so
+        # its delta is never shipped.
+        assert stats.counters.get("executed") == 6.0
+        assert "constant" not in stats.counters
+        assert stats.units_executed == 6
+        assert stats.busy_seconds >= 0.0
+
+    def test_elastic_scale_out_and_in(self):
+        spec = WorkerSpec(target="tests.runtime.proc_targets:build_sleeper", payload=0.1)
+        policy = ElasticPolicy(
+            enabled=True,
+            min_workers=1,
+            max_workers=3,
+            tasks_per_worker_target=1.0,
+            idle_retire_seconds=0.05,
+        )
+        pool = ProcWorkerPool(spec, policy, name="t").start()
+        try:
+            futures = [pool.submit(WorkEnvelope("s", str(i))) for i in range(12)]
+            for f in futures:
+                f.result(timeout=60.0)
+            assert wait_until(lambda: pool.stats().scale_in_events > 0, timeout=20.0)
+            stats = pool.stats()
+            assert stats.scale_out_events > 0
+            assert stats.workers_launched > 1
+        finally:
+            pool.close()
+        # the floor worker survives scale-in
+        assert pool.stats().completed == 12
+
+    def test_close_idempotent(self):
+        pool = ProcWorkerPool(ECHO, ElasticPolicy.fixed(1), name="t").start()
+        pool.submit(WorkEnvelope("s", "a")).result(timeout=30.0)
+        pool.close()
+        pool.close()
+        pool.terminate()
+
+    def test_submit_after_close_raises(self):
+        pool = ProcWorkerPool(ECHO, ElasticPolicy.fixed(1), name="t").start()
+        pool.close()
+        with pytest.raises(RuntimeError):
+            pool.submit(WorkEnvelope("s", "late"))
+
+    def test_spawn_failure_fails_pending_futures(self):
+        spec = WorkerSpec(target="tests.runtime.proc_targets:build_broken")
+        pool = ProcWorkerPool(spec, ElasticPolicy.fixed(1), name="t").start()
+        try:
+            future = pool.submit(WorkEnvelope("s", "never"))
+            with pytest.raises(WorkerCrashed, match="factory exploded"):
+                future.result(timeout=30.0)
+        finally:
+            pool.terminate()
+
+    def test_terminate_fails_outstanding(self):
+        spec = WorkerSpec(target="tests.runtime.proc_targets:build_sleeper", payload=5.0)
+        pool = ProcWorkerPool(spec, ElasticPolicy.fixed(1), name="t").start()
+        future = pool.submit(WorkEnvelope("s", "slow"))
+        time.sleep(0.2)
+        pool.terminate()
+        with pytest.raises(WorkerCrashed):
+            future.result(timeout=10.0)
+
+    def test_stats_always_present_zeros(self):
+        pool = ProcWorkerPool(ECHO, ElasticPolicy.fixed(1), name="t")
+        stats = pool.stats()
+        assert stats.submitted == 0
+        assert stats.requeues == 0
+        assert stats.scale_out_events == 0
+        assert stats.scale_in_events == 0
+        assert stats.units_executed == 0

@@ -109,6 +109,71 @@ class TestControlPlaneDocs:
             assert command in text
 
 
+class TestScaleOutDocs:
+    """The horizontal scale-out docs track the real pool contract."""
+
+    def architecture(self):
+        return (ROOT / "docs" / "architecture.md").read_text()
+
+    def test_architecture_has_the_section(self):
+        text = self.architecture()
+        assert "## Horizontal scale-out" in text
+        # The operational pieces the section promises.
+        for needle in ("runtime.workers", "--workers", "runtime.elastic",
+                       "WorkEnvelope", "byte-identical", "requeued",
+                       "campaign_scaleout", "report.scaleout"):
+            assert needle in text, f"scale-out docs missing {needle!r}"
+
+    def test_sharding_keys_documented_per_stage(self):
+        text = self.architecture()
+        for needle in ("granule filename", "scene key", "tile-file basename"):
+            assert needle in text, f"sharding key {needle!r} undocumented"
+
+    def test_readme_and_design_point_at_the_section(self):
+        assert "Horizontal scale-out" in (ROOT / "README.md").read_text()
+        assert "Horizontal scale-out" in (ROOT / "DESIGN.md").read_text()
+
+    def test_elastic_policy_knobs_match_the_config(self):
+        """Every policy knob named in the docs is a real ElasticPolicy
+        field, so the section cannot drift from the dataclass."""
+        import dataclasses
+
+        from repro.runtime.elastic import ElasticPolicy
+
+        fields = {f.name for f in dataclasses.fields(ElasticPolicy)}
+        text = self.architecture()
+        for knob in ("min_workers", "max_workers", "tasks_per_worker_target",
+                     "idle_retire_seconds"):
+            assert knob in fields
+            assert knob in text, f"policy knob {knob!r} undocumented"
+
+    def test_cli_exposes_workers_flag(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        assert "--workers" in subparsers.choices["run"].format_help()
+
+    def test_campaign_benchmark_is_recorded(self):
+        """The committed baselines carry the scale-out entry and it
+        holds the acceptance floor: >=2.5x at 4 workers."""
+        import json
+
+        for path in (ROOT / "BENCH_endtoend.json",
+                     ROOT / "benchmarks" / "baselines" / "BENCH_endtoend.json"):
+            marks = json.loads(path.read_text())["benchmarks"]
+            entry = marks["campaign_scaleout"]
+            assert entry["workers"] == 4.0
+            assert entry["speedup_vs_1worker"] >= 2.5, path
+            assert entry["normalized"] <= 0.4, path
+            assert marks["campaign_scaleout_serial"]["reference"] == 1.0
+
+
 class TestExamples:
     def test_every_example_has_docstring_and_main(self):
         for path in sorted((ROOT / "examples").glob("*.py")):
