@@ -16,11 +16,12 @@ byte-for-byte the production path.
 """
 
 from repro.chaos.engine import FaultEvent, FaultInjector, build_injector
-from repro.chaos.plan import FAULT_KINDS, STAGES, FaultPlan, FaultSpec, load_plan
+from repro.chaos.plan import FAULT_KINDS, NET_KINDS, STAGES, FaultPlan, FaultSpec, load_plan
 from repro.chaos.surfaces import (
     CRASH_EXIT_CODE,
     ChaosArchive,
     ChaosTransferClient,
+    ChaosTransport,
     chaos_atomic_write,
     chaos_crash,
     chaos_stall,
@@ -29,6 +30,7 @@ from repro.chaos.surfaces import (
 
 __all__ = [
     "FAULT_KINDS",
+    "NET_KINDS",
     "STAGES",
     "FaultPlan",
     "FaultSpec",
@@ -39,6 +41,7 @@ __all__ = [
     "CRASH_EXIT_CODE",
     "ChaosArchive",
     "ChaosTransferClient",
+    "ChaosTransport",
     "chaos_atomic_write",
     "chaos_crash",
     "chaos_stall",

@@ -70,26 +70,40 @@ class FaultInjector:
         draw = int.from_bytes(digest[:8], "little") / 2**64
         return draw < spec.rate
 
-    def fire(self, stage: str, kind: str, key: str = "") -> List[FaultEvent]:
+    def fire(
+        self, stage: str, kind: str, key: str = "",
+        count_key: Optional[str] = None,
+    ) -> List[FaultEvent]:
         """Decide whether faults of (stage, kind) hit ``key`` right now.
 
         Returns the fired events (empty list = proceed normally) and
         records them in the ledger.  A spec with ``times=N`` fires on the
         first N calls for each selected key; ``times=None`` fires on
         every call.
+
+        ``count_key`` splits the two roles ``key`` normally plays:
+        selection (the rate draw, the ``match`` prefix) still uses
+        ``key``, but the ``times`` budget is counted against
+        ``count_key`` instead.  The wire transport uses this — each call
+        gets a unique key so ``rate`` behaves like per-packet loss, while
+        ``times`` still caps how many calls per protocol phase a spec
+        may hit.
         """
         specs = self._by_site.get((stage, kind))
         if not specs:
             return []
+        budget_key = key if count_key is None else count_key
         events: List[FaultEvent] = []
         for spec_index, spec in specs:
+            if spec.match and not key.startswith(spec.match):
+                continue
             if not self._selects(spec_index, key):
                 continue
             with self._lock:
-                count = self._fired.get((spec_index, key), 0)
+                count = self._fired.get((spec_index, budget_key), 0)
                 if spec.times is not None and count >= spec.times:
                     continue
-                self._fired[(spec_index, key)] = count + 1
+                self._fired[(spec_index, budget_key)] = count + 1
                 event = FaultEvent(
                     stage=stage, kind=kind, key=key,
                     ordinal=count + 1, latency=spec.latency,
@@ -104,7 +118,11 @@ class FaultInjector:
         A read-only probe: no counters move, nothing is recorded.
         """
         specs = self._by_site.get((stage, kind), [])
-        return any(self._selects(index, key) for index, _spec in specs)
+        return any(
+            self._selects(index, key)
+            for index, spec in specs
+            if not spec.match or key.startswith(spec.match)
+        )
 
     # -- accounting ---------------------------------------------------------
 

@@ -22,6 +22,7 @@ from repro.util.config import ConfigError, Field, Schema, boolean, integer, numb
 
 __all__ = [
     "FAULT_KINDS",
+    "NET_KINDS",
     "STAGES",
     "FaultSpec",
     "FaultPlan",
@@ -29,8 +30,10 @@ __all__ = [
 ]
 
 # The workflow stages faults can target: Fig. 2's five boxes, plus the
-# control-plane site agent (killed-mid-lease faults, repro.server.agent).
-STAGES = ("download", "preprocess", "monitor", "inference", "shipment", "agent")
+# control-plane site agent (killed-mid-lease faults, repro.server.agent)
+# and the control-plane wire itself (``net``, repro.chaos.surfaces.
+# ChaosTransport between ControlPlaneClient and the service).
+STAGES = ("download", "preprocess", "monitor", "inference", "shipment", "agent", "net")
 
 # The failure surfaces the paper names as operational reality:
 #   http_transient — LAADS 503 / dropped connection that a retry recovers;
@@ -44,6 +47,21 @@ STAGES = ("download", "preprocess", "monitor", "inference", "shipment", "agent")
 #   crash          — the orchestrator process dies outright (Slurm
 #                    preemption, node crash): os._exit at the surface,
 #                    no cleanup, no handlers — resume must cope.
+#
+# Wire-level kinds (stage ``net``, interpreted by ChaosTransport against
+# the control-plane link; ``latency`` is the outage window in seconds
+# for the stateful kinds):
+#   partition      — the link is severed: connects are refused instantly
+#                    for the whole outage window (site firewall drop);
+#   blackout       — the link is a black hole: requests hang until the
+#                    client timeout expires, for the whole window;
+#   flaky          — individual requests are dropped per-call at ``rate``
+#                    (lossy WAN), no sustained outage;
+#   slow_link      — requests are delivered after ``latency`` seconds of
+#                    added delay (degraded WAN path);
+#   reset          — the request is DELIVERED but the response is lost
+#                    (connection reset after the server acted) — the
+#                    at-least-once hazard that forces idempotent POSTs.
 FAULT_KINDS = (
     "http_transient",
     "http_permanent",
@@ -53,7 +71,15 @@ FAULT_KINDS = (
     "wan_degrade",
     "worker_stall",
     "crash",
+    "partition",
+    "blackout",
+    "flaky",
+    "slow_link",
+    "reset",
 )
+
+# Wire-only kinds: valid only with stage "net".
+NET_KINDS = frozenset({"partition", "blackout", "flaky", "slow_link", "reset"})
 
 # Kinds that keep firing on every retry of the same key (times ignored).
 _UNBOUNDED_KINDS = frozenset({"http_permanent", "corrupt_tile"})
@@ -90,6 +116,7 @@ _FAULT = Schema(
         Field("rate", _rate, required=False, default=1.0),
         Field("times", _positive_or_none, required=False, default=1),
         Field("latency", _non_negative_number, required=False, default=0.05),
+        Field("match", string, required=False, default=""),
     ],
 )
 
@@ -119,7 +146,12 @@ class FaultSpec:
     key see a consistent world.  ``times`` caps how many times the fault
     fires per selected key (``None`` = every time; forced for kinds that
     model permanent damage).  ``latency`` is the injected delay, for the
-    kinds that slow rather than fail.
+    kinds that slow rather than fail — and, for the stateful wire kinds
+    ``partition``/``blackout``, the *duration* of the outage window.
+    ``match`` restricts the fault to operation keys starting with the
+    given prefix; wire specs use it to pick the protocol *phase* that
+    triggers an outage (e.g. ``match: "heartbeat"`` severs the link the
+    first time a heartbeat crosses it).
     """
 
     stage: str
@@ -127,12 +159,22 @@ class FaultSpec:
     rate: float = 1.0
     times: Optional[int] = 1
     latency: float = 0.05
+    match: str = ""
 
     def __post_init__(self) -> None:
         if self.stage not in STAGES:
             raise ValueError(f"unknown stage {self.stage!r} (stages: {STAGES})")
         if self.kind not in FAULT_KINDS:
             raise ValueError(f"unknown fault kind {self.kind!r} (kinds: {FAULT_KINDS})")
+        if self.kind in NET_KINDS and self.stage != "net":
+            raise ValueError(
+                f"fault kind {self.kind!r} is wire-level and requires stage 'net'"
+            )
+        if self.stage == "net" and self.kind not in NET_KINDS:
+            raise ValueError(
+                f"stage 'net' only takes wire-level kinds {sorted(NET_KINDS)}, "
+                f"got {self.kind!r}"
+            )
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")
         if self.times is not None and self.times <= 0:
@@ -144,13 +186,16 @@ class FaultSpec:
             object.__setattr__(self, "times", None)
 
     def to_mapping(self) -> Dict[str, Any]:
-        return {
+        out = {
             "stage": self.stage,
             "kind": self.kind,
             "rate": self.rate,
             "times": self.times,
             "latency": self.latency,
         }
+        if self.match:
+            out["match"] = self.match
+        return out
 
 
 @dataclass(frozen=True)

@@ -10,7 +10,10 @@ translates fired :class:`~repro.chaos.engine.FaultEvent` records into the
   litter) and post-completion corruption (crawler-visible partials /
   bit-rot) at the NetCDF write boundary;
 * :class:`ChaosTransferClient` — WAN degradation on the shipment path;
-* :func:`chaos_stall` — compute workers that hang before progressing.
+* :func:`chaos_stall` — compute workers that hang before progressing;
+* :class:`ChaosTransport` — the control-plane *wire* itself: partitions,
+  blackouts, lossy links, and reset-after-delivery between a
+  :class:`~repro.server.client.ControlPlaneClient` and the service.
 
 Every wrapper takes ``Optional[FaultInjector]`` and degenerates to the
 undecorated behaviour when it is ``None``, so production code paths pay
@@ -21,7 +24,10 @@ from __future__ import annotations
 
 import hashlib
 import os
+import threading
 import time
+import urllib.parse
+import urllib.request
 from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.chaos.engine import FaultInjector
@@ -34,6 +40,7 @@ __all__ = [
     "CRASH_EXIT_CODE",
     "ChaosArchive",
     "ChaosTransferClient",
+    "ChaosTransport",
     "chaos_atomic_write",
     "chaos_crash",
     "chaos_stall",
@@ -171,6 +178,132 @@ class ChaosArchive:
         if self._chaos.fire("download", "http_transient", key):
             raise OSError(f"chaos: HTTP 503 Service Unavailable for {key}")
         return self._inner.fetch(ref, bands)
+
+
+class ChaosTransport:
+    """The control-plane wire as a failure surface.
+
+    An ``opener``-compatible callable for
+    :class:`~repro.server.client.ControlPlaneClient` — drop-in for
+    ``urllib.request.urlopen`` — that interprets the plan's ``net``-stage
+    fault kinds against a **stateful link model**:
+
+    * ``partition`` / ``blackout`` are *outages*: the first request whose
+      protocol phase matches the spec's ``match`` prefix trigger-trips the
+      link, and for the next ``latency`` seconds **every** phase is
+      severed — a partitioned site cannot even reach ``/v1/health``.
+      Partition refuses connections instantly
+      (:class:`ConnectionRefusedError`); blackout is a black hole — the
+      caller burns its full timeout before :class:`TimeoutError`.
+    * ``flaky`` drops individual requests per-call at the spec's ``rate``
+      (keys are ``{phase}#{seq}``, so the drop pattern is seeded and
+      repeatable).
+    * ``slow_link`` delivers after ``latency`` seconds of added delay.
+    * ``reset`` is the nastiest: the request IS delivered to the server,
+      then the response is torn away — the client cannot tell "server
+      never saw it" from "server acted and the ack was lost".  This is
+      the at-least-once hazard that forces dedupe keys and fencing on
+      every non-idempotent POST.
+
+    Share one instance across every client of a site to model one
+    physical link: when the link is down, the agent's poll loop, its
+    heartbeat thread, and its reconnect probes all see the same outage.
+    Thread-safe; ``clock`` and ``sleeper`` are injectable for tests.
+    """
+
+    def __init__(
+        self,
+        chaos: FaultInjector,
+        inner: Optional[Callable[..., object]] = None,
+        clock: Callable[[], float] = time.monotonic,
+        sleeper: Callable[[float], None] = time.sleep,
+    ):
+        self._chaos = chaos
+        self._inner = inner or urllib.request.urlopen
+        self._clock = clock
+        self._sleeper = sleeper
+        self._lock = threading.Lock()
+        self._seq = 0
+        self._outage_kind: Optional[str] = None
+        self._outage_until = 0.0
+        self.stats: dict = {
+            "outages": 0, "refused": 0, "blackholed": 0,
+            "dropped": 0, "delayed": 0, "resets": 0, "delivered": 0,
+        }
+
+    def _bump(self, name: str) -> None:
+        with self._lock:
+            self.stats[name] += 1
+
+    @property
+    def severed(self) -> bool:
+        """Is an outage window open right now?"""
+        with self._lock:
+            return self._clock() < self._outage_until
+
+    def heal(self) -> None:
+        """Close any open outage window (operator fixed the link)."""
+        with self._lock:
+            self._outage_until = 0.0
+            self._outage_kind = None
+
+    def __call__(self, req, timeout: Optional[float] = None):
+        phase = _request_phase(req)
+        with self._lock:
+            self._seq += 1
+            key = f"{phase}#{self._seq}"
+            now = self._clock()
+            active = now < self._outage_until
+            kind = self._outage_kind
+            remaining = self._outage_until - now
+        if not active:
+            # An un-severed link: a matched phase may trip a new outage.
+            for want in ("partition", "blackout"):
+                events = self._chaos.fire("net", want, phase)
+                if events:
+                    with self._lock:
+                        self._outage_kind = want
+                        self._outage_until = now + events[0].latency
+                        self.stats["outages"] += 1
+                    active, kind, remaining = True, want, events[0].latency
+                    break
+        if active:
+            if kind == "blackout":
+                wait = remaining if timeout is None else min(timeout, remaining)
+                self._sleeper(max(0.0, wait))
+                self._bump("blackholed")
+                raise TimeoutError(f"chaos: blackout, {phase} request timed out")
+            self._bump("refused")
+            raise ConnectionRefusedError(
+                f"chaos: partition, {phase} connection refused"
+            )
+        for event in self._chaos.fire("net", "slow_link", key, count_key=phase):
+            self._sleeper(event.latency)
+            self._bump("delayed")
+        if self._chaos.fire("net", "flaky", key, count_key=phase):
+            self._bump("dropped")
+            raise ConnectionResetError(f"chaos: flaky wire dropped {phase} request")
+        if self._chaos.fire("net", "reset", key, count_key=phase):
+            # Deliver the request, then tear the response away: the server
+            # acted, the client will never know.
+            response = self._inner(req, timeout=timeout)
+            try:
+                response.read()
+            finally:
+                response.close()
+            self._bump("resets")
+            raise ConnectionResetError(
+                f"chaos: connection reset after {phase} request was delivered"
+            )
+        self._bump("delivered")
+        return self._inner(req, timeout=timeout)
+
+
+def _request_phase(req) -> str:
+    """The protocol phase of one urllib Request (lazy import: net.http)."""
+    from repro.net.http import classify_phase
+
+    return classify_phase(req.get_method(), urllib.parse.urlsplit(req.full_url).path)
 
 
 class ChaosTransferClient(LocalTransferClient):

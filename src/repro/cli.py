@@ -119,6 +119,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="exit after executing N units")
     agent.add_argument("--drain", action="store_true",
                        help="exit once several consecutive polls find no work")
+    agent.add_argument("--outbox", default=None, metavar="PATH",
+                       help="durable spool for results that could not be "
+                            "delivered during a partition (JSONL)")
+    agent.add_argument("--reconnect-limit", type=int, default=3,
+                       help="reconnect probes before giving up when the "
+                            "server is unreachable (negative: probe forever)")
     return parser
 
 
@@ -364,8 +370,11 @@ def _cmd_agent(args: argparse.Namespace) -> int:
 
     name = args.name or f"{socket.gethostname()}-{os.getpid()}"
     client = ControlPlaneClient(args.server)
-    agent = SiteAgent(client, name=name, site=args.site, ttl=args.ttl,
-                      poll_interval=args.poll_interval)
+    agent = SiteAgent(
+        client, name=name, site=args.site, ttl=args.ttl,
+        poll_interval=args.poll_interval, outbox=args.outbox,
+        reconnect_limit=None if args.reconnect_limit < 0 else args.reconnect_limit,
+    )
     print(f"agent {name} (site {args.site or '-'}) polling {args.server}")
     try:
         stats = agent.run(
@@ -379,6 +388,10 @@ def _cmd_agent(args: argparse.Namespace) -> int:
         stats = agent.stats
     print(f"agent {name}: {stats.completed} completed, {stats.failed} failed, "
           f"{stats.lost_leases} lost lease(s), {stats.idle_polls} idle poll(s)")
+    if stats.disconnects:
+        print(f"agent {name}: {stats.disconnects} disconnect(s), "
+              f"{stats.reconnect_attempts} reconnect attempt(s), "
+              f"{stats.outbox_replayed} spooled record(s) replayed")
     return 0 if stats.failed == 0 else 1
 
 

@@ -58,7 +58,17 @@ from repro.runtime import (
 from repro.runtime.proc import PoolStats, ProcWorkerPool
 from repro.telemetry import MetricsRegistry
 
-__all__ = ["WorkflowReport", "EOMLWorkflow"]
+__all__ = ["PARTITION_COUNTERS", "WorkflowReport", "EOMLWorkflow"]
+
+# The degraded-mode counter schema shared by the local report (structural
+# zeros), the site agent's stats, and the server's /metrics namespace.
+PARTITION_COUNTERS = (
+    "disconnects",
+    "reconnect_attempts",
+    "outbox_spooled",
+    "outbox_replayed",
+    "fenced_rejections",
+)
 
 
 @dataclass
@@ -93,6 +103,12 @@ class WorkflowReport:
     # zeros with an empty per_worker list in single-process mode — so
     # dashboards and regression gates can rely on them.
     scaleout: Dict[str, object] = field(default_factory=dict)
+    # Partition-tolerance accounting (wire outages, degraded-mode agent
+    # operation, fenced rejections).  Same always-present discipline:
+    # the local path never crosses a wire so every counter is zero here,
+    # but the schema matches what multi-facility agents report, so one
+    # dashboard serves both.
+    partition: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_tiles(self) -> int:
@@ -790,6 +806,15 @@ class EOMLWorkflow:
         metrics.counter("pool.scale_in_events").inc(int(scaleout["scale_in_events"]))
         metrics.counter("pool.workers_launched").inc(int(scaleout["workers_launched"]))
 
+        # Partition-tolerance accounting: the local path never crosses a
+        # wire, so these are structural zeros — registered anyway so the
+        # clean-run baseline ("no partitions means every counter is 0")
+        # is checkable rather than merely absent.
+        partition: Dict[str, object] = {"enabled": False}
+        for key in PARTITION_COUNTERS:
+            partition[key] = 0
+            metrics.counter(f"partition.{key}").inc(0)
+
         # Streaming dataflow accounting: per-edge queue depth / stall /
         # wait rollups plus the measured stage-overlap seconds that the
         # pipelining bought (empty/zero under barrier mode).
@@ -844,4 +869,5 @@ class EOMLWorkflow:
             stream=stream_summary,
             stage_overlap_seconds=overlap,
             scaleout=scaleout,
+            partition=partition,
         )

@@ -12,6 +12,16 @@ Three effects shape the paper's Fig. 3 (download speed vs product size for
   site-to-site share, which is why 6 workers gain only a few MB/s over 3.
 
 :class:`HttpServer` composes all three on a :class:`FluidPipe`.
+
+This module also owns the control plane's **wire phase taxonomy**:
+every HTTP exchange between a facility and the central service belongs
+to one of :data:`PHASES`, and :func:`classify_phase` maps a concrete
+``(method, path)`` onto it.  The taxonomy is the shared vocabulary of
+the per-endpoint retry budgets in :class:`~repro.server.client.
+ControlPlaneClient` and the wire-level fault injector
+(:class:`~repro.chaos.surfaces.ChaosTransport`): a fault plan says
+"sever the link at the *heartbeat* phase" in the same words the client
+uses to decide how hard that request may be retried.
 """
 
 from __future__ import annotations
@@ -24,7 +34,46 @@ from repro.net.retry import BackoffPolicy, BreakerOpen, CircuitBreaker
 from repro.sim import Event, FluidPipe, Simulation
 from repro.util.logging import EventLog
 
-__all__ = ["HttpServer", "DownloadResult", "HttpError", "retrying_request"]
+__all__ = [
+    "HttpServer", "DownloadResult", "HttpError", "retrying_request",
+    "PHASES", "classify_phase",
+]
+
+# The agent/server interaction phases of the control-plane protocol.
+# ``submit``/``status``/``control`` are the operator's phases; ``lease``
+# ``heartbeat``/``complete``/``reconcile`` are the agent's; ``health``/
+# ``metrics`` are probes.  ``other`` catches unrouted paths.
+PHASES = (
+    "submit", "status", "control",
+    "lease", "heartbeat", "complete", "reconcile",
+    "health", "metrics", "other",
+)
+
+
+def classify_phase(method: str, path: str) -> str:
+    """Map one control-plane request onto its protocol phase."""
+    path = path.rstrip("/")
+    if path == "/v1/health":
+        return "health"
+    if path == "/v1/metrics":
+        return "metrics"
+    if path == "/v1/lease":
+        return "lease"
+    if path.startswith("/v1/lease/"):
+        if path.endswith("/heartbeat"):
+            return "heartbeat"
+        if path.endswith("/complete"):
+            return "complete"
+        return "other"
+    if path == "/v1/reconcile":
+        return "reconcile"
+    if path == "/v1/runs":
+        return "submit" if method.upper() == "POST" else "status"
+    if path.startswith("/v1/runs/"):
+        if path.endswith(("/pause", "/resume", "/retry")):
+            return "control"
+        return "status"
+    return "other"
 
 
 class HttpError(RuntimeError):

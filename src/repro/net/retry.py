@@ -33,6 +33,8 @@ __all__ = [
     "BackoffPolicy",
     "CircuitBreaker",
     "BreakerOpen",
+    "EndpointPolicy",
+    "ENDPOINT_POLICIES",
     "RetryExhausted",
     "retry_call",
 ]
@@ -53,6 +55,16 @@ class BackoffPolicy:
     deterministically in ``[(1 - jitter) * cap, cap]``.  ``max_total``
     bounds the cumulative sleep of any schedule: :meth:`schedule` clips
     the last delay and stops once the budget is exhausted.
+
+    With ``full_jitter=True`` the delay is instead drawn over the whole
+    ``[0, cap]`` interval (AWS "full jitter").  That is the right shape
+    when a *fleet* retries against one endpoint — e.g. every site agent
+    reconnecting the moment a network partition heals: partial jitter
+    keeps the fleet clustered near the cap and the healed server eats a
+    thundering herd, while full jitter spreads the reconnects across the
+    whole window.  Determinism is unchanged — the draw is still a hash
+    of (seed, key, attempt), so distinct agent keys decorrelate while a
+    fixed seed reproduces the exact schedule.
     """
 
     base: float = 0.05
@@ -61,6 +73,7 @@ class BackoffPolicy:
     max_total: float = 30.0
     jitter: float = 0.5
     seed: int = 0
+    full_jitter: bool = False
 
     def __post_init__(self) -> None:
         if self.base < 0 or self.factor < 1.0:
@@ -79,6 +92,8 @@ class BackoffPolicy:
     def delay(self, attempt: int, key: str = "") -> float:
         """The deterministic jittered delay for one attempt."""
         cap = self.cap(attempt)
+        if self.full_jitter:
+            return cap * _unit_interval(self.seed, key, attempt)
         if self.jitter == 0.0:
             return cap
         return cap * (1.0 - self.jitter * _unit_interval(self.seed, key, attempt))
@@ -101,6 +116,52 @@ class BackoffPolicy:
             if len(out) >= attempts:
                 break
         return out
+
+
+@dataclass(frozen=True)
+class EndpointPolicy:
+    """The retry/timeout budget for one control-plane protocol phase.
+
+    Retrying a request is only safe when re-applying it cannot change
+    state: either the endpoint is **idempotent** (GETs, heartbeat
+    extension, reconcile replay) or the caller holds a justification —
+    a dedupe key the server replays (submit, lease) or a fencing token
+    the server checks (complete).  ``idempotent=False`` means the client
+    grants ZERO retries unless such a token accompanies the request.
+
+    ``retries`` overrides the client's default retry count for the phase
+    (``None`` = inherit); ``timeout_scale`` multiplies the client's base
+    timeout — probes should give up fast (a partitioned agent must
+    notice quickly), submissions may legitimately take longer (server-
+    side config validation).
+    """
+
+    idempotent: bool
+    retries: int | None = None
+    timeout_scale: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.retries is not None and self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.timeout_scale <= 0:
+            raise ValueError("timeout_scale must be positive")
+
+
+# The canonical per-phase budgets, keyed by repro.net.http.classify_phase
+# phases.  Used by ControlPlaneClient; tests pin the safety-critical
+# entries (lease/submit/complete are non-idempotent).
+ENDPOINT_POLICIES: Dict[str, EndpointPolicy] = {
+    "health": EndpointPolicy(idempotent=True, retries=0, timeout_scale=0.5),
+    "metrics": EndpointPolicy(idempotent=True),
+    "status": EndpointPolicy(idempotent=True),
+    "control": EndpointPolicy(idempotent=True),
+    "submit": EndpointPolicy(idempotent=False, timeout_scale=2.0),
+    "lease": EndpointPolicy(idempotent=False),
+    "heartbeat": EndpointPolicy(idempotent=True, retries=1, timeout_scale=0.5),
+    "complete": EndpointPolicy(idempotent=False),
+    "reconcile": EndpointPolicy(idempotent=True),
+    "other": EndpointPolicy(idempotent=False, retries=0),
+}
 
 
 class BreakerOpen(RuntimeError):

@@ -33,10 +33,12 @@ from repro.server.client import (
     ServerUnavailable,
     UnitSummary,
 )
-from repro.server.execution import execute_unit, unit_graph
+from repro.server.execution import LeaseLost, execute_unit, unit_graph
+from repro.server.outbox import Outbox
 from repro.server.service import ControlPlaneServer, serve
 from repro.server.store import (
     Conflict,
+    Fenced,
     NotFound,
     RunStore,
     StoreError,
@@ -50,8 +52,11 @@ __all__ = [
     "ControlPlaneClient",
     "ControlPlaneError",
     "ControlPlaneServer",
+    "Fenced",
     "Lease",
+    "LeaseLost",
     "NotFound",
+    "Outbox",
     "RequestFailed",
     "RunStore",
     "RunSummary",

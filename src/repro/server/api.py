@@ -16,14 +16,17 @@ unchanged.  The table below is the service contract (pinned by
     POST /v1/runs/{run}/pause                stop leasing this run's units
     POST /v1/runs/{run}/resume               resume leasing
     POST /v1/runs/{run}/units/{unit}/retry   requeue a terminal unit
-    POST /v1/lease                           {agent, site?, ttl?} -> unit | 204
+    POST /v1/lease                           {agent, site?, ttl?, request_id?} -> unit | 204
     POST /v1/lease/{lease}/heartbeat         {ttl?} extend the lease
     POST /v1/lease/{lease}/complete          {status, result?, error?}
+    POST /v1/reconcile                       {agent, records} replay a spooled outbox
 
 Errors are JSON ``{"error": message}`` with conventional status codes:
-400 malformed, 404 unknown entity, 409 state conflict.  Expired leases
-are swept on every request, so a dead agent's work requeues no later
-than the next API touch.
+400 malformed, 404 unknown entity, 409 state conflict (including fenced
+stale-lease writes).  Expired leases are swept on every request, so a
+dead agent's work requeues no later than the next API touch.  The
+non-idempotent POSTs (submit, lease) accept a ``request_id`` dedupe key
+so a client may retry them safely over a lossy wire.
 """
 
 from __future__ import annotations
@@ -33,7 +36,7 @@ import time
 from typing import Any, Callable, Dict, List, Mapping, Optional, Tuple
 
 import repro
-from repro.server.store import Conflict, NotFound, RunStore
+from repro.server.store import Conflict, Fenced, NotFound, RunStore
 from repro.telemetry import MetricsRegistry
 
 __all__ = ["ApiError", "ControlPlaneAPI", "ROUTES"]
@@ -65,6 +68,7 @@ ROUTES: List[Tuple[str, str, str]] = [
     ("POST", r"^/v1/lease$", "lease"),
     ("POST", r"^/v1/lease/(?P<lease>[^/]+)/heartbeat$", "heartbeat"),
     ("POST", r"^/v1/lease/(?P<lease>[^/]+)/complete$", "complete"),
+    ("POST", r"^/v1/reconcile$", "reconcile"),
 ]
 
 
@@ -88,6 +92,13 @@ class ControlPlaneAPI:
             "api.latency_seconds",
             buckets=(0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0),
         )
+        # Partition-tolerance counters are always present (registered at
+        # zero) so dashboards and tests can assert "zero on clean runs"
+        # instead of "absent".
+        for name in ("partition.fenced_rejections", "partition.reconciles",
+                     "partition.outbox_replayed", "partition.deduped_requests",
+                     "partition.disconnects", "partition.reconnect_attempts"):
+            self.metrics.counter(name).inc(0)
 
     # -- dispatch -------------------------------------------------------------
 
@@ -130,6 +141,9 @@ class ControlPlaneAPI:
                 return exc.status, {"error": exc.message}, route
             except NotFound as exc:
                 return 404, {"error": str(exc)}, route
+            except Fenced as exc:
+                self.metrics.counter("partition.fenced_rejections").inc()
+                return 409, {"error": str(exc), "fenced": True}, route
             except Conflict as exc:
                 return 409, {"error": str(exc)}, route
             except (ValueError, KeyError, TypeError) as exc:
@@ -162,10 +176,15 @@ class ControlPlaneAPI:
         except Exception as exc:  # ConfigError or ValueError
             raise ApiError(400, f"invalid workflow config: {exc}") from exc
         units = unit_graph(parsed)
+        before = self.store.dedupe_hits
         run = self.store.submit_run(
-            config, units, name=str(body.get("name") or parsed.name)
+            config, units, name=str(body.get("name") or parsed.name),
+            request_id=str(body.get("request_id") or ""),
         )
-        self.metrics.counter("runs.submitted").inc()
+        if self.store.dedupe_hits > before:
+            self.metrics.counter("partition.deduped_requests").inc(kind="submit")
+        else:
+            self.metrics.counter("runs.submitted").inc()
         return 201, {"run": run}
 
     def list_runs(self, match: Dict[str, str], body: Mapping[str, Any]) -> Response:
@@ -193,14 +212,19 @@ class ControlPlaneAPI:
         if not agent or not isinstance(agent, str):
             raise ApiError(400, "lease body must carry an 'agent' name")
         ttl = body.get("ttl")
+        before = self.store.dedupe_hits
         leased = self.store.lease(
             agent,
             site=str(body.get("site") or ""),
             ttl=float(ttl) if ttl is not None else None,
+            request_id=str(body.get("request_id") or ""),
         )
         if leased is None:
             return 204, None
-        self.metrics.counter("leases.granted").inc(unit=leased["unit"])
+        if self.store.dedupe_hits > before:
+            self.metrics.counter("partition.deduped_requests").inc(kind="lease")
+        else:
+            self.metrics.counter("leases.granted").inc(unit=leased["unit"])
         return 200, {"lease": leased}
 
     def heartbeat(self, match: Dict[str, str], body: Mapping[str, Any]) -> Response:
@@ -222,4 +246,38 @@ class ControlPlaneAPI:
             error=body.get("error"),
         )
         self.metrics.counter("units.completed").inc(status=outcome["status"])
+        return 200, outcome
+
+    def reconcile(self, match: Dict[str, str], body: Mapping[str, Any]) -> Response:
+        agent = body.get("agent")
+        if not agent or not isinstance(agent, str):
+            raise ApiError(400, "reconcile body must carry an 'agent' name")
+        records = body.get("records", [])
+        if not isinstance(records, list) or any(
+            not isinstance(r, Mapping) for r in records
+        ):
+            raise ApiError(400, "'records' must be a list of mappings")
+        outcome = self.store.reconcile(agent, records)
+        self.metrics.counter("partition.reconciles").inc(agent=agent)
+        # The agent's own view of the outage rides along: how many times
+        # it dropped into degraded mode and how many probes the reconnect
+        # took.  The server cannot observe a severed wire directly, so
+        # this is the only way those counters reach central /metrics.
+        stats = body.get("stats")
+        if isinstance(stats, Mapping):
+            for key in ("disconnects", "reconnect_attempts"):
+                try:
+                    value = int(stats.get(key, 0))
+                except (TypeError, ValueError):
+                    continue
+                if value > 0:
+                    self.metrics.counter(f"partition.{key}").inc(value, agent=agent)
+        counts = outcome["counts"]
+        replayed = counts.get("applied", 0) + counts.get("duplicate", 0)
+        if replayed:
+            self.metrics.counter("partition.outbox_replayed").inc(replayed)
+        if counts.get("fenced"):
+            self.metrics.counter("partition.fenced_rejections").inc(
+                counts["fenced"]
+            )
         return 200, outcome

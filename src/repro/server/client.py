@@ -10,7 +10,17 @@ handle differently:
   WAN will see them routinely.
 * :class:`RequestFailed` — the server answered with an error status.
   Carries ``.status`` so the agent can distinguish a lost lease (404 /
-  409) from a bad request (400).
+  409) from a bad request (400), and ``.fenced`` when the 409 is a
+  fencing rejection (the unit's new owner is authoritative).
+
+Retries are governed by the per-phase budgets in
+:data:`repro.net.retry.ENDPOINT_POLICIES`: idempotent requests (GETs,
+heartbeat, reconcile) retry on connect errors and HTTP 5xx, but a
+non-idempotent POST (submit, lease, complete) is **never** blind-retried
+— it gets retries only when it carries a justification the server can
+check: a ``request_id`` dedupe key (submit/lease, generated per logical
+call so the retry replays the original outcome) or a fencing token
+(complete, whose lease the store fences).
 
 Successful responses are decoded into small typed records
 (:class:`RunSummary`, :class:`UnitSummary`, :class:`Lease`) so callers
@@ -23,8 +33,12 @@ import json
 import time
 import urllib.error
 import urllib.request
+import uuid
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional
+
+from repro.net.http import classify_phase
+from repro.net.retry import ENDPOINT_POLICIES, EndpointPolicy
 
 __all__ = [
     "ControlPlaneError",
@@ -48,10 +62,13 @@ class ServerUnavailable(ControlPlaneError):
 class RequestFailed(ControlPlaneError):
     """The control plane answered with an error status."""
 
-    def __init__(self, status: int, message: str):
+    def __init__(self, status: int, message: str, fenced: bool = False):
         super().__init__(f"[{status}] {message}")
         self.status = status
         self.message = message
+        # True when a 409 is a fencing rejection: this holder's lease
+        # epoch is stale and the unit's new owner is authoritative.
+        self.fenced = fenced
 
 
 @dataclass(frozen=True)
@@ -126,6 +143,7 @@ class Lease:
     ttl: float
     expires_at: float
     config: Dict[str, Any]
+    fence: int = 0
 
     @classmethod
     def from_wire(cls, raw: Mapping[str, Any]) -> "Lease":
@@ -137,6 +155,7 @@ class Lease:
             ttl=float(raw["ttl"]),
             expires_at=float(raw["expires_at"]),
             config=dict(raw["config"]),
+            fence=int(raw.get("fence", 0)),
         )
 
 
@@ -158,6 +177,11 @@ class ControlPlaneClient:
         self.backoff = backoff
         self._sleep = sleeper
         self._open = opener or urllib.request.urlopen
+        # Wire-health accounting the agent folds into its degraded-mode
+        # metrics: how often the link failed, and how it failed.
+        self.stats: Dict[str, int] = {
+            "connect_errors": 0, "server_errors": 0, "retries": 0,
+        }
 
     # -- transport ------------------------------------------------------------
 
@@ -166,11 +190,27 @@ class ControlPlaneClient:
         method: str,
         path: str,
         body: Optional[Mapping[str, Any]] = None,
+        retry_token: str = "",
     ) -> Optional[Dict[str, Any]]:
-        """One API call; returns the decoded payload (``None`` on 204)."""
+        """One API call; returns the decoded payload (``None`` on 204).
+
+        ``retry_token`` is the caller's justification for retrying a
+        non-idempotent POST: a dedupe key the server replays, or a
+        fencing token it checks.  Without one, such a POST gets exactly
+        one attempt — a lost response must surface as
+        :class:`ServerUnavailable`, never as a silent double-submit.
+        """
+        phase = classify_phase(method, path)
+        policy: EndpointPolicy = ENDPOINT_POLICIES.get(
+            phase, ENDPOINT_POLICIES["other"]
+        )
+        budget = policy.retries if policy.retries is not None else self.retries
+        if not policy.idempotent and not retry_token:
+            budget = 0
+        timeout = self.timeout * policy.timeout_scale
         data = None if body is None else json.dumps(dict(body)).encode("utf-8")
         last: Optional[Exception] = None
-        for attempt in range(self.retries + 1):
+        for attempt in range(budget + 1):
             req = urllib.request.Request(
                 self.base_url + path,
                 data=data,
@@ -178,22 +218,38 @@ class ControlPlaneClient:
                 headers={"Content-Type": "application/json"},
             )
             try:
-                with self._open(req, timeout=self.timeout) as response:
+                with self._open(req, timeout=timeout) as response:
                     blob = response.read()
                     if response.status == 204 or not blob:
                         return None
                     return json.loads(blob.decode("utf-8"))
             except urllib.error.HTTPError as exc:
-                # The server answered: not a connectivity problem, no retry.
+                # The server answered: connectivity is fine.  4xx is a
+                # definitive answer — never retried.  5xx is a server-side
+                # fault; it may or may not have applied, so it is retried
+                # only under the same idempotent-or-tokened rule.
                 detail = exc.read()
+                fenced = False
                 try:
-                    message = json.loads(detail.decode("utf-8")).get("error", "")
+                    payload = json.loads(detail.decode("utf-8"))
+                    message = payload.get("error", "")
+                    fenced = bool(payload.get("fenced"))
                 except (ValueError, UnicodeDecodeError):
-                    message = detail.decode("utf-8", "replace") or exc.reason
-                raise RequestFailed(exc.code, message) from None
+                    message = detail.decode("utf-8", "replace") or str(exc.reason)
+                if exc.code >= 500 and attempt < budget:
+                    self.stats["server_errors"] += 1
+                    self.stats["retries"] += 1
+                    self._sleep(self.backoff * (2 ** attempt))
+                    continue
+                raise RequestFailed(exc.code, message, fenced=fenced) from None
             except (urllib.error.URLError, ConnectionError, TimeoutError, OSError) as exc:
+                # Connect-refused / timeout / reset: the server may never
+                # have seen the request (or saw it and the answer died on
+                # the wire — which is why the token rule exists).
                 last = exc
-                if attempt < self.retries:
+                self.stats["connect_errors"] += 1
+                if attempt < budget:
+                    self.stats["retries"] += 1
                     self._sleep(self.backoff * (2 ** attempt))
         raise ServerUnavailable(
             f"control plane at {self.base_url} is unreachable: {last}"
@@ -208,10 +264,13 @@ class ControlPlaneClient:
         return self.request("GET", "/v1/metrics") or {}
 
     def submit(self, config: Mapping[str, Any], name: str = "") -> RunSummary:
-        body: Dict[str, Any] = {"config": dict(config)}
+        # One dedupe key per logical submission: every wire retry of this
+        # call replays the same run instead of creating twins.
+        request_id = f"submit-{uuid.uuid4().hex}"
+        body: Dict[str, Any] = {"config": dict(config), "request_id": request_id}
         if name:
             body["name"] = name
-        payload = self.request("POST", "/v1/runs", body)
+        payload = self.request("POST", "/v1/runs", body, retry_token=request_id)
         return RunSummary.from_wire(payload["run"])
 
     def runs(self) -> List[RunSummary]:
@@ -244,12 +303,15 @@ class ControlPlaneClient:
     def lease(
         self, agent: str, site: str = "", ttl: Optional[float] = None
     ) -> Optional[Lease]:
-        body: Dict[str, Any] = {"agent": agent}
+        # One dedupe key per ask: a retried grant returns the original
+        # lease, never a second unit for the same poll.
+        request_id = f"lease-{agent}-{uuid.uuid4().hex}"
+        body: Dict[str, Any] = {"agent": agent, "request_id": request_id}
         if site:
             body["site"] = site
         if ttl is not None:
             body["ttl"] = ttl
-        payload = self.request("POST", "/v1/lease", body)
+        payload = self.request("POST", "/v1/lease", body, retry_token=request_id)
         if payload is None:
             return None
         return Lease.from_wire(payload["lease"])
@@ -265,9 +327,33 @@ class ControlPlaneClient:
         result: Optional[Mapping[str, Any]] = None,
         error: Optional[str] = None,
     ) -> Dict[str, Any]:
+        # The lease id IS the fencing token: the store acks a repeat POST
+        # from a completed lease and fences a stale one, so retrying over
+        # a lossy wire cannot double-publish.
         body: Dict[str, Any] = {"status": status}
         if result is not None:
             body["result"] = dict(result)
         if error is not None:
             body["error"] = error
-        return self.request("POST", f"/v1/lease/{lease_id}/complete", body) or {}
+        return self.request(
+            "POST", f"/v1/lease/{lease_id}/complete", body, retry_token=lease_id
+        ) or {}
+
+    def reconcile(
+        self,
+        agent: str,
+        records: List[Mapping[str, Any]],
+        stats: Optional[Mapping[str, int]] = None,
+    ) -> Dict[str, Any]:
+        """Replay a spooled outbox after a partition heals (idempotent).
+
+        ``stats`` optionally carries the agent's outage accounting
+        (disconnects, reconnect attempts) so the central ``/metrics``
+        endpoint can expose wire failures the server never saw.
+        """
+        body: Dict[str, Any] = {
+            "agent": agent, "records": [dict(r) for r in records],
+        }
+        if stats:
+            body["stats"] = dict(stats)
+        return self.request("POST", "/v1/reconcile", body) or {}

@@ -33,7 +33,18 @@ from repro.core.config import EOMLConfig
 from repro.journal import WorkflowJournal
 from repro.server import wire
 
-__all__ = ["unit_graph", "validate_remote_config", "execute_unit"]
+__all__ = ["LeaseLost", "unit_graph", "validate_remote_config", "execute_unit"]
+
+
+class LeaseLost(RuntimeError):
+    """The agent's lease was fenced away mid-execution: stand down.
+
+    Raised from :func:`execute_unit` when its ``cancel`` event fires (a
+    heartbeat learned the lease expired and the unit was requeued).  The
+    agent treats it as a clean relinquish — no completion POST, no
+    failure record — because the unit's new owner is authoritative and
+    the journal makes that owner's re-execution byte-identical.
+    """
 
 
 def unit_graph(config: EOMLConfig) -> List[Tuple[str, List[str]]]:
@@ -142,6 +153,7 @@ def execute_unit(
     raw_config: Mapping[str, Any],
     unit: str,
     chaos: Any = None,
+    cancel: Any = None,
 ) -> Dict[str, Any]:
     """Run one work-unit of a submitted run to completion.
 
@@ -150,7 +162,19 @@ def execute_unit(
     paths inside ``raw_config`` are taken literally: agents of one run
     must share the filesystem those paths live on (or be the only
     facility executing the stages that touch them).
+
+    ``cancel`` is an optional ``threading.Event``-like object (anything
+    with ``is_set()``): when the agent's heartbeat thread learns the
+    lease was fenced away, it fires the event and the execution raises
+    :class:`LeaseLost` at the next checkpoint instead of racing the
+    unit's new owner through the publish path.
     """
+
+    def _check_cancel(where: str) -> None:
+        if cancel is not None and cancel.is_set():
+            raise LeaseLost(f"lease fenced away ({where}); standing down")
+
+    _check_cancel("before start")
     config = validate_remote_config(raw_config)
     if chaos is None:
         # Same wiring as the local path: a chaos: section in the
@@ -173,9 +197,16 @@ def execute_unit(
         node = plan.node(unit)
         if node.when is not None and not node.when(state):
             return {"skipped": True}
+        _check_cancel("before node body")
         scope = node.scope(state) if node.scope is not None else nullcontext()
         with scope:
             value = node.run(state)
+        # The fencing checkpoint that matters most: the body finished but
+        # nothing is published to the control plane yet.  If the lease was
+        # lost while computing, stop here — the journal keeps the local
+        # work for whoever re-executes, and the new owner's POST is the
+        # only one the server will accept anyway.
+        _check_cancel("after node body")
         if unit == "download":
             wire.save_state(
                 config.journal_dir, "download", wire.download_report_to_wire(value)

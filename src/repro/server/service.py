@@ -92,6 +92,9 @@ class ControlPlaneServer(ThreadingHTTPServer):
         metrics: Optional[MetricsRegistry] = None,
     ):
         self.store = store if store is not None else RunStore(db_path)
+        # A restarted server may be inheriting state a killed predecessor
+        # left mid-flight: repair it before accepting any request.
+        self.swept = self.store.startup_sweep()
         self.api = ControlPlaneAPI(self.store, metrics=metrics)
         self._thread: Optional[threading.Thread] = None
         super().__init__((host, port), _Handler)

@@ -16,10 +16,16 @@ The concurrency contract this store guarantees (property-tested in
   ``pending`` (requeue counter bumped) and becomes leasable again.  A
   unit requeued more than ``max_requeues`` times fails instead of
   looping forever.
-* **Results are idempotent** — completing an already-completed unit is a
-  recorded no-op (``duplicate``), and an expired lease's late result is
-  rejected (the unit's new owner is authoritative); the run journal
-  makes the redone work byte-identical either way.
+* **Results are idempotent** — a completed lease re-POSTing its result
+  is a recorded no-op (``duplicate``), and an expired lease's late
+  result is rejected with :class:`Fenced` (every grant bumps the unit's
+  fencing epoch; the new owner is authoritative); the run journal makes
+  the redone work byte-identical either way.
+* **Lossy wires are survivable** — the non-idempotent POSTs (submit,
+  lease) accept a ``request_id`` dedupe key: a retry after a lost
+  response replays the original outcome instead of creating a twin, and
+  :meth:`reconcile` replays a disconnected agent's whole spooled outbox
+  idempotently in one call.
 
 Every method takes the store lock and commits before returning; the
 single connection is shared across the HTTP server's handler threads.
@@ -39,7 +45,7 @@ __all__ = [
     "RUN_QUEUED", "RUN_RUNNING", "RUN_PAUSED", "RUN_COMPLETED", "RUN_FAILED",
     "UNIT_PENDING", "UNIT_LEASED", "UNIT_COMPLETED", "UNIT_FAILED",
     "LEASE_ACTIVE", "LEASE_COMPLETED", "LEASE_EXPIRED",
-    "StoreError", "NotFound", "Conflict", "RunStore",
+    "StoreError", "NotFound", "Conflict", "Fenced", "RunStore",
 ]
 
 # Run statuses (derived from unit states; ``paused`` is an operator flag).
@@ -76,6 +82,17 @@ class Conflict(StoreError):
     """The operation is invalid in the entity's current state."""
 
 
+class Fenced(Conflict):
+    """A stale lease-holder tried to act after losing its fence.
+
+    Raised when a completion (or reconcile replay) arrives from a lease
+    that expired and whose unit was requeued: a newer fencing epoch
+    exists, so the late writer must stand down.  Subclasses
+    :class:`Conflict` — the wire answer is still 409 — but lets callers
+    and metrics distinguish "you lost the race" from other conflicts.
+    """
+
+
 _SCHEMA = """
 CREATE TABLE IF NOT EXISTS runs (
     id           TEXT PRIMARY KEY,
@@ -95,6 +112,7 @@ CREATE TABLE IF NOT EXISTS units (
     status     TEXT NOT NULL,
     attempts   INTEGER NOT NULL DEFAULT 0,
     requeues   INTEGER NOT NULL DEFAULT 0,
+    fence      INTEGER NOT NULL DEFAULT 0,
     agent      TEXT,
     lease_id   TEXT,
     result     TEXT,
@@ -109,6 +127,7 @@ CREATE TABLE IF NOT EXISTS leases (
     agent      TEXT NOT NULL,
     site       TEXT NOT NULL DEFAULT '',
     status     TEXT NOT NULL,
+    fence      INTEGER NOT NULL DEFAULT 0,
     created_at REAL NOT NULL,
     expires_at REAL NOT NULL
 );
@@ -119,10 +138,23 @@ CREATE TABLE IF NOT EXISTS events (
     kind   TEXT NOT NULL,
     detail TEXT NOT NULL DEFAULT ''
 );
+CREATE TABLE IF NOT EXISTS requests (
+    id       TEXT PRIMARY KEY,
+    kind     TEXT NOT NULL,
+    response TEXT NOT NULL,
+    at       REAL NOT NULL
+);
 CREATE INDEX IF NOT EXISTS idx_units_status ON units (status);
 CREATE INDEX IF NOT EXISTS idx_leases_status ON leases (status, expires_at);
 CREATE INDEX IF NOT EXISTS idx_events_run ON events (run_id, seq);
 """
+
+# Columns added after PR 6 shipped: existing on-disk stores are migrated
+# in place at open (SQLite ALTER TABLE ADD COLUMN is cheap and safe).
+_MIGRATIONS = (
+    ("units", "fence", "INTEGER NOT NULL DEFAULT 0"),
+    ("leases", "fence", "INTEGER NOT NULL DEFAULT 0"),
+)
 
 
 def _new_id(prefix: str) -> str:
@@ -143,11 +175,22 @@ class RunStore:
         self.clock = clock
         self.max_requeues = max_requeues
         self.default_ttl = default_ttl
+        # Monotone count of request_id dedupe-key replays (observability).
+        self.dedupe_hits = 0
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         with self._lock:
             self._conn.executescript(_SCHEMA)
+            for table, column, decl in _MIGRATIONS:
+                have = {
+                    row["name"] for row in
+                    self._conn.execute(f"PRAGMA table_info({table})")
+                }
+                if column not in have:
+                    self._conn.execute(
+                        f"ALTER TABLE {table} ADD COLUMN {column} {decl}"
+                    )
             self._conn.commit()
 
     def close(self) -> None:
@@ -258,6 +301,39 @@ class RunStore:
             expired.append((lease["run_id"], lease["unit"]))
         return expired
 
+    def _replayed(self, request_id: str, kind: str) -> Optional[Dict[str, Any]]:
+        """The recorded response of an already-seen dedupe key, if any.
+
+        Dedupe keys make the non-idempotent POSTs (submit, lease) safe to
+        retry over a lossy wire: a ``reset`` fault delivers the request
+        and drops the response, and the retry must observe the first
+        outcome instead of creating a second run / second lease.
+        """
+        if not request_id:
+            return None
+        row = self._conn.execute(
+            "SELECT * FROM requests WHERE id = ?", (request_id,)
+        ).fetchone()
+        if row is None:
+            return None
+        if row["kind"] != kind:
+            raise Conflict(
+                f"request id {request_id!r} was already used for {row['kind']!r}"
+            )
+        self.dedupe_hits += 1
+        return json.loads(row["response"])
+
+    def _record_request(
+        self, request_id: str, kind: str, response: Mapping[str, Any]
+    ) -> None:
+        if not request_id:
+            return
+        self._conn.execute(
+            "INSERT OR REPLACE INTO requests (id, kind, response, at)"
+            " VALUES (?, ?, ?, ?)",
+            (request_id, kind, json.dumps(dict(response)), self.clock()),
+        )
+
     # -- run lifecycle --------------------------------------------------------
 
     def submit_run(
@@ -265,8 +341,13 @@ class RunStore:
         config: Mapping[str, Any],
         units: Sequence[Tuple[str, Sequence[str]]],
         name: str = "",
+        request_id: str = "",
     ) -> Dict[str, Any]:
-        """Register a run and its dependency-ordered work-units."""
+        """Register a run and its dependency-ordered work-units.
+
+        A ``request_id`` dedupe key makes resubmission after a lost
+        response return the originally-created run instead of a twin.
+        """
         if not units:
             raise Conflict("a run needs at least one work-unit")
         names = [unit for unit, _deps in units]
@@ -280,6 +361,9 @@ class RunStore:
         run_id = _new_id("run")
         now = self.clock()
         with self._lock:
+            replay = self._replayed(request_id, "submit")
+            if replay is not None:
+                return self.get_run(replay["run_id"])
             self._conn.execute(
                 "INSERT INTO runs (id, name, config, status, submitted_at, updated_at)"
                 " VALUES (?, ?, ?, ?, ?, ?)",
@@ -293,6 +377,7 @@ class RunStore:
                     (run_id, unit, seq, json.dumps(list(deps)), UNIT_PENDING, now),
                 )
             self._event(run_id, "submitted", f"{len(units)} unit(s)")
+            self._record_request(request_id, "submit", {"run_id": run_id})
             self._conn.commit()
         return self.get_run(run_id)
 
@@ -333,6 +418,7 @@ class RunStore:
                     "status": row["status"],
                     "attempts": row["attempts"],
                     "requeues": row["requeues"],
+                    "fence": row["fence"],
                     "agent": row["agent"],
                     "result": json.loads(row["result"]) if row["result"] else None,
                     "error": row["error"],
@@ -418,18 +504,28 @@ class RunStore:
         agent: str,
         site: str = "",
         ttl: Optional[float] = None,
+        request_id: str = "",
     ) -> Optional[Dict[str, Any]]:
         """Grant the oldest ready work-unit to ``agent``, or ``None``.
 
         Ready = pending, every dependency completed, run not paused and
         not failed.  The sweep of expired leases happens first, so work
         abandoned by a dead agent is immediately re-grantable.
+
+        Every grant bumps the unit's **fencing epoch**; the lease carries
+        it, and any later writer holding an older epoch is rejected with
+        :class:`Fenced`.  A ``request_id`` dedupe key returns the original
+        grant when the response was lost in flight, instead of leasing a
+        second unit to the same ask.
         """
         ttl = self.default_ttl if ttl is None else float(ttl)
         if ttl <= 0:
             raise Conflict("lease ttl must be positive")
         now = self.clock()
         with self._lock:
+            replay = self._replayed(request_id, "lease")
+            if replay is not None:
+                return replay or None
             self._expire(now)
             candidates = self._conn.execute(
                 "SELECT u.*, r.config AS run_config, r.submitted_at AS run_at"
@@ -452,32 +548,37 @@ class RunStore:
                 self._conn.commit()
                 return None
             lease_id = _new_id("lease")
+            fence = chosen["fence"] + 1
             self._conn.execute(
                 "INSERT INTO leases (id, run_id, unit, agent, site, status,"
-                " created_at, expires_at) VALUES (?, ?, ?, ?, ?, ?, ?, ?)",
+                " fence, created_at, expires_at)"
+                " VALUES (?, ?, ?, ?, ?, ?, ?, ?, ?)",
                 (lease_id, chosen["run_id"], chosen["name"], agent, site,
-                 LEASE_ACTIVE, now, now + ttl),
+                 LEASE_ACTIVE, fence, now, now + ttl),
             )
             self._conn.execute(
                 "UPDATE units SET status = ?, attempts = attempts + 1,"
-                " lease_id = ?, agent = ?, updated_at = ?"
+                " fence = ?, lease_id = ?, agent = ?, updated_at = ?"
                 " WHERE run_id = ? AND name = ?",
-                (UNIT_LEASED, lease_id, agent, now,
+                (UNIT_LEASED, fence, lease_id, agent, now,
                  chosen["run_id"], chosen["name"]),
             )
             self._event(chosen["run_id"], "leased",
                         f"{chosen['name']} -> {agent} (lease {lease_id})")
             self._recompute_run(chosen["run_id"])
-            self._conn.commit()
-            return {
+            grant = {
                 "lease_id": lease_id,
                 "run_id": chosen["run_id"],
                 "unit": chosen["name"],
                 "attempt": chosen["attempts"] + 1,
+                "fence": fence,
                 "expires_at": now + ttl,
                 "ttl": ttl,
                 "config": json.loads(chosen["run_config"]),
             }
+            self._record_request(request_id, "lease", grant)
+            self._conn.commit()
+            return grant
 
     def heartbeat(self, lease_id: str, ttl: Optional[float] = None) -> Dict[str, Any]:
         """Extend a live lease; a lost (expired/finished) lease conflicts."""
@@ -497,7 +598,8 @@ class RunStore:
                 "UPDATE leases SET expires_at = ? WHERE id = ?", (expires, lease_id)
             )
             self._conn.commit()
-            return {"lease_id": lease_id, "expires_at": expires}
+            return {"lease_id": lease_id, "expires_at": expires,
+                    "fence": row["fence"]}
 
     def complete(
         self,
@@ -506,7 +608,15 @@ class RunStore:
         result: Optional[Mapping[str, Any]] = None,
         error: Optional[str] = None,
     ) -> Dict[str, Any]:
-        """Record a leased unit's outcome; idempotent on duplicates."""
+        """Record a leased unit's outcome; idempotent on duplicates.
+
+        Fencing discipline: a lease that already **completed** may re-POST
+        freely (its work landed; the answer is a ``duplicate`` ack), but a
+        lease that **expired** is behind the unit's fencing epoch — its
+        late result is refused with :class:`Fenced` even if a successor
+        has since finished the unit, because the stale holder must learn
+        it lost, not mistake the successor's landing for its own.
+        """
         if status not in TERMINAL_UNIT:
             raise Conflict(f"completion status must be one of {TERMINAL_UNIT}")
         now = self.clock()
@@ -518,9 +628,17 @@ class RunStore:
             if lease is None:
                 raise NotFound(f"no lease {lease_id!r}")
             unit = self._unit_row(lease["run_id"], lease["unit"])
+            if lease["status"] == LEASE_EXPIRED or (
+                lease["status"] == LEASE_ACTIVE and unit["lease_id"] != lease["id"]
+            ):
+                raise Fenced(
+                    f"lease {lease_id!r} holds fence {lease['fence']} but the "
+                    f"unit is at fence {unit['fence']}; the unit was requeued "
+                    "and its new owner is authoritative"
+                )
             if unit["status"] in TERMINAL_UNIT:
-                # The work already landed (this lease's earlier POST, or a
-                # successor lease after expiry): acknowledge, change nothing.
+                # The work already landed via this same lease's earlier
+                # POST: acknowledge, change nothing.
                 run_status = self._recompute_run(lease["run_id"])
                 self._conn.commit()
                 return {
@@ -564,6 +682,138 @@ class RunStore:
             expired = self._expire(self.clock() if now is None else now)
             self._conn.commit()
             return expired
+
+    # -- partition recovery ---------------------------------------------------
+
+    def reconcile(
+        self, agent: str, records: Sequence[Mapping[str, Any]]
+    ) -> Dict[str, Any]:
+        """Replay an agent's spooled outbox after a partition heals.
+
+        ``records`` is the agent's durable outbox, oldest first: results
+        and heartbeats it could not deliver while the link was down.
+        Each is applied through the normal (idempotent, fenced) protocol
+        paths and answered with an outcome instead of an error, so one
+        round trip settles the whole backlog:
+
+        * ``applied``    — the record landed (result recorded / lease
+          extended);
+        * ``duplicate``  — already landed (an earlier replay of the same
+          outbox);
+        * ``fenced``     — the lease lost its fencing epoch while the
+          agent was away; the unit's new owner is authoritative and the
+          agent must discard its local copy of the work;
+        * ``lost``       — a heartbeat for a lease no longer active;
+        * ``not_found`` / ``conflict`` / ``ignored`` — bookkeeping noise.
+
+        The response also carries the agent's still-active leases so it
+        can decide what to resume and what to relinquish.  The call is
+        idempotent: replaying the same outbox again yields duplicates,
+        never double-application.
+        """
+        outcomes: List[Dict[str, Any]] = []
+        counts: Dict[str, int] = {}
+        with self._lock:
+            for record in records:
+                kind = record.get("kind", "")
+                lease_id = record.get("lease_id", "")
+                try:
+                    if kind == "complete":
+                        ack = self.complete(
+                            lease_id,
+                            status=record.get("status", UNIT_COMPLETED),
+                            result=record.get("result"),
+                            error=record.get("error"),
+                        )
+                        outcome = "duplicate" if ack.get("duplicate") else "applied"
+                    elif kind == "heartbeat":
+                        self.heartbeat(lease_id, record.get("ttl"))
+                        outcome = "applied"
+                    else:
+                        outcome = "ignored"
+                except Fenced:
+                    outcome = "fenced"
+                except NotFound:
+                    outcome = "not_found"
+                except Conflict:
+                    outcome = "lost" if kind == "heartbeat" else "conflict"
+                outcomes.append(
+                    {"kind": kind, "lease_id": lease_id, "outcome": outcome}
+                )
+                counts[outcome] = counts.get(outcome, 0) + 1
+            active = [
+                {"lease_id": row["id"], "run_id": row["run_id"],
+                 "unit": row["unit"], "fence": row["fence"],
+                 "expires_at": row["expires_at"]}
+                for row in self._conn.execute(
+                    "SELECT * FROM leases WHERE agent = ? AND status = ?"
+                    " ORDER BY created_at, id",
+                    (agent, LEASE_ACTIVE),
+                )
+            ]
+            self._conn.commit()
+        return {"agent": agent, "outcomes": outcomes,
+                "counts": counts, "leases": active}
+
+    def startup_sweep(self) -> Dict[str, int]:
+        """Repair half-completed state after a server kill/restart.
+
+        Every mutation commits atomically, so a killed server cannot tear
+        a single transaction — but it *can* die between granting a lease
+        and the response reaching the agent, or leave referential orphans
+        behind a crashed filesystem.  The sweep restores the invariants a
+        fresh server relies on:
+
+        * overdue active leases are expired (the normal sweep);
+        * ``leased`` units whose lease row is missing or no longer active
+          go back to ``pending`` — without a requeue penalty, because the
+          server (not the agent) lost track;
+        * active leases no longer referenced by their unit are expired;
+        * every run's derived status is recomputed.
+        """
+        now = self.clock()
+        with self._lock:
+            expired = len(self._expire(now))
+            orphan_units = 0
+            for unit in self._conn.execute(
+                "SELECT * FROM units WHERE status = ?", (UNIT_LEASED,)
+            ).fetchall():
+                lease = None
+                if unit["lease_id"]:
+                    lease = self._conn.execute(
+                        "SELECT * FROM leases WHERE id = ?", (unit["lease_id"],)
+                    ).fetchone()
+                if lease is None or lease["status"] != LEASE_ACTIVE:
+                    self._conn.execute(
+                        "UPDATE units SET status = ?, lease_id = NULL,"
+                        " agent = NULL, updated_at = ?"
+                        " WHERE run_id = ? AND name = ?",
+                        (UNIT_PENDING, now, unit["run_id"], unit["name"]),
+                    )
+                    self._event(unit["run_id"], "sweep_requeued", unit["name"])
+                    orphan_units += 1
+            orphan_leases = 0
+            for lease in self._conn.execute(
+                "SELECT * FROM leases WHERE status = ?", (LEASE_ACTIVE,)
+            ).fetchall():
+                unit = self._conn.execute(
+                    "SELECT * FROM units WHERE run_id = ? AND name = ?",
+                    (lease["run_id"], lease["unit"]),
+                ).fetchone()
+                if unit is None or unit["lease_id"] != lease["id"]:
+                    self._conn.execute(
+                        "UPDATE leases SET status = ? WHERE id = ?",
+                        (LEASE_EXPIRED, lease["id"]),
+                    )
+                    orphan_leases += 1
+            for run in self._conn.execute("SELECT id FROM runs").fetchall():
+                self._recompute_run(run["id"])
+            self._conn.commit()
+            return {
+                "expired_leases": expired,
+                "orphan_units_requeued": orphan_units,
+                "orphan_leases_expired": orphan_leases,
+            }
 
     # -- introspection --------------------------------------------------------
 

@@ -206,7 +206,13 @@ class MetricsRegistry:
         for name, counter in sorted(self._counters.items()):
             out[name] = counter.total
             if any(key for key in counter._values):
-                flatten(name, counter._values)
+                # The bare name is the cross-label total; only genuinely
+                # labelled series get their own {k=v} entries.  (A counter
+                # registered at zero unlabelled and then incremented with
+                # labels must not report the stale unlabelled zero.)
+                flatten(
+                    name, {k: v for k, v in counter._values.items() if k}
+                )
         for name, gauge in sorted(self._gauges.items()):
             flatten(name, gauge._values)
         for name, histogram in sorted(self._histograms.items()):

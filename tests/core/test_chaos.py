@@ -140,9 +140,11 @@ class TestFaultPlanParsing:
 
     def test_stage_and_kind_vocabulary(self):
         assert STAGES == ("download", "preprocess", "monitor", "inference",
-                          "shipment", "agent")
+                          "shipment", "agent", "net")
         assert set(FAULT_KINDS) >= {"http_transient", "torn_write", "corrupt_tile",
                                     "wan_degrade", "worker_stall"}
+        assert set(FAULT_KINDS) >= {"partition", "blackout", "flaky",
+                                    "slow_link", "reset"}
 
 
 class TestFaultInjector:

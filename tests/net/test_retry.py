@@ -15,6 +15,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.net import BackoffPolicy, BreakerOpen, CircuitBreaker
 from repro.net.http import HttpError, HttpServer, retrying_request
+from repro.net.retry import ENDPOINT_POLICIES, EndpointPolicy
 from repro.sim import Simulation
 
 policies = st.builds(
@@ -103,6 +104,68 @@ class TestBackoffProperties:
     def test_negative_attempt_rejected(self):
         with pytest.raises(ValueError):
             BackoffPolicy().cap(-1)
+
+
+class TestFullJitter:
+    @settings(max_examples=120, deadline=None)
+    @given(policy=policies, attempt=st.integers(min_value=0, max_value=12),
+           key=st.text(max_size=20))
+    def test_full_jitter_spans_zero_to_cap(self, policy, attempt, key):
+        full = BackoffPolicy(
+            base=policy.base, factor=policy.factor, max_delay=policy.max_delay,
+            max_total=policy.max_total, seed=policy.seed, full_jitter=True,
+        )
+        delay = full.delay(attempt, key=key)
+        assert 0.0 <= delay <= full.cap(attempt) + 1e-12
+
+    def test_full_jitter_reaches_low_delays_partial_cannot(self):
+        # Partial jitter (the default) keeps delays >= (1-jitter)*cap —
+        # a reconnecting fleet clusters near the cap.  Full jitter
+        # spreads over the whole [0, cap] window.
+        partial = BackoffPolicy(seed=3)
+        full = BackoffPolicy(seed=3, full_jitter=True)
+        keys = [f"agent-{i}" for i in range(50)]
+        floor = (1.0 - partial.jitter) * partial.cap(4)
+        assert all(partial.delay(4, key=k) >= floor - 1e-12 for k in keys)
+        assert any(full.delay(4, key=k) < floor for k in keys)
+
+    def test_full_jitter_is_deterministic(self):
+        a = BackoffPolicy(seed=11, full_jitter=True)
+        b = BackoffPolicy(seed=11, full_jitter=True)
+        assert [a.delay(k, "agent-a") for k in range(8)] == [
+            b.delay(k, "agent-a") for k in range(8)
+        ]
+        assert a.delay(3, "agent-a") != a.delay(3, "agent-b")
+
+
+class TestEndpointPolicies:
+    def test_non_idempotent_phases_are_pinned(self):
+        """The safety-critical entries: submit/lease/complete must never
+        be blind-retried (the client requires a dedupe key or fencing
+        token before granting them a retry budget)."""
+        for phase in ("submit", "lease", "complete"):
+            assert ENDPOINT_POLICIES[phase].idempotent is False
+        for phase in ("status", "heartbeat", "reconcile", "health"):
+            assert ENDPOINT_POLICIES[phase].idempotent is True
+
+    def test_unknown_phase_falls_back_to_no_retries(self):
+        other = ENDPOINT_POLICIES["other"]
+        assert other.idempotent is False
+        assert other.retries == 0
+
+    def test_probe_phases_time_out_faster(self):
+        assert ENDPOINT_POLICIES["health"].timeout_scale < 1.0
+        assert ENDPOINT_POLICIES["heartbeat"].timeout_scale < 1.0
+        assert ENDPOINT_POLICIES["submit"].timeout_scale > 1.0
+
+    @pytest.mark.parametrize("kwargs", [
+        {"idempotent": True, "retries": -1},
+        {"idempotent": True, "timeout_scale": 0.0},
+        {"idempotent": True, "timeout_scale": -2.0},
+    ])
+    def test_invalid_parameters_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            EndpointPolicy(**kwargs)
 
 
 class FakeClock:

@@ -15,7 +15,7 @@ import pytest
 
 from tests.server.harness import CHAIN_UNITS, FakeClock, fresh_store, submit_minimal
 
-from repro.server.store import Conflict, NotFound, RunStore
+from repro.server.store import Conflict, Fenced, NotFound, RunStore
 
 
 # -- submission ---------------------------------------------------------------
@@ -157,17 +157,21 @@ def test_completion_after_expiry_defers_to_new_owner():
     assert unit["result"] == {"files": 2}
 
 
-def test_late_completion_after_new_owner_finished_is_duplicate():
+def test_late_completion_after_new_owner_finished_is_fenced():
     clock = FakeClock()
     store = fresh_store(clock=clock)
     run = submit_minimal(store, units=[("solo", [])])
     stale = store.lease("slow", ttl=5.0)
     clock.advance(6.0)
     fresh = store.lease("fast", ttl=5.0)
+    assert fresh["fence"] == stale["fence"] + 1
     store.complete(fresh["lease_id"], result={"files": 2})
 
-    ack = store.complete(stale["lease_id"], result={"files": 1})
-    assert ack["duplicate"] is True
+    # The loser's late POST is rejected — and the rejection is idempotent:
+    # re-sending it is the same fenced refusal, never a state change.
+    for _ in range(2):
+        with pytest.raises(Fenced):
+            store.complete(stale["lease_id"], result={"files": 1})
     # The authoritative result is untouched.
     assert store.get_run(run["id"])["units"][0]["result"] == {"files": 2}
 

@@ -174,6 +174,76 @@ class TestScaleOutDocs:
             assert marks["campaign_scaleout_serial"]["reference"] == 1.0
 
 
+class TestPartitionDocs:
+    """The partition-tolerance docs track the real fault machinery."""
+
+    def architecture(self):
+        return (ROOT / "docs" / "architecture.md").read_text()
+
+    def test_wire_fault_kinds_documented(self):
+        """Every wire-level chaos kind the engine accepts is in the
+        fault-kind table, so the docs cannot drift from the injector."""
+        text = self.architecture()
+        for kind in ("partition", "blackout", "flaky", "slow_link", "reset"):
+            assert f"`{kind}`" in text, f"wire fault kind {kind!r} undocumented"
+        assert "Wire-level faults" in text
+        assert "ChaosTransport" in text
+
+    def test_partition_semantics_matrix_present(self):
+        text = self.architecture()
+        for needle in ("fault kind x phase", "degraded mode", "full-jitter",
+                       "test_partition_matrix.py"):
+            assert needle in text, f"partition matrix docs missing {needle!r}"
+
+    def test_degraded_agent_state_machine_documented(self):
+        text = self.architecture()
+        assert "### Disconnected agents: degraded mode, the outbox, reconcile" in text
+        for needle in ("outbox", "reconcile", "full jitter", "fenced",
+                       "startup sweep", "--reconnect-limit", "--outbox",
+                       "request_id", "LeaseLost", "fence epoch"):
+            assert needle in text, f"degraded-agent docs missing {needle!r}"
+
+    def test_partition_counters_match_the_code(self):
+        """Every always-present partition counter is named in the docs."""
+        from repro.core.workflow import PARTITION_COUNTERS
+
+        text = self.architecture()
+        for counter in PARTITION_COUNTERS:
+            assert f"`{counter}`" in text, f"counter {counter!r} undocumented"
+
+    def test_protocol_phases_documented(self):
+        """The phases the docs enumerate are real classify_phase outputs."""
+        from repro.net.http import classify_phase
+
+        text = self.architecture()
+        known = {
+            classify_phase("POST", "/v1/runs"),
+            classify_phase("POST", "/v1/lease"),
+            classify_phase("POST", "/v1/lease/x/heartbeat"),
+            classify_phase("POST", "/v1/lease/x/complete"),
+            classify_phase("POST", "/v1/reconcile"),
+            classify_phase("GET", "/v1/health"),
+        }
+        assert known == {"submit", "lease", "heartbeat", "complete",
+                         "reconcile", "health"}
+        for phase in known:
+            assert f"`{phase}`" in text, f"phase {phase!r} undocumented"
+
+    def test_cli_exposes_partition_flags(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        help_text = subparsers.choices["agent"].format_help()
+        assert "--outbox" in help_text
+        assert "--reconnect-limit" in help_text
+
+
 class TestExamples:
     def test_every_example_has_docstring_and_main(self):
         for path in sorted((ROOT / "examples").glob("*.py")):
