@@ -509,6 +509,77 @@ def bench_campaign(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     return results
 
 
+def bench_multi_instrument(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
+    """Instrument x model fan-out: a {modis, abi} x {ricc, heuristic}
+    plan vs the classic single-branch pipeline on the same workload.
+
+    The fan-out run does strictly more physical work — two instruments'
+    granule streams, four model bootstraps, four label passes — so the
+    quantity the regression gate holds is the makespan *ratio* of the
+    2 x 2 plan to the single-branch plan (machine-independent, like the
+    streaming and scale-out entries).  Branch expansion, per-branch
+    config derivation, and registry dispatch all sit on that ratio: if
+    plumbing overhead creeps in, the ratio grows past the gate even
+    though both absolute times move with the machine.
+    """
+    import shutil
+    import tempfile
+
+    from repro.core import EOMLWorkflow, load_config
+    from repro.modis import MINI_SWATH, LaadsArchive
+
+    granules = 1 if quick else 2
+
+    def run(fanout: bool) -> None:
+        root = tempfile.mkdtemp(prefix="bench_multi_instrument_")
+        try:
+            archive = {"start_date": "2022-01-01",
+                       "max_granules_per_day": granules, "seed": 3}
+            inference = {"workers": 1, "poll_interval": 0.05}
+            if fanout:
+                archive["instruments"] = ["modis", "abi"]
+                inference["models"] = ["ricc", "heuristic"]
+            config = load_config({
+                "archive": archive,
+                "inference": inference,
+                "paths": {
+                    "staging": os.path.join(root, "raw"),
+                    "preprocessed": os.path.join(root, "tiles"),
+                    "transfer_out": os.path.join(root, "outbox"),
+                    "destination": os.path.join(root, "orion"),
+                    "quarantine": os.path.join(root, "quarantine"),
+                },
+                "journal": {"enabled": False},
+            })
+            report = EOMLWorkflow(
+                config, archive=LaadsArchive(seed=3, swath=MINI_SWATH)
+            ).run(provenance=False)
+            if report.errors:
+                raise RuntimeError(f"fan-out run failed: {report.errors[:3]}")
+        finally:
+            shutil.rmtree(root, ignore_errors=True)
+
+    runs = max(2, repeats // 2)
+    results: Dict[str, Dict[str, float]] = {}
+    results["multi_instrument_single"] = _time(
+        lambda: run(False), runs, warmup=0
+    )
+    single_entry = results["multi_instrument_single"]
+    single_entry["reference"] = 1.0
+    single_entry["granules_per_day"] = float(granules)
+
+    results["multi_instrument"] = _time(lambda: run(True), runs, warmup=0)
+    entry = results["multi_instrument"]
+    entry["instruments"] = 2.0
+    entry["models"] = 2.0
+    entry["branches"] = 4.0
+    single = single_entry["seconds"]
+    entry["normalized"] = entry["seconds"] / single
+    entry["fanout_vs_single"] = entry["seconds"] / single
+    entry["per_branch_ratio"] = entry["seconds"] / (4.0 * single)
+    return results
+
+
 def bench_control_plane(quick: bool, repeats: int) -> Dict[str, Dict[str, float]]:
     """Control-plane service under a 200-concurrent-client burst.
 
@@ -702,6 +773,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     endtoend = bench_endtoend(args.quick, max(1, repeats // 2))
     endtoend.update(bench_makespan(args.quick, repeats))
     endtoend.update(bench_campaign(args.quick, repeats))
+    endtoend.update(bench_multi_instrument(args.quick, repeats))
     endtoend.update(bench_control_plane(args.quick, repeats))
     for name, entry in sorted(endtoend.items()):
         extra = "".join(

@@ -1,0 +1,44 @@
+"""ABI-like geostationary full-disk instrument (the second source).
+
+A GOES-R ABI analogue: square fixed-grid full-disk scans every 10
+minutes, two products per scene (L1b radiances + L2 cloud/geolocation
+product), off-disk pixels masked as land.  Registered as instrument
+``abi`` in :mod:`repro.instruments`.
+"""
+
+from repro.abi.archive import AbiArchive, AbiGranuleRef
+from repro.abi.constants import (
+    ABI_BANDS,
+    FULL_DISK,
+    GRANULE_MINUTES,
+    GRANULES_PER_DAY,
+    MINI_DISK,
+    AbiProductSpec,
+    GridSpec,
+    PRODUCT_ALIASES,
+    PRODUCTS,
+    resolve_product,
+)
+from repro.abi.contracts import GRANULE_ABI_ACMF, GRANULE_ABI_RADF
+from repro.abi.granule import EPOCH, AbiGranuleId, fixed_grid, generate_granule
+
+__all__ = [
+    "ABI_BANDS",
+    "AbiArchive",
+    "AbiGranuleId",
+    "AbiGranuleRef",
+    "AbiProductSpec",
+    "EPOCH",
+    "FULL_DISK",
+    "GRANULE_ABI_ACMF",
+    "GRANULE_ABI_RADF",
+    "GRANULE_MINUTES",
+    "GRANULES_PER_DAY",
+    "GridSpec",
+    "MINI_DISK",
+    "PRODUCT_ALIASES",
+    "PRODUCTS",
+    "fixed_grid",
+    "generate_granule",
+    "resolve_product",
+]

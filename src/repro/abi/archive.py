@@ -1,0 +1,95 @@
+"""A GOES-archive-like facade for ABI full-disk granules.
+
+Mirrors :class:`repro.modis.archive.LaadsArchive`'s surface — ``query``
+returns refs with ``.filename``/``.gid``/``.nbytes`` and ``fetch``
+materializes deterministic content — so :class:`DownloadStage` and the
+chaos wrapper drive it unchanged.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import hashlib
+from dataclasses import dataclass
+from typing import Iterable, List, Optional
+
+from repro.abi.constants import GRANULES_PER_DAY, MINI_DISK, GridSpec, resolve_product
+from repro.abi.granule import EPOCH, AbiGranuleId, generate_granule
+from repro.netcdf import Dataset
+
+__all__ = ["AbiGranuleRef", "AbiArchive"]
+
+
+@dataclass(frozen=True)
+class AbiGranuleRef:
+    """A catalog entry: enough to plan and execute a download."""
+
+    gid: AbiGranuleId
+    nbytes: int
+
+    @property
+    def filename(self) -> str:
+        return self.gid.filename
+
+
+class AbiArchive:
+    """The archive facade.
+
+    ``seed`` fixes both scan content and the size distribution;
+    ``grid`` sets the raster scale at which :meth:`fetch` materializes
+    content (tests/examples use :data:`MINI_DISK`).
+    """
+
+    def __init__(self, seed: int = 0, grid: GridSpec = MINI_DISK):
+        self.seed = int(seed)
+        self.grid = grid
+
+    # -- catalog ------------------------------------------------------------
+
+    def _size_draw(self, gid: AbiGranuleId) -> float:
+        digest = hashlib.sha256(f"{self.seed}:size:{gid.key}".encode()).digest()
+        return int.from_bytes(digest[:8], "little") / 2**64
+
+    def granule_ref(self, gid: AbiGranuleId) -> AbiGranuleRef:
+        spec = resolve_product(gid.product)
+        return AbiGranuleRef(gid=gid, nbytes=spec.granule_bytes(self._size_draw(gid)))
+
+    def query(
+        self,
+        product: str,
+        start: dt.date,
+        end: Optional[dt.date] = None,
+        max_per_day: Optional[int] = None,
+    ) -> List[AbiGranuleRef]:
+        """Catalog full-disk scans of ``product`` with dates in
+        [start, end]; ``max_per_day`` truncates each day's 144 scans."""
+        spec = resolve_product(product)
+        end = end or start
+        if end < start:
+            raise ValueError("end date before start date")
+        if start < EPOCH:
+            raise ValueError(f"archive begins at {EPOCH.isoformat()}")
+        per_day = (
+            GRANULES_PER_DAY if max_per_day is None
+            else min(max_per_day, GRANULES_PER_DAY)
+        )
+        refs: List[AbiGranuleRef] = []
+        day = start
+        while day <= end:
+            for index in range(per_day):
+                gid = AbiGranuleId(product=spec.short_name, date=day, index=index)
+                refs.append(self.granule_ref(gid))
+            day += dt.timedelta(days=1)
+        return refs
+
+    # -- retrieval ----------------------------------------------------------
+
+    def fetch(self, ref: AbiGranuleRef, bands: Optional[Iterable[int]] = None) -> Dataset:
+        """Materialize a scan's content (the laptop-scale 'download')."""
+        return generate_granule(
+            ref.gid, self.grid, seed=self.seed,
+            bands=tuple(bands) if bands else None,
+        )
+
+    def total_bytes(self, refs: Iterable[AbiGranuleRef]) -> int:
+        return sum(ref.nbytes for ref in refs)

@@ -1,0 +1,125 @@
+"""ABI instrument, product, and fixed-grid constants.
+
+An ABI-like geostationary imager (GOES-R series): instead of a polar
+swath marching around the planet, the sensor stares at one hemisphere
+and produces a **full-disk** scan every 10 minutes (mode 6) — 144
+granules per day, each a square fixed-grid raster whose corners are
+off-Earth.  Two products make a scene: the Level-1b full-disk
+radiances and the Level-2 clear-sky-mask/cloud product (which also
+carries the fixed-grid geolocation and the land mask).
+
+``MINI_DISK`` is the test-scale geometry: a 192 x 192 fixed grid with
+24-pixel tiles — deliberately *different* tiling geometry from the
+MODIS mini swath (256 x 176 @ 16) so multi-instrument fan-out
+exercises heterogeneous tile shapes end to end.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = [
+    "ABI_BANDS",
+    "GRANULES_PER_DAY",
+    "GRANULE_MINUTES",
+    "AbiProductSpec",
+    "PRODUCTS",
+    "PRODUCT_ALIASES",
+    "resolve_product",
+    "GridSpec",
+    "FULL_DISK",
+    "MINI_DISK",
+]
+
+# The four ABI bands the labelling branch consumes: 0.64 um visible,
+# 3.9 um shortwave IR, 10.3 um clean IR window, 11.2 um IR window.
+ABI_BANDS: Tuple[int, ...] = (2, 7, 13, 14)
+
+# Mode-6 full-disk cadence: one scan every 10 minutes, 144 per day.
+GRANULES_PER_DAY = 144
+GRANULE_MINUTES = 10
+
+
+@dataclass(frozen=True)
+class AbiProductSpec:
+    """One ABI product family as served by the GOES archive."""
+
+    short_name: str
+    description: str
+    mean_granule_bytes: int
+    granule_bytes_cv: float
+
+    def granule_bytes(self, u: float) -> int:
+        """Deterministic size for a uniform draw ``u`` (triangular
+        spread around the mean, same model as the MODIS archive)."""
+        spread = self.mean_granule_bytes * self.granule_bytes_cv
+        return max(1, int(self.mean_granule_bytes + (2.0 * u - 1.0) * spread))
+
+
+# Full-disk product volumes (approximate public CLASS sizes): the
+# multi-band L1b full disk runs ~300 MB, the L2 cloud product ~60 MB.
+PRODUCTS: Dict[str, AbiProductSpec] = {
+    "ABI-L1b-RadF": AbiProductSpec(
+        short_name="ABI-L1b-RadF",
+        description="Level-1b full-disk radiances",
+        mean_granule_bytes=300 * 10**6,
+        granule_bytes_cv=0.15,
+    ),
+    "ABI-L2-ACMF": AbiProductSpec(
+        short_name="ABI-L2-ACMF",
+        description="Level-2 full-disk clear-sky mask + cloud product",
+        mean_granule_bytes=60 * 10**6,
+        granule_bytes_cv=0.20,
+    ),
+}
+
+#: Short aliases for configs (the scan-family suffix alone).
+PRODUCT_ALIASES: Dict[str, str] = {
+    "RadF": "ABI-L1b-RadF",
+    "ACMF": "ABI-L2-ACMF",
+}
+
+
+def resolve_product(name: str) -> AbiProductSpec:
+    """Look up an ABI product by canonical or alias name."""
+    canonical = PRODUCT_ALIASES.get(name, name)
+    if canonical not in PRODUCTS:
+        raise KeyError(
+            f"unknown ABI product {name!r}; known: {sorted(PRODUCTS)} "
+            f"(aliases: {sorted(PRODUCT_ALIASES)})"
+        )
+    return PRODUCTS[canonical]
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Fixed-grid raster geometry (square full disk), test-scalable."""
+
+    lines: int
+    pixels: int
+    tile_size: int
+
+    def __post_init__(self) -> None:
+        if self.lines < self.tile_size or self.pixels < self.tile_size:
+            raise ValueError("grid smaller than one tile")
+        if self.tile_size < 2:
+            raise ValueError("tile size must be >= 2")
+
+    @property
+    def tile_rows(self) -> int:
+        return self.lines // self.tile_size
+
+    @property
+    def tile_cols(self) -> int:
+        return self.pixels // self.tile_size
+
+    @property
+    def max_tiles(self) -> int:
+        return self.tile_rows * self.tile_cols
+
+
+#: Real 2-km full-disk geometry.
+FULL_DISK = GridSpec(lines=5424, pixels=5424, tile_size=128)
+#: Test-scale geometry: different tile size than the MODIS mini swath.
+MINI_DISK = GridSpec(lines=192, pixels=192, tile_size=24)

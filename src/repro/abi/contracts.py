@@ -1,0 +1,36 @@
+"""Published file contracts for ABI granules (Section V-A discipline).
+
+Same machinery as the MODIS granule contracts in
+:mod:`repro.core.contracts`; validated by the ABI instrument's
+``load_scene`` at the preprocess stage boundary.
+"""
+
+from __future__ import annotations
+
+from repro.core.contracts import FileContract, VariableSpec
+
+__all__ = ["GRANULE_ABI_RADF", "GRANULE_ABI_ACMF"]
+
+GRANULE_ABI_RADF = FileContract(
+    name="ABI-L1b-RadF granule",
+    required_dimensions=("band", "line", "pixel"),
+    variables=(VariableSpec("radiance", "f", ("band", "line", "pixel")),),
+    required_attributes=("granule", "product", "acquisition_date", "band_list"),
+)
+
+GRANULE_ABI_ACMF = FileContract(
+    name="ABI-L2-ACMF granule",
+    required_dimensions=("line", "pixel"),
+    variables=(
+        VariableSpec("cloud_mask", "i", ("line", "pixel"), min_value=0, max_value=1),
+        VariableSpec("land_mask", "i", ("line", "pixel"), min_value=0, max_value=1),
+        VariableSpec("cloud_optical_thickness", "f", ("line", "pixel"), min_value=0.0),
+        VariableSpec("cloud_top_pressure", "f", ("line", "pixel"), min_value=0.0,
+                     max_value=1100.0),
+        VariableSpec("latitude", "f", ("line", "pixel"), min_value=-90.0,
+                     max_value=90.0),
+        VariableSpec("longitude", "f", ("line", "pixel"), min_value=-180.0,
+                     max_value=180.0),
+    ),
+    required_attributes=("granule", "product"),
+)

@@ -1,0 +1,248 @@
+"""ABI granule identity, GOES-style naming, and full-disk synthesis.
+
+The GOES-R ground segment names files
+``OR_<product>-M6_G16_s<YYYYDDDHHMMSST>_c<YYYYDDDHHMMSST>`` (scan
+start + creation stamp).  This module implements that naming plus
+deterministic synthesis of the two product files a scene needs — the
+L1b full-disk radiances and the L2 cloud product.
+
+The latent cloud state reuses the shared scene-synthesis library
+(:mod:`repro.modis.synthesis` — regimes, Gaussian random fields, the
+frozen synthetic planet), seeded by SHA-256 of ``(seed, scene_key)``
+exactly like the MODIS generator, so the same determinism contract
+holds: content depends on (date, index, seed) but not on the product,
+and the two products of one scan are physically consistent.
+
+Geostationary geometry: the fixed grid is a square raster whose
+normalized scan coordinates span [-1, 1]; pixels with
+``x^2 + y^2 > 1`` are off-Earth and arrive masked as land (never
+selected by ocean-cloud tiling).  Latitude/longitude are a smooth
+deterministic function of the scan angles centred on the sub-satellite
+longitude.
+"""
+
+from __future__ import annotations
+
+import datetime as dt
+import hashlib
+import re
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.abi.constants import (
+    ABI_BANDS,
+    GRANULE_MINUTES,
+    GRANULES_PER_DAY,
+    GridSpec,
+    resolve_product,
+)
+from repro.modis import synthesis
+from repro.netcdf import Dataset
+
+__all__ = ["AbiGranuleId", "fixed_grid", "generate_granule", "EPOCH"]
+
+EPOCH = dt.date(2017, 7, 10)  # GOES-16 full-disk ops begin
+
+#: Sub-satellite longitude (GOES-East) and the angular half-width the
+#: mini grid maps the disk onto, in degrees.
+SUBPOINT_LON = -75.2
+DISK_HALF_WIDTH_DEG = 80.0
+
+_FILENAME_RE = re.compile(
+    r"^OR_(?P<product>[A-Za-z0-9-]+)-M6_G16"
+    r"_s(?P<syear>\d{4})(?P<sdoy>\d{3})(?P<shh>\d{2})(?P<smm>\d{2})\d{3}"
+    r"_c\d{14}$"
+)
+
+
+@dataclass(frozen=True, order=True)
+class AbiGranuleId:
+    """Identity of one 10-minute full-disk scan of one product."""
+
+    product: str
+    date: dt.date
+    index: int  # 0..143 within the day
+
+    def __post_init__(self) -> None:
+        resolve_product(self.product)  # validates
+        if not 0 <= self.index < GRANULES_PER_DAY:
+            raise ValueError(f"scan index out of range: {self.index}")
+
+    @property
+    def hhmm(self) -> str:
+        minutes = self.index * GRANULE_MINUTES
+        return f"{minutes // 60:02d}{minutes % 60:02d}"
+
+    @property
+    def day_of_year(self) -> int:
+        return self.date.timetuple().tm_yday
+
+    @property
+    def filename(self) -> str:
+        # Creation stamp is deterministic: scan start plus a pseudo-
+        # random-but-fixed sub-hour latency derived from the key.
+        digest = int(hashlib.sha256(self.key.encode()).hexdigest()[:6], 16)
+        creation_s = (self.index * GRANULE_MINUTES * 60 + 600 + digest % 1800) % 86400
+        creation = (
+            f"{self.date.year:04d}{self.day_of_year:03d}"
+            f"{creation_s // 3600:02d}{(creation_s % 3600) // 60:02d}"
+            f"{creation_s % 60:02d}0"
+        )
+        return (
+            f"OR_{self.product}-M6_G16"
+            f"_s{self.date.year:04d}{self.day_of_year:03d}{self.hhmm}000"
+            f"_c{creation}"
+        )
+
+    @property
+    def key(self) -> str:
+        """A stable identity string (product + scan time)."""
+        return f"{self.product}.{self.date.isoformat()}.{self.index:03d}"
+
+    @property
+    def scene_key(self) -> str:
+        """Identity of the observed scene (product-independent)."""
+        return f"scene.goes16.{self.date.isoformat()}.{self.index:03d}"
+
+    @classmethod
+    def parse(cls, filename: str) -> "AbiGranuleId":
+        match = _FILENAME_RE.match(filename)
+        if match is None:
+            raise ValueError(f"not a GOES ABI filename: {filename!r}")
+        year = int(match.group("syear"))
+        date = dt.date(year, 1, 1) + dt.timedelta(days=int(match.group("sdoy")) - 1)
+        index = (int(match.group("shh")) * 60 + int(match.group("smm"))) // GRANULE_MINUTES
+        return cls(product=match.group("product"), date=date, index=index)
+
+
+def _scene_rng(gid: AbiGranuleId, seed: int) -> np.random.Generator:
+    digest = hashlib.sha256(f"{seed}:{gid.scene_key}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def _product_rng(gid: AbiGranuleId, seed: int, purpose: str) -> np.random.Generator:
+    digest = hashlib.sha256(f"{seed}:{gid.key}:{purpose}".encode()).digest()
+    return np.random.default_rng(int.from_bytes(digest[:8], "little"))
+
+
+def fixed_grid(grid: GridSpec) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """The fixed scan grid: (latitude, longitude, on_disk).
+
+    Normalized scan coordinates span [-1, 1] corner to corner; the
+    inscribed unit circle is the Earth disk.  Geolocation is a smooth
+    deterministic mapping of the scan angles (adequate for tiling —
+    the pipeline only averages it per tile), with off-disk pixels
+    clamped to the disk edge so no NaN ever enters a tile.
+    """
+    y = np.linspace(1.0, -1.0, grid.lines, dtype=np.float64)[:, None]
+    x = np.linspace(-1.0, 1.0, grid.pixels, dtype=np.float64)[None, :]
+    r2 = x * x + y * y
+    on_disk = r2 <= 1.0
+    lat = np.broadcast_to(DISK_HALF_WIDTH_DEG * y, (grid.lines, grid.pixels))
+    lon = np.broadcast_to(SUBPOINT_LON + DISK_HALF_WIDTH_DEG * x,
+                          (grid.lines, grid.pixels))
+    lat = np.clip(lat, -90.0, 90.0).astype(np.float32)
+    lon = np.clip(lon, -180.0, 180.0).astype(np.float32)
+    return np.ascontiguousarray(lat), np.ascontiguousarray(lon), on_disk
+
+
+def generate_granule(
+    gid: AbiGranuleId,
+    grid: GridSpec,
+    seed: int = 0,
+    bands: Optional[Sequence[int]] = None,
+) -> Dataset:
+    """Materialize one ABI product file as a NetCDF dataset.
+
+    * ``ABI-L1b-RadF``: float32 ``radiance`` (band, line, pixel) for
+      the ABI bands (or ``bands``), band list in ``band_list``;
+    * ``ABI-L2-ACMF``: the cloud/land masks, cloud optical thickness
+      and top pressure, plus the fixed-grid ``latitude``/``longitude``
+      (ABI L2 files carry their own geolocation — there is no separate
+      geolocation product as with MOD03).
+    """
+    spec = resolve_product(gid.product)
+    lat, lon, on_disk = fixed_grid(grid)
+    scene = synthesis.synthesize_scene(
+        (grid.lines, grid.pixels), _scene_rng(gid, seed)
+    )
+    # Land plus everything off the Earth disk: ocean-cloud tiling must
+    # never select space pixels.
+    land = synthesis.land_mask(lat, lon) | ~on_disk
+    cloud = scene.cloud_mask & on_disk
+
+    ds = Dataset()
+    ds.create_dimension("line", grid.lines)
+    ds.create_dimension("pixel", grid.pixels)
+    ds.set_attr("granule", gid.filename)
+    ds.set_attr("product", gid.product)
+    ds.set_attr("platform", "goes16")
+    ds.set_attr("scan_mode", "full_disk")
+    ds.set_attr("acquisition_date", gid.date.isoformat())
+    ds.set_attr("granule_index", gid.index)
+    ds.set_attr("true_regime", scene.regime)
+
+    if spec.short_name == "ABI-L1b-RadF":
+        use_bands = tuple(bands) if bands is not None else ABI_BANDS
+        ds.create_dimension("band", len(use_bands))
+        rng = _product_rng(gid, seed, "radiance")
+        tau_norm = np.tanh(scene.tau / 10.0)
+        layers = []
+        for position, band in enumerate(use_bands):
+            # Bright cloud over a darker surface, with per-band offsets
+            # so the channels are correlated but not identical; off-disk
+            # pixels read as cold space (zero scaled radiance).
+            base = 0.08 + 0.05 * position
+            image = (
+                base
+                + 0.08 * land
+                + (0.55 + 0.06 * position) * tau_norm * cloud
+                + rng.normal(0.0, 0.02, size=(grid.lines, grid.pixels))
+            )
+            layers.append(np.where(on_disk, image, 0.0).astype(np.float32))
+        ds.create_variable(
+            "radiance",
+            "f4",
+            ("band", "line", "pixel"),
+            np.stack(layers),
+            attributes={"units": "scaled", "long_name": "ABI scaled radiance"},
+        )
+        ds.set_attr("band_list", np.array(use_bands, dtype=np.int32))
+    elif spec.short_name == "ABI-L2-ACMF":
+        ds.create_variable(
+            "cloud_mask",
+            "i1",
+            ("line", "pixel"),
+            cloud.astype(np.int8),
+            attributes={"flag_meanings": "0=clear 1=cloudy"},
+        )
+        ds.create_variable(
+            "land_mask",
+            "i1",
+            ("line", "pixel"),
+            land.astype(np.int8),
+            attributes={"flag_meanings": "0=ocean 1=land_or_space"},
+        )
+        ds.create_variable(
+            "cloud_optical_thickness", "f4", ("line", "pixel"),
+            np.where(on_disk, scene.tau, 0.0).astype(np.float32),
+            attributes={"units": "1"},
+        )
+        ds.create_variable(
+            "cloud_top_pressure", "f4", ("line", "pixel"),
+            np.where(on_disk, scene.ctp, 1013.25).astype(np.float32),
+            attributes={"units": "hPa"},
+        )
+        ds.create_variable(
+            "latitude", "f4", ("line", "pixel"), lat,
+            attributes={"units": "degrees_north"},
+        )
+        ds.create_variable(
+            "longitude", "f4", ("line", "pixel"), lon,
+            attributes={"units": "degrees_east"},
+        )
+    else:  # pragma: no cover - resolve_product already rejects others
+        raise ValueError(f"unknown ABI product {gid.product!r}")
+    return ds

@@ -1,0 +1,62 @@
+"""ABI as a registered :class:`~repro.instruments.Instrument`.
+
+The geostationary counterpart to MODIS: a two-product full-disk scene
+every 10 minutes, geolocation carried by the L2 product, off-disk
+pixels pre-masked as land by the generator so ocean-cloud tiling works
+unmodified on the square fixed grid.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.abi.archive import AbiArchive
+from repro.abi.constants import (
+    GRANULE_MINUTES,
+    GRANULES_PER_DAY,
+    MINI_DISK,
+    resolve_product,
+)
+from repro.abi.contracts import GRANULE_ABI_ACMF, GRANULE_ABI_RADF
+from repro.instruments.base import Instrument, SceneInputs
+from repro.instruments.registry import register_instrument
+from repro.netcdf import read as nc_read
+
+__all__ = ["AbiInstrument"]
+
+
+class AbiInstrument(Instrument):
+    """Geostationary full-disk imager, 10-minute scans (GOES-East)."""
+
+    name = "abi"
+    title = "ABI (GOES-16) full-disk via the GOES archive"
+    archive_host = "goes-archive"
+    default_products = ("ABI-L1b-RadF", "ABI-L2-ACMF")
+    granules_per_day = GRANULES_PER_DAY
+    cadence_minutes = GRANULE_MINUTES
+    default_tile_size = MINI_DISK.tile_size
+
+    def resolve_product(self, name: str) -> str:
+        return resolve_product(name).short_name
+
+    def build_archive(self, seed: int = 0) -> AbiArchive:
+        return AbiArchive(seed=seed)
+
+    def load_scene(self, granules: Any) -> SceneInputs:
+        radf = nc_read(granules.path_for("RadF"))
+        acmf = nc_read(granules.path_for("ACMF"))
+        GRANULE_ABI_RADF.validate(radf)
+        GRANULE_ABI_ACMF.validate(acmf)
+        return SceneInputs(
+            radiance=radf["radiance"].data,
+            cloud_mask=acmf["cloud_mask"].data.astype(bool),
+            land_mask=acmf["land_mask"].data.astype(bool),
+            latitude=acmf["latitude"].data,
+            longitude=acmf["longitude"].data,
+            optical_thickness=acmf["cloud_optical_thickness"].data,
+            cloud_top_pressure=acmf["cloud_top_pressure"].data,
+            attrs={"true_regime": str(radf.get_attr("true_regime", "unknown"))},
+        )
+
+
+register_instrument(AbiInstrument())

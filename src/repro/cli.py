@@ -83,10 +83,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     figures.add_argument("--repeats", type=int, default=3)
 
-    catalog = sub.add_parser("catalog", help="query the LAADS archive model")
-    catalog.add_argument("product", help="e.g. MOD02, MOD03, MOD06")
+    catalog = sub.add_parser("catalog", help="query an instrument's archive model")
+    catalog.add_argument("product", help="e.g. MOD02, MOD03, MOD06 (or ABI-L1b for --instrument abi)")
     catalog.add_argument("date", help="ISO date, e.g. 2022-01-01")
     catalog.add_argument("--limit", type=int, default=10)
+    catalog.add_argument("--instrument", default="modis",
+                         help="registered instrument whose archive to query "
+                              "(default: %(default)s)")
 
     sub.add_parser("info", help="print the system inventory")
 
@@ -152,6 +155,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
         config = dataclasses.replace(config, runtime_workers=args.workers)
     print(f"running workflow {config.name!r} "
           f"({config.start_date} .. {config.end_date}, products {config.products})")
+    if len(config.instruments) > 1 or len(config.models) > 1:
+        from repro.core.branches import expand_branches
+
+        branches = [f"{inst}+{mdl}" for inst, mdl in expand_branches(config)]
+        print(f"fan-out:    {len(branches)} branch(es): {', '.join(branches)}")
     if config.chaos is not None and config.chaos.active:
         print(f"chaos:      seed {config.chaos.seed}, "
               f"{len(config.chaos.faults)} fault spec(s) over stages "
@@ -270,9 +278,14 @@ def _cmd_figures(args: argparse.Namespace) -> int:
 def _cmd_catalog(args: argparse.Namespace) -> int:
     import datetime as dt
 
-    from repro.modis import LaadsArchive
+    from repro.instruments import get_instrument
 
-    archive = LaadsArchive()
+    try:
+        instrument = get_instrument(args.instrument)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    archive = instrument.build_archive(seed=0)
     refs = archive.query(args.product, dt.date.fromisoformat(args.date),
                          max_per_day=args.limit)
     for ref in refs:

@@ -1,0 +1,114 @@
+"""Per-instrument x per-model branch derivation for fan-out plans.
+
+One declarative config names ``archive.instruments`` and
+``inference.models``; this module derives the per-branch configs every
+execution surface shares — the local drivers, the sharded worker pool
+(:mod:`repro.core.scaleout`), and the control-plane agents
+(:mod:`repro.server.execution`) all call the same two pure functions,
+so a branch's paths and knobs can never disagree across surfaces.
+
+Layout under the root config's directories::
+
+    staging/<instrument>/...            per-instrument granules
+    preprocessed/<instrument>/...       per-instrument tile files
+    transfer_out/<instrument>+<model>/  per-branch labelled files
+    destination/<instrument>+<model>/   per-branch delivered corpus
+
+The journal directory is *shared* across branches (one WAL per run);
+collisions are avoided by branch-qualified journal keys (the model
+node's ``model-<tag>`` key, the inference/shipment ``<tag>:`` key
+prefix) and by the per-instrument granule/scene key namespaces.
+
+A single-branch config (one instrument, one model) derives *nothing*:
+the classic pipeline runs on the root paths, byte-identical to the
+pre-fan-out layout.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+from typing import List, Tuple
+
+from repro.core.config import EOMLConfig
+from repro.instruments.registry import get_instrument
+
+__all__ = [
+    "branch_tag",
+    "expand_branches",
+    "is_fanout",
+    "instrument_config",
+    "branch_config",
+]
+
+
+def branch_tag(instrument: str, model: str) -> str:
+    """The canonical branch name: ``<instrument>+<model>``."""
+    return f"{instrument}+{model}"
+
+
+def expand_branches(config: EOMLConfig) -> List[Tuple[str, str]]:
+    """Ordered (instrument, model) pairs — the product of the config's
+    instrument and model lists, instruments-major."""
+    return [(inst, model) for inst in config.instruments for model in config.models]
+
+
+def is_fanout(config: EOMLConfig) -> bool:
+    """True when the plan needs per-branch fan-out (more than one
+    instrument x model combination)."""
+    return len(config.instruments) > 1 or len(config.models) > 1
+
+
+def instrument_config(config: EOMLConfig, instrument: str) -> EOMLConfig:
+    """The per-instrument slice of a fan-out config.
+
+    Staging/preprocessed/quarantine move into per-instrument
+    subdirectories; products and tile size come from the instrument's
+    own defaults unless this is the primary instrument (whose products
+    and preprocess knobs the user configured directly).
+    """
+    if instrument not in config.instruments:
+        raise ValueError(
+            f"instrument {instrument!r} not in config.instruments {config.instruments}"
+        )
+    if not is_fanout(config):
+        return config
+    spec = get_instrument(instrument)
+    primary = instrument == config.instruments[0]
+    return dataclasses.replace(
+        config,
+        instruments=(instrument,),
+        branch=instrument,
+        staging=os.path.join(config.staging, instrument),
+        preprocessed=os.path.join(config.preprocessed, instrument),
+        quarantine=os.path.join(config.quarantine, instrument),
+        products=(
+            list(config.products) if primary else list(spec.default_products)
+        ),
+        tile_size=(config.tile_size if primary else spec.default_tile_size),
+    )
+
+
+def branch_config(config: EOMLConfig, instrument: str, model: str) -> EOMLConfig:
+    """The full per-branch (instrument x model) slice.
+
+    Extends :func:`instrument_config` with per-branch transfer-out and
+    destination directories and pins the single model.  An explicit
+    ``inference.model_path`` never applies to fan-out branches (it
+    names *one* model file); each branch bootstraps its own model into
+    the shared journal directory instead.
+    """
+    if model not in config.models:
+        raise ValueError(f"model {model!r} not in config.models {config.models}")
+    base = instrument_config(config, instrument)
+    if not is_fanout(config):
+        return base
+    tag = branch_tag(instrument, model)
+    return dataclasses.replace(
+        base,
+        models=(model,),
+        branch=tag,
+        model_path=None,
+        transfer_out=os.path.join(config.transfer_out, tag),
+        destination=os.path.join(config.destination, tag),
+    )

@@ -11,10 +11,11 @@ from __future__ import annotations
 import datetime as dt
 import os
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 from repro.chaos.plan import FaultPlan
-from repro.modis.constants import OCEAN_CLOUD_THRESHOLD, resolve_product
+from repro.instruments.base import OCEAN_CLOUD_THRESHOLD
+from repro.instruments.registry import get_instrument, get_model
 from repro.net.retry import BackoffPolicy
 from repro.runtime.channel import DEFAULT_CAPACITY, StreamConfig
 from repro.runtime.elastic import ElasticPolicy
@@ -42,13 +43,6 @@ def _date(value: Any) -> dt.date:
     return dt.date.fromisoformat(value)
 
 
-def _products(value: Any) -> List[str]:
-    names = string_list(value)
-    if not names:
-        raise ValueError("at least one MODIS product is required")
-    return [resolve_product(name).short_name for name in names]
-
-
 def _fraction(value: Any) -> float:
     result = number(value)
     if not 0.0 <= result <= 1.0:
@@ -59,8 +53,14 @@ def _fraction(value: Any) -> float:
 _ARCHIVE = Schema(
     "archive",
     [
-        Field("products", _products, required=False,
-              default=["MOD021KM", "MOD03", "MOD06_L2"]),
+        # Which registered instrument(s) feed the plan.  ``instrument``
+        # is the common single-source spelling; ``instruments`` (a list)
+        # takes precedence and, with more than one entry, fans the plan
+        # out per instrument.  ``products`` applies to the *primary*
+        # (first) instrument; other instruments use their defaults.
+        Field("instrument", string, required=False, default="modis"),
+        Field("instruments", string_list, required=False, default=None),
+        Field("products", string_list, required=False, default=None),
         Field("start_date", _date),
         Field("end_date", _date, required=False, default=None),
         Field("max_granules_per_day", positive_int, required=False, default=None),
@@ -123,6 +123,12 @@ _INFERENCE = Schema(
     "inference",
     [
         Field("workers", positive_int, required=False, default=1),
+        # Which registered label model(s) run over the tiles.  ``model``
+        # is the single-model spelling; ``models`` (a list) takes
+        # precedence and, with more than one entry, fans the plan out
+        # per instrument x model.
+        Field("model", string, required=False, default="ricc"),
+        Field("models", string_list, required=False, default=None),
         Field("num_classes", positive_int, required=False, default=42),
         Field("model_path", string, required=False, default=None),
         Field("poll_interval", number, required=False, default=0.2),
@@ -229,6 +235,16 @@ class EOMLConfig:
     model_path: Optional[str]
     poll_interval: float
     ship: bool
+    # Pluggable instruments & models (repro.instruments): which
+    # registered instruments feed the plan and which label models run
+    # over each instrument's tiles.  Single entries keep the classic
+    # one-branch pipeline byte-identical; multiple entries fan the plan
+    # out into one branch per instrument x model (core.branches).
+    instruments: Tuple[str, ...] = ("modis",)
+    models: Tuple[str, ...] = ("ricc",)
+    # The branch tag of a derived per-branch config: the instrument
+    # name, or "<instrument>+<model>"; "" on the root config.
+    branch: str = ""
     quarantine: str = "data/quarantine"
     # Upper bound on queued tile files fused into one encoder/assign
     # call by the inference micro-batcher (1 disables cross-file fusion).
@@ -257,6 +273,16 @@ class EOMLConfig:
     elastic: ElasticPolicy = ElasticPolicy()
     chaos: Optional[FaultPlan] = None
     raw: Dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def instrument(self) -> str:
+        """The primary instrument (the one ``products`` applies to)."""
+        return self.instruments[0]
+
+    @property
+    def model_name(self) -> str:
+        """The primary label model."""
+        return self.models[0]
 
 
 def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
@@ -294,6 +320,43 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
     if inference["poll_interval"] <= 0:
         raise ConfigError("inference.poll_interval", "must be positive")
 
+    # Resolve instruments and models through the registries: unknown
+    # names fail here (with the available set in the message), not deep
+    # inside a stage.  Duplicates collapse, order is preserved.
+    instrument_key = "archive.instruments" if archive["instruments"] else "archive.instrument"
+    instrument_names = list(
+        dict.fromkeys(archive["instruments"] or [archive["instrument"]])
+    )
+    if not instrument_names:
+        raise ConfigError("archive.instruments", "at least one instrument is required")
+    try:
+        resolved_instruments = [get_instrument(name) for name in instrument_names]
+    except KeyError as exc:
+        raise ConfigError(instrument_key, str(exc).strip('"')) from exc
+    primary = resolved_instruments[0]
+
+    model_key = "inference.models" if inference["models"] else "inference.model"
+    model_names = list(dict.fromkeys(inference["models"] or [inference["model"]]))
+    if not model_names:
+        raise ConfigError("inference.models", "at least one model is required")
+    try:
+        for name in model_names:
+            get_model(name)
+    except KeyError as exc:
+        raise ConfigError(model_key, str(exc).strip('"')) from exc
+
+    # ``products`` names files of the *primary* instrument; unset means
+    # the instrument's default scene composition.
+    if archive["products"] is None:
+        products = list(primary.default_products)
+    else:
+        if not archive["products"]:
+            raise ConfigError("archive.products", "at least one product is required")
+        try:
+            products = [primary.resolve_product(name) for name in archive["products"]]
+        except KeyError as exc:
+            raise ConfigError("archive.products", str(exc).strip('"')) from exc
+
     chaos_plan: Optional[FaultPlan] = None
     if top["chaos"] is not None:
         chaos_plan = FaultPlan.from_mapping(top["chaos"], "chaos")
@@ -306,7 +369,9 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
 
     return EOMLConfig(
         name=top["name"],
-        products=archive["products"],
+        products=products,
+        instruments=tuple(instrument_names),
+        models=tuple(model_names),
         start_date=archive["start_date"],
         end_date=end_date,
         max_granules_per_day=archive["max_granules_per_day"],

@@ -24,14 +24,14 @@ from __future__ import annotations
 import os
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import ChaosArchive, chaos_atomic_write
 from repro.compute import LocalComputeEndpoint
 from repro.core.config import EOMLConfig
+from repro.instruments.registry import get_instrument
 from repro.journal import WorkflowJournal
-from repro.modis import GranuleRef, LaadsArchive
 from repro.net.retry import CircuitBreaker
 from repro.runtime import (
     FAILED,
@@ -48,7 +48,8 @@ from repro.runtime.proc import ProcWorkerPool, WorkEnvelope
 
 __all__ = ["GranuleSet", "DownloadReport", "DownloadStage"]
 
-# The single archive host every granule request targets (the breaker key).
+# The default archive host (the MODIS/LAADS breaker key); each
+# instrument supplies its own via ``Instrument.archive_host``.
 ARCHIVE_HOST = "laads"
 
 
@@ -91,7 +92,7 @@ class DownloadStage:
     def __init__(
         self,
         config: EOMLConfig,
-        archive: Optional[LaadsArchive] = None,
+        archive: Optional[Any] = None,
         chaos: Optional[FaultInjector] = None,
         sleeper: Callable[[float], None] = time.sleep,
         journal: Optional[WorkflowJournal] = None,
@@ -99,7 +100,14 @@ class DownloadStage:
         self.config = config
         self.chaos = chaos
         self.journal = journal
-        self.archive = archive or LaadsArchive(seed=config.seed)
+        instrument = get_instrument(config.instrument)
+        self.archive = archive or instrument.build_archive(seed=config.seed)
+        self._host = instrument.archive_host
+        # Scale-out envelopes carry the branch tag so pool workers
+        # rebuild the right per-instrument context ("" = classic kind).
+        self._kind = (
+            f"download@{config.branch}" if config.branch else "download"
+        )
         if chaos is not None:
             self.archive = ChaosArchive(self.archive, chaos, sleeper=sleeper)
         self.backoff = config.download_backoff
@@ -112,7 +120,7 @@ class DownloadStage:
             journal=journal, chaos=chaos, sleeper=sleeper
         )
 
-    def plan(self) -> List[GranuleRef]:
+    def plan(self) -> List[Any]:
         """The catalog query: every product over the configured span.
 
         Refs come back scene-major (all products of one acquisition
@@ -121,7 +129,7 @@ class DownloadStage:
         scene at roughly the same instant, which starves the streaming
         ``download -> preprocess`` hand-off of anything to overlap.
         """
-        refs: List[GranuleRef] = []
+        refs: List[Any] = []
         for product in self.config.products:
             refs.extend(
                 self.archive.query(
@@ -134,7 +142,7 @@ class DownloadStage:
         refs.sort(key=lambda ref: (ref.gid.scene_key, ref.gid.product))
         return refs
 
-    def _unit_for(self, ref: GranuleRef) -> WorkUnit:
+    def _unit_for(self, ref: Any) -> WorkUnit:
         """One granule download as a work unit."""
         key = ref.filename
         final_path = os.path.join(self.config.staging, ref.filename + ".nc")
@@ -179,7 +187,7 @@ class DownloadStage:
                 retries=self.config.download_retries,
                 backoff=self.backoff,
                 breaker=self.breaker,
-                host=ARCHIVE_HOST,
+                host=self._host,
                 retry_on=(OSError, RuntimeError),
                 sleeper=self._sleeper,
             ),
@@ -195,7 +203,7 @@ class DownloadStage:
         )
 
     def _fetch_one(
-        self, ref: GranuleRef
+        self, ref: Any
     ) -> Tuple[GranuleRef, Optional[str], int, float, str, int, Optional[str]]:
         """Download one granule through the stage runtime.
 
@@ -301,7 +309,7 @@ class DownloadStage:
             # filename across the process pool.  settle() is
             # order-independent, so completion order does not matter.
             futures = [
-                pool.submit(WorkEnvelope("download", ref.filename, ref))
+                pool.submit(WorkEnvelope(self._kind, ref.filename, ref))
                 for ref in refs
             ]
             for result in pool.gather(futures):

@@ -22,7 +22,6 @@ import os
 import queue
 import threading
 import time
-import warnings
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -36,7 +35,6 @@ from repro.core.preprocess import QuarantineRecord
 from repro.journal import WorkflowJournal
 from repro.netcdf import Dataset, from_bytes as nc_from_bytes, to_bytes as nc_to_bytes
 from repro.netcdf.writer import canonical_layout, splice_bytes
-from repro.ricc import AICCAModel
 from repro.runtime.proc import ProcWorkerPool, WorkEnvelope, WorkerCrashed
 from repro.runtime import (
     QUARANTINED,
@@ -66,17 +64,23 @@ class InferenceResult:
 
 
 def _labelled_payload(
-    ds: Dataset, raw: Optional[bytes], labels: np.ndarray, num_classes: int
+    ds: Dataset,
+    raw: Optional[bytes],
+    labels: np.ndarray,
+    num_classes: int,
+    attribution: str = "RICC/AICCA",
 ) -> bytes:
     """Write ``labels`` into ``ds`` and serialize.
 
     When ``raw`` is the canonical serialization the dataset was parsed
     from, only the header and the label column are rewritten and the
-    unchanged radiance bytes are spliced through verbatim.
+    unchanged radiance bytes are spliced through verbatim.  The
+    ``aicca_classes`` attribute name is the published LABELLED_TILE_FILE
+    contract and stays fixed regardless of which model classified.
     """
     layout = canonical_layout(ds, raw) if raw is not None else None
     ds["label"].data[:] = labels.astype(ds["label"].data.dtype)
-    ds["label"].set_attr("classified_by", "RICC/AICCA")
+    ds["label"].set_attr("classified_by", attribution)
     ds.set_attr("aicca_classes", int(num_classes))
     if layout is not None:
         return splice_bytes(ds, raw, layout, ("label",))
@@ -98,7 +102,7 @@ def _publish(payload: bytes, src_path: str, out_dir: str,
     return out_path, digest
 
 
-def infer_tile_file(model: AICCAModel, src_path: str, out_dir: str) -> InferenceResult:
+def infer_tile_file(model: Any, src_path: str, out_dir: str) -> InferenceResult:
     """Label one tile file; writes the enriched copy to ``out_dir``."""
     started = time.monotonic()
     with open(src_path, "rb") as handle:
@@ -107,7 +111,10 @@ def infer_tile_file(model: AICCAModel, src_path: str, out_dir: str) -> Inference
     TILE_FILE.validate(ds)
     radiance = np.asarray(ds["radiance"].data, dtype=np.float32)
     labels = model.assign(radiance)
-    payload = _labelled_payload(ds, raw, labels, model.num_classes)
+    payload = _labelled_payload(
+        ds, raw, labels, model.num_classes,
+        attribution=getattr(model, "attribution", "RICC/AICCA"),
+    )
     out_path, _ = _publish(payload, src_path, out_dir)
     return InferenceResult(
         src_path=src_path,
@@ -145,7 +152,7 @@ class InferenceWorker:
 
     def __init__(
         self,
-        model: AICCAModel,
+        model: Any,
         config: EOMLConfig,
         workers: Optional[int] = None,
         chaos: Optional[FaultInjector] = None,
@@ -155,12 +162,23 @@ class InferenceWorker:
         on_result: Optional[Callable[[InferenceResult], None]] = None,
         pool: Optional[ProcWorkerPool] = None,
         model_ref: Optional[Tuple[str, Any]] = None,
+        key_prefix: str = "",
     ):
         self.model = model
         self._on_result = on_result
         self.config = config
         self.chaos = chaos
         self.journal = journal
+        self._attribution = getattr(model, "attribution", "RICC/AICCA")
+        # Fan-out plans share one journal across branches; the per-branch
+        # key prefix ("<instrument>+<model>:") keeps same-named tile files
+        # from colliding in it.  "" preserves the classic key namespace.
+        self.key_prefix = key_prefix
+        # Scale-out envelopes carry the branch tag so pool workers
+        # rebuild the right per-branch context ("" = classic kind).
+        self._kind = (
+            f"inference@{config.branch}" if config.branch else "inference"
+        )
         # Scale-out path: when a pool is given, submit() ships each tile
         # file as an envelope instead of enqueueing for the local
         # threads; model_ref tells workers how to obtain the model.
@@ -215,7 +233,7 @@ class InferenceWorker:
             self._submitted += 1
         if self.pool is not None:
             future = self.pool.submit(
-                WorkEnvelope("inference", os.path.basename(path), (path, self.model_ref))
+                WorkEnvelope(self._kind, os.path.basename(path), (path, self.model_ref))
             )
             future.add_done_callback(
                 lambda f, path=path: self._settle_remote(path, f)
@@ -309,7 +327,7 @@ class InferenceWorker:
 
         return WorkUnit(
             stage="inference",
-            key=os.path.basename(path),
+            key=self.key_prefix + os.path.basename(path),
             body=body,
             journal_phase="open",
             failure=self._quarantine_policy(path),
@@ -326,11 +344,15 @@ class InferenceWorker:
                 labels if labels is not None else self.model.assign(entry.radiance)
             )
             payload = _labelled_payload(
-                entry.ds, entry.raw, file_labels, self.model.num_classes
+                entry.ds, entry.raw, file_labels, self.model.num_classes,
+                attribution=self._attribution,
             )
             # Injected death in the window between labelling and
             # publication — resume must redo this file from its tile.
-            chaos_crash(self.chaos, "inference", os.path.basename(entry.path))
+            chaos_crash(
+                self.chaos, "inference",
+                self.key_prefix + os.path.basename(entry.path),
+            )
             out_path, digest = _publish(payload, entry.path, self.config.transfer_out,
                                         durable=self._durable)
             classes_seen = int(np.unique(file_labels).size)
@@ -348,7 +370,7 @@ class InferenceWorker:
 
         return WorkUnit(
             stage="inference",
-            key=os.path.basename(entry.path),
+            key=self.key_prefix + os.path.basename(entry.path),
             body=body,
             journal_phase="close",
             stall=False,
@@ -439,29 +461,14 @@ class InferenceWorker:
             thread.join(timeout=timeout)
         self._threads = []
 
-    def drain(self, timeout: float = 60.0, **deprecated) -> None:
+    def drain(self, timeout: float = 60.0) -> None:
         """Block until every submitted file has been processed.
 
         Progress is signalled through a condition variable, so waiting
-        costs no CPU.  ``poll`` (the old busy-poll interval) is gone from
-        the signature; passing it still warns rather than breaking
-        callers, any other keyword is a :class:`TypeError`.  The
-        settled/submitted counters are re-checked once after the
-        deadline, so a queue that drains exactly at the deadline does
-        not raise.
+        costs no CPU.  The settled/submitted counters are re-checked once
+        after the deadline, so a queue that drains exactly at the
+        deadline does not raise.
         """
-        if deprecated:
-            unknown = set(deprecated) - {"poll"}
-            if unknown:
-                raise TypeError(
-                    f"drain() got unexpected keyword arguments {sorted(unknown)}"
-                )
-            warnings.warn(
-                "InferenceWorker.drain(poll=...) is deprecated and ignored; "
-                "drain() blocks on a condition variable",
-                DeprecationWarning,
-                stacklevel=2,
-            )
         deadline = time.monotonic() + timeout
 
         def settled() -> bool:

@@ -29,9 +29,9 @@ from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import chaos_atomic_write
 from repro.compute import LocalComputeEndpoint
 from repro.core.config import EOMLConfig
-from repro.core.contracts import GRANULE_MOD02, GRANULE_MOD03, GRANULE_MOD06
 from repro.core.download import GranuleSet
 from repro.core.tiles import extract_tiles, tiles_to_dataset
+from repro.instruments.registry import get_instrument
 from repro.journal import WorkflowJournal
 from repro.netcdf import read as nc_read
 from repro.pexec import DataFlowKernel
@@ -97,6 +97,7 @@ def _preprocess_unit(
     cloud_threshold: float,
     max_land_fraction: float,
     skip_existing: bool,
+    instrument: str = "modis",
 ) -> WorkUnit:
     """One granule set's tiling as a work unit."""
     final_path = os.path.join(out_dir, f"tiles_{granules.key.replace('.', '_')}.nc")
@@ -115,23 +116,19 @@ def _preprocess_unit(
 
     def body(ctx) -> UnitResult:
         ctx.begin()
-        mod02 = nc_read(granules.path_for("021KM"))
-        mod03 = nc_read(granules.path_for("03"))
-        mod06 = nc_read(granules.path_for("06_L2"))
-        # Interface validation (published contracts, Section V-A): reject
-        # malformed inputs at the stage boundary.
-        GRANULE_MOD02.validate(mod02)
-        GRANULE_MOD03.validate(mod03)
-        GRANULE_MOD06.validate(mod06)
+        # The instrument owns its product families, file contracts, and
+        # mask fusion (interface validation happens inside load_scene,
+        # Section V-A): the stage body is instrument-agnostic science.
+        scene = get_instrument(instrument).load_scene(granules)
         tiles = extract_tiles(
-            radiance=mod02["radiance"].data,
-            cloud_mask=mod06["cloud_mask"].data.astype(bool),
-            land_mask=mod06["land_mask"].data.astype(bool),
-            latitude=mod03["latitude"].data,
-            longitude=mod03["longitude"].data,
+            radiance=scene.radiance,
+            cloud_mask=scene.cloud_mask,
+            land_mask=scene.land_mask,
+            latitude=scene.latitude,
+            longitude=scene.longitude,
             tile_size=tile_size,
-            optical_thickness=mod06["cloud_optical_thickness"].data,
-            cloud_top_pressure=mod06["cloud_top_pressure"].data,
+            optical_thickness=scene.optical_thickness,
+            cloud_top_pressure=scene.cloud_top_pressure,
             cloud_threshold=cloud_threshold,
             max_land_fraction=max_land_fraction,
             source=granules.key,
@@ -140,7 +137,7 @@ def _preprocess_unit(
             # A tileless granule is a real completion (nothing to redo).
             return UnitResult(outcome="done", artifact=None, payload={"tiles": 0})
         ds = tiles_to_dataset(tiles, source=granules.key)
-        ds.set_attr("true_regime", str(mod02.get_attr("true_regime", "unknown")))
+        ds.set_attr("true_regime", scene.attrs.get("true_regime", "unknown"))
         nbytes, digest = chaos_atomic_write(
             ds, final_path, chaos=ctx.chaos, stage="preprocess", key=granules.key
         )
@@ -165,6 +162,7 @@ def preprocess_granule_set(
     chaos: Optional[FaultInjector] = None,
     journal: Optional[WorkflowJournal] = None,
     executor: Optional[StageExecutor] = None,
+    instrument: str = "modis",
 ) -> PreprocessResult:
     """The per-granule task body (pure function; safe for any executor).
 
@@ -181,7 +179,13 @@ def preprocess_granule_set(
     if executor is None:
         executor = build_executor(journal=journal, chaos=chaos)
     unit = _preprocess_unit(
-        granules, out_dir, tile_size, cloud_threshold, max_land_fraction, skip_existing
+        granules,
+        out_dir,
+        tile_size,
+        cloud_threshold,
+        max_land_fraction,
+        skip_existing,
+        instrument=instrument,
     )
     result = executor.execute(unit)
     if result.outcome == RESUMED:
@@ -217,6 +221,11 @@ class PreprocessStage:
         self._dfk = dfk
         self._owns_dfk = dfk is None
         self._executor = build_executor(journal=journal, chaos=chaos)
+        # Scale-out envelopes carry the branch tag so pool workers
+        # rebuild the right per-instrument context ("" = classic kind).
+        self._kind = (
+            f"preprocess@{config.branch}" if config.branch else "preprocess"
+        )
 
     def run(self, granule_sets: List[GranuleSet]) -> PreprocessReport:
         return self.run_stream(granule_sets)
@@ -279,7 +288,10 @@ class PreprocessStage:
                                 self.config.cloud_threshold,
                                 self.config.max_land_fraction,
                             ),
-                            kwargs={"executor": self._executor},
+                            kwargs={
+                                "executor": self._executor,
+                                "instrument": self.config.instrument,
+                            },
                         ),
                     )
                 )
@@ -321,7 +333,7 @@ class PreprocessStage:
                 (
                     granules,
                     self.pool.submit(
-                        WorkEnvelope("preprocess", granules.key, granules)
+                        WorkEnvelope(self._kind, granules.key, granules)
                     ),
                 )
             )

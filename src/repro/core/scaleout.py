@@ -18,17 +18,25 @@ artifact still lands via atomic rename.
 
 Envelope kinds and their sharding keys:
 
-========== ======================= =====================================
-kind       key                     payload
-========== ======================= =====================================
-download   granule filename        :class:`~repro.modis.GranuleRef`
-preprocess scene key               :class:`~repro.core.download.GranuleSet`
-inference  tile-file basename      ``(tile_path, model_ref)``
-========== ======================= =====================================
+================== ================== ====================================
+kind               key                payload
+================== ================== ====================================
+download[@inst]    granule filename   instrument granule ref
+preprocess[@inst]  scene key          :class:`~repro.core.download.GranuleSet`
+inference[@branch] tile-file basename ``(tile_path, model_ref)``
+================== ================== ====================================
+
+The optional ``@`` suffix carries the fan-out branch: an instrument name
+for download/preprocess, an ``<instrument>+<model>`` tag for inference.
+A bare kind is the classic single-branch pipeline; suffixed kinds make
+the worker derive the matching per-branch config through the same
+:mod:`repro.core.branches` helpers the drivers use, so sharded work can
+never disagree with the in-process plan about paths or knobs.
 
 ``model_ref`` is ``("path", path)`` — each worker loads and caches the
-model once — or ``("object", model)`` when no model file exists (the
-model itself is pickled across; still cached on first use).
+model once, through the branch's registered model type — or
+``("object", model)`` when no model file exists (the model itself is
+pickled across; still cached on first use).
 """
 
 from __future__ import annotations
@@ -38,13 +46,13 @@ import os
 from typing import Any, Dict, Optional, Tuple
 
 from repro.chaos import build_injector
+from repro.core.branches import branch_config, instrument_config
 from repro.core.config import EOMLConfig, load_config
 from repro.core.download import DownloadStage
 from repro.core.inference import InferenceWorker
 from repro.core.preprocess import preprocess_granule_set
+from repro.instruments.registry import get_model
 from repro.journal import WorkflowJournal
-from repro.modis import LaadsArchive
-from repro.ricc import AICCAModel
 from repro.runtime import build_executor
 from repro.runtime.elastic import ElasticPolicy
 from repro.runtime.proc import ProcWorkerPool, WorkEnvelope, WorkerSpec
@@ -57,7 +65,7 @@ WORKER_TARGET = "repro.core.scaleout:build_stage_worker"
 
 
 def worker_payload(
-    config: EOMLConfig, archive: Optional[LaadsArchive] = None
+    config: EOMLConfig, archive: Optional[Any] = None
 ) -> Dict[str, Any]:
     """The picklable seed a worker process rebuilds its world from.
 
@@ -79,7 +87,10 @@ class StageWorker:
     def __init__(self, payload: Dict[str, Any]):
         config = load_config(payload["raw"])
         self.config = dataclasses.replace(config, chaos=payload["chaos"])
-        self.archive = payload.get("archive") or LaadsArchive(seed=self.config.seed)
+        # An injected archive only stands in for the *primary* instrument
+        # (it was built for one instrument's granule grammar); other
+        # branches let DownloadStage build theirs from the registry.
+        self.archive = payload.get("archive")
         self.chaos = build_injector(self.config.chaos)
         self.journal: Optional[WorkflowJournal] = None
         if self.config.journal_enabled:
@@ -91,21 +102,39 @@ class StageWorker:
             # resumes instead of re-running, and a mid-flight crash is
             # replayed from scratch — same rules as the site agents.
             self.journal.start(resume=True)
-        self._download: Optional[DownloadStage] = None
+        self._downloads: Dict[str, DownloadStage] = {}
         self._preprocess_executor = None
-        self._inference: Optional[InferenceWorker] = None
-        self._model: Optional[AICCAModel] = None
+        self._inference: Dict[str, InferenceWorker] = {}
+        self._models: Dict[str, Any] = {}
 
     # -- per-kind contexts ----------------------------------------------------
 
-    def _ensure_download(self) -> DownloadStage:
-        if self._download is None:
-            os.makedirs(self.config.staging, exist_ok=True)
-            self._download = DownloadStage(
-                self.config, archive=self.archive, chaos=self.chaos,
+    def _branch_config(self, base: str, tag: str) -> EOMLConfig:
+        """The config slice an envelope kind executes under.
+
+        A bare kind ("" tag) is the classic single-branch pipeline and
+        runs on the root config; a suffixed kind derives the branch
+        slice through the shared :mod:`repro.core.branches` helpers.
+        """
+        if not tag:
+            return self.config
+        if base == "inference":
+            instrument, _, model = tag.partition("+")
+            return branch_config(self.config, instrument, model)
+        return instrument_config(self.config, tag)
+
+    def _ensure_download(self, tag: str) -> DownloadStage:
+        if tag not in self._downloads:
+            cfg = self._branch_config("download", tag)
+            primary = not tag or tag == self.config.instruments[0]
+            os.makedirs(cfg.staging, exist_ok=True)
+            self._downloads[tag] = DownloadStage(
+                cfg,
+                archive=self.archive if primary else None,
+                chaos=self.chaos,
                 journal=self.journal,
             )
-        return self._download
+        return self._downloads[tag]
 
     def _ensure_preprocess_executor(self):
         if self._preprocess_executor is None:
@@ -114,47 +143,55 @@ class StageWorker:
             )
         return self._preprocess_executor
 
-    def _load_model(self, model_ref: Tuple[str, Any]) -> AICCAModel:
-        if self._model is None:
+    def _load_model(self, tag: str, cfg: EOMLConfig, model_ref: Tuple[str, Any]) -> Any:
+        if tag not in self._models:
             mode, value = model_ref
-            self._model = AICCAModel.load(value) if mode == "path" else value
-        return self._model
+            if mode == "path":
+                self._models[tag] = get_model(cfg.model_name).load(value)
+            else:
+                self._models[tag] = value
+        return self._models[tag]
 
-    def _ensure_inference(self, model_ref: Tuple[str, Any]) -> InferenceWorker:
-        if self._inference is None:
+    def _ensure_inference(self, tag: str, model_ref: Tuple[str, Any]) -> InferenceWorker:
+        if tag not in self._inference:
             # batch_files=1 keeps per-file labels byte-identical to the
             # in-process micro-batched path (the PR 2 equivalence
             # guarantee); the worker is never start()ed — _process_batch
             # runs synchronously on the envelope loop.
-            self._inference = InferenceWorker(
-                self._load_model(model_ref),
-                self.config,
+            cfg = self._branch_config("inference", tag)
+            self._inference[tag] = InferenceWorker(
+                self._load_model(tag, cfg, model_ref),
+                cfg,
                 chaos=self.chaos,
                 batch_files=1,
                 journal=self.journal,
+                key_prefix=f"{tag}:" if tag else "",
             )
-        return self._inference
+        return self._inference[tag]
 
     # -- envelope execution ---------------------------------------------------
 
     def __call__(self, envelope: WorkEnvelope) -> Any:
-        if envelope.kind == "download":
-            return self._ensure_download()._fetch_one(envelope.payload)
-        if envelope.kind == "preprocess":
+        base, _, tag = envelope.kind.partition("@")
+        if base == "download":
+            return self._ensure_download(tag)._fetch_one(envelope.payload)
+        if base == "preprocess":
             granules = envelope.payload
+            cfg = self._branch_config("preprocess", tag)
             return preprocess_granule_set(
                 granules,
-                self.config.preprocessed,
-                self.config.tile_size,
-                self.config.cloud_threshold,
-                self.config.max_land_fraction,
+                cfg.preprocessed,
+                cfg.tile_size,
+                cfg.cloud_threshold,
+                cfg.max_land_fraction,
                 executor=self._ensure_preprocess_executor(),
+                instrument=cfg.instrument,
             )
-        if envelope.kind == "inference":
-            return self._infer(envelope.payload)
+        if base == "inference":
+            return self._infer(tag, envelope.payload)
         raise ValueError(f"unknown envelope kind {envelope.kind!r}")
 
-    def _infer(self, payload: Tuple[str, Tuple[str, Any]]) -> Tuple[str, Any]:
+    def _infer(self, tag: str, payload: Tuple[str, Tuple[str, Any]]) -> Tuple[str, Any]:
         """Label one tile file; returns a tagged outcome tuple.
 
         The quarantine move (when the file is bad) happens here in the
@@ -162,7 +199,7 @@ class StageWorker:
         ``("quarantined", msg)``, ``("error", msg)``.
         """
         path, model_ref = payload
-        worker = self._ensure_inference(model_ref)
+        worker = self._ensure_inference(tag, model_ref)
         results_before = len(worker.results)
         quarantined_before = len(worker.quarantined)
         errors_before = len(worker.errors)
@@ -184,8 +221,10 @@ class StageWorker:
         out: Dict[str, float] = {}
         if self.journal is not None:
             out.update({k: float(v) for k, v in self.journal.counters().items()})
-        if self._download is not None:
-            out["breaker_trips"] = float(self._download.breaker.opened_total)
+        if self._downloads:
+            out["breaker_trips"] = float(
+                sum(stage.breaker.opened_total for stage in self._downloads.values())
+            )
         return out
 
 
@@ -196,7 +235,7 @@ def build_stage_worker(payload: Dict[str, Any]) -> StageWorker:
 
 def build_pool(
     config: EOMLConfig,
-    archive: Optional[LaadsArchive] = None,
+    archive: Optional[Any] = None,
     policy: Optional[ElasticPolicy] = None,
 ) -> ProcWorkerPool:
     """The workflow's stage-worker pool (not yet started).

@@ -62,9 +62,13 @@ class ShipmentStage:
         client: LocalTransferClient | None = None,
         chaos: Optional[FaultInjector] = None,
         journal: Optional[WorkflowJournal] = None,
+        key_prefix: str = "",
     ):
         self.config = config
         self.journal = journal
+        # Fan-out plans share one journal across branches; the per-branch
+        # key prefix keeps same-named labelled files from colliding in it.
+        self.key_prefix = key_prefix
         if client is not None:
             self.client = client
         else:
@@ -128,7 +132,7 @@ class ShipmentStage:
 
         return WorkUnit(
             stage="shipment",
-            key=name,
+            key=self.key_prefix + name,
             body=body,
             retry=RetrySpec(
                 retries=self.config.shipment_retries,

@@ -22,7 +22,7 @@ from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.modis.constants import OCEAN_CLOUD_THRESHOLD
+from repro.instruments.base import OCEAN_CLOUD_THRESHOLD
 from repro.netcdf import Dataset
 
 __all__ = ["Tile", "extract_tiles", "tiles_to_dataset", "dataset_to_tiles"]

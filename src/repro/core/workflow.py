@@ -18,10 +18,13 @@ concurrency window, and :meth:`run` merely drives it with the local
 zambeze orchestrator can execute the *same* plan through the adapters in
 ``repro.flows.pipeline`` and ``repro.zambeze.pipeline``.
 
-The inference model may be supplied (a trained :class:`AICCAModel`) or
+The inference model may be supplied (a trained model instance) or
 bootstrapped: with ``model=None`` the workflow trains a small atlas on
 the first preprocessed tiles before labelling (handy for examples; a
 production run would load a model trained on the 1 M-tile corpus).
+Model types — like instruments — come from :mod:`repro.instruments`'s
+registry, and a config naming several instruments or models fans the
+plan out into per-``<instrument>+<model>`` branches.
 """
 
 from __future__ import annotations
@@ -35,6 +38,7 @@ from typing import Any, Dict, List, Optional
 import numpy as np
 
 from repro.chaos import build_injector
+from repro.core.branches import branch_config, branch_tag, expand_branches, instrument_config, is_fanout
 from repro.core.config import EOMLConfig
 from repro.journal import WorkflowJournal
 from repro.core.download import DownloadReport, DownloadStage, GranuleSet
@@ -43,10 +47,9 @@ from repro.core.monitor import DirectoryCrawler
 from repro.core.preprocess import PreprocessReport, PreprocessStage
 from repro.core.shipment import ShipmentReport, ShipmentStage
 from repro.core.timeline import StageBreakdown, WallClockTimeline
-from repro.modis import LaadsArchive
+from repro.instruments.registry import get_model
 from repro.netcdf import read as nc_read
 from repro.provenance import ProvenanceStore
-from repro.ricc import AICCAModel
 from repro.runtime import (
     STREAMS_KEY,
     PipelinePlan,
@@ -135,41 +138,50 @@ class EOMLWorkflow:
     def __init__(
         self,
         config: EOMLConfig,
-        model: Optional[AICCAModel] = None,
-        archive: Optional[LaadsArchive] = None,
+        model: Optional[Any] = None,
+        archive: Optional[Any] = None,
     ):
         self.config = config
         self.model = model
-        self.archive = archive or LaadsArchive(seed=config.seed)
+        # None means "each download stage builds its instrument's archive
+        # from the registry"; an injected archive stands in for the
+        # *primary* instrument only (it speaks one granule grammar).
+        self.archive = archive
 
     # -- model bootstrap ------------------------------------------------------
 
-    def _effective_model_path(self, journal: Optional[WorkflowJournal]) -> Optional[str]:
+    def _effective_model_path(
+        self, journal: Optional[WorkflowJournal], tag: str = ""
+    ) -> Optional[str]:
         """Where the bootstrapped model persists.
 
         Without an explicit ``inference.model_path`` the journal directory
-        hosts it, so a resumed run reloads instead of retraining.
+        hosts it, so a resumed run reloads instead of retraining.  Fan-out
+        branches always live in the journal directory, one file per
+        branch tag (``model_path`` names *one* model file).
         """
-        if self.config.model_path:
+        if not tag and self.config.model_path:
             return self.config.model_path
         if journal is not None:
-            return os.path.join(journal.directory, "model.npz")
+            name = f"model_{tag}.npz" if tag else "model.npz"
+            return os.path.join(journal.directory, name)
         return None
 
-    def _ensure_model(
+    def _bootstrap_model(
         self,
+        config: EOMLConfig,
         tile_paths: List[str],
-        model_path: Optional[str] = None,
-        journal: Optional[WorkflowJournal] = None,
-    ) -> AICCAModel:
-        if self.model is not None:
-            return self.model
-        model_path = model_path or self.config.model_path
+        model_path: Optional[str],
+        journal: Optional[WorkflowJournal],
+        journal_key: str,
+    ) -> Any:
+        """Load-or-train ``config.model_name`` through the registry."""
+        model_type = get_model(config.model_name)
         if model_path and os.path.exists(model_path):
-            self.model = AICCAModel.load(model_path)
+            model = model_type.load(model_path)
             if journal is not None:
-                journal.complete("model", "aicca-model", artifact=model_path)
-            return self.model
+                journal.complete("model", journal_key, artifact=model_path)
+            return model
         stacks = []
         for path in tile_paths:
             ds = nc_read(path)
@@ -177,28 +189,38 @@ class EOMLWorkflow:
         if not stacks:
             raise RuntimeError("no tiles available to bootstrap an AICCA model")
         tiles = np.concatenate(stacks)
-        num_classes = min(self.config.num_classes, max(2, tiles.shape[0] // 4))
+        num_classes = min(config.num_classes, max(2, tiles.shape[0] // 4))
         if journal is not None:
-            journal.intent("model", "aicca-model")
-        self.model, _history = AICCAModel.train(
-            tiles,
-            num_classes=num_classes,
-            latent_dim=8,
-            hidden=(64,),
-            epochs=8,
-            seed=self.config.seed,
-        )
+            journal.intent("model", journal_key)
+        model = model_type.bootstrap(tiles, num_classes=num_classes, seed=config.seed)
         if model_path:
             os.makedirs(os.path.dirname(model_path) or ".", exist_ok=True)
-            self.model.save(model_path)
+            model.save(model_path)
             if journal is not None:
-                journal.complete("model", "aicca-model", artifact=model_path)
+                journal.complete("model", journal_key, artifact=model_path)
+        return model
+
+    def _ensure_model(
+        self,
+        tile_paths: List[str],
+        model_path: Optional[str] = None,
+        journal: Optional[WorkflowJournal] = None,
+    ) -> Any:
+        if self.model is not None:
+            return self.model
+        self.model = self._bootstrap_model(
+            self.config,
+            tile_paths,
+            model_path or self.config.model_path,
+            journal,
+            "aicca-model",
+        )
         return self.model
 
     # -- the declarative plan -------------------------------------------------
 
     @staticmethod
-    def _await_model(state: Dict[str, Any], handles: Dict[str, Any]) -> AICCAModel:
+    def _await_model(state: Dict[str, Any], handles: Dict[str, Any]) -> Any:
         """The model the inference window labels with.
 
         Barrier mode reads it straight from the state (the ``after``
@@ -263,6 +285,11 @@ class EOMLWorkflow:
         handles = handles if handles is not None else {}
         handles.setdefault("bootstrap_reports", [])
         handles.setdefault("consumed", 0)
+        if is_fanout(config):
+            return self._build_fanout_plan(
+                metrics=metrics, prov=prov, chaos=chaos, journal=journal,
+                handles=handles, streaming=streaming, pool=pool,
+            )
         if streaming:
             handles.setdefault("model_ready", threading.Event())
         config_entity = (
@@ -294,7 +321,7 @@ class EOMLWorkflow:
             record_download_prov(download)
             return download
 
-        def run_model(state: Dict[str, Any]) -> AICCAModel:
+        def run_model(state: Dict[str, Any]) -> Any:
             # The model must exist before the first trigger fires.
             # Bootstrap from a quick serial preprocess of the leading
             # granule sets when training data is needed — advancing past
@@ -416,7 +443,7 @@ class EOMLWorkflow:
             record_download_prov(download)
             return download
 
-        def run_model_stream(state: Dict[str, Any]) -> AICCAModel:
+        def run_model_stream(state: Dict[str, Any]) -> Any:
             """Bootstrap deterministically, then relay scenes.
 
             Scenes arrive in completion order, but the bootstrap must
@@ -591,6 +618,309 @@ class EOMLWorkflow:
             ]
         )
 
+    # -- the fan-out plan -----------------------------------------------------
+
+    def _build_fanout_plan(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        prov: Optional[ProvenanceStore] = None,
+        chaos: Any = None,
+        journal: Optional[WorkflowJournal] = None,
+        handles: Optional[Dict[str, Any]] = None,
+        streaming: bool = False,
+        pool: Optional[ProcWorkerPool] = None,
+    ) -> PipelinePlan:
+        """One plan, fanned out per instrument x model branch.
+
+        Per instrument ``I`` the acquisition side runs once —
+        ``download@I -> preprocess@I`` on the per-instrument config slice
+        (:func:`~repro.core.branches.instrument_config`) — and per branch
+        ``tag = I+M`` the labelling side runs on the branch slice
+        (:func:`~repro.core.branches.branch_config`):
+        ``model@tag -> inference@tag -> shipment@tag``.  Each branch
+        bootstraps its own model from the instrument's sorted-first tile
+        file (deterministic under every driver), labels into its own
+        transfer-out directory, and ships to its own destination.
+
+        The topology differs from the single-branch plan in one way: the
+        inference window opens *after* its instrument's preprocess
+        barrier (the worker + crawler live inside the node body), so N
+        branches never contend for the monitor-overlap window.  Under
+        ``streaming=True`` the ``download@I -> preprocess@I`` and
+        ``inference@tag -> shipment@tag`` hand-offs become stream edges;
+        the model nodes stay barriers.
+        """
+        config = self.config
+        handles = handles if handles is not None else {}
+
+        def make_download(inst: str):
+            icfg = instrument_config(config, inst)
+            primary = inst == config.instruments[0]
+
+            def run_download(state: Dict[str, Any]) -> DownloadReport:
+                stage = DownloadStage(
+                    icfg,
+                    archive=self.archive if primary else None,
+                    chaos=chaos,
+                    journal=journal,
+                )
+                return stage.run(pool=pool)
+
+            def run_download_stream(state: Dict[str, Any]) -> DownloadReport:
+                writer = state[STREAMS_KEY].writer(f"download@{inst}")
+                stage = DownloadStage(
+                    icfg,
+                    archive=self.archive if primary else None,
+                    chaos=chaos,
+                    journal=journal,
+                )
+                return stage.run(
+                    on_scene=lambda key, gs: writer.put(("scene", key, gs)),
+                    pool=pool,
+                )
+
+            return run_download_stream if streaming else run_download
+
+        def make_preprocess(inst: str):
+            icfg = instrument_config(config, inst)
+            stage = PreprocessStage(icfg, chaos=chaos, journal=journal, pool=pool)
+
+            def run_preprocess(state: Dict[str, Any]) -> PreprocessReport:
+                return stage.run(state[f"download@{inst}"].granule_sets)
+
+            def run_preprocess_stream(state: Dict[str, Any]) -> PreprocessReport:
+                reader = state[STREAMS_KEY].reader(
+                    f"preprocess@{inst}", src=f"download@{inst}"
+                )
+
+                def scenes():
+                    for token in iter(reader):
+                        if token[0] == "scene" and token[2] is not None:
+                            yield token[2]
+
+                return stage.run_stream(scenes())
+
+            return run_preprocess_stream if streaming else run_preprocess
+
+        def make_model(inst: str, mdl: str):
+            tag = branch_tag(inst, mdl)
+            bcfg = branch_config(config, inst, mdl)
+            journal_key = f"model-{tag}"
+
+            def run_model(state: Dict[str, Any]) -> Any:
+                if self.model is not None:
+                    return self.model
+                model_path = self._effective_model_path(journal, tag)
+                if journal is not None:
+                    decision = journal.resume("model", journal_key)
+                    if decision.redo and model_path and os.path.exists(model_path):
+                        # A mid-train crash makes the journal-owned
+                        # bootstrap model untrustworthy; retrain.
+                        os.remove(model_path)
+                # The sorted-first tile file in the branch's preprocessed
+                # directory: deterministic under every driver regardless
+                # of preprocess completion order, and rebuildable by a
+                # control-plane agent without any report hand-off.
+                pre_dir = bcfg.preprocessed
+                names = sorted(
+                    n for n in os.listdir(pre_dir) if n.endswith(".nc")
+                ) if os.path.isdir(pre_dir) else []
+                tile_paths = [os.path.join(pre_dir, n) for n in names[:1]]
+                return self._bootstrap_model(
+                    bcfg, tile_paths, model_path, journal, journal_key
+                )
+
+            return run_model
+
+        def make_inference(inst: str, mdl: str):
+            tag = branch_tag(inst, mdl)
+            bcfg = branch_config(config, inst, mdl)
+
+            def run_inference(state: Dict[str, Any]) -> InferenceWorker:
+                model = self.model if self.model is not None else state[f"model@{tag}"]
+                on_result = None
+                hub = state.get(STREAMS_KEY)
+                if hub is not None:
+                    ship_writer = hub.writer(f"inference@{tag}")
+                    if len(ship_writer):
+                        def on_result(result: InferenceResult) -> None:
+                            ship_writer.put(os.path.basename(result.out_path))
+                model_ref = None
+                if pool is not None:
+                    model_path = self._effective_model_path(journal, tag)
+                    if model_path and os.path.exists(model_path):
+                        model_ref = ("path", model_path)
+                    else:
+                        model_ref = ("object", model)
+                worker = InferenceWorker(
+                    model, bcfg, chaos=chaos, metrics=metrics, journal=journal,
+                    on_result=on_result, pool=pool, model_ref=model_ref,
+                    key_prefix=f"{tag}:",
+                )
+                crawler = DirectoryCrawler(
+                    bcfg.preprocessed,
+                    trigger=worker.submit,
+                    poll_interval=bcfg.poll_interval,
+                    gate=journal.artifact_ok if journal is not None else None,
+                    executor=build_executor(chaos=chaos, metrics=metrics),
+                )
+                handles[f"worker@{tag}"] = worker
+                handles[f"crawler@{tag}"] = crawler
+                with worker, crawler:
+                    crawler.scan_once()
+                    worker.drain(timeout=bcfg.inference_drain_timeout)
+                return worker
+
+            return run_inference
+
+        def make_shipment(inst: str, mdl: str):
+            tag = branch_tag(inst, mdl)
+            bcfg = branch_config(config, inst, mdl)
+
+            def run_shipment(state: Dict[str, Any]) -> ShipmentReport:
+                return ShipmentStage(
+                    bcfg, chaos=chaos, journal=journal, key_prefix=f"{tag}:"
+                ).run()
+
+            def run_shipment_stream(state: Dict[str, Any]) -> ShipmentReport:
+                reader = state[STREAMS_KEY].reader(
+                    f"shipment@{tag}", src=f"inference@{tag}"
+                )
+                return ShipmentStage(
+                    bcfg, chaos=chaos, journal=journal, key_prefix=f"{tag}:"
+                ).run_stream(iter(reader))
+
+            return run_shipment_stream if streaming else run_shipment
+
+        nodes: List[StageNode] = []
+        for inst in config.instruments:
+            nodes.append(
+                StageNode(
+                    f"download@{inst}",
+                    make_download(inst),
+                    workers=config.workers.download,
+                    counts=lambda r: {"files": r.files},
+                )
+            )
+        for inst in config.instruments:
+            if streaming:
+                nodes.append(
+                    StageNode(
+                        f"preprocess@{inst}",
+                        make_preprocess(inst),
+                        workers=config.workers.preprocess,
+                        stream=(f"download@{inst}",),
+                        counts=lambda r: {"tiles": r.total_tiles},
+                    )
+                )
+            else:
+                nodes.append(
+                    StageNode(
+                        f"preprocess@{inst}",
+                        make_preprocess(inst),
+                        workers=config.workers.preprocess,
+                        after=(f"download@{inst}",),
+                        counts=lambda r: {"tiles": r.total_tiles},
+                    )
+                )
+        for inst, mdl in expand_branches(config):
+            tag = branch_tag(inst, mdl)
+            nodes.append(
+                StageNode(
+                    f"model@{tag}",
+                    make_model(inst, mdl),
+                    after=(f"preprocess@{inst}",),
+                )
+            )
+            nodes.append(
+                StageNode(
+                    f"inference@{tag}",
+                    make_inference(inst, mdl),
+                    workers=config.workers.inference,
+                    after=(f"preprocess@{inst}", f"model@{tag}"),
+                    counts=lambda worker: {"files": len(worker.results)},
+                )
+            )
+            if streaming:
+                nodes.append(
+                    StageNode(
+                        f"shipment@{tag}",
+                        make_shipment(inst, mdl),
+                        stream=(f"inference@{tag}",),
+                        when=lambda state: bool(config.ship),
+                        counts=lambda r: {"files": len(r.moved)},
+                    )
+                )
+            else:
+                nodes.append(
+                    StageNode(
+                        f"shipment@{tag}",
+                        make_shipment(inst, mdl),
+                        after=(f"inference@{tag}",),
+                        when=lambda state: bool(config.ship),
+                        counts=lambda r: {"files": len(r.moved)},
+                    )
+                )
+        return PipelinePlan(nodes)
+
+    # -- fan-out report merging ----------------------------------------------
+
+    @staticmethod
+    def _merge_downloads(reports: List[DownloadReport]) -> DownloadReport:
+        return DownloadReport(
+            granule_sets=[gs for r in reports for gs in r.granule_sets],
+            files=sum(r.files for r in reports),
+            nbytes=sum(r.nbytes for r in reports),
+            seconds=sum(r.seconds for r in reports),
+            per_file_seconds=[s for r in reports for s in r.per_file_seconds],
+            skipped=sum(r.skipped for r in reports),
+            resumed=sum(r.resumed for r in reports),
+            retried=sum(r.retried for r in reports),
+            retry_attempts=sum(r.retry_attempts for r in reports),
+            failed=[msg for r in reports for msg in r.failed],
+            incomplete=[key for r in reports for key in r.incomplete],
+            breaker_trips=sum(r.breaker_trips for r in reports),
+        )
+
+    @staticmethod
+    def _merge_preprocess(reports: List[PreprocessReport]) -> PreprocessReport:
+        return PreprocessReport(
+            results=[res for r in reports for res in r.results],
+            seconds=sum(r.seconds for r in reports),
+            quarantined=[q for r in reports for q in r.quarantined],
+        )
+
+    @staticmethod
+    def _merge_shipments(
+        tags: List[str], reports: List[Optional[ShipmentReport]]
+    ) -> Optional[ShipmentReport]:
+        actual = [r for r in reports if r is not None]
+        if not actual:
+            return None
+        # Branches can ship same-named files (two models over one
+        # instrument's tiles), so merged per-file keys carry the tag.
+        checksums: Dict[str, str] = {}
+        mismatches: List[str] = []
+        for tag, report in zip(tags, reports):
+            if report is None:
+                continue
+            checksums.update(
+                {f"{tag}:{name}": sha for name, sha in report.checksums.items()}
+            )
+            mismatches.extend(f"{tag}:{name}" for name in report.mismatches)
+        errors = [r.error for r in actual if r.error]
+        return ShipmentReport(
+            moved=[path for r in actual for path in r.moved],
+            nbytes=sum(r.nbytes for r in actual),
+            seconds=sum(r.seconds for r in actual),
+            retries=sum(r.retries for r in actual),
+            error="; ".join(errors) if errors else None,
+            resumed=sum(r.resumed for r in actual),
+            verified=sum(r.verified for r in actual),
+            mismatches=mismatches,
+            checksums=checksums,
+        )
+
     # -- the run ------------------------------------------------------------
 
     def run(
@@ -605,10 +935,13 @@ class EOMLWorkflow:
         # config; an explicit bool overrides it (the benchmark harness
         # runs both topologies off one config).
         use_stream = config.stream.enabled if streaming is None else bool(streaming)
+        fanout = is_fanout(config)
         # Created up front so hot-path stages (inference micro-batching)
         # can record live histograms; the rollup below adds the rest.
         metrics = MetricsRegistry(prefix="eo_ml")
-        prov = ProvenanceStore() if provenance else None
+        # Provenance is a single-branch feature for now: the fan-out
+        # report has no one model/lineage to attribute artifacts to.
+        prov = ProvenanceStore() if provenance and not fanout else None
         # None when the chaos plan is absent/disabled: every stage hook
         # below degenerates to the exact production path.
         chaos = build_injector(config.chaos)
@@ -664,17 +997,41 @@ class EOMLWorkflow:
             pool.close()
             pool_stats = pool.stats()
 
-        download: DownloadReport = state["download"]
-        preprocess: PreprocessReport = state["preprocess"]
-        shipment: Optional[ShipmentReport] = state["shipment"]
-        model: AICCAModel = state["model"]
-        inference: InferenceWorker = handles["worker"]
-        crawler: DirectoryCrawler = handles["crawler"]
+        if fanout:
+            tags = [branch_tag(i, m) for i, m in expand_branches(config)]
+            download = self._merge_downloads(
+                [state[f"download@{inst}"] for inst in config.instruments]
+            )
+            preprocess = self._merge_preprocess(
+                [state[f"preprocess@{inst}"] for inst in config.instruments]
+            )
+            workers = [handles[f"worker@{tag}"] for tag in tags]
+            inference_results = [r for w in workers for r in w.results]
+            inference_errors = [e for w in workers for e in w.errors]
+            inference_quarantined = [q for w in workers for q in w.quarantined]
+            crawler_errors = [
+                e for tag in tags for e in handles[f"crawler@{tag}"].errors
+            ]
+            shipment = self._merge_shipments(
+                tags, [state[f"shipment@{tag}"] for tag in tags]
+            )
+            model = self.model
+        else:
+            download = state["download"]
+            preprocess = state["preprocess"]
+            shipment = state["shipment"]
+            model = state["model"]
+            inference: InferenceWorker = handles["worker"]
+            crawler: DirectoryCrawler = handles["crawler"]
+            inference_results = list(inference.results)
+            inference_errors = list(inference.errors)
+            inference_quarantined = list(inference.quarantined)
+            crawler_errors = list(crawler.errors)
 
-        # Fold the bootstrap granules back into the report.
-        for head in reversed(handles["bootstrap_reports"]):
-            preprocess.results = head.results + preprocess.results
-            preprocess.quarantined = head.quarantined + preprocess.quarantined
+            # Fold the bootstrap granules back into the report.
+            for head in reversed(handles["bootstrap_reports"]):
+                preprocess.results = head.results + preprocess.results
+                preprocess.quarantined = head.quarantined + preprocess.quarantined
 
         if prov:
             sets_by_key = {gs.key: gs for gs in download.granule_sets}
@@ -697,7 +1054,7 @@ class EOMLWorkflow:
                     activity, prov.entity("tile_file", result.tile_path, tiles=result.tiles)
                 )
                 prov.end_activity(activity)
-            for inf in inference.results:
+            for inf in inference_results:
                 activity = prov.start_activity("inference", "globus-flow")
                 prov.record_use(activity, prov.entity("tile_file", inf.src_path))
                 prov.record_use(activity, model_entity)
@@ -715,7 +1072,7 @@ class EOMLWorkflow:
         metrics.counter("files").inc(
             sum(1 for r in preprocess.results if r.tile_path), stage="preprocess"
         )
-        metrics.counter("files").inc(len(inference.results), stage="inference")
+        metrics.counter("files").inc(len(inference_results), stage="inference")
         task_seconds = metrics.histogram(
             "task_seconds", buckets=(0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 30.0)
         )
@@ -740,7 +1097,7 @@ class EOMLWorkflow:
         quarantined = metrics.counter("quarantined")
         quarantined.inc(len(download.failed) + len(download.incomplete), stage="download")
         quarantined.inc(len(preprocess.quarantined), stage="preprocess")
-        quarantined.inc(len(inference.quarantined), stage="inference")
+        quarantined.inc(len(inference_quarantined), stage="inference")
         faults = metrics.counter("faults_injected")
         if chaos is not None:
             for kind, count in sorted(chaos.counts_by_kind().items()):
@@ -837,7 +1194,7 @@ class EOMLWorkflow:
         for stages, seconds in overlap.items():
             overlap_gauge.set(seconds, stages=stages)
 
-        errors = list(crawler.errors) + list(inference.errors)
+        errors = list(crawler_errors) + list(inference_errors)
         errors.extend(download.failed)
         errors.extend(f"incomplete scene dropped: {key}" for key in download.incomplete)
         errors.extend(f"preprocess quarantined {q.describe()}" for q in preprocess.quarantined)
@@ -853,7 +1210,7 @@ class EOMLWorkflow:
         return WorkflowReport(
             download=download,
             preprocess=preprocess,
-            inference=list(inference.results),
+            inference=inference_results,
             shipment=shipment,
             breakdown=timeline.breakdown(),
             timeline=timeline,
@@ -861,7 +1218,7 @@ class EOMLWorkflow:
             provenance=prov,
             metrics=metrics,
             chaos=chaos.summary() if chaos is not None else None,
-            inference_quarantined=list(inference.quarantined),
+            inference_quarantined=inference_quarantined,
             resumed_items=journal_counters["resumed_items"],
             replayed_items=journal_counters["replayed_items"],
             manifest_mismatches=journal_counters["manifest_mismatches"],

@@ -51,8 +51,10 @@ GRANULES_PER_DAY = 288
 GRANULE_MINUTES = 5
 
 # "ocean cloud tile selection defined as > 30% cloud pixels over only
-# ocean regions" (Section II-B).
-OCEAN_CLOUD_THRESHOLD = 0.30
+# ocean regions" (Section II-B).  The constant itself lives with the
+# instrument-neutral interfaces (the criterion applies to every source);
+# re-exported here for backward compatibility.
+from repro.instruments.base import OCEAN_CLOUD_THRESHOLD  # noqa: E402,F401
 
 # Centre wavelengths (um) for the 36 bands (nominal values).
 BAND_WAVELENGTHS_UM: Dict[int, float] = {

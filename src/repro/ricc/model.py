@@ -1,0 +1,42 @@
+"""Registry entry wrapping RICC/AICCA as a pluggable label model.
+
+``bootstrap`` replicates the workflow's historical bootstrap call
+exactly (small latent space, one hidden layer, eight epochs) so the
+single-branch golden corpus is bit-for-bit unchanged by the registry
+indirection.  The trained instance is a plain :class:`AICCAModel` —
+no wrapper — so pickling over worker-pool envelopes and ``.npz``
+round-trips behave exactly as before.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.instruments.registry import register_model
+from repro.ricc.aicca import AICCAModel
+
+__all__ = ["RiccModelType"]
+
+
+class RiccModelType:
+    """The AICCA autoencoder + agglomerative-clustering classifier."""
+
+    name = "ricc"
+    attribution = "RICC/AICCA"
+
+    @staticmethod
+    def bootstrap(tiles: np.ndarray, num_classes: int, seed: int = 0) -> AICCAModel:
+        model, _history = AICCAModel.train(
+            tiles,
+            num_classes=num_classes,
+            latent_dim=8,
+            hidden=(64,),
+            epochs=8,
+            seed=seed,
+        )
+        return model
+
+    load = staticmethod(AICCAModel.load)
+
+
+register_model(RiccModelType)

@@ -92,7 +92,37 @@ def _rehydrate(
     handles: Dict[str, Any],
     state: Dict[str, Any],
 ) -> None:
-    """Load the dependency state this node's body actually reads."""
+    """Load the dependency state this node's body actually reads.
+
+    Unit names carry the fan-out branch as an ``@`` suffix (an
+    instrument for download/preprocess, an ``<instrument>+<model>`` tag
+    for model/inference/shipment); a bare name is the classic
+    single-branch plan.
+    """
+    base, _, tag = unit.partition("@")
+    if tag:
+        from repro.core.branches import branch_config
+
+        if base == "preprocess":
+            state[f"download@{tag}"] = wire.download_report_from_wire(
+                wire.load_state(config.journal_dir, f"download@{tag}")
+            )
+        if base == "inference":
+            from repro.instruments.registry import get_model
+
+            instrument, _, model_name = tag.partition("+")
+            bcfg = branch_config(config, instrument, model_name)
+            model_path = workflow._effective_model_path(journal, tag)
+            if model_path is None:
+                raise RuntimeError(
+                    "no model path: remote inference needs the journal "
+                    "directory to carry the bootstrapped branch model"
+                )
+            state[f"model@{tag}"] = get_model(bcfg.model_name).load(model_path)
+        # model@tag scans its branch's preprocessed directory and
+        # shipment@tag sweeps its branch's transfer-out directory:
+        # neither needs rehydrated state.
+        return
     if unit in ("model", "preprocess"):
         state["download"] = wire.download_report_from_wire(
             wire.load_state(config.journal_dir, "download")
@@ -102,7 +132,7 @@ def _rehydrate(
             wire.load_state(config.journal_dir, "model").get("consumed", 0)
         )
     if unit == "inference":
-        from repro.ricc import AICCAModel
+        from repro.instruments.registry import get_model
 
         model_path = workflow._effective_model_path(journal)
         if model_path is None:
@@ -110,11 +140,14 @@ def _rehydrate(
                 "no model path: remote inference needs the journal directory "
                 "(or inference.model_path) to carry the bootstrapped model"
             )
-        state["model"] = AICCAModel.load(model_path)
+        state["model"] = get_model(config.model_name).load(model_path)
 
 
 def _result_payload(unit: str, value: Any, handles: Dict[str, Any]) -> Dict[str, Any]:
     """The completion record POSTed back to the control plane."""
+    base, _, tag = unit.partition("@")
+    suffix = f"@{tag}" if tag else ""
+    unit = base
     if unit == "download":
         return {
             "files": value.files, "nbytes": value.nbytes,
@@ -134,12 +167,12 @@ def _result_payload(unit: str, value: Any, handles: Dict[str, Any]) -> Dict[str,
             "quarantined": len(value.quarantined),
         }
     if unit == "inference":
-        worker = handles["worker"]
+        worker = handles[f"worker{suffix}"]
         return {
             "files": len(worker.results),
             "tiles": sum(r.tiles for r in worker.results),
             "quarantined": len(worker.quarantined),
-            "errors": list(worker.errors) + list(handles["crawler"].errors),
+            "errors": list(worker.errors) + list(handles[f"crawler{suffix}"].errors),
         }
     if unit == "shipment":
         return {
@@ -207,9 +240,11 @@ def execute_unit(
         # work for whoever re-executes, and the new owner's POST is the
         # only one the server will accept anyway.
         _check_cancel("after node body")
-        if unit == "download":
+        if unit.partition("@")[0] == "download":
+            # Saved under the full unit name, so each fan-out branch's
+            # preprocess rehydrates its own instrument's report.
             wire.save_state(
-                config.journal_dir, "download", wire.download_report_to_wire(value)
+                config.journal_dir, unit, wire.download_report_to_wire(value)
             )
         result = _result_payload(unit, value, handles)
         if unit == "model":

@@ -48,12 +48,18 @@ def main() -> int:
                         help="run the streaming dataflow topology")
     parser.add_argument("--workers", type=int, default=None, metavar="N",
                         help="run stages across N worker processes")
+    parser.add_argument("--fanout", action="store_true",
+                        help="fan the plan out per instrument x model "
+                             "(modis+abi x ricc+heuristic)")
     args = parser.parse_args()
 
     from repro.core import EOMLWorkflow, load_config
     from repro.modis import MINI_SWATH, LaadsArchive
 
     raw = build_raw_config(args.root, args.granules)
+    if args.fanout:
+        raw["archive"]["instruments"] = ["modis", "abi"]
+        raw["inference"] = dict(raw["inference"], models=["ricc", "heuristic"])
     runtime = {}
     if args.streaming:
         runtime["stream"] = {"enabled": True}

@@ -1,0 +1,211 @@
+"""Instrument x model fan-out: one config, four branches, same bytes.
+
+A ``{modis, abi} x {ricc, heuristic}`` config must fan the plan out into
+four branches that deliver into per-branch destination directories, with
+each branch's labels attributed to its own model — and the per-branch
+corpus must be byte-identical whichever engine drives the plan (barrier,
+streaming, flows, zambeze, sharded worker pool), including across a
+crash and ``--resume``.
+"""
+
+import hashlib
+import os
+
+import pytest
+
+from tests.core.crash_driver import build_raw_config
+from tests.core.test_crash_resume import (
+    CRASH_STAGES,
+    parse_stats,
+    run_driver,
+)
+
+from repro.chaos.surfaces import CRASH_EXIT_CODE
+from repro.core import EOMLWorkflow, load_config
+from repro.core.branches import branch_tag, expand_branches, is_fanout
+from repro.flows import RunStatus, run_plan_with_flows
+from repro.instruments import get_model
+from repro.modis import MINI_SWATH, LaadsArchive
+from repro.netcdf import read as nc_read
+from repro.zambeze import run_plan_with_zambeze
+
+GRANULES = 1
+SEED = 3
+INSTRUMENTS = ["modis", "abi"]
+MODELS = ["ricc", "heuristic"]
+BRANCHES = [f"{inst}+{mdl}" for inst in INSTRUMENTS for mdl in MODELS]
+
+
+def fanout_raw(root, granules=GRANULES):
+    raw = build_raw_config(str(root), granules)
+    raw["archive"]["instruments"] = list(INSTRUMENTS)
+    raw["inference"] = dict(raw["inference"], models=list(MODELS))
+    return raw
+
+
+def make_workflow(root, granules=GRANULES, runtime=None):
+    raw = fanout_raw(root, granules)
+    if runtime:
+        raw["runtime"] = runtime
+    config = load_config(raw)
+    # The injected archive stands in for the primary instrument (modis);
+    # the abi branch builds its own from the registry.
+    return EOMLWorkflow(config, archive=LaadsArchive(seed=SEED, swath=MINI_SWATH))
+
+
+def read_corpus(destination):
+    """``branch/name -> sha256`` over the per-branch destination tree."""
+    corpus = {}
+    for branch in sorted(os.listdir(destination)):
+        branch_dir = os.path.join(destination, branch)
+        for name in sorted(os.listdir(branch_dir)):
+            with open(os.path.join(branch_dir, name), "rb") as handle:
+                corpus[f"{branch}/{name}"] = hashlib.sha256(
+                    handle.read()
+                ).hexdigest()
+    return corpus
+
+
+@pytest.fixture(scope="module")
+def barrier(tmp_path_factory):
+    root = tmp_path_factory.mktemp("fanout-barrier")
+    workflow = make_workflow(root)
+    report = workflow.run(provenance=False)
+    assert report.errors == []
+    return report, workflow.config, read_corpus(workflow.config.destination)
+
+
+class TestBranchExpansion:
+    def test_expand_is_the_instruments_major_product(self, tmp_path):
+        config = load_config(fanout_raw(tmp_path))
+        assert is_fanout(config)
+        assert expand_branches(config) == [
+            ("modis", "ricc"), ("modis", "heuristic"),
+            ("abi", "ricc"), ("abi", "heuristic"),
+        ]
+        assert [branch_tag(i, m) for i, m in expand_branches(config)] == BRANCHES
+
+    def test_single_branch_config_is_not_fanout(self, tmp_path):
+        config = load_config(build_raw_config(str(tmp_path), 1))
+        assert not is_fanout(config)
+        assert expand_branches(config) == [("modis", "ricc")]
+
+
+class TestBarrierFanout:
+    def test_every_branch_delivers(self, barrier):
+        report, config, corpus = barrier
+        assert sorted(os.listdir(config.destination)) == sorted(BRANCHES)
+        delivered_branches = {key.split("/")[0] for key in corpus}
+        assert delivered_branches == set(BRANCHES)
+        assert len(report.shipment.moved) == len(corpus)
+
+    def test_download_and_preprocess_are_per_instrument_only(self, barrier):
+        _report, config, _corpus = barrier
+        # One staging/preprocessed subtree per instrument, not per branch.
+        assert sorted(os.listdir(config.staging)) == sorted(INSTRUMENTS)
+        assert sorted(
+            d for d in os.listdir(config.preprocessed)
+            if os.path.isdir(os.path.join(config.preprocessed, d))
+        ) == sorted(INSTRUMENTS)
+
+    def test_labels_attributed_to_the_branch_model(self, barrier):
+        _report, config, corpus = barrier
+        for key in corpus:
+            branch, name = key.split("/", 1)
+            model_name = branch.split("+")[1]
+            ds = nc_read(os.path.join(config.destination, branch, name))
+            assert (
+                ds["label"].attributes["classified_by"]
+                == get_model(model_name).attribution
+            ), key
+            assert ds.get_attr("aicca_classes") is not None
+
+    def test_plan_nodes_are_branch_qualified(self, barrier):
+        _report, config, _corpus = barrier
+        plan = EOMLWorkflow(config).build_plan()
+        names = [node.name for node in plan.nodes]
+        for inst in INSTRUMENTS:
+            assert f"download@{inst}" in names
+            assert f"preprocess@{inst}" in names
+        for branch in BRANCHES:
+            assert f"model@{branch}" in names
+            assert f"inference@{branch}" in names
+            assert f"shipment@{branch}" in names
+
+
+class TestDriverEquivalence:
+    """Same fan-out plan, other engines, same bytes."""
+
+    def test_streaming_matches_barrier(self, barrier, tmp_path):
+        _report, _config, expected = barrier
+        workflow = make_workflow(
+            tmp_path, runtime={"stream": {"enabled": True}}
+        )
+        report = workflow.run(provenance=False)
+        assert report.errors == []
+        assert read_corpus(workflow.config.destination) == expected
+
+    def test_worker_pool_matches_barrier(self, barrier, tmp_path):
+        _report, _config, expected = barrier
+        workflow = make_workflow(tmp_path, runtime={"workers": 2})
+        report = workflow.run(provenance=False)
+        assert report.errors == []
+        assert report.scaleout["enabled"]
+        assert report.scaleout["units_executed"] > 0
+        assert read_corpus(workflow.config.destination) == expected
+
+    def test_flows_engine_matches_barrier(self, barrier, tmp_path):
+        _report, _config, expected = barrier
+        workflow = make_workflow(tmp_path)
+        plan = workflow.build_plan()
+        run, execution = run_plan_with_flows(plan, label="eo-ml-fanout")
+        assert run.status == RunStatus.SUCCEEDED
+        for branch in BRANCHES:
+            shipment = execution.state[f"shipment@{branch}"]
+            assert shipment is not None and shipment.error is None
+        assert read_corpus(workflow.config.destination) == expected
+
+    def test_zambeze_orchestrator_matches_barrier(self, barrier, tmp_path):
+        _report, _config, expected = barrier
+        workflow = make_workflow(tmp_path)
+        plan = workflow.build_plan()
+        report, _execution = run_plan_with_zambeze(plan, facility="olcf")
+        assert report.succeeded
+        assert not report.errors
+        assert read_corpus(workflow.config.destination) == expected
+
+
+class TestCrashResume:
+    @pytest.mark.parametrize("stage", CRASH_STAGES)
+    def test_crash_then_resume_matches_barrier(self, stage, barrier, tmp_path):
+        _report, _config, expected = barrier
+        crashed = run_driver(
+            tmp_path, "--fanout", "--granules", str(GRANULES),
+            "--crash-stage", stage,
+        )
+        assert crashed.returncode == CRASH_EXIT_CODE, (
+            f"crash fault at {stage!r} did not abort the fan-out run: "
+            f"rc={crashed.returncode}\n{crashed.stdout}\n{crashed.stderr}"
+        )
+        resumed = run_driver(
+            tmp_path, "--fanout", "--granules", str(GRANULES), "--resume"
+        )
+        assert resumed.returncode == 0, resumed.stderr
+        stats = parse_stats(resumed.stdout)
+        assert stats["errors"] == 0
+        corpus = read_corpus(
+            os.path.join(str(tmp_path), "data", "orion")
+        )
+        assert corpus == expected
+
+    def test_resume_of_completed_run_is_a_noop(self, tmp_path):
+        first = run_driver(tmp_path, "--fanout", "--granules", str(GRANULES))
+        assert first.returncode == 0, first.stderr
+        again = run_driver(
+            tmp_path, "--fanout", "--granules", str(GRANULES), "--resume"
+        )
+        assert again.returncode == 0, again.stderr
+        stats = parse_stats(again.stdout)
+        assert stats["errors"] == 0
+        assert stats["fetched"] == 0
+        assert stats["resumed_downloads"] > 0

@@ -180,14 +180,6 @@ class TestDrain:
         worker = InferenceWorker(model, make_config(tmp_path / "out"))
         worker.drain(timeout=0.0)
 
-    def test_drain_poll_param_deprecated_and_ignored(self, tmp_path, model):
-        # The busy-poll era is over: drain() blocks on a condition
-        # variable, so legacy callers passing poll= get a warning and
-        # identical behaviour.
-        worker = InferenceWorker(model, make_config(tmp_path / "out"))
-        with pytest.warns(DeprecationWarning, match="poll"):
-            worker.drain(timeout=0.0, poll=0.01)
-
     def test_on_result_fires_before_drain_observes_settled(self, tmp_path, model):
         # The streaming hand-off contract: every published file has been
         # delivered to the callback by the time drain() returns, so a
@@ -204,12 +196,12 @@ class TestDrain:
             assert handed_off == [r.out_path for r in worker.results]
             assert len(handed_off) == 1
 
-    def test_drain_unknown_kwarg_is_a_type_error(self, tmp_path, model):
-        # Only the deprecated poll= gets the compatibility shim; any
-        # other stray keyword is a genuine caller bug.
+    def test_drain_stray_kwarg_is_a_type_error(self, tmp_path, model):
+        # The deprecated poll= compatibility shim is gone: any stray
+        # keyword (including poll=) is a genuine caller bug.
         worker = InferenceWorker(model, make_config(tmp_path / "out"))
         with pytest.raises(TypeError, match="unexpected keyword"):
-            worker.drain(timeout=0.0, pool=0.01)
+            worker.drain(timeout=0.0, poll=0.01)
 
     def test_drain_without_poll_warns_nothing(self, tmp_path, model):
         import warnings

@@ -27,6 +27,27 @@ class TestRuntimeLayer:
         package = os.path.join(REPO_ROOT, "src", "repro", "runtime")
         assert check_layering.violations(package, ("repro.core",)) == []
 
+    def test_core_package_never_imports_instruments_implementations(self):
+        """The stages reach MODIS/ABI only through the registry."""
+        package = os.path.join(REPO_ROOT, "src", "repro", "core")
+        assert check_layering.violations(
+            package, ("repro.modis", "repro.abi")
+        ) == []
+
+    def test_instruments_package_never_imports_its_consumers(self):
+        package = os.path.join(REPO_ROOT, "src", "repro", "instruments")
+        assert check_layering.violations(
+            package, ("repro.core", "repro.server")
+        ) == []
+
+    def test_instrument_rules_are_in_the_checker(self):
+        """CI enforces the same edges this suite checks in-process."""
+        rules = {}
+        for package, forbidden in check_layering.RULES:
+            rules.setdefault(package, set()).update(forbidden)
+        assert {"repro.modis", "repro.abi"} <= rules["src/repro/core"]
+        assert "repro.core" in rules["src/repro/instruments"]
+
     def test_checker_script_passes_on_the_repo(self):
         proc = subprocess.run(
             [sys.executable, CHECKER], cwd=REPO_ROOT,

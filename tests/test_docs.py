@@ -174,6 +174,60 @@ class TestScaleOutDocs:
             assert marks["campaign_scaleout_serial"]["reference"] == 1.0
 
 
+class TestInstrumentDocs:
+    """The pluggable-instrument docs track the real registry."""
+
+    def architecture(self):
+        return (ROOT / "docs" / "architecture.md").read_text()
+
+    def test_architecture_has_the_section(self):
+        text = self.architecture()
+        assert "## Pluggable instruments & models" in text
+        # The operational pieces the section promises.
+        for needle in ("Instrument", "ModelType", "get_instrument",
+                       "get_model", "archive.instruments",
+                       "inference.models", "classified_by",
+                       "byte-identical", "ConfigError"):
+            assert needle in text, f"instrument docs missing {needle!r}"
+
+    def test_every_registered_name_is_documented(self):
+        """The registry's built-ins all appear in the fan-out section,
+        so a new registration must document itself."""
+        from repro.instruments import available_instruments, available_models
+
+        text = self.architecture()
+        for name in list(available_instruments()) + list(available_models()):
+            assert f"`{name}`" in text, f"registered name {name!r} undocumented"
+
+    def test_branch_node_grammar_documented(self):
+        """The @-qualified node names the fan-out plan produces are in
+        the plan diagram."""
+        text = self.architecture()
+        for node in ("download@modis", "preprocess@abi",
+                     "model@modis+ricc", "inference@abi+heuristic",
+                     "shipment@modis+heuristic"):
+            assert node in text, f"fan-out node {node!r} undocumented"
+
+    def test_readme_and_design_point_at_the_section(self):
+        readme = (ROOT / "README.md").read_text()
+        assert "Pluggable instruments & models" in readme
+        assert "`repro.instruments`" in readme
+        assert "`repro.abi`" in readme
+        assert "Pluggable instruments & models" in (ROOT / "DESIGN.md").read_text()
+
+    def test_cli_exposes_instrument_flag(self):
+        import argparse
+
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        subparsers = next(
+            action for action in parser._actions
+            if isinstance(action, argparse._SubParsersAction)
+        )
+        assert "--instrument" in subparsers.choices["catalog"].format_help()
+
+
 class TestPartitionDocs:
     """The partition-tolerance docs track the real fault machinery."""
 

@@ -27,6 +27,12 @@ RULES = [
     # repro.server drives core remotely, never the other way around.
     ("src/repro/core", ("repro.server",)),
     ("src/repro/runtime", ("repro.server",)),
+    # The stages are instrument-agnostic: they reach MODIS/ABI only
+    # through the repro.instruments registry interface, never directly —
+    # that's what keeps data sources pluggable.
+    ("src/repro/core", ("repro.modis", "repro.abi")),
+    # And the interface layer must not depend on its consumers.
+    ("src/repro/instruments", ("repro.core", "repro.server")),
 ]
 
 
@@ -72,7 +78,8 @@ def main(root: str = ".") -> int:
         for failure in failures:
             print(failure, file=sys.stderr)
         return 1
-    print("layering ok: runtime/core import nothing from core/server respectively")
+    print("layering ok: runtime, core, and instruments respect the "
+          "forbidden-layer rules (core/server, server, modis/abi, core)")
     return 0
 
 
