@@ -1,0 +1,12 @@
+"""Content-addressed artifact store (CAS) shared across runs and tenants.
+
+The journal's :class:`~repro.journal.manifest.IntegrityManifest` already
+computes a SHA-256 for every artifact the workflow publishes; this
+package promotes those digests into a shared store so repeated campaigns
+stop paying full I/O cost twice.  See :mod:`repro.cas.store` for the
+object layout, the derived-key table, pins, and GC.
+"""
+
+from repro.cas.store import CACHE_COUNTERS, CASStore, object_relpath
+
+__all__ = ["CACHE_COUNTERS", "CASStore", "object_relpath"]

@@ -23,6 +23,7 @@ from repro.util.config import ConfigError, Field, Schema, boolean, integer, numb
 __all__ = [
     "FAULT_KINDS",
     "NET_KINDS",
+    "CACHE_KINDS",
     "STAGES",
     "FaultSpec",
     "FaultPlan",
@@ -30,10 +31,14 @@ __all__ = [
 ]
 
 # The workflow stages faults can target: Fig. 2's five boxes, plus the
-# control-plane site agent (killed-mid-lease faults, repro.server.agent)
-# and the control-plane wire itself (``net``, repro.chaos.surfaces.
-# ChaosTransport between ControlPlaneClient and the service).
-STAGES = ("download", "preprocess", "monitor", "inference", "shipment", "agent", "net")
+# control-plane site agent (killed-mid-lease faults, repro.server.agent),
+# the control-plane wire itself (``net``, repro.chaos.surfaces.
+# ChaosTransport between ControlPlaneClient and the service), and the
+# shared content-addressed artifact store (``cache``, repro.cas.store).
+STAGES = (
+    "download", "preprocess", "monitor", "inference", "shipment",
+    "agent", "net", "cache",
+)
 
 # The failure surfaces the paper names as operational reality:
 #   http_transient — LAADS 503 / dropped connection that a retry recovers;
@@ -62,6 +67,14 @@ STAGES = ("download", "preprocess", "monitor", "inference", "shipment", "agent",
 #   reset          — the request is DELIVERED but the response is lost
 #                    (connection reset after the server acted) — the
 #                    at-least-once hazard that forces idempotent POSTs.
+# Cache-volume kinds (stage ``cache``, interpreted by
+# :class:`repro.cas.store.CASStore` against the shared artifact store):
+#   cache_corrupt  — an object's bytes rot on the cache volume; the
+#                    read-time digest check must quarantine it and the
+#                    caller must fall back to the authoritative source;
+#   cache_enospc   — the cache volume is full: a store attempt fails
+#                    with ENOSPC, which the pipeline must absorb as "no
+#                    future hit", never as a failed unit.
 FAULT_KINDS = (
     "http_transient",
     "http_permanent",
@@ -76,10 +89,16 @@ FAULT_KINDS = (
     "flaky",
     "slow_link",
     "reset",
+    "cache_corrupt",
+    "cache_enospc",
 )
 
 # Wire-only kinds: valid only with stage "net".
 NET_KINDS = frozenset({"partition", "blackout", "flaky", "slow_link", "reset"})
+
+# Cache-only kinds: valid only with stage "cache" (which also accepts
+# "crash", for kills mid-materialization).
+CACHE_KINDS = frozenset({"cache_corrupt", "cache_enospc"})
 
 # Kinds that keep firing on every retry of the same key (times ignored).
 _UNBOUNDED_KINDS = frozenset({"http_permanent", "corrupt_tile"})
@@ -174,6 +193,16 @@ class FaultSpec:
             raise ValueError(
                 f"stage 'net' only takes wire-level kinds {sorted(NET_KINDS)}, "
                 f"got {self.kind!r}"
+            )
+        if self.kind in CACHE_KINDS and self.stage != "cache":
+            raise ValueError(
+                f"fault kind {self.kind!r} targets the artifact store and "
+                f"requires stage 'cache'"
+            )
+        if self.stage == "cache" and self.kind not in CACHE_KINDS | {"crash"}:
+            raise ValueError(
+                f"stage 'cache' only takes kinds "
+                f"{sorted(CACHE_KINDS | {'crash'})}, got {self.kind!r}"
             )
         if not 0.0 <= self.rate <= 1.0:
             raise ValueError(f"rate must be in [0, 1], got {self.rate}")

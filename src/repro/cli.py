@@ -128,6 +128,26 @@ def build_parser() -> argparse.ArgumentParser:
     agent.add_argument("--reconnect-limit", type=int, default=3,
                        help="reconnect probes before giving up when the "
                             "server is unreachable (negative: probe forever)")
+
+    cache = sub.add_parser(
+        "cache", help="inspect or garbage-collect the content-addressed cache"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+    cache_stats = cache_sub.add_parser("stats", help="object counts, bytes, counters")
+    cache_stats.add_argument("--dir", default=None, metavar="DIR",
+                             help="cache directory (default: from --config)")
+    cache_stats.add_argument("--config", default=None, metavar="YAML",
+                             help="workflow config whose cache: section names the dir")
+    cache_gc = cache_sub.add_parser(
+        "gc", help="evict least-recently-used unpinned objects down to a budget"
+    )
+    cache_gc.add_argument("--dir", default=None, metavar="DIR",
+                          help="cache directory (default: from --config)")
+    cache_gc.add_argument("--config", default=None, metavar="YAML",
+                          help="workflow config whose cache: section names the dir "
+                               "and budget")
+    cache_gc.add_argument("--budget-bytes", type=int, default=None, metavar="N",
+                          help="evict down to N bytes (overrides the config budget)")
     return parser
 
 
@@ -200,6 +220,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
               f"{report.scaleout['requeues']} requeue(s), "
               f"+{report.scaleout['scale_out_events']}/"
               f"-{report.scaleout['scale_in_events']} scale events")
+    if report.cache.get("enabled"):
+        print(f"cache:      {report.cache['hits']} hit(s) / "
+              f"{report.cache['misses']} miss(es), "
+              f"{report.cache['stores']} stored, "
+              f"{format_bytes(int(report.cache['bytes_saved']))} saved "
+              f"({report.cache['download_cached']} download / "
+              f"{report.cache['preprocess_cached']} preprocess / "
+              f"{report.cache['shipment_deduped']} shipment short-circuits)")
+        if report.cache.get("refined_tiles"):
+            print(f"fidelity:   {report.cache['refined_tiles']} tile(s) refined "
+                  f"to full resolution")
     if report.errors:
         print(f"errors: {report.errors}", file=sys.stderr)
         return 1
@@ -408,6 +439,53 @@ def _cmd_agent(args: argparse.Namespace) -> int:
     return 0 if stats.failed == 0 else 1
 
 
+def _cache_store(args: argparse.Namespace):
+    """Resolve the CAS directory (and budget) the subcommand targets."""
+    from repro.cas import CASStore
+
+    cache_dir = args.dir
+    budget = getattr(args, "budget_bytes", None)
+    if args.config is not None:
+        from repro.core import load_config
+
+        with open(args.config) as handle:
+            config = load_config(handle.read())
+        cache_dir = cache_dir or config.cache_dir
+        if budget is None:
+            budget = config.cache_budget_bytes
+    if cache_dir is None:
+        print("cache: need --dir or --config to locate the store", file=sys.stderr)
+        return None
+    return CASStore(cache_dir, budget_bytes=budget)
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    if args.cache_command == "stats":
+        stats = store.stats()
+        print(f"cache root: {stats['root']}")
+        print(f"objects:    {stats['objects']} "
+              f"({format_bytes(stats['total_bytes'])}), "
+              f"{stats['pinned_objects']} pinned")
+        budget = stats["budget_bytes"]
+        print(f"budget:     "
+              f"{format_bytes(budget) if budget is not None else 'unbounded'}")
+        for key in ("hits", "misses", "stores", "dedup_stores",
+                    "corrupt_evictions", "evicted_objects"):
+            print(f"{key + ':':<12}{stats[key]}")
+        return 0
+    # gc
+    sweep = store.gc()
+    budget = sweep["budget_bytes"]
+    print(f"evicted {sweep['evicted']} object(s), "
+          f"freed {format_bytes(sweep['evicted_bytes'])} "
+          f"(scanned {sweep['scanned']}, now {format_bytes(sweep['total_bytes'])}, "
+          f"budget {format_bytes(budget) if budget is not None else 'unbounded'})")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handler = {
@@ -420,6 +498,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "submit": _cmd_submit,
         "status": _cmd_status,
         "agent": _cmd_agent,
+        "cache": _cmd_cache,
     }[args.command]
     return handler(args)
 

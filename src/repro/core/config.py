@@ -86,6 +86,15 @@ def _non_negative_int(value: Any) -> int:
     return result
 
 
+def _positive_or_none_int(value: Any) -> Optional[int]:
+    if value is None:
+        return None
+    result = integer(value)
+    if result <= 0:
+        raise ValueError(f"expected a positive integer or null, got {result}")
+    return result
+
+
 def _positive_number(value: Any) -> float:
     result = number(value)
     if result <= 0:
@@ -116,6 +125,11 @@ _PREPROCESS = Schema(
         Field("tile_size", positive_int, required=False, default=16),
         Field("cloud_threshold", _fraction, required=False, default=OCEAN_CLOUD_THRESHOLD),
         Field("max_land_fraction", _fraction, required=False, default=0.0),
+        # Progressive fidelity: > 1 extracts tiles at a coarse
+        # within-tile stride first; inference refines only the tiles
+        # whose classifier margin falls below inference.refine_threshold.
+        # 1 (the default) keeps the classic single-fidelity pipeline.
+        Field("coarse_stride", positive_int, required=False, default=1),
     ],
 )
 
@@ -134,6 +148,21 @@ _INFERENCE = Schema(
         Field("poll_interval", number, required=False, default=0.2),
         Field("batch_files", positive_int, required=False, default=8),
         Field("drain_timeout", _positive_number, required=False, default=300.0),
+        # Classifier-margin floor for the progressive-fidelity ladder:
+        # coarse tiles whose assignment margin falls below this are
+        # re-extracted at full fidelity and re-labelled.  None disables
+        # refinement (every coarse label is accepted as final).
+        Field("refine_threshold", number, required=False, default=None),
+    ],
+)
+
+_CACHE = Schema(
+    "cache",
+    [
+        Field("enabled", boolean, required=False, default=False),
+        Field("dir", string, required=False, default=None),
+        # Size budget for the GC sweep, in bytes; null = unbounded.
+        Field("budget_bytes", _positive_or_none_int, required=False, default=None),
     ],
 )
 
@@ -197,6 +226,7 @@ _TOP = Schema(
         Field("shipment", dict, required=False, default={}),
         Field("journal", dict, required=False, default={}),
         Field("runtime", dict, required=False, default={}),
+        Field("cache", dict, required=False, default={}),
         Field("chaos", dict, required=False, default=None),
     ],
 )
@@ -271,6 +301,17 @@ class EOMLConfig:
     # count with queue-depth-driven scale-out/in.
     runtime_workers: int = 1
     elastic: ElasticPolicy = ElasticPolicy()
+    # Content-addressed artifact cache (repro.cas): a store shared
+    # across runs/tenants that short-circuits downloads, re-tiling, and
+    # already-delivered shipments.  Off by default.
+    cache_enabled: bool = False
+    cache_dir: str = "data/cas"
+    cache_budget_bytes: Optional[int] = None
+    # Progressive fidelity: within-tile subsample stride for the coarse
+    # pass (1 = full fidelity only) and the classifier-margin floor
+    # below which coarse tiles are re-extracted at full fidelity.
+    coarse_stride: int = 1
+    refine_threshold: Optional[float] = None
     chaos: Optional[FaultPlan] = None
     raw: Dict[str, Any] = field(default_factory=dict, compare=False)
 
@@ -303,6 +344,7 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
     shipment = _SHIPMENT.validate(top["shipment"] or {}, "shipment")
     journal = _JOURNAL.validate(top["journal"] or {}, "journal")
     runtime = _RUNTIME.validate(top["runtime"] or {}, "runtime")
+    cache = _CACHE.validate(top["cache"] or {}, "cache")
     stream_raw = _STREAM.validate(runtime["stream"] or {}, "runtime.stream")
     try:
         stream = StreamConfig.from_mapping(stream_raw)
@@ -366,6 +408,19 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
     journal_dir = journal["dir"] or os.path.join(
         os.path.dirname(paths["staging"].rstrip("/")) or ".", "journal",
     )
+    # The CAS defaults beside the journal — but is *meant* to be pointed
+    # at a volume shared across runs, where the hits come from.
+    cache_dir = cache["dir"] or os.path.join(
+        os.path.dirname(paths["staging"].rstrip("/")) or ".", "cas",
+    )
+    if preprocess["coarse_stride"] > 1 and preprocess["tile_size"] % preprocess["coarse_stride"]:
+        raise ConfigError(
+            "preprocess.coarse_stride",
+            f"must divide tile_size ({preprocess['tile_size']}) so coarse and "
+            f"full-fidelity tiles cover identical grids",
+        )
+    if inference["refine_threshold"] is not None and inference["refine_threshold"] < 0:
+        raise ConfigError("inference.refine_threshold", "must be non-negative")
 
     return EOMLConfig(
         name=top["name"],
@@ -414,6 +469,14 @@ def load_config(source: Mapping[str, Any] | str) -> EOMLConfig:
         stream=stream,
         runtime_workers=runtime["workers"],
         elastic=elastic,
+        cache_enabled=cache["enabled"],
+        cache_dir=cache_dir,
+        cache_budget_bytes=cache["budget_bytes"],
+        coarse_stride=preprocess["coarse_stride"],
+        refine_threshold=(
+            None if inference["refine_threshold"] is None
+            else float(inference["refine_threshold"])
+        ),
         shipment_backoff=BackoffPolicy(
             base=shipment["backoff_base"],
             max_delay=1.0,

@@ -29,6 +29,7 @@ import numpy as np
 
 from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import chaos_crash
+from repro.core.artifact_cache import TileRefiner
 from repro.core.config import EOMLConfig
 from repro.core.contracts import TILE_FILE
 from repro.core.preprocess import QuarantineRecord
@@ -163,12 +164,24 @@ class InferenceWorker:
         pool: Optional[ProcWorkerPool] = None,
         model_ref: Optional[Tuple[str, Any]] = None,
         key_prefix: str = "",
+        cache: Optional[Any] = None,
     ):
         self.model = model
         self._on_result = on_result
         self.config = config
         self.chaos = chaos
         self.journal = journal
+        self.cache = cache
+        # Progressive fidelity: with a refine threshold configured (and
+        # a model that reports margins), low-margin tiles from coarse
+        # tile files get a full-resolution second pass.
+        threshold = getattr(config, "refine_threshold", None)
+        self._refine_threshold = float(threshold) if threshold is not None else None
+        self._refiner = (
+            TileRefiner(config, cas=cache)
+            if self._refine_threshold is not None
+            else None
+        )
         self._attribution = getattr(model, "attribution", "RICC/AICCA")
         # Fan-out plans share one journal across branches; the per-branch
         # key prefix ("<instrument>+<model>:") keeps same-named tile files
@@ -414,18 +427,38 @@ class InferenceWorker:
         for entries in groups.values():
             self._assign_group(entries, started)
 
+    @property
+    def refined_tiles(self) -> int:
+        """Tiles re-labelled at full fidelity this run."""
+        return self._refiner.refined_tiles if self._refiner is not None else 0
+
     def _assign_group(self, entries: List[_ParsedFile], started: float) -> None:
         labels: Optional[np.ndarray] = None
+        margins: Optional[np.ndarray] = None
         if len(entries) == 1:
             stacked = entries[0].radiance
         else:
             stacked = np.concatenate([entry.radiance for entry in entries])
+        # The margin-aware path costs nothing extra (one fused call
+        # either way) and only runs when refinement is configured AND
+        # the model can report margins.
+        with_margin = (
+            None
+            if self._refiner is None
+            else getattr(self.model, "assign_with_margin", None)
+        )
+
+        def call_model() -> Tuple[np.ndarray, Optional[np.ndarray]]:
+            if with_margin is not None:
+                return with_margin(stacked)
+            return self.model.assign(stacked), None
+
         try:
             if self.metrics is not None:
                 with self.metrics.timer("inference.assign_seconds"):
-                    labels = self.model.assign(stacked)
+                    labels, margins = call_model()
             else:
-                labels = self.model.assign(stacked)
+                labels, margins = call_model()
         except Exception:  # noqa: BLE001 - fall back so one file can't sink the group
             labels = None
         if labels is None and len(entries) > 1:
@@ -434,6 +467,8 @@ class InferenceWorker:
             for entry in entries:
                 self._assign_group([entry], started)
             return
+        if labels is not None and margins is not None:
+            labels = self._refine_group(entries, labels, margins)
 
         offset = 0
         for entry in entries:
@@ -453,6 +488,39 @@ class InferenceWorker:
                     seconds=time.monotonic() - started,
                 )
             )
+
+    def _refine_group(
+        self,
+        entries: List[_ParsedFile],
+        labels: np.ndarray,
+        margins: np.ndarray,
+    ) -> np.ndarray:
+        """The fidelity ladder's second rung, applied to a fused group.
+
+        Tiles whose assignment margin falls below the configured
+        threshold are re-extracted from their source granules at full
+        resolution (a distinct CAS object) and re-assigned; everything
+        else keeps its coarse-pass label.  Any refinement failure leaves
+        the coarse label standing — refinement may only improve labels,
+        never lose them.
+        """
+        low = np.nonzero(np.asarray(margins) < self._refine_threshold)[0]
+        if low.size == 0:
+            return labels
+        labels = np.array(labels, copy=True)
+        offset = 0
+        for entry in entries:
+            count = entry.radiance.shape[0]
+            local = low[(low >= offset) & (low < offset + count)] - offset
+            if local.size:
+                refined = self._refiner.refine(entry.ds, local)
+                if refined is not None:
+                    try:
+                        labels[offset + local] = self.model.assign(refined)
+                    except Exception:  # noqa: BLE001 - keep the coarse labels
+                        pass
+            offset += count
+        return labels
 
     def stop(self, timeout: float = 30.0) -> None:
         for _ in self._threads:

@@ -28,16 +28,20 @@ from typing import Deque, Iterable, List, Optional, Tuple
 from repro.chaos.engine import FaultInjector
 from repro.chaos.surfaces import chaos_atomic_write
 from repro.compute import LocalComputeEndpoint
+from repro.core.artifact_cache import input_digest, tiles_key
 from repro.core.config import EOMLConfig
 from repro.core.download import GranuleSet
 from repro.core.tiles import extract_tiles, tiles_to_dataset
 from repro.instruments.registry import get_instrument
+from repro.instruments.tiling import FIDELITY_COARSE
 from repro.journal import WorkflowJournal
 from repro.netcdf import read as nc_read
 from repro.pexec import DataFlowKernel
 from repro.runtime import (
+    CACHED,
     RESUMED,
     SKIPPED,
+    CachePolicy,
     StageExecutor,
     UnitResult,
     WorkUnit,
@@ -73,6 +77,7 @@ class PreprocessResult:
     tile_path: Optional[str]  # None when no tile passed selection
     tiles: int
     seconds: float
+    outcome: str = "done"     # runtime outcome (done/resumed/skipped/cached)
 
 
 @dataclass
@@ -84,6 +89,11 @@ class PreprocessReport:
     @property
     def total_tiles(self) -> int:
         return sum(r.tiles for r in self.results)
+
+    @property
+    def cached(self) -> int:
+        """Granule sets replayed from the content-addressed store."""
+        return sum(r.outcome == CACHED for r in self.results)
 
     @property
     def throughput_tiles_per_s(self) -> float:
@@ -98,9 +108,11 @@ def _preprocess_unit(
     max_land_fraction: float,
     skip_existing: bool,
     instrument: str = "modis",
+    coarse_stride: int = 1,
 ) -> WorkUnit:
     """One granule set's tiling as a work unit."""
     final_path = os.path.join(out_dir, f"tiles_{granules.key.replace('.', '_')}.nc")
+    fidelity = FIDELITY_COARSE if coarse_stride > 1 else None
 
     def precheck(ctx) -> Optional[UnitResult]:
         # A journal redo decision means the same-named file cannot be
@@ -113,6 +125,64 @@ def _preprocess_unit(
                 outcome=SKIPPED, artifact=final_path, payload={"tiles": tiles}
             )
         return None
+
+    # The derived key binds the output to the tiler knobs AND the input
+    # digests, so a changed granule or parameter can never replay a
+    # stale tile file.  Hashing the inputs is paid lazily — only when a
+    # CAS is actually attached — and usually comes free from the
+    # manifest (the download stage already recorded every digest).
+    key_box: dict = {}
+
+    def _cache_key(ctx) -> str:
+        if "key" not in key_box:
+            digests = [
+                input_digest(path, journal=ctx.journal)
+                for path in granules.paths.values()
+            ]
+            key_box["key"] = tiles_key(
+                instrument, granules.key, tile_size, cloud_threshold,
+                max_land_fraction, coarse_stride, digests,
+            )
+        return key_box["key"]
+
+    def cache_lookup(ctx, cas) -> Optional[UnitResult]:
+        if not ctx.redo and skip_existing and os.path.exists(final_path):
+            return None  # the precheck owns an already-present file
+        record = cas.get_key(_cache_key(ctx))
+        if record is None:
+            return None
+        digest = record.get("digest")
+        if digest is None:
+            # A tileless granule set: the (empty) result itself is cached.
+            return UnitResult(
+                outcome=CACHED, artifact=None,
+                payload={"tiles": int(record.get("tiles", 0))},
+            )
+        nbytes = cas.materialize(digest, final_path)
+        if nbytes is None:
+            return None
+        return UnitResult(
+            outcome=CACHED,
+            artifact=final_path,
+            payload={
+                "tiles": int(record.get("tiles", 0)),
+                "sha256": digest,
+                "nbytes": nbytes,
+            },
+        )
+
+    def cache_store(ctx, cas, result) -> None:
+        payload = result.payload or {}
+        if result.artifact is None:
+            if int(payload.get("tiles", -1)) == 0:
+                cas.put_key(_cache_key(ctx), {"digest": None, "tiles": 0})
+            return
+        digest = cas.store_file(result.artifact, digest=payload.get("sha256"))
+        if digest:
+            cas.put_key(
+                _cache_key(ctx),
+                {"digest": digest, "tiles": int(payload.get("tiles", 0))},
+            )
 
     def body(ctx) -> UnitResult:
         ctx.begin()
@@ -132,11 +202,18 @@ def _preprocess_unit(
             cloud_threshold=cloud_threshold,
             max_land_fraction=max_land_fraction,
             source=granules.key,
+            coarse_stride=coarse_stride,
         )
         if not tiles:
             # A tileless granule is a real completion (nothing to redo).
             return UnitResult(outcome="done", artifact=None, payload={"tiles": 0})
-        ds = tiles_to_dataset(tiles, source=granules.key)
+        ds = tiles_to_dataset(
+            tiles,
+            source=granules.key,
+            fidelity=fidelity,
+            coarse_stride=coarse_stride,
+            source_files=dict(granules.paths) if fidelity else None,
+        )
         ds.set_attr("true_regime", scene.attrs.get("true_regime", "unknown"))
         nbytes, digest = chaos_atomic_write(
             ds, final_path, chaos=ctx.chaos, stage="preprocess", key=granules.key
@@ -148,7 +225,8 @@ def _preprocess_unit(
         )
 
     return WorkUnit(
-        stage="preprocess", key=granules.key, body=body, precheck=precheck
+        stage="preprocess", key=granules.key, body=body, precheck=precheck,
+        cache=CachePolicy(lookup=cache_lookup, store=cache_store),
     )
 
 
@@ -163,6 +241,8 @@ def preprocess_granule_set(
     journal: Optional[WorkflowJournal] = None,
     executor: Optional[StageExecutor] = None,
     instrument: str = "modis",
+    coarse_stride: int = 1,
+    cache: Optional[object] = None,
 ) -> PreprocessResult:
     """The per-granule task body (pure function; safe for any executor).
 
@@ -177,7 +257,7 @@ def preprocess_granule_set(
     started = time.monotonic()
     os.makedirs(out_dir, exist_ok=True)
     if executor is None:
-        executor = build_executor(journal=journal, chaos=chaos)
+        executor = build_executor(journal=journal, chaos=chaos, cache=cache)
     unit = _preprocess_unit(
         granules,
         out_dir,
@@ -186,6 +266,7 @@ def preprocess_granule_set(
         max_land_fraction,
         skip_existing,
         instrument=instrument,
+        coarse_stride=coarse_stride,
     )
     result = executor.execute(unit)
     if result.outcome == RESUMED:
@@ -194,12 +275,14 @@ def preprocess_granule_set(
             tile_path=result.payload.get("artifact") or None,
             tiles=int(result.payload.get("tiles", 0)),
             seconds=time.monotonic() - started,
+            outcome=result.outcome,
         )
     return PreprocessResult(
         key=granules.key,
         tile_path=result.artifact,
         tiles=int(result.payload.get("tiles", 0)),
         seconds=time.monotonic() - started,
+        outcome=result.outcome,
     )
 
 
@@ -213,14 +296,16 @@ class PreprocessStage:
         chaos: Optional[FaultInjector] = None,
         journal: Optional[WorkflowJournal] = None,
         pool: Optional[ProcWorkerPool] = None,
+        cache: Optional[object] = None,
     ):
         self.config = config
         self.chaos = chaos
         self.journal = journal
         self.pool = pool
+        self.cache = cache
         self._dfk = dfk
         self._owns_dfk = dfk is None
-        self._executor = build_executor(journal=journal, chaos=chaos)
+        self._executor = build_executor(journal=journal, chaos=chaos, cache=cache)
         # Scale-out envelopes carry the branch tag so pool workers
         # rebuild the right per-instrument context ("" = classic kind).
         self._kind = (
@@ -291,6 +376,7 @@ class PreprocessStage:
                             kwargs={
                                 "executor": self._executor,
                                 "instrument": self.config.instrument,
+                                "coarse_stride": self.config.coarse_stride,
                             },
                         ),
                     )

@@ -46,6 +46,7 @@ import os
 from typing import Any, Dict, Optional, Tuple
 
 from repro.chaos import build_injector
+from repro.core.artifact_cache import open_store
 from repro.core.branches import branch_config, instrument_config
 from repro.core.config import EOMLConfig, load_config
 from repro.core.download import DownloadStage
@@ -102,6 +103,12 @@ class StageWorker:
             # resumes instead of re-running, and a mid-flight crash is
             # replayed from scratch — same rules as the site agents.
             self.journal.start(resume=True)
+        # Each worker process opens its own handle on the *shared* CAS
+        # directory (branch configs inherit the root ``cache_dir``) —
+        # the store's atomic publish protocol makes concurrent handles
+        # safe, so pool workers dedupe into the same object space as the
+        # parent and the co-located site agents.
+        self.cache = open_store(self.config, chaos=self.chaos)
         self._downloads: Dict[str, DownloadStage] = {}
         self._preprocess_executor = None
         self._inference: Dict[str, InferenceWorker] = {}
@@ -133,13 +140,14 @@ class StageWorker:
                 archive=self.archive if primary else None,
                 chaos=self.chaos,
                 journal=self.journal,
+                cache=self.cache,
             )
         return self._downloads[tag]
 
     def _ensure_preprocess_executor(self):
         if self._preprocess_executor is None:
             self._preprocess_executor = build_executor(
-                journal=self.journal, chaos=self.chaos
+                journal=self.journal, chaos=self.chaos, cache=self.cache
             )
         return self._preprocess_executor
 
@@ -166,6 +174,7 @@ class StageWorker:
                 batch_files=1,
                 journal=self.journal,
                 key_prefix=f"{tag}:" if tag else "",
+                cache=self.cache,
             )
         return self._inference[tag]
 
@@ -186,6 +195,7 @@ class StageWorker:
                 cfg.max_land_fraction,
                 executor=self._ensure_preprocess_executor(),
                 instrument=cfg.instrument,
+                coarse_stride=cfg.coarse_stride,
             )
         if base == "inference":
             return self._infer(tag, envelope.payload)

@@ -27,9 +27,11 @@ from repro.chaos.surfaces import ChaosTransferClient
 from repro.core.config import EOMLConfig
 from repro.journal import WorkflowJournal, sha256_file
 from repro.runtime import (
+    CACHED,
     FAILED,
     QUARANTINED,
     RESUMED,
+    CachePolicy,
     FailurePolicy,
     RetrySpec,
     UnitResult,
@@ -50,6 +52,7 @@ class ShipmentReport:
     error: Optional[str] = None
     resumed: int = 0                  # journaled deliveries still intact
     verified: int = 0                 # destination digests confirmed this run
+    deduped: int = 0                  # satisfied without a WAN transfer (CAS)
     mismatches: List[str] = field(default_factory=list)
     # file name -> SHA-256 of the delivered bytes (end-to-end identity)
     checksums: Dict[str, str] = field(default_factory=dict)
@@ -63,9 +66,11 @@ class ShipmentStage:
         chaos: Optional[FaultInjector] = None,
         journal: Optional[WorkflowJournal] = None,
         key_prefix: str = "",
+        cache: Optional[object] = None,
     ):
         self.config = config
         self.journal = journal
+        self.cache = cache
         # Fan-out plans share one journal across branches; the per-branch
         # key prefix keeps same-named labelled files from colliding in it.
         self.key_prefix = key_prefix
@@ -82,7 +87,7 @@ class ShipmentStage:
                 if chaos is not None
                 else LocalTransferClient(**kwargs)
             )
-        self._executor = build_executor(journal=journal, chaos=chaos)
+        self._executor = build_executor(journal=journal, chaos=chaos, cache=cache)
 
     def _unit_for(self, name: str, deadline: Optional[float]) -> WorkUnit:
         """One file's move + destination verification as a work unit."""
@@ -130,10 +135,69 @@ class ShipmentStage:
                 outcome="done", artifact=dst_path, payload={"sha256": delivered}
             )
 
+        dst_path = os.path.join(self.config.destination, name)
+
+        def _source_digest(ctx) -> Optional[str]:
+            expected = None
+            if ctx.journal is not None:
+                expected = ctx.journal.expected_sha(src_path)
+            if expected is None:
+                try:
+                    expected = sha256_file(src_path)
+                except OSError:
+                    expected = None
+            return expected
+
+        def _consume_source() -> None:
+            # Shipment is a *move*: once the destination holds the
+            # bytes, the transfer-out copy must go, exactly as the
+            # transfer client would have taken it.
+            try:
+                os.unlink(src_path)
+            except OSError:
+                pass
+
+        def cache_lookup(ctx, cas) -> Optional[UnitResult]:
+            expected = _source_digest(ctx)
+            if expected is None:
+                return None
+            # Dedupe: the destination already holds these exact bytes
+            # (a co-located prior run, or a crash after the move) — no
+            # transfer needed at all.
+            if os.path.exists(dst_path):
+                try:
+                    if sha256_file(dst_path) == expected:
+                        _consume_source()
+                        return UnitResult(
+                            outcome=CACHED, artifact=dst_path,
+                            payload={"sha256": expected},
+                        )
+                except OSError:
+                    pass
+            # Co-located CAS: materialize at the destination instead of
+            # paying the WAN move (digest-verified on the way out).
+            nbytes = cas.materialize(expected, dst_path)
+            if nbytes is None:
+                return None
+            _consume_source()
+            return UnitResult(
+                outcome=CACHED, artifact=dst_path,
+                payload={"sha256": expected, "nbytes": nbytes},
+            )
+
+        def cache_store(ctx, cas, result) -> None:
+            # Only verified deliveries may seed the store.
+            if result.value == "mismatch" or result.artifact is None:
+                return
+            cas.store_file(
+                result.artifact, digest=(result.payload or {}).get("sha256")
+            )
+
         return WorkUnit(
             stage="shipment",
             key=self.key_prefix + name,
             body=body,
+            cache=CachePolicy(lookup=cache_lookup, store=cache_store),
             retry=RetrySpec(
                 retries=self.config.shipment_retries,
                 backoff=self.config.shipment_backoff,
@@ -193,12 +257,14 @@ class ShipmentStage:
         mismatches: List[str] = []
         resumed = 0
         verified = 0
+        deduped = 0
         retries_total = 0
         error: Optional[str] = None
         stopped = False
 
         def ship(name: str) -> None:
-            nonlocal deadline, error, retries_total, resumed, verified, stopped
+            nonlocal deadline, error, retries_total, resumed, verified
+            nonlocal deduped, stopped
             if name in seen or stopped:
                 return
             seen.add(name)
@@ -213,6 +279,14 @@ class ShipmentStage:
                 if result.payload.get("sha256"):
                     checksums[name] = result.payload["sha256"]
                 resumed += 1
+                return
+            if result.outcome == CACHED:
+                # Satisfied without a WAN transfer: destination already
+                # matched, or the shared CAS materialized it in place.
+                moved.append(result.artifact)
+                checksums[name] = result.payload["sha256"]
+                verified += 1
+                deduped += 1
                 return
             if result.outcome in (FAILED, QUARANTINED):
                 # Budget spent (retries or deadline): record and stop —
@@ -249,6 +323,7 @@ class ShipmentStage:
             error=error,
             resumed=resumed,
             verified=verified,
+            deduped=deduped,
             mismatches=mismatches,
             checksums=checksums,
         )

@@ -37,7 +37,9 @@ from typing import Any, Dict, List, Optional
 
 import numpy as np
 
+from repro.cas import CACHE_COUNTERS
 from repro.chaos import build_injector
+from repro.core.artifact_cache import open_store
 from repro.core.branches import branch_config, branch_tag, expand_branches, instrument_config, is_fanout
 from repro.core.config import EOMLConfig
 from repro.journal import WorkflowJournal
@@ -112,6 +114,10 @@ class WorkflowReport:
     # but the schema matches what multi-facility agents report, so one
     # dashboard serves both.
     partition: Dict[str, object] = field(default_factory=dict)
+    # Content-addressed cache accounting: the CAS counter family (always
+    # present, zeros with the cache off) plus the per-stage short-circuit
+    # counts and the progressive-fidelity refinement tally.
+    cache: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_tiles(self) -> int:
@@ -251,6 +257,7 @@ class EOMLWorkflow:
         handles: Optional[Dict[str, Any]] = None,
         streaming: bool = False,
         pool: Optional[ProcWorkerPool] = None,
+        cache: Any = None,
     ) -> PipelinePlan:
         """The pipeline as data: nodes are stages, edges are policies.
 
@@ -288,7 +295,7 @@ class EOMLWorkflow:
         if is_fanout(config):
             return self._build_fanout_plan(
                 metrics=metrics, prov=prov, chaos=chaos, journal=journal,
-                handles=handles, streaming=streaming, pool=pool,
+                handles=handles, streaming=streaming, pool=pool, cache=cache,
             )
         if streaming:
             handles.setdefault("model_ready", threading.Event())
@@ -297,7 +304,9 @@ class EOMLWorkflow:
             if prov
             else None
         )
-        preprocess_stage = PreprocessStage(config, chaos=chaos, journal=journal, pool=pool)
+        preprocess_stage = PreprocessStage(
+            config, chaos=chaos, journal=journal, pool=pool, cache=cache
+        )
 
         def record_download_prov(download: DownloadReport) -> None:
             if not prov:
@@ -315,7 +324,8 @@ class EOMLWorkflow:
 
         def run_download(state: Dict[str, Any]) -> DownloadReport:
             stage = DownloadStage(
-                config, archive=self.archive, chaos=chaos, journal=journal
+                config, archive=self.archive, chaos=chaos, journal=journal,
+                cache=cache,
             )
             download = stage.run(pool=pool)
             record_download_prov(download)
@@ -388,6 +398,7 @@ class EOMLWorkflow:
             worker = InferenceWorker(
                 model, config, chaos=chaos, metrics=metrics, journal=journal,
                 on_result=on_result, pool=pool, model_ref=model_ref,
+                cache=cache,
             )
             crawler = DirectoryCrawler(
                 config.preprocessed,
@@ -424,7 +435,9 @@ class EOMLWorkflow:
             prov.end_activity(activity)
 
         def run_shipment(state: Dict[str, Any]) -> ShipmentReport:
-            shipment = ShipmentStage(config, chaos=chaos, journal=journal).run()
+            shipment = ShipmentStage(
+                config, chaos=chaos, journal=journal, cache=cache
+            ).run()
             record_shipment_prov(shipment)
             return shipment
 
@@ -433,7 +446,8 @@ class EOMLWorkflow:
         def run_download_stream(state: Dict[str, Any]) -> DownloadReport:
             writer = state[STREAMS_KEY].writer("download")
             stage = DownloadStage(
-                config, archive=self.archive, chaos=chaos, journal=journal
+                config, archive=self.archive, chaos=chaos, journal=journal,
+                cache=cache,
             )
             download = stage.run(
                 on_planned=lambda keys: writer.put(("planned", list(keys))),
@@ -542,9 +556,9 @@ class EOMLWorkflow:
 
         def run_shipment_stream(state: Dict[str, Any]) -> ShipmentReport:
             reader = state[STREAMS_KEY].reader("shipment", src="inference")
-            shipment = ShipmentStage(config, chaos=chaos, journal=journal).run_stream(
-                iter(reader)
-            )
+            shipment = ShipmentStage(
+                config, chaos=chaos, journal=journal, cache=cache
+            ).run_stream(iter(reader))
             record_shipment_prov(shipment)
             return shipment
 
@@ -629,6 +643,7 @@ class EOMLWorkflow:
         handles: Optional[Dict[str, Any]] = None,
         streaming: bool = False,
         pool: Optional[ProcWorkerPool] = None,
+        cache: Any = None,
     ) -> PipelinePlan:
         """One plan, fanned out per instrument x model branch.
 
@@ -663,6 +678,7 @@ class EOMLWorkflow:
                     archive=self.archive if primary else None,
                     chaos=chaos,
                     journal=journal,
+                    cache=cache,
                 )
                 return stage.run(pool=pool)
 
@@ -673,6 +689,7 @@ class EOMLWorkflow:
                     archive=self.archive if primary else None,
                     chaos=chaos,
                     journal=journal,
+                    cache=cache,
                 )
                 return stage.run(
                     on_scene=lambda key, gs: writer.put(("scene", key, gs)),
@@ -683,7 +700,9 @@ class EOMLWorkflow:
 
         def make_preprocess(inst: str):
             icfg = instrument_config(config, inst)
-            stage = PreprocessStage(icfg, chaos=chaos, journal=journal, pool=pool)
+            stage = PreprocessStage(
+                icfg, chaos=chaos, journal=journal, pool=pool, cache=cache
+            )
 
             def run_preprocess(state: Dict[str, Any]) -> PreprocessReport:
                 return stage.run(state[f"download@{inst}"].granule_sets)
@@ -755,7 +774,7 @@ class EOMLWorkflow:
                 worker = InferenceWorker(
                     model, bcfg, chaos=chaos, metrics=metrics, journal=journal,
                     on_result=on_result, pool=pool, model_ref=model_ref,
-                    key_prefix=f"{tag}:",
+                    key_prefix=f"{tag}:", cache=cache,
                 )
                 crawler = DirectoryCrawler(
                     bcfg.preprocessed,
@@ -779,7 +798,8 @@ class EOMLWorkflow:
 
             def run_shipment(state: Dict[str, Any]) -> ShipmentReport:
                 return ShipmentStage(
-                    bcfg, chaos=chaos, journal=journal, key_prefix=f"{tag}:"
+                    bcfg, chaos=chaos, journal=journal, key_prefix=f"{tag}:",
+                    cache=cache,
                 ).run()
 
             def run_shipment_stream(state: Dict[str, Any]) -> ShipmentReport:
@@ -787,7 +807,8 @@ class EOMLWorkflow:
                     f"shipment@{tag}", src=f"inference@{tag}"
                 )
                 return ShipmentStage(
-                    bcfg, chaos=chaos, journal=journal, key_prefix=f"{tag}:"
+                    bcfg, chaos=chaos, journal=journal, key_prefix=f"{tag}:",
+                    cache=cache,
                 ).run_stream(iter(reader))
 
             return run_shipment_stream if streaming else run_shipment
@@ -875,6 +896,8 @@ class EOMLWorkflow:
             per_file_seconds=[s for r in reports for s in r.per_file_seconds],
             skipped=sum(r.skipped for r in reports),
             resumed=sum(r.resumed for r in reports),
+            cached=sum(r.cached for r in reports),
+            fetched_bytes=sum(r.fetched_bytes for r in reports),
             retried=sum(r.retried for r in reports),
             retry_attempts=sum(r.retry_attempts for r in reports),
             failed=[msg for r in reports for msg in r.failed],
@@ -917,6 +940,7 @@ class EOMLWorkflow:
             error="; ".join(errors) if errors else None,
             resumed=sum(r.resumed for r in actual),
             verified=sum(r.verified for r in actual),
+            deduped=sum(r.deduped for r in actual),
             mismatches=mismatches,
             checksums=checksums,
         )
@@ -945,6 +969,11 @@ class EOMLWorkflow:
         # None when the chaos plan is absent/disabled: every stage hook
         # below degenerates to the exact production path.
         chaos = build_injector(config.chaos)
+        # The content-addressed store (None with caching off): one handle
+        # shared by every stage and every fan-out branch — branch configs
+        # inherit the root ``cache_dir``, so all branches dedupe into the
+        # same object space.
+        cas = open_store(config, chaos=chaos)
 
         # The run journal: write-ahead intents/completions plus the
         # integrity manifest.  ``resume`` replays a dead run's journal
@@ -976,7 +1005,7 @@ class EOMLWorkflow:
         handles: Dict[str, Any] = {}
         plan = self.build_plan(
             metrics=metrics, prov=prov, chaos=chaos, journal=journal,
-            handles=handles, streaming=use_stream, pool=pool,
+            handles=handles, streaming=use_stream, pool=pool, cache=cas,
         )
         if use_stream:
             runner: PlanRunner = StreamingPlanRunner(
@@ -1012,6 +1041,7 @@ class EOMLWorkflow:
             crawler_errors = [
                 e for tag in tags for e in handles[f"crawler@{tag}"].errors
             ]
+            refined_tiles = sum(w.refined_tiles for w in workers)
             shipment = self._merge_shipments(
                 tags, [state[f"shipment@{tag}"] for tag in tags]
             )
@@ -1027,6 +1057,7 @@ class EOMLWorkflow:
             inference_errors = list(inference.errors)
             inference_quarantined = list(inference.quarantined)
             crawler_errors = list(crawler.errors)
+            refined_tiles = inference.refined_tiles
 
             # Fold the bootstrap granules back into the report.
             for head in reversed(handles["bootstrap_reports"]):
@@ -1172,6 +1203,37 @@ class EOMLWorkflow:
             partition[key] = 0
             metrics.counter(f"partition.{key}").inc(0)
 
+        # Content-addressed cache accounting: the CAS counter family is
+        # always present (zeros with caching off), so the bench gates and
+        # dashboards never branch on key existence.  Stage-level
+        # short-circuit counts come from the reports — they survive the
+        # pool path, where workers hold their own store handles and the
+        # parent's in-process counters stay at zero.
+        cache_summary: Dict[str, object] = {"enabled": cas is not None}
+        for key in CACHE_COUNTERS:
+            cache_summary[key] = 0
+        if cas is not None:
+            cache_summary.update(cas.counters())
+            cache_summary["dir"] = config.cache_dir
+        cache_summary["download_cached"] = download.cached
+        cache_summary["preprocess_cached"] = preprocess.cached
+        cache_summary["shipment_deduped"] = (
+            shipment.deduped if shipment is not None else 0
+        )
+        cache_summary["fetched_bytes"] = download.fetched_bytes
+        cache_summary["refined_tiles"] = refined_tiles
+        for key in CACHE_COUNTERS:
+            metrics.counter(f"cache.{key}").inc(int(cache_summary[key]))
+        stage_hits = metrics.counter("cache.stage_hits")
+        stage_hits.inc(download.cached, stage="download")
+        stage_hits.inc(preprocess.cached, stage="preprocess")
+        if shipment is not None:
+            stage_hits.inc(shipment.deduped, stage="shipment")
+        metrics.counter("cache.refined_tiles").inc(refined_tiles)
+        metrics.counter("bytes_fetched").inc(
+            download.fetched_bytes, stage="download"
+        )
+
         # Streaming dataflow accounting: per-edge queue depth / stall /
         # wait rollups plus the measured stage-overlap seconds that the
         # pipelining bought (empty/zero under barrier mode).
@@ -1227,4 +1289,5 @@ class EOMLWorkflow:
             stage_overlap_seconds=overlap,
             scaleout=scaleout,
             partition=partition,
+            cache=cache_summary,
         )

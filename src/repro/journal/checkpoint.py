@@ -163,11 +163,18 @@ class WorkflowJournal:
         (write ordering: artifact rename precedes the journal append).
         """
         if artifact is not None:
-            digest = self.manifest.record(artifact, sha256=sha256)
+            digest = self.manifest.record(
+                artifact, sha256=sha256, nbytes=payload.get("nbytes")
+            )
             payload = dict(payload)
             payload["artifact"] = os.path.abspath(artifact)
             payload["sha256"] = digest
-            payload.setdefault("nbytes", os.path.getsize(artifact))
+            if payload.get("nbytes") is None:
+                # The manifest observed size and digest in one read pass;
+                # reuse it rather than re-stat'ing a file a concurrent
+                # writer may have touched since.
+                entry = self.manifest.entry(artifact) or {}
+                payload["nbytes"] = entry.get("nbytes", os.path.getsize(artifact))
         self.journal.complete(stage, key, **payload)
 
     def checkpoint(self) -> None:

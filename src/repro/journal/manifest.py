@@ -16,13 +16,17 @@ to a crash is rebuilt from the journal on resume.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import threading
 from typing import Any, Dict, List, Optional
 
 from repro.util.atomic import atomic_write_bytes
+
+# Deprecated re-export: the digest loop's canonical home is now
+# repro.util.digest (shared with the content-addressed store); this name
+# stays importable from here so existing callers keep working.
+from repro.util.digest import digest_file, sha256_file  # noqa: F401
 
 __all__ = ["sha256_file", "IntegrityManifest"]
 
@@ -31,25 +35,6 @@ OK = "ok"
 MISSING_ENTRY = "missing-entry"
 MISSING_FILE = "missing-file"
 MISMATCH = "mismatch"
-
-
-def sha256_file(path: str, chunk_size: int = 4 << 20) -> str:
-    """Streaming SHA-256 of a file's content.
-
-    Reads into one reusable 4 MiB buffer (``readinto``) instead of
-    allocating a fresh bytes object per chunk — the digest loop is pure
-    hashing, not allocator churn.
-    """
-    sha = hashlib.sha256()
-    buffer = bytearray(chunk_size)
-    view = memoryview(buffer)
-    with open(path, "rb") as handle:
-        while True:
-            got = handle.readinto(buffer)
-            if not got:
-                break
-            sha.update(view[:got])
-    return sha.hexdigest()
 
 
 class IntegrityManifest:
@@ -106,12 +91,26 @@ class IntegrityManifest:
 
     # -- recording -----------------------------------------------------------
 
-    def record(self, path: str, sha256: Optional[str] = None) -> str:
-        """Digest ``path`` (or trust ``sha256``) and store its entry."""
-        digest = sha256 or sha256_file(path)
-        nbytes = os.path.getsize(path)
+    def record(
+        self, path: str, sha256: Optional[str] = None, nbytes: Optional[int] = None
+    ) -> str:
+        """Digest ``path`` (or trust ``sha256``) and store its entry.
+
+        When digesting, the size comes from the same read pass as the
+        hash (:func:`repro.util.digest.digest_file`), never a separate
+        ``stat`` — a concurrent writer between digest and stat would
+        otherwise publish an entry whose size and digest describe two
+        different file states.  Callers supplying a precomputed
+        ``sha256`` should supply the matching ``nbytes`` too; absent
+        that, the stat is taken best-effort and marked trusted-size.
+        """
+        if sha256 is None:
+            digest, size = digest_file(path)
+        else:
+            digest = sha256
+            size = int(nbytes) if nbytes is not None else os.path.getsize(path)
         with self._lock:
-            self._entries[self._key(path)] = {"sha256": digest, "nbytes": nbytes}
+            self._entries[self._key(path)] = {"sha256": digest, "nbytes": size}
         return digest
 
     def put(self, path: str, sha256: str, nbytes: Optional[int] = None) -> None:

@@ -1,7 +1,7 @@
 """repro.runtime — the unified stage runtime.
 
 One :class:`StageExecutor` with an ordered middleware stack (metrics,
-quarantine, journal, chaos, precheck, retry) runs the
+quarantine, journal, cache, chaos, precheck, retry) runs the
 :class:`WorkUnit`\\ s every stage produces, and one declarative
 :class:`PipelinePlan` states the workflow's structure (download barrier,
 monitor/inference overlap) as explicit edges that the local
@@ -25,6 +25,7 @@ from repro.runtime.channel import (
 from repro.runtime.elastic import ElasticPolicy
 from repro.runtime.executor import StageExecutor, build_executor
 from repro.runtime.middleware import (
+    CacheMiddleware,
     ChaosMiddleware,
     JournalMiddleware,
     MetricsMiddleware,
@@ -55,6 +56,7 @@ from repro.runtime.plan import (
     StreamingPlanRunner,
 )
 from repro.runtime.unit import (
+    CACHED,
     DONE,
     FAILED,
     OUTCOMES,
@@ -63,6 +65,7 @@ from repro.runtime.unit import (
     RETRIED,
     SKIPPED,
     SUCCESS_OUTCOMES,
+    CachePolicy,
     FailurePolicy,
     RetrySpec,
     UnitContext,
@@ -75,6 +78,7 @@ __all__ = [
     "DONE",
     "RESUMED",
     "SKIPPED",
+    "CACHED",
     "RETRIED",
     "FAILED",
     "QUARANTINED",
@@ -84,12 +88,14 @@ __all__ = [
     "UnitResult",
     "RetrySpec",
     "FailurePolicy",
+    "CachePolicy",
     "WorkUnit",
     "UnitContext",
     "Middleware",
     "MetricsMiddleware",
     "QuarantineMiddleware",
     "JournalMiddleware",
+    "CacheMiddleware",
     "ChaosMiddleware",
     "PrecheckMiddleware",
     "RetryMiddleware",

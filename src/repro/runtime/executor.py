@@ -13,6 +13,7 @@ import time
 from typing import Any, Callable, List, Sequence
 
 from repro.runtime.middleware import (
+    CacheMiddleware,
     ChaosMiddleware,
     JournalMiddleware,
     MetricsMiddleware,
@@ -51,22 +52,27 @@ def build_executor(
     chaos: Any = None,
     metrics: Any = None,
     sleeper: Callable[[float], None] = time.sleep,
+    cache: Any = None,
 ) -> StageExecutor:
     """The canonical stack (outermost first):
 
-    Metrics > Quarantine > Journal > Chaos > Precheck > Retry > body.
+    Metrics > Quarantine > Journal > Cache > Chaos > Precheck > Retry > body.
 
     Metrics wraps everything so resumed and quarantined units are
     counted too; Quarantine sits outside Journal so a failed unit never
-    records a completion; Chaos precedes Precheck so a stalled worker
-    stalls before it can short-circuit; Precheck precedes Retry so a
-    skip never consults the circuit breaker or burns an attempt.
+    records a completion; Cache sits inside Journal so a CAS hit still
+    records a completion (resume semantics identical with the cache on
+    or off) but outside Chaos/Retry so a hit neither stalls nor burns an
+    attempt; Chaos precedes Precheck so a stalled worker stalls before
+    it can short-circuit; Precheck precedes Retry so a skip never
+    consults the circuit breaker or burns an attempt.
     """
     return StageExecutor(
         [
             MetricsMiddleware(metrics),
             QuarantineMiddleware(),
             JournalMiddleware(journal),
+            CacheMiddleware(cache),
             ChaosMiddleware(chaos, sleeper=sleeper),
             PrecheckMiddleware(),
             RetryMiddleware(sleeper=sleeper),

@@ -9,13 +9,18 @@ first — see :func:`repro.runtime.executor.build_executor`:
    recorded FAILED/QUARANTINED results per the unit's policy;
 3. :class:`JournalMiddleware` — resume decision before the work,
    completion record after it;
-4. :class:`ChaosMiddleware` — injected worker stalls (the other fault
+4. :class:`CacheMiddleware` — content-addressed short circuits and
+   post-success store population, inside the journal (a cache hit still
+   records a completion, so resume semantics are identical with the
+   cache on or off) but outside chaos/precheck/retry (a hit must not
+   burn a retry attempt or consult a breaker);
+5. :class:`ChaosMiddleware` — injected worker stalls (the other fault
    surfaces live inside unit bodies, at the exact I/O boundary they
    model);
-5. :class:`PrecheckMiddleware` — skip_existing-style short circuits,
+6. :class:`PrecheckMiddleware` — skip_existing-style short circuits,
    after the journal (a redo decision bypasses them) but before any
    retry machinery (a skip must not consult the circuit breaker);
-6. :class:`RetryMiddleware` — bounded retries with backoff and breaker,
+7. :class:`RetryMiddleware` — bounded retries with backoff and breaker,
    delegating to :func:`repro.net.retry.retry_call`.
 """
 
@@ -27,6 +32,7 @@ from typing import Any, Callable, Optional
 from repro.chaos.surfaces import chaos_stall
 from repro.net.retry import RetryExhausted, retry_call
 from repro.runtime.unit import (
+    CACHED,
     DONE,
     FAILED,
     QUARANTINED,
@@ -43,6 +49,7 @@ __all__ = [
     "MetricsMiddleware",
     "QuarantineMiddleware",
     "JournalMiddleware",
+    "CacheMiddleware",
     "ChaosMiddleware",
     "PrecheckMiddleware",
     "RetryMiddleware",
@@ -147,6 +154,49 @@ class JournalMiddleware:
             self.journal.complete(
                 unit.stage, unit.key, artifact=result.artifact, **result.payload
             )
+        return result
+
+
+class CacheMiddleware:
+    """Content-addressed short circuits around the unit body.
+
+    Before the work: run the unit's cache ``lookup`` — a CAS hit returns
+    a CACHED result without touching the network or recomputing; the
+    enclosing :class:`JournalMiddleware` still records the completion,
+    so a later crash+resume verifies the materialized artifact exactly
+    like a fetched one.  After the work: ``store`` publishes fresh
+    outputs into the CAS so the *next* run (or a co-located tenant)
+    hits.  Both hooks are best-effort by contract: any exception is
+    swallowed — the cache may only ever change performance, never
+    outcome.
+    """
+
+    def __init__(self, cache: Any = None):
+        self.cache = cache
+
+    def __call__(self, ctx: UnitContext, call_next: Callable[[], UnitResult]) -> UnitResult:
+        policy = ctx.unit.cache
+        if self.cache is None or policy is None:
+            return call_next()
+        if policy.lookup is not None:
+            try:
+                hit = policy.lookup(ctx, self.cache)
+            except Exception:
+                hit = None
+            if hit is not None:
+                return hit
+        result = call_next()
+        # RESUMED carries no fresh bytes and CACHED came *from* the
+        # store; neither has anything new to publish.
+        if (
+            policy.store is not None
+            and result.outcome in SUCCESS_OUTCOMES
+            and result.outcome not in (RESUMED, CACHED)
+        ):
+            try:
+                policy.store(ctx, self.cache, result)
+            except Exception:
+                pass
         return result
 
 

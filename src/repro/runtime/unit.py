@@ -24,6 +24,7 @@ __all__ = [
     "DONE",
     "RESUMED",
     "SKIPPED",
+    "CACHED",
     "RETRIED",
     "FAILED",
     "QUARANTINED",
@@ -33,22 +34,26 @@ __all__ = [
     "UnitResult",
     "RetrySpec",
     "FailurePolicy",
+    "CachePolicy",
     "WorkUnit",
     "UnitContext",
 ]
 
-# Unit outcomes.  The first four are successes (work is, or already was,
+# Unit outcomes.  The first five are successes (work is, or already was,
 # done); the last two are handled failures (recorded, never raised).
 DONE = "done"            # fresh work completed this run
 RESUMED = "resumed"      # journaled completion verified; zero work redone
 SKIPPED = "skipped"      # precheck short-circuit (artifact already present)
+CACHED = "cached"        # materialized from the content-addressed store
 RETRIED = "retried"      # completed after >= 1 retried failure
 FAILED = "failed"        # retry budget exhausted, policy says record
 QUARANTINED = "quarantined"  # body error set aside, policy says continue
 
-OUTCOMES = (DONE, RESUMED, SKIPPED, RETRIED, FAILED, QUARANTINED)
-# Outcomes the journal records as completions.
-SUCCESS_OUTCOMES = (DONE, RETRIED, SKIPPED)
+OUTCOMES = (DONE, RESUMED, SKIPPED, CACHED, RETRIED, FAILED, QUARANTINED)
+# Outcomes the journal records as completions.  CACHED is included: a
+# materialized artifact is as real as a fetched one, and resume must be
+# able to verify it on the next run.
+SUCCESS_OUTCOMES = (DONE, RETRIED, SKIPPED, CACHED)
 
 
 class UnitFailed(RuntimeError):
@@ -76,7 +81,7 @@ class UnitResult:
 
     @property
     def ok(self) -> bool:
-        return self.outcome in (DONE, RESUMED, SKIPPED, RETRIED)
+        return self.outcome in (DONE, RESUMED, SKIPPED, CACHED, RETRIED)
 
 
 @dataclass(frozen=True)
@@ -113,6 +118,22 @@ class FailurePolicy:
     on_caught: Optional[Callable[[str], None]] = None
 
 
+@dataclass(frozen=True)
+class CachePolicy:
+    """How CacheMiddleware treats this unit against the artifact store.
+
+    ``lookup(ctx, cas)`` runs *before* the body (but after the journal's
+    resume decision): return a CACHED :class:`UnitResult` to
+    short-circuit, or ``None`` to fall through to the work.  ``store(ctx,
+    cas, result)`` runs after a successful body and publishes whatever
+    the unit produced into the store; it must never raise — the cache is
+    an optimization, a failed store only means a future miss.
+    """
+
+    lookup: Optional[Callable[["UnitContext", Any], Optional[UnitResult]]] = None
+    store: Optional[Callable[["UnitContext", Any, UnitResult], None]] = None
+
+
 @dataclass
 class WorkUnit:
     """One item of stage work plus its policies.
@@ -135,6 +156,7 @@ class WorkUnit:
     journal_phase: str = "unit"
     retry: Optional[RetrySpec] = None
     failure: FailurePolicy = field(default_factory=FailurePolicy)
+    cache: Optional[CachePolicy] = None
     stall: bool = True  # eligible for injected worker_stall faults
 
 

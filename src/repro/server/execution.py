@@ -152,6 +152,7 @@ def _result_payload(unit: str, value: Any, handles: Dict[str, Any]) -> Dict[str,
         return {
             "files": value.files, "nbytes": value.nbytes,
             "skipped": value.skipped, "resumed": value.resumed,
+            "cached": value.cached, "fetched_bytes": value.fetched_bytes,
             "scenes": len(value.granule_sets),
             "failed": len(value.failed), "incomplete": len(value.incomplete),
         }
@@ -178,6 +179,7 @@ def _result_payload(unit: str, value: Any, handles: Dict[str, Any]) -> Dict[str,
         return {
             "files": len(value.moved), "nbytes": value.nbytes,
             "retries": value.retries, "mismatches": len(value.mismatches),
+            "deduped": value.deduped,
         }
     return {}
 
@@ -224,8 +226,17 @@ def execute_unit(
         handles: Dict[str, Any] = {}
         state: Dict[str, Any] = {}
         _rehydrate(workflow, journal, unit, config, handles, state)
+        # The agent's handle on the run's CAS directory.  Co-located
+        # agents (shared filesystem) dedupe into one object space; an
+        # agent on its own filesystem simply opens an empty store there
+        # and every lookup misses — the stages fall back to a real fetch,
+        # which is exactly the non-cached path.
+        from repro.core.artifact_cache import open_store
+
+        cas = open_store(config, chaos=chaos)
         plan = workflow.build_plan(
-            chaos=chaos, journal=journal, handles=handles, streaming=False
+            chaos=chaos, journal=journal, handles=handles, streaming=False,
+            cache=cas,
         )
         node = plan.node(unit)
         if node.when is not None and not node.when(state):

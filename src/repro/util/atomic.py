@@ -8,13 +8,23 @@ completeness.  The pattern is the classic crash-consistency triple:
 write to a temp name in the same directory, fsync the file so the bytes
 are on disk before the rename, ``os.replace`` (atomic on POSIX), then
 fsync the directory so the rename itself survives power loss.
+
+Deprecated re-exports: ``atomic_publish_bytes`` (and the shared
+``TEMP_SUFFIX`` / ``HASH_SLICE`` / ``fsync_dir``) now live in
+``repro.util.digest`` so the digest loop has exactly one home shared by
+the journal manifest and the content-addressed store.  Import from
+``repro.util.digest`` in new code; these names remain here only so
+existing imports keep working.
 """
 
 from __future__ import annotations
 
-import hashlib
-import os
-from typing import Tuple
+from repro.util.digest import (  # noqa: F401  (re-export shims)
+    HASH_SLICE,
+    TEMP_SUFFIX,
+    atomic_publish_bytes,
+    fsync_dir,
+)
 
 __all__ = [
     "TEMP_SUFFIX",
@@ -23,28 +33,6 @@ __all__ = [
     "atomic_publish_bytes",
     "fsync_dir",
 ]
-
-# The shared temp-name convention: writers publish ``<final>.part`` and
-# rename; crawlers and shippers skip the suffix unconditionally.
-TEMP_SUFFIX = ".part"
-
-# Digest-while-writing slice: large enough to amortize hashlib call
-# overhead, small enough to stay cache-friendly.
-HASH_SLICE = 4 * 1024 * 1024
-
-
-def fsync_dir(directory: str) -> None:
-    """Best-effort directory fsync (makes a completed rename durable)."""
-    try:
-        fd = os.open(directory or ".", os.O_RDONLY)
-    except OSError:  # platform or filesystem without directory fds
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
 
 
 def atomic_write_bytes(path: str, payload: bytes, durable: bool = True) -> int:
@@ -57,29 +45,3 @@ def atomic_write_bytes(path: str, payload: bytes, durable: bool = True) -> int:
     """
     nbytes, _ = atomic_publish_bytes(path, payload, durable=durable)
     return nbytes
-
-
-def atomic_publish_bytes(
-    path: str, payload: bytes, durable: bool = True
-) -> Tuple[int, str]:
-    """Atomic write that also digests; returns ``(nbytes, sha256_hex)``.
-
-    The payload is hashed in slices *while it streams to the temp file*,
-    so publication and integrity recording cost one pass over the bytes
-    instead of a write followed by a full re-read.
-    """
-    digest = hashlib.sha256()
-    view = memoryview(payload)
-    temp_path = path + TEMP_SUFFIX
-    with open(temp_path, "wb") as handle:
-        for start in range(0, len(view), HASH_SLICE):
-            chunk = view[start : start + HASH_SLICE]
-            handle.write(chunk)
-            digest.update(chunk)
-        if durable:
-            handle.flush()
-            os.fsync(handle.fileno())
-    os.replace(temp_path, path)
-    if durable:
-        fsync_dir(os.path.dirname(path))
-    return len(payload), digest.hexdigest()

@@ -1,0 +1,115 @@
+"""Shared digest + atomic-publish primitives: one hash loop for everyone.
+
+The workflow's integrity story rests on exactly two operations, and every
+layer (journal manifest, content-addressed store, shipment verification,
+chaos surfaces) must perform them *identically*:
+
+* :func:`sha256_file` / :func:`digest_file` — streaming SHA-256 of a
+  file's content, reading into one reusable buffer so the loop is pure
+  hashing, not allocator churn.  ``digest_file`` additionally counts the
+  bytes *while hashing*, so callers that need ``(digest, size)`` get a
+  pair observed from the same read pass — no second ``stat`` racing a
+  concurrent writer.
+* :func:`atomic_publish_bytes` — the crash-consistency triple (temp name
+  in the same directory, file fsync, ``os.replace``, directory fsync)
+  that digests the payload as it streams to disk, so publication and
+  integrity recording cost one pass over the bytes.
+
+This module sits below ``repro.util.atomic`` and ``repro.journal`` in
+the import graph; both re-export these names for compatibility.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Tuple
+
+__all__ = [
+    "TEMP_SUFFIX",
+    "HASH_SLICE",
+    "fsync_dir",
+    "sha256_file",
+    "digest_file",
+    "atomic_publish_bytes",
+]
+
+# The shared temp-name convention: writers publish ``<final>.part`` and
+# rename; crawlers and shippers skip the suffix unconditionally.
+TEMP_SUFFIX = ".part"
+
+# Digest-while-writing slice: large enough to amortize hashlib call
+# overhead, small enough to stay cache-friendly.
+HASH_SLICE = 4 * 1024 * 1024
+
+
+def fsync_dir(directory: str) -> None:
+    """Best-effort directory fsync (makes a completed rename durable)."""
+    try:
+        fd = os.open(directory or ".", os.O_RDONLY)
+    except OSError:  # platform or filesystem without directory fds
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def sha256_file(path: str, chunk_size: int = HASH_SLICE) -> str:
+    """Streaming SHA-256 of a file's content."""
+    digest, _ = digest_file(path, chunk_size=chunk_size)
+    return digest
+
+
+def digest_file(path: str, chunk_size: int = HASH_SLICE) -> Tuple[str, int]:
+    """Streaming SHA-256 plus byte count, from one read pass.
+
+    Reads into one reusable 4 MiB buffer (``readinto``) instead of
+    allocating a fresh bytes object per chunk.  The size is summed from
+    the same reads that feed the hash, so the ``(digest, nbytes)`` pair
+    always describes a single observation of the file — a concurrent
+    writer can never make the size disagree with the digest.
+    """
+    sha = hashlib.sha256()
+    nbytes = 0
+    buffer = bytearray(chunk_size)
+    view = memoryview(buffer)
+    with open(path, "rb") as handle:
+        while True:
+            got = handle.readinto(buffer)
+            if not got:
+                break
+            sha.update(view[:got])
+            nbytes += got
+    return sha.hexdigest(), nbytes
+
+
+def atomic_publish_bytes(
+    path: str, payload: bytes, durable: bool = True
+) -> Tuple[int, str]:
+    """Atomic write that also digests; returns ``(nbytes, sha256_hex)``.
+
+    The payload is hashed in slices *while it streams to the temp file*,
+    so publication and integrity recording cost one pass over the bytes
+    instead of a write followed by a full re-read.  With ``durable`` the
+    temp file is fsynced before the rename and the directory after it,
+    so a crash at any instant leaves either the previous content or the
+    complete new content — never a torn file under the final name.
+    """
+    digest = hashlib.sha256()
+    view = memoryview(payload)
+    temp_path = path + TEMP_SUFFIX
+    with open(temp_path, "wb") as handle:
+        for start in range(0, len(view), HASH_SLICE):
+            chunk = view[start : start + HASH_SLICE]
+            handle.write(chunk)
+            digest.update(chunk)
+        if durable:
+            handle.flush()
+            os.fsync(handle.fileno())
+    os.replace(temp_path, path)
+    if durable:
+        fsync_dir(os.path.dirname(path))
+    return len(payload), digest.hexdigest()

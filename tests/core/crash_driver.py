@@ -51,6 +51,8 @@ def main() -> int:
     parser.add_argument("--fanout", action="store_true",
                         help="fan the plan out per instrument x model "
                              "(modis+abi x ricc+heuristic)")
+    parser.add_argument("--cache", default=None, metavar="DIR",
+                        help="enable the content-addressed cache rooted at DIR")
     args = parser.parse_args()
 
     from repro.core import EOMLWorkflow, load_config
@@ -67,6 +69,8 @@ def main() -> int:
         runtime["workers"] = args.workers
     if runtime:
         raw["runtime"] = runtime
+    if args.cache:
+        raw["cache"] = {"enabled": True, "dir": args.cache}
     if args.crash_stage:
         raw["chaos"] = {
             "seed": 0,
@@ -88,6 +92,10 @@ def main() -> int:
     print(f"pool_units={report.scaleout['units_executed']}")
     print(f"pool_requeues={report.scaleout['requeues']}")
     print(f"pool_workers={report.scaleout['workers_launched']}")
+    print(f"cache_hits={report.cache['hits']}")
+    print(f"cache_stores={report.cache['stores']}")
+    print(f"download_cached={report.cache['download_cached']}")
+    print(f"fetched_bytes={report.cache['fetched_bytes']}")
     return 0
 
 

@@ -140,11 +140,12 @@ class TestFaultPlanParsing:
 
     def test_stage_and_kind_vocabulary(self):
         assert STAGES == ("download", "preprocess", "monitor", "inference",
-                          "shipment", "agent", "net")
+                          "shipment", "agent", "net", "cache")
         assert set(FAULT_KINDS) >= {"http_transient", "torn_write", "corrupt_tile",
                                     "wan_degrade", "worker_stall"}
         assert set(FAULT_KINDS) >= {"partition", "blackout", "flaky",
                                     "slow_link", "reset"}
+        assert set(FAULT_KINDS) >= {"cache_corrupt", "cache_enospc"}
 
 
 class TestFaultInjector:

@@ -21,6 +21,7 @@ from repro.runtime import (
     RETRIED,
     SKIPPED,
     SUCCESS_OUTCOMES,
+    CacheMiddleware,
     ChaosMiddleware,
     FailurePolicy,
     JournalMiddleware,
@@ -87,6 +88,7 @@ class TestExecutorBasics:
             MetricsMiddleware,
             QuarantineMiddleware,
             JournalMiddleware,
+            CacheMiddleware,
             ChaosMiddleware,
             PrecheckMiddleware,
             RetryMiddleware,

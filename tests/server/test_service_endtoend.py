@@ -87,6 +87,41 @@ def test_two_agents_ship_the_golden_corpus(tmp_path):
     assert delivered_corpus(str(tmp_path)) == golden["files"]
 
 
+def test_colocated_agents_share_the_cas(tmp_path):
+    """Agents on a shared filesystem dedupe through one CAS.
+
+    A second campaign against a CAS warmed by the first must fetch
+    nothing from the archive — the download unit's result shows every
+    granule materialized from the store — and still ship the golden
+    corpus, byte-identical.
+    """
+    golden = load_golden()
+    cas_dir = str(tmp_path / "cas")
+
+    def cached_raw(root):
+        raw = build_raw_config(str(root), golden["granules"])
+        raw["cache"] = {"enabled": True, "dir": cas_dir}
+        return raw
+
+    with control_plane() as (_server, client):
+        cold = client.submit(cached_raw(tmp_path / "cold"), name="cache-cold")
+        drain(client, ["site-a", "site-b"])
+        warm = client.submit(cached_raw(tmp_path / "warm"), name="cache-warm")
+        drain(client, ["site-a", "site-b"])
+        cold_detail = client.run(cold.run_id)
+        warm_detail = client.run(warm.run_id)
+
+    for detail in (cold_detail, warm_detail):
+        assert detail.status == "completed", {
+            u.name: (u.status, u.error) for u in detail.units
+        }
+    download = {u.name: u.result or {} for u in warm_detail.units}["download"]
+    assert download.get("fetched_bytes") == 0
+    assert download.get("cached", 0) > 0
+    assert delivered_corpus(str(tmp_path / "cold")) == golden["files"]
+    assert delivered_corpus(str(tmp_path / "warm")) == golden["files"]
+
+
 def fanout_raw(root):
     raw = build_raw_config(str(root), 1)
     raw["archive"]["instruments"] = ["modis", "abi"]

@@ -298,6 +298,64 @@ class TestPartitionDocs:
         assert "--reconnect-limit" in help_text
 
 
+class TestCacheDocs:
+    """The CAS docs track the real store, middleware, and ladder."""
+
+    def architecture(self):
+        return (ROOT / "docs" / "architecture.md").read_text()
+
+    def test_architecture_has_the_section(self):
+        text = self.architecture()
+        assert "## Content-addressed cache & progressive fidelity" in text
+        # The operational pieces the section promises.
+        for needle in ("atomic publish", "quarantine", "budget_bytes",
+                       "coarse_stride", "refine_threshold", "pin",
+                       "repro cache stats", "repro cache gc",
+                       "cache_corrupt", "cache_enospc", "campaign_cache"):
+            assert needle in text, f"cache docs missing {needle!r}"
+
+    def test_middleware_onion_includes_the_cache_layer(self):
+        assert "Journal > Cache > Chaos" in self.architecture()
+
+    def test_key_grammar_matches_the_code(self):
+        """The documented key prefixes are the ones the glue emits."""
+        from repro.core.artifact_cache import granule_key, tiles_key
+
+        class _Cfg:
+            instrument, seed = "modis", 3
+
+        assert granule_key(_Cfg, "a.hdf").startswith("granule:")
+        assert tiles_key("modis", "s", 128, 0.3, 0.5, 1, []).startswith("tiles:")
+        text = self.architecture()
+        for prefix in ("granule:", "tiles:", "refined:"):
+            assert f"`{prefix}" in text, f"key prefix {prefix!r} undocumented"
+
+    def test_readme_and_design_point_at_the_section(self):
+        readme = (ROOT / "README.md").read_text()
+        assert "`repro.cas`" in readme
+        assert "Content-addressed cache & progressive fidelity" in readme
+        assert "Content-addressed cache" in (ROOT / "DESIGN.md").read_text()
+
+    def test_cli_exposes_cache_subcommands(self):
+        from repro.cli import build_parser
+
+        parser = build_parser()
+        assert "cache" in parser.format_help()
+
+    def test_campaign_cache_benchmark_holds_the_floor(self):
+        """The committed baselines carry the cache entry and it holds
+        the acceptance floor: >=80% hit rate, >=60% bytes-moved cut."""
+        import json
+
+        for path in (ROOT / "BENCH_endtoend.json",
+                     ROOT / "benchmarks" / "baselines" / "BENCH_endtoend.json"):
+            marks = json.loads(path.read_text())["benchmarks"]
+            entry = marks["campaign_cache"]
+            assert entry["hit_rate"] >= 0.8, path
+            assert entry["bytes_moved_ratio"] <= 0.4, path
+            assert marks["campaign_cache_cold"]["reference"] == 1.0
+
+
 class TestExamples:
     def test_every_example_has_docstring_and_main(self):
         for path in sorted((ROOT / "examples").glob("*.py")):
